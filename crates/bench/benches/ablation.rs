@@ -1,0 +1,90 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * three-set + WHILE chains (the paper's contribution) versus pure
+//!   successive dataflow partitioning of the same loop,
+//! * executing the intermediate set as WHILE chains versus peeling it
+//!   stage by stage,
+//! * the cost of making partition sets disjoint before code generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcp_bench::experiments::calibrated_model;
+use rcp_codegen::Schedule;
+use rcp_core::{
+    chains_in_intermediate, concrete_partition_from_dense, dataflow_partition, DenseThreeSet,
+};
+use rcp_depend::DependenceAnalysis;
+use rcp_presburger::{DenseRelation, DenseSet};
+use rcp_runtime::CostModel;
+use rcp_workloads::example1;
+
+fn bench(c: &mut Criterion) {
+    let analysis = DependenceAnalysis::loop_level(&example1());
+    let (phi, rel) = analysis.bind_params(&[60, 80]);
+    let phi_d = DenseSet::from_union(&phi);
+    let rd = DenseRelation::from_relation(&rel);
+    let model: CostModel = calibrated_model();
+
+    // Report the ablation numbers once.
+    let rec = concrete_partition_from_dense(&analysis, &phi_d, &rd);
+    let rec_sched = Schedule::from_partition(&analysis, &rec, "rec");
+    let df = dataflow_partition(&phi_d, &rd);
+    eprintln!(
+        "ablation (example 1, 60x80): REC phases={} critical={}  |  pure dataflow stages={}",
+        rec_sched.n_phases(),
+        rec_sched.critical_path(),
+        df.n_stages()
+    );
+    eprintln!(
+        "modelled 4-thread speedup: REC={:.2}  pure-dataflow={:.2}",
+        model.speedup(&rec_sched, 4),
+        {
+            let phases: Vec<rcp_codegen::Phase> = df
+                .stages
+                .iter()
+                .map(|s| {
+                    rcp_codegen::Phase::Doall(
+                        s.iter()
+                            .map(|p| rcp_codegen::WorkItem::single(0, p.clone()))
+                            .collect(),
+                    )
+                })
+                .collect();
+            let sched = Schedule { name: "df".into(), phases };
+            model.speedup(&sched, 4)
+        }
+    );
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("three_set_plus_chains", |b| {
+        b.iter(|| {
+            let part = DenseThreeSet::compute(&phi_d, &rd);
+            chains_in_intermediate(&part, &rd).len()
+        })
+    });
+    group.bench_function("pure_dataflow_partitioning", |b| {
+        b.iter(|| dataflow_partition(&phi_d, &rd).n_stages())
+    });
+    group.bench_function("make_disjoint_for_codegen", |b| {
+        // A small overlapping union (three shifted boxes) keeps the
+        // exponential disjoint-splitting cost bounded while still measuring
+        // the operation the code generator relies on.
+        use rcp_presburger::{Affine, Constraint, ConvexSet, Space, UnionSet};
+        let space = Space::with_names(&["i", "j"], &[]);
+        let boxed = |lo: i64| {
+            ConvexSet::universe(space.clone()).with_all(vec![
+                Constraint::geq(Affine::new(vec![1, 0], -lo)),
+                Constraint::geq(Affine::new(vec![-1, 0], lo + 20)),
+                Constraint::geq(Affine::new(vec![0, 1], -lo)),
+                Constraint::geq(Affine::new(vec![0, -1], lo + 20)),
+            ])
+        };
+        let pieces = vec![boxed(1), boxed(5), boxed(9)];
+        let union = UnionSet::from_pieces(space.clone(), pieces);
+        b.iter(|| union.make_disjoint().n_pieces())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E-S1 — the §1 motivating statistics: classification of a synthetic loop
+//! corpus (SPECfp95 substitution).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcp_bench::experiments::corpus_table;
+use rcp_workloads::{corpus_statistics, CorpusConfig};
+
+fn bench(c: &mut Criterion) {
+    eprintln!("{}", corpus_table().text);
+
+    let mut group = c.benchmark_group("corpus");
+    group.sample_size(10);
+    for n_loops in [20usize, 60] {
+        group.bench_with_input(BenchmarkId::new("classify", n_loops), &n_loops, |b, &n| {
+            b.iter(|| {
+                corpus_statistics(&CorpusConfig {
+                    n_loops: n,
+                    coupled_fraction: 0.45,
+                    extent: 10,
+                    seed: 42,
+                })
+                .non_uniform_loops
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E-F1 — Figure 1: exact dependence analysis of the example loop.
+//!
+//! Benchmarks the construction of the symbolic dependence relation and its
+//! enumeration at the figure's parameters, and prints the regenerated arrow
+//! counts (8 of distance 2, 6 of distance 4, 4 of distance 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcp_bench::experiments::fig1_dependences;
+use rcp_depend::DependenceAnalysis;
+use rcp_presburger::DenseRelation;
+use rcp_workloads::example1;
+
+fn bench(c: &mut Criterion) {
+    let report = fig1_dependences();
+    eprintln!("{}", report.text);
+
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(20);
+    group.bench_function("symbolic_relation_construction", |b| {
+        b.iter(|| DependenceAnalysis::loop_level(&example1()))
+    });
+    let analysis = DependenceAnalysis::loop_level(&example1());
+    for n in [10i64, 20, 40] {
+        group.bench_with_input(BenchmarkId::new("dense_enumeration", n), &n, |b, &n| {
+            b.iter(|| {
+                let (_, rel) = analysis.bind_params(&[n, n]);
+                DenseRelation::from_relation(&rel).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

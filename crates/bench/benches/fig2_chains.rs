@@ -1,0 +1,34 @@
+//! E-F2 — Figure 2: monotonic chain decomposition and three-set
+//! partitioning of the 1-D loop `a(2I) = a(21-I)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcp_bench::experiments::fig2_chains;
+use rcp_core::{monotonic_chains, DenseThreeSet};
+use rcp_depend::DependenceAnalysis;
+use rcp_presburger::{DenseRelation, DenseSet};
+use rcp_workloads::figure2_n;
+
+fn bench(c: &mut Criterion) {
+    let report = fig2_chains();
+    eprintln!("{}", report.text);
+
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(30);
+    for n in [20i64, 200, 2000] {
+        let program = figure2_n(n);
+        let analysis = DependenceAnalysis::loop_level(&program);
+        let (phi, rel) = analysis.bind_params(&[]);
+        let phi = DenseSet::from_union(&phi);
+        let rd = DenseRelation::from_relation(&rel);
+        group.bench_with_input(BenchmarkId::new("three_set_partition", n), &n, |b, _| {
+            b.iter(|| DenseThreeSet::compute(&phi, &rd))
+        });
+        group.bench_with_input(BenchmarkId::new("monotonic_chains", n), &n, |b, _| {
+            b.iter(|| monotonic_chains(&rd).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E-F3.1 — Figure 3, Example 1 plot: REC vs PDM vs PL.
+//!
+//! Prints the regenerated speedup series (modelled, 1–4 threads) and
+//! benchmarks the partitioning work of each scheme on the example-1 loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcp_baselines::{pdm_schedule, pl_schedule};
+use rcp_bench::experiments::{calibrated_model, fig3_ex1};
+use rcp_codegen::Schedule;
+use rcp_core::concrete_partition_from_dense;
+use rcp_depend::DependenceAnalysis;
+use rcp_presburger::{DenseRelation, DenseSet};
+use rcp_workloads::example1;
+
+fn bench(c: &mut Criterion) {
+    let model = calibrated_model();
+    // Reduced parameters keep a Criterion run short; the full-size series
+    // (N1=300, N2=1000) is produced by the paper_results binary.
+    let report = fig3_ex1(&model, 120, 200, 4);
+    eprintln!("{}", report.text);
+
+    let analysis = DependenceAnalysis::loop_level(&example1());
+    let (phi, rel) = analysis.bind_params(&[60, 80]);
+    let phi_d = DenseSet::from_union(&phi);
+    let rd = DenseRelation::from_relation(&rel);
+
+    let mut group = c.benchmark_group("fig3_ex1");
+    group.sample_size(10);
+    group.bench_function("rec_partition", |b| {
+        b.iter(|| {
+            let part = concrete_partition_from_dense(&analysis, &phi_d, &rd);
+            Schedule::from_partition(&analysis, &part, "rec").n_items()
+        })
+    });
+    group.bench_function("pdm_partition", |b| {
+        b.iter(|| pdm_schedule(&analysis, &phi_d, &rd, "pdm").1.n_items())
+    });
+    group.bench_function("pl_partition", |b| {
+        b.iter(|| pl_schedule(&analysis, &phi_d, &rd, "pl").n_items())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E-F3.2 — Figure 3, Example 2 plot: REC vs UNIQUE on Ju & Chaudhary's
+//! loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcp_baselines::unique_sets_schedule;
+use rcp_bench::experiments::{calibrated_model, ex2_facts, fig3_ex2};
+use rcp_codegen::Schedule;
+use rcp_core::concrete_partition_from_dense;
+use rcp_depend::DependenceAnalysis;
+use rcp_presburger::{DenseRelation, DenseSet};
+use rcp_workloads::example2;
+
+fn bench(c: &mut Criterion) {
+    let model = calibrated_model();
+    eprintln!("{}", ex2_facts().text);
+    let report = fig3_ex2(&model, 120, 4);
+    eprintln!("{}", report.text);
+
+    let analysis = DependenceAnalysis::loop_level(&example2());
+    let (phi, rel) = analysis.bind_params(&[60]);
+    let phi_d = DenseSet::from_union(&phi);
+    let rd = DenseRelation::from_relation(&rel);
+
+    let mut group = c.benchmark_group("fig3_ex2");
+    group.sample_size(10);
+    group.bench_function("rec_partition", |b| {
+        b.iter(|| {
+            let part = concrete_partition_from_dense(&analysis, &phi_d, &rd);
+            Schedule::from_partition(&analysis, &part, "rec").n_phases()
+        })
+    });
+    group.bench_function("unique_sets_partition", |b| {
+        b.iter(|| unique_sets_schedule(&analysis, &phi_d, &rd, "unique").n_phases())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E-F3.3 — Figure 3, Example 3 plot: REC vs inner-loop PAR vs DOACROSS on
+//! the imperfectly nested loop of Chen & Yew.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcp_bench::experiments::{calibrated_model, ex3_facts, fig3_ex3};
+use rcp_core::DenseThreeSet;
+use rcp_depend::DependenceAnalysis;
+use rcp_presburger::{DenseRelation, DenseSet};
+use rcp_workloads::example3;
+
+fn bench(c: &mut Criterion) {
+    let model = calibrated_model();
+    eprintln!("{}", ex3_facts(60).text);
+    let report = fig3_ex3(&model, 100, 4);
+    eprintln!("{}", report.text);
+
+    let mut group = c.benchmark_group("fig3_ex3");
+    group.sample_size(10);
+    group.bench_function("statement_level_analysis", |b| {
+        b.iter(|| DependenceAnalysis::statement_level(&example3()).pairs.len())
+    });
+    let analysis = DependenceAnalysis::statement_level(&example3());
+    for n in [20i64, 40] {
+        group.bench_with_input(BenchmarkId::new("three_set_partition", n), &n, |b, &n| {
+            b.iter(|| {
+                let (phi, rel) = analysis.bind_params(&[n]);
+                let part = DenseThreeSet::compute(
+                    &DenseSet::from_union(&phi),
+                    &DenseRelation::from_relation(&rel),
+                );
+                (part.p1.len(), part.p2.len(), part.p3.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

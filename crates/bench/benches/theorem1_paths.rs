@@ -1,0 +1,28 @@
+//! E-T1 — Theorem 1: critical-path bound evaluation and chain following.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcp_bench::experiments::theorem1_table;
+use rcp_core::{concrete_partition, symbolic_plan};
+use rcp_depend::DependenceAnalysis;
+use rcp_workloads::{example1, example2};
+
+fn bench(c: &mut Criterion) {
+    eprintln!("{}", theorem1_table().text);
+
+    let mut group = c.benchmark_group("theorem1");
+    group.sample_size(10);
+    group.bench_function("recurrence_construction", |b| {
+        let analysis = DependenceAnalysis::loop_level(&example1());
+        b.iter(|| symbolic_plan(&analysis).unwrap().recurrence.alpha())
+    });
+    for n in [20i64, 40] {
+        let analysis = DependenceAnalysis::loop_level(&example2());
+        group.bench_with_input(BenchmarkId::new("chain_partitioning_ex2", n), &n, |b, &n| {
+            b.iter(|| concrete_partition(&analysis, &[n]).stats().critical_path)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

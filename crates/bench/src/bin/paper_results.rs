@@ -1,0 +1,85 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run --release -p rcp-bench --bin paper_results            # everything (full size)
+//! cargo run --release -p rcp-bench --bin paper_results -- --quick # reduced parameters
+//! cargo run --release -p rcp-bench --bin paper_results -- fig3-ex1 ex4
+//! cargo run --release -p rcp-bench --bin paper_results -- --json out.json
+//! ```
+
+use rcp_bench::experiments::{
+    calibrated_model, corpus_table, ex1_partition, ex2_facts, ex3_facts, ex4_dataflow,
+    fig1_dependences, fig2_chains, fig3_ex1, fig3_ex2, fig3_ex3, fig3_ex4, theorem1_table,
+    ExperimentReport,
+};
+use rcp_workloads::CholeskyParams;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|k| args.get(k + 1))
+        .cloned();
+    let selected: Vec<&String> =
+        args.iter().filter(|a| !a.starts_with("--") && Some(*a) != json_path.as_ref()).collect();
+    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s.as_str() == id);
+
+    // Evaluation parameters (paper values unless --quick).
+    let (ex1_n1, ex1_n2) = if quick { (60, 100) } else { (300, 1000) };
+    let ex2_n = if quick { 60 } else { 300 };
+    let ex3_n = if quick { 60 } else { 300 };
+    let cholesky = if quick {
+        CholeskyParams { nmat: 25, m: 4, n: 40, nrhs: 3 }
+    } else {
+        CholeskyParams::paper()
+    };
+    let threads = 4;
+
+    eprintln!("calibrating the cost model on this machine ...");
+    let model = calibrated_model();
+    eprintln!(
+        "calibrated: {:.0} ns per statement instance, {:.0} ns per barrier",
+        model.instance_cost_ns, model.barrier_cost_ns
+    );
+
+    let mut reports: Vec<ExperimentReport> = Vec::new();
+    let mut run = |id: &str, f: &mut dyn FnMut() -> ExperimentReport| {
+        if want(id) {
+            eprintln!("running {id} ...");
+            let start = std::time::Instant::now();
+            let report = f();
+            eprintln!("  done in {:.1}s", start.elapsed().as_secs_f64());
+            println!("==== {} — {} ====\n{}\n", report.id, report.description, report.text);
+            reports.push(report);
+        }
+    };
+
+    run("fig1", &mut fig1_dependences);
+    run("fig2", &mut fig2_chains);
+    run("ex1", &mut || ex1_partition(ex1_n1.min(60), ex1_n2.min(100)));
+    run("ex2", &mut ex2_facts);
+    run("ex3", &mut || ex3_facts(ex3_n));
+    run("ex4", &mut || ex4_dataflow(cholesky));
+    run("fig3-ex1", &mut || fig3_ex1(&model, ex1_n1, ex1_n2, threads));
+    run("fig3-ex2", &mut || fig3_ex2(&model, ex2_n, threads));
+    run("fig3-ex3", &mut || fig3_ex3(&model, ex3_n, threads));
+    run("fig3-ex4", &mut || fig3_ex4(&model, cholesky, threads));
+    run("theorem1", &mut theorem1_table);
+    run("corpus", &mut corpus_table);
+
+    if let Some(path) = json_path {
+        let payload = serde_json::json!({
+            "cost_model": {
+                "instance_cost_ns": model.instance_cost_ns,
+                "barrier_cost_ns": model.barrier_cost_ns,
+            },
+            "quick": quick,
+            "experiments": reports,
+        });
+        std::fs::write(&path, serde_json::to_string_pretty(&payload).unwrap())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,525 @@
+//! The experiment harness: one function per figure/table of the paper.
+//!
+//! Every function regenerates the corresponding artifact — the same rows /
+//! series the paper reports — and returns a formatted report plus
+//! machine-readable JSON.  Absolute speedups come from the calibrated cost
+//! model (the container has a single CPU; see DESIGN.md); the *shape* of
+//! each figure (which scheme wins, by roughly what factor, where the
+//! crossovers fall) is the reproduced result, recorded against the paper in
+//! EXPERIMENTS.md.
+
+use crate::speedup::{phases_speedup, PhaseShape, SpeedupFigure, SpeedupSeries};
+use rcp_baselines::{doacross_plan, pdm_schedule, pl_schedule, unique_sets_schedule};
+use rcp_codegen::{generate_listing, Schedule};
+use rcp_core::{
+    concrete_partition, dataflow_stage_sizes, longest_chain, monotonic_chains, symbolic_plan,
+    ConcretePartition, DenseThreeSet,
+};
+use rcp_depend::{trace_dependence_graph, DependenceAnalysis};
+use rcp_presburger::{DenseRelation, DenseSet};
+use rcp_runtime::{execute_sequential, CostModel, RefKernel};
+use rcp_workloads::{
+    corpus_statistics, example1, example2, example3, example4_cholesky, figure2, CholeskyParams,
+    CorpusConfig,
+};
+use serde::Serialize;
+use serde_json::json;
+use std::time::Instant;
+
+/// A regenerated experiment artifact.
+#[derive(Clone, Debug, Serialize)]
+pub struct ExperimentReport {
+    /// Experiment identifier from DESIGN.md (e.g. `fig3-ex1`).
+    pub id: String,
+    /// One-line description.
+    pub description: String,
+    /// Human-readable report text (tables, listings).
+    pub text: String,
+    /// Machine-readable payload.
+    pub data: serde_json::Value,
+}
+
+impl ExperimentReport {
+    fn new(id: &str, description: &str, text: String, data: serde_json::Value) -> Self {
+        ExperimentReport {
+            id: id.to_string(),
+            description: description.to_string(),
+            text,
+            data,
+        }
+    }
+}
+
+/// Calibrates the cost model by timing the sequential execution of a
+/// moderate workload with the reference kernel.
+pub fn calibrated_model() -> CostModel {
+    let program = example1();
+    let params = [60i64, 80];
+    let schedule = Schedule::sequential(&program, &params);
+    let kernel = RefKernel::new(&program);
+    let start = Instant::now();
+    let _ = execute_sequential(&schedule, &kernel);
+    let elapsed = start.elapsed().as_nanos() as f64;
+    CostModel::calibrated(elapsed, schedule.n_instances())
+}
+
+/// E-F1 — Figure 1: the non-uniform direct dependences of the example loop
+/// at `N1 = N2 = 10` (arrow counts per distance).
+pub fn fig1_dependences() -> ExperimentReport {
+    let program = example1();
+    let analysis = DependenceAnalysis::loop_level(&program);
+    let (_, rel) = analysis.bind_params(&[10, 10]);
+    let dense = DenseRelation::from_relation(&rel);
+    let mut per_distance: std::collections::BTreeMap<i64, usize> = Default::default();
+    for (src, dst) in dense.iter() {
+        *per_distance.entry(dst[0] - src[0]).or_insert(0) += 1;
+    }
+    let mut text = String::from("distance (d,d)   arrows (paper: d=2 has 8, d=4 has 6, d=6 has 4)\n");
+    for (d, count) in &per_distance {
+        text.push_str(&format!("        ({d},{d})   {count}\n"));
+    }
+    text.push_str(&format!("total direct dependences: {}\n", dense.len()));
+    let data = json!({
+        "per_distance": per_distance,
+        "total": dense.len(),
+        "paper": {"2": 8, "4": 6, "6": 4, "total": 18},
+    });
+    ExperimentReport::new(
+        "fig1",
+        "Figure 1: direct dependences of the example loop (N1=N2=10)",
+        text,
+        data,
+    )
+}
+
+/// E-F2 — Figure 2: chain decomposition and partition of the 1-D loop.
+pub fn fig2_chains() -> ExperimentReport {
+    let program = figure2();
+    let analysis = DependenceAnalysis::loop_level(&program);
+    let (phi, rel) = analysis.bind_params(&[]);
+    let phi = DenseSet::from_union(&phi);
+    let rd = DenseRelation::from_relation(&rel);
+    let chains = monotonic_chains(&rd);
+    let part = DenseThreeSet::compute(&phi, &rd);
+    let fmt_set =
+        |s: &DenseSet| s.iter().map(|p| p[0].to_string()).collect::<Vec<_>>().join(",");
+    let mut text = String::new();
+    text.push_str("monotonic chains: ");
+    text.push_str(
+        &chains
+            .iter()
+            .map(|c| c.iterations.iter().map(|p| p[0].to_string()).collect::<Vec<_>>().join("->"))
+            .collect::<Vec<_>>()
+            .join("  "),
+    );
+    text.push('\n');
+    text.push_str(&format!("P1 (initial+independent) = {{{}}}\n", fmt_set(&part.p1)));
+    text.push_str(&format!("P2 (intermediate)        = {{{}}}\n", fmt_set(&part.p2)));
+    text.push_str(&format!("P3 (final)               = {{{}}}\n", fmt_set(&part.p3)));
+    text.push_str("paper: P1 = {1..6} ∪ {7,12,14,16,18,20}, P2 empty, chains of length 2\n");
+    let data = json!({
+        "n_chains": chains.len(),
+        "longest_chain": longest_chain(&chains),
+        "p1": part.p1.iter().map(|p| p[0]).collect::<Vec<_>>(),
+        "p2": part.p2.iter().map(|p| p[0]).collect::<Vec<_>>(),
+        "p3": part.p3.iter().map(|p| p[0]).collect::<Vec<_>>(),
+    });
+    ExperimentReport::new("fig2", "Figure 2: monotonic chains and partition of a(2I)=a(21-I)", text, data)
+}
+
+/// E-EX1 — Example 1: the generated recurrence-chain code and partition
+/// sizes at the paper's evaluation parameters.
+pub fn ex1_partition(n1: i64, n2: i64) -> ExperimentReport {
+    let program = example1();
+    let analysis = DependenceAnalysis::loop_level(&program);
+    let plan = symbolic_plan(&analysis).expect("example 1 uses recurrence chains");
+    let listing = generate_listing(&plan, "example1");
+    let partition = concrete_partition(&analysis, &[n1, n2]);
+    let stats = partition.stats();
+    let (p1, p2, p3, chains, longest) = match &partition {
+        ConcretePartition::RecurrenceChains { p1, chains, p3, three_set } => {
+            (p1.len(), three_set.p2.len(), p3.len(), chains.len(), longest_chain(chains))
+        }
+        _ => unreachable!(),
+    };
+    let bound = plan
+        .recurrence
+        .critical_path_bound((((n1 * n1 + n2 * n2) as f64).sqrt()).ceil())
+        .unwrap();
+    let text = format!(
+        "N1={n1}, N2={n2}: |P1|={p1} |P2|={p2} |P3|={p3}  chains={chains} longest={longest} \
+         (Theorem-1 bound {bound})\nphases={} critical path={} of {} iterations\n\n{listing}",
+        stats.n_phases, stats.critical_path, stats.total_iterations
+    );
+    let data = json!({
+        "n1": n1, "n2": n2, "p1": p1, "p2": p2, "p3": p3,
+        "chains": chains, "longest_chain": longest, "theorem1_bound": bound,
+        "alpha": plan.recurrence.alpha().to_f64(),
+    });
+    ExperimentReport::new("ex1", "Example 1: recurrence-chain partitioning and generated code", text, data)
+}
+
+/// E-EX2 — Example 2 (Ju & Chaudhary): intermediate set at N = 12 and phase
+/// counts of REC vs UNIQUE.
+pub fn ex2_facts() -> ExperimentReport {
+    let program = example2();
+    let analysis = DependenceAnalysis::loop_level(&program);
+    let partition = concrete_partition(&analysis, &[12]);
+    let p2: Vec<Vec<i64>> = match &partition {
+        ConcretePartition::RecurrenceChains { three_set, .. } => three_set.p2.to_vec(),
+        _ => unreachable!(),
+    };
+    let rec = Schedule::from_partition(&analysis, &partition, "ex2-rec");
+    let (phi, rel) = analysis.bind_params(&[12]);
+    let phi_d = DenseSet::from_union(&phi);
+    let rd = DenseRelation::from_relation(&rel);
+    let unique = unique_sets_schedule(&analysis, &phi_d, &rd, "ex2-unique");
+    let text = format!(
+        "N=12: intermediate set = {:?} (paper: the single iteration (2,6))\n\
+         REC phases = {} (paper: 3 fully parallel partitions)\n\
+         UNIQUE phases = {} (paper: 5 partitions, one sequential)\n",
+        p2,
+        rec.n_phases(),
+        unique.n_phases()
+    );
+    let data = json!({
+        "intermediate_set": p2,
+        "rec_phases": rec.n_phases(),
+        "unique_phases": unique.n_phases(),
+        "rec_critical_path": rec.critical_path(),
+        "unique_critical_path": unique.critical_path(),
+    });
+    ExperimentReport::new("ex2", "Example 2: intermediate set at N=12, REC vs UNIQUE phase counts", text, data)
+}
+
+/// E-EX3 — Example 3 (Chen & Yew): statement-level partition facts.
+pub fn ex3_facts(n: i64) -> ExperimentReport {
+    let program = example3();
+    let analysis = DependenceAnalysis::statement_level(&program);
+    let total = program.count_instances(&[n]);
+    // P2 / P3 via the (small) symbolic range/domain of the relation.
+    let ran = DenseSet::from_union(&analysis.relation.range().bind_params(&[n]));
+    let dom = DenseSet::from_union(&analysis.relation.domain().bind_params(&[n]));
+    let p2 = ran.intersect(&dom);
+    let p3 = ran.subtract(&dom);
+    let p1 = total - ran.len();
+    let text = format!(
+        "N={n}: {total} statement instances; |P1|={p1} |P2|={} |P3|={} \
+         (paper: empty intermediate set, two DOALL partitions, two iteration-steps)\n",
+        p2.len(),
+        p3.len()
+    );
+    let data = json!({
+        "n": n, "total_instances": total,
+        "p1": p1, "p2": p2.len(), "p3": p3.len(),
+    });
+    ExperimentReport::new("ex3", "Example 3: empty intermediate set of the imperfect nest", text, data)
+}
+
+/// E-EX4 — Example 4 (Cholesky): number of dataflow partitioning steps.
+pub fn ex4_dataflow(params: CholeskyParams) -> ExperimentReport {
+    let program = example4_cholesky().bind_params(&params.as_vec());
+    let graph = trace_dependence_graph(&program, &[]);
+    let stages = dataflow_stage_sizes(graph.n_instances(), &graph.edges);
+    let widest = stages.iter().max().copied().unwrap_or(0);
+    let text = format!(
+        "parameters {params:?}: {} statement instances, {} dependence edges\n\
+         dataflow partitioning steps = {} (paper reports 238 at NMAT=250, M=4, N=40, NRHS=3)\n\
+         widest stage = {widest} instances, mean stage = {:.0}\n",
+        graph.n_instances(),
+        graph.n_edges(),
+        stages.len(),
+        graph.n_instances() as f64 / stages.len().max(1) as f64
+    );
+    let data = json!({
+        "params": format!("{params:?}"),
+        "instances": graph.n_instances(),
+        "edges": graph.n_edges(),
+        "steps": stages.len(),
+        "widest_stage": widest,
+        "paper_steps": 238,
+    });
+    ExperimentReport::new("ex4", "Example 4: Cholesky dataflow partitioning step count", text, data)
+}
+
+/// E-F3.1 — Figure 3, Example 1 plot: REC vs PDM vs PL vs linear.
+pub fn fig3_ex1(model: &CostModel, n1: i64, n2: i64, max_threads: usize) -> ExperimentReport {
+    let program = example1();
+    let analysis = DependenceAnalysis::loop_level(&program);
+    let (phi, rel) = analysis.bind_params(&[n1, n2]);
+    let phi_d = DenseSet::from_union(&phi);
+    let rd = DenseRelation::from_relation(&rel);
+    let partition = rcp_core::concrete_partition_from_dense(&analysis, &phi_d, &rd);
+    let rec = Schedule::from_partition(&analysis, &partition, "rec");
+    let (_, pdm) = pdm_schedule(&analysis, &phi_d, &rd, "pdm");
+    let pl = pl_schedule(&analysis, &phi_d, &rd, "pl");
+    let figure = SpeedupFigure {
+        id: "fig3-ex1".into(),
+        workload: format!("example 1, N1={n1}, N2={n2}"),
+        series: vec![
+            SpeedupSeries::linear(max_threads),
+            SpeedupSeries::from_fn("REC", max_threads, |t| model.speedup(&rec, t)),
+            SpeedupSeries::from_fn("PDM", max_threads, |t| model.speedup(&pdm, t)),
+            SpeedupSeries::from_fn("PL", max_threads, |t| model.speedup(&pl, t)),
+        ],
+    };
+    let data = serde_json::to_value(&figure).unwrap();
+    ExperimentReport::new("fig3-ex1", "Figure 3, Example 1: REC vs PDM vs PL speedups", figure.to_table(), data)
+}
+
+/// E-F3.2 — Figure 3, Example 2 plot: REC vs UNIQUE vs linear.
+pub fn fig3_ex2(model: &CostModel, n: i64, max_threads: usize) -> ExperimentReport {
+    let program = example2();
+    let analysis = DependenceAnalysis::loop_level(&program);
+    let (phi, rel) = analysis.bind_params(&[n]);
+    let phi_d = DenseSet::from_union(&phi);
+    let rd = DenseRelation::from_relation(&rel);
+    let partition = rcp_core::concrete_partition_from_dense(&analysis, &phi_d, &rd);
+    let rec = Schedule::from_partition(&analysis, &partition, "rec");
+    let unique = unique_sets_schedule(&analysis, &phi_d, &rd, "unique");
+    let figure = SpeedupFigure {
+        id: "fig3-ex2".into(),
+        workload: format!("example 2, N={n}"),
+        series: vec![
+            SpeedupSeries::linear(max_threads),
+            SpeedupSeries::from_fn("REC", max_threads, |t| model.speedup(&rec, t)),
+            SpeedupSeries::from_fn("UNIQUE", max_threads, |t| model.speedup(&unique, t)),
+        ],
+    };
+    let data = serde_json::to_value(&figure).unwrap();
+    ExperimentReport::new("fig3-ex2", "Figure 3, Example 2: REC vs UNIQUE speedups", figure.to_table(), data)
+}
+
+/// E-F3.3 — Figure 3, Example 3 plot: REC vs PAR (inner loops) vs DOACROSS.
+pub fn fig3_ex3(model: &CostModel, n: i64, max_threads: usize) -> ExperimentReport {
+    let program = example3();
+    let analysis = DependenceAnalysis::statement_level(&program);
+    let total = program.count_instances(&[n]);
+    // REC: empty P2, two DOALL phases sized |P1| and |P3| (computed from the
+    // small symbolic range/domain, not by materialising 4.5M instances).
+    let ran = DenseSet::from_union(&analysis.relation.range().bind_params(&[n]));
+    let dom = DenseSet::from_union(&analysis.relation.domain().bind_params(&[n]));
+    let p2 = ran.intersect(&dom).len();
+    let p3 = ran.len() - p2;
+    let p1 = total - ran.len();
+    let rec_phases = [
+        PhaseShape::Doall { items: p1, unit_instances: 1.0 },
+        PhaseShape::Doall { items: p3.max(1), unit_instances: 1.0 },
+    ];
+    // PAR: inner loops parallel, outer I sequential: N phases of ~total/N items.
+    let par_phases: Vec<PhaseShape> = (1..=n)
+        .map(|i| PhaseShape::Doall {
+            items: ((i * (i + 1)) / 2 + i) as usize,
+            unit_instances: 1.0,
+        })
+        .collect();
+    // DOACROSS: pipelined outer loop.
+    let rd_small = DenseRelation::from_relation(&analysis.relation.bind_params(&[n.min(40)]));
+    let plan = doacross_plan(&program, &[n], &rd_small, true);
+    let figure = SpeedupFigure {
+        id: "fig3-ex3".into(),
+        workload: format!("example 3, N={n}"),
+        series: vec![
+            SpeedupSeries::linear(max_threads),
+            SpeedupSeries::from_fn("REC", max_threads, |t| {
+                phases_speedup(model, &rec_phases, total, t)
+            }),
+            SpeedupSeries::from_fn("PAR", max_threads, |t| {
+                phases_speedup(model, &par_phases, total, t)
+            }),
+            SpeedupSeries::from_fn("DOACROSS", max_threads, |t| {
+                let time = model.doacross_time_ns(plan.n_outer, plan.avg_inner as usize, plan.delay, t);
+                (total as f64 * model.instance_cost_ns) / time
+            }),
+        ],
+    };
+    let data = serde_json::to_value(&figure).unwrap();
+    ExperimentReport::new(
+        "fig3-ex3",
+        "Figure 3, Example 3: REC vs inner-loop PAR vs DOACROSS speedups",
+        figure.to_table(),
+        data,
+    )
+}
+
+/// E-F3.4 — Figure 3, Example 4 plot: REC dataflow vs PDM.
+pub fn fig3_ex4(model: &CostModel, params: CholeskyParams, max_threads: usize) -> ExperimentReport {
+    let program = example4_cholesky().bind_params(&params.as_vec());
+    let graph = trace_dependence_graph(&program, &[]);
+    let total = graph.n_instances();
+    // REC: one DOALL phase per dataflow stage.
+    let stages = dataflow_stage_sizes(total, &graph.edges);
+    let rec_phases: Vec<PhaseShape> =
+        stages.iter().map(|&s| PhaseShape::Doall { items: s, unit_instances: 1.0 }).collect();
+    // PDM: the paper's PDM code runs everything under `DOALL L` — one phase
+    // of NMAT+1 equal sequential chains.
+    let n_chains = (params.nmat + 1) as usize;
+    let pdm_phases = [PhaseShape::EqualChains { count: n_chains, len: total as f64 / n_chains as f64 }];
+    let figure = SpeedupFigure {
+        id: "fig3-ex4".into(),
+        workload: format!("Cholesky, {params:?}"),
+        series: vec![
+            SpeedupSeries::linear(max_threads),
+            SpeedupSeries::from_fn("REC", max_threads, |t| {
+                phases_speedup(model, &rec_phases, total, t)
+            }),
+            SpeedupSeries::from_fn("PDM", max_threads, |t| {
+                phases_speedup(model, &pdm_phases, total, t)
+            }),
+        ],
+    };
+    let data = serde_json::to_value(&figure).unwrap();
+    ExperimentReport::new(
+        "fig3-ex4",
+        "Figure 3, Example 4: REC dataflow vs PDM speedups on the Cholesky kernel",
+        figure.to_table(),
+        data,
+    )
+}
+
+/// E-T1 — Theorem 1: measured longest chains against the bound.
+pub fn theorem1_table() -> ExperimentReport {
+    let mut rows = Vec::new();
+    let mut text = String::from("workload        size        alpha   longest chain   bound\n");
+    for (name, program, params, diag) in [
+        ("example1", example1(), vec![30i64, 40], ((30.0f64 * 30.0) + 40.0 * 40.0).sqrt()),
+        ("example1", example1(), vec![60, 80], ((60.0f64 * 60.0) + 80.0 * 80.0).sqrt()),
+        ("example2", example2(), vec![30], (2.0f64 * 30.0 * 30.0).sqrt()),
+        ("example2", example2(), vec![60], (2.0f64 * 60.0 * 60.0).sqrt()),
+    ] {
+        let analysis = DependenceAnalysis::loop_level(&program);
+        let plan = symbolic_plan(&analysis).unwrap();
+        let partition = concrete_partition(&analysis, &params);
+        let longest = match &partition {
+            ConcretePartition::RecurrenceChains { chains, .. } => longest_chain(chains),
+            _ => 0,
+        };
+        let bound = plan.recurrence.critical_path_bound(diag).unwrap();
+        text.push_str(&format!(
+            "{name:<15} {:<11} {:<7} {longest:<15} {bound}\n",
+            format!("{params:?}"),
+            plan.recurrence.alpha()
+        ));
+        rows.push(json!({
+            "workload": name, "params": params, "alpha": plan.recurrence.alpha().to_f64(),
+            "longest_chain": longest, "bound": bound, "holds": longest <= bound,
+        }));
+    }
+    ExperimentReport::new(
+        "theorem1",
+        "Theorem 1: measured critical paths never exceed ceil(log_alpha(L)) + 1",
+        text,
+        json!(rows),
+    )
+}
+
+/// E-S1 — the §1 motivating statistics on the synthetic corpus.
+pub fn corpus_table() -> ExperimentReport {
+    let mut text =
+        String::from("coupled-ref fraction   loops   dependent   non-uniform   uniform   non-uniform %\n");
+    let mut rows = Vec::new();
+    for coupled in [0.0, 0.25, 0.45, 0.75, 1.0] {
+        let stats = corpus_statistics(&CorpusConfig {
+            n_loops: 150,
+            coupled_fraction: coupled,
+            extent: 12,
+            seed: 2004,
+        });
+        text.push_str(&format!(
+            "{:>20.2}   {:>5}   {:>9}   {:>11}   {:>7}   {:>12.1}\n",
+            coupled,
+            stats.total_loops,
+            stats.dependent_loops,
+            stats.non_uniform_loops,
+            stats.uniform_loops,
+            stats.non_uniform_fraction() * 100.0
+        ));
+        rows.push(json!({
+            "coupled_fraction": coupled,
+            "non_uniform": stats.non_uniform_loops,
+            "uniform": stats.uniform_loops,
+            "dependent": stats.dependent_loops,
+            "total": stats.total_loops,
+        }));
+    }
+    text.push_str("(paper, §1: >46% of SPECfp95 loop nests contain non-uniform dependences; \
+                   the synthetic corpus substitutes for the benchmark sources)\n");
+    ExperimentReport::new("corpus", "§1 statistics on the synthetic loop corpus", text, json!(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_counts_match_the_paper() {
+        let report = fig1_dependences();
+        assert_eq!(report.data["total"], 18);
+        assert_eq!(report.data["per_distance"]["2"], 8);
+        assert_eq!(report.data["per_distance"]["4"], 6);
+        assert_eq!(report.data["per_distance"]["6"], 4);
+    }
+
+    #[test]
+    fn fig2_partition_matches_the_paper() {
+        let report = fig2_chains();
+        assert_eq!(report.data["p2"].as_array().unwrap().len(), 0);
+        assert_eq!(report.data["longest_chain"], 2);
+        assert_eq!(
+            report.data["p1"].as_array().unwrap().len(),
+            12,
+            "P1 = initial {{1..6}} plus independent {{7,12,14,16,18,20}}"
+        );
+    }
+
+    #[test]
+    fn ex2_reports_the_singleton_intermediate_set() {
+        let report = ex2_facts();
+        assert_eq!(report.data["intermediate_set"], json!([[2, 6]]));
+        assert_eq!(report.data["rec_phases"], 3);
+        assert!(report.data["unique_phases"].as_u64().unwrap() > 3);
+    }
+
+    #[test]
+    fn fig3_small_instances_have_the_right_shape() {
+        // Small parameters keep the test fast; the shape assertions mirror
+        // the full-size claims checked in EXPERIMENTS.md.
+        let model = CostModel::default();
+        let ex1 = fig3_ex1(&model, 30, 40, 4);
+        let fig: SpeedupFigure = serde_json::from_value(ex1.data.clone()).unwrap();
+        let get = |name: &str| fig.series.iter().find(|s| s.scheme == name).unwrap().clone();
+        assert!(get("REC").at(4) > get("PL").at(4), "REC must beat PL on example 1");
+        // REC and PDM are close on example 1 (the paper's extra REC margin
+        // comes from subscript simplification in the generated Fortran,
+        // which the cost model deliberately does not include); at small
+        // sizes PDM's single barrier gives it a few percent.
+        assert!(get("REC").at(4) >= get("PDM").at(4) * 0.8, "REC must not trail PDM by much");
+
+        let ex2 = fig3_ex2(&model, 30, 4);
+        let fig: SpeedupFigure = serde_json::from_value(ex2.data.clone()).unwrap();
+        let get = |name: &str| fig.series.iter().find(|s| s.scheme == name).unwrap().clone();
+        assert!(get("REC").at(4) >= get("UNIQUE").at(4), "REC must beat UNIQUE on example 2");
+
+        let ex3 = fig3_ex3(&model, 40, 4);
+        let fig: SpeedupFigure = serde_json::from_value(ex3.data.clone()).unwrap();
+        let get = |name: &str| fig.series.iter().find(|s| s.scheme == name).unwrap().clone();
+        assert!(get("REC").at(4) >= get("PAR").at(4), "REC must beat inner-loop PAR on example 3");
+        assert!(get("REC").at(4) >= get("DOACROSS").at(4), "REC must beat DOACROSS on example 3");
+    }
+
+    #[test]
+    fn ex4_small_dataflow_report() {
+        let report = ex4_dataflow(CholeskyParams { nmat: 2, m: 2, n: 6, nrhs: 1 });
+        let steps = report.data["steps"].as_u64().unwrap();
+        assert!(steps > 5);
+        assert!(steps < report.data["instances"].as_u64().unwrap());
+    }
+
+    #[test]
+    fn theorem1_table_always_holds() {
+        let report = theorem1_table();
+        for row in report.data.as_array().unwrap() {
+            assert_eq!(row["holds"], true);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Benchmark harness: regenerates every figure and table of the paper's
+//! evaluation.
+//!
+//! * [`experiments`] — one function per figure/table (see the
+//!   per-experiment index in DESIGN.md); each returns an
+//!   [`experiments::ExperimentReport`] with a text table and JSON payload.
+//! * [`speedup`] — speedup-series helpers and the analytic phase-shape
+//!   model used for workloads too large to materialise point-by-point.
+//! * the `paper_results` binary drives everything and is what EXPERIMENTS.md
+//!   records; `cargo bench` runs the Criterion micro-benchmarks measuring
+//!   the cost of the analyses and partitioning algorithms themselves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod speedup;
+
+pub use experiments::{calibrated_model, ExperimentReport};
+pub use speedup::{phases_speedup, phases_time_ns, PhaseShape, SpeedupFigure, SpeedupSeries};

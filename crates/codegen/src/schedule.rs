@@ -1,0 +1,379 @@
+//! Executable schedules: the parallel structure handed to the runtime.
+//!
+//! Code generation in the original system emits OpenMP Fortran.  Here the
+//! same parallel structure — a sequence of barrier-separated phases, each
+//! either a DOALL set or a set of independent WHILE chains — is captured as
+//! a [`Schedule`] over *work items* (statement instances), which the
+//! `rcp-runtime` crate executes on a thread pool and the cost model turns
+//! into the speedup curves of Figure 3.
+
+use rcp_core::ConcretePartition;
+use rcp_depend::{DependenceAnalysis, Granularity};
+use rcp_intlin::IVec;
+use rcp_loopir::Program;
+use rcp_presburger::DenseSet;
+
+/// One unit of scheduled work: a list of statement instances executed
+/// sequentially (normally the statements of one loop-body iteration, or a
+/// single statement instance at statement-level granularity).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkItem {
+    /// `(statement id, loop index values)` pairs in execution order.
+    pub instances: Vec<(usize, IVec)>,
+}
+
+impl WorkItem {
+    /// A work item with a single statement instance.
+    pub fn single(stmt_id: usize, indices: IVec) -> Self {
+        WorkItem { instances: vec![(stmt_id, indices)] }
+    }
+
+    /// Number of statement instances in the item.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True when the item contains no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+}
+
+/// A barrier-separated phase of a schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Fully parallel set: items may execute concurrently in any order.
+    Doall(Vec<WorkItem>),
+    /// A set of independent chains: chains may execute concurrently, the
+    /// items of one chain execute sequentially in order (the WHILE loops of
+    /// the intermediate set).
+    ChainSet(Vec<Vec<WorkItem>>),
+}
+
+impl Phase {
+    /// Total number of work items in the phase.
+    pub fn n_items(&self) -> usize {
+        match self {
+            Phase::Doall(items) => items.len(),
+            Phase::ChainSet(chains) => chains.iter().map(|c| c.len()).sum(),
+        }
+    }
+
+    /// The number of independently schedulable units (items or chains).
+    pub fn width(&self) -> usize {
+        match self {
+            Phase::Doall(items) => items.len(),
+            Phase::ChainSet(chains) => chains.len(),
+        }
+    }
+
+    /// The longest sequential run inside the phase, in work items.
+    pub fn depth(&self) -> usize {
+        match self {
+            Phase::Doall(items) => usize::from(!items.is_empty()),
+            Phase::ChainSet(chains) => chains.iter().map(|c| c.len()).max().unwrap_or(0),
+        }
+    }
+}
+
+/// A parallel execution schedule: phases executed in order with a barrier
+/// after each phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Schedule name (scheme + workload, used in reports).
+    pub name: String,
+    /// The barrier-separated phases.
+    pub phases: Vec<Phase>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new(name: &str) -> Self {
+        Schedule { name: name.to_string(), phases: Vec::new() }
+    }
+
+    /// The fully sequential schedule of a program at concrete parameter
+    /// values: every statement instance in lexicographic (program) order as
+    /// one chain.
+    pub fn sequential(program: &Program, params: &[i64]) -> Schedule {
+        let phi = program.unified_iteration_space().bind_params(params);
+        let mut items = Vec::new();
+        for point in phi.enumerate() {
+            let (stmt, indices) =
+                program.decode_instance(&point).expect("phi point decodes to an instance");
+            items.push(WorkItem::single(stmt, indices));
+        }
+        Schedule {
+            name: format!("{}-sequential", program.name),
+            phases: vec![Phase::ChainSet(vec![items])],
+        }
+    }
+
+    /// Builds the schedule of a concrete Algorithm-1 partition.
+    ///
+    /// At loop-level granularity each partition point is one loop-body
+    /// iteration and expands to all statements of the (perfect) nest; at
+    /// statement-level granularity each point is a single statement
+    /// instance.
+    pub fn from_partition(
+        analysis: &DependenceAnalysis,
+        partition: &ConcretePartition,
+        name: &str,
+    ) -> Schedule {
+        let to_item = |point: &IVec| point_to_item(analysis, point);
+        let mut phases = Vec::new();
+        match partition {
+            ConcretePartition::RecurrenceChains { p1, chains, p3, .. } => {
+                if !p1.is_empty() {
+                    phases.push(Phase::Doall(p1.iter().map(to_item).collect()));
+                }
+                if !chains.is_empty() {
+                    phases.push(Phase::ChainSet(
+                        chains
+                            .iter()
+                            .map(|c| c.iterations.iter().map(to_item).collect())
+                            .collect(),
+                    ));
+                }
+                if !p3.is_empty() {
+                    phases.push(Phase::Doall(p3.iter().map(to_item).collect()));
+                }
+            }
+            ConcretePartition::Dataflow { stages } => {
+                for stage in &stages.stages {
+                    if !stage.is_empty() {
+                        phases.push(Phase::Doall(stage.iter().map(to_item).collect()));
+                    }
+                }
+            }
+        }
+        Schedule { name: name.to_string(), phases }
+    }
+
+    /// Builds a one-phase DOALL schedule from a dense set of points (used by
+    /// baseline schemes).
+    pub fn doall_phase(analysis: &DependenceAnalysis, points: &DenseSet, name: &str) -> Schedule {
+        Schedule {
+            name: name.to_string(),
+            phases: vec![Phase::Doall(points.iter().map(|p| point_to_item(analysis, p)).collect())],
+        }
+    }
+
+    /// Total number of work items.
+    pub fn n_items(&self) -> usize {
+        self.phases.iter().map(|p| p.n_items()).sum()
+    }
+
+    /// Total number of statement instances.
+    pub fn n_instances(&self) -> usize {
+        self.phases
+            .iter()
+            .map(|p| match p {
+                Phase::Doall(items) => items.iter().map(|i| i.len()).sum::<usize>(),
+                Phase::ChainSet(chains) => {
+                    chains.iter().flat_map(|c| c.iter()).map(|i| i.len()).sum::<usize>()
+                }
+            })
+            .sum()
+    }
+
+    /// Number of barrier-separated phases.
+    pub fn n_phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// The critical path in work items: the sum over phases of the longest
+    /// sequential run inside each phase.
+    pub fn critical_path(&self) -> usize {
+        self.phases.iter().map(|p| p.depth()).sum()
+    }
+
+    /// Checks that this schedule executes exactly the same statement
+    /// instances as the sequential schedule of the program (each exactly
+    /// once).  Returns violated invariants.
+    pub fn validate_coverage(&self, program: &Program, params: &[i64]) -> Vec<String> {
+        use std::collections::BTreeMap;
+        let mut expected: BTreeMap<(usize, IVec), usize> = BTreeMap::new();
+        for item in self.all_items() {
+            for inst in &item.instances {
+                *expected.entry(inst.clone()).or_insert(0) += 1;
+            }
+        }
+        let mut problems = Vec::new();
+        let seq = Schedule::sequential(program, params);
+        let mut reference: BTreeMap<(usize, IVec), usize> = BTreeMap::new();
+        for item in seq.all_items() {
+            for inst in &item.instances {
+                *reference.entry(inst.clone()).or_insert(0) += 1;
+            }
+        }
+        for (inst, &count) in &expected {
+            match reference.get(inst) {
+                None => problems.push(format!("instance {:?} is not part of the program", inst)),
+                Some(&c) if c != count => problems.push(format!(
+                    "instance {:?} scheduled {count} times, expected {c}",
+                    inst
+                )),
+                _ => {}
+            }
+        }
+        for inst in reference.keys() {
+            if !expected.contains_key(inst) {
+                problems.push(format!("instance {:?} is never scheduled", inst));
+            }
+        }
+        problems
+    }
+
+    /// Iterates all work items of all phases.
+    pub fn all_items(&self) -> impl Iterator<Item = &WorkItem> {
+        self.phases.iter().flat_map(|p| match p {
+            Phase::Doall(items) => items.iter().collect::<Vec<_>>().into_iter(),
+            Phase::ChainSet(chains) => {
+                chains.iter().flat_map(|c| c.iter()).collect::<Vec<_>>().into_iter()
+            }
+        })
+    }
+}
+
+/// Expands one partition point into a work item according to the analysis
+/// granularity.
+fn point_to_item(analysis: &DependenceAnalysis, point: &IVec) -> WorkItem {
+    match analysis.granularity {
+        Granularity::LoopLevel => {
+            // A loop-level point is an iteration of the perfect nest: all
+            // statements of the nest execute at these indices, in order.
+            let instances = analysis
+                .program
+                .statements()
+                .iter()
+                .map(|info| (info.id, point.clone()))
+                .collect();
+            WorkItem { instances }
+        }
+        Granularity::StatementLevel => {
+            let (stmt, indices) = analysis
+                .program
+                .decode_instance(point)
+                .expect("partition point decodes to a statement instance");
+            WorkItem::single(stmt, indices)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcp_core::concrete_partition;
+    use rcp_loopir::expr::{c, v};
+    use rcp_loopir::program::build::{loop_, stmt};
+    use rcp_loopir::ArrayRef;
+
+    fn figure2() -> Program {
+        Program::new(
+            "figure2",
+            &[],
+            vec![loop_(
+                "I",
+                c(1),
+                c(20),
+                vec![stmt(
+                    "S",
+                    vec![
+                        ArrayRef::write("a", vec![v("I") * 2]),
+                        ArrayRef::read("a", vec![c(21) - v("I")]),
+                    ],
+                )],
+            )],
+        )
+    }
+
+    #[test]
+    fn sequential_schedule_covers_program_in_order() {
+        let p = figure2();
+        let seq = Schedule::sequential(&p, &[]);
+        assert_eq!(seq.n_items(), 20);
+        assert_eq!(seq.n_phases(), 1);
+        assert_eq!(seq.critical_path(), 20);
+        // items appear in increasing loop order
+        let indices: Vec<i64> = seq.all_items().map(|w| w.instances[0].1[0]).collect();
+        assert_eq!(indices, (1..=20).collect::<Vec<_>>());
+        assert!(seq.validate_coverage(&p, &[]).is_empty());
+    }
+
+    #[test]
+    fn partition_schedule_for_figure2() {
+        let p = figure2();
+        let analysis = DependenceAnalysis::loop_level(&p);
+        let part = concrete_partition(&analysis, &[]);
+        let sched = Schedule::from_partition(&analysis, &part, "figure2-rec");
+        // Empty intermediate set: two DOALL phases.
+        assert_eq!(sched.n_phases(), 2);
+        assert_eq!(sched.n_items(), 20);
+        assert_eq!(sched.critical_path(), 2);
+        assert!(sched.validate_coverage(&p, &[]).is_empty());
+        match &sched.phases[0] {
+            Phase::Doall(items) => assert_eq!(items.len(), 12),
+            _ => panic!("expected a DOALL phase"),
+        }
+    }
+
+    #[test]
+    fn example1_schedule_structure() {
+        let p = Program::new(
+            "example1",
+            &["N1", "N2"],
+            vec![loop_(
+                "I1",
+                c(1),
+                v("N1"),
+                vec![loop_(
+                    "I2",
+                    c(1),
+                    v("N2"),
+                    vec![stmt(
+                        "S",
+                        vec![
+                            ArrayRef::write(
+                                "a",
+                                vec![v("I1") * 3 + c(1), v("I1") * 2 + v("I2") - c(1)],
+                            ),
+                            ArrayRef::read("a", vec![v("I1") + c(3), v("I2") + c(1)]),
+                        ],
+                    )],
+                )],
+            )],
+        );
+        let analysis = DependenceAnalysis::loop_level(&p);
+        let part = concrete_partition(&analysis, &[30, 40]);
+        let sched = Schedule::from_partition(&analysis, &part, "example1-rec");
+        assert_eq!(sched.n_items(), 30 * 40);
+        assert!(sched.validate_coverage(&p, &[30, 40]).is_empty());
+        assert_eq!(sched.n_phases(), 3);
+        // phase 2 is the chain set and is deeper than one item
+        assert!(matches!(sched.phases[1], Phase::ChainSet(_)));
+        assert!(sched.phases[1].depth() >= 2);
+        // critical path well below the sequential length
+        assert!(sched.critical_path() < 100);
+    }
+
+    #[test]
+    fn coverage_validation_detects_missing_and_duplicate_items() {
+        let p = figure2();
+        let analysis = DependenceAnalysis::loop_level(&p);
+        let part = concrete_partition(&analysis, &[]);
+        let mut sched = Schedule::from_partition(&analysis, &part, "broken");
+        // remove one item
+        if let Phase::Doall(items) = &mut sched.phases[0] {
+            items.pop();
+        }
+        assert!(!sched.validate_coverage(&p, &[]).is_empty());
+        // duplicate an item
+        let mut sched = Schedule::from_partition(&analysis, &part, "broken2");
+        if let Phase::Doall(items) = &mut sched.phases[0] {
+            let dup = items[0].clone();
+            items.push(dup);
+        }
+        assert!(!sched.validate_coverage(&p, &[]).is_empty());
+    }
+}

@@ -1,0 +1,406 @@
+//! Algorithm 1: the recurrence partitioning scheme.
+//!
+//! Given a dependence analysis, the driver selects between the two branches
+//! of the paper's Algorithm 1:
+//!
+//! * **then-branch** — a single pair of coupled references with full-rank
+//!   coefficient matrices: three-set partitioning plus WHILE recurrence
+//!   chains in the intermediate set (works even with symbolic loop bounds);
+//! * **else-branch** — multiple coupled subscripts but compile-time-known
+//!   bounds: successive dataflow partitioning into fully parallel stages.
+//!
+//! The symbolic plan captures what the compiler can emit without knowing the
+//! loop bounds; the concrete partition additionally enumerates the stages /
+//! chains once parameters are bound, which is what the runtime executes and
+//! what the benchmarks measure.
+
+use crate::chains::{chains_in_intermediate, longest_chain, Chain};
+use crate::dataflow::{dataflow_partition, DataflowPartition};
+use crate::recurrence::Recurrence;
+use crate::three_set::{DenseThreeSet, ThreeSetPartition};
+use rcp_depend::DependenceAnalysis;
+use rcp_presburger::{DenseRelation, DenseSet};
+
+/// The branch of Algorithm 1 chosen for a program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// Single coupled pair, full-rank matrices: three sets + WHILE chains.
+    RecurrenceChains,
+    /// Multiple coupled pairs with known bounds: successive dataflow
+    /// partitioning.
+    Dataflow,
+}
+
+/// The compile-time (symbolic) plan of the then-branch.
+#[derive(Clone, Debug)]
+pub struct SymbolicPlan {
+    /// The symbolic three-set partition (`P1`, `P2`, `P3`, `W`).
+    pub partition: ThreeSetPartition,
+    /// The recurrence `T`, `u` driving the WHILE chains.
+    pub recurrence: Recurrence,
+}
+
+/// A concrete (parameter-bound) partition of the iteration space, ready for
+/// scheduling and execution.
+#[derive(Clone, Debug)]
+pub enum ConcretePartition {
+    /// Result of the then-branch.
+    RecurrenceChains {
+        /// Fully parallel first set (independent + initial iterations).
+        p1: DenseSet,
+        /// The WHILE chains covering the intermediate set; each chain is
+        /// sequential, different chains are independent.
+        chains: Vec<Chain>,
+        /// Fully parallel final set.
+        p3: DenseSet,
+        /// The dense three-set partition backing the plan.
+        three_set: DenseThreeSet,
+    },
+    /// Result of the else-branch.
+    Dataflow {
+        /// Fully parallel stages in execution order.
+        stages: DataflowPartition,
+    },
+}
+
+/// Summary statistics of a concrete partition, used by the speedup model
+/// and the experiment tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Number of barrier-separated phases.
+    pub n_phases: usize,
+    /// Length of the critical path in iterations (the sequential lower
+    /// bound on parallel execution time, in iteration units).
+    pub critical_path: usize,
+    /// The widest phase (upper bound on exploitable parallelism).
+    pub max_width: usize,
+    /// Total number of iterations scheduled.
+    pub total_iterations: usize,
+}
+
+impl ConcretePartition {
+    /// Statistics of the plan.
+    pub fn stats(&self) -> PlanStats {
+        match self {
+            ConcretePartition::RecurrenceChains { p1, chains, p3, .. } => {
+                let longest = longest_chain(chains);
+                let chain_iters: usize = chains.iter().map(|c| c.len()).sum();
+                let mut n_phases = 0;
+                let mut critical = 0;
+                if !p1.is_empty() {
+                    n_phases += 1;
+                    critical += 1;
+                }
+                if !chains.is_empty() {
+                    n_phases += 1;
+                    critical += longest;
+                }
+                if !p3.is_empty() {
+                    n_phases += 1;
+                    critical += 1;
+                }
+                PlanStats {
+                    n_phases,
+                    critical_path: critical,
+                    max_width: p1.len().max(p3.len()).max(chains.len()),
+                    total_iterations: p1.len() + chain_iters + p3.len(),
+                }
+            }
+            ConcretePartition::Dataflow { stages } => PlanStats {
+                n_phases: stages.n_stages(),
+                critical_path: stages.n_stages(),
+                max_width: stages.max_stage_size(),
+                total_iterations: stages.total_iterations(),
+            },
+        }
+    }
+
+    /// The strategy that produced this partition.
+    pub fn strategy(&self) -> Strategy {
+        match self {
+            ConcretePartition::RecurrenceChains { .. } => Strategy::RecurrenceChains,
+            ConcretePartition::Dataflow { .. } => Strategy::Dataflow,
+        }
+    }
+
+    /// Validates that the partition is a correct parallel execution order
+    /// for the given concrete iteration space and dependence relation:
+    /// every iteration is scheduled exactly once and every dependence is
+    /// respected by the phase/chain ordering.  Returns violated invariants.
+    pub fn validate(&self, phi: &DenseSet, rd: &DenseRelation) -> Vec<String> {
+        match self {
+            ConcretePartition::RecurrenceChains { p1, chains, p3, three_set } => {
+                let mut problems = three_set.validate(phi, rd);
+                problems.extend(crate::chains::validate_chain_cover(chains, &three_set.p2));
+                for c in chains {
+                    if !c.is_monotonic(rd) {
+                        problems.push(format!("chain {:?} is not monotonic", c.iterations));
+                    }
+                }
+                // Dependences between different chains are not allowed
+                // (Lemma 1 guarantees disjoint chains).
+                let mut owner: std::collections::HashMap<&rcp_intlin::IVec, usize> =
+                    std::collections::HashMap::new();
+                for (k, c) in chains.iter().enumerate() {
+                    for it in &c.iterations {
+                        owner.insert(it, k);
+                    }
+                }
+                for (src, dst) in rd.iter() {
+                    if let (Some(a), Some(b)) = (owner.get(src), owner.get(dst)) {
+                        if a != b {
+                            problems.push(format!(
+                                "dependence {:?} -> {:?} crosses chains {a} and {b}",
+                                src, dst
+                            ));
+                        }
+                    }
+                }
+                if p1 != &three_set.p1 || p3 != &three_set.p3 {
+                    problems.push("plan sets diverge from the three-set partition".to_string());
+                }
+                problems
+            }
+            ConcretePartition::Dataflow { stages } => stages.validate(phi, rd),
+        }
+    }
+}
+
+/// Builds the symbolic (compile-time) plan when the then-branch of
+/// Algorithm 1 applies, i.e. the program has a single coupled reference
+/// pair with full-rank matrices.
+pub fn symbolic_plan(analysis: &DependenceAnalysis) -> Option<SymbolicPlan> {
+    let pair = analysis.single_coupled_pair()?;
+    let recurrence = Recurrence::from_pair(&pair)?;
+    let partition = ThreeSetPartition::compute(&analysis.phi, &analysis.relation);
+    Some(SymbolicPlan { partition, recurrence })
+}
+
+/// Runs Algorithm 1 for concrete parameter values, choosing the
+/// recurrence-chain branch when possible and falling back to dataflow
+/// partitioning otherwise.
+pub fn concrete_partition(analysis: &DependenceAnalysis, params: &[i64]) -> ConcretePartition {
+    let (phi, rel) = analysis.bind_params(params);
+    let phi_d = DenseSet::from_union(&phi);
+    let rd = DenseRelation::from_relation(&rel);
+    concrete_partition_from_dense(analysis, &phi_d, &rd)
+}
+
+/// Same as [`concrete_partition`] but starting from already-enumerated
+/// sets (used by the benchmarks to avoid re-enumerating large spaces).
+pub fn concrete_partition_from_dense(
+    analysis: &DependenceAnalysis,
+    phi: &DenseSet,
+    rd: &DenseRelation,
+) -> ConcretePartition {
+    let use_chains = analysis
+        .single_coupled_pair()
+        .and_then(|p| Recurrence::from_pair(&p))
+        .is_some();
+    if use_chains {
+        let three_set = DenseThreeSet::compute(phi, rd);
+        let chains = chains_in_intermediate(&three_set, rd);
+        ConcretePartition::RecurrenceChains {
+            p1: three_set.p1.clone(),
+            chains,
+            p3: three_set.p3.clone(),
+            three_set,
+        }
+    } else {
+        ConcretePartition::Dataflow { stages: dataflow_partition(phi, rd) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcp_loopir::expr::{c, v};
+    use rcp_loopir::program::build::{loop_, stmt};
+    use rcp_loopir::{ArrayRef, Program};
+
+    fn example1() -> Program {
+        Program::new(
+            "example1",
+            &["N1", "N2"],
+            vec![loop_(
+                "I1",
+                c(1),
+                v("N1"),
+                vec![loop_(
+                    "I2",
+                    c(1),
+                    v("N2"),
+                    vec![stmt(
+                        "S",
+                        vec![
+                            ArrayRef::write(
+                                "a",
+                                vec![v("I1") * 3 + c(1), v("I1") * 2 + v("I2") - c(1)],
+                            ),
+                            ArrayRef::read("a", vec![v("I1") + c(3), v("I2") + c(1)]),
+                        ],
+                    )],
+                )],
+            )],
+        )
+    }
+
+    /// Example 2 of the paper (Ju & Chaudhary's loop).
+    fn example2() -> Program {
+        Program::new(
+            "example2",
+            &["N"],
+            vec![loop_(
+                "I",
+                c(1),
+                v("N"),
+                vec![loop_(
+                    "J",
+                    c(1),
+                    v("N"),
+                    vec![stmt(
+                        "S",
+                        vec![
+                            ArrayRef::write("a", vec![v("I") * 2 + c(3), v("J") + c(1)]),
+                            ArrayRef::read("a", vec![v("I") + v("J") * 2 + c(1), v("I") + v("J") + c(3)]),
+                        ],
+                    )],
+                )],
+            )],
+        )
+    }
+
+    #[test]
+    fn example1_uses_recurrence_chains() {
+        let analysis = rcp_depend::DependenceAnalysis::loop_level(&example1());
+        assert!(symbolic_plan(&analysis).is_some());
+        let part = concrete_partition(&analysis, &[10, 10]);
+        assert_eq!(part.strategy(), Strategy::RecurrenceChains);
+        let (phi, rel) = analysis.bind_params(&[10, 10]);
+        let phi_d = DenseSet::from_union(&phi);
+        let rd = DenseRelation::from_relation(&rel);
+        assert!(part.validate(&phi_d, &rd).is_empty());
+        let stats = part.stats();
+        assert_eq!(stats.total_iterations, 100);
+        assert!(stats.n_phases <= 3);
+        // Theorem 1: the critical path never exceeds the bound.
+        let plan = symbolic_plan(&analysis).unwrap();
+        let l = ((10.0f64 * 10.0 + 10.0 * 10.0) as f64).sqrt();
+        if let ConcretePartition::RecurrenceChains { chains, .. } = &part {
+            let bound = plan.recurrence.critical_path_bound(l).unwrap();
+            assert!(longest_chain(chains) <= bound);
+        }
+    }
+
+    #[test]
+    fn example2_intermediate_set_is_single_iteration_at_n12() {
+        // Paper, Example 2: "For this N=12 case, there is only a single
+        // iteration in the intermediate set, particularly iteration (2, 6)."
+        let analysis = rcp_depend::DependenceAnalysis::loop_level(&example2());
+        let pair = analysis.single_coupled_pair().expect("example 2 has one coupled pair");
+        assert_eq!(pair.write.matrix.det(), 2);
+        assert_eq!(pair.read.matrix.det().abs(), 1);
+        let part = concrete_partition(&analysis, &[12]);
+        assert_eq!(part.strategy(), Strategy::RecurrenceChains);
+        match &part {
+            ConcretePartition::RecurrenceChains { three_set, chains, .. } => {
+                assert_eq!(three_set.p2.to_vec(), vec![vec![2, 6]]);
+                assert_eq!(chains.len(), 1);
+                assert_eq!(chains[0].iterations, vec![vec![2, 6]]);
+                // REC obtains 3 fully parallel partitions in sequence.
+                assert_eq!(part.stats().n_phases, 3);
+            }
+            _ => panic!("expected recurrence chains"),
+        }
+        let (phi, rel) = analysis.bind_params(&[12]);
+        assert!(part
+            .validate(&DenseSet::from_union(&phi), &DenseRelation::from_relation(&rel))
+            .is_empty());
+    }
+
+    #[test]
+    fn example2_theorem1_bound_scaling() {
+        // Paper: with a = |det T| = 2 the longest critical path has at most
+        // ceil(log2(n)) + 0.5 iterations; check the chain lengths stay under
+        // the Theorem-1 bound for a couple of sizes.
+        let analysis = rcp_depend::DependenceAnalysis::loop_level(&example2());
+        let plan = symbolic_plan(&analysis).unwrap();
+        assert_eq!(plan.recurrence.alpha(), rcp_intlin::Rational::from_int(2));
+        for n in [8i64, 12, 20, 30] {
+            let part = concrete_partition(&analysis, &[n]);
+            if let ConcretePartition::RecurrenceChains { chains, .. } = &part {
+                let l = ((2 * n * n) as f64).sqrt();
+                let bound = plan.recurrence.critical_path_bound(l).unwrap();
+                assert!(
+                    longest_chain(chains) <= bound,
+                    "chain length {} exceeds Theorem-1 bound {} at N={}",
+                    longest_chain(chains),
+                    bound,
+                    n
+                );
+            } else {
+                panic!("expected recurrence chains");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_pair_program_falls_back_to_dataflow() {
+        // Two coupled reference pairs: the then-branch no longer applies.
+        let p = Program::new(
+            "multi",
+            &["N"],
+            vec![loop_(
+                "I",
+                c(1),
+                v("N"),
+                vec![loop_(
+                    "J",
+                    c(1),
+                    v("N"),
+                    vec![stmt(
+                        "S",
+                        vec![
+                            ArrayRef::write("a", vec![v("I") + v("J"), v("J")]),
+                            ArrayRef::read("a", vec![v("I"), v("J")]),
+                            ArrayRef::read("a", vec![v("J"), v("I")]),
+                        ],
+                    )],
+                )],
+            )],
+        );
+        let analysis = rcp_depend::DependenceAnalysis::loop_level(&p);
+        assert!(analysis.single_coupled_pair().is_none());
+        assert!(symbolic_plan(&analysis).is_none());
+        let part = concrete_partition(&analysis, &[6]);
+        assert_eq!(part.strategy(), Strategy::Dataflow);
+        let (phi, rel) = analysis.bind_params(&[6]);
+        assert!(part
+            .validate(&DenseSet::from_union(&phi), &DenseRelation::from_relation(&rel))
+            .is_empty());
+        assert_eq!(part.stats().total_iterations, 36);
+    }
+
+    #[test]
+    fn independent_loop_is_one_parallel_phase() {
+        let p = Program::new(
+            "indep",
+            &["N"],
+            vec![loop_(
+                "I",
+                c(1),
+                v("N"),
+                vec![stmt(
+                    "S",
+                    vec![ArrayRef::write("a", vec![v("I")]), ArrayRef::read("b", vec![v("I")])],
+                )],
+            )],
+        );
+        let analysis = rcp_depend::DependenceAnalysis::loop_level(&p);
+        let part = concrete_partition(&analysis, &[16]);
+        let stats = part.stats();
+        assert_eq!(stats.total_iterations, 16);
+        assert_eq!(stats.critical_path, 1);
+        assert_eq!(stats.max_width, 16);
+    }
+}

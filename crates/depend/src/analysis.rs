@@ -1,0 +1,555 @@
+//! Construction of the exact dependence relation `Rd`.
+//!
+//! For every pair of references to the same array (at least one of them a
+//! write), the dependence equation `i·A + a = j·B + b` (eq. 2) is combined
+//! with the iteration-space membership of both end points and with the
+//! lexicographic order `src ≺ dst` to form the relation of eq. 4 (loop
+//! level) / eq. 7 (statement level):
+//!
+//! ```text
+//! Rd = ⋃ { src → dst | subscripts equal ∧ src ≺ dst ∧ src, dst ∈ Φ }
+//! ```
+//!
+//! `Rd` always points forward in execution order, so `dom Rd` are iterations
+//! with a successor and `ran Rd` are iterations with a predecessor — exactly
+//! the sets the three-set partitioning of §3.1 operates on.
+
+use rcp_intlin::IMat;
+use rcp_loopir::{AccessMap, Program, StatementInfo};
+use rcp_presburger::{Constraint, ConvexSet, Relation, Space, UnionSet};
+
+/// The granularity at which dependences are computed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Granularity {
+    /// One point per iteration of a perfect loop nest (§2).
+    LoopLevel,
+    /// One point per statement instance in the unified index space (§3.3).
+    StatementLevel,
+}
+
+/// A pair of array references that can induce dependences.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RefPair {
+    /// Statement id of the first reference.
+    pub src_stmt: usize,
+    /// Reference index within the first statement.
+    pub src_ref: usize,
+    /// Statement id of the second reference.
+    pub dst_stmt: usize,
+    /// Reference index within the second statement.
+    pub dst_ref: usize,
+    /// The shared array.
+    pub array: String,
+    /// True when the two references have identical access functions
+    /// (`A = B`, `a = b`), i.e. the dependence is a pure translation.
+    pub identical_access: bool,
+}
+
+/// The coupled reference pair used by the recurrence-chain construction
+/// when the loop has a *single* pair of coupled subscripts with full-rank
+/// coefficient matrices (Lemma 1 / Algorithm 1's then-branch).
+#[derive(Clone, Debug)]
+pub struct CoupledPair {
+    /// Access map of the write reference (`A`, `a`).
+    pub write: AccessMap,
+    /// Access map of the read reference (`B`, `b`).
+    pub read: AccessMap,
+}
+
+impl CoupledPair {
+    /// True when both coefficient matrices are square and full rank, the
+    /// precondition of Lemma 1.
+    pub fn full_rank(&self) -> bool {
+        self.write.matrix.is_full_rank() && self.read.matrix.is_full_rank()
+    }
+}
+
+/// The result of dependence analysis on a program.
+#[derive(Clone, Debug)]
+pub struct DependenceAnalysis {
+    /// The analysed program.
+    pub program: Program,
+    /// Loop-level or statement-level.
+    pub granularity: Granularity,
+    /// Dimension of the iteration (or unified) vectors.
+    pub dim: usize,
+    /// The single-copy space (iteration or unified statement space).
+    pub space: Space,
+    /// The pair space `[src..., dst..., params...]`.
+    pub pair_space: Space,
+    /// The iteration space `Φ` as a union of convex sets.
+    pub phi: UnionSet,
+    /// The exact forward dependence relation `Rd` (src ≺ dst).
+    pub relation: Relation,
+    /// The reference pairs that contributed to `Rd`.
+    pub pairs: Vec<RefPair>,
+}
+
+impl DependenceAnalysis {
+    /// Runs the analysis at the requested granularity.
+    ///
+    /// # Panics
+    /// Panics when `LoopLevel` is requested for a program that is not a
+    /// perfect loop nest.
+    pub fn analyze(program: &Program, granularity: Granularity) -> DependenceAnalysis {
+        match granularity {
+            Granularity::LoopLevel => analyze_loop_level(program),
+            Granularity::StatementLevel => analyze_statement_level(program),
+        }
+    }
+
+    /// Convenience constructor for the common loop-level case.
+    pub fn loop_level(program: &Program) -> DependenceAnalysis {
+        Self::analyze(program, Granularity::LoopLevel)
+    }
+
+    /// Convenience constructor for the statement-level case.
+    pub fn statement_level(program: &Program) -> DependenceAnalysis {
+        Self::analyze(program, Granularity::StatementLevel)
+    }
+
+    /// When the program has exactly one pair of coupled references
+    /// `X(I·A + a) = X(I·B + b)` (one write, one read, same array, square
+    /// access matrices), returns it — the precondition for recurrence-chain
+    /// partitioning of the intermediate set (Algorithm 1's then-branch).
+    ///
+    /// Only meaningful at loop level, where the access matrices are square
+    /// exactly when the array rank equals the nest depth.
+    pub fn single_coupled_pair(&self) -> Option<CoupledPair> {
+        if self.granularity != Granularity::LoopLevel {
+            return None;
+        }
+        let stmts = self.program.statements();
+        let mut found: Option<CoupledPair> = None;
+        let mut n_pairs = 0;
+        for info in &stmts {
+            let writes: Vec<&rcp_loopir::ArrayRef> = info.stmt.writes().collect();
+            let reads: Vec<&rcp_loopir::ArrayRef> = info.stmt.reads().collect();
+            for w in &writes {
+                for r in &reads {
+                    if w.array != r.array {
+                        continue;
+                    }
+                    n_pairs += 1;
+                    let wa = self.program.loop_access(info, w);
+                    let ra = self.program.loop_access(info, r);
+                    if wa.matrix.is_square() && ra.matrix.is_square() {
+                        found = Some(CoupledPair { write: wa, read: ra });
+                    }
+                }
+            }
+        }
+        if n_pairs == 1 {
+            found.filter(|p| p.full_rank())
+        } else {
+            None
+        }
+    }
+
+    /// The dependence relation with parameters bound to concrete values.
+    pub fn bind_params(&self, values: &[i64]) -> (UnionSet, Relation) {
+        (self.phi.bind_params(values), self.relation.bind_params(values))
+    }
+}
+
+fn reference_pairs(program: &Program) -> Vec<RefPair> {
+    let stmts = program.statements();
+    let mut pairs = Vec::new();
+    // Ordered enumeration of (stmt, ref) positions; consider each unordered
+    // pair once (including a reference with itself when it is a write).
+    let mut all: Vec<(usize, usize, bool, &str)> = Vec::new();
+    for info in &stmts {
+        for (ri, r) in info.stmt.refs.iter().enumerate() {
+            all.push((info.id, ri, r.is_write(), &r.array));
+        }
+    }
+    for x in 0..all.len() {
+        for y in x..all.len() {
+            let (s1, r1, w1, a1) = all[x];
+            let (s2, r2, w2, a2) = all[y];
+            if a1 != a2 || !(w1 || w2) {
+                continue;
+            }
+            let info1 = &stmts[s1];
+            let info2 = &stmts[s2];
+            let ref1 = &info1.stmt.refs[r1];
+            let ref2 = &info2.stmt.refs[r2];
+            let identical_access = s1 == s2 && ref1.subscripts == ref2.subscripts;
+            pairs.push(RefPair {
+                src_stmt: s1,
+                src_ref: r1,
+                dst_stmt: s2,
+                dst_ref: r2,
+                array: a1.to_string(),
+                identical_access,
+            });
+        }
+    }
+    pairs
+}
+
+fn pair_space_of(space: &Space) -> Space {
+    space.product(space)
+}
+
+/// Builds the convex pieces of `{(x, y) | acc1(x) = acc2(y), x ∈ set1,
+/// y ∈ set2, x ≺ y}` over the pair space.
+fn dependence_pieces(
+    pair_space: &Space,
+    dim: usize,
+    acc1: &AccessMap,
+    set1: &ConvexSet,
+    acc2: &AccessMap,
+    set2: &ConvexSet,
+) -> Vec<ConvexSet> {
+    let total = pair_space.total();
+    // Subscript equality constraints.
+    let sub1 = acc1.subscript_affines(total, 0);
+    let sub2 = acc2.subscript_affines(total, dim);
+    let eqs: Vec<Constraint> = sub1
+        .iter()
+        .zip(&sub2)
+        .map(|(l, r)| Constraint::eq_of(l.clone(), r))
+        .collect();
+    // Membership of both end points.
+    let set1_lifted = set1.insert_dims(dim, dim);
+    let set2_lifted = set2.insert_dims(0, dim);
+    // One piece per lexicographic-order disjunct.
+    Relation::lex_lt_pieces(total, dim)
+        .into_iter()
+        .map(|lex| {
+            let mut cs = eqs.clone();
+            cs.extend(lex);
+            cs.extend(set1_lifted.constraints().iter().cloned());
+            cs.extend(set2_lifted.constraints().iter().cloned());
+            ConvexSet::from_constraints(pair_space.clone(), cs)
+        })
+        .filter(|p| !p.is_certainly_empty())
+        .collect()
+}
+
+fn analyze_loop_level(program: &Program) -> DependenceAnalysis {
+    assert!(
+        program.is_perfect_nest(),
+        "loop-level dependence analysis requires a perfect loop nest"
+    );
+    let space = program.loop_space();
+    let dim = space.dim();
+    let pair_space = pair_space_of(&space);
+    let phi_convex = program.loop_iteration_set();
+    let phi = UnionSet::from_convex(phi_convex.clone());
+    let stmts = program.statements();
+    let pairs = reference_pairs(program);
+
+    let mut pieces: Vec<ConvexSet> = Vec::new();
+    for pair in &pairs {
+        let info1: &StatementInfo = &stmts[pair.src_stmt];
+        let info2: &StatementInfo = &stmts[pair.dst_stmt];
+        let acc1 = program.loop_access(info1, &info1.stmt.refs[pair.src_ref]);
+        let acc2 = program.loop_access(info2, &info2.stmt.refs[pair.dst_ref]);
+        // Direction 1: the src end is an instance of ref1, the dst of ref2.
+        pieces.extend(dependence_pieces(&pair_space, dim, &acc1, &phi_convex, &acc2, &phi_convex));
+        // Direction 2 (skip when the two references are the same one).
+        if !(pair.src_stmt == pair.dst_stmt && pair.src_ref == pair.dst_ref) {
+            pieces.extend(dependence_pieces(
+                &pair_space,
+                dim,
+                &acc2,
+                &phi_convex,
+                &acc1,
+                &phi_convex,
+            ));
+        }
+    }
+    let relation = Relation::new(dim, dim, UnionSet::from_pieces(pair_space.clone(), pieces));
+    DependenceAnalysis {
+        program: program.clone(),
+        granularity: Granularity::LoopLevel,
+        dim,
+        space,
+        pair_space,
+        phi,
+        relation,
+        pairs,
+    }
+}
+
+fn analyze_statement_level(program: &Program) -> DependenceAnalysis {
+    let space = program.unified_space();
+    let dim = space.dim();
+    let pair_space = pair_space_of(&space);
+    let phi = program.unified_iteration_space();
+    let stmts = program.statements();
+    let pairs = reference_pairs(program);
+
+    let mut pieces: Vec<ConvexSet> = Vec::new();
+    for pair in &pairs {
+        let info1: &StatementInfo = &stmts[pair.src_stmt];
+        let info2: &StatementInfo = &stmts[pair.dst_stmt];
+        let acc1 = program.unified_access(info1, &info1.stmt.refs[pair.src_ref]);
+        let acc2 = program.unified_access(info2, &info2.stmt.refs[pair.dst_ref]);
+        let set1 = program.statement_instance_set(info1);
+        let set2 = program.statement_instance_set(info2);
+        pieces.extend(dependence_pieces(&pair_space, dim, &acc1, &set1, &acc2, &set2));
+        if !(pair.src_stmt == pair.dst_stmt && pair.src_ref == pair.dst_ref) {
+            pieces.extend(dependence_pieces(&pair_space, dim, &acc2, &set2, &acc1, &set1));
+        }
+    }
+    let relation = Relation::new(dim, dim, UnionSet::from_pieces(pair_space.clone(), pieces));
+    DependenceAnalysis {
+        program: program.clone(),
+        granularity: Granularity::StatementLevel,
+        dim,
+        space,
+        pair_space,
+        phi,
+        relation,
+        pairs,
+    }
+}
+
+/// True when a loop index variable occurs in more than one subscript
+/// dimension of the access — the "coupled subscripts" of the paper's
+/// introduction, the typical source of non-uniform dependence distances.
+pub fn is_coupled_access(matrix: &IMat) -> bool {
+    (0..matrix.rows()).any(|r| (0..matrix.cols()).filter(|&c| matrix[(r, c)] != 0).count() >= 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcp_loopir::expr::{c, v};
+    use rcp_loopir::program::build::{loop_, stmt};
+    use rcp_loopir::ArrayRef;
+    use rcp_presburger::DenseRelation;
+
+    fn example1() -> Program {
+        Program::new(
+            "example1",
+            &["N1", "N2"],
+            vec![loop_(
+                "I1",
+                c(1),
+                v("N1"),
+                vec![loop_(
+                    "I2",
+                    c(1),
+                    v("N2"),
+                    vec![stmt(
+                        "S",
+                        vec![
+                            ArrayRef::write(
+                                "a",
+                                vec![v("I1") * 3 + c(1), v("I1") * 2 + v("I2") - c(1)],
+                            ),
+                            ArrayRef::read("a", vec![v("I1") + c(3), v("I2") + c(1)]),
+                        ],
+                    )],
+                )],
+            )],
+        )
+    }
+
+    fn figure2() -> Program {
+        Program::new(
+            "figure2",
+            &[],
+            vec![loop_(
+                "I",
+                c(1),
+                c(20),
+                vec![stmt(
+                    "S",
+                    vec![
+                        ArrayRef::write("a", vec![v("I") * 2]),
+                        ArrayRef::read("a", vec![c(21) - v("I")]),
+                    ],
+                )],
+            )],
+        )
+    }
+
+    #[test]
+    fn example1_direct_dependences_match_figure1() {
+        let analysis = DependenceAnalysis::loop_level(&example1());
+        assert_eq!(analysis.dim, 2);
+        // the write/write (output) pair and the write/read (flow/anti) pair
+        assert_eq!(analysis.pairs.len(), 2);
+        let (_, rel) = analysis.bind_params(&[10, 10]);
+        let dense = DenseRelation::from_relation(&rel);
+        // Figure 1: arrows with distance (2,2) from i1=2 (8 of them),
+        // (4,4) from i1=3 (6), (6,6) from i1=4 (4): 18 loop-carried
+        // dependences in total.
+        assert_eq!(dense.len(), 18);
+        assert!(dense.contains(&[2, 2], &[4, 4]));
+        assert!(dense.contains(&[3, 1], &[7, 5]));
+        assert!(dense.contains(&[4, 4], &[10, 10]));
+        assert!(!dense.contains(&[1, 1], &[3, 3])); // the non-uniformity example
+        // every pair is lexicographically forward
+        for (src, dst) in dense.iter() {
+            assert!(src < dst, "dependence {:?} -> {:?} must be forward", src, dst);
+        }
+        // distances are the multiples of (2,2) announced in the figure
+        for (src, dst) in dense.iter() {
+            let d = (dst[0] - src[0], dst[1] - src[1]);
+            assert!(matches!(d, (2, 2) | (4, 4) | (6, 6)), "unexpected distance {:?}", d);
+        }
+    }
+
+    #[test]
+    fn figure2_dependences() {
+        let analysis = DependenceAnalysis::loop_level(&figure2());
+        let (_, rel) = analysis.bind_params(&[]);
+        let dense = DenseRelation::from_relation(&rel);
+        // 2i = 21 - j with i, j in [1,20], i != j; solutions with j >= 1:
+        // i in 1..=10 gives j odd in 1..19; exclude i == j (i=7, j=7).
+        // Forward orientation only.
+        for (src, dst) in dense.iter() {
+            assert!(src < dst);
+            assert_eq!(
+                2 * src[0] + dst[0] == 21 || 2 * dst[0] + src[0] == 21,
+                true,
+                "pair {:?}->{:?} does not satisfy the dependence equation",
+                src,
+                dst
+            );
+        }
+        // The chain of the paper: 6 -> 9, 3 -> 9, 3 -> 15 are all present.
+        assert!(dense.contains(&[6], &[9]));
+        assert!(dense.contains(&[3], &[9]));
+        assert!(dense.contains(&[3], &[15]));
+        // 7 -> 7 (self) must not appear.
+        assert!(!dense.contains(&[7], &[7]));
+    }
+
+    #[test]
+    fn single_coupled_pair_detection() {
+        let analysis = DependenceAnalysis::loop_level(&example1());
+        let pair = analysis.single_coupled_pair().expect("example 1 has one coupled pair");
+        assert!(pair.full_rank());
+        assert_eq!(pair.write.matrix.det(), 3);
+        assert_eq!(pair.read.matrix.det(), 1);
+        // figure 2: 1-D loop, matrices are 1x1 and full rank
+        let analysis = DependenceAnalysis::loop_level(&figure2());
+        let pair = analysis.single_coupled_pair().expect("figure 2 has one coupled pair");
+        assert_eq!(pair.write.matrix.det(), 2);
+        assert_eq!(pair.read.matrix.det(), -1);
+    }
+
+    #[test]
+    fn coupled_access_classifier() {
+        let analysis = DependenceAnalysis::loop_level(&example1());
+        let pair = analysis.single_coupled_pair().unwrap();
+        // write a(3*I1+1, 2*I1+I2-1): I1 appears in both dimensions.
+        assert!(is_coupled_access(&pair.write.matrix));
+        // read a(I1+3, I2+1): no index appears twice.
+        assert!(!is_coupled_access(&pair.read.matrix));
+    }
+
+    #[test]
+    fn statement_level_analysis_of_imperfect_nest() {
+        // Example 3 (Chen et al.)
+        let p = Program::new(
+            "example3",
+            &["N"],
+            vec![loop_(
+                "I",
+                c(1),
+                v("N"),
+                vec![loop_(
+                    "J",
+                    c(1),
+                    v("I"),
+                    vec![
+                        loop_(
+                            "K",
+                            v("J"),
+                            v("I"),
+                            vec![stmt(
+                                "S1",
+                                vec![ArrayRef::read(
+                                    "a",
+                                    vec![v("I") + v("K") * 2 + c(5), v("K") * 4 - v("J")],
+                                )],
+                            )],
+                        ),
+                        stmt(
+                            "S2",
+                            vec![ArrayRef::write("a", vec![v("I") - v("J"), v("I") + v("J")])],
+                        ),
+                    ],
+                )],
+            )],
+        );
+        let analysis = DependenceAnalysis::statement_level(&p);
+        assert_eq!(analysis.dim, 7);
+        // Pairs: (S1.read, S2.write) and (S2.write, S2.write).
+        assert_eq!(analysis.pairs.len(), 2);
+        let (phi, rel) = analysis.bind_params(&[30]);
+        let dense = DenseRelation::from_relation(&rel);
+        // Every dependence end point is a valid statement instance.
+        let dense_phi = rcp_presburger::DenseSet::from_union(&phi);
+        for (src, dst) in dense.iter() {
+            assert!(src < dst);
+            assert!(dense_phi.contains(src), "src {:?} outside phi", src);
+            assert!(dense_phi.contains(dst), "dst {:?} outside phi", dst);
+        }
+        // The write a(I-J, I+J) and read a(I+2K+5, 4K-J) do intersect for
+        // some instances at N = 30 (e.g. the paper generates a non-empty P3
+        // for N >= 30), so the relation must not be empty.
+        assert!(!dense.is_empty(), "example 3 has dependences at N=30");
+    }
+
+    #[test]
+    fn no_dependence_for_disjoint_arrays() {
+        let p = Program::new(
+            "disjoint",
+            &["N"],
+            vec![loop_(
+                "I",
+                c(1),
+                v("N"),
+                vec![stmt(
+                    "S",
+                    vec![
+                        ArrayRef::write("x", vec![v("I")]),
+                        ArrayRef::read("y", vec![v("I")]),
+                    ],
+                )],
+            )],
+        );
+        let analysis = DependenceAnalysis::loop_level(&p);
+        assert!(analysis.pairs.iter().all(|p| p.identical_access || p.array == "x" || p.array == "y"));
+        let (_, rel) = analysis.bind_params(&[10]);
+        assert!(DenseRelation::from_relation(&rel).is_empty());
+    }
+
+    #[test]
+    fn uniform_translation_dependences() {
+        // a(I+1) = a(I): classic uniform distance-1 dependence.
+        let p = Program::new(
+            "uniform",
+            &["N"],
+            vec![loop_(
+                "I",
+                c(1),
+                v("N"),
+                vec![stmt(
+                    "S",
+                    vec![
+                        ArrayRef::write("a", vec![v("I") + c(1)]),
+                        ArrayRef::read("a", vec![v("I")]),
+                    ],
+                )],
+            )],
+        );
+        let analysis = DependenceAnalysis::loop_level(&p);
+        let (_, rel) = analysis.bind_params(&[10]);
+        let dense = DenseRelation::from_relation(&rel);
+        // i writes a(i+1), iteration i+1 reads a(i+1): dependences i -> i+1.
+        assert_eq!(dense.len(), 9);
+        for (src, dst) in dense.iter() {
+            assert_eq!(dst[0] - src[0], 1);
+        }
+    }
+}

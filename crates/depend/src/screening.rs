@@ -1,0 +1,151 @@
+//! Classic screening dependence tests: GCD and Banerjee bounds.
+//!
+//! These are the inexpensive tests a parallelizing compiler runs before
+//! falling back to exact integer programming (the Omega-style machinery in
+//! `rcp-presburger`).  They are used by the corpus-statistics experiment and
+//! by the baseline schemes, and they give the test-suite an independent
+//! oracle: whenever a screening test proves independence, the exact relation
+//! must be empty.
+
+use rcp_intlin::gcd_slice;
+use rcp_loopir::AccessMap;
+
+/// The verdict of a screening test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Screening {
+    /// The test proves there is no dependence.
+    Independent,
+    /// The test cannot rule out a dependence.
+    MaybeDependent,
+}
+
+/// The GCD test applied dimension-wise to a pair of accesses.
+///
+/// For subscript dimension `d` the dependence equation reads
+/// `Σ A[r][d]·i_r − Σ B[r][d]·j_r = b_d − a_d`; an integer solution requires
+/// the gcd of all coefficients to divide the right-hand side.  If any
+/// dimension fails, the references are independent.
+pub fn gcd_test(src: &AccessMap, dst: &AccessMap) -> Screening {
+    assert_eq!(src.matrix.cols(), dst.matrix.cols(), "array rank mismatch");
+    for d in 0..src.matrix.cols() {
+        let mut coeffs: Vec<i64> = (0..src.matrix.rows()).map(|r| src.matrix[(r, d)]).collect();
+        coeffs.extend((0..dst.matrix.rows()).map(|r| -dst.matrix[(r, d)]));
+        let g = gcd_slice(&coeffs);
+        let rhs = dst.offset[d] - src.offset[d];
+        if g == 0 {
+            if rhs != 0 {
+                return Screening::Independent;
+            }
+            continue;
+        }
+        if rhs % g != 0 {
+            return Screening::Independent;
+        }
+    }
+    Screening::MaybeDependent
+}
+
+/// The Banerjee bounds test over a rectangular iteration space.
+///
+/// `lower[r]..=upper[r]` bound loop variable `r` for both end points.  For
+/// each subscript dimension the difference `src(i) − dst(j)` is bounded with
+/// interval arithmetic; if zero lies outside the interval for some
+/// dimension, the references are independent.
+pub fn banerjee_test(
+    src: &AccessMap,
+    dst: &AccessMap,
+    lower: &[i64],
+    upper: &[i64],
+) -> Screening {
+    assert_eq!(src.matrix.rows(), lower.len());
+    assert_eq!(src.matrix.rows(), upper.len());
+    for d in 0..src.matrix.cols() {
+        let mut min = src.offset[d] - dst.offset[d];
+        let mut max = min;
+        for r in 0..src.matrix.rows() {
+            let c = src.matrix[(r, d)];
+            min += if c >= 0 { c * lower[r] } else { c * upper[r] };
+            max += if c >= 0 { c * upper[r] } else { c * lower[r] };
+        }
+        for r in 0..dst.matrix.rows() {
+            let c = -dst.matrix[(r, d)];
+            min += if c >= 0 { c * lower[r] } else { c * upper[r] };
+            max += if c >= 0 { c * upper[r] } else { c * lower[r] };
+        }
+        if min > 0 || max < 0 {
+            return Screening::Independent;
+        }
+    }
+    Screening::MaybeDependent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcp_loopir::expr::{c, v};
+    use rcp_loopir::program::build::{loop_, stmt};
+    use rcp_loopir::{ArrayRef, Program};
+
+    fn accesses(write_sub: Vec<rcp_loopir::LinExpr>, read_sub: Vec<rcp_loopir::LinExpr>) -> (AccessMap, AccessMap) {
+        let p = Program::new(
+            "t",
+            &["N"],
+            vec![loop_(
+                "I",
+                c(1),
+                v("N"),
+                vec![loop_(
+                    "J",
+                    c(1),
+                    v("N"),
+                    vec![stmt(
+                        "S",
+                        vec![ArrayRef::write("a", write_sub), ArrayRef::read("a", read_sub)],
+                    )],
+                )],
+            )],
+        );
+        let stmts = p.statements();
+        let info = &stmts[0];
+        (p.loop_access(info, &info.stmt.refs[0]), p.loop_access(info, &info.stmt.refs[1]))
+    }
+
+    #[test]
+    fn gcd_test_detects_parity_independence() {
+        // a(2*I) vs a(2*J + 1): even vs odd elements never meet.
+        let (w, r) = accesses(vec![v("I") * 2, v("J")], vec![v("I") * 2 + c(1), v("J")]);
+        assert_eq!(gcd_test(&w, &r), Screening::Independent);
+        // a(2*I) vs a(2*J): may meet.
+        let (w, r) = accesses(vec![v("I") * 2, v("J")], vec![v("I") * 2, v("J")]);
+        assert_eq!(gcd_test(&w, &r), Screening::MaybeDependent);
+    }
+
+    #[test]
+    fn gcd_test_constant_subscripts() {
+        // a(3, J) vs a(4, J): constant first dimensions differ.
+        let (w, r) = accesses(vec![c(3), v("J")], vec![c(4), v("J")]);
+        assert_eq!(gcd_test(&w, &r), Screening::Independent);
+        let (w, r) = accesses(vec![c(3), v("J")], vec![c(3), v("J")]);
+        assert_eq!(gcd_test(&w, &r), Screening::MaybeDependent);
+    }
+
+    #[test]
+    fn banerjee_detects_range_separation() {
+        // a(I, J) vs a(I + 100, J) in a 10x10 space: ranges never overlap.
+        let (w, r) = accesses(vec![v("I"), v("J")], vec![v("I") + c(100), v("J")]);
+        assert_eq!(banerjee_test(&w, &r, &[1, 1], &[10, 10]), Screening::Independent);
+        // but with a 200-wide space they can.
+        assert_eq!(banerjee_test(&w, &r, &[1, 1], &[200, 200]), Screening::MaybeDependent);
+    }
+
+    #[test]
+    fn screening_is_conservative_for_example1() {
+        // Example 1 has real dependences; neither test may claim independence.
+        let (w, r) = accesses(
+            vec![v("I") * 3 + c(1), v("I") * 2 + v("J") - c(1)],
+            vec![v("I") + c(3), v("J") + c(1)],
+        );
+        assert_eq!(gcd_test(&w, &r), Screening::MaybeDependent);
+        assert_eq!(banerjee_test(&w, &r, &[1, 1], &[10, 10]), Screening::MaybeDependent);
+    }
+}

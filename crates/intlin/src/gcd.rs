@@ -1,0 +1,160 @@
+//! Greatest common divisors, least common multiples and the extended
+//! Euclidean algorithm.
+//!
+//! These are the primitives behind every exact integer test in the
+//! dependence analyser: the classic GCD dependence test, the elimination of
+//! equalities from constraint systems and the solution of linear
+//! diophantine equations.
+
+/// Greatest common divisor of two integers, always non-negative.
+///
+/// `gcd(0, 0) == 0` by convention.
+///
+/// ```
+/// use rcp_intlin::gcd;
+/// assert_eq!(gcd(12, -18), 6);
+/// assert_eq!(gcd(0, 7), 7);
+/// assert_eq!(gcd(0, 0), 0);
+/// ```
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Least common multiple of two integers, always non-negative.
+///
+/// `lcm(0, x) == 0`.  Panics on overflow in debug builds.
+pub fn lcm(a: i64, b: i64) -> i64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd(a, b)).abs().checked_mul(b.abs()).expect("lcm overflow")
+}
+
+/// GCD of a slice of integers; `0` for an empty slice.
+pub fn gcd_slice(values: &[i64]) -> i64 {
+    values.iter().fold(0, |acc, &v| gcd(acc, v))
+}
+
+/// Extended Euclidean algorithm.
+///
+/// Returns `(g, x, y)` such that `a*x + b*y = g = gcd(a, b)` with
+/// `g >= 0`.
+///
+/// ```
+/// use rcp_intlin::ext_gcd;
+/// let (g, x, y) = ext_gcd(240, 46);
+/// assert_eq!(g, 2);
+/// assert_eq!(240 * x + 46 * y, 2);
+/// ```
+pub fn ext_gcd(a: i64, b: i64) -> (i64, i64, i64) {
+    // Iterative extended Euclid on the absolute values, signs fixed up at
+    // the end so that the Bezout identity holds for the original inputs.
+    let (mut old_r, mut r) = (a.abs(), b.abs());
+    let (mut old_s, mut s) = (1i64, 0i64);
+    let (mut old_t, mut t) = (0i64, 1i64);
+    while r != 0 {
+        let q = old_r / r;
+        let tmp_r = old_r - q * r;
+        old_r = r;
+        r = tmp_r;
+        let tmp_s = old_s - q * s;
+        old_s = s;
+        s = tmp_s;
+        let tmp_t = old_t - q * t;
+        old_t = t;
+        t = tmp_t;
+    }
+    let x = if a < 0 { -old_s } else { old_s };
+    let y = if b < 0 { -old_t } else { old_t };
+    (old_r, x, y)
+}
+
+/// Solves the single linear diophantine equation `a*x + b*y = c`.
+///
+/// Returns `None` when no integer solution exists (i.e. `gcd(a,b)` does not
+/// divide `c`), otherwise one particular solution `(x0, y0)`.  The general
+/// solution is `x = x0 + k*(b/g)`, `y = y0 - k*(a/g)`.
+pub fn solve_two_var(a: i64, b: i64, c: i64) -> Option<(i64, i64)> {
+    if a == 0 && b == 0 {
+        return if c == 0 { Some((0, 0)) } else { None };
+    }
+    let (g, x, y) = ext_gcd(a, b);
+    if c % g != 0 {
+        return None;
+    }
+    let k = c / g;
+    Some((x * k, y * k))
+}
+
+/// Positive remainder of `a mod m` (`m > 0`), in `0..m`.
+pub fn pos_mod(a: i64, m: i64) -> i64 {
+    debug_assert!(m > 0);
+    ((a % m) + m) % m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(48, 36), 12);
+        assert_eq!(gcd(-48, 36), 12);
+        assert_eq!(gcd(48, -36), 12);
+        assert_eq!(gcd(-48, -36), 12);
+        assert_eq!(gcd(17, 5), 1);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 9), 9);
+        assert_eq!(gcd(9, 0), 9);
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(-4, 6), 12);
+        assert_eq!(lcm(0, 6), 0);
+        assert_eq!(lcm(7, 7), 7);
+    }
+
+    #[test]
+    fn gcd_slice_basic() {
+        assert_eq!(gcd_slice(&[]), 0);
+        assert_eq!(gcd_slice(&[6]), 6);
+        assert_eq!(gcd_slice(&[6, 9, 15]), 3);
+        assert_eq!(gcd_slice(&[0, 0, 5]), 5);
+    }
+
+    #[test]
+    fn ext_gcd_bezout_identity() {
+        for &(a, b) in &[(240, 46), (-240, 46), (240, -46), (-240, -46), (0, 5), (5, 0), (1, 1), (7, 13)] {
+            let (g, x, y) = ext_gcd(a, b);
+            assert_eq!(g, gcd(a, b), "gcd mismatch for ({a},{b})");
+            assert_eq!(a * x + b * y, g, "bezout fails for ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn solve_two_var_solutions() {
+        let (x, y) = solve_two_var(3, 5, 7).unwrap();
+        assert_eq!(3 * x + 5 * y, 7);
+        assert!(solve_two_var(4, 6, 7).is_none());
+        let (x, y) = solve_two_var(4, 6, 10).unwrap();
+        assert_eq!(4 * x + 6 * y, 10);
+        assert_eq!(solve_two_var(0, 0, 0), Some((0, 0)));
+        assert_eq!(solve_two_var(0, 0, 3), None);
+    }
+
+    #[test]
+    fn pos_mod_range() {
+        assert_eq!(pos_mod(7, 3), 1);
+        assert_eq!(pos_mod(-7, 3), 2);
+        assert_eq!(pos_mod(0, 3), 0);
+        assert_eq!(pos_mod(-3, 3), 0);
+    }
+}

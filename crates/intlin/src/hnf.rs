@@ -1,0 +1,187 @@
+//! Hermite normal form via unimodular column operations.
+//!
+//! The column-style Hermite normal form `H = A·U` (with `U` unimodular) is
+//! the workhorse behind the exact diophantine solver: once `A` is brought to
+//! column echelon form, the dependence equation `i·A + a = j·B + b` can be
+//! solved by simple forward substitution, and the columns of `U` that map to
+//! zero columns of `H` span the lattice of homogeneous solutions.
+
+use crate::gcd::ext_gcd;
+use crate::matrix::IMat;
+
+/// The result of a Hermite-normal-form computation: `h = a · u` with `u`
+/// unimodular and `h` in column echelon form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HnfResult {
+    /// The column-echelon Hermite form.
+    pub h: IMat,
+    /// The unimodular transformation with `a.mul(&u) == h`.
+    pub u: IMat,
+    /// For each matrix row in order, the pivot column assigned to it (if
+    /// any).  Rows without a pivot are linearly dependent on earlier rows.
+    pub pivots: Vec<Option<usize>>,
+}
+
+/// Computes the column-style Hermite normal form of `a`.
+///
+/// Column operations (swap, negate, add integer multiple of one column to
+/// another) are accumulated into the unimodular matrix `u`, so the identity
+/// `a · u == h` always holds.  Pivots are made positive and each pivot is
+/// the only non-zero entry of its row among columns at or after the pivot
+/// column; entries of the pivot row in *earlier* pivot columns are reduced
+/// modulo the pivot.
+pub fn hermite_normal_form(a: &IMat) -> HnfResult {
+    let rows = a.rows();
+    let cols = a.cols();
+    let mut h = a.clone();
+    let mut u = IMat::identity(cols);
+    let mut pivots: Vec<Option<usize>> = vec![None; rows];
+    let mut next_col = 0usize;
+
+    for r in 0..rows {
+        if next_col >= cols {
+            break;
+        }
+        // Use extended gcd combinations to gather the gcd of row r (over the
+        // not-yet-pivoted columns) into column `next_col`.
+        // First find any non-zero entry.
+        if (next_col..cols).all(|c| h[(r, c)] == 0) {
+            continue;
+        }
+        // Eliminate all but one non-zero entry in row r among columns >= next_col.
+        loop {
+            // Find the two non-zero columns (if only one remains we are done).
+            let nz: Vec<usize> = (next_col..cols).filter(|&c| h[(r, c)] != 0).collect();
+            if nz.len() <= 1 {
+                break;
+            }
+            let c1 = nz[0];
+            let c2 = nz[1];
+            let x = h[(r, c1)];
+            let y = h[(r, c2)];
+            let (g, p, q) = ext_gcd(x, y);
+            // new col c1 := p*c1 + q*c2  (entry becomes g)
+            // new col c2 := -(y/g)*c1 + (x/g)*c2 (entry becomes 0)
+            // The 2x2 transform [[p, -y/g],[q, x/g]] has determinant
+            // p*x/g + q*y/g = (p*x + q*y)/g = 1, so it is unimodular.
+            let yg = y / g;
+            let xg = x / g;
+            combine_columns(&mut h, c1, c2, p, q, -yg, xg);
+            combine_columns(&mut u, c1, c2, p, q, -yg, xg);
+        }
+        // Move the surviving non-zero column into position next_col.
+        let nz = (next_col..cols).find(|&c| h[(r, c)] != 0).unwrap();
+        if nz != next_col {
+            swap_columns(&mut h, nz, next_col);
+            swap_columns(&mut u, nz, next_col);
+        }
+        // Make the pivot positive.
+        if h[(r, next_col)] < 0 {
+            negate_column(&mut h, next_col);
+            negate_column(&mut u, next_col);
+        }
+        // Reduce the entries of row r in earlier pivot columns modulo the pivot.
+        let pivot = h[(r, next_col)];
+        for c in 0..next_col {
+            let q = h[(r, c)].div_euclid(pivot);
+            if q != 0 {
+                add_column_multiple(&mut h, c, next_col, -q);
+                add_column_multiple(&mut u, c, next_col, -q);
+            }
+        }
+        pivots[r] = Some(next_col);
+        next_col += 1;
+    }
+
+    HnfResult { h, u, pivots }
+}
+
+/// Applies the unimodular 2x2 column transform
+/// `(col_a, col_b) := (p*col_a + q*col_b, s*col_a + t*col_b)` where the
+/// matrix `[[p, s], [q, t]]` must be unimodular.
+fn combine_columns(m: &mut IMat, a: usize, b: usize, p: i64, q: i64, s: i64, t: i64) {
+    for r in 0..m.rows() {
+        let va = m[(r, a)];
+        let vb = m[(r, b)];
+        m[(r, a)] = p * va + q * vb;
+        m[(r, b)] = s * va + t * vb;
+    }
+}
+
+fn swap_columns(m: &mut IMat, a: usize, b: usize) {
+    for r in 0..m.rows() {
+        let tmp = m[(r, a)];
+        m[(r, a)] = m[(r, b)];
+        m[(r, b)] = tmp;
+    }
+}
+
+fn negate_column(m: &mut IMat, c: usize) {
+    for r in 0..m.rows() {
+        m[(r, c)] = -m[(r, c)];
+    }
+}
+
+fn add_column_multiple(m: &mut IMat, dst: usize, src: usize, k: i64) {
+    for r in 0..m.rows() {
+        m[(r, dst)] += k * m[(r, src)];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_invariants(a: &IMat) {
+        let HnfResult { h, u, pivots } = hermite_normal_form(a);
+        // A * U == H
+        assert_eq!(a.mul(&u), h, "A*U != H for {:?}", a);
+        // U unimodular
+        assert_eq!(u.det().abs(), 1, "U not unimodular for {:?}", a);
+        // echelon structure: each pivot positive, and row r has zeros after
+        // its pivot column.
+        for (r, p) in pivots.iter().enumerate() {
+            if let Some(pc) = p {
+                assert!(h[(r, *pc)] > 0);
+                for c in pc + 1..h.cols() {
+                    assert_eq!(h[(r, c)], 0, "non-zero after pivot in row {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hnf_identity() {
+        check_invariants(&IMat::identity(3));
+    }
+
+    #[test]
+    fn hnf_simple_cases() {
+        check_invariants(&IMat::from_rows(&[vec![2, 4], vec![6, 8]]));
+        check_invariants(&IMat::from_rows(&[vec![3, 2], vec![0, 1]]));
+        check_invariants(&IMat::from_rows(&[vec![2, 3, 5]]));
+        check_invariants(&IMat::from_rows(&[vec![0, 0], vec![0, 0]]));
+        check_invariants(&IMat::from_rows(&[vec![4], vec![6]]));
+        check_invariants(&IMat::from_rows(&[vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]]));
+        check_invariants(&IMat::from_rows(&[vec![-2, 4, -6], vec![3, -5, 7]]));
+    }
+
+    #[test]
+    fn hnf_rank_deficient() {
+        let a = IMat::from_rows(&[vec![1, 2], vec![2, 4]]);
+        let res = hermite_normal_form(&a);
+        // Second row depends on the first: only one pivot.
+        assert_eq!(res.pivots.iter().filter(|p| p.is_some()).count(), 1);
+        check_invariants(&a);
+    }
+
+    #[test]
+    fn hnf_single_row_gcd() {
+        let a = IMat::from_rows(&[vec![6, 10, 15]]);
+        let res = hermite_normal_form(&a);
+        // gcd(6,10,15) = 1 should appear as the pivot.
+        assert_eq!(res.h[(0, 0)], 1);
+        assert_eq!(res.h[(0, 1)], 0);
+        assert_eq!(res.h[(0, 2)], 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Exact integer and rational linear algebra for dependence analysis.
+//!
+//! This crate is the arithmetic substrate of the recurrence-chain
+//! partitioning library.  Everything that the paper's formalism needs from
+//! "math" lives here:
+//!
+//! * [`gcd`] — greatest common divisors, least common multiples and the
+//!   extended Euclidean algorithm used to solve linear diophantine
+//!   equations exactly,
+//! * [`Rational`] — exact rational numbers over `i128`, used whenever the
+//!   recurrence matrices `T = B·A⁻¹` or their inverses are not integral,
+//! * [`IMat`] / [`RatMat`] — small dense integer and rational matrices with
+//!   exact determinant (fraction-free Bareiss), rank, inverse and
+//!   multiplication,
+//! * [`hnf`] — the (row-style) Hermite normal form together with the
+//!   unimodular transformation that produces it,
+//! * [`diophantine`] — solvers for systems of linear diophantine equations
+//!   `x·A = b`, returning a particular solution plus a lattice basis of the
+//!   homogeneous solutions.
+//!
+//! The library follows the paper's *row-vector* convention: iteration
+//! vectors are row vectors and array subscripts are written `i·A + a`, so a
+//! matrix with `m` rows maps an `m`-dimensional iteration vector to an
+//! `n`-dimensional subscript vector.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diophantine;
+pub mod gcd;
+pub mod hnf;
+pub mod matrix;
+pub mod rational;
+pub mod vector;
+
+pub use diophantine::{solve_linear_system, DiophantineSolution};
+pub use gcd::{ext_gcd, gcd, gcd_slice, lcm};
+pub use hnf::{hermite_normal_form, HnfResult};
+pub use matrix::{IMat, RatMat};
+pub use rational::Rational;
+pub use vector::{add, dot, floor_div, is_lex_positive, lex_cmp, neg, scale, sub, IVec};

@@ -1,0 +1,255 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! The recurrence matrices of the paper, `T = B·A⁻¹` and
+//! `u = (b − a)·A⁻¹`, are rational in general.  Chain following and the
+//! Theorem-1 critical-path bound therefore need exact rational arithmetic;
+//! floating point would silently mis-classify integrality ("is the
+//! predecessor of this iteration an integer point?").
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+fn gcd128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// An exact rational number `num/den` with `den > 0` and
+/// `gcd(num, den) == 1` (canonical form).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+impl Rational {
+    /// The rational zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a new rational, reducing to canonical form.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd128(num, den).max(1);
+        Rational { num: sign * num / g, den: sign * den / g }
+    }
+
+    /// Creates an integral rational.
+    pub fn from_int(v: i64) -> Self {
+        Rational { num: v as i128, den: 1 }
+    }
+
+    /// The numerator in canonical form.
+    pub fn num(&self) -> i128 {
+        self.num
+    }
+
+    /// The (positive) denominator in canonical form.
+    pub fn den(&self) -> i128 {
+        self.den
+    }
+
+    /// True if the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// The integer value if integral.
+    pub fn as_integer(&self) -> Option<i64> {
+        if self.den == 1 {
+            i64::try_from(self.num).ok()
+        } else {
+            None
+        }
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational { num: self.num.abs(), den: self.den }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics when the value is zero.
+    pub fn recip(&self) -> Rational {
+        assert!(self.num != 0, "reciprocal of zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Floor of the rational as an integer.
+    pub fn floor(&self) -> i64 {
+        let q = self.num.div_euclid(self.den);
+        i64::try_from(q).expect("rational floor overflows i64")
+    }
+
+    /// Ceiling of the rational as an integer.
+    pub fn ceil(&self) -> i64 {
+        let q = (-(-self.num).div_euclid(self.den)) as i128;
+        i64::try_from(q).expect("rational ceil overflows i64")
+    }
+
+    /// Approximate value as `f64` (for reporting only, never for decisions).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_int(v)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(rhs.num != 0, "division by zero rational");
+        Rational::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form() {
+        let r = Rational::new(4, -6);
+        assert_eq!(r.num(), -2);
+        assert_eq!(r.den(), 3);
+        assert_eq!(Rational::new(0, -5), Rational::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(-a, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn integrality() {
+        assert!(Rational::new(6, 3).is_integer());
+        assert_eq!(Rational::new(6, 3).as_integer(), Some(2));
+        assert!(!Rational::new(7, 3).is_integer());
+        assert_eq!(Rational::new(7, 3).as_integer(), None);
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(Rational::new(7, 3).floor(), 2);
+        assert_eq!(Rational::new(7, 3).ceil(), 3);
+        assert_eq!(Rational::new(-7, 3).floor(), -3);
+        assert_eq!(Rational::new(-7, 3).ceil(), -2);
+        assert_eq!(Rational::new(6, 3).floor(), 2);
+        assert_eq!(Rational::new(6, 3).ceil(), 2);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::new(-1, 3));
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+    }
+
+    #[test]
+    fn recip_and_abs() {
+        assert_eq!(Rational::new(-2, 3).recip(), Rational::new(-3, 2));
+        assert_eq!(Rational::new(-2, 3).abs(), Rational::new(2, 3));
+    }
+}

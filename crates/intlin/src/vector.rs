@@ -1,0 +1,139 @@
+//! Integer vector helpers and lexicographic ordering.
+//!
+//! Iteration vectors, distance vectors and affine offsets are all plain
+//! `Vec<i64>` row vectors; this module collects the small amount of vector
+//! algebra and the *lexicographic* comparison that the partitioning scheme
+//! is built on (an iteration `i` precedes `j` when `i ≺ j`
+//! lexicographically).
+
+use std::cmp::Ordering;
+
+/// An integer row vector (iteration vector, distance vector, offset…).
+pub type IVec = Vec<i64>;
+
+/// Component-wise sum `a + b`.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn add(a: &[i64], b: &[i64]) -> IVec {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Component-wise difference `a - b`.
+pub fn sub(a: &[i64], b: &[i64]) -> IVec {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Component-wise negation.
+pub fn neg(a: &[i64]) -> IVec {
+    a.iter().map(|x| -x).collect()
+}
+
+/// Scalar multiple `k * a`.
+pub fn scale(a: &[i64], k: i64) -> IVec {
+    a.iter().map(|x| k * x).collect()
+}
+
+/// Inner product of two vectors.
+pub fn dot(a: &[i64], b: &[i64]) -> i64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Lexicographic comparison of two equal-length integer vectors.
+pub fn lex_cmp(a: &[i64], b: &[i64]) -> Ordering {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    for (x, y) in a.iter().zip(b) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// True if the vector is lexicographically positive (first non-zero
+/// component is positive); the zero vector is *not* lexicographically
+/// positive.
+pub fn is_lex_positive(a: &[i64]) -> bool {
+    for &x in a {
+        if x > 0 {
+            return true;
+        }
+        if x < 0 {
+            return false;
+        }
+    }
+    false
+}
+
+/// Floor division `a / b` rounding towards negative infinity, the
+/// semantics used when emitting loop bounds like `(2*i1)/3`.
+pub fn floor_div(a: i64, b: i64) -> i64 {
+    a.div_euclid(b)
+}
+
+/// Ceiling division `a / b` rounding towards positive infinity.
+pub fn ceil_div(a: i64, b: i64) -> i64 {
+    -((-a).div_euclid(b))
+}
+
+/// Squared Euclidean length of an integer vector (exact, no floats).
+pub fn norm_sq(a: &[i64]) -> i64 {
+    a.iter().map(|x| x * x).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_algebra() {
+        assert_eq!(add(&[1, 2], &[3, -4]), vec![4, -2]);
+        assert_eq!(sub(&[1, 2], &[3, -4]), vec![-2, 6]);
+        assert_eq!(neg(&[1, -2]), vec![-1, 2]);
+        assert_eq!(scale(&[1, -2], 3), vec![3, -6]);
+        assert_eq!(dot(&[1, 2, 3], &[4, 5, 6]), 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = add(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        assert_eq!(lex_cmp(&[1, 5], &[2, 0]), Ordering::Less);
+        assert_eq!(lex_cmp(&[2, 0], &[2, 1]), Ordering::Less);
+        assert_eq!(lex_cmp(&[2, 1], &[2, 1]), Ordering::Equal);
+        assert_eq!(lex_cmp(&[3, 0], &[2, 9]), Ordering::Greater);
+    }
+
+    #[test]
+    fn lex_positive() {
+        assert!(is_lex_positive(&[0, 0, 1]));
+        assert!(is_lex_positive(&[1, -5]));
+        assert!(!is_lex_positive(&[0, 0, 0]));
+        assert!(!is_lex_positive(&[0, -1, 5]));
+        assert!(!is_lex_positive(&[]));
+    }
+
+    #[test]
+    fn division_rounding() {
+        assert_eq!(floor_div(7, 3), 2);
+        assert_eq!(floor_div(-7, 3), -3);
+        assert_eq!(ceil_div(7, 3), 3);
+        assert_eq!(ceil_div(-7, 3), -2);
+        assert_eq!(floor_div(6, 3), 2);
+        assert_eq!(ceil_div(6, 3), 2);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm_sq(&[3, 4]), 25);
+        assert_eq!(norm_sq(&[]), 0);
+    }
+}

@@ -1,0 +1,650 @@
+//! Convex integer sets: conjunctions of affine constraints.
+
+use crate::constraint::{Constraint, ConstraintKind, Folded};
+use crate::fm::{eliminate_dim, rationally_feasible};
+use crate::space::Space;
+use rcp_intlin::IVec;
+
+/// A convex integer set: the points of a [`Space`] satisfying a conjunction
+/// of equalities, inequalities and congruences.
+///
+/// A `ConvexSet` may additionally be flagged [`approximate`] when it was
+/// produced by a projection whose integer exactness could not be
+/// guaranteed (see [`crate::fm`]); all sets built directly from constraints
+/// are exact.
+///
+/// [`approximate`]: ConvexSet::is_approximate
+#[derive(Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ConvexSet {
+    space: Space,
+    constraints: Vec<Constraint>,
+    known_empty: bool,
+    approximate: bool,
+}
+
+impl ConvexSet {
+    /// The universe set of a space (no constraints).
+    pub fn universe(space: Space) -> Self {
+        ConvexSet { space, constraints: Vec::new(), known_empty: false, approximate: false }
+    }
+
+    /// The empty set of a space.
+    pub fn empty(space: Space) -> Self {
+        ConvexSet { space, constraints: Vec::new(), known_empty: true, approximate: false }
+    }
+
+    /// Builds a set from constraints.
+    pub fn from_constraints(space: Space, constraints: Vec<Constraint>) -> Self {
+        for c in &constraints {
+            assert_eq!(c.expr.total(), space.total(), "constraint arity mismatch");
+        }
+        let mut s =
+            ConvexSet { space, constraints, known_empty: false, approximate: false };
+        s.normalize();
+        s
+    }
+
+    /// The space of this set.
+    pub fn space(&self) -> &Space {
+        &self.space
+    }
+
+    /// The constraints (after normalization).
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// True if any projection on the way to this set may have
+    /// over-approximated the integer points.
+    pub fn is_approximate(&self) -> bool {
+        self.approximate
+    }
+
+    /// Marks the set as approximate (used by projection).
+    pub(crate) fn set_approximate(&mut self, approx: bool) {
+        self.approximate = self.approximate || approx;
+    }
+
+    /// Adds a constraint, returning the refined set.
+    pub fn with(&self, c: Constraint) -> Self {
+        assert_eq!(c.expr.total(), self.space.total(), "constraint arity mismatch");
+        let mut out = self.clone();
+        out.constraints.push(c);
+        out.normalize();
+        out
+    }
+
+    /// Adds several constraints.
+    pub fn with_all(&self, cs: impl IntoIterator<Item = Constraint>) -> Self {
+        let mut out = self.clone();
+        for c in cs {
+            assert_eq!(c.expr.total(), self.space.total(), "constraint arity mismatch");
+            out.constraints.push(c);
+        }
+        out.normalize();
+        out
+    }
+
+    /// Intersection with another convex set over the same space.
+    pub fn intersect(&self, other: &ConvexSet) -> ConvexSet {
+        assert_eq!(self.space.total(), other.space.total(), "space mismatch");
+        let mut out = self.clone();
+        out.constraints.extend(other.constraints.iter().cloned());
+        out.known_empty = self.known_empty || other.known_empty;
+        out.approximate = self.approximate || other.approximate;
+        out.normalize();
+        out
+    }
+
+    /// True when the set was *proved* empty (trivially or by rational
+    /// Fourier-Motzkin).  A `false` answer is not a guarantee of
+    /// non-emptiness for parametric sets; for concrete sets use
+    /// [`ConvexSet::enumerate`] or the dense engine.
+    pub fn is_certainly_empty(&self) -> bool {
+        if self.known_empty {
+            return true;
+        }
+        !rationally_feasible(&self.constraints, self.space.dim() + self.space.n_params())
+    }
+
+    /// True if the full assignment `[dims..., params...]` satisfies every
+    /// constraint.
+    pub fn contains_full(&self, point: &[i64]) -> bool {
+        if self.known_empty {
+            return false;
+        }
+        assert_eq!(point.len(), self.space.total(), "point arity mismatch");
+        self.constraints.iter().all(|c| c.satisfied(point))
+    }
+
+    /// True if the set-dimension point `dims` (with parameter values
+    /// `params`) lies in the set.
+    pub fn contains(&self, dims: &[i64], params: &[i64]) -> bool {
+        let mut full = dims.to_vec();
+        full.extend_from_slice(params);
+        self.contains_full(&full)
+    }
+
+    /// Substitutes concrete values for all parameters, producing a set
+    /// without parameters.
+    pub fn bind_params(&self, values: &[i64]) -> ConvexSet {
+        assert_eq!(values.len(), self.space.n_params(), "parameter count mismatch");
+        let dim = self.space.dim();
+        let mut constraints = self.constraints.clone();
+        // Bind parameters from the last one to keep indices stable.
+        for (p, &val) in values.iter().enumerate().rev() {
+            let v = dim + p;
+            constraints = constraints.iter().map(|c| c.bind(v, val).drop_var(v)).collect();
+        }
+        let new_space = Space::with_names(
+            &self.space.dim_names().iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+            &[],
+        );
+        let mut out = ConvexSet {
+            space: new_space,
+            constraints,
+            known_empty: self.known_empty,
+            approximate: self.approximate,
+        };
+        out.normalize();
+        out
+    }
+
+    /// Projects out `count` set dimensions starting at `from`, keeping the
+    /// remaining dimensions in order.  Returns the projected set; the result
+    /// is flagged approximate when integer exactness could not be
+    /// guaranteed.
+    pub fn project_out(&self, from: usize, count: usize) -> ConvexSet {
+        assert!(from + count <= self.space.dim(), "projection out of range");
+        if self.known_empty {
+            let names: Vec<&str> = self
+                .space
+                .dim_names()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i < from || *i >= from + count)
+                .map(|(_, n)| n.as_str())
+                .collect();
+            let params: Vec<&str> =
+                self.space.param_names().iter().map(|s| s.as_str()).collect();
+            return ConvexSet::empty(Space::with_names(&names, &params));
+        }
+        let mut constraints = self.constraints.clone();
+        let mut approx = self.approximate;
+        let mut infeasible = false;
+        // Eliminate the dimensions one at a time (highest index first so the
+        // remaining target indices stay valid).
+        for v in (from..from + count).rev() {
+            let elim = eliminate_dim(&constraints, v);
+            if elim.infeasible {
+                infeasible = true;
+                constraints = Vec::new();
+                break;
+            }
+            approx = approx || !elim.exact;
+            constraints = elim.constraints.iter().map(|c| c.drop_var(v)).collect();
+        }
+        let names: Vec<&str> = self
+            .space
+            .dim_names()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i < from || *i >= from + count)
+            .map(|(_, n)| n.as_str())
+            .collect();
+        let params: Vec<&str> = self.space.param_names().iter().map(|s| s.as_str()).collect();
+        let space = Space::with_names(&names, &params);
+        if infeasible {
+            return ConvexSet::empty(space);
+        }
+        let mut out =
+            ConvexSet { space, constraints, known_empty: false, approximate: approx };
+        out.normalize();
+        out
+    }
+
+    /// Inserts `count` fresh unconstrained set dimensions at position `at`
+    /// (before the parameters).
+    pub fn insert_dims(&self, at: usize, count: usize) -> ConvexSet {
+        assert!(at <= self.space.dim(), "insertion point out of range");
+        let mut names: Vec<String> = self.space.dim_names().to_vec();
+        for k in 0..count {
+            names.insert(at + k, format!("t{}", at + k));
+        }
+        let names_ref: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let params: Vec<&str> = self.space.param_names().iter().map(|s| s.as_str()).collect();
+        ConvexSet {
+            space: Space::with_names(&names_ref, &params),
+            constraints: self.constraints.iter().map(|c| c.insert_vars(at, count)).collect(),
+            known_empty: self.known_empty,
+            approximate: self.approximate,
+        }
+    }
+
+    /// The negation of this convex set as a list of convex sets whose union
+    /// is the complement, pairwise disjoint.
+    ///
+    /// Uses the standard prefix expansion: the complement of
+    /// `c₁ ∧ c₂ ∧ … ∧ cₙ` is `⋃ₖ (c₁ ∧ … ∧ cₖ₋₁ ∧ ¬cₖ)`.
+    pub fn complement_pieces(&self) -> Vec<ConvexSet> {
+        if self.known_empty {
+            return vec![ConvexSet::universe(self.space.clone())];
+        }
+        let mut pieces = Vec::new();
+        for (k, ck) in self.constraints.iter().enumerate() {
+            let prefix: Vec<Constraint> = self.constraints[..k].to_vec();
+            for neg in ck.negated() {
+                let mut cs = prefix.clone();
+                cs.push(neg);
+                let piece = ConvexSet::from_constraints(self.space.clone(), cs);
+                if !piece.is_certainly_empty() {
+                    pieces.push(piece);
+                }
+            }
+        }
+        pieces
+    }
+
+    /// Set difference `self \ other` (both convex), returned as disjoint
+    /// convex pieces.
+    pub fn subtract(&self, other: &ConvexSet) -> Vec<ConvexSet> {
+        other
+            .complement_pieces()
+            .into_iter()
+            .map(|piece| self.intersect(&piece))
+            .filter(|s| !s.is_certainly_empty())
+            .collect()
+    }
+
+    /// Computes integer lower/upper bounds of set dimension `v` valid for
+    /// the whole set (parameters must be bound), by projecting away every
+    /// other set dimension.  Returns `None` for an unbounded or empty
+    /// direction.
+    pub fn dim_bounds(&self, v: usize) -> Option<(i64, i64)> {
+        assert_eq!(self.space.n_params(), 0, "bind parameters before querying bounds");
+        // project out all other dims
+        let mut s = self.clone();
+        // eliminate dims after v, then dims before v
+        if v + 1 < self.space.dim() {
+            s = s.project_out(v + 1, self.space.dim() - v - 1);
+        }
+        if v > 0 {
+            s = s.project_out(0, v);
+        }
+        // Now s is one-dimensional in the projected variable (index 0).
+        bounds_given_prefix(&s, &[])
+    }
+
+    /// Enumerates every integer point of the set.  All parameters must have
+    /// been bound (see [`ConvexSet::bind_params`]) and the set must be
+    /// bounded in every dimension.
+    ///
+    /// The enumeration recursively scans dimension 0, 1, … using bounds
+    /// obtained by (rational) projection of the *remaining* dimensions, and
+    /// checks the full constraint system at the leaves, so the result is
+    /// exact even when intermediate projections are approximate.
+    ///
+    /// # Panics
+    /// Panics if parameters remain or some dimension is unbounded.
+    pub fn enumerate(&self) -> Vec<IVec> {
+        assert_eq!(self.space.n_params(), 0, "bind parameters before enumerating");
+        if self.known_empty {
+            return Vec::new();
+        }
+        let dim = self.space.dim();
+        if dim == 0 {
+            return if self.constraints.iter().all(|c| c.satisfied(&[])) {
+                vec![vec![]]
+            } else {
+                vec![]
+            };
+        }
+        // Pre-compute, for every prefix length k, the set projected onto
+        // dims [0, k]: used to bound dim k given fixed values of dims < k.
+        let mut prefixes: Vec<ConvexSet> = Vec::with_capacity(dim);
+        for k in 0..dim {
+            let projected = if k + 1 < dim { self.project_out(k + 1, dim - k - 1) } else { self.clone() };
+            prefixes.push(projected);
+        }
+        let mut out = Vec::new();
+        let mut point = vec![0i64; dim];
+        self.enumerate_rec(0, &mut point, &prefixes, &mut out);
+        out
+    }
+
+    fn enumerate_rec(
+        &self,
+        level: usize,
+        point: &mut Vec<i64>,
+        prefixes: &[ConvexSet],
+        out: &mut Vec<IVec>,
+    ) {
+        let dim = self.space.dim();
+        if level == dim {
+            if self.contains_full(point) {
+                out.push(point.clone());
+            }
+            return;
+        }
+        // Bound dimension `level` of prefixes[level] given point[0..level].
+        let prefix = &prefixes[level];
+        let (lo, hi) = match bounds_given_prefix(prefix, &point[..level]) {
+            Some(b) => b,
+            None => return,
+        };
+        for v in lo..=hi {
+            point[level] = v;
+            // quick feasibility check of the prefix
+            let mut pref_point = point[..=level].to_vec();
+            pref_point.resize(prefix.space.dim(), 0);
+            // Only check constraints fully determined by the prefix dims.
+            let ok = prefix
+                .constraints
+                .iter()
+                .filter(|c| c.expr.coeffs()[level + 1..prefix.space.dim()].iter().all(|&x| x == 0))
+                .all(|c| c.satisfied(&pref_point));
+            if ok {
+                self.enumerate_rec(level + 1, point, prefixes, out);
+            }
+        }
+        point.truncate(dim);
+        point.resize(dim, 0);
+    }
+
+    /// Renders the set as a readable constraint list.
+    pub fn display(&self) -> String {
+        if self.known_empty {
+            return "{ } (empty)".to_string();
+        }
+        let cs: Vec<String> = self.constraints.iter().map(|c| c.display(&self.space)).collect();
+        format!(
+            "{{ [{}] : {} }}",
+            self.space.dim_names().join(", "),
+            if cs.is_empty() { "true".to_string() } else { cs.join(" and ") }
+        )
+    }
+
+    /// Normalizes constraints in place: gcd tightening, removal of
+    /// tautologies, detection of trivial infeasibility, de-duplication.
+    fn normalize(&mut self) {
+        if self.known_empty {
+            self.constraints.clear();
+            return;
+        }
+        let mut seen: Vec<Constraint> = Vec::with_capacity(self.constraints.len());
+        for c in &self.constraints {
+            match c.normalized() {
+                Ok(n) => {
+                    if !seen.contains(&n) {
+                        seen.push(n);
+                    }
+                }
+                Err(Folded::True) => {}
+                Err(_) => {
+                    self.known_empty = true;
+                    self.constraints.clear();
+                    return;
+                }
+            }
+        }
+        self.constraints = seen;
+    }
+}
+
+/// Bounds of the last prefix dimension given concrete values for the earlier
+/// dimensions: substitutes the fixed values, projects nothing (the prefix is
+/// already projected), and reads the interval from constraints on the last
+/// dimension.
+fn bounds_given_prefix(prefix: &ConvexSet, fixed: &[i64]) -> Option<(i64, i64)> {
+    let level = fixed.len();
+    let mut lower: Option<i64> = None;
+    let mut upper: Option<i64> = None;
+    for c in prefix.constraints() {
+        let a = c.expr.coeff(level);
+        if a == 0 {
+            continue;
+        }
+        // Evaluate the rest of the expression with the fixed prefix and the
+        // remaining (projected-away) dims treated as absent (coefficients of
+        // later dims are zero in a prefix constraint involving `level` only
+        // when the projection removed them; skip otherwise).
+        if c.expr.coeffs()[level + 1..].iter().any(|&x| x != 0) {
+            continue;
+        }
+        let mut point = fixed.to_vec();
+        point.push(0);
+        point.resize(c.expr.total(), 0);
+        let rest = c.expr.eval(&point); // value with x_level = 0
+        match c.kind {
+            ConstraintKind::Geq => {
+                if a > 0 {
+                    // a·x + rest >= 0 -> x >= ceil(-rest/a)
+                    let b = (-rest).div_euclid(a) + if (-rest).rem_euclid(a) > 0 { 1 } else { 0 };
+                    lower = Some(lower.map_or(b, |cur: i64| cur.max(b)));
+                } else {
+                    let b = rest.div_euclid(-a);
+                    upper = Some(upper.map_or(b, |cur: i64| cur.min(b)));
+                }
+            }
+            ConstraintKind::Eq => {
+                // a·x + rest = 0 pins x to a single value (or nothing).
+                if rest.rem_euclid(a.abs()) != 0 {
+                    return None;
+                }
+                let v = -rest / a;
+                lower = Some(lower.map_or(v, |cur: i64| cur.max(v)));
+                upper = Some(upper.map_or(v, |cur: i64| cur.min(v)));
+            }
+            ConstraintKind::Mod(_) => {}
+        }
+    }
+    match (lower, upper) {
+        (Some(l), Some(u)) if l <= u => Some((l, u)),
+        _ => None,
+    }
+}
+
+impl std::fmt::Debug for ConvexSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::Affine;
+
+    /// A rectangle 1 <= x <= nx, 1 <= y <= ny.
+    fn rect(nx: i64, ny: i64) -> ConvexSet {
+        let space = Space::with_names(&["x", "y"], &[]);
+        ConvexSet::from_constraints(
+            space,
+            vec![
+                Constraint::geq(Affine::new(vec![1, 0], -1)),
+                Constraint::geq(Affine::new(vec![-1, 0], nx)),
+                Constraint::geq(Affine::new(vec![0, 1], -1)),
+                Constraint::geq(Affine::new(vec![0, -1], ny)),
+            ],
+        )
+    }
+
+    #[test]
+    fn containment_and_enumeration() {
+        let r = rect(3, 2);
+        assert!(r.contains(&[1, 1], &[]));
+        assert!(r.contains(&[3, 2], &[]));
+        assert!(!r.contains(&[0, 1], &[]));
+        assert!(!r.contains(&[4, 1], &[]));
+        let pts = r.enumerate();
+        assert_eq!(pts.len(), 6);
+        assert!(pts.contains(&vec![2, 1]));
+    }
+
+    #[test]
+    fn empty_and_universe() {
+        let space = Space::new(2);
+        assert!(ConvexSet::empty(space.clone()).is_certainly_empty());
+        assert!(!ConvexSet::universe(space.clone()).is_certainly_empty());
+        assert_eq!(ConvexSet::empty(space).enumerate(), Vec::<IVec>::new());
+    }
+
+    #[test]
+    fn intersection() {
+        let r = rect(5, 5);
+        // x >= y
+        let tri = ConvexSet::from_constraints(
+            r.space().clone(),
+            vec![Constraint::geq(Affine::new(vec![1, -1], 0))],
+        );
+        let inter = r.intersect(&tri);
+        let pts = inter.enumerate();
+        assert_eq!(pts.len(), 15); // 5+4+3+2+1
+        assert!(pts.iter().all(|p| p[0] >= p[1]));
+    }
+
+    #[test]
+    fn infeasible_equality_detected() {
+        let space = Space::new(1);
+        let s = ConvexSet::from_constraints(
+            space,
+            vec![Constraint::eq(Affine::new(vec![2], -3))], // 2x = 3
+        );
+        assert!(s.is_certainly_empty());
+    }
+
+    #[test]
+    fn projection_with_congruence_is_exact() {
+        // { (i, j) | 2i + j = 21, 1 <= i <= 20, 1 <= j <= 20 } projected on j
+        // yields odd j in [1, 19]  (j = 21 - 2i with i in [1, 10]).
+        let space = Space::with_names(&["i", "j"], &[]);
+        let s = ConvexSet::from_constraints(
+            space,
+            vec![
+                Constraint::eq(Affine::new(vec![2, 1], -21)),
+                Constraint::geq(Affine::new(vec![1, 0], -1)),
+                Constraint::geq(Affine::new(vec![-1, 0], 20)),
+                Constraint::geq(Affine::new(vec![0, 1], -1)),
+                Constraint::geq(Affine::new(vec![0, -1], 20)),
+            ],
+        );
+        let proj = s.project_out(0, 1);
+        assert!(!proj.is_approximate());
+        let pts: Vec<i64> = proj.enumerate().into_iter().map(|p| p[0]).collect();
+        let expected: Vec<i64> = (1..=19).filter(|j| j % 2 == 1).collect();
+        assert_eq!(pts, expected);
+    }
+
+    #[test]
+    fn projection_matches_enumeration_on_rect() {
+        let r = rect(4, 7);
+        let proj = r.project_out(0, 1); // keep y
+        let ys: Vec<i64> = proj.enumerate().into_iter().map(|p| p[0]).collect();
+        assert_eq!(ys, (1..=7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn complement_and_subtract() {
+        let r = rect(4, 4);
+        let inner = rect(2, 4); // x in [1,2]
+        let diff = r.subtract(&inner);
+        let mut pts: Vec<IVec> = diff.iter().flat_map(|s| s.enumerate()).collect();
+        pts.sort();
+        pts.dedup();
+        // difference should be x in [3,4], y in [1,4]
+        assert_eq!(pts.len(), 8);
+        assert!(pts.iter().all(|p| p[0] >= 3));
+        // disjointness of pieces
+        let total: usize = diff.iter().map(|s| s.enumerate().len()).sum();
+        assert_eq!(total, pts.len(), "subtract pieces must be disjoint");
+    }
+
+    #[test]
+    fn subtract_with_congruence() {
+        // [1,10] minus the even numbers = odd numbers
+        let space = Space::with_names(&["x"], &[]);
+        let line = ConvexSet::from_constraints(
+            space.clone(),
+            vec![
+                Constraint::geq(Affine::new(vec![1], -1)),
+                Constraint::geq(Affine::new(vec![-1], 10)),
+            ],
+        );
+        let evens = line.with(Constraint::congruent(Affine::new(vec![1], 0), 2));
+        let odds: Vec<i64> = line
+            .subtract(&evens)
+            .iter()
+            .flat_map(|s| s.enumerate())
+            .map(|p| p[0])
+            .collect();
+        let mut odds_sorted = odds.clone();
+        odds_sorted.sort();
+        assert_eq!(odds_sorted, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn parameters_bind() {
+        // { x | 1 <= x <= N } with N a parameter
+        let space = Space::with_names(&["x"], &["N"]);
+        let s = ConvexSet::from_constraints(
+            space,
+            vec![
+                Constraint::geq(Affine::new(vec![1, 0], -1)),
+                Constraint::geq(Affine::new(vec![-1, 1], 0)), // N - x >= 0
+            ],
+        );
+        assert!(s.contains(&[3], &[5]));
+        assert!(!s.contains(&[6], &[5]));
+        let bound = s.bind_params(&[4]);
+        assert_eq!(bound.space().n_params(), 0);
+        assert_eq!(bound.enumerate().len(), 4);
+    }
+
+    #[test]
+    fn dim_bounds_query() {
+        let r = rect(3, 9);
+        assert_eq!(r.dim_bounds(0), Some((1, 3)));
+        assert_eq!(r.dim_bounds(1), Some((1, 9)));
+        let space = Space::new(1);
+        let unbounded = ConvexSet::from_constraints(
+            space,
+            vec![Constraint::geq(Affine::new(vec![1], 0))],
+        );
+        assert_eq!(unbounded.dim_bounds(0), None);
+    }
+
+    #[test]
+    fn insert_dims_preserves_semantics() {
+        let r = rect(3, 3);
+        let wide = r.insert_dims(1, 1); // (x, t, y)
+        assert!(wide.contains(&[2, 99, 3], &[]));
+        assert!(!wide.contains(&[4, 0, 1], &[]));
+        assert_eq!(wide.space().dim(), 3);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = rect(2, 2);
+        let text = r.display();
+        assert!(text.contains("x"));
+        assert!(text.contains(">= 0"));
+    }
+
+    #[test]
+    fn triangle_enumeration_with_dependent_bounds() {
+        // { (i, j) | 1 <= i <= 4, 1 <= j <= i } — a triangular nest like
+        // Example 3's J loop.
+        let space = Space::with_names(&["i", "j"], &[]);
+        let s = ConvexSet::from_constraints(
+            space,
+            vec![
+                Constraint::geq(Affine::new(vec![1, 0], -1)),
+                Constraint::geq(Affine::new(vec![-1, 0], 4)),
+                Constraint::geq(Affine::new(vec![0, 1], -1)),
+                Constraint::geq(Affine::new(vec![1, -1], 0)), // i - j >= 0
+            ],
+        );
+        let pts = s.enumerate();
+        assert_eq!(pts.len(), 1 + 2 + 3 + 4);
+    }
+}

@@ -1,0 +1,379 @@
+//! The dense (enumeration) engine: exact point-wise sets and relations.
+//!
+//! Once symbolic parameters are bound to concrete values, every set and
+//! relation in this problem domain is finite.  The dense engine represents
+//! them as explicit point collections, which makes the partitioning
+//! operations trivially exact.  It serves three purposes:
+//!
+//! 1. cross-validation of the symbolic engine in tests,
+//! 2. the driver for the successive dataflow partitioning of Algorithm 1's
+//!    else-branch (Example 4 / Cholesky), where the paper itself iterates
+//!    until the concrete iteration space is exhausted, and
+//! 3. the execution substrate: schedules run over enumerated iterations.
+
+use crate::relation::Relation;
+use crate::union::UnionSet;
+use rcp_intlin::IVec;
+use std::collections::{BTreeSet, HashMap};
+
+/// A finite set of integer points of a fixed dimension.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DenseSet {
+    dim: usize,
+    points: BTreeSet<IVec>,
+}
+
+impl DenseSet {
+    /// The empty set of the given dimension.
+    pub fn new(dim: usize) -> Self {
+        DenseSet { dim, points: BTreeSet::new() }
+    }
+
+    /// Builds a set from explicit points.
+    pub fn from_points(dim: usize, points: impl IntoIterator<Item = IVec>) -> Self {
+        let mut s = DenseSet::new(dim);
+        for p in points {
+            s.insert(p);
+        }
+        s
+    }
+
+    /// Enumerates a symbolic union set (parameters already bound).
+    pub fn from_union(set: &UnionSet) -> Self {
+        DenseSet::from_points(set.space().dim(), set.enumerate())
+    }
+
+    /// The dimension of the points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Inserts a point.
+    ///
+    /// # Panics
+    /// Panics when the point has the wrong dimension.
+    pub fn insert(&mut self, p: IVec) {
+        assert_eq!(p.len(), self.dim, "point dimension mismatch");
+        self.points.insert(p);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, p: &[i64]) -> bool {
+        self.points.contains(p)
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the set has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates the points in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &IVec> {
+        self.points.iter()
+    }
+
+    /// The points in lexicographic order.
+    pub fn to_vec(&self) -> Vec<IVec> {
+        self.points.iter().cloned().collect()
+    }
+
+    /// Union.
+    pub fn union(&self, other: &DenseSet) -> DenseSet {
+        assert_eq!(self.dim, other.dim);
+        DenseSet { dim: self.dim, points: self.points.union(&other.points).cloned().collect() }
+    }
+
+    /// Intersection.
+    pub fn intersect(&self, other: &DenseSet) -> DenseSet {
+        assert_eq!(self.dim, other.dim);
+        DenseSet {
+            dim: self.dim,
+            points: self.points.intersection(&other.points).cloned().collect(),
+        }
+    }
+
+    /// Difference `self \ other`.
+    pub fn subtract(&self, other: &DenseSet) -> DenseSet {
+        assert_eq!(self.dim, other.dim);
+        DenseSet {
+            dim: self.dim,
+            points: self.points.difference(&other.points).cloned().collect(),
+        }
+    }
+
+    /// True when `self` and `other` share no point.
+    pub fn is_disjoint(&self, other: &DenseSet) -> bool {
+        self.points.is_disjoint(&other.points)
+    }
+
+    /// True when every point of `self` is in `other`.
+    pub fn is_subset(&self, other: &DenseSet) -> bool {
+        self.points.is_subset(&other.points)
+    }
+}
+
+impl FromIterator<IVec> for DenseSet {
+    fn from_iter<T: IntoIterator<Item = IVec>>(iter: T) -> Self {
+        let points: BTreeSet<IVec> = iter.into_iter().collect();
+        let dim = points.iter().next().map_or(0, |p| p.len());
+        for p in &points {
+            assert_eq!(p.len(), dim, "mixed point dimensions");
+        }
+        DenseSet { dim, points }
+    }
+}
+
+/// A finite relation between integer points, with adjacency indexes for
+/// successor/predecessor queries (the chain-following primitives).
+#[derive(Clone, Debug, Default)]
+pub struct DenseRelation {
+    in_dim: usize,
+    out_dim: usize,
+    pairs: BTreeSet<(IVec, IVec)>,
+    succ: HashMap<IVec, Vec<IVec>>,
+    pred: HashMap<IVec, Vec<IVec>>,
+}
+
+impl DenseRelation {
+    /// The empty relation.
+    pub fn new(in_dim: usize, out_dim: usize) -> Self {
+        DenseRelation { in_dim, out_dim, ..Default::default() }
+    }
+
+    /// Builds a relation from explicit pairs.
+    pub fn from_pairs(
+        in_dim: usize,
+        out_dim: usize,
+        pairs: impl IntoIterator<Item = (IVec, IVec)>,
+    ) -> Self {
+        let mut r = DenseRelation::new(in_dim, out_dim);
+        for (a, b) in pairs {
+            r.insert(a, b);
+        }
+        r
+    }
+
+    /// Enumerates a symbolic relation (parameters already bound).
+    pub fn from_relation(rel: &Relation) -> Self {
+        DenseRelation::from_pairs(rel.in_dim(), rel.out_dim(), rel.enumerate_pairs())
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Inserts a pair.
+    pub fn insert(&mut self, a: IVec, b: IVec) {
+        assert_eq!(a.len(), self.in_dim, "input dimension mismatch");
+        assert_eq!(b.len(), self.out_dim, "output dimension mismatch");
+        if self.pairs.insert((a.clone(), b.clone())) {
+            self.succ.entry(a.clone()).or_default().push(b.clone());
+            self.pred.entry(b).or_default().push(a);
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, a: &[i64], b: &[i64]) -> bool {
+        self.pairs.contains(&(a.to_vec(), b.to_vec()))
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when the relation has no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates the pairs in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &(IVec, IVec)> {
+        self.pairs.iter()
+    }
+
+    /// `dom R`.
+    pub fn domain(&self) -> DenseSet {
+        DenseSet::from_points(self.in_dim, self.pairs.iter().map(|(a, _)| a.clone()))
+    }
+
+    /// `ran R`.
+    pub fn range(&self) -> DenseSet {
+        DenseSet::from_points(self.out_dim, self.pairs.iter().map(|(_, b)| b.clone()))
+    }
+
+    /// Direct successors of a point (images under the relation), in
+    /// insertion order.
+    pub fn successors(&self, p: &[i64]) -> &[IVec] {
+        self.succ.get(p).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Direct predecessors of a point (pre-images), in insertion order.
+    pub fn predecessors(&self, p: &[i64]) -> &[IVec] {
+        self.pred.get(p).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The inverse relation.
+    pub fn inverse(&self) -> DenseRelation {
+        DenseRelation::from_pairs(
+            self.out_dim,
+            self.in_dim,
+            self.pairs.iter().map(|(a, b)| (b.clone(), a.clone())),
+        )
+    }
+
+    /// Union of two relations with the same arity.
+    pub fn union(&self, other: &DenseRelation) -> DenseRelation {
+        assert_eq!((self.in_dim, self.out_dim), (other.in_dim, other.out_dim));
+        DenseRelation::from_pairs(
+            self.in_dim,
+            self.out_dim,
+            self.pairs.iter().chain(other.pairs.iter()).cloned(),
+        )
+    }
+
+    /// Restricts to pairs with both endpoints inside `set` (endpoints must
+    /// have the same dimension as `set`).
+    pub fn restrict_within(&self, set: &DenseSet) -> DenseRelation {
+        DenseRelation::from_pairs(
+            self.in_dim,
+            self.out_dim,
+            self.pairs
+                .iter()
+                .filter(|(a, b)| set.contains(a) && set.contains(b))
+                .cloned(),
+        )
+    }
+
+    /// Restricts to pairs whose input lies in `set`.
+    pub fn restrict_domain(&self, set: &DenseSet) -> DenseRelation {
+        DenseRelation::from_pairs(
+            self.in_dim,
+            self.out_dim,
+            self.pairs.iter().filter(|(a, _)| set.contains(a)).cloned(),
+        )
+    }
+
+    /// Restricts to pairs whose output lies in `set`.
+    pub fn restrict_range(&self, set: &DenseSet) -> DenseRelation {
+        DenseRelation::from_pairs(
+            self.in_dim,
+            self.out_dim,
+            self.pairs.iter().filter(|(_, b)| set.contains(b)).cloned(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[i64]) -> Vec<IVec> {
+        v.iter().map(|&x| vec![x]).collect()
+    }
+
+    #[test]
+    fn dense_set_algebra() {
+        let a = DenseSet::from_points(1, pts(&[1, 2, 3, 4]));
+        let b = DenseSet::from_points(1, pts(&[3, 4, 5]));
+        assert_eq!(a.union(&b).len(), 5);
+        assert_eq!(a.intersect(&b).to_vec(), pts(&[3, 4]));
+        assert_eq!(a.subtract(&b).to_vec(), pts(&[1, 2]));
+        assert!(a.contains(&[2]));
+        assert!(!a.contains(&[5]));
+        assert!(!a.is_disjoint(&b));
+        assert!(a.intersect(&b).is_subset(&a));
+        assert!(DenseSet::new(1).is_empty());
+    }
+
+    #[test]
+    fn dense_relation_adjacency() {
+        // figure 2: i -> 21 - 2i within [1, 20]
+        let mut r = DenseRelation::new(1, 1);
+        for i in 1..=10i64 {
+            r.insert(vec![i], vec![21 - 2 * i]);
+        }
+        assert_eq!(r.len(), 10);
+        assert!(r.contains(&[6], &[9]));
+        assert_eq!(r.successors(&[6]), &[vec![9]]);
+        assert_eq!(r.predecessors(&[9]), &[vec![6]]);
+        assert_eq!(r.successors(&[11]).len(), 0);
+        assert_eq!(r.domain().len(), 10);
+        assert_eq!(r.range().len(), 10);
+        let inv = r.inverse();
+        assert!(inv.contains(&[9], &[6]));
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut r = DenseRelation::new(1, 1);
+        r.insert(vec![1], vec![2]);
+        r.insert(vec![1], vec![2]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.successors(&[1]).len(), 1);
+    }
+
+    #[test]
+    fn restriction_operators() {
+        let mut r = DenseRelation::new(1, 1);
+        for i in 1..=5i64 {
+            r.insert(vec![i], vec![i + 1]);
+        }
+        let small = DenseSet::from_points(1, pts(&[1, 2, 3]));
+        assert_eq!(r.restrict_domain(&small).len(), 3);
+        assert_eq!(r.restrict_range(&small).len(), 2);
+        assert_eq!(r.restrict_within(&small).len(), 2); // 1->2, 2->3
+    }
+
+    #[test]
+    fn from_union_and_relation() {
+        use crate::affine::Affine;
+        use crate::constraint::Constraint;
+        use crate::convex::ConvexSet;
+        use crate::space::Space;
+
+        let space = Space::with_names(&["x"], &[]);
+        let seg = ConvexSet::universe(space.clone()).with_all(vec![
+            Constraint::geq(Affine::new(vec![1], -2)),
+            Constraint::geq(Affine::new(vec![-1], 5)),
+        ]);
+        let u = UnionSet::from_convex(seg);
+        let d = DenseSet::from_union(&u);
+        assert_eq!(d.to_vec(), pts(&[2, 3, 4, 5]));
+
+        let pair = Space::with_names(&["i", "j"], &[]);
+        let rel_cs = vec![
+            Constraint::eq(Affine::new(vec![2, 1], -21)),
+            Constraint::geq(Affine::new(vec![1, 0], -1)),
+            Constraint::geq(Affine::new(vec![-1, 0], 20)),
+            Constraint::geq(Affine::new(vec![0, 1], -1)),
+            Constraint::geq(Affine::new(vec![0, -1], 20)),
+        ];
+        let rel = Relation::new(
+            1,
+            1,
+            UnionSet::from_convex(ConvexSet::from_constraints(pair, rel_cs)),
+        );
+        let dr = DenseRelation::from_relation(&rel);
+        assert_eq!(dr.len(), 10);
+        assert!(dr.contains(&[6], &[9]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_dimension_panics() {
+        let mut s = DenseSet::new(2);
+        s.insert(vec![1]);
+    }
+}

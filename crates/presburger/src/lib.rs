@@ -1,0 +1,52 @@
+//! An Omega-library-style integer set and relation algebra.
+//!
+//! The recurrence-chain partitioning paper manipulates *unions of convex
+//! integer sets*: the iteration space `Φ`, the dependence relation `Rd`, and
+//! the partition sets `P1`, `P2`, `P3`, `W` are all obtained from one
+//! another with the operations `∩`, `∪`, `\`, `dom`, `ran` (paper §3.2:
+//! "Only ∩, ∪, \, dom, ran operations are applied to the union of convex
+//! sets Φ and Rd").  The original work uses Pugh's Omega library; this crate
+//! is the from-scratch substitute.
+//!
+//! # Model
+//!
+//! * A [`Space`] declares a number of *set dimensions* (iteration / statement
+//!   index variables) plus named symbolic *parameters* (loop bounds such as
+//!   `N1`, `N2` that may be unknown at compile time).
+//! * An [`Affine`] expression is an integer linear combination of the set
+//!   dimensions and parameters plus a constant.
+//! * A [`Constraint`] is `expr = 0`, `expr ≥ 0` or `expr ≡ 0 (mod m)`.
+//!   Congruence constraints are what lets projections of equality-defined
+//!   relations stay *exact* (they play the role of the Omega library's
+//!   stride constraints, and of the `3*((i1-2)/3)`-style guards in the
+//!   paper's generated code).
+//! * A [`ConvexSet`] is a conjunction of constraints; a [`UnionSet`] is a
+//!   finite union of convex sets; a [`Relation`] is a union set over
+//!   `in` ++ `out` dimensions.
+//! * [`DenseSet`] / [`DenseRelation`] form the *enumeration engine*: exact,
+//!   point-wise representations used once parameters are bound to concrete
+//!   values — these drive execution, validation and the dataflow
+//!   partitioning of Algorithm 1's else-branch.
+//!
+//! Symbolic results are cross-validated against the dense engine throughout
+//! the test suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affine;
+pub mod constraint;
+pub mod convex;
+pub mod dense;
+pub mod fm;
+pub mod relation;
+pub mod space;
+pub mod union;
+
+pub use affine::Affine;
+pub use constraint::{Constraint, ConstraintKind};
+pub use convex::ConvexSet;
+pub use dense::{DenseRelation, DenseSet};
+pub use relation::Relation;
+pub use space::Space;
+pub use union::UnionSet;

@@ -1,0 +1,288 @@
+//! Schedule executors: the stand-in for the paper's OpenMP runtime.
+//!
+//! * [`execute_sequential`] runs the program in original lexicographic
+//!   order — the reference both for correctness and for speedup
+//!   normalisation.
+//! * [`execute_schedule`] runs a [`Schedule`] phase by phase on a rayon
+//!   thread pool with `n_threads` workers.  Work items of a DOALL phase and
+//!   different chains of a chain phase execute concurrently; each item/chain
+//!   computes against the frozen pre-phase store through a
+//!   [`BufferedView`], and the buffered writes are merged at the phase
+//!   barrier.  Overlapping writes by two concurrent units are reported as
+//!   a race (a correct partition never produces one).
+//! * [`verify_schedule`] compares the parallel result against the
+//!   sequential result element-wise.
+
+use crate::array::{ArrayStore, BufferedView};
+use crate::kernel::Kernel;
+use rcp_codegen::{Phase, Schedule, WorkItem};
+use rcp_intlin::IVec;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// The outcome of executing a schedule.
+#[derive(Debug)]
+pub struct ExecutionResult {
+    /// The final array contents.
+    pub store: ArrayStore,
+    /// Wall-clock time per phase.
+    pub phase_times: Vec<Duration>,
+    /// Total wall-clock time.
+    pub total_time: Duration,
+    /// Write-write races detected between concurrent units of a phase
+    /// (empty for a valid schedule).
+    pub races: Vec<(String, IVec)>,
+}
+
+impl ExecutionResult {
+    /// True when no intra-phase write conflicts were detected.
+    pub fn race_free(&self) -> bool {
+        self.races.is_empty()
+    }
+}
+
+/// Executes the program sequentially (original statement-instance order).
+pub fn execute_sequential(schedule: &Schedule, kernel: &dyn Kernel) -> ArrayStore {
+    let mut store = ArrayStore::new();
+    for phase in &schedule.phases {
+        match phase {
+            Phase::Doall(items) => {
+                for item in items {
+                    run_item(item, kernel, &mut store);
+                }
+            }
+            Phase::ChainSet(chains) => {
+                for chain in chains {
+                    for item in chain {
+                        run_item(item, kernel, &mut store);
+                    }
+                }
+            }
+        }
+    }
+    store
+}
+
+/// Executes a schedule with `n_threads` rayon workers.
+pub fn execute_schedule(
+    schedule: &Schedule,
+    kernel: &(dyn Kernel + Sync),
+    n_threads: usize,
+) -> ExecutionResult {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(n_threads.max(1))
+        .build()
+        .expect("failed to build thread pool");
+    let mut store = ArrayStore::new();
+    let mut phase_times = Vec::with_capacity(schedule.phases.len());
+    let mut races = Vec::new();
+    let start_all = Instant::now();
+
+    for phase in &schedule.phases {
+        let start = Instant::now();
+        // Units of concurrency: items of a DOALL, whole chains of a chain set.
+        let units: Vec<Vec<&WorkItem>> = match phase {
+            Phase::Doall(items) => items.iter().map(|i| vec![i]).collect(),
+            Phase::ChainSet(chains) => {
+                chains.iter().map(|c| c.iter().collect()).collect()
+            }
+        };
+        let frozen = &store;
+        let unit_writes: Vec<Vec<(String, IVec, f64)>> = pool.install(|| {
+            use rayon::prelude::*;
+            units
+                .par_iter()
+                .map(|unit| {
+                    let mut view = BufferedView::new(frozen);
+                    for item in unit {
+                        for (stmt, indices) in &item.instances {
+                            kernel.execute(*stmt, indices, &mut view);
+                        }
+                    }
+                    view.into_writes()
+                })
+                .collect()
+        });
+        // Merge at the barrier, detecting write-write conflicts between
+        // different units.
+        let mut writer: HashMap<(String, IVec), usize> = HashMap::new();
+        for (unit_id, writes) in unit_writes.iter().enumerate() {
+            for (array, index, value) in writes {
+                if let Some(&prev) = writer.get(&(array.clone(), index.clone())) {
+                    if prev != unit_id {
+                        races.push((array.clone(), index.clone()));
+                    }
+                }
+                writer.insert((array.clone(), index.clone()), unit_id);
+                store.set(array, index, *value);
+            }
+        }
+        phase_times.push(start.elapsed());
+    }
+
+    ExecutionResult { store, phase_times, total_time: start_all.elapsed(), races }
+}
+
+fn run_item(item: &WorkItem, kernel: &dyn Kernel, store: &mut ArrayStore) {
+    for (stmt, indices) in &item.instances {
+        kernel.execute(*stmt, indices, store);
+    }
+}
+
+/// The result of verifying a parallel schedule against the sequential
+/// reference.
+#[derive(Debug)]
+pub struct Verification {
+    /// Element-wise mismatches `(array, index, sequential, parallel)`.
+    pub mismatches: Vec<(String, IVec, f64, f64)>,
+    /// Races detected during parallel execution.
+    pub races: Vec<(String, IVec)>,
+}
+
+impl Verification {
+    /// True when the parallel execution is equivalent to the sequential one
+    /// and race free.
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty() && self.races.is_empty()
+    }
+}
+
+/// Runs both the sequential reference and the parallel schedule and compares
+/// the resulting array stores.
+pub fn verify_schedule(
+    sequential: &Schedule,
+    parallel: &Schedule,
+    kernel: &(dyn Kernel + Sync),
+    n_threads: usize,
+) -> Verification {
+    let reference = execute_sequential(sequential, kernel);
+    let result = execute_schedule(parallel, kernel, n_threads);
+    Verification {
+        mismatches: reference.diff(&result.store, 1e-9),
+        races: result.races,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::RefKernel;
+    use rcp_core::concrete_partition;
+    use rcp_depend::DependenceAnalysis;
+    use rcp_loopir::expr::{c, v};
+    use rcp_loopir::program::build::{loop_, stmt};
+    use rcp_loopir::{ArrayRef, Program};
+
+    fn figure2() -> Program {
+        Program::new(
+            "figure2",
+            &[],
+            vec![loop_(
+                "I",
+                c(1),
+                c(20),
+                vec![stmt(
+                    "S",
+                    vec![
+                        ArrayRef::write("a", vec![v("I") * 2]),
+                        ArrayRef::read("a", vec![c(21) - v("I")]),
+                    ],
+                )],
+            )],
+        )
+    }
+
+    fn example1() -> Program {
+        Program::new(
+            "example1",
+            &["N1", "N2"],
+            vec![loop_(
+                "I1",
+                c(1),
+                v("N1"),
+                vec![loop_(
+                    "I2",
+                    c(1),
+                    v("N2"),
+                    vec![stmt(
+                        "S",
+                        vec![
+                            ArrayRef::write(
+                                "a",
+                                vec![v("I1") * 3 + c(1), v("I1") * 2 + v("I2") - c(1)],
+                            ),
+                            ArrayRef::read("a", vec![v("I1") + c(3), v("I2") + c(1)]),
+                        ],
+                    )],
+                )],
+            )],
+        )
+    }
+
+    #[test]
+    fn figure2_partition_schedule_matches_sequential() {
+        let p = figure2();
+        let analysis = DependenceAnalysis::loop_level(&p);
+        let part = concrete_partition(&analysis, &[]);
+        let parallel = Schedule::from_partition(&analysis, &part, "figure2-rec");
+        let sequential = Schedule::sequential(&p, &[]);
+        let kernel = RefKernel::new(&p);
+        for threads in [1, 2, 4] {
+            let v = verify_schedule(&sequential, &parallel, &kernel, threads);
+            assert!(v.passed(), "verification failed with {threads} threads: {:?}", v.mismatches);
+        }
+    }
+
+    #[test]
+    fn example1_partition_schedule_matches_sequential() {
+        let p = example1();
+        let analysis = DependenceAnalysis::loop_level(&p);
+        let part = concrete_partition(&analysis, &[20, 25]);
+        let parallel = Schedule::from_partition(&analysis, &part, "example1-rec");
+        let sequential = Schedule::sequential(&p, &[20, 25]);
+        let kernel = RefKernel::new(&p);
+        let v = verify_schedule(&sequential, &parallel, &kernel, 4);
+        assert!(v.passed(), "mismatches: {:?}", &v.mismatches[..v.mismatches.len().min(5)]);
+    }
+
+    #[test]
+    fn a_wrong_schedule_is_caught() {
+        // Schedule the whole loop as a single DOALL: dependent iterations
+        // now race against the frozen store and the result differs from the
+        // sequential one.
+        let p = figure2();
+        let analysis = DependenceAnalysis::loop_level(&p);
+        let phi = analysis.phi.bind_params(&[]);
+        let all = rcp_presburger::DenseSet::from_union(&phi);
+        let wrong = Schedule::doall_phase(&analysis, &all, "figure2-all-parallel");
+        let sequential = Schedule::sequential(&p, &[]);
+        let kernel = RefKernel::new(&p);
+        let v = verify_schedule(&sequential, &wrong, &kernel, 2);
+        assert!(!v.passed(), "an invalid schedule must not verify");
+    }
+
+    #[test]
+    fn races_are_detected() {
+        // Two work items writing the same element in one DOALL phase.
+        let p = figure2();
+        let kernel = RefKernel::new(&p);
+        let item = WorkItem::single(0, vec![6]);
+        let schedule = Schedule {
+            name: "racy".to_string(),
+            phases: vec![Phase::Doall(vec![item.clone(), item])],
+        };
+        let result = execute_schedule(&schedule, &kernel, 2);
+        assert!(!result.race_free());
+    }
+
+    #[test]
+    fn sequential_and_one_thread_schedule_agree_trivially() {
+        let p = figure2();
+        let seq = Schedule::sequential(&p, &[]);
+        let kernel = RefKernel::new(&p);
+        let a = execute_sequential(&seq, &kernel);
+        let b = execute_schedule(&seq, &kernel, 1);
+        assert!(a.diff(&b.store, 1e-12).is_empty());
+        assert!(b.race_free());
+    }
+}

@@ -1,0 +1,32 @@
+//! Parallel execution substrate for recurrence-chain schedules.
+//!
+//! This crate stands in for the paper's Fortran + OpenMP + 4-CPU Itanium
+//! testbed:
+//!
+//! * [`array`] — the array store generated loops compute on (sparse,
+//!   supports negative subscripts, deterministic initial values),
+//! * [`kernel`] — statement kernels; [`RefKernel`] derives an
+//!   order-sensitive computation directly from a program's array
+//!   references so that schedule correctness is observable,
+//! * [`executor`] — the sequential reference executor, the rayon-based
+//!   phase executor with per-phase barriers and write-conflict detection,
+//!   and schedule verification (parallel result == sequential result),
+//! * [`cost`] — the calibrated analytic cost model that turns schedules
+//!   into the speedup curves of Figure 3 (the container has a single CPU,
+//!   so modelled time — not wall-clock — carries the multi-thread story;
+//!   see DESIGN.md for the substitution rationale).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod cost;
+pub mod executor;
+pub mod kernel;
+
+pub use array::{Array, ArrayStore, BufferedView, StoreView};
+pub use cost::{makespan, CostModel};
+pub use executor::{
+    execute_schedule, execute_sequential, verify_schedule, ExecutionResult, Verification,
+};
+pub use kernel::{FnKernel, Kernel, RefKernel};

@@ -1,0 +1,302 @@
+//! Example 4: the NASA-benchmark Cholesky kernel.
+//!
+//! The kernel consists of two imperfectly nested loop nests (the
+//! factorisation sweep over `a` and the forward/backward substitution over
+//! `b`) with multiple pairs of coupled subscripts and negative loop
+//! indices.  At the paper's parameters (`NMAT = 250, M = 4, N = 40,
+//! NRHS = 3`) the recurrence dataflow partitioning takes 238 steps.
+//!
+//! The Fortran source in the paper uses a descending loop
+//! (`DO 6 K = N, 0, -1`); the program model requires unit-stride loops, so
+//! that loop is normalised here with `KD = N - K` (subscripts substituted
+//! accordingly), exactly as the paper's own program model (§2) prescribes.
+
+use rcp_loopir::expr::{c, v, LinExpr};
+use rcp_loopir::program::build::{loop_, loop_minmax, stmt};
+use rcp_loopir::{ArrayRef, Program};
+
+/// Parameters of the Cholesky kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CholeskyParams {
+    /// Number of independent matrices (the vectorised `L` dimension).
+    pub nmat: i64,
+    /// Half bandwidth.
+    pub m: i64,
+    /// Matrix order.
+    pub n: i64,
+    /// Number of right-hand sides.
+    pub nrhs: i64,
+}
+
+impl CholeskyParams {
+    /// The parameters used in the paper's evaluation.
+    pub fn paper() -> Self {
+        CholeskyParams { nmat: 250, m: 4, n: 40, nrhs: 3 }
+    }
+
+    /// A reduced configuration for fast tests (same shape, smaller `NMAT`).
+    pub fn small() -> Self {
+        CholeskyParams { nmat: 4, m: 4, n: 10, nrhs: 2 }
+    }
+
+    /// The parameter vector in the order declared by
+    /// [`example4_cholesky`]'s program (`NMAT, M, N, NRHS`).
+    pub fn as_vec(&self) -> Vec<i64> {
+        vec![self.nmat, self.m, self.n, self.nrhs]
+    }
+}
+
+/// Builds the Cholesky kernel as a loop program.
+///
+/// Statement numbering follows the Fortran labels of the paper:
+/// `S3, S2, S4, S5, S1` in the factorisation nest and `S8, S7, S9, S6` in
+/// the substitution nest (listed in program order).
+pub fn example4_cholesky() -> Program {
+    let i0_lowers = || vec![-v("M"), -v("J")];
+    // Factorisation nest: DO J = 0, N
+    let factorisation = loop_(
+        "J",
+        c(0),
+        v("N"),
+        vec![
+            // DO I = I0, -1
+            loop_minmax(
+                "I",
+                i0_lowers(),
+                vec![c(-1)],
+                vec![
+                    // DO JJ = I0 - I, -1 ; DO L = 0, NMAT ; S3
+                    loop_minmax(
+                        "JJ",
+                        vec![-v("M") - v("I"), -v("J") - v("I")],
+                        vec![c(-1)],
+                        vec![loop_(
+                            "L",
+                            c(0),
+                            v("NMAT"),
+                            vec![stmt(
+                                "S3",
+                                vec![
+                                    ArrayRef::write("a", vec![v("L"), v("I"), v("J")]),
+                                    ArrayRef::read("a", vec![v("L"), v("I"), v("J")]),
+                                    ArrayRef::read("a", vec![v("L"), v("JJ"), v("I") + v("J")]),
+                                    ArrayRef::read("a", vec![v("L"), v("I") + v("JJ"), v("J")]),
+                                ],
+                            )],
+                        )],
+                    ),
+                    // DO L = 0, NMAT ; S2
+                    loop_(
+                        "L",
+                        c(0),
+                        v("NMAT"),
+                        vec![stmt(
+                            "S2",
+                            vec![
+                                ArrayRef::write("a", vec![v("L"), v("I"), v("J")]),
+                                ArrayRef::read("a", vec![v("L"), v("I"), v("J")]),
+                                ArrayRef::read("a", vec![v("L"), c(0), v("I") + v("J")]),
+                            ],
+                        )],
+                    ),
+                ],
+            ),
+            // DO L = 0, NMAT ; S4: epss(L) = EPS * a(L,0,J)
+            loop_(
+                "L",
+                c(0),
+                v("NMAT"),
+                vec![stmt(
+                    "S4",
+                    vec![
+                        ArrayRef::write("epss", vec![v("L")]),
+                        ArrayRef::read("a", vec![v("L"), c(0), v("J")]),
+                    ],
+                )],
+            ),
+            // DO JJ = I0, -1 ; DO L = 0, NMAT ; S5
+            loop_minmax(
+                "JJ",
+                i0_lowers(),
+                vec![c(-1)],
+                vec![loop_(
+                    "L",
+                    c(0),
+                    v("NMAT"),
+                    vec![stmt(
+                        "S5",
+                        vec![
+                            ArrayRef::write("a", vec![v("L"), c(0), v("J")]),
+                            ArrayRef::read("a", vec![v("L"), c(0), v("J")]),
+                            ArrayRef::read("a", vec![v("L"), v("JJ"), v("J")]),
+                        ],
+                    )],
+                )],
+            ),
+            // DO L = 0, NMAT ; S1: a(L,0,J) = 1/sqrt(|epss(L) + a(L,0,J)|)
+            loop_(
+                "L",
+                c(0),
+                v("NMAT"),
+                vec![stmt(
+                    "S1",
+                    vec![
+                        ArrayRef::write("a", vec![v("L"), c(0), v("J")]),
+                        ArrayRef::read("a", vec![v("L"), c(0), v("J")]),
+                        ArrayRef::read("epss", vec![v("L")]),
+                    ],
+                )],
+            ),
+        ],
+    );
+
+    // Substitution nest: DO I = 0, NRHS
+    let kd: LinExpr = v("N") - v("KD"); // the original descending index K = N - KD
+    let substitution = loop_(
+        "I",
+        c(0),
+        v("NRHS"),
+        vec![
+            // DO K = 0, N (forward sweep)
+            loop_(
+                "K",
+                c(0),
+                v("N"),
+                vec![
+                    // DO L = 0, NMAT ; S8: b(I,L,K) = b(I,L,K)*a(L,0,K)
+                    loop_(
+                        "L",
+                        c(0),
+                        v("NMAT"),
+                        vec![stmt(
+                            "S8",
+                            vec![
+                                ArrayRef::write("b", vec![v("I"), v("L"), v("K")]),
+                                ArrayRef::read("b", vec![v("I"), v("L"), v("K")]),
+                                ArrayRef::read("a", vec![v("L"), c(0), v("K")]),
+                            ],
+                        )],
+                    ),
+                    // DO JJ = 1, MIN(M, N-K) ; DO L ; S7
+                    loop_minmax(
+                        "JJ",
+                        vec![c(1)],
+                        vec![v("M"), v("N") - v("K")],
+                        vec![loop_(
+                            "L",
+                            c(0),
+                            v("NMAT"),
+                            vec![stmt(
+                                "S7",
+                                vec![
+                                    ArrayRef::write("b", vec![v("I"), v("L"), v("K") + v("JJ")]),
+                                    ArrayRef::read("b", vec![v("I"), v("L"), v("K") + v("JJ")]),
+                                    ArrayRef::read("a", vec![v("L"), -v("JJ"), v("K") + v("JJ")]),
+                                    ArrayRef::read("b", vec![v("I"), v("L"), v("K")]),
+                                ],
+                            )],
+                        )],
+                    ),
+                ],
+            ),
+            // DO KD = 0, N (the normalised descending sweep, K = N - KD)
+            loop_(
+                "KD",
+                c(0),
+                v("N"),
+                vec![
+                    // DO L = 0, NMAT ; S9: b(I,L,K) = b(I,L,K)*a(L,0,K)
+                    loop_(
+                        "L",
+                        c(0),
+                        v("NMAT"),
+                        vec![stmt(
+                            "S9",
+                            vec![
+                                ArrayRef::write("b", vec![v("I"), v("L"), kd.clone()]),
+                                ArrayRef::read("b", vec![v("I"), v("L"), kd.clone()]),
+                                ArrayRef::read("a", vec![v("L"), c(0), kd.clone()]),
+                            ],
+                        )],
+                    ),
+                    // DO JJ = 1, MIN(M, K) ; DO L ; S6
+                    loop_minmax(
+                        "JJ",
+                        vec![c(1)],
+                        vec![v("M"), kd.clone()],
+                        vec![loop_(
+                            "L",
+                            c(0),
+                            v("NMAT"),
+                            vec![stmt(
+                                "S6",
+                                vec![
+                                    ArrayRef::write("b", vec![v("I"), v("L"), kd.clone() - v("JJ")]),
+                                    ArrayRef::read("b", vec![v("I"), v("L"), kd.clone() - v("JJ")]),
+                                    ArrayRef::read("a", vec![v("L"), -v("JJ"), kd.clone()]),
+                                    ArrayRef::read("b", vec![v("I"), v("L"), kd.clone()]),
+                                ],
+                            )],
+                        )],
+                    ),
+                ],
+            ),
+        ],
+    );
+
+    Program::new("cholesky", &["NMAT", "M", "N", "NRHS"], vec![factorisation, substitution])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_matches_the_fortran_source() {
+        let p = example4_cholesky();
+        assert!(!p.is_perfect_nest());
+        assert_eq!(p.max_depth(), 4);
+        let stmts = p.statements();
+        let names: Vec<&str> = stmts.iter().map(|s| s.stmt.name.as_str()).collect();
+        assert_eq!(names, vec!["S3", "S2", "S4", "S5", "S1", "S8", "S7", "S9", "S6"]);
+        assert_eq!(p.arrays(), vec!["a", "b", "epss"]);
+        // S3 sits under J, I, JJ, L.
+        assert_eq!(stmts[0].loop_indices, vec!["J", "I", "JJ", "L"]);
+        // S1 sits under J, L.
+        assert_eq!(stmts[4].loop_indices, vec!["J", "L"]);
+        // S6 sits under I, KD, JJ, L in the second nest.
+        assert_eq!(stmts[8].loop_indices, vec!["I", "KD", "JJ", "L"]);
+        assert_eq!(stmts[8].positions[0], 2, "substitution nest is the second top-level nest");
+    }
+
+    #[test]
+    fn instance_counts_at_small_parameters() {
+        let p = example4_cholesky();
+        let params = CholeskyParams::small();
+        let instances = p.enumerate_instances(&params.as_vec());
+        assert!(!instances.is_empty());
+        // Independent check of one statement's trip count: S4 runs for every
+        // (J, L) pair: (N+1) * (NMAT+1).
+        let stmts = p.statements();
+        let s4 = stmts.iter().position(|s| s.stmt.name == "S4").unwrap();
+        let s4_count = instances.iter().filter(|(id, _)| *id == s4).count();
+        assert_eq!(s4_count, ((params.n + 1) * (params.nmat + 1)) as usize);
+        // S8 runs for every (I, K, L): (NRHS+1) * (N+1) * (NMAT+1).
+        let s8 = stmts.iter().position(|s| s.stmt.name == "S8").unwrap();
+        let s8_count = instances.iter().filter(|(id, _)| *id == s8).count();
+        assert_eq!(
+            s8_count,
+            ((params.nrhs + 1) * (params.n + 1) * (params.nmat + 1)) as usize
+        );
+    }
+
+    #[test]
+    fn paper_parameters_have_the_expected_scale() {
+        let p = example4_cholesky();
+        let params = CholeskyParams::paper();
+        let n = p.count_instances(&params.as_vec());
+        // Hundreds of thousands of statement instances (the kernel the paper
+        // parallelises is not a toy).
+        assert!(n > 500_000, "expected a large instance count, got {n}");
+    }
+}

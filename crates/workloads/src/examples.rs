@@ -1,0 +1,223 @@
+//! The concrete loop programs used throughout the paper.
+//!
+//! Each constructor returns the [`Program`] exactly as written in the paper
+//! (after loop normalization), so every crate — tests, examples, benchmarks
+//! — analyses and executes the same workload definitions.
+
+use rcp_loopir::expr::{c, v};
+use rcp_loopir::program::build::{loop_, stmt};
+use rcp_loopir::{ArrayRef, Program};
+
+/// Figure 1 / Example 1 of the paper:
+///
+/// ```fortran
+/// DO I1 = 1, N1
+///   DO I2 = 1, N2
+///     a(3*I1+1, 2*I1+I2-1) = a(I1+3, I2+1)
+///   ENDDO
+/// ENDDO
+/// ```
+///
+/// A single pair of coupled subscripts with `det A = 3`; the non-uniform
+/// distances (2,2), (4,4), (6,6) of figure 1 and the recurrence-chain
+/// partitioning of Example 1 both come from this loop.
+pub fn example1() -> Program {
+    Program::new(
+        "example1",
+        &["N1", "N2"],
+        vec![loop_(
+            "I1",
+            c(1),
+            v("N1"),
+            vec![loop_(
+                "I2",
+                c(1),
+                v("N2"),
+                vec![stmt(
+                    "S",
+                    vec![
+                        ArrayRef::write("a", vec![v("I1") * 3 + c(1), v("I1") * 2 + v("I2") - c(1)]),
+                        ArrayRef::read("a", vec![v("I1") + c(3), v("I2") + c(1)]),
+                    ],
+                )],
+            )],
+        )],
+    )
+}
+
+/// Figure 2 of the paper: the one-dimensional loop
+///
+/// ```fortran
+/// DO I = 1, 20
+///   a(2*I) = a(21-I)
+/// ENDDO
+/// ```
+///
+/// whose dependence chains bifurcate (6 → 9 → 3 → 15 splits into the
+/// monotonic chains 6 → 9, 3 → 9, 3 → 15) and whose intermediate set is
+/// empty.
+pub fn figure2() -> Program {
+    figure2_n(20)
+}
+
+/// The figure-2 loop with a configurable upper bound (the paper uses 20):
+/// `DO I = 1, n ; a(2*I) = a(n+1-I) ; ENDDO`.
+pub fn figure2_n(n: i64) -> Program {
+    Program::new(
+        "figure2",
+        &[],
+        vec![loop_(
+            "I",
+            c(1),
+            c(n),
+            vec![stmt(
+                "S",
+                vec![
+                    ArrayRef::write("a", vec![v("I") * 2]),
+                    ArrayRef::read("a", vec![c(n + 1) - v("I")]),
+                ],
+            )],
+        )],
+    )
+}
+
+/// Example 2 of the paper (from Ju & Chaudhary):
+///
+/// ```fortran
+/// DO I = 1, N
+///   DO J = 1, N
+///     a(2*I+3, J+1) = a(I+2*J+1, I+J+3)
+///   ENDDO
+/// ENDDO
+/// ```
+///
+/// One coupled pair with `|det A| = 2`, `|det B| = 1`; at `N = 12` the
+/// intermediate set is the single iteration `(2, 6)`.
+pub fn example2() -> Program {
+    Program::new(
+        "example2",
+        &["N"],
+        vec![loop_(
+            "I",
+            c(1),
+            v("N"),
+            vec![loop_(
+                "J",
+                c(1),
+                v("N"),
+                vec![stmt(
+                    "S",
+                    vec![
+                        ArrayRef::write("a", vec![v("I") * 2 + c(3), v("J") + c(1)]),
+                        ArrayRef::read("a", vec![v("I") + v("J") * 2 + c(1), v("I") + v("J") + c(3)]),
+                    ],
+                )],
+            )],
+        )],
+    )
+}
+
+/// Example 3 of the paper (from Chen & Yew): an imperfectly nested loop
+///
+/// ```fortran
+/// DO I = 1, N
+///   DO J = 1, I
+///     DO K = J, I
+///       ... = a(I+2*K+5, 4*K-J)
+///     ENDDO
+///     a(I-J, I+J) = ...
+///   ENDDO
+/// ENDDO
+/// ```
+///
+/// Statement-level analysis finds an empty intermediate set, so the
+/// recurrence partitioning produces two DOALL partitions (`P1`, `P3`) and no
+/// WHILE chains — against the DOACROSS code of the original publication.
+pub fn example3() -> Program {
+    Program::new(
+        "example3",
+        &["N"],
+        vec![loop_(
+            "I",
+            c(1),
+            v("N"),
+            vec![loop_(
+                "J",
+                c(1),
+                v("I"),
+                vec![
+                    loop_(
+                        "K",
+                        v("J"),
+                        v("I"),
+                        vec![stmt(
+                            "S1",
+                            vec![ArrayRef::read("a", vec![v("I") + v("K") * 2 + c(5), v("K") * 4 - v("J")])],
+                        )],
+                    ),
+                    stmt("S2", vec![ArrayRef::write("a", vec![v("I") - v("J"), v("I") + v("J")])]),
+                ],
+            )],
+        )],
+    )
+}
+
+/// A classic uniform-dependence loop (`a(I+1) = a(I)`), used as a
+/// calibration workload and as the "uniform" reference point of the corpus
+/// statistics.
+pub fn uniform_chain() -> Program {
+    Program::new(
+        "uniform-chain",
+        &["N"],
+        vec![loop_(
+            "I",
+            c(1),
+            v("N"),
+            vec![stmt(
+                "S",
+                vec![
+                    ArrayRef::write("a", vec![v("I") + c(1)]),
+                    ArrayRef::read("a", vec![v("I")]),
+                ],
+            )],
+        )],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcp_depend::{classify_analysis, DependenceAnalysis, Uniformity};
+
+    #[test]
+    fn example_programs_have_expected_shape() {
+        assert!(example1().is_perfect_nest());
+        assert!(example2().is_perfect_nest());
+        assert!(!example3().is_perfect_nest());
+        assert!(figure2().is_perfect_nest());
+        assert_eq!(example1().max_depth(), 2);
+        assert_eq!(example3().max_depth(), 3);
+        assert_eq!(figure2().loop_iteration_set().bind_params(&[]).enumerate().len(), 20);
+    }
+
+    #[test]
+    fn motivating_classification() {
+        // The paper's motivation: examples 1 and 2 are non-uniform, the
+        // classic translation loop is uniform.
+        let e1 = DependenceAnalysis::loop_level(&example1());
+        assert_eq!(classify_analysis(&e1, &[10, 10]), Uniformity::NonUniform);
+        let e2 = DependenceAnalysis::loop_level(&example2());
+        assert_eq!(classify_analysis(&e2, &[12]), Uniformity::NonUniform);
+        let u = DependenceAnalysis::loop_level(&uniform_chain());
+        assert_eq!(classify_analysis(&u, &[16]), Uniformity::Uniform);
+    }
+
+    #[test]
+    fn figure2_scales_with_n() {
+        let p = figure2_n(10);
+        let analysis = DependenceAnalysis::loop_level(&p);
+        let (_, rel) = analysis.bind_params(&[]);
+        // 2i = 2n+1 - j has solutions for i in 1..=n with j odd.
+        assert!(!rcp_presburger::DenseRelation::from_relation(&rel).is_empty());
+    }
+}

@@ -1,0 +1,17 @@
+//! The paper's workloads: example loops 1–4, the figure-2 loop, and the
+//! synthetic loop corpus used for the motivating statistics.
+//!
+//! Every other crate (tests, examples, benchmarks) obtains its programs from
+//! here, so the analysed loop, the executed loop and the benchmarked loop
+//! are guaranteed to be the same object.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod corpus;
+pub mod examples;
+
+pub use cholesky::{example4_cholesky, CholeskyParams};
+pub use corpus::{corpus_statistics, random_nest, CorpusConfig, CorpusStats};
+pub use examples::{example1, example2, example3, figure2, figure2_n, uniform_chain};

@@ -1,0 +1,76 @@
+//! Quickstart: partition the paper's running example (Example 1) with
+//! recurrence chains, print the generated pseudo-Fortran, and verify the
+//! parallel schedule against the sequential loop.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use recurrence_chains::codegen::generate_listing;
+use recurrence_chains::prelude::*;
+use recurrence_chains::runtime::CostModel;
+use recurrence_chains::workloads::example1;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. The input loop (figure 1 of the paper):
+    //        DO I1 = 1, N1
+    //          DO I2 = 1, N2
+    //            a(3*I1+1, 2*I1+I2-1) = a(I1+3, I2+1)
+    // ------------------------------------------------------------------
+    let program = example1();
+    println!("input loop:\n{}", program.to_pseudo_code());
+
+    // ------------------------------------------------------------------
+    // 2. Exact dependence analysis: the loop is non-uniform.
+    // ------------------------------------------------------------------
+    let analysis = DependenceAnalysis::loop_level(&program);
+    let uniformity = recurrence_chains::depend::classify_analysis(&analysis, &[10, 10]);
+    println!("dependence classification at N1=N2=10: {uniformity:?}");
+
+    // ------------------------------------------------------------------
+    // 3. Symbolic recurrence-chain partitioning (works for unknown N1, N2).
+    // ------------------------------------------------------------------
+    let plan = symbolic_plan(&analysis).expect("Example 1 has one coupled pair, full rank");
+    println!("recurrence matrix T, offset u:\n{:?}\nu = {:?}", plan.recurrence.t, plan.recurrence.u);
+    println!("alpha = max(|det T|, |det T^-1|) = {}", plan.recurrence.alpha());
+    println!("\ngenerated code:\n{}", generate_listing(&plan, "example1"));
+
+    // ------------------------------------------------------------------
+    // 4. Concrete partition + executable schedule for N1=300, N2=1000
+    //    (the evaluation parameters of the paper).
+    // ------------------------------------------------------------------
+    let params = [60i64, 80]; // keep the example fast; the bench uses 300 x 1000
+    let partition = concrete_partition(&analysis, &params);
+    let stats = partition.stats();
+    println!(
+        "concrete partition at N1={}, N2={}: {} phases, critical path {}, widest phase {}, {} iterations",
+        params[0], params[1], stats.n_phases, stats.critical_path, stats.max_width, stats.total_iterations
+    );
+
+    let schedule = Schedule::from_partition(&analysis, &partition, "example1-rec");
+    let sequential = Schedule::sequential(&program, &params);
+
+    // ------------------------------------------------------------------
+    // 5. Verify: the parallel schedule computes the same array contents.
+    // ------------------------------------------------------------------
+    let kernel = RefKernel::new(&program);
+    let verdict = verify_schedule(&sequential, &schedule, &kernel, 4);
+    println!(
+        "verification against sequential execution: {}",
+        if verdict.passed() { "PASSED" } else { "FAILED" }
+    );
+
+    // ------------------------------------------------------------------
+    // 6. Modelled speedups (the container has one CPU; the cost model
+    //    carries the multi-thread story, see DESIGN.md).
+    // ------------------------------------------------------------------
+    let model = CostModel::default();
+    print!("modelled speedup (REC):");
+    for threads in 1..=4 {
+        print!("  {}T = {:.2}", threads, model.speedup(&schedule, threads));
+    }
+    println!();
+}

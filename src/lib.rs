@@ -1,0 +1,73 @@
+//! # recurrence-chains
+//!
+//! A reproduction, as a Rust library, of *"Non-Uniform Dependences
+//! Partitioned by Recurrence Chains"* (Yijun Yu & Erik H. D'Hollander,
+//! ICPP 2004): finding outermost loop parallelism in loops whose data
+//! dependences have **non-uniform distances** by organising the dependent
+//! iterations into lexicographically ordered monotonic *recurrence chains*.
+//!
+//! The workspace is organised bottom-up; this facade crate re-exports every
+//! layer under one roof:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`intlin`] | `rcp-intlin` | exact rational/integer linear algebra, Hermite normal form, diophantine solvers |
+//! | [`presburger`] | `rcp-presburger` | Omega-library-style integer sets, relations, Fourier-Motzkin, dense enumeration |
+//! | [`loopir`] | `rcp-loopir` | affine loop-nest IR, statement-level unified index space, access maps |
+//! | [`depend`] | `rcp-depend` | exact dependence relations, distance sets, uniformity classification, screening tests |
+//! | [`core`] | `rcp-core` | three-set partitioning, recurrence chains, dataflow partitioning, Algorithm 1, Theorem 1 |
+//! | [`codegen`] | `rcp-codegen` | executable schedules and pseudo-Fortran DOALL/WHILE listings |
+//! | [`runtime`] | `rcp-runtime` | array store, kernels, sequential/parallel executors, calibrated cost model |
+//! | [`baselines`] | `rcp-baselines` | PDM, PL, UNIQUE, DOACROSS, inner-loop parallelization comparators |
+//! | [`workloads`] | `rcp-workloads` | the paper's example loops 1–4, figure-2 loop, synthetic corpus |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use recurrence_chains::prelude::*;
+//!
+//! // The paper's running example (figure 1 / Example 1).
+//! let program = recurrence_chains::workloads::example1();
+//! let analysis = DependenceAnalysis::loop_level(&program);
+//!
+//! // Compile-time (symbolic) plan: three-set partition + recurrence T, u.
+//! let plan = symbolic_plan(&analysis).expect("single coupled pair with full-rank matrices");
+//! assert_eq!(plan.recurrence.alpha(), recurrence_chains::intlin::Rational::from_int(3));
+//!
+//! // Concrete partition and executable schedule for N1 = N2 = 10.
+//! let partition = concrete_partition(&analysis, &[10, 10]);
+//! let schedule = Schedule::from_partition(&analysis, &partition, "example1-rec");
+//!
+//! // The parallel schedule computes exactly what the sequential loop computes.
+//! let kernel = RefKernel::new(&program);
+//! let sequential = Schedule::sequential(&program, &[10, 10]);
+//! let verdict = verify_schedule(&sequential, &schedule, &kernel, 4);
+//! assert!(verdict.passed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rcp_baselines as baselines;
+pub use rcp_codegen as codegen;
+pub use rcp_core as core;
+pub use rcp_depend as depend;
+pub use rcp_intlin as intlin;
+pub use rcp_loopir as loopir;
+pub use rcp_presburger as presburger;
+pub use rcp_runtime as runtime;
+pub use rcp_workloads as workloads;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use rcp_codegen::{Phase, Schedule, WorkItem};
+    pub use rcp_core::{
+        concrete_partition, symbolic_plan, ConcretePartition, Recurrence, Strategy,
+        ThreeSetPartition,
+    };
+    pub use rcp_depend::{DependenceAnalysis, Granularity, Uniformity};
+    pub use rcp_loopir::{ArrayRef, Program};
+    pub use rcp_runtime::{
+        execute_schedule, execute_sequential, verify_schedule, ArrayStore, CostModel, RefKernel,
+    };
+}

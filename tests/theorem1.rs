@@ -1,0 +1,104 @@
+//! Theorem 1: the critical path of the recurrence chains is bounded by
+//! `⌈log_α(L)⌉ + 1` with `α = max(|det T|, |det T⁻¹|)` and `L` the maximum
+//! Euclidean distance inside the iteration space.
+//!
+//! The bound is checked on the paper's examples across a range of sizes and
+//! on randomly generated full-rank coupled reference pairs.
+
+use proptest::prelude::*;
+use recurrence_chains::core::{longest_chain, symbolic_plan, ConcretePartition};
+use recurrence_chains::depend::DependenceAnalysis;
+use recurrence_chains::intlin::Rational;
+use recurrence_chains::loopir::expr::{c, v};
+use recurrence_chains::loopir::program::build::{loop_, stmt};
+use recurrence_chains::loopir::{ArrayRef, Program};
+use recurrence_chains::workloads::{example1, example2};
+
+fn check_bound(program: &Program, params: &[i64], diag: f64) {
+    let analysis = DependenceAnalysis::loop_level(program);
+    let Some(plan) = symbolic_plan(&analysis) else { return };
+    let alpha = plan.recurrence.alpha();
+    if alpha <= Rational::ONE {
+        return; // the theorem assumes alpha > 1
+    }
+    let partition = recurrence_chains::core::concrete_partition(&analysis, params);
+    if let ConcretePartition::RecurrenceChains { chains, .. } = &partition {
+        let bound = plan.recurrence.critical_path_bound(diag).unwrap();
+        assert!(
+            longest_chain(chains) <= bound,
+            "{}: chain length {} exceeds bound {} (alpha = {alpha})",
+            program.name,
+            longest_chain(chains),
+            bound
+        );
+    }
+}
+
+#[test]
+fn theorem1_holds_for_example1_across_sizes() {
+    for (n1, n2) in [(10i64, 10i64), (20, 30), (40, 25), (50, 50)] {
+        let diag = (((n1 * n1 + n2 * n2) as f64).sqrt()).ceil();
+        check_bound(&example1(), &[n1, n2], diag);
+    }
+}
+
+#[test]
+fn theorem1_holds_for_example2_across_sizes() {
+    for n in [8i64, 12, 16, 24, 32] {
+        let diag = ((2 * n * n) as f64).sqrt();
+        check_bound(&example2(), &[n], diag);
+    }
+}
+
+#[test]
+fn example1_bound_value_from_the_paper() {
+    // Example 1 text: the largest partition has at most
+    // 1 + ceil(log3(sqrt(N1^2 + N2^2))) iterations.
+    let analysis = DependenceAnalysis::loop_level(&example1());
+    let plan = symbolic_plan(&analysis).unwrap();
+    assert_eq!(plan.recurrence.alpha(), Rational::from_int(3));
+    let l = ((300.0f64 * 300.0) + (1000.0 * 1000.0)).sqrt();
+    let bound = plan.recurrence.critical_path_bound(l).unwrap();
+    assert!(bound <= 8, "log3(1044) + 1 is well under 8, got {bound}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Random full-rank coupled pairs: the chain produced by following the
+    /// recurrence never exceeds the Theorem-1 bound.
+    #[test]
+    fn theorem1_holds_for_random_full_rank_pairs(
+        a11 in 1i64..4, a12 in 0i64..3, a22 in 1i64..4,
+        off1 in -2i64..3, off2 in -2i64..3,
+        n in 5i64..10,
+    ) {
+        // Write reference: a(a11*I + a12*J + off1, a22*J + off2); read: a(I, J).
+        let program = Program::new(
+            "random-pair",
+            &["N"],
+            vec![loop_(
+                "I",
+                c(1),
+                v("N"),
+                vec![loop_(
+                    "J",
+                    c(1),
+                    v("N"),
+                    vec![stmt(
+                        "S",
+                        vec![
+                            ArrayRef::write(
+                                "a",
+                                vec![v("I") * a11 + v("J") * a12 + c(off1), v("J") * a22 + c(off2)],
+                            ),
+                            ArrayRef::read("a", vec![v("I"), v("J")]),
+                        ],
+                    )],
+                )],
+            )],
+        );
+        let diag = ((2 * n * n) as f64).sqrt();
+        check_bound(&program, &[n], diag);
+    }
+}
