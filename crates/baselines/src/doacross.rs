@@ -63,8 +63,17 @@ pub fn doacross_plan(
     // not.
     let outer_pos = usize::from(statement_level);
     let crosses_outer = rd.iter().any(|(src, dst)| src[outer_pos] != dst[outer_pos]);
-    let delay = if crosses_outer { (avg_inner * 0.5).ceil() as usize } else { 0 };
-    DoacrossPlan { n_outer, avg_inner, delay, total_instances: total }
+    let delay = if crosses_outer {
+        (avg_inner * 0.5).ceil() as usize
+    } else {
+        0
+    };
+    DoacrossPlan {
+        n_outer,
+        avg_inner,
+        delay,
+        total_instances: total,
+    }
 }
 
 /// The inner-loop (PAR) parallelization: one DOALL phase per outer-loop
@@ -79,18 +88,31 @@ pub fn inner_parallel_schedule(program: &Program, params: &[i64], name: &str) ->
     let phases: Vec<Phase> = by_outer
         .into_values()
         .map(|insts| {
-            Phase::Doall(insts.into_iter().map(|(s, idx)| WorkItem::single(s, idx)).collect())
+            Phase::Doall(
+                insts
+                    .into_iter()
+                    .map(|(s, idx)| WorkItem::single(s, idx))
+                    .collect(),
+            )
         })
         .collect();
-    Schedule { name: name.to_string(), phases }
+    Schedule {
+        name: name.to_string(),
+        phases,
+    }
 }
 
 /// The fully sequential baseline (the original loop), as a schedule.
 pub fn sequential_schedule(program: &Program, params: &[i64], name: &str) -> Schedule {
     let instances = program.enumerate_instances(params);
-    let items: Vec<WorkItem> =
-        instances.into_iter().map(|(s, idx)| WorkItem::single(s, idx)).collect();
-    Schedule { name: name.to_string(), phases: vec![Phase::ChainSet(vec![items])] }
+    let items: Vec<WorkItem> = instances
+        .into_iter()
+        .map(|(s, idx)| WorkItem::single(s, idx))
+        .collect();
+    Schedule {
+        name: name.to_string(),
+        phases: vec![Phase::ChainSet(vec![items])],
+    }
 }
 
 #[cfg(test)]

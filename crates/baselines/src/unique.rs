@@ -51,7 +51,8 @@ pub fn unique_sets_schedule(
         .iter()
         .find(|r| r.kind == AccessKind::Write)
         .map(|r| analysis.program.loop_access(info, r));
-    let mut roles: BTreeMap<IVec, Role> = phi.iter().map(|p| (p.clone(), Role::default())).collect();
+    let mut roles: BTreeMap<IVec, Role> =
+        phi.iter().map(|p| (p.clone(), Role::default())).collect();
     for (src, dst) in rd.iter() {
         // The dependence is a flow dependence when the source's write maps to
         // the same element as the sink's read; with a single pair the source
@@ -68,7 +69,9 @@ pub fn unique_sets_schedule(
                     .iter()
                     .find(|r| r.kind == AccessKind::Read)
                     .map(|r| analysis.program.loop_access(info, r));
-                read_access.map(|r| r.apply(dst) == src_write).unwrap_or(false)
+                read_access
+                    .map(|r| r.apply(dst) == src_write)
+                    .unwrap_or(false)
             })
             .unwrap_or(false);
         if is_flow {
@@ -108,9 +111,9 @@ pub fn unique_sets_schedule(
     // Kahn order over the class graph (acyclic because Rd is forward and we
     // fall back to lexicographic minimum order when several are ready).
     let mut indeg = vec![0usize; n];
-    for a in 0..n {
-        for b in 0..n {
-            if edges[a][b] {
+    for row in &edges {
+        for (b, &edge) in row.iter().enumerate() {
+            if edge {
                 indeg[b] += 1;
             }
         }
@@ -149,7 +152,10 @@ pub fn unique_sets_schedule(
             phases.push(Phase::Doall(items));
         }
     }
-    Schedule { name: name.to_string(), phases }
+    Schedule {
+        name: name.to_string(),
+        phases,
+    }
 }
 
 #[cfg(test)]
@@ -187,7 +193,10 @@ mod tests {
             }
         }
         for (src, dst) in rd.iter() {
-            assert!(phase_of[src] <= phase_of[dst], "dependence crosses phases backwards");
+            assert!(
+                phase_of[src] <= phase_of[dst],
+                "dependence crosses phases backwards"
+            );
         }
     }
 
@@ -205,7 +214,10 @@ mod tests {
                 v("N"),
                 vec![stmt(
                     "S",
-                    vec![ArrayRef::write("a", vec![v("I")]), ArrayRef::read("b", vec![v("I")])],
+                    vec![
+                        ArrayRef::write("a", vec![v("I")]),
+                        ArrayRef::read("b", vec![v("I")]),
+                    ],
                 )],
             )],
         );

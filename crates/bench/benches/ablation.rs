@@ -49,7 +49,10 @@ fn bench(c: &mut Criterion) {
                     )
                 })
                 .collect();
-            let sched = Schedule { name: "df".into(), phases };
+            let sched = Schedule {
+                name: "df".into(),
+                phases,
+            };
             model.speedup(&sched, 4)
         }
     );

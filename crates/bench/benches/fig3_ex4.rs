@@ -12,18 +12,30 @@ fn bench(c: &mut Criterion) {
     // A reduced NMAT keeps the Criterion run short; the paper-size run
     // (NMAT=250 — 238 steps reported in the paper) is produced by
     // `paper_results ex4 fig3-ex4`.
-    let params = CholeskyParams { nmat: 10, m: 4, n: 40, nrhs: 3 };
+    let params = CholeskyParams {
+        nmat: 10,
+        m: 4,
+        n: 40,
+        nrhs: 3,
+    };
     eprintln!("{}", ex4_dataflow(params).text);
     eprintln!("{}", fig3_ex4(&model, params, 4).text);
 
     let mut group = c.benchmark_group("fig3_ex4");
     group.sample_size(10);
     for nmat in [2i64, 10] {
-        let p = CholeskyParams { nmat, m: 4, n: 20, nrhs: 1 };
+        let p = CholeskyParams {
+            nmat,
+            m: 4,
+            n: 20,
+            nrhs: 1,
+        };
         let program = example4_cholesky().bind_params(&p.as_vec());
-        group.bench_with_input(BenchmarkId::new("trace_dependences", nmat), &nmat, |b, _| {
-            b.iter(|| trace_dependence_graph(&program, &[]).n_edges())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("trace_dependences", nmat),
+            &nmat,
+            |b, _| b.iter(|| trace_dependence_graph(&program, &[]).n_edges()),
+        );
         let graph = trace_dependence_graph(&program, &[]);
         group.bench_with_input(BenchmarkId::new("dataflow_levels", nmat), &nmat, |b, _| {
             b.iter(|| dataflow_stage_sizes(graph.n_instances(), &graph.edges).len())

@@ -17,9 +17,11 @@ fn bench(c: &mut Criterion) {
     });
     for n in [20i64, 40] {
         let analysis = DependenceAnalysis::loop_level(&example2());
-        group.bench_with_input(BenchmarkId::new("chain_partitioning_ex2", n), &n, |b, &n| {
-            b.iter(|| concrete_partition(&analysis, &[n]).stats().critical_path)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("chain_partitioning_ex2", n),
+            &n,
+            |b, &n| b.iter(|| concrete_partition(&analysis, &[n]).stats().critical_path),
+        );
     }
     group.finish();
 }

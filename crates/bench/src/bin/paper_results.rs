@@ -4,36 +4,46 @@
 //! cargo run --release -p rcp-bench --bin paper_results            # everything (full size)
 //! cargo run --release -p rcp-bench --bin paper_results -- --quick # reduced parameters
 //! cargo run --release -p rcp-bench --bin paper_results -- fig3-ex1 ex4
+//! cargo run --release -p rcp-bench --bin paper_results -- --json            # BENCH_results.json
 //! cargo run --release -p rcp-bench --bin paper_results -- --json out.json
 //! ```
 
 use rcp_bench::experiments::{
     calibrated_model, corpus_table, ex1_partition, ex2_facts, ex3_facts, ex4_dataflow,
-    fig1_dependences, fig2_chains, fig3_ex1, fig3_ex2, fig3_ex3, fig3_ex4, theorem1_table,
-    ExperimentReport,
+    fig1_dependences, fig2_chains, fig3_ex1, fig3_ex2, fig3_ex3, fig3_ex4, measured_speedups,
+    theorem1_table, ExperimentReport,
 };
 use rcp_workloads::CholeskyParams;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|k| args.get(k + 1))
-        .cloned();
-    let selected: Vec<&String> =
-        args.iter().filter(|a| !a.starts_with("--") && Some(*a) != json_path.as_ref()).collect();
-    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s.as_str() == id);
 
     // Evaluation parameters (paper values unless --quick).
     let (ex1_n1, ex1_n2) = if quick { (60, 100) } else { (300, 1000) };
     let ex2_n = if quick { 60 } else { 300 };
     let ex3_n = if quick { 60 } else { 300 };
     let cholesky = if quick {
-        CholeskyParams { nmat: 25, m: 4, n: 40, nrhs: 3 }
+        CholeskyParams {
+            nmat: 25,
+            m: 4,
+            n: 40,
+            nrhs: 3,
+        }
     } else {
         CholeskyParams::paper()
+    };
+    // Measured (not modelled) ParallelExecutor wall clock on examples 1-4.
+    let ((m_ex1_n1, m_ex1_n2), m_ex2_n, m_ex3_n) = if quick {
+        ((40, 60), 40, 16)
+    } else {
+        ((120, 200), 120, 24)
+    };
+    let cholesky_measured = CholeskyParams {
+        nmat: if quick { 4 } else { 10 },
+        m: 4,
+        n: 20,
+        nrhs: 2,
     };
     let threads = 4;
 
@@ -44,41 +54,97 @@ fn main() {
         model.instance_cost_ns, model.barrier_cost_ns
     );
 
+    // The single experiment registry: ids for selector validation and the
+    // run loop both come from here, so they cannot drift.
+    type Runner<'m> = Box<dyn FnMut() -> ExperimentReport + 'm>;
+    let mut experiments: Vec<(&str, Runner)> = vec![
+        ("fig1", Box::new(fig1_dependences)),
+        ("fig2", Box::new(fig2_chains)),
+        (
+            "ex1",
+            Box::new(move || ex1_partition(ex1_n1.min(60), ex1_n2.min(100))),
+        ),
+        ("ex2", Box::new(ex2_facts)),
+        ("ex3", Box::new(move || ex3_facts(ex3_n))),
+        ("ex4", Box::new(move || ex4_dataflow(cholesky))),
+        (
+            "fig3-ex1",
+            Box::new(|| fig3_ex1(&model, ex1_n1, ex1_n2, threads)),
+        ),
+        ("fig3-ex2", Box::new(|| fig3_ex2(&model, ex2_n, threads))),
+        ("fig3-ex3", Box::new(|| fig3_ex3(&model, ex3_n, threads))),
+        ("fig3-ex4", Box::new(|| fig3_ex4(&model, cholesky, threads))),
+        ("theorem1", Box::new(theorem1_table)),
+        ("corpus", Box::new(corpus_table)),
+        (
+            "measured",
+            Box::new(move || {
+                measured_speedups(
+                    (m_ex1_n1, m_ex1_n2),
+                    m_ex2_n,
+                    m_ex3_n,
+                    cholesky_measured,
+                    threads,
+                    3,
+                )
+            }),
+        ),
+    ];
+    let known: Vec<&str> = experiments.iter().map(|(id, _)| *id).collect();
+
+    // `--json [path]`: the next argument is the output path unless it is a
+    // flag or an experiment selector; with no path, BENCH_results.json.
+    let json_path = args.iter().position(|a| a == "--json").map(|k| {
+        args.get(k + 1)
+            .filter(|p| !p.starts_with("--") && !known.contains(&p.as_str()))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_results.json".to_string())
+    });
+    // Reject unknown experiment selectors instead of silently running
+    // nothing.
+    for arg in &args {
+        if !arg.starts_with("--")
+            && Some(arg) != json_path.as_ref()
+            && !known.contains(&arg.as_str())
+        {
+            eprintln!(
+                "error: unknown experiment id {arg:?} (known: {})",
+                known.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+    let selected: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && Some(*a) != json_path.as_ref())
+        .collect();
+    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s.as_str() == id);
+
     let mut reports: Vec<ExperimentReport> = Vec::new();
-    let mut run = |id: &str, f: &mut dyn FnMut() -> ExperimentReport| {
+    for (id, runner) in &mut experiments {
         if want(id) {
             eprintln!("running {id} ...");
             let start = std::time::Instant::now();
-            let report = f();
+            let report = runner();
             eprintln!("  done in {:.1}s", start.elapsed().as_secs_f64());
-            println!("==== {} — {} ====\n{}\n", report.id, report.description, report.text);
+            println!(
+                "==== {} — {} ====\n{}\n",
+                report.id, report.description, report.text
+            );
             reports.push(report);
         }
-    };
-
-    run("fig1", &mut fig1_dependences);
-    run("fig2", &mut fig2_chains);
-    run("ex1", &mut || ex1_partition(ex1_n1.min(60), ex1_n2.min(100)));
-    run("ex2", &mut ex2_facts);
-    run("ex3", &mut || ex3_facts(ex3_n));
-    run("ex4", &mut || ex4_dataflow(cholesky));
-    run("fig3-ex1", &mut || fig3_ex1(&model, ex1_n1, ex1_n2, threads));
-    run("fig3-ex2", &mut || fig3_ex2(&model, ex2_n, threads));
-    run("fig3-ex3", &mut || fig3_ex3(&model, ex3_n, threads));
-    run("fig3-ex4", &mut || fig3_ex4(&model, cholesky, threads));
-    run("theorem1", &mut theorem1_table);
-    run("corpus", &mut corpus_table);
+    }
 
     if let Some(path) = json_path {
-        let payload = serde_json::json!({
-            "cost_model": {
+        let payload = rcp_json::json!({
+            "cost_model": rcp_json::json!({
                 "instance_cost_ns": model.instance_cost_ns,
                 "barrier_cost_ns": model.barrier_cost_ns,
-            },
+            }),
             "quick": quick,
             "experiments": reports,
         });
-        std::fs::write(&path, serde_json::to_string_pretty(&payload).unwrap())
+        std::fs::write(&path, payload.pretty())
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote {path}");
     }

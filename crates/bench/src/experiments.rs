@@ -16,18 +16,17 @@ use rcp_core::{
     ConcretePartition, DenseThreeSet,
 };
 use rcp_depend::{trace_dependence_graph, DependenceAnalysis};
+use rcp_json::{json, Json, ToJson};
 use rcp_presburger::{DenseRelation, DenseSet};
 use rcp_runtime::{execute_sequential, CostModel, RefKernel};
 use rcp_workloads::{
     corpus_statistics, example1, example2, example3, example4_cholesky, figure2, CholeskyParams,
     CorpusConfig,
 };
-use serde::Serialize;
-use serde_json::json;
 use std::time::Instant;
 
 /// A regenerated experiment artifact.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentReport {
     /// Experiment identifier from DESIGN.md (e.g. `fig3-ex1`).
     pub id: String,
@@ -36,11 +35,22 @@ pub struct ExperimentReport {
     /// Human-readable report text (tables, listings).
     pub text: String,
     /// Machine-readable payload.
-    pub data: serde_json::Value,
+    pub data: Json,
+}
+
+impl ToJson for ExperimentReport {
+    fn to_json(&self) -> Json {
+        json!({
+            "id": self.id,
+            "description": self.description,
+            "text": self.text,
+            "data": self.data,
+        })
+    }
 }
 
 impl ExperimentReport {
-    fn new(id: &str, description: &str, text: String, data: serde_json::Value) -> Self {
+    fn new(id: &str, description: &str, text: String, data: Json) -> Self {
         ExperimentReport {
             id: id.to_string(),
             description: description.to_string(),
@@ -74,7 +84,8 @@ pub fn fig1_dependences() -> ExperimentReport {
     for (src, dst) in dense.iter() {
         *per_distance.entry(dst[0] - src[0]).or_insert(0) += 1;
     }
-    let mut text = String::from("distance (d,d)   arrows (paper: d=2 has 8, d=4 has 6, d=6 has 4)\n");
+    let mut text =
+        String::from("distance (d,d)   arrows (paper: d=2 has 8, d=4 has 6, d=6 has 4)\n");
     for (d, count) in &per_distance {
         text.push_str(&format!("        ({d},{d})   {count}\n"));
     }
@@ -82,7 +93,7 @@ pub fn fig1_dependences() -> ExperimentReport {
     let data = json!({
         "per_distance": per_distance,
         "total": dense.len(),
-        "paper": {"2": 8, "4": 6, "6": 4, "total": 18},
+        "paper": json!({"2": 8, "4": 6, "6": 4, "total": 18}),
     });
     ExperimentReport::new(
         "fig1",
@@ -101,21 +112,40 @@ pub fn fig2_chains() -> ExperimentReport {
     let rd = DenseRelation::from_relation(&rel);
     let chains = monotonic_chains(&rd);
     let part = DenseThreeSet::compute(&phi, &rd);
-    let fmt_set =
-        |s: &DenseSet| s.iter().map(|p| p[0].to_string()).collect::<Vec<_>>().join(",");
+    let fmt_set = |s: &DenseSet| {
+        s.iter()
+            .map(|p| p[0].to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
     let mut text = String::new();
     text.push_str("monotonic chains: ");
     text.push_str(
         &chains
             .iter()
-            .map(|c| c.iterations.iter().map(|p| p[0].to_string()).collect::<Vec<_>>().join("->"))
+            .map(|c| {
+                c.iterations
+                    .iter()
+                    .map(|p| p[0].to_string())
+                    .collect::<Vec<_>>()
+                    .join("->")
+            })
             .collect::<Vec<_>>()
             .join("  "),
     );
     text.push('\n');
-    text.push_str(&format!("P1 (initial+independent) = {{{}}}\n", fmt_set(&part.p1)));
-    text.push_str(&format!("P2 (intermediate)        = {{{}}}\n", fmt_set(&part.p2)));
-    text.push_str(&format!("P3 (final)               = {{{}}}\n", fmt_set(&part.p3)));
+    text.push_str(&format!(
+        "P1 (initial+independent) = {{{}}}\n",
+        fmt_set(&part.p1)
+    ));
+    text.push_str(&format!(
+        "P2 (intermediate)        = {{{}}}\n",
+        fmt_set(&part.p2)
+    ));
+    text.push_str(&format!(
+        "P3 (final)               = {{{}}}\n",
+        fmt_set(&part.p3)
+    ));
     text.push_str("paper: P1 = {1..6} ∪ {7,12,14,16,18,20}, P2 empty, chains of length 2\n");
     let data = json!({
         "n_chains": chains.len(),
@@ -124,7 +154,12 @@ pub fn fig2_chains() -> ExperimentReport {
         "p2": part.p2.iter().map(|p| p[0]).collect::<Vec<_>>(),
         "p3": part.p3.iter().map(|p| p[0]).collect::<Vec<_>>(),
     });
-    ExperimentReport::new("fig2", "Figure 2: monotonic chains and partition of a(2I)=a(21-I)", text, data)
+    ExperimentReport::new(
+        "fig2",
+        "Figure 2: monotonic chains and partition of a(2I)=a(21-I)",
+        text,
+        data,
+    )
 }
 
 /// E-EX1 — Example 1: the generated recurrence-chain code and partition
@@ -137,9 +172,18 @@ pub fn ex1_partition(n1: i64, n2: i64) -> ExperimentReport {
     let partition = concrete_partition(&analysis, &[n1, n2]);
     let stats = partition.stats();
     let (p1, p2, p3, chains, longest) = match &partition {
-        ConcretePartition::RecurrenceChains { p1, chains, p3, three_set } => {
-            (p1.len(), three_set.p2.len(), p3.len(), chains.len(), longest_chain(chains))
-        }
+        ConcretePartition::RecurrenceChains {
+            p1,
+            chains,
+            p3,
+            three_set,
+        } => (
+            p1.len(),
+            three_set.p2.len(),
+            p3.len(),
+            chains.len(),
+            longest_chain(chains),
+        ),
         _ => unreachable!(),
     };
     let bound = plan
@@ -156,7 +200,12 @@ pub fn ex1_partition(n1: i64, n2: i64) -> ExperimentReport {
         "chains": chains, "longest_chain": longest, "theorem1_bound": bound,
         "alpha": plan.recurrence.alpha().to_f64(),
     });
-    ExperimentReport::new("ex1", "Example 1: recurrence-chain partitioning and generated code", text, data)
+    ExperimentReport::new(
+        "ex1",
+        "Example 1: recurrence-chain partitioning and generated code",
+        text,
+        data,
+    )
 }
 
 /// E-EX2 — Example 2 (Ju & Chaudhary): intermediate set at N = 12 and phase
@@ -189,7 +238,12 @@ pub fn ex2_facts() -> ExperimentReport {
         "rec_critical_path": rec.critical_path(),
         "unique_critical_path": unique.critical_path(),
     });
-    ExperimentReport::new("ex2", "Example 2: intermediate set at N=12, REC vs UNIQUE phase counts", text, data)
+    ExperimentReport::new(
+        "ex2",
+        "Example 2: intermediate set at N=12, REC vs UNIQUE phase counts",
+        text,
+        data,
+    )
 }
 
 /// E-EX3 — Example 3 (Chen & Yew): statement-level partition facts.
@@ -213,7 +267,12 @@ pub fn ex3_facts(n: i64) -> ExperimentReport {
         "n": n, "total_instances": total,
         "p1": p1, "p2": p2.len(), "p3": p3.len(),
     });
-    ExperimentReport::new("ex3", "Example 3: empty intermediate set of the imperfect nest", text, data)
+    ExperimentReport::new(
+        "ex3",
+        "Example 3: empty intermediate set of the imperfect nest",
+        text,
+        data,
+    )
 }
 
 /// E-EX4 — Example 4 (Cholesky): number of dataflow partitioning steps.
@@ -239,7 +298,12 @@ pub fn ex4_dataflow(params: CholeskyParams) -> ExperimentReport {
         "widest_stage": widest,
         "paper_steps": 238,
     });
-    ExperimentReport::new("ex4", "Example 4: Cholesky dataflow partitioning step count", text, data)
+    ExperimentReport::new(
+        "ex4",
+        "Example 4: Cholesky dataflow partitioning step count",
+        text,
+        data,
+    )
 }
 
 /// E-F3.1 — Figure 3, Example 1 plot: REC vs PDM vs PL vs linear.
@@ -263,8 +327,13 @@ pub fn fig3_ex1(model: &CostModel, n1: i64, n2: i64, max_threads: usize) -> Expe
             SpeedupSeries::from_fn("PL", max_threads, |t| model.speedup(&pl, t)),
         ],
     };
-    let data = serde_json::to_value(&figure).unwrap();
-    ExperimentReport::new("fig3-ex1", "Figure 3, Example 1: REC vs PDM vs PL speedups", figure.to_table(), data)
+    let data = figure.to_json();
+    ExperimentReport::new(
+        "fig3-ex1",
+        "Figure 3, Example 1: REC vs PDM vs PL speedups",
+        figure.to_table(),
+        data,
+    )
 }
 
 /// E-F3.2 — Figure 3, Example 2 plot: REC vs UNIQUE vs linear.
@@ -286,8 +355,13 @@ pub fn fig3_ex2(model: &CostModel, n: i64, max_threads: usize) -> ExperimentRepo
             SpeedupSeries::from_fn("UNIQUE", max_threads, |t| model.speedup(&unique, t)),
         ],
     };
-    let data = serde_json::to_value(&figure).unwrap();
-    ExperimentReport::new("fig3-ex2", "Figure 3, Example 2: REC vs UNIQUE speedups", figure.to_table(), data)
+    let data = figure.to_json();
+    ExperimentReport::new(
+        "fig3-ex2",
+        "Figure 3, Example 2: REC vs UNIQUE speedups",
+        figure.to_table(),
+        data,
+    )
 }
 
 /// E-F3.3 — Figure 3, Example 3 plot: REC vs PAR (inner loops) vs DOACROSS.
@@ -303,8 +377,14 @@ pub fn fig3_ex3(model: &CostModel, n: i64, max_threads: usize) -> ExperimentRepo
     let p3 = ran.len() - p2;
     let p1 = total - ran.len();
     let rec_phases = [
-        PhaseShape::Doall { items: p1, unit_instances: 1.0 },
-        PhaseShape::Doall { items: p3.max(1), unit_instances: 1.0 },
+        PhaseShape::Doall {
+            items: p1,
+            unit_instances: 1.0,
+        },
+        PhaseShape::Doall {
+            items: p3.max(1),
+            unit_instances: 1.0,
+        },
     ];
     // PAR: inner loops parallel, outer I sequential: N phases of ~total/N items.
     let par_phases: Vec<PhaseShape> = (1..=n)
@@ -328,12 +408,13 @@ pub fn fig3_ex3(model: &CostModel, n: i64, max_threads: usize) -> ExperimentRepo
                 phases_speedup(model, &par_phases, total, t)
             }),
             SpeedupSeries::from_fn("DOACROSS", max_threads, |t| {
-                let time = model.doacross_time_ns(plan.n_outer, plan.avg_inner as usize, plan.delay, t);
+                let time =
+                    model.doacross_time_ns(plan.n_outer, plan.avg_inner as usize, plan.delay, t);
                 (total as f64 * model.instance_cost_ns) / time
             }),
         ],
     };
-    let data = serde_json::to_value(&figure).unwrap();
+    let data = figure.to_json();
     ExperimentReport::new(
         "fig3-ex3",
         "Figure 3, Example 3: REC vs inner-loop PAR vs DOACROSS speedups",
@@ -349,12 +430,20 @@ pub fn fig3_ex4(model: &CostModel, params: CholeskyParams, max_threads: usize) -
     let total = graph.n_instances();
     // REC: one DOALL phase per dataflow stage.
     let stages = dataflow_stage_sizes(total, &graph.edges);
-    let rec_phases: Vec<PhaseShape> =
-        stages.iter().map(|&s| PhaseShape::Doall { items: s, unit_instances: 1.0 }).collect();
+    let rec_phases: Vec<PhaseShape> = stages
+        .iter()
+        .map(|&s| PhaseShape::Doall {
+            items: s,
+            unit_instances: 1.0,
+        })
+        .collect();
     // PDM: the paper's PDM code runs everything under `DOALL L` — one phase
     // of NMAT+1 equal sequential chains.
     let n_chains = (params.nmat + 1) as usize;
-    let pdm_phases = [PhaseShape::EqualChains { count: n_chains, len: total as f64 / n_chains as f64 }];
+    let pdm_phases = [PhaseShape::EqualChains {
+        count: n_chains,
+        len: total as f64 / n_chains as f64,
+    }];
     let figure = SpeedupFigure {
         id: "fig3-ex4".into(),
         workload: format!("Cholesky, {params:?}"),
@@ -368,11 +457,112 @@ pub fn fig3_ex4(model: &CostModel, params: CholeskyParams, max_threads: usize) -
             }),
         ],
     };
-    let data = serde_json::to_value(&figure).unwrap();
+    let data = figure.to_json();
     ExperimentReport::new(
         "fig3-ex4",
         "Figure 3, Example 4: REC dataflow vs PDM speedups on the Cholesky kernel",
         figure.to_table(),
+        data,
+    )
+}
+
+/// E-M1 — measured wall-clock speedups: the paper's four examples executed
+/// for real by [`rcp_runtime::ParallelExecutor`], sequential vs parallel,
+/// on this machine's cores.
+///
+/// This is the counterpart of the Figure-3 *modelled* curves: every number
+/// is a ratio of real executions (best-of-`reps` wall clock).  Per thread
+/// count, one untimed run is verified race free and every timed run's
+/// store is verified bit-identical to the sequential result (see
+/// [`crate::speedup::measured_speedup`] for the exact protocol).
+pub fn measured_speedups(
+    ex1_n: (i64, i64),
+    ex2_n: i64,
+    ex3_n: i64,
+    cholesky: CholeskyParams,
+    max_threads: usize,
+    reps: usize,
+) -> ExperimentReport {
+    use crate::speedup::{measured_speedup, MeasuredSeries};
+    use rcp_core::dataflow_levels_indexed;
+
+    let mut measured: Vec<MeasuredSeries> = Vec::new();
+
+    // Examples 1–3: Algorithm-1 partitions.
+    let loop_examples = [
+        ("ex1", example1(), vec![ex1_n.0, ex1_n.1], false),
+        ("ex2", example2(), vec![ex2_n], false),
+        ("ex3", example3(), vec![ex3_n], true),
+    ];
+    for (name, program, params, statement_level) in loop_examples {
+        let analysis = if statement_level {
+            DependenceAnalysis::statement_level(&program)
+        } else {
+            DependenceAnalysis::loop_level(&program)
+        };
+        let partition = concrete_partition(&analysis, &params);
+        let parallel = Schedule::from_partition(&analysis, &partition, name);
+        let sequential = Schedule::sequential(&program, &params);
+        let kernel = RefKernel::new(&program);
+        measured.push(measured_speedup(
+            name,
+            &sequential,
+            &parallel,
+            &kernel,
+            max_threads,
+            reps,
+        ));
+    }
+
+    // Example 4 (Cholesky): dataflow stages become DOALL phases.
+    let program = example4_cholesky().bind_params(&cholesky.as_vec());
+    let graph = trace_dependence_graph(&program, &[]);
+    let levels = dataflow_levels_indexed(graph.n_instances(), &graph.edges);
+    let parallel = Schedule::from_dataflow_levels("ex4", &graph.instances, &levels);
+    let sequential = Schedule::sequential(&program, &[]);
+    let kernel = RefKernel::new(&program);
+    measured.push(measured_speedup(
+        "ex4",
+        &sequential,
+        &parallel,
+        &kernel,
+        max_threads,
+        reps,
+    ));
+
+    let figure = SpeedupFigure {
+        id: "measured".into(),
+        workload: format!(
+            "measured wall clock, {} hardware threads available",
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        ),
+        series: measured.iter().map(|m| m.series.clone()).collect(),
+    };
+    let mut text = figure.to_table();
+    for m in &measured {
+        text.push_str(&format!(
+            "{:<10} sequential {:.2} ms, best parallel {:.2} ms, {}\n",
+            m.series.scheme,
+            m.sequential_ns / 1e6,
+            m.parallel_ns.iter().cloned().fold(f64::INFINITY, f64::min) / 1e6,
+            if m.verified {
+                "verified bit-identical"
+            } else {
+                "VERIFICATION FAILED"
+            },
+        ));
+    }
+    let all_verified = measured.iter().all(|m| m.verified);
+    let data = json!({
+        "workload": figure.workload,
+        "measured": true,
+        "all_verified": all_verified,
+        "series": measured.iter().map(MeasuredSeries::to_json).collect::<Vec<_>>(),
+    });
+    ExperimentReport::new(
+        "measured",
+        "Measured (not modelled) ParallelExecutor speedups on examples 1-4",
+        text,
         data,
     )
 }
@@ -382,10 +572,30 @@ pub fn theorem1_table() -> ExperimentReport {
     let mut rows = Vec::new();
     let mut text = String::from("workload        size        alpha   longest chain   bound\n");
     for (name, program, params, diag) in [
-        ("example1", example1(), vec![30i64, 40], ((30.0f64 * 30.0) + 40.0 * 40.0).sqrt()),
-        ("example1", example1(), vec![60, 80], ((60.0f64 * 60.0) + 80.0 * 80.0).sqrt()),
-        ("example2", example2(), vec![30], (2.0f64 * 30.0 * 30.0).sqrt()),
-        ("example2", example2(), vec![60], (2.0f64 * 60.0 * 60.0).sqrt()),
+        (
+            "example1",
+            example1(),
+            vec![30i64, 40],
+            ((30.0f64 * 30.0) + 40.0 * 40.0).sqrt(),
+        ),
+        (
+            "example1",
+            example1(),
+            vec![60, 80],
+            ((60.0f64 * 60.0) + 80.0 * 80.0).sqrt(),
+        ),
+        (
+            "example2",
+            example2(),
+            vec![30],
+            (2.0f64 * 30.0 * 30.0).sqrt(),
+        ),
+        (
+            "example2",
+            example2(),
+            vec![60],
+            (2.0f64 * 60.0 * 60.0).sqrt(),
+        ),
     ] {
         let analysis = DependenceAnalysis::loop_level(&program);
         let plan = symbolic_plan(&analysis).unwrap();
@@ -415,8 +625,9 @@ pub fn theorem1_table() -> ExperimentReport {
 
 /// E-S1 — the §1 motivating statistics on the synthetic corpus.
 pub fn corpus_table() -> ExperimentReport {
-    let mut text =
-        String::from("coupled-ref fraction   loops   dependent   non-uniform   uniform   non-uniform %\n");
+    let mut text = String::from(
+        "coupled-ref fraction   loops   dependent   non-uniform   uniform   non-uniform %\n",
+    );
     let mut rows = Vec::new();
     for coupled in [0.0, 0.25, 0.45, 0.75, 1.0] {
         let stats = corpus_statistics(&CorpusConfig {
@@ -442,9 +653,16 @@ pub fn corpus_table() -> ExperimentReport {
             "total": stats.total_loops,
         }));
     }
-    text.push_str("(paper, §1: >46% of SPECfp95 loop nests contain non-uniform dependences; \
-                   the synthetic corpus substitutes for the benchmark sources)\n");
-    ExperimentReport::new("corpus", "§1 statistics on the synthetic loop corpus", text, json!(rows))
+    text.push_str(
+        "(paper, §1: >46% of SPECfp95 loop nests contain non-uniform dependences; \
+                   the synthetic corpus substitutes for the benchmark sources)\n",
+    );
+    ExperimentReport::new(
+        "corpus",
+        "§1 statistics on the synthetic loop corpus",
+        text,
+        json!(rows),
+    )
 }
 
 #[cfg(test)]
@@ -486,30 +704,68 @@ mod tests {
         // the full-size claims checked in EXPERIMENTS.md.
         let model = CostModel::default();
         let ex1 = fig3_ex1(&model, 30, 40, 4);
-        let fig: SpeedupFigure = serde_json::from_value(ex1.data.clone()).unwrap();
-        let get = |name: &str| fig.series.iter().find(|s| s.scheme == name).unwrap().clone();
-        assert!(get("REC").at(4) > get("PL").at(4), "REC must beat PL on example 1");
+        let fig = SpeedupFigure::from_json(&ex1.data).unwrap();
+        let get = |name: &str| {
+            fig.series
+                .iter()
+                .find(|s| s.scheme == name)
+                .unwrap()
+                .clone()
+        };
+        assert!(
+            get("REC").at(4) > get("PL").at(4),
+            "REC must beat PL on example 1"
+        );
         // REC and PDM are close on example 1 (the paper's extra REC margin
         // comes from subscript simplification in the generated Fortran,
         // which the cost model deliberately does not include); at small
         // sizes PDM's single barrier gives it a few percent.
-        assert!(get("REC").at(4) >= get("PDM").at(4) * 0.8, "REC must not trail PDM by much");
+        assert!(
+            get("REC").at(4) >= get("PDM").at(4) * 0.8,
+            "REC must not trail PDM by much"
+        );
 
         let ex2 = fig3_ex2(&model, 30, 4);
-        let fig: SpeedupFigure = serde_json::from_value(ex2.data.clone()).unwrap();
-        let get = |name: &str| fig.series.iter().find(|s| s.scheme == name).unwrap().clone();
-        assert!(get("REC").at(4) >= get("UNIQUE").at(4), "REC must beat UNIQUE on example 2");
+        let fig = SpeedupFigure::from_json(&ex2.data).unwrap();
+        let get = |name: &str| {
+            fig.series
+                .iter()
+                .find(|s| s.scheme == name)
+                .unwrap()
+                .clone()
+        };
+        assert!(
+            get("REC").at(4) >= get("UNIQUE").at(4),
+            "REC must beat UNIQUE on example 2"
+        );
 
         let ex3 = fig3_ex3(&model, 40, 4);
-        let fig: SpeedupFigure = serde_json::from_value(ex3.data.clone()).unwrap();
-        let get = |name: &str| fig.series.iter().find(|s| s.scheme == name).unwrap().clone();
-        assert!(get("REC").at(4) >= get("PAR").at(4), "REC must beat inner-loop PAR on example 3");
-        assert!(get("REC").at(4) >= get("DOACROSS").at(4), "REC must beat DOACROSS on example 3");
+        let fig = SpeedupFigure::from_json(&ex3.data).unwrap();
+        let get = |name: &str| {
+            fig.series
+                .iter()
+                .find(|s| s.scheme == name)
+                .unwrap()
+                .clone()
+        };
+        assert!(
+            get("REC").at(4) >= get("PAR").at(4),
+            "REC must beat inner-loop PAR on example 3"
+        );
+        assert!(
+            get("REC").at(4) >= get("DOACROSS").at(4),
+            "REC must beat DOACROSS on example 3"
+        );
     }
 
     #[test]
     fn ex4_small_dataflow_report() {
-        let report = ex4_dataflow(CholeskyParams { nmat: 2, m: 2, n: 6, nrhs: 1 });
+        let report = ex4_dataflow(CholeskyParams {
+            nmat: 2,
+            m: 2,
+            n: 6,
+            nrhs: 1,
+        });
         let steps = report.data["steps"].as_u64().unwrap();
         assert!(steps > 5);
         assert!(steps < report.data["instances"].as_u64().unwrap());

@@ -17,4 +17,7 @@ pub mod experiments;
 pub mod speedup;
 
 pub use experiments::{calibrated_model, ExperimentReport};
-pub use speedup::{phases_speedup, phases_time_ns, PhaseShape, SpeedupFigure, SpeedupSeries};
+pub use speedup::{
+    measured_speedup, phases_speedup, phases_time_ns, MeasuredSeries, PhaseShape, SpeedupFigure,
+    SpeedupSeries,
+};

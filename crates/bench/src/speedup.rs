@@ -7,11 +7,13 @@
 //! DOACROSS pipeline) use the closed-form helpers below so that very large
 //! workloads never need to materialise every iteration.
 
-use rcp_runtime::{makespan, CostModel};
-use serde::{Deserialize, Serialize};
+use rcp_codegen::Schedule;
+use rcp_json::{json, Json};
+use rcp_runtime::{execute_sequential, makespan, CostModel, Kernel, ParallelExecutor};
+use std::time::Instant;
 
 /// One curve of a speedup plot.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SpeedupSeries {
     /// Scheme name (REC, PDM, PL, UNIQUE, PAR, DOACROSS, linear).
     pub scheme: String,
@@ -37,10 +39,27 @@ impl SpeedupSeries {
     pub fn at(&self, threads: usize) -> f64 {
         self.speedups[threads - 1]
     }
+
+    /// The machine-readable form of the series.
+    pub fn to_json(&self) -> Json {
+        json!({ "scheme": self.scheme, "speedups": self.speedups })
+    }
+
+    /// Rebuilds a series from its [`SpeedupSeries::to_json`] form.
+    pub fn from_json(value: &Json) -> Option<Self> {
+        Some(SpeedupSeries {
+            scheme: value["scheme"].as_str()?.to_string(),
+            speedups: value["speedups"]
+                .as_array()?
+                .iter()
+                .map(|v| v.as_f64())
+                .collect::<Option<_>>()?,
+        })
+    }
 }
 
 /// A speedup figure: several series over a common workload.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SpeedupFigure {
     /// Figure identifier (e.g. `fig3-ex1`).
     pub id: String,
@@ -70,6 +89,117 @@ impl SpeedupFigure {
             out.push('\n');
         }
         out
+    }
+
+    /// The machine-readable form of the figure.
+    pub fn to_json(&self) -> Json {
+        json!({
+            "id": self.id,
+            "workload": self.workload,
+            "series": self.series.iter().map(SpeedupSeries::to_json).collect::<Vec<_>>(),
+        })
+    }
+
+    /// Rebuilds a figure from its [`SpeedupFigure::to_json`] form.
+    pub fn from_json(value: &Json) -> Option<Self> {
+        Some(SpeedupFigure {
+            id: value["id"].as_str()?.to_string(),
+            workload: value["workload"].as_str()?.to_string(),
+            series: value["series"]
+                .as_array()?
+                .iter()
+                .map(SpeedupSeries::from_json)
+                .collect::<Option<_>>()?,
+        })
+    }
+}
+
+/// A wall-clock-measured speedup series: real executions of a parallel
+/// schedule by [`ParallelExecutor`], normalised against real sequential
+/// executions — as opposed to the [`CostModel`]'s analytic numbers.
+#[derive(Clone, Debug)]
+pub struct MeasuredSeries {
+    /// The speedup curve (`sequential_ns / parallel_ns[t-1]`).
+    pub series: SpeedupSeries,
+    /// Best-of-`reps` sequential wall clock, nanoseconds.
+    pub sequential_ns: f64,
+    /// Best-of-`reps` parallel wall clock per thread count, nanoseconds.
+    pub parallel_ns: Vec<f64>,
+    /// True when every parallel execution was race free and produced the
+    /// sequential result bit-for-bit.
+    pub verified: bool,
+}
+
+impl MeasuredSeries {
+    /// The machine-readable form of the measurement.
+    pub fn to_json(&self) -> Json {
+        json!({
+            "scheme": self.series.scheme,
+            "speedups": self.series.speedups,
+            "sequential_ns": self.sequential_ns,
+            "parallel_ns": self.parallel_ns,
+            "verified": self.verified,
+            "measured": true,
+        })
+    }
+}
+
+/// Measures the real wall-clock speedup of `parallel` over `sequential` for
+/// `1..=max_threads` workers.
+///
+/// Every timing is the best of `reps` runs (minimum is the standard
+/// estimator for wall-clock microbenchmarks — noise is strictly additive).
+/// Verification per thread count: one untimed execution runs with race
+/// detection on, and every timed execution's store is compared bit-for-bit
+/// against the sequential store (the comparison happens outside the timed
+/// window).  Timed runs themselves use the trusted-schedule fast path, so
+/// a race that only manifests under a timed run's interleaving shows up as
+/// a store mismatch rather than a reported race.
+pub fn measured_speedup(
+    scheme: &str,
+    sequential: &Schedule,
+    parallel: &Schedule,
+    kernel: &(dyn Kernel + Sync),
+    max_threads: usize,
+    reps: usize,
+) -> MeasuredSeries {
+    let reps = reps.max(1);
+    let mut reference = None;
+    let mut sequential_ns = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let store = execute_sequential(sequential, kernel);
+        sequential_ns = sequential_ns.min(start.elapsed().as_nanos() as f64);
+        reference.get_or_insert(store);
+    }
+    let reference = reference.expect("reps >= 1");
+
+    let mut verified = true;
+    let mut parallel_ns = Vec::with_capacity(max_threads);
+    for threads in 1..=max_threads {
+        // One untimed validation run with race detection on…
+        let checked = ParallelExecutor::new(threads).execute(parallel, kernel);
+        verified &= checked.race_free() && reference.diff(&checked.store, 0.0).is_empty();
+        // …then timed runs on the trusted-schedule fast path (no per-unit
+        // race bookkeeping — the configuration real production use would
+        // pick once a schedule is validated).
+        let executor = ParallelExecutor::new(threads).with_race_detection(false);
+        let mut best = f64::INFINITY;
+        for _rep in 0..reps {
+            let result = executor.execute(parallel, kernel);
+            best = best.min(result.total_time.as_nanos() as f64);
+            verified &= reference.diff(&result.store, 0.0).is_empty();
+        }
+        parallel_ns.push(best);
+    }
+    MeasuredSeries {
+        series: SpeedupSeries {
+            scheme: scheme.to_string(),
+            speedups: parallel_ns.iter().map(|&p| sequential_ns / p).collect(),
+        },
+        sequential_ns,
+        parallel_ns,
+        verified,
     }
 }
 
@@ -101,7 +231,10 @@ pub fn phases_time_ns(model: &CostModel, phases: &[PhaseShape], threads: usize) 
     phases
         .iter()
         .map(|p| match *p {
-            PhaseShape::Doall { items, unit_instances } => {
+            PhaseShape::Doall {
+                items,
+                unit_instances,
+            } => {
                 let unit = unit_instances * model.instance_cost_ns + model.item_overhead_ns;
                 // items identical units over `threads` workers
                 let per_worker = (items + threads - 1) / threads.max(1);
@@ -141,16 +274,33 @@ mod tests {
 
     #[test]
     fn analytic_doall_scales() {
-        let model = CostModel { barrier_cost_ns: 0.0, item_overhead_ns: 0.0, ..Default::default() };
-        let phases = [PhaseShape::Doall { items: 1000, unit_instances: 1.0 }];
+        let model = CostModel {
+            barrier_cost_ns: 0.0,
+            item_overhead_ns: 0.0,
+            ..Default::default()
+        };
+        let phases = [PhaseShape::Doall {
+            items: 1000,
+            unit_instances: 1.0,
+        }];
         let s4 = phases_speedup(&model, &phases, 1000, 4);
-        assert!((s4 - 4.0).abs() < 0.1, "ideal DOALL speedup should be ~4, got {s4}");
+        assert!(
+            (s4 - 4.0).abs() < 0.1,
+            "ideal DOALL speedup should be ~4, got {s4}"
+        );
     }
 
     #[test]
     fn equal_chains_balance() {
-        let model = CostModel { barrier_cost_ns: 0.0, item_overhead_ns: 0.0, ..Default::default() };
-        let phases = [PhaseShape::EqualChains { count: 8, len: 100.0 }];
+        let model = CostModel {
+            barrier_cost_ns: 0.0,
+            item_overhead_ns: 0.0,
+            ..Default::default()
+        };
+        let phases = [PhaseShape::EqualChains {
+            count: 8,
+            len: 100.0,
+        }];
         let s2 = phases_speedup(&model, &phases, 800, 2);
         let s4 = phases_speedup(&model, &phases, 800, 4);
         assert!((s2 - 2.0).abs() < 0.1);
@@ -162,7 +312,10 @@ mod tests {
         let fig = SpeedupFigure {
             id: "fig-test".into(),
             workload: "toy".into(),
-            series: vec![SpeedupSeries::linear(4), SpeedupSeries::from_fn("flat", 4, |_| 1.0)],
+            series: vec![
+                SpeedupSeries::linear(4),
+                SpeedupSeries::from_fn("flat", 4, |_| 1.0),
+            ],
         };
         let table = fig.to_table();
         assert!(table.contains("linear"));

@@ -60,7 +60,11 @@ pub fn doall_nest(piece: &ConvexSet) -> String {
         // Bounds for dimension v come from constraints whose later
         // dimensions have zero coefficients (i.e. constraints of the
         // projection prefix).  Project the piece onto dims [0, v].
-        let prefix = if v + 1 < dim { piece.project_out(v + 1, dim - v - 1) } else { piece.clone() };
+        let prefix = if v + 1 < dim {
+            piece.project_out(v + 1, dim - v - 1)
+        } else {
+            piece.clone()
+        };
         // Bounds derived from the prefix must be rendered against the
         // prefix's own space (its dimensions are the first v+1 original
         // dimensions followed by the parameters).
@@ -138,7 +142,10 @@ pub fn doall_nest(piece: &ConvexSet) -> String {
 pub fn while_chain_subroutine(recurrence: &Recurrence, dim_names: &[String]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "SUBROUTINE chain({})", dim_names.join(", "));
-    let _ = writeln!(out, "  DO WHILE (iteration is inside PHI and has a successor)");
+    let _ = writeln!(
+        out,
+        "  DO WHILE (iteration is inside PHI and has a successor)"
+    );
     let _ = writeln!(out, "    s({})", dim_names.join(", "));
     // I' = I * T^-1 + u'  (the forward/successor direction)
     for (col, name) in dim_names.iter().enumerate() {
@@ -153,7 +160,11 @@ pub fn while_chain_subroutine(recurrence: &Recurrence, dim_names: &[String]) -> 
         if !off.is_zero() {
             terms.push(format!("({off})"));
         }
-        let rhs = if terms.is_empty() { "0".to_string() } else { terms.join(" + ") };
+        let rhs = if terms.is_empty() {
+            "0".to_string()
+        } else {
+            terms.join(" + ")
+        };
         let _ = writeln!(out, "    {name}p = {rhs}");
     }
     for name in dim_names {
@@ -168,10 +179,22 @@ pub fn while_chain_subroutine(recurrence: &Recurrence, dim_names: &[String]) -> 
 /// partition sets as DOALL nests plus the WHILE chain subroutine.
 pub fn generate_listing(plan: &SymbolicPlan, workload: &str) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "C ===== recurrence-chain partitioning of {workload} =====");
-    out.push_str(&doall_nests(&plan.partition.p1, "initial partition P1 (DOALL)"));
-    out.push_str(&doall_nests(&plan.partition.w, "intermediate partition: WHILE chain starts W (DOALL over chains)"));
-    out.push_str(&doall_nests(&plan.partition.p3, "final partition P3 (DOALL)"));
+    let _ = writeln!(
+        out,
+        "C ===== recurrence-chain partitioning of {workload} ====="
+    );
+    out.push_str(&doall_nests(
+        &plan.partition.p1,
+        "initial partition P1 (DOALL)",
+    ));
+    out.push_str(&doall_nests(
+        &plan.partition.w,
+        "intermediate partition: WHILE chain starts W (DOALL over chains)",
+    ));
+    out.push_str(&doall_nests(
+        &plan.partition.p3,
+        "final partition P3 (DOALL)",
+    ));
     let dim_names: Vec<String> = plan
         .partition
         .p1
@@ -192,13 +215,9 @@ fn combine(parts: &[String], op: &str) -> String {
     }
 }
 
-fn ceil_div_expr(
-    expr: &rcp_presburger::Affine,
-    div: i64,
-    space: &rcp_presburger::Space,
-) -> String {
+fn ceil_div_expr(expr: &rcp_presburger::Affine, div: i64, space: &rcp_presburger::Space) -> String {
     if div == 1 {
-        return format!("{}", expr.display(space));
+        return expr.display(space).to_string();
     }
     // ceil(e / d) = floor((e + d - 1) / d) for d > 0
     format!("({} + {})/{}", expr.display(space), div - 1, div)
@@ -210,7 +229,7 @@ fn floor_div_expr(
     space: &rcp_presburger::Space,
 ) -> String {
     if div == 1 {
-        return format!("{}", expr.display(space));
+        return expr.display(space).to_string();
     }
     format!("({})/{}", expr.display(space), div)
 }
@@ -313,8 +332,14 @@ mod tests {
         assert!(listing.contains("DOALL I2"));
         // The recurrence update of Example 1 is I1' = 3*I1 - 2,
         // I2' = 2*I1 + I2 - 2 (the paper's lines ip = 3*i-2, jp = 2*i+j-2).
-        assert!(listing.contains("I1p = (3)*I1 + (-2)"), "listing was\n{listing}");
-        assert!(listing.contains("I2p = (2)*I1 + (1)*I2 + (-2)"), "listing was\n{listing}");
+        assert!(
+            listing.contains("I1p = (3)*I1 + (-2)"),
+            "listing was\n{listing}"
+        );
+        assert!(
+            listing.contains("I2p = (2)*I1 + (1)*I2 + (-2)"),
+            "listing was\n{listing}"
+        );
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub struct WorkItem {
 impl WorkItem {
     /// A work item with a single statement instance.
     pub fn single(stmt_id: usize, indices: IVec) -> Self {
-        WorkItem { instances: vec![(stmt_id, indices)] }
+        WorkItem {
+            instances: vec![(stmt_id, indices)],
+        }
     }
 
     /// Number of statement instances in the item.
@@ -89,7 +91,10 @@ pub struct Schedule {
 impl Schedule {
     /// Creates an empty schedule.
     pub fn new(name: &str) -> Self {
-        Schedule { name: name.to_string(), phases: Vec::new() }
+        Schedule {
+            name: name.to_string(),
+            phases: Vec::new(),
+        }
     }
 
     /// The fully sequential schedule of a program at concrete parameter
@@ -99,8 +104,9 @@ impl Schedule {
         let phi = program.unified_iteration_space().bind_params(params);
         let mut items = Vec::new();
         for point in phi.enumerate() {
-            let (stmt, indices) =
-                program.decode_instance(&point).expect("phi point decodes to an instance");
+            let (stmt, indices) = program
+                .decode_instance(&point)
+                .expect("phi point decodes to an instance");
             items.push(WorkItem::single(stmt, indices));
         }
         Schedule {
@@ -147,7 +153,29 @@ impl Schedule {
                 }
             }
         }
-        Schedule { name: name.to_string(), phases }
+        Schedule {
+            name: name.to_string(),
+            phases,
+        }
+    }
+
+    /// Builds the phase-per-stage DOALL schedule of a dataflow partition:
+    /// instance `k` executes in phase `levels[k]` (its longest-path depth in
+    /// the dependence graph), every stage fully parallel.
+    pub fn from_dataflow_levels(
+        name: &str,
+        instances: &[(usize, IVec)],
+        levels: &[u32],
+    ) -> Schedule {
+        let n_stages = levels.iter().copied().max().map_or(0, |m| m as usize + 1);
+        let mut stages: Vec<Vec<WorkItem>> = vec![Vec::new(); n_stages];
+        for (idx, (stmt, indices)) in instances.iter().enumerate() {
+            stages[levels[idx] as usize].push(WorkItem::single(*stmt, indices.clone()));
+        }
+        Schedule {
+            name: name.to_string(),
+            phases: stages.into_iter().map(Phase::Doall).collect(),
+        }
     }
 
     /// Builds a one-phase DOALL schedule from a dense set of points (used by
@@ -155,7 +183,9 @@ impl Schedule {
     pub fn doall_phase(analysis: &DependenceAnalysis, points: &DenseSet, name: &str) -> Schedule {
         Schedule {
             name: name.to_string(),
-            phases: vec![Phase::Doall(points.iter().map(|p| point_to_item(analysis, p)).collect())],
+            phases: vec![Phase::Doall(
+                points.iter().map(|p| point_to_item(analysis, p)).collect(),
+            )],
         }
     }
 
@@ -170,9 +200,11 @@ impl Schedule {
             .iter()
             .map(|p| match p {
                 Phase::Doall(items) => items.iter().map(|i| i.len()).sum::<usize>(),
-                Phase::ChainSet(chains) => {
-                    chains.iter().flat_map(|c| c.iter()).map(|i| i.len()).sum::<usize>()
-                }
+                Phase::ChainSet(chains) => chains
+                    .iter()
+                    .flat_map(|c| c.iter())
+                    .map(|i| i.len())
+                    .sum::<usize>(),
             })
             .sum()
     }
@@ -229,9 +261,11 @@ impl Schedule {
     pub fn all_items(&self) -> impl Iterator<Item = &WorkItem> {
         self.phases.iter().flat_map(|p| match p {
             Phase::Doall(items) => items.iter().collect::<Vec<_>>().into_iter(),
-            Phase::ChainSet(chains) => {
-                chains.iter().flat_map(|c| c.iter()).collect::<Vec<_>>().into_iter()
-            }
+            Phase::ChainSet(chains) => chains
+                .iter()
+                .flat_map(|c| c.iter())
+                .collect::<Vec<_>>()
+                .into_iter(),
         })
     }
 }

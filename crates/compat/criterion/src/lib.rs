@@ -1,0 +1,207 @@
+//! A dependency-free micro-benchmark harness exposing the subset of the
+//! `criterion` crate's API that this workspace's benches use.
+//!
+//! The workspace builds in fully offline environments where crates.io is
+//! unreachable, so the real `criterion` cannot be fetched.  This drop-in
+//! stand-in keeps every `benches/*.rs` file source-compatible: it times each
+//! closure over a fixed number of samples with `std::time::Instant` and
+//! prints a `median / mean / min` summary line per benchmark.  Statistical
+//! rigor (outlier analysis, regression detection) is explicitly out of
+//! scope; swap the path dependency back to crates.io `criterion` when a
+//! registry is available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a computed value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// The top-level benchmark driver, handed to each registered bench function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            group: name.to_string(),
+            sample_size: self.default_sample_size,
+            _c: self,
+        }
+    }
+
+    /// Registers and immediately runs a stand-alone benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        run_bench(id, sample_size, f);
+        self
+    }
+}
+
+/// A named parameter attached to a benchmark id
+/// (`BenchmarkId::new("classify", 60)`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter value into one id.
+    pub fn new(function_name: &str, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    group: String,
+    sample_size: usize,
+    _c: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `f` as a benchmark named `id` within the group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(&format!("{}/{id}", self.group), self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_bench(
+            &format!("{}/{}", self.group, id.id),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Times a single benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, timing each run.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // One untimed warm-up run.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench(id: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("  {id}: no samples recorded");
+        return;
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "  {id}: median {} | mean {} | min {} ({} samples)",
+        fmt_duration(median),
+        fmt_duration(mean),
+        fmt_duration(samples[0]),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Collects bench functions into a runnable group, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring criterion's macro of
+/// the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        // 3 timed samples + 1 warm-up.
+        assert_eq!(runs, 4);
+        group.bench_with_input(BenchmarkId::new("param", 7), &7usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,376 @@
+//! A minimal, dependency-free JSON value used for the machine-readable
+//! benchmark payloads (`ExperimentReport::data`, `BENCH_results.json`).
+//!
+//! The workspace builds in fully offline environments, so `serde_json`
+//! cannot be assumed; this crate exposes the small subset of its API the
+//! benchmark harness relies on: a [`Json`] value with indexing and
+//! accessors, a [`json!`] constructor macro, compact [`std::fmt::Display`]
+//! output, and a [`Json::pretty`] printer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept exact, unlike `f64`).
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Json)>),
+}
+
+/// Conversion into a [`Json`] value, used by the [`json!`] macro.
+pub trait ToJson {
+    /// Converts `self` into a [`Json`] value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str((*self).to_string())
+    }
+}
+
+macro_rules! int_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+    )*};
+}
+int_to_json!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+impl<K: ToString, V: ToJson> ToJson for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+/// Builds a [`Json`] value with a literal-like syntax.
+///
+/// Object values must be single expressions; nest another `json!` call for
+/// sub-objects: `json!({"outer": json!({"inner": 1})})`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Json::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Json::Array(vec![ $( $crate::ToJson::to_json(&$elem) ),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Json::Object(vec![
+            $( ($key.to_string(), $crate::ToJson::to_json(&$value)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::ToJson::to_json(&$other) };
+}
+
+impl Json {
+    /// The value at an object key, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Json>> {
+        match self {
+            Json::Array(elems) => Some(elems),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if numeric.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if numeric.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers convert), if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    // Keep a decimal point so the value round-trips as float.
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        out.push_str(&format!("{v:.1}"));
+                    } else {
+                        out.push_str(&format!("{v}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(elems) => write_seq(out, indent, '[', ']', elems.iter(), |out, v, ind| {
+                v.write(out, ind)
+            }),
+            Json::Object(entries) => {
+                write_seq(out, indent, '{', '}', entries.iter(), |out, (k, v), ind| {
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, ind);
+                })
+            }
+        }
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    indent: Option<usize>,
+    open: char,
+    close: char,
+    items: impl ExactSizeIterator<Item = T>,
+    mut write_item: impl FnMut(&mut String, T, Option<usize>),
+) {
+    out.push(open);
+    if items.len() == 0 {
+        out.push(close);
+        return;
+    }
+    let inner = indent.map(|i| i + 1);
+    let mut first = true;
+    for item in items {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if let Some(i) = inner {
+            out.push('\n');
+            out.push_str(&"  ".repeat(i));
+        }
+        write_item(out, item, inner);
+    }
+    if let Some(i) = indent {
+        out.push('\n');
+        out.push_str(&"  ".repeat(i));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        f.write_str(&out)
+    }
+}
+
+impl std::ops::Index<&str> for Json {
+    type Output = Json;
+    fn index(&self, key: &str) -> &Json {
+        static NULL: Json = Json::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Json {
+    type Output = Json;
+    fn index(&self, idx: usize) -> &Json {
+        static NULL: Json = Json::Null;
+        match self {
+            Json::Array(elems) => elems.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! eq_via_to_json {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Json {
+            fn eq(&self, other: &$t) -> bool {
+                *self == other.to_json()
+            }
+        }
+        impl PartialEq<Json> for $t {
+            fn eq(&self, other: &Json) -> bool {
+                self.to_json() == *other
+            }
+        }
+    )*};
+}
+eq_via_to_json!(bool, i32, i64, u64, usize, f64, &str);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_nested_values() {
+        let v = json!({
+            "a": 1,
+            "b": [1, 2, 3],
+            "c": json!({"d": "x"}),
+        });
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["b"].as_array().unwrap().len(), 3);
+        assert_eq!(v["c"]["d"], "x");
+        assert_eq!(v["missing"], Json::Null);
+    }
+
+    #[test]
+    fn equality_with_primitives() {
+        assert_eq!(json!(3), 3);
+        assert_eq!(json!(true), true);
+        assert_eq!(json!("s"), "s");
+        assert_eq!(
+            json!([[2, 6]]),
+            Json::Array(vec![Json::Array(vec![Json::Int(2), Json::Int(6)])])
+        );
+    }
+
+    #[test]
+    fn maps_become_string_keyed_objects() {
+        let mut m = BTreeMap::new();
+        m.insert(2i64, 8usize);
+        m.insert(4, 6);
+        let v = json!({ "per_distance": m });
+        assert_eq!(v["per_distance"]["2"], 8);
+        assert_eq!(v["per_distance"]["4"], 6);
+    }
+
+    #[test]
+    fn display_and_pretty_round_trip_shapes() {
+        let v = json!({"k": [1, 2], "s": "a\"b"});
+        assert_eq!(v.to_string(), "{\"k\": [1,2],\"s\": \"a\\\"b\"}");
+        assert!(v.pretty().contains("\n  \"k\": [\n"));
+    }
+}

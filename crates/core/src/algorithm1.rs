@@ -129,7 +129,12 @@ impl ConcretePartition {
     /// respected by the phase/chain ordering.  Returns violated invariants.
     pub fn validate(&self, phi: &DenseSet, rd: &DenseRelation) -> Vec<String> {
         match self {
-            ConcretePartition::RecurrenceChains { p1, chains, p3, three_set } => {
+            ConcretePartition::RecurrenceChains {
+                p1,
+                chains,
+                p3,
+                three_set,
+            } => {
                 let mut problems = three_set.validate(phi, rd);
                 problems.extend(crate::chains::validate_chain_cover(chains, &three_set.p2));
                 for c in chains {
@@ -173,7 +178,10 @@ pub fn symbolic_plan(analysis: &DependenceAnalysis) -> Option<SymbolicPlan> {
     let pair = analysis.single_coupled_pair()?;
     let recurrence = Recurrence::from_pair(&pair)?;
     let partition = ThreeSetPartition::compute(&analysis.phi, &analysis.relation);
-    Some(SymbolicPlan { partition, recurrence })
+    Some(SymbolicPlan {
+        partition,
+        recurrence,
+    })
 }
 
 /// Runs Algorithm 1 for concrete parameter values, choosing the
@@ -207,7 +215,9 @@ pub fn concrete_partition_from_dense(
             three_set,
         }
     } else {
-        ConcretePartition::Dataflow { stages: dataflow_partition(phi, rd) }
+        ConcretePartition::Dataflow {
+            stages: dataflow_partition(phi, rd),
+        }
     }
 }
 
@@ -262,7 +272,10 @@ mod tests {
                         "S",
                         vec![
                             ArrayRef::write("a", vec![v("I") * 2 + c(3), v("J") + c(1)]),
-                            ArrayRef::read("a", vec![v("I") + v("J") * 2 + c(1), v("I") + v("J") + c(3)]),
+                            ArrayRef::read(
+                                "a",
+                                vec![v("I") + v("J") * 2 + c(1), v("I") + v("J") + c(3)],
+                            ),
                         ],
                     )],
                 )],
@@ -285,7 +298,7 @@ mod tests {
         assert!(stats.n_phases <= 3);
         // Theorem 1: the critical path never exceeds the bound.
         let plan = symbolic_plan(&analysis).unwrap();
-        let l = ((10.0f64 * 10.0 + 10.0 * 10.0) as f64).sqrt();
+        let l = (10.0f64 * 10.0 + 10.0 * 10.0).sqrt();
         if let ConcretePartition::RecurrenceChains { chains, .. } = &part {
             let bound = plan.recurrence.critical_path_bound(l).unwrap();
             assert!(longest_chain(chains) <= bound);
@@ -297,13 +310,17 @@ mod tests {
         // Paper, Example 2: "For this N=12 case, there is only a single
         // iteration in the intermediate set, particularly iteration (2, 6)."
         let analysis = rcp_depend::DependenceAnalysis::loop_level(&example2());
-        let pair = analysis.single_coupled_pair().expect("example 2 has one coupled pair");
+        let pair = analysis
+            .single_coupled_pair()
+            .expect("example 2 has one coupled pair");
         assert_eq!(pair.write.matrix.det(), 2);
         assert_eq!(pair.read.matrix.det().abs(), 1);
         let part = concrete_partition(&analysis, &[12]);
         assert_eq!(part.strategy(), Strategy::RecurrenceChains);
         match &part {
-            ConcretePartition::RecurrenceChains { three_set, chains, .. } => {
+            ConcretePartition::RecurrenceChains {
+                three_set, chains, ..
+            } => {
                 assert_eq!(three_set.p2.to_vec(), vec![vec![2, 6]]);
                 assert_eq!(chains.len(), 1);
                 assert_eq!(chains[0].iterations, vec![vec![2, 6]]);
@@ -314,7 +331,10 @@ mod tests {
         }
         let (phi, rel) = analysis.bind_params(&[12]);
         assert!(part
-            .validate(&DenseSet::from_union(&phi), &DenseRelation::from_relation(&rel))
+            .validate(
+                &DenseSet::from_union(&phi),
+                &DenseRelation::from_relation(&rel)
+            )
             .is_empty());
     }
 
@@ -376,7 +396,10 @@ mod tests {
         assert_eq!(part.strategy(), Strategy::Dataflow);
         let (phi, rel) = analysis.bind_params(&[6]);
         assert!(part
-            .validate(&DenseSet::from_union(&phi), &DenseRelation::from_relation(&rel))
+            .validate(
+                &DenseSet::from_union(&phi),
+                &DenseRelation::from_relation(&rel)
+            )
             .is_empty());
         assert_eq!(part.stats().total_iterations, 36);
     }
@@ -392,7 +415,10 @@ mod tests {
                 v("N"),
                 vec![stmt(
                     "S",
-                    vec![ArrayRef::write("a", vec![v("I")]), ArrayRef::read("b", vec![v("I")])],
+                    vec![
+                        ArrayRef::write("a", vec![v("I")]),
+                        ArrayRef::read("b", vec![v("I")]),
+                    ],
                 )],
             )],
         );

@@ -43,7 +43,9 @@ impl Chain {
     /// Checks that consecutive iterations are lexicographically increasing
     /// and directly dependent under `rd`.
     pub fn is_monotonic(&self, rd: &DenseRelation) -> bool {
-        self.iterations.windows(2).all(|w| w[0] < w[1] && rd.contains(&w[0], &w[1]))
+        self.iterations
+            .windows(2)
+            .all(|w| w[0] < w[1] && rd.contains(&w[0], &w[1]))
     }
 }
 
@@ -120,7 +122,9 @@ pub fn monotonic_chains(rd: &DenseRelation) -> Vec<Chain> {
         let succs = rd.successors(&current);
         if succs.len() != 1 || rd.predecessors(&succs[0]).len() != 1 {
             for next in succs {
-                chains.push(Chain { iterations: vec![current.clone(), next.clone()] });
+                chains.push(Chain {
+                    iterations: vec![current.clone(), next.clone()],
+                });
             }
         }
     }
@@ -133,7 +137,9 @@ pub fn monotonic_chains(rd: &DenseRelation) -> Vec<Chain> {
             && !is_start(src)
             && !chains.iter().any(|c| contains_edge(c, src, dst))
         {
-            chains.push(Chain { iterations: vec![src.clone(), dst.clone()] });
+            chains.push(Chain {
+                iterations: vec![src.clone(), dst.clone()],
+            });
         }
     }
     chains.sort_by(|a, b| a.iterations.cmp(&b.iterations));
@@ -142,7 +148,10 @@ pub fn monotonic_chains(rd: &DenseRelation) -> Vec<Chain> {
 }
 
 fn contains_edge(chain: &Chain, src: &IVec, dst: &IVec) -> bool {
-    chain.iterations.windows(2).any(|w| &w[0] == src && &w[1] == dst)
+    chain
+        .iterations
+        .windows(2)
+        .any(|w| &w[0] == src && &w[1] == dst)
 }
 
 /// The length of the longest chain (the critical path of the intermediate
@@ -167,7 +176,11 @@ pub fn validate_chain_cover(chains: &[Chain], p2: &DenseSet) -> Vec<String> {
         }
     }
     if seen.len() != p2.len() {
-        problems.push(format!("chains cover {} of {} intermediate iterations", seen.len(), p2.len()));
+        problems.push(format!(
+            "chains cover {} of {} intermediate iterations",
+            seen.len(),
+            p2.len()
+        ));
     }
     problems
 }
@@ -214,9 +227,21 @@ mod tests {
             .iter()
             .map(|c| c.iterations.iter().map(|p| p[0]).collect())
             .collect();
-        assert!(as_pairs.contains(&vec![6, 9]), "missing 6 -> 9 in {:?}", as_pairs);
-        assert!(as_pairs.contains(&vec![3, 9]), "missing 3 -> 9 in {:?}", as_pairs);
-        assert!(as_pairs.contains(&vec![3, 15]), "missing 3 -> 15 in {:?}", as_pairs);
+        assert!(
+            as_pairs.contains(&vec![6, 9]),
+            "missing 6 -> 9 in {:?}",
+            as_pairs
+        );
+        assert!(
+            as_pairs.contains(&vec![3, 9]),
+            "missing 3 -> 9 in {:?}",
+            as_pairs
+        );
+        assert!(
+            as_pairs.contains(&vec![3, 15]),
+            "missing 3 -> 15 in {:?}",
+            as_pairs
+        );
         // every chain is monotonic and at most 2 long (paper: "each
         // monotonic chain has only two iterations")
         for c in &chains {

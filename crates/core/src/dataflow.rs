@@ -60,7 +60,11 @@ impl DataflowPartition {
             }
         }
         if level.len() != phi.len() {
-            problems.push(format!("stages cover {} of {} iterations", level.len(), phi.len()));
+            problems.push(format!(
+                "stages cover {} of {} iterations",
+                level.len(),
+                phi.len()
+            ));
         }
         for (src, dst) in rd.iter() {
             let (Some(&a), Some(&b)) = (level.get(src), level.get(dst)) else {
@@ -91,11 +95,7 @@ pub fn dataflow_partition(phi: &DenseSet, rd: &DenseRelation) -> DataflowPartiti
         *indegree.get_mut(dst).expect("dst inside phi") += 1;
     }
     let mut level: HashMap<IVec, usize> = HashMap::new();
-    let mut frontier: Vec<IVec> = phi
-        .iter()
-        .filter(|p| indegree[*p] == 0)
-        .cloned()
-        .collect();
+    let mut frontier: Vec<IVec> = phi.iter().filter(|p| indegree[*p] == 0).cloned().collect();
     for p in &frontier {
         level.insert(p.clone(), 0);
     }
@@ -274,11 +274,16 @@ mod tests {
         let good = dataflow_partition(&phi, &rd);
         assert!(good.validate(&phi, &rd).is_empty());
         // put everything in one stage: dependences stay inside the stage
-        let bad = DataflowPartition { stages: vec![phi.clone()] };
+        let bad = DataflowPartition {
+            stages: vec![phi.clone()],
+        };
         assert!(!bad.validate(&phi, &rd).is_empty());
         // drop an iteration: coverage violated
         let partial = DataflowPartition {
-            stages: vec![DenseSet::from_points(1, vec![vec![1]]), DenseSet::from_points(1, vec![vec![2]])],
+            stages: vec![
+                DenseSet::from_points(1, vec![vec![1]]),
+                DenseSet::from_points(1, vec![vec![2]]),
+            ],
         };
         assert!(!partial.validate(&phi, &rd).is_empty());
     }

@@ -249,7 +249,7 @@ mod tests {
     fn theorem1_bound_values() {
         let rec = recurrence_of(&example1());
         // Example 1 text: at most 1 + ⌈log3(sqrt(N1² + N2²))⌉ iterations.
-        let l = ((300.0f64 * 300.0 + 1000.0 * 1000.0) as f64).sqrt();
+        let l = (300.0f64 * 300.0 + 1000.0 * 1000.0).sqrt();
         let bound = rec.critical_path_bound(l).unwrap();
         assert_eq!(bound, (l.ln() / 3.0f64.ln()).ceil() as usize + 1);
         assert!(bound <= 8);

@@ -227,7 +227,10 @@ mod tests {
         let dense = part.bind_params(&[]).to_dense();
         let p1: Vec<i64> = dense.p1.iter().map(|p| p[0]).collect();
         assert_eq!(p1, vec![1, 2, 3, 4, 5, 6, 7, 12, 14, 16, 18, 20]);
-        assert!(dense.p2.is_empty(), "figure 2 has an empty intermediate set");
+        assert!(
+            dense.p2.is_empty(),
+            "figure 2 has an empty intermediate set"
+        );
         let p3: Vec<i64> = dense.p3.iter().map(|p| p[0]).collect();
         assert_eq!(p3, vec![8, 9, 10, 11, 13, 15, 17, 19]);
         assert!(dense.w.is_empty());
@@ -249,7 +252,10 @@ mod tests {
         let (phi, rel) = analysis.bind_params(&[10, 10]);
         let phi_d = DenseSet::from_union(&phi);
         let rd_d = DenseRelation::from_relation(&rel);
-        assert!(dense.validate(&phi_d, &rd_d).is_empty(), "invalid partition");
+        assert!(
+            dense.validate(&phi_d, &rd_d).is_empty(),
+            "invalid partition"
+        );
         // Exactly the 100 iterations of the 10x10 space are covered.
         assert_eq!(dense.p1.len() + dense.p2.len() + dense.p3.len(), 100);
         // Figure 1 structure: sources at i1 in {2,3,4} (18 dependences), all

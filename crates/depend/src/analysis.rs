@@ -134,7 +134,10 @@ impl DependenceAnalysis {
                     let wa = self.program.loop_access(info, w);
                     let ra = self.program.loop_access(info, r);
                     if wa.matrix.is_square() && ra.matrix.is_square() {
-                        found = Some(CoupledPair { write: wa, read: ra });
+                        found = Some(CoupledPair {
+                            write: wa,
+                            read: ra,
+                        });
                     }
                 }
             }
@@ -148,7 +151,10 @@ impl DependenceAnalysis {
 
     /// The dependence relation with parameters bound to concrete values.
     pub fn bind_params(&self, values: &[i64]) -> (UnionSet, Relation) {
-        (self.phi.bind_params(values), self.relation.bind_params(values))
+        (
+            self.phi.bind_params(values),
+            self.relation.bind_params(values),
+        )
     }
 }
 
@@ -248,7 +254,14 @@ fn analyze_loop_level(program: &Program) -> DependenceAnalysis {
         let acc1 = program.loop_access(info1, &info1.stmt.refs[pair.src_ref]);
         let acc2 = program.loop_access(info2, &info2.stmt.refs[pair.dst_ref]);
         // Direction 1: the src end is an instance of ref1, the dst of ref2.
-        pieces.extend(dependence_pieces(&pair_space, dim, &acc1, &phi_convex, &acc2, &phi_convex));
+        pieces.extend(dependence_pieces(
+            &pair_space,
+            dim,
+            &acc1,
+            &phi_convex,
+            &acc2,
+            &phi_convex,
+        ));
         // Direction 2 (skip when the two references are the same one).
         if !(pair.src_stmt == pair.dst_stmt && pair.src_ref == pair.dst_ref) {
             pieces.extend(dependence_pieces(
@@ -290,9 +303,23 @@ fn analyze_statement_level(program: &Program) -> DependenceAnalysis {
         let acc2 = program.unified_access(info2, &info2.stmt.refs[pair.dst_ref]);
         let set1 = program.statement_instance_set(info1);
         let set2 = program.statement_instance_set(info2);
-        pieces.extend(dependence_pieces(&pair_space, dim, &acc1, &set1, &acc2, &set2));
+        pieces.extend(dependence_pieces(
+            &pair_space,
+            dim,
+            &acc1,
+            &set1,
+            &acc2,
+            &set2,
+        ));
         if !(pair.src_stmt == pair.dst_stmt && pair.src_ref == pair.dst_ref) {
-            pieces.extend(dependence_pieces(&pair_space, dim, &acc2, &set2, &acc1, &set1));
+            pieces.extend(dependence_pieces(
+                &pair_space,
+                dim,
+                &acc2,
+                &set2,
+                &acc1,
+                &set1,
+            ));
         }
     }
     let relation = Relation::new(dim, dim, UnionSet::from_pieces(pair_space.clone(), pieces));
@@ -385,14 +412,23 @@ mod tests {
         assert!(dense.contains(&[3, 1], &[7, 5]));
         assert!(dense.contains(&[4, 4], &[10, 10]));
         assert!(!dense.contains(&[1, 1], &[3, 3])); // the non-uniformity example
-        // every pair is lexicographically forward
+                                                    // every pair is lexicographically forward
         for (src, dst) in dense.iter() {
-            assert!(src < dst, "dependence {:?} -> {:?} must be forward", src, dst);
+            assert!(
+                src < dst,
+                "dependence {:?} -> {:?} must be forward",
+                src,
+                dst
+            );
         }
         // distances are the multiples of (2,2) announced in the figure
         for (src, dst) in dense.iter() {
             let d = (dst[0] - src[0], dst[1] - src[1]);
-            assert!(matches!(d, (2, 2) | (4, 4) | (6, 6)), "unexpected distance {:?}", d);
+            assert!(
+                matches!(d, (2, 2) | (4, 4) | (6, 6)),
+                "unexpected distance {:?}",
+                d
+            );
         }
     }
 
@@ -406,9 +442,8 @@ mod tests {
         // Forward orientation only.
         for (src, dst) in dense.iter() {
             assert!(src < dst);
-            assert_eq!(
+            assert!(
                 2 * src[0] + dst[0] == 21 || 2 * dst[0] + src[0] == 21,
-                true,
                 "pair {:?}->{:?} does not satisfy the dependence equation",
                 src,
                 dst
@@ -425,13 +460,17 @@ mod tests {
     #[test]
     fn single_coupled_pair_detection() {
         let analysis = DependenceAnalysis::loop_level(&example1());
-        let pair = analysis.single_coupled_pair().expect("example 1 has one coupled pair");
+        let pair = analysis
+            .single_coupled_pair()
+            .expect("example 1 has one coupled pair");
         assert!(pair.full_rank());
         assert_eq!(pair.write.matrix.det(), 3);
         assert_eq!(pair.read.matrix.det(), 1);
         // figure 2: 1-D loop, matrices are 1x1 and full rank
         let analysis = DependenceAnalysis::loop_level(&figure2());
-        let pair = analysis.single_coupled_pair().expect("figure 2 has one coupled pair");
+        let pair = analysis
+            .single_coupled_pair()
+            .expect("figure 2 has one coupled pair");
         assert_eq!(pair.write.matrix.det(), 2);
         assert_eq!(pair.read.matrix.det(), -1);
     }
@@ -519,7 +558,10 @@ mod tests {
             )],
         );
         let analysis = DependenceAnalysis::loop_level(&p);
-        assert!(analysis.pairs.iter().all(|p| p.identical_access || p.array == "x" || p.array == "y"));
+        assert!(analysis
+            .pairs
+            .iter()
+            .all(|p| p.identical_access || p.array == "x" || p.array == "y"));
         let (_, rel) = analysis.bind_params(&[10]);
         assert!(DenseRelation::from_relation(&rel).is_empty());
     }

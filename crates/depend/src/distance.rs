@@ -67,7 +67,10 @@ pub fn classify_uniformity(relation: &DenseRelation, phi: &DenseSet) -> Uniformi
 /// values.
 pub fn classify_analysis(analysis: &DependenceAnalysis, params: &[i64]) -> Uniformity {
     let (phi, rel) = analysis.bind_params(params);
-    classify_uniformity(&DenseRelation::from_relation(&rel), &DenseSet::from_union(&phi))
+    classify_uniformity(
+        &DenseRelation::from_relation(&rel),
+        &DenseSet::from_union(&phi),
+    )
 }
 
 /// True when every reference pair of the analysis has identical access
@@ -151,7 +154,10 @@ mod tests {
     #[test]
     fn example1_is_non_uniform() {
         let analysis = DependenceAnalysis::loop_level(&example1());
-        assert_eq!(classify_analysis(&analysis, &[10, 10]), Uniformity::NonUniform);
+        assert_eq!(
+            classify_analysis(&analysis, &[10, 10]),
+            Uniformity::NonUniform
+        );
         assert!(!syntactically_uniform(&analysis));
         let (_, rel) = analysis.bind_params(&[10, 10]);
         let d = distance_set(&DenseRelation::from_relation(&rel));
@@ -169,7 +175,10 @@ mod tests {
                 v("N"),
                 vec![stmt(
                     "S",
-                    vec![ArrayRef::write("a", vec![v("I")]), ArrayRef::read("b", vec![v("I")])],
+                    vec![
+                        ArrayRef::write("a", vec![v("I")]),
+                        ArrayRef::read("b", vec![v("I")]),
+                    ],
                 )],
             )],
         );

@@ -43,6 +43,8 @@ pub mod screening;
 pub mod trace;
 
 pub use analysis::{is_coupled_access, CoupledPair, DependenceAnalysis, Granularity, RefPair};
-pub use distance::{classify_analysis, classify_uniformity, distance_set, syntactically_uniform, Uniformity};
+pub use distance::{
+    classify_analysis, classify_uniformity, distance_set, syntactically_uniform, Uniformity,
+};
 pub use screening::{banerjee_test, gcd_test, Screening};
 pub use trace::{trace_dependence_graph, TracedGraph};

@@ -51,12 +51,7 @@ pub fn gcd_test(src: &AccessMap, dst: &AccessMap) -> Screening {
 /// each subscript dimension the difference `src(i) − dst(j)` is bounded with
 /// interval arithmetic; if zero lies outside the interval for some
 /// dimension, the references are independent.
-pub fn banerjee_test(
-    src: &AccessMap,
-    dst: &AccessMap,
-    lower: &[i64],
-    upper: &[i64],
-) -> Screening {
+pub fn banerjee_test(src: &AccessMap, dst: &AccessMap, lower: &[i64], upper: &[i64]) -> Screening {
     assert_eq!(src.matrix.rows(), lower.len());
     assert_eq!(src.matrix.rows(), upper.len());
     for d in 0..src.matrix.cols() {
@@ -86,7 +81,10 @@ mod tests {
     use rcp_loopir::program::build::{loop_, stmt};
     use rcp_loopir::{ArrayRef, Program};
 
-    fn accesses(write_sub: Vec<rcp_loopir::LinExpr>, read_sub: Vec<rcp_loopir::LinExpr>) -> (AccessMap, AccessMap) {
+    fn accesses(
+        write_sub: Vec<rcp_loopir::LinExpr>,
+        read_sub: Vec<rcp_loopir::LinExpr>,
+    ) -> (AccessMap, AccessMap) {
         let p = Program::new(
             "t",
             &["N"],
@@ -100,14 +98,20 @@ mod tests {
                     v("N"),
                     vec![stmt(
                         "S",
-                        vec![ArrayRef::write("a", write_sub), ArrayRef::read("a", read_sub)],
+                        vec![
+                            ArrayRef::write("a", write_sub),
+                            ArrayRef::read("a", read_sub),
+                        ],
                     )],
                 )],
             )],
         );
         let stmts = p.statements();
         let info = &stmts[0];
-        (p.loop_access(info, &info.stmt.refs[0]), p.loop_access(info, &info.stmt.refs[1]))
+        (
+            p.loop_access(info, &info.stmt.refs[0]),
+            p.loop_access(info, &info.stmt.refs[1]),
+        )
     }
 
     #[test]
@@ -133,9 +137,15 @@ mod tests {
     fn banerjee_detects_range_separation() {
         // a(I, J) vs a(I + 100, J) in a 10x10 space: ranges never overlap.
         let (w, r) = accesses(vec![v("I"), v("J")], vec![v("I") + c(100), v("J")]);
-        assert_eq!(banerjee_test(&w, &r, &[1, 1], &[10, 10]), Screening::Independent);
+        assert_eq!(
+            banerjee_test(&w, &r, &[1, 1], &[10, 10]),
+            Screening::Independent
+        );
         // but with a 200-wide space they can.
-        assert_eq!(banerjee_test(&w, &r, &[1, 1], &[200, 200]), Screening::MaybeDependent);
+        assert_eq!(
+            banerjee_test(&w, &r, &[1, 1], &[200, 200]),
+            Screening::MaybeDependent
+        );
     }
 
     #[test]
@@ -146,6 +156,9 @@ mod tests {
             vec![v("I") + c(3), v("J") + c(1)],
         );
         assert_eq!(gcd_test(&w, &r), Screening::MaybeDependent);
-        assert_eq!(banerjee_test(&w, &r, &[1, 1], &[10, 10]), Screening::MaybeDependent);
+        assert_eq!(
+            banerjee_test(&w, &r, &[1, 1], &[10, 10]),
+            Screening::MaybeDependent
+        );
     }
 }

@@ -169,8 +169,7 @@ mod tests {
         let analysis = DependenceAnalysis::loop_level(&p);
         let (_, rel) = analysis.bind_params(&[]);
         let exact = DenseRelation::from_relation(&rel);
-        let exact_pairs: BTreeSet<(i64, i64)> =
-            exact.iter().map(|(a, b)| (a[0], b[0])).collect();
+        let exact_pairs: BTreeSet<(i64, i64)> = exact.iter().map(|(a, b)| (a[0], b[0])).collect();
         for (s, d) in &traced.edges {
             let si = traced.instances[*s as usize].1[0];
             let di = traced.instances[*d as usize].1[0];
@@ -184,7 +183,10 @@ mod tests {
             .edges
             .iter()
             .flat_map(|(s, d)| {
-                [traced.instances[*s as usize].1[0], traced.instances[*d as usize].1[0]]
+                [
+                    traced.instances[*s as usize].1[0],
+                    traced.instances[*d as usize].1[0],
+                ]
             })
             .collect();
         let exact_endpoints: BTreeSet<i64> =
@@ -230,10 +232,7 @@ mod tests {
                 c(1),
                 v("N"),
                 vec![
-                    stmt(
-                        "W",
-                        vec![ArrayRef::write("x", vec![v("I")])],
-                    ),
+                    stmt("W", vec![ArrayRef::write("x", vec![v("I")])]),
                     stmt(
                         "R",
                         vec![

@@ -124,7 +124,11 @@ mod tests {
                 .map(|r| (0..m.cols()).map(|cc| m[(r, cc)] * y[cc]).sum())
                 .collect()
         };
-        assert_eq!(apply(&sol.particular), c.to_vec(), "particular not a solution");
+        assert_eq!(
+            apply(&sol.particular),
+            c.to_vec(),
+            "particular not a solution"
+        );
         for b in &sol.basis {
             assert_eq!(apply(b), vec![0; m.rows()], "basis vector not homogeneous");
         }

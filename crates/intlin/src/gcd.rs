@@ -33,7 +33,10 @@ pub fn lcm(a: i64, b: i64) -> i64 {
     if a == 0 || b == 0 {
         return 0;
     }
-    (a / gcd(a, b)).abs().checked_mul(b.abs()).expect("lcm overflow")
+    (a / gcd(a, b))
+        .abs()
+        .checked_mul(b.abs())
+        .expect("lcm overflow")
 }
 
 /// GCD of a slice of integers; `0` for an empty slice.
@@ -132,7 +135,16 @@ mod tests {
 
     #[test]
     fn ext_gcd_bezout_identity() {
-        for &(a, b) in &[(240, 46), (-240, 46), (240, -46), (-240, -46), (0, 5), (5, 0), (1, 1), (7, 13)] {
+        for &(a, b) in &[
+            (240, 46),
+            (-240, 46),
+            (240, -46),
+            (-240, -46),
+            (0, 5),
+            (5, 0),
+            (1, 1),
+            (7, 13),
+        ] {
             let (g, x, y) = ext_gcd(a, b);
             assert_eq!(g, gcd(a, b), "gcd mismatch for ({a},{b})");
             assert_eq!(a * x + b * y, g, "bezout fails for ({a},{b})");

@@ -162,7 +162,11 @@ mod tests {
         check_invariants(&IMat::from_rows(&[vec![2, 3, 5]]));
         check_invariants(&IMat::from_rows(&[vec![0, 0], vec![0, 0]]));
         check_invariants(&IMat::from_rows(&[vec![4], vec![6]]));
-        check_invariants(&IMat::from_rows(&[vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]]));
+        check_invariants(&IMat::from_rows(&[
+            vec![1, 2, 3],
+            vec![4, 5, 6],
+            vec![7, 8, 9],
+        ]));
         check_invariants(&IMat::from_rows(&[vec![-2, 4, -6], vec![3, -5, 7]]));
     }
 

@@ -15,7 +15,7 @@ use std::fmt;
 ///
 /// Following the paper's convention, a matrix with `rows == m` maps an
 /// `m`-dimensional row vector `i` to `i · M` of dimension `cols`.
-#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct IMat {
     rows: usize,
     cols: usize,
@@ -39,7 +39,11 @@ impl IMat {
         for row in rows {
             assert_eq!(row.len(), c, "ragged matrix rows");
         }
-        IMat { rows: r, cols: c, data: rows.concat() }
+        IMat {
+            rows: r,
+            cols: c,
+            data: rows.concat(),
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -53,7 +57,11 @@ impl IMat {
 
     /// The `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        IMat { rows, cols, data: vec![0; rows * cols] }
+        IMat {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// Number of rows.
@@ -214,7 +222,7 @@ impl fmt::Debug for IMat {
 }
 
 /// A dense rational matrix in row-major order.
-#[derive(Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct RatMat {
     rows: usize,
     cols: usize,
@@ -239,7 +247,11 @@ impl RatMat {
 
     /// The zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        RatMat { rows, cols, data: vec![Rational::ZERO; rows * cols] }
+        RatMat {
+            rows,
+            cols,
+            data: vec![Rational::ZERO; rows * cols],
+        }
     }
 
     /// Number of rows.
@@ -263,7 +275,7 @@ impl RatMat {
                     continue;
                 }
                 for c in 0..other.cols {
-                    out[(r, c)] = out[(r, c)] + a * other[(k, c)];
+                    out[(r, c)] += a * other[(k, c)];
                 }
             }
         }
@@ -274,9 +286,7 @@ impl RatMat {
     pub fn apply_row(&self, v: &[Rational]) -> Vec<Rational> {
         assert_eq!(v.len(), self.rows, "vector/matrix dimension mismatch");
         (0..self.cols)
-            .map(|c| {
-                (0..self.rows).fold(Rational::ZERO, |acc, r| acc + v[r] * self[(r, c)])
-            })
+            .map(|c| (0..self.rows).fold(Rational::ZERO, |acc, r| acc + v[r] * self[(r, c)]))
             .collect()
     }
 
@@ -498,7 +508,9 @@ mod tests {
         let inv = a.inverse().unwrap();
         let prod = a.to_rational().mul(&inv);
         assert_eq!(prod, RatMat::identity(2));
-        assert!(IMat::from_rows(&[vec![1, 2], vec![2, 4]]).inverse().is_none());
+        assert!(IMat::from_rows(&[vec![1, 2], vec![2, 4]])
+            .inverse()
+            .is_none());
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn gcd128(a: i128, b: i128) -> i128 {
 
 /// An exact rational number `num/den` with `den > 0` and
 /// `gcd(num, den) == 1` (canonical form).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rational {
     num: i128,
     den: i128,
@@ -42,12 +42,18 @@ impl Rational {
         assert!(den != 0, "rational with zero denominator");
         let sign = if den < 0 { -1 } else { 1 };
         let g = gcd128(num, den).max(1);
-        Rational { num: sign * num / g, den: sign * den / g }
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
     }
 
     /// Creates an integral rational.
     pub fn from_int(v: i64) -> Self {
-        Rational { num: v as i128, den: 1 }
+        Rational {
+            num: v as i128,
+            den: 1,
+        }
     }
 
     /// The numerator in canonical form.
@@ -81,7 +87,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(&self) -> Rational {
-        Rational { num: self.num.abs(), den: self.den }
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 
     /// Multiplicative inverse.
@@ -101,7 +110,7 @@ impl Rational {
 
     /// Ceiling of the rational as an integer.
     pub fn ceil(&self) -> i64 {
-        let q = (-(-self.num).div_euclid(self.den)) as i128;
+        let q = -(-self.num).div_euclid(self.den);
         i64::try_from(q).expect("rational ceil overflows i64")
     }
 
@@ -177,7 +186,10 @@ impl Div for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

@@ -11,7 +11,7 @@ use std::ops::{Add, Mul, Neg, Sub};
 
 /// A symbolic linear expression: an integer constant plus integer multiples
 /// of named variables (loop indices or symbolic parameters).
-#[derive(Clone, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct LinExpr {
     /// Coefficients per variable name (absent = 0).
     pub terms: BTreeMap<String, i64>,
@@ -22,7 +22,10 @@ pub struct LinExpr {
 impl LinExpr {
     /// The constant expression `k`.
     pub fn c(k: i64) -> Self {
-        LinExpr { terms: BTreeMap::new(), constant: k }
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: k,
+        }
     }
 
     /// The expression consisting of a single variable.
@@ -48,7 +51,11 @@ impl LinExpr {
 
     /// The variable names with non-zero coefficients.
     pub fn variables(&self) -> Vec<&str> {
-        self.terms.iter().filter(|(_, &c)| c != 0).map(|(n, _)| n.as_str()).collect()
+        self.terms
+            .iter()
+            .filter(|(_, &c)| c != 0)
+            .map(|(n, _)| n.as_str())
+            .collect()
     }
 
     /// True if the expression is a plain constant.
@@ -252,6 +259,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op)] // the zero coefficient is the point
     fn variables_listing() {
         let e = v("a") + v("b") * 0 + v("c") * 2;
         assert_eq!(e.variables(), vec!["a", "c"]);

@@ -30,7 +30,13 @@ impl Program {
         let mut out = Vec::new();
         let mut indices = Vec::new();
         let mut stmt_counter = 0usize;
-        walk(&self.body, &mut env, &mut indices, &mut stmt_counter, &mut out);
+        walk(
+            &self.body,
+            &mut env,
+            &mut indices,
+            &mut stmt_counter,
+            &mut out,
+        );
         out
     }
 

@@ -11,7 +11,7 @@ use crate::expr::LinExpr;
 use std::fmt;
 
 /// How an array reference accesses memory.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum AccessKind {
     /// The reference reads the element.
     Read,
@@ -20,7 +20,7 @@ pub enum AccessKind {
 }
 
 /// An affine array reference `X[e₁, e₂, …]` inside a statement.
-#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ArrayRef {
     /// The array name.
     pub array: String,
@@ -33,12 +33,20 @@ pub struct ArrayRef {
 impl ArrayRef {
     /// A read reference.
     pub fn read(array: &str, subscripts: Vec<LinExpr>) -> Self {
-        ArrayRef { array: array.to_string(), subscripts, kind: AccessKind::Read }
+        ArrayRef {
+            array: array.to_string(),
+            subscripts,
+            kind: AccessKind::Read,
+        }
     }
 
     /// A write reference.
     pub fn write(array: &str, subscripts: Vec<LinExpr>) -> Self {
-        ArrayRef { array: array.to_string(), subscripts, kind: AccessKind::Write }
+        ArrayRef {
+            array: array.to_string(),
+            subscripts,
+            kind: AccessKind::Write,
+        }
     }
 
     /// True for write references.
@@ -64,7 +72,7 @@ impl fmt::Display for ArrayRef {
 /// The actual computation performed by the statement lives in the runtime
 /// crate as a kernel closure; for dependence analysis only the references
 /// matter.
-#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Statement {
     /// Human-readable statement name (`S1`, `chain`, …).
     pub name: String,
@@ -75,7 +83,10 @@ pub struct Statement {
 impl Statement {
     /// Creates a statement.
     pub fn new(name: &str, refs: Vec<ArrayRef>) -> Self {
-        Statement { name: name.to_string(), refs }
+        Statement {
+            name: name.to_string(),
+            refs,
+        }
     }
 
     /// The write references of the statement.
@@ -90,7 +101,7 @@ impl Statement {
 }
 
 /// A `DO` loop with unit stride: `DO index = max(lower), min(upper)`.
-#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Loop {
     /// The loop index variable name.
     pub index: String,
@@ -103,7 +114,7 @@ pub struct Loop {
 }
 
 /// A node of a loop body: either a nested loop or a statement.
-#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Node {
     /// A nested loop.
     Loop(Loop),
@@ -112,7 +123,7 @@ pub enum Node {
 }
 
 /// A whole (possibly imperfectly nested) loop program.
-#[derive(Clone, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Program {
     /// Program name (used in reports).
     pub name: String,
@@ -169,7 +180,11 @@ impl Program {
 
     /// Maximum loop nesting depth over all statements.
     pub fn max_depth(&self) -> usize {
-        self.statements().iter().map(|s| s.depth()).max().unwrap_or(0)
+        self.statements()
+            .iter()
+            .map(|s| s.depth())
+            .max()
+            .unwrap_or(0)
     }
 
     /// All distinct array names referenced by the program.
@@ -195,9 +210,9 @@ impl Program {
                 .collect();
             let stmts = nodes.iter().filter(|n| matches!(n, Node::Stmt(_))).count();
             match (loops.len(), stmts) {
-                (0, _) => return true,          // innermost level: only statements
+                (0, _) => return true,            // innermost level: only statements
                 (1, 0) => nodes = &loops[0].body, // descend the single loop
-                _ => return false,               // siblings mix loops/statements
+                _ => return false,                // siblings mix loops/statements
             }
         }
     }
@@ -296,7 +311,10 @@ fn collect_statements(
                     id: out.len(),
                     stmt: stmt.clone(),
                     loop_indices: loops.iter().map(|(n, _, _)| n.clone()).collect(),
-                    bounds: loops.iter().map(|(_, lo, up)| (lo.clone(), up.clone())).collect(),
+                    bounds: loops
+                        .iter()
+                        .map(|(_, lo, up)| (lo.clone(), up.clone()))
+                        .collect(),
                     positions: position_vec,
                 });
             }
@@ -318,8 +336,16 @@ fn render_nodes(nodes: &[Node], indent: usize, out: &mut String) {
             Node::Loop(l) => {
                 let lo: Vec<String> = l.lower.iter().map(|e| e.to_string()).collect();
                 let up: Vec<String> = l.upper.iter().map(|e| e.to_string()).collect();
-                let lo = if lo.len() == 1 { lo[0].clone() } else { format!("max({})", lo.join(", ")) };
-                let up = if up.len() == 1 { up[0].clone() } else { format!("min({})", up.join(", ")) };
+                let lo = if lo.len() == 1 {
+                    lo[0].clone()
+                } else {
+                    format!("max({})", lo.join(", "))
+                };
+                let up = if up.len() == 1 {
+                    up[0].clone()
+                } else {
+                    format!("min({})", up.join(", "))
+                };
                 out.push_str(&format!("{pad}DO {} = {}, {}\n", l.index, lo, up));
                 render_nodes(&l.body, indent + 1, out);
                 out.push_str(&format!("{pad}ENDDO\n"));
@@ -327,8 +353,16 @@ fn render_nodes(nodes: &[Node], indent: usize, out: &mut String) {
             Node::Stmt(s) => {
                 let writes: Vec<String> = s.writes().map(|r| r.to_string()).collect();
                 let reads: Vec<String> = s.reads().map(|r| r.to_string()).collect();
-                let lhs = if writes.is_empty() { "...".to_string() } else { writes.join(", ") };
-                let rhs = if reads.is_empty() { "...".to_string() } else { reads.join(", ") };
+                let lhs = if writes.is_empty() {
+                    "...".to_string()
+                } else {
+                    writes.join(", ")
+                };
+                let rhs = if reads.is_empty() {
+                    "...".to_string()
+                } else {
+                    reads.join(", ")
+                };
                 out.push_str(&format!("{pad}{}: {} = {}\n", s.name, lhs, rhs));
             }
         }
@@ -341,7 +375,12 @@ pub mod build {
 
     /// A loop node with a single lower and upper bound.
     pub fn loop_(index: &str, lower: LinExpr, upper: LinExpr, body: Vec<Node>) -> Node {
-        Node::Loop(Loop { index: index.to_string(), lower: vec![lower], upper: vec![upper], body })
+        Node::Loop(Loop {
+            index: index.to_string(),
+            lower: vec![lower],
+            upper: vec![upper],
+            body,
+        })
     }
 
     /// A loop node whose bounds are `max(lowers)` and `min(uppers)`.
@@ -351,7 +390,12 @@ pub mod build {
         uppers: Vec<LinExpr>,
         body: Vec<Node>,
     ) -> Node {
-        Node::Loop(Loop { index: index.to_string(), lower: lowers, upper: uppers, body })
+        Node::Loop(Loop {
+            index: index.to_string(),
+            lower: lowers,
+            upper: uppers,
+            body,
+        })
     }
 
     /// A statement node.
@@ -382,7 +426,10 @@ mod tests {
                     vec![stmt(
                         "S",
                         vec![
-                            ArrayRef::write("a", vec![v("I1") * 3 + c(1), v("I1") * 2 + v("I2") - c(1)]),
+                            ArrayRef::write(
+                                "a",
+                                vec![v("I1") * 3 + c(1), v("I1") * 2 + v("I2") - c(1)],
+                            ),
                             ArrayRef::read("a", vec![v("I1") + c(3), v("I2") + c(1)]),
                         ],
                     )],
@@ -411,10 +458,16 @@ mod tests {
                             v("I"),
                             vec![stmt(
                                 "S1",
-                                vec![ArrayRef::read("a", vec![v("I") + v("K") * 2 + c(5), v("K") * 4 - v("J")])],
+                                vec![ArrayRef::read(
+                                    "a",
+                                    vec![v("I") + v("K") * 2 + c(5), v("K") * 4 - v("J")],
+                                )],
                             )],
                         ),
-                        stmt("S2", vec![ArrayRef::write("a", vec![v("I") - v("J"), v("I") + v("J")])]),
+                        stmt(
+                            "S2",
+                            vec![ArrayRef::write("a", vec![v("I") - v("J"), v("I") + v("J")])],
+                        ),
                     ],
                 )],
             )],
@@ -520,7 +573,12 @@ mod tests {
     #[test]
     fn minmax_bounds() {
         // DO I = max(-M, -J), -1  (Cholesky's I0 lower bound)
-        let node = loop_minmax("I", vec![-v("M"), -v("J")], vec![c(-1)], vec![stmt("S", vec![])]);
+        let node = loop_minmax(
+            "I",
+            vec![-v("M"), -v("J")],
+            vec![c(-1)],
+            vec![stmt("S", vec![])],
+        );
         if let Node::Loop(l) = &node {
             assert_eq!(l.lower.len(), 2);
             assert_eq!(l.upper.len(), 1);

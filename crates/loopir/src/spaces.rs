@@ -137,8 +137,11 @@ impl Program {
     /// instance sets of every statement.
     pub fn unified_iteration_space(&self) -> UnionSet {
         let space = self.unified_space();
-        let pieces: Vec<ConvexSet> =
-            self.statements().iter().map(|info| self.statement_instance_set(info)).collect();
+        let pieces: Vec<ConvexSet> = self
+            .statements()
+            .iter()
+            .map(|info| self.statement_instance_set(info))
+            .collect();
         UnionSet::from_pieces(space, pieces)
     }
 
@@ -159,19 +162,26 @@ impl Program {
     /// values)`.  Returns `None` when the point does not correspond to any
     /// statement of the program.
     pub fn decode_instance(&self, point: &[i64]) -> Option<(usize, IVec)> {
-        assert_eq!(point.len(), self.unified_dim(), "unified point arity mismatch");
+        assert_eq!(
+            point.len(),
+            self.unified_dim(),
+            "unified point arity mismatch"
+        );
         let max_depth = self.max_depth();
         for info in self.statements() {
             let depth = info.depth();
             // position dims must match
-            let positions_match =
-                info.positions.iter().enumerate().all(|(k, &p)| point[2 * k] == p);
+            let positions_match = info
+                .positions
+                .iter()
+                .enumerate()
+                .all(|(k, &p)| point[2 * k] == p);
             if !positions_match {
                 continue;
             }
             // padding dims must be zero
-            let padding_zero = (depth + 1..=max_depth)
-                .all(|k| point[2 * k - 1] == 0 && point[2 * k] == 0);
+            let padding_zero =
+                (depth + 1..=max_depth).all(|k| point[2 * k - 1] == 0 && point[2 * k] == 0);
             if !padding_zero {
                 continue;
             }
@@ -257,7 +267,12 @@ fn access_from_subscripts(
         }
         offset[d] = k;
     }
-    AccessMap { array: r.array.clone(), matrix, offset, is_write: r.is_write() }
+    AccessMap {
+        array: r.array.clone(),
+        matrix,
+        offset,
+        is_write: r.is_write(),
+    }
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@ use std::fmt;
 ///
 /// Coefficients are stored as one flat vector in `[dims..., params...]`
 /// order, matching [`Space::var_name`].
-#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Affine {
     /// Coefficients for set dimensions then parameters.
     coeffs: Vec<i64>,
@@ -20,19 +20,28 @@ pub struct Affine {
 impl Affine {
     /// The zero expression in a space with `total` variables.
     pub fn zero(total: usize) -> Self {
-        Affine { coeffs: vec![0; total], constant: 0 }
+        Affine {
+            coeffs: vec![0; total],
+            constant: 0,
+        }
     }
 
     /// A constant expression.
     pub fn constant(total: usize, k: i64) -> Self {
-        Affine { coeffs: vec![0; total], constant: k }
+        Affine {
+            coeffs: vec![0; total],
+            constant: k,
+        }
     }
 
     /// The expression consisting of variable `v` alone.
     pub fn var(total: usize, v: usize) -> Self {
         let mut coeffs = vec![0; total];
         coeffs[v] = 1;
-        Affine { coeffs, constant: 0 }
+        Affine {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// Builds an expression from explicit coefficients and constant.
@@ -89,7 +98,12 @@ impl Affine {
     pub fn add(&self, other: &Affine) -> Affine {
         assert_eq!(self.total(), other.total(), "space mismatch");
         Affine {
-            coeffs: self.coeffs.iter().zip(&other.coeffs).map(|(a, b)| a + b).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a + b)
+                .collect(),
             constant: self.constant + other.constant,
         }
     }
@@ -98,7 +112,12 @@ impl Affine {
     pub fn sub(&self, other: &Affine) -> Affine {
         assert_eq!(self.total(), other.total(), "space mismatch");
         Affine {
-            coeffs: self.coeffs.iter().zip(&other.coeffs).map(|(a, b)| a - b).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a - b)
+                .collect(),
             constant: self.constant - other.constant,
         }
     }
@@ -127,7 +146,13 @@ impl Affine {
     /// `[dims..., params...]`.
     pub fn eval(&self, point: &[i64]) -> i64 {
         assert_eq!(point.len(), self.coeffs.len(), "point arity mismatch");
-        self.constant + self.coeffs.iter().zip(point).map(|(c, x)| c * x).sum::<i64>()
+        self.constant
+            + self
+                .coeffs
+                .iter()
+                .zip(point)
+                .map(|(c, x)| c * x)
+                .sum::<i64>()
     }
 
     /// Substitutes variable `v` with the affine expression `replacement`
@@ -153,10 +178,16 @@ impl Affine {
     /// coefficient must already be zero), shrinking the expression's space
     /// by one variable.
     pub fn drop_var(&self, v: usize) -> Affine {
-        assert_eq!(self.coeffs[v], 0, "dropping a variable with non-zero coefficient");
+        assert_eq!(
+            self.coeffs[v], 0,
+            "dropping a variable with non-zero coefficient"
+        );
         let mut coeffs = self.coeffs.clone();
         coeffs.remove(v);
-        Affine { coeffs, constant: self.constant }
+        Affine {
+            coeffs,
+            constant: self.constant,
+        }
     }
 
     /// Inserts `count` fresh variables with zero coefficient at position
@@ -166,7 +197,10 @@ impl Affine {
         for _ in 0..count {
             coeffs.insert(at, 0);
         }
-        Affine { coeffs, constant: self.constant }
+        Affine {
+            coeffs,
+            constant: self.constant,
+        }
     }
 
     /// The gcd of all variable coefficients (0 for a constant expression).

@@ -6,7 +6,7 @@ use rcp_intlin::gcd;
 use std::fmt;
 
 /// The kind of a [`Constraint`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ConstraintKind {
     /// `expr = 0`.
     Eq,
@@ -19,7 +19,7 @@ pub enum ConstraintKind {
 }
 
 /// A single linear constraint over a [`Space`].
-#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Constraint {
     /// The affine left-hand side.
     pub expr: Affine,
@@ -41,17 +41,26 @@ pub enum Folded {
 impl Constraint {
     /// `expr = 0`.
     pub fn eq(expr: Affine) -> Self {
-        Constraint { expr, kind: ConstraintKind::Eq }
+        Constraint {
+            expr,
+            kind: ConstraintKind::Eq,
+        }
     }
 
     /// `expr ≥ 0`.
     pub fn geq(expr: Affine) -> Self {
-        Constraint { expr, kind: ConstraintKind::Geq }
+        Constraint {
+            expr,
+            kind: ConstraintKind::Geq,
+        }
     }
 
     /// `expr ≤ 0`, stored as `-expr ≥ 0`.
     pub fn leq(expr: Affine) -> Self {
-        Constraint { expr: expr.neg(), kind: ConstraintKind::Geq }
+        Constraint {
+            expr: expr.neg(),
+            kind: ConstraintKind::Geq,
+        }
     }
 
     /// `expr ≡ 0 (mod m)`.
@@ -60,7 +69,10 @@ impl Constraint {
     /// Panics unless `m ≥ 2`.
     pub fn congruent(expr: Affine, m: i64) -> Self {
         assert!(m >= 2, "modulus must be at least 2");
-        Constraint { expr, kind: ConstraintKind::Mod(m) }
+        Constraint {
+            expr,
+            kind: ConstraintKind::Mod(m),
+        }
     }
 
     /// `lhs = rhs`.
@@ -144,8 +156,7 @@ impl Constraint {
                 Ok(Constraint::eq(Affine::new(coeffs, constant)))
             }
             ConstraintKind::Mod(m) => {
-                let coeffs: Vec<i64> =
-                    self.expr.coeffs().iter().map(|c| c.rem_euclid(m)).collect();
+                let coeffs: Vec<i64> = self.expr.coeffs().iter().map(|c| c.rem_euclid(m)).collect();
                 let constant = self.expr.constant_term().rem_euclid(m);
                 let reduced = Constraint::congruent(Affine::new(coeffs, constant), m);
                 if reduced.expr.is_constant() {
@@ -192,22 +203,34 @@ impl Constraint {
 
     /// Substitutes variable `v` with an affine expression.
     pub fn substitute(&self, v: usize, replacement: &Affine) -> Constraint {
-        Constraint { expr: self.expr.substitute(v, replacement), kind: self.kind }
+        Constraint {
+            expr: self.expr.substitute(v, replacement),
+            kind: self.kind,
+        }
     }
 
     /// Binds variable `v` to a concrete value.
     pub fn bind(&self, v: usize, value: i64) -> Constraint {
-        Constraint { expr: self.expr.bind(v, value), kind: self.kind }
+        Constraint {
+            expr: self.expr.bind(v, value),
+            kind: self.kind,
+        }
     }
 
     /// Drops a variable whose coefficient is zero.
     pub fn drop_var(&self, v: usize) -> Constraint {
-        Constraint { expr: self.expr.drop_var(v), kind: self.kind }
+        Constraint {
+            expr: self.expr.drop_var(v),
+            kind: self.kind,
+        }
     }
 
     /// Inserts fresh zero-coefficient variables at `at`.
     pub fn insert_vars(&self, at: usize, count: usize) -> Constraint {
-        Constraint { expr: self.expr.insert_vars(at, count), kind: self.kind }
+        Constraint {
+            expr: self.expr.insert_vars(at, count),
+            kind: self.kind,
+        }
     }
 
     /// Renders the constraint with names from `space`.
@@ -252,11 +275,20 @@ mod tests {
     #[test]
     fn folding() {
         assert_eq!(Constraint::geq(Affine::constant(2, 0)).fold(), Folded::True);
-        assert_eq!(Constraint::geq(Affine::constant(2, -1)).fold(), Folded::False);
+        assert_eq!(
+            Constraint::geq(Affine::constant(2, -1)).fold(),
+            Folded::False
+        );
         assert_eq!(Constraint::eq(Affine::constant(2, 0)).fold(), Folded::True);
         assert_eq!(Constraint::eq(Affine::constant(2, 3)).fold(), Folded::False);
-        assert_eq!(Constraint::congruent(Affine::constant(2, 6), 3).fold(), Folded::True);
-        assert_eq!(Constraint::congruent(Affine::constant(2, 7), 3).fold(), Folded::False);
+        assert_eq!(
+            Constraint::congruent(Affine::constant(2, 6), 3).fold(),
+            Folded::True
+        );
+        assert_eq!(
+            Constraint::congruent(Affine::constant(2, 7), 3).fold(),
+            Folded::False
+        );
         assert_eq!(Constraint::geq(Affine::var(2, 0)).fold(), Folded::Open);
     }
 
@@ -307,7 +339,11 @@ mod tests {
             for p in &space_points {
                 let original = c.satisfied(p);
                 let negated = neg.iter().any(|d| d.satisfied(p));
-                assert_ne!(original, negated, "negation incorrect at {:?} for {:?}", p, c);
+                assert_ne!(
+                    original, negated,
+                    "negation incorrect at {:?} for {:?}",
+                    p, c
+                );
             }
         }
     }

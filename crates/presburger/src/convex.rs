@@ -14,7 +14,7 @@ use rcp_intlin::IVec;
 /// are exact.
 ///
 /// [`approximate`]: ConvexSet::is_approximate
-#[derive(Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct ConvexSet {
     space: Space,
     constraints: Vec<Constraint>,
@@ -25,12 +25,22 @@ pub struct ConvexSet {
 impl ConvexSet {
     /// The universe set of a space (no constraints).
     pub fn universe(space: Space) -> Self {
-        ConvexSet { space, constraints: Vec::new(), known_empty: false, approximate: false }
+        ConvexSet {
+            space,
+            constraints: Vec::new(),
+            known_empty: false,
+            approximate: false,
+        }
     }
 
     /// The empty set of a space.
     pub fn empty(space: Space) -> Self {
-        ConvexSet { space, constraints: Vec::new(), known_empty: true, approximate: false }
+        ConvexSet {
+            space,
+            constraints: Vec::new(),
+            known_empty: true,
+            approximate: false,
+        }
     }
 
     /// Builds a set from constraints.
@@ -38,8 +48,12 @@ impl ConvexSet {
         for c in &constraints {
             assert_eq!(c.expr.total(), space.total(), "constraint arity mismatch");
         }
-        let mut s =
-            ConvexSet { space, constraints, known_empty: false, approximate: false };
+        let mut s = ConvexSet {
+            space,
+            constraints,
+            known_empty: false,
+            approximate: false,
+        };
         s.normalize();
         s
     }
@@ -67,7 +81,11 @@ impl ConvexSet {
 
     /// Adds a constraint, returning the refined set.
     pub fn with(&self, c: Constraint) -> Self {
-        assert_eq!(c.expr.total(), self.space.total(), "constraint arity mismatch");
+        assert_eq!(
+            c.expr.total(),
+            self.space.total(),
+            "constraint arity mismatch"
+        );
         let mut out = self.clone();
         out.constraints.push(c);
         out.normalize();
@@ -78,7 +96,11 @@ impl ConvexSet {
     pub fn with_all(&self, cs: impl IntoIterator<Item = Constraint>) -> Self {
         let mut out = self.clone();
         for c in cs {
-            assert_eq!(c.expr.total(), self.space.total(), "constraint arity mismatch");
+            assert_eq!(
+                c.expr.total(),
+                self.space.total(),
+                "constraint arity mismatch"
+            );
             out.constraints.push(c);
         }
         out.normalize();
@@ -128,16 +150,28 @@ impl ConvexSet {
     /// Substitutes concrete values for all parameters, producing a set
     /// without parameters.
     pub fn bind_params(&self, values: &[i64]) -> ConvexSet {
-        assert_eq!(values.len(), self.space.n_params(), "parameter count mismatch");
+        assert_eq!(
+            values.len(),
+            self.space.n_params(),
+            "parameter count mismatch"
+        );
         let dim = self.space.dim();
         let mut constraints = self.constraints.clone();
         // Bind parameters from the last one to keep indices stable.
         for (p, &val) in values.iter().enumerate().rev() {
             let v = dim + p;
-            constraints = constraints.iter().map(|c| c.bind(v, val).drop_var(v)).collect();
+            constraints = constraints
+                .iter()
+                .map(|c| c.bind(v, val).drop_var(v))
+                .collect();
         }
         let new_space = Space::with_names(
-            &self.space.dim_names().iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+            &self
+                .space
+                .dim_names()
+                .iter()
+                .map(|s| s.as_str())
+                .collect::<Vec<_>>(),
             &[],
         );
         let mut out = ConvexSet {
@@ -165,8 +199,12 @@ impl ConvexSet {
                 .filter(|(i, _)| *i < from || *i >= from + count)
                 .map(|(_, n)| n.as_str())
                 .collect();
-            let params: Vec<&str> =
-                self.space.param_names().iter().map(|s| s.as_str()).collect();
+            let params: Vec<&str> = self
+                .space
+                .param_names()
+                .iter()
+                .map(|s| s.as_str())
+                .collect();
             return ConvexSet::empty(Space::with_names(&names, &params));
         }
         let mut constraints = self.constraints.clone();
@@ -192,13 +230,22 @@ impl ConvexSet {
             .filter(|(i, _)| *i < from || *i >= from + count)
             .map(|(_, n)| n.as_str())
             .collect();
-        let params: Vec<&str> = self.space.param_names().iter().map(|s| s.as_str()).collect();
+        let params: Vec<&str> = self
+            .space
+            .param_names()
+            .iter()
+            .map(|s| s.as_str())
+            .collect();
         let space = Space::with_names(&names, &params);
         if infeasible {
             return ConvexSet::empty(space);
         }
-        let mut out =
-            ConvexSet { space, constraints, known_empty: false, approximate: approx };
+        let mut out = ConvexSet {
+            space,
+            constraints,
+            known_empty: false,
+            approximate: approx,
+        };
         out.normalize();
         out
     }
@@ -212,10 +259,19 @@ impl ConvexSet {
             names.insert(at + k, format!("t{}", at + k));
         }
         let names_ref: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
-        let params: Vec<&str> = self.space.param_names().iter().map(|s| s.as_str()).collect();
+        let params: Vec<&str> = self
+            .space
+            .param_names()
+            .iter()
+            .map(|s| s.as_str())
+            .collect();
         ConvexSet {
             space: Space::with_names(&names_ref, &params),
-            constraints: self.constraints.iter().map(|c| c.insert_vars(at, count)).collect(),
+            constraints: self
+                .constraints
+                .iter()
+                .map(|c| c.insert_vars(at, count))
+                .collect(),
             known_empty: self.known_empty,
             approximate: self.approximate,
         }
@@ -261,7 +317,11 @@ impl ConvexSet {
     /// other set dimension.  Returns `None` for an unbounded or empty
     /// direction.
     pub fn dim_bounds(&self, v: usize) -> Option<(i64, i64)> {
-        assert_eq!(self.space.n_params(), 0, "bind parameters before querying bounds");
+        assert_eq!(
+            self.space.n_params(),
+            0,
+            "bind parameters before querying bounds"
+        );
         // project out all other dims
         let mut s = self.clone();
         // eliminate dims after v, then dims before v
@@ -287,7 +347,11 @@ impl ConvexSet {
     /// # Panics
     /// Panics if parameters remain or some dimension is unbounded.
     pub fn enumerate(&self) -> Vec<IVec> {
-        assert_eq!(self.space.n_params(), 0, "bind parameters before enumerating");
+        assert_eq!(
+            self.space.n_params(),
+            0,
+            "bind parameters before enumerating"
+        );
         if self.known_empty {
             return Vec::new();
         }
@@ -303,7 +367,11 @@ impl ConvexSet {
         // dims [0, k]: used to bound dim k given fixed values of dims < k.
         let mut prefixes: Vec<ConvexSet> = Vec::with_capacity(dim);
         for k in 0..dim {
-            let projected = if k + 1 < dim { self.project_out(k + 1, dim - k - 1) } else { self.clone() };
+            let projected = if k + 1 < dim {
+                self.project_out(k + 1, dim - k - 1)
+            } else {
+                self.clone()
+            };
             prefixes.push(projected);
         }
         let mut out = Vec::new();
@@ -341,7 +409,11 @@ impl ConvexSet {
             let ok = prefix
                 .constraints
                 .iter()
-                .filter(|c| c.expr.coeffs()[level + 1..prefix.space.dim()].iter().all(|&x| x == 0))
+                .filter(|c| {
+                    c.expr.coeffs()[level + 1..prefix.space.dim()]
+                        .iter()
+                        .all(|&x| x == 0)
+                })
                 .all(|c| c.satisfied(&pref_point));
             if ok {
                 self.enumerate_rec(level + 1, point, prefixes, out);
@@ -356,11 +428,19 @@ impl ConvexSet {
         if self.known_empty {
             return "{ } (empty)".to_string();
         }
-        let cs: Vec<String> = self.constraints.iter().map(|c| c.display(&self.space)).collect();
+        let cs: Vec<String> = self
+            .constraints
+            .iter()
+            .map(|c| c.display(&self.space))
+            .collect();
         format!(
             "{{ [{}] : {} }}",
             self.space.dim_names().join(", "),
-            if cs.is_empty() { "true".to_string() } else { cs.join(" and ") }
+            if cs.is_empty() {
+                "true".to_string()
+            } else {
+                cs.join(" and ")
+            }
         )
     }
 
@@ -606,10 +686,8 @@ mod tests {
         assert_eq!(r.dim_bounds(0), Some((1, 3)));
         assert_eq!(r.dim_bounds(1), Some((1, 9)));
         let space = Space::new(1);
-        let unbounded = ConvexSet::from_constraints(
-            space,
-            vec![Constraint::geq(Affine::new(vec![1], 0))],
-        );
+        let unbounded =
+            ConvexSet::from_constraints(space, vec![Constraint::geq(Affine::new(vec![1], 0))]);
         assert_eq!(unbounded.dim_bounds(0), None);
     }
 

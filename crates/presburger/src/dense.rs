@@ -26,7 +26,10 @@ pub struct DenseSet {
 impl DenseSet {
     /// The empty set of the given dimension.
     pub fn new(dim: usize) -> Self {
-        DenseSet { dim, points: BTreeSet::new() }
+        DenseSet {
+            dim,
+            points: BTreeSet::new(),
+        }
     }
 
     /// Builds a set from explicit points.
@@ -85,7 +88,10 @@ impl DenseSet {
     /// Union.
     pub fn union(&self, other: &DenseSet) -> DenseSet {
         assert_eq!(self.dim, other.dim);
-        DenseSet { dim: self.dim, points: self.points.union(&other.points).cloned().collect() }
+        DenseSet {
+            dim: self.dim,
+            points: self.points.union(&other.points).cloned().collect(),
+        }
     }
 
     /// Intersection.
@@ -142,7 +148,11 @@ pub struct DenseRelation {
 impl DenseRelation {
     /// The empty relation.
     pub fn new(in_dim: usize, out_dim: usize) -> Self {
-        DenseRelation { in_dim, out_dim, ..Default::default() }
+        DenseRelation {
+            in_dim,
+            out_dim,
+            ..Default::default()
+        }
     }
 
     /// Builds a relation from explicit pairs.

@@ -48,7 +48,11 @@ pub fn eliminate_dim(constraints: &[Constraint], v: usize) -> Eliminated {
             Ok(n) => work.push(n),
             Err(Folded::True) => {}
             Err(Folded::False) | Err(Folded::Open) => {
-                return Eliminated { constraints: vec![], exact: true, infeasible: true }
+                return Eliminated {
+                    constraints: vec![],
+                    exact: true,
+                    infeasible: true,
+                }
             }
         }
     }
@@ -84,9 +88,9 @@ pub fn eliminate_dim(constraints: &[Constraint], v: usize) -> Eliminated {
         for up in &uppers {
             let a_l = lo.expr.coeff(v); // > 0
             let b_u = -up.expr.coeff(v); // > 0
-            // lo: a_l·v + e_l ≥ 0  →  v ≥ ⌈-e_l / a_l⌉
-            // up: -b_u·v + e_u ≥ 0 →  v ≤ ⌊ e_u / b_u⌋
-            // combined (real shadow): a_l·e_u + b_u·e_l ≥ 0
+                                         // lo: a_l·v + e_l ≥ 0  →  v ≥ ⌈-e_l / a_l⌉
+                                         // up: -b_u·v + e_u ≥ 0 →  v ≤ ⌊ e_u / b_u⌋
+                                         // combined (real shadow): a_l·e_u + b_u·e_l ≥ 0
             let e_l = lo.expr.bind(v, 0);
             let e_u = up.expr.bind(v, 0);
             let combined = e_u.scale(a_l).add(&e_l.scale(b_u));
@@ -105,10 +109,20 @@ pub fn eliminate_dim(constraints: &[Constraint], v: usize) -> Eliminated {
         match c.normalized() {
             Ok(n) => out.push(n),
             Err(Folded::True) => {}
-            Err(_) => return Eliminated { constraints: vec![], exact, infeasible: true },
+            Err(_) => {
+                return Eliminated {
+                    constraints: vec![],
+                    exact,
+                    infeasible: true,
+                }
+            }
         }
     }
-    Eliminated { constraints: out, exact, infeasible: false }
+    Eliminated {
+        constraints: out,
+        exact,
+        infeasible: false,
+    }
 }
 
 fn eliminate_by_equality(work: &[Constraint], v: usize, eq_pos: usize) -> Eliminated {
@@ -152,10 +166,20 @@ fn eliminate_by_equality(work: &[Constraint], v: usize, eq_pos: usize) -> Elimin
         match c.normalized() {
             Ok(n) => normalized.push(n),
             Err(Folded::True) => {}
-            Err(_) => return Eliminated { constraints: vec![], exact: true, infeasible: true },
+            Err(_) => {
+                return Eliminated {
+                    constraints: vec![],
+                    exact: true,
+                    infeasible: true,
+                }
+            }
         }
     }
-    Eliminated { constraints: normalized, exact: true, infeasible: false }
+    Eliminated {
+        constraints: normalized,
+        exact: true,
+        infeasible: false,
+    }
 }
 
 /// Checks rational (linear-programming) feasibility of a conjunction of
@@ -207,10 +231,10 @@ mod tests {
         // { (x, y) | 1 <= x <= 5, x <= y <= x + 2 }, eliminate x:
         // expect 1 <= y (from x>=1, y>=x) and y <= 7 (from x<=5, y<=x+2).
         let cs = vec![
-            geq(vec![1, 0], -1),  // x - 1 >= 0
-            geq(vec![-1, 0], 5),  // 5 - x >= 0
-            geq(vec![-1, 1], 0),  // y - x >= 0
-            geq(vec![1, -1], 2),  // x + 2 - y >= 0
+            geq(vec![1, 0], -1), // x - 1 >= 0
+            geq(vec![-1, 0], 5), // 5 - x >= 0
+            geq(vec![-1, 1], 0), // y - x >= 0
+            geq(vec![1, -1], 2), // x + 2 - y >= 0
         ];
         let elim = eliminate_dim(&cs, 0);
         assert!(elim.exact);
@@ -289,8 +313,14 @@ mod tests {
 
     #[test]
     fn rational_feasibility() {
-        assert!(rationally_feasible(&[geq(vec![1, 0], 0), geq(vec![0, 1], 0)], 2));
-        assert!(!rationally_feasible(&[geq(vec![1], -5), geq(vec![-1], 3)], 1));
+        assert!(rationally_feasible(
+            &[geq(vec![1, 0], 0), geq(vec![0, 1], 0)],
+            2
+        ));
+        assert!(!rationally_feasible(
+            &[geq(vec![1], -5), geq(vec![-1], 3)],
+            1
+        ));
         // equality infeasible over integers is caught by normalization
         assert!(!rationally_feasible(&[eq(vec![2, 4], -3)], 2));
         // empty constraint list = universe

@@ -16,7 +16,7 @@ use rcp_intlin::IVec;
 
 /// A relation from `in_dim`-dimensional points to `out_dim`-dimensional
 /// points, sharing symbolic parameters.
-#[derive(Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Clone)]
 pub struct Relation {
     in_dim: usize,
     out_dim: usize,
@@ -29,8 +29,16 @@ impl Relation {
     /// # Panics
     /// Panics unless `set.space().dim() == in_dim + out_dim`.
     pub fn new(in_dim: usize, out_dim: usize, set: UnionSet) -> Self {
-        assert_eq!(set.space().dim(), in_dim + out_dim, "relation arity mismatch");
-        Relation { in_dim, out_dim, set }
+        assert_eq!(
+            set.space().dim(),
+            in_dim + out_dim,
+            "relation arity mismatch"
+        );
+        Relation {
+            in_dim,
+            out_dim,
+            set,
+        }
     }
 
     /// The empty relation over the given pair space.
@@ -94,7 +102,11 @@ impl Relation {
             .first()
             .map(|p| p.space().clone())
             .unwrap_or_else(|| self.set.space().clone());
-        Relation::new(self.out_dim, self.in_dim, UnionSet::from_pieces(space, pieces))
+        Relation::new(
+            self.out_dim,
+            self.in_dim,
+            UnionSet::from_pieces(space, pieces),
+        )
     }
 
     /// Union of two relations with the same arity.
@@ -118,14 +130,22 @@ impl Relation {
     /// Restricts the relation to pairs whose *input* lies in `dom_set`
     /// (a union set over the input space).
     pub fn restrict_domain(&self, dom_set: &UnionSet) -> Relation {
-        assert_eq!(dom_set.space().dim(), self.in_dim, "domain restriction arity mismatch");
+        assert_eq!(
+            dom_set.space().dim(),
+            self.in_dim,
+            "domain restriction arity mismatch"
+        );
         let lifted = dom_set.insert_dims(self.in_dim, self.out_dim);
         Relation::new(self.in_dim, self.out_dim, self.set.intersect(&lifted))
     }
 
     /// Restricts the relation to pairs whose *output* lies in `ran_set`.
     pub fn restrict_range(&self, ran_set: &UnionSet) -> Relation {
-        assert_eq!(ran_set.space().dim(), self.out_dim, "range restriction arity mismatch");
+        assert_eq!(
+            ran_set.space().dim(),
+            self.out_dim,
+            "range restriction arity mismatch"
+        );
         let lifted = ran_set.insert_dims(0, self.in_dim);
         Relation::new(self.in_dim, self.out_dim, self.set.intersect(&lifted))
     }
@@ -176,7 +196,11 @@ impl Relation {
     /// The lexicographic-order relation `{(i, j) | i ≺ j}` over `dim`-dimensional
     /// points in a given pair space.
     pub fn lex_lt(pair_space: Space, dim: usize) -> Relation {
-        assert_eq!(pair_space.dim(), 2 * dim, "pair space must have 2*dim dimensions");
+        assert_eq!(
+            pair_space.dim(),
+            2 * dim,
+            "pair space must have 2*dim dimensions"
+        );
         let total = pair_space.total();
         let pieces: Vec<ConvexSet> = Relation::lex_lt_pieces(total, dim)
             .into_iter()
@@ -223,7 +247,10 @@ fn swap_tuples(piece: &ConvexSet, in_dim: usize, out_dim: usize) -> ConvexSet {
             for (new_v, &old_v) in perm.iter().enumerate() {
                 coeffs[new_v] = c.expr.coeff(old_v);
             }
-            Constraint { expr: Affine::new(coeffs, c.expr.constant_term()), kind: c.kind }
+            Constraint {
+                expr: Affine::new(coeffs, c.expr.constant_term()),
+                kind: c.kind,
+            }
         })
         .collect();
     let mut out = ConvexSet::from_constraints(new_space, constraints);
@@ -233,7 +260,13 @@ fn swap_tuples(piece: &ConvexSet, in_dim: usize, out_dim: usize) -> ConvexSet {
 
 impl std::fmt::Debug for Relation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Relation({} -> {}): {}", self.in_dim, self.out_dim, self.display())
+        write!(
+            f,
+            "Relation({} -> {}): {}",
+            self.in_dim,
+            self.out_dim,
+            self.display()
+        )
     }
 }
 
@@ -252,7 +285,11 @@ mod tests {
             Constraint::geq(Affine::new(vec![0, 1], -1)),
             Constraint::geq(Affine::new(vec![0, -1], 20)),
         ];
-        Relation::new(1, 1, UnionSet::from_convex(ConvexSet::from_constraints(pair, cs)))
+        Relation::new(
+            1,
+            1,
+            UnionSet::from_convex(ConvexSet::from_constraints(pair, cs)),
+        )
     }
 
     #[test]
@@ -292,12 +329,10 @@ mod tests {
         let r = figure2_relation();
         // Restrict the domain to i <= 3.
         let space = Space::with_names(&["i"], &[]);
-        let small = UnionSet::from_convex(
-            ConvexSet::universe(space).with_all(vec![
-                Constraint::geq(Affine::new(vec![1], -1)),
-                Constraint::geq(Affine::new(vec![-1], 3)),
-            ]),
-        );
+        let small = UnionSet::from_convex(ConvexSet::universe(space).with_all(vec![
+            Constraint::geq(Affine::new(vec![1], -1)),
+            Constraint::geq(Affine::new(vec![-1], 3)),
+        ]));
         let restricted = r.restrict_domain(&small);
         let pairs = restricted.enumerate_pairs();
         assert_eq!(pairs.len(), 3);
@@ -315,7 +350,10 @@ mod tests {
         let all = r.union(&r);
         assert_eq!(all.enumerate_pairs().len(), r.enumerate_pairs().len());
         assert!(r.subtract(&r).is_certainly_empty() || r.subtract(&r).enumerate_pairs().is_empty());
-        assert_eq!(r.intersect(&r).enumerate_pairs().len(), r.enumerate_pairs().len());
+        assert_eq!(
+            r.intersect(&r).enumerate_pairs().len(),
+            r.enumerate_pairs().len()
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::fmt;
 /// projected away or enumerated; parameters are never projected and must be
 /// bound to concrete values (see [`crate::ConvexSet::bind_params`]) before a
 /// set can be enumerated.
-#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Space {
     dim_names: Vec<String>,
     param_names: Vec<String>,
@@ -100,10 +100,12 @@ impl Space {
             self.param_names, out.param_names,
             "relation spaces must share parameters"
         );
-        let mut dim_names: Vec<String> =
-            self.dim_names.iter().map(|n| format!("{n}")).collect();
+        let mut dim_names: Vec<String> = self.dim_names.iter().map(|n| n.to_string()).collect();
         dim_names.extend(out.dim_names.iter().map(|n| format!("{n}'")));
-        Space { dim_names, param_names: self.param_names.clone() }
+        Space {
+            dim_names,
+            param_names: self.param_names.clone(),
+        }
     }
 
     /// Returns a space identical to this one but with renamed dimensions.

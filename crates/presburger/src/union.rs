@@ -18,7 +18,7 @@ use std::collections::BTreeSet;
 /// Pieces may overlap; [`UnionSet::make_disjoint`] produces an equivalent
 /// union with pairwise-disjoint pieces (needed for DOALL code generation,
 /// where every iteration must be emitted exactly once).
-#[derive(Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Clone)]
 pub struct UnionSet {
     space: Space,
     pieces: Vec<ConvexSet>,
@@ -27,18 +27,27 @@ pub struct UnionSet {
 impl UnionSet {
     /// The empty union.
     pub fn empty(space: Space) -> Self {
-        UnionSet { space, pieces: Vec::new() }
+        UnionSet {
+            space,
+            pieces: Vec::new(),
+        }
     }
 
     /// The whole space as a single piece.
     pub fn universe(space: Space) -> Self {
-        UnionSet { space: space.clone(), pieces: vec![ConvexSet::universe(space)] }
+        UnionSet {
+            space: space.clone(),
+            pieces: vec![ConvexSet::universe(space)],
+        }
     }
 
     /// A union with a single convex piece.
     pub fn from_convex(set: ConvexSet) -> Self {
         let space = set.space().clone();
-        let mut u = UnionSet { space, pieces: vec![set] };
+        let mut u = UnionSet {
+            space,
+            pieces: vec![set],
+        };
         u.coalesce();
         u
     }
@@ -93,7 +102,10 @@ impl UnionSet {
         assert_eq!(self.space.total(), other.space.total(), "space mismatch");
         let mut pieces = self.pieces.clone();
         pieces.extend(other.pieces.iter().cloned());
-        let mut u = UnionSet { space: self.space.clone(), pieces };
+        let mut u = UnionSet {
+            space: self.space.clone(),
+            pieces,
+        };
         u.coalesce();
         u
     }
@@ -110,7 +122,10 @@ impl UnionSet {
                 }
             }
         }
-        UnionSet { space: self.space.clone(), pieces }
+        UnionSet {
+            space: self.space.clone(),
+            pieces,
+        }
     }
 
     /// Intersection with a single convex set.
@@ -132,7 +147,10 @@ impl UnionSet {
                 break;
             }
         }
-        let mut u = UnionSet { space: self.space.clone(), pieces: current };
+        let mut u = UnionSet {
+            space: self.space.clone(),
+            pieces: current,
+        };
         u.coalesce();
         u
     }
@@ -140,7 +158,10 @@ impl UnionSet {
     /// Adds a constraint to every piece.
     pub fn with_constraint(&self, c: Constraint) -> UnionSet {
         let pieces = self.pieces.iter().map(|p| p.with(c.clone())).collect();
-        let mut u = UnionSet { space: self.space.clone(), pieces };
+        let mut u = UnionSet {
+            space: self.space.clone(),
+            pieces,
+        };
         u.coalesce();
         u
     }
@@ -148,8 +169,11 @@ impl UnionSet {
     /// Projects out `count` set dimensions starting at `from` from every
     /// piece.
     pub fn project_out(&self, from: usize, count: usize) -> UnionSet {
-        let pieces: Vec<ConvexSet> =
-            self.pieces.iter().map(|p| p.project_out(from, count)).collect();
+        let pieces: Vec<ConvexSet> = self
+            .pieces
+            .iter()
+            .map(|p| p.project_out(from, count))
+            .collect();
         let space = pieces
             .first()
             .map(|p| p.space().clone())
@@ -163,8 +187,12 @@ impl UnionSet {
                     .filter(|(i, _)| *i < from || *i >= from + count)
                     .map(|(_, n)| n.as_str())
                     .collect();
-                let params: Vec<&str> =
-                    self.space.param_names().iter().map(|s| s.as_str()).collect();
+                let params: Vec<&str> = self
+                    .space
+                    .param_names()
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect();
                 Space::with_names(&names, &params)
             });
         let mut u = UnionSet { space, pieces };
@@ -179,8 +207,7 @@ impl UnionSet {
             .first()
             .map(|p| p.space().clone())
             .unwrap_or_else(|| {
-                let names: Vec<&str> =
-                    self.space.dim_names().iter().map(|s| s.as_str()).collect();
+                let names: Vec<&str> = self.space.dim_names().iter().map(|s| s.as_str()).collect();
                 Space::with_names(&names, &[])
             });
         let mut u = UnionSet { space, pieces };
@@ -190,18 +217,28 @@ impl UnionSet {
 
     /// Inserts fresh unconstrained dimensions into every piece.
     pub fn insert_dims(&self, at: usize, count: usize) -> UnionSet {
-        let pieces: Vec<ConvexSet> =
-            self.pieces.iter().map(|p| p.insert_dims(at, count)).collect();
-        let space = pieces.first().map(|p| p.space().clone()).unwrap_or_else(|| {
-            let mut names: Vec<String> = self.space.dim_names().to_vec();
-            for k in 0..count {
-                names.insert(at + k, format!("t{}", at + k));
-            }
-            let names_ref: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
-            let params: Vec<&str> =
-                self.space.param_names().iter().map(|s| s.as_str()).collect();
-            Space::with_names(&names_ref, &params)
-        });
+        let pieces: Vec<ConvexSet> = self
+            .pieces
+            .iter()
+            .map(|p| p.insert_dims(at, count))
+            .collect();
+        let space = pieces
+            .first()
+            .map(|p| p.space().clone())
+            .unwrap_or_else(|| {
+                let mut names: Vec<String> = self.space.dim_names().to_vec();
+                for k in 0..count {
+                    names.insert(at + k, format!("t{}", at + k));
+                }
+                let names_ref: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+                let params: Vec<&str> = self
+                    .space
+                    .param_names()
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect();
+                Space::with_names(&names_ref, &params)
+            });
         UnionSet { space, pieces }
     }
 
@@ -223,7 +260,10 @@ impl UnionSet {
                 }
             }
         }
-        UnionSet { space: self.space.clone(), pieces: disjoint }
+        UnionSet {
+            space: self.space.clone(),
+            pieces: disjoint,
+        }
     }
 
     /// Enumerates all integer points (parameters must be bound), removing
@@ -254,7 +294,11 @@ impl UnionSet {
         if self.pieces.is_empty() {
             return "{ } (empty union)".to_string();
         }
-        self.pieces.iter().map(|p| p.display()).collect::<Vec<_>>().join("  ∪  ")
+        self.pieces
+            .iter()
+            .map(|p| p.display())
+            .collect::<Vec<_>>()
+            .join("  ∪  ")
     }
 }
 
@@ -332,7 +376,11 @@ mod tests {
         let s = line_space();
         let u = UnionSet::from_pieces(
             s.clone(),
-            vec![interval(&s, 0, 1, 6), interval(&s, 0, 4, 9), interval(&s, 0, 8, 12)],
+            vec![
+                interval(&s, 0, 1, 6),
+                interval(&s, 0, 4, 9),
+                interval(&s, 0, 8, 12),
+            ],
         );
         let d = u.make_disjoint();
         assert_eq!(d.enumerate(), u.enumerate());
@@ -362,10 +410,9 @@ mod tests {
             Constraint::geq(Affine::new(vec![0, 1], -1)),
             Constraint::geq(Affine::new(vec![0, -1], 4)),
         ]);
-        let diag = ConvexSet::universe(space.clone())
-            .with(Constraint::eq(Affine::new(vec![1, -1], 0)));
-        let u = UnionSet::from_convex(square.clone())
-            .subtract(&UnionSet::from_convex(diag));
+        let diag =
+            ConvexSet::universe(space.clone()).with(Constraint::eq(Affine::new(vec![1, -1], 0)));
+        let u = UnionSet::from_convex(square.clone()).subtract(&UnionSet::from_convex(diag));
         assert_eq!(u.count(), 16 - 4);
         assert!(!u.contains(&[2, 2], &[]));
         assert!(u.contains(&[2, 3], &[]));

@@ -81,7 +81,10 @@ impl ArrayStore {
 
     /// Writes `array[index] = value`.
     pub fn set(&mut self, array: &str, index: &[i64], value: f64) {
-        self.arrays.entry(array.to_string()).or_default().set(index, value);
+        self.arrays
+            .entry(array.to_string())
+            .or_default()
+            .set(index, value);
     }
 
     /// The named array, if any element of it has been written.
@@ -99,8 +102,7 @@ impl ArrayStore {
     /// tolerance for floating-point accumulation differences).
     pub fn diff(&self, other: &ArrayStore, tolerance: f64) -> Vec<(String, IVec, f64, f64)> {
         let mut mismatches = Vec::new();
-        let mut names: Vec<&String> =
-            self.arrays.keys().chain(other.arrays.keys()).collect();
+        let mut names: Vec<&String> = self.arrays.keys().chain(other.arrays.keys()).collect();
         names.sort();
         names.dedup();
         for name in names {
@@ -145,35 +147,64 @@ impl StoreView for ArrayStore {
 /// A view that reads through to a frozen base store but keeps all writes in
 /// a local overlay: used for chains and work items executed concurrently
 /// with others in the same phase.
+///
+/// The overlay is keyed per array so that the hot read path needs no
+/// allocation (a `&str` array name and `&[i64]` index borrow straight into
+/// the maps).
 pub struct BufferedView<'a> {
     base: &'a ArrayStore,
-    overlay: HashMap<(String, IVec), f64>,
+    overlay: HashMap<String, HashMap<IVec, f64>>,
 }
 
 impl<'a> BufferedView<'a> {
     /// Creates a view over a frozen base store.
     pub fn new(base: &'a ArrayStore) -> Self {
-        BufferedView { base, overlay: HashMap::new() }
+        BufferedView {
+            base,
+            overlay: HashMap::new(),
+        }
     }
 
-    /// The buffered writes, in insertion-independent (sorted) order.
-    pub fn into_writes(self) -> Vec<(String, IVec, f64)> {
-        let mut writes: Vec<(String, IVec, f64)> =
-            self.overlay.into_iter().map(|((a, i), v)| (a, i, v)).collect();
-        writes.sort_by(|x, y| (&x.0, &x.1).cmp(&(&y.0, &y.1)));
+    /// The buffered writes grouped by array, in insertion-independent
+    /// (sorted) order.
+    pub fn into_writes(self) -> Vec<(String, Vec<(IVec, f64)>)> {
+        let mut writes: Vec<(String, Vec<(IVec, f64)>)> = self
+            .overlay
+            .into_iter()
+            .map(|(array, elements)| {
+                let mut elements: Vec<(IVec, f64)> = elements.into_iter().collect();
+                elements.sort_by(|x, y| x.0.cmp(&y.0));
+                (array, elements)
+            })
+            .collect();
+        writes.sort_by(|x, y| x.0.cmp(&y.0));
         writes
+    }
+
+    /// Total number of buffered writes.
+    pub fn n_writes(&self) -> usize {
+        self.overlay.values().map(|m| m.len()).sum()
     }
 }
 
 impl StoreView for BufferedView<'_> {
     fn read(&self, array: &str, index: &[i64]) -> f64 {
-        match self.overlay.get(&(array.to_string(), index.to_vec())) {
+        match self.overlay.get(array).and_then(|m| m.get(index)) {
             Some(&v) => v,
             None => self.base.get(array, index),
         }
     }
     fn write(&mut self, array: &str, index: &[i64], value: f64) {
-        self.overlay.insert((array.to_string(), index.to_vec()), value);
+        match self.overlay.get_mut(array) {
+            Some(m) => {
+                m.insert(index.to_vec(), value);
+            }
+            None => {
+                let mut m = HashMap::new();
+                m.insert(index.to_vec(), value);
+                self.overlay.insert(array.to_string(), m);
+            }
+        }
     }
 }
 
@@ -230,7 +261,9 @@ mod tests {
         assert_eq!(view.read("a", &[1]), 20.0);
         // …but do not touch the base store
         assert_eq!(base.get("a", &[1]), 10.0);
+        assert_eq!(view.n_writes(), 2);
         let writes = BufferedView::into_writes(view);
-        assert_eq!(writes.len(), 2);
+        assert_eq!(writes.len(), 1, "one array was written");
+        assert_eq!(writes[0].1, vec![(vec![1], 20.0), (vec![2], 30.0)]);
     }
 }

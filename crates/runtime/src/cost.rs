@@ -18,10 +18,9 @@
 //!   observes).
 
 use rcp_codegen::{Phase, Schedule};
-use serde::{Deserialize, Serialize};
 
 /// Cost-model parameters, in nanoseconds.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CostModel {
     /// Cost of executing one statement instance.
     pub instance_cost_ns: f64,
@@ -84,7 +83,11 @@ impl CostModel {
 
     /// Modelled execution time of a whole schedule on `threads` workers.
     pub fn schedule_time_ns(&self, schedule: &Schedule, threads: usize) -> f64 {
-        schedule.phases.iter().map(|p| self.phase_time_ns(p, threads)).sum()
+        schedule
+            .phases
+            .iter()
+            .map(|p| self.phase_time_ns(p, threads))
+            .sum()
     }
 
     /// Modelled speedup of a schedule over the original sequential loop
@@ -110,14 +113,12 @@ impl CostModel {
         threads: usize,
     ) -> f64 {
         let threads = threads.max(1);
-        let inner_cost =
-            inner_size as f64 * (self.instance_cost_ns + self.item_overhead_ns);
-        let delay_cost =
-            (delay.min(inner_size)) as f64 * self.instance_cost_ns + self.sync_cost_ns;
+        let inner_cost = inner_size as f64 * (self.instance_cost_ns + self.item_overhead_ns);
+        let delay_cost = (delay.min(inner_size)) as f64 * self.instance_cost_ns + self.sync_cost_ns;
         if threads == 1 || n_outer == 0 {
             return n_outer as f64 * inner_cost + self.barrier_cost_ns;
         }
-        let rounds = (n_outer + threads - 1) / threads;
+        let rounds = n_outer.div_ceil(threads);
         let work_limit = rounds as f64 * inner_cost;
         let chain_limit = (n_outer - 1) as f64 * delay_cost;
         work_limit.max(chain_limit) + inner_cost + self.barrier_cost_ns
@@ -152,13 +153,21 @@ mod tests {
     use rcp_codegen::WorkItem;
 
     fn doall(n: usize) -> Phase {
-        Phase::Doall((0..n).map(|i| WorkItem::single(0, vec![i as i64])).collect())
+        Phase::Doall(
+            (0..n)
+                .map(|i| WorkItem::single(0, vec![i as i64]))
+                .collect(),
+        )
     }
 
     fn chains(lens: &[usize]) -> Phase {
         Phase::ChainSet(
             lens.iter()
-                .map(|&l| (0..l).map(|i| WorkItem::single(0, vec![i as i64])).collect())
+                .map(|&l| {
+                    (0..l)
+                        .map(|i| WorkItem::single(0, vec![i as i64]))
+                        .collect()
+                })
                 .collect(),
         )
     }
@@ -178,16 +187,28 @@ mod tests {
 
     #[test]
     fn doall_scales_with_threads() {
-        let model = CostModel { barrier_cost_ns: 0.0, item_overhead_ns: 0.0, ..Default::default() };
+        let model = CostModel {
+            barrier_cost_ns: 0.0,
+            item_overhead_ns: 0.0,
+            ..Default::default()
+        };
         let phase = doall(100);
         let t1 = model.phase_time_ns(&phase, 1);
         let t4 = model.phase_time_ns(&phase, 4);
-        assert!((t1 / t4 - 4.0).abs() < 1e-9, "ideal DOALL speedup should be 4, got {}", t1 / t4);
+        assert!(
+            (t1 / t4 - 4.0).abs() < 1e-9,
+            "ideal DOALL speedup should be 4, got {}",
+            t1 / t4
+        );
     }
 
     #[test]
     fn chain_phase_is_limited_by_longest_chain() {
-        let model = CostModel { barrier_cost_ns: 0.0, item_overhead_ns: 0.0, ..Default::default() };
+        let model = CostModel {
+            barrier_cost_ns: 0.0,
+            item_overhead_ns: 0.0,
+            ..Default::default()
+        };
         let phase = chains(&[10, 2, 2, 2]);
         // with many threads the longest chain dominates
         let t = model.phase_time_ns(&phase, 8);
@@ -197,7 +218,10 @@ mod tests {
     #[test]
     fn speedup_saturates_with_overheads() {
         let model = CostModel::default();
-        let schedule = Schedule { name: "s".into(), phases: vec![doall(1000)] };
+        let schedule = Schedule {
+            name: "s".into(),
+            phases: vec![doall(1000)],
+        };
         let s1 = model.speedup(&schedule, 1);
         let s2 = model.speedup(&schedule, 2);
         let s4 = model.speedup(&schedule, 4);
@@ -210,7 +234,10 @@ mod tests {
     #[test]
     fn many_phases_penalise_speedup() {
         let model = CostModel::default();
-        let one_phase = Schedule { name: "one".into(), phases: vec![doall(1000)] };
+        let one_phase = Schedule {
+            name: "one".into(),
+            phases: vec![doall(1000)],
+        };
         let many_phases = Schedule {
             name: "many".into(),
             phases: (0..100).map(|_| doall(10)).collect(),
@@ -225,7 +252,10 @@ mod tests {
         let inner = 50;
         let doacross4 = model.doacross_time_ns(n_outer, inner, 5, 4);
         let doacross1 = model.doacross_time_ns(n_outer, inner, 5, 1);
-        assert!(doacross4 < doacross1, "pipelining must help over one thread");
+        assert!(
+            doacross4 < doacross1,
+            "pipelining must help over one thread"
+        );
         let doall_phase = Schedule {
             name: "doall".into(),
             phases: vec![doall(n_outer * inner)],
@@ -244,7 +274,10 @@ mod tests {
         // serialised by the synchronisation chain.
         let t2 = model.doacross_time_ns(100, 50, 45, 2);
         let t8 = model.doacross_time_ns(100, 50, 45, 8);
-        assert!((t8 / t2 - 1.0).abs() < 0.25, "t2={t2} t8={t8} should be close");
+        assert!(
+            (t8 / t2 - 1.0).abs() < 0.25,
+            "t2={t2} t8={t8} should be close"
+        );
     }
 
     #[test]

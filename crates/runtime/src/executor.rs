@@ -3,21 +3,33 @@
 //! * [`execute_sequential`] runs the program in original lexicographic
 //!   order — the reference both for correctness and for speedup
 //!   normalisation.
-//! * [`execute_schedule`] runs a [`Schedule`] phase by phase on a rayon
-//!   thread pool with `n_threads` workers.  Work items of a DOALL phase and
-//!   different chains of a chain phase execute concurrently; each item/chain
-//!   computes against the frozen pre-phase store through a
-//!   [`BufferedView`], and the buffered writes are merged at the phase
-//!   barrier.  Overlapping writes by two concurrent units are reported as
-//!   a race (a correct partition never produces one).
+//! * [`ParallelExecutor`] (and its [`execute_schedule`] convenience
+//!   wrapper) runs a [`Schedule`] phase by phase on `n_threads` OS worker
+//!   threads.  Work items of a DOALL phase and different chains of a chain
+//!   phase — the independent recurrence chains of the paper's Theorem-1
+//!   partition — execute concurrently; small units are packed into batches
+//!   so per-unit scheduling overhead stays amortised.  Each unit computes
+//!   against the frozen pre-phase store through a [`BufferedView`], and the
+//!   buffered writes are merged at the phase barrier.  Overlapping writes
+//!   by two concurrent units are reported as a race (a correct partition
+//!   never produces one).
 //! * [`verify_schedule`] compares the parallel result against the
 //!   sequential result element-wise.
+//!
+//! The thread pool is built on `std::thread::scope` with a shared atomic
+//! work queue (dynamic self-scheduling, like OpenMP `schedule(dynamic)`).
+//! The workspace builds in fully offline environments, so rayon cannot be
+//! assumed; the executor keeps the same phase/barrier semantics a
+//! rayon-backed implementation would have, and `ParallelExecutor` is the
+//! single seam to swap one in.
 
 use crate::array::{ArrayStore, BufferedView};
 use crate::kernel::Kernel;
 use rcp_codegen::{Phase, Schedule, WorkItem};
 use rcp_intlin::IVec;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// The outcome of executing a schedule.
@@ -63,64 +75,395 @@ pub fn execute_sequential(schedule: &Schedule, kernel: &dyn Kernel) -> ArrayStor
     store
 }
 
-/// Executes a schedule with `n_threads` rayon workers.
+/// Executes a schedule with `n_threads` workers (see [`ParallelExecutor`]).
 pub fn execute_schedule(
     schedule: &Schedule,
     kernel: &(dyn Kernel + Sync),
     n_threads: usize,
 ) -> ExecutionResult {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(n_threads.max(1))
-        .build()
-        .expect("failed to build thread pool");
-    let mut store = ArrayStore::new();
-    let mut phase_times = Vec::with_capacity(schedule.phases.len());
-    let mut races = Vec::new();
-    let start_all = Instant::now();
+    ParallelExecutor::new(n_threads).execute(schedule, kernel)
+}
 
-    for phase in &schedule.phases {
-        let start = Instant::now();
-        // Units of concurrency: items of a DOALL, whole chains of a chain set.
-        let units: Vec<Vec<&WorkItem>> = match phase {
-            Phase::Doall(items) => items.iter().map(|i| vec![i]).collect(),
-            Phase::ChainSet(chains) => {
-                chains.iter().map(|c| c.iter().collect()).collect()
-            }
-        };
-        let frozen = &store;
-        let unit_writes: Vec<Vec<(String, IVec, f64)>> = pool.install(|| {
-            use rayon::prelude::*;
-            units
-                .par_iter()
-                .map(|unit| {
-                    let mut view = BufferedView::new(frozen);
-                    for item in unit {
-                        for (stmt, indices) in &item.instances {
-                            kernel.execute(*stmt, indices, &mut view);
-                        }
-                    }
-                    view.into_writes()
-                })
-                .collect()
-        });
-        // Merge at the barrier, detecting write-write conflicts between
-        // different units.
-        let mut writer: HashMap<(String, IVec), usize> = HashMap::new();
-        for (unit_id, writes) in unit_writes.iter().enumerate() {
-            for (array, index, value) in writes {
-                if let Some(&prev) = writer.get(&(array.clone(), index.clone())) {
-                    if prev != unit_id {
-                        races.push((array.clone(), index.clone()));
-                    }
-                }
-                writer.insert((array.clone(), index.clone()), unit_id);
-                store.set(array, index, *value);
-            }
+/// A phase-by-phase parallel executor over a pool of OS threads.
+///
+/// Independent units — the work items of a DOALL phase, the whole
+/// recurrence chains of a chain phase — are distributed over the workers
+/// through a shared atomic queue.  Consecutive small units are packed into
+/// *batches* of at least [`ParallelExecutor::with_min_batch_instances`]
+/// statement instances each, so that a phase of ten thousand one-instance
+/// items does not pay ten thousand queue operations.
+#[derive(Clone, Debug)]
+pub struct ParallelExecutor {
+    n_threads: usize,
+    min_batch_instances: usize,
+    detect_races: bool,
+}
+
+/// One unit of intra-phase concurrency: the items execute sequentially in
+/// order, distinct units may run on different workers.
+type Unit<'s> = &'s [WorkItem];
+
+/// The buffered writes of one unit or batch, grouped by array.
+type WriteBuffer = Vec<(String, Vec<(IVec, f64)>)>;
+
+impl ParallelExecutor {
+    /// Default number of statement instances a batch is grown to before the
+    /// next unit starts a new batch.
+    pub const DEFAULT_MIN_BATCH_INSTANCES: usize = 64;
+
+    /// An executor with `n_threads` workers (0 and 1 both mean "run
+    /// inline") and default batching.
+    pub fn new(n_threads: usize) -> Self {
+        ParallelExecutor {
+            n_threads: n_threads.max(1),
+            min_batch_instances: Self::DEFAULT_MIN_BATCH_INSTANCES,
+            detect_races: true,
         }
-        phase_times.push(start.elapsed());
     }
 
-    ExecutionResult { store, phase_times, total_time: start_all.elapsed(), races }
+    /// Overrides the batching granularity; `1` disables batching (every
+    /// unit is its own queue entry).
+    pub fn with_min_batch_instances(mut self, min_batch_instances: usize) -> Self {
+        self.min_batch_instances = min_batch_instances.max(1);
+        self
+    }
+
+    /// Enables or disables intra-phase write-write race detection.
+    ///
+    /// Detection is on by default and is what [`verify_schedule`] relies
+    /// on.  Disabling it is the trusted-schedule fast path for measured
+    /// benchmark runs: units of one batch then share one write buffer, so
+    /// the executor does no per-unit bookkeeping and the barrier merge does
+    /// no conflict tracking.  For a *valid* schedule (disjoint writes
+    /// between concurrent units, reads only of pre-phase values) the final
+    /// store is identical either way.
+    pub fn with_race_detection(mut self, detect_races: bool) -> Self {
+        self.detect_races = detect_races;
+        self
+    }
+
+    /// The number of worker threads the executor schedules onto.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Executes the schedule and returns the final store, per-phase wall
+    /// clock, and any intra-phase write-write races.
+    pub fn execute(&self, schedule: &Schedule, kernel: &(dyn Kernel + Sync)) -> ExecutionResult {
+        if self.n_threads == 1 {
+            self.execute_on_caller(schedule, kernel)
+        } else {
+            self.execute_on_pool(schedule, kernel)
+        }
+    }
+
+    /// Single-worker execution: every phase runs on the calling thread,
+    /// keeping the buffered-view semantics (and race detection) per unit.
+    fn execute_on_caller(
+        &self,
+        schedule: &Schedule,
+        kernel: &(dyn Kernel + Sync),
+    ) -> ExecutionResult {
+        let mut store = ArrayStore::new();
+        let mut phase_times = Vec::with_capacity(schedule.phases.len());
+        let mut races = Vec::new();
+        let start_all = Instant::now();
+        for phase in &schedule.phases {
+            let start = Instant::now();
+            let units = phase_units(phase);
+            if units.len() == 1 || !self.detect_races {
+                // A single unit cannot race, and without detection a single
+                // worker executing units in order is equivalent to buffered
+                // execution for the valid schedules that mode is for.
+                for unit in &units {
+                    for item in *unit {
+                        run_item(item, kernel, &mut store);
+                    }
+                }
+            } else {
+                let buffers: Vec<std::ops::Range<usize>> =
+                    (0..units.len()).map(|k| k..k + 1).collect();
+                let buffer_writes: Vec<WriteBuffer> = buffers
+                    .iter()
+                    .map(|r| run_buffer(&units, r.clone(), &store, kernel))
+                    .collect();
+                merge_buffers(&mut store, &buffer_writes, true, &mut races);
+            }
+            phase_times.push(start.elapsed());
+        }
+        ExecutionResult {
+            store,
+            phase_times,
+            total_time: start_all.elapsed(),
+            races,
+        }
+    }
+
+    /// Multi-worker execution on a pool of `n_threads` OS threads that
+    /// persists across all phases of the schedule (one spawn/join per
+    /// execution, not per phase — many-phase dataflow schedules would
+    /// otherwise drown in thread churn).
+    ///
+    /// Workers park on a barrier between phases; the coordinator publishes
+    /// each phase's units and batches, releases the workers, and merges
+    /// their buffered writes at the phase barrier.
+    fn execute_on_pool(
+        &self,
+        schedule: &Schedule,
+        kernel: &(dyn Kernel + Sync),
+    ) -> ExecutionResult {
+        let store = RwLock::new(ArrayStore::new());
+        let mut phase_times = Vec::with_capacity(schedule.phases.len());
+        let mut races = Vec::new();
+        let mut total_time = Duration::ZERO;
+
+        struct PhaseTask<'s> {
+            units: Vec<Unit<'s>>,
+            batches: Vec<std::ops::Range<usize>>,
+            detect_races: bool,
+        }
+        let task: RwLock<Option<PhaseTask>> = RwLock::new(None);
+        let results: Mutex<Vec<(usize, WriteBuffer)>> = Mutex::new(Vec::new());
+        let cursor = AtomicUsize::new(0);
+        let ready = Barrier::new(self.n_threads + 1);
+        let phase_start = Barrier::new(self.n_threads + 1);
+        let phase_end = Barrier::new(self.n_threads + 1);
+        let shutdown = AtomicBool::new(false);
+        // First panic payload from any worker or the coordinator's phase
+        // loop.  Worker bodies are wrapped in catch_unwind so a panicking
+        // kernel can never strand the other side at a barrier (the rayon
+        // executor this replaces propagated panics; a deadlock would turn a
+        // crash into a silent hang).
+        let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let record_panic = |payload: Box<dyn std::any::Any + Send>| {
+            panic_payload
+                .lock()
+                .expect("panic slot poisoned")
+                .get_or_insert(payload);
+        };
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.n_threads {
+                scope.spawn(|| {
+                    ready.wait();
+                    loop {
+                        phase_start.wait();
+                        if shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                let task_guard = task.read().expect("task lock poisoned");
+                                let task = task_guard.as_ref().expect("phase task published");
+                                let frozen = store.read().expect("store lock poisoned");
+                                let mut produced = Vec::new();
+                                // Dynamic self-scheduling: claim the next
+                                // unclaimed batch from the shared cursor until
+                                // the queue drains.
+                                loop {
+                                    let b = cursor.fetch_add(1, Ordering::Relaxed);
+                                    let Some(range) = task.batches.get(b) else {
+                                        break;
+                                    };
+                                    if task.detect_races {
+                                        // One buffer per unit, so write-write
+                                        // conflicts between units stay
+                                        // observable.
+                                        for unit_id in range.clone() {
+                                            let writes = run_buffer(
+                                                &task.units,
+                                                unit_id..unit_id + 1,
+                                                &frozen,
+                                                kernel,
+                                            );
+                                            produced.push((unit_id, writes));
+                                        }
+                                    } else {
+                                        let writes =
+                                            run_buffer(&task.units, range.clone(), &frozen, kernel);
+                                        produced.push((b, writes));
+                                    }
+                                }
+                                drop(frozen);
+                                drop(task_guard);
+                                if !produced.is_empty() {
+                                    results
+                                        .lock()
+                                        .expect("results lock poisoned")
+                                        .append(&mut produced);
+                                }
+                            }));
+                        if let Err(payload) = outcome {
+                            record_panic(payload);
+                        }
+                        phase_end.wait();
+                    }
+                });
+            }
+
+            // Exclude pool start-up from the measured execution time: wait
+            // until every worker is parked at its first phase barrier.
+            ready.wait();
+            let start_all = Instant::now();
+
+            // The coordinator's phase loop is also unwind-guarded: if it
+            // panicked with workers parked, the scope's implicit join would
+            // deadlock.
+            let coordinator = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                for phase in &schedule.phases {
+                    let start = Instant::now();
+                    let units = phase_units(phase);
+                    // Fast path: a single unit has no intra-phase
+                    // concurrency (and cannot race) — run it on the
+                    // coordinator while the workers stay parked.
+                    if units.len() == 1 {
+                        let mut store = store.write().expect("store lock poisoned");
+                        for item in units[0] {
+                            run_item(item, kernel, &mut store);
+                        }
+                        phase_times.push(start.elapsed());
+                        continue;
+                    }
+                    let batches = self.batch_units(&units);
+                    let n_buffers = if self.detect_races {
+                        units.len()
+                    } else {
+                        batches.len()
+                    };
+                    *task.write().expect("task lock poisoned") = Some(PhaseTask {
+                        units,
+                        batches,
+                        detect_races: self.detect_races,
+                    });
+                    cursor.store(0, Ordering::Relaxed);
+                    phase_start.wait();
+                    phase_end.wait();
+                    if panic_payload.lock().expect("panic slot poisoned").is_some() {
+                        break;
+                    }
+                    let mut per_buffer: Vec<WriteBuffer> = vec![Vec::new(); n_buffers];
+                    for (buffer_id, writes) in
+                        results.lock().expect("results lock poisoned").drain(..)
+                    {
+                        per_buffer[buffer_id] = writes;
+                    }
+                    let mut store = store.write().expect("store lock poisoned");
+                    merge_buffers(&mut store, &per_buffer, self.detect_races, &mut races);
+                    phase_times.push(start.elapsed());
+                }
+            }));
+            if let Err(payload) = coordinator {
+                record_panic(payload);
+            }
+            total_time = start_all.elapsed();
+            // Release the workers to exit; every worker is parked at
+            // phase_start (their bodies cannot unwind), so this cannot
+            // hang.
+            shutdown.store(true, Ordering::Release);
+            phase_start.wait();
+        });
+
+        if let Some(payload) = panic_payload.into_inner().expect("panic slot poisoned") {
+            std::panic::resume_unwind(payload);
+        }
+
+        ExecutionResult {
+            store: store.into_inner().expect("store lock poisoned"),
+            phase_times,
+            total_time,
+            races,
+        }
+    }
+
+    /// Packs consecutive units into batches of at least
+    /// `min_batch_instances` statement instances.  Returns the unit-index
+    /// ranges of each batch (batches partition `0..units.len()`).
+    fn batch_units(&self, units: &[Unit]) -> Vec<std::ops::Range<usize>> {
+        let mut batches = Vec::new();
+        let mut batch_start = 0;
+        let mut batch_instances = 0usize;
+        for (k, unit) in units.iter().enumerate() {
+            batch_instances += unit.iter().map(|i| i.len()).sum::<usize>();
+            if batch_instances >= self.min_batch_instances {
+                batches.push(batch_start..k + 1);
+                batch_start = k + 1;
+                batch_instances = 0;
+            }
+        }
+        if batch_start < units.len() {
+            batches.push(batch_start..units.len());
+        }
+        batches
+    }
+}
+
+/// The units of intra-phase concurrency: items of a DOALL, whole chains of
+/// a chain set.
+fn phase_units(phase: &Phase) -> Vec<Unit<'_>> {
+    match phase {
+        Phase::Doall(items) => items.iter().map(std::slice::from_ref).collect(),
+        Phase::ChainSet(chains) => chains.iter().map(|c| c.as_slice()).collect(),
+    }
+}
+
+/// Runs a contiguous range of units against the frozen store through one
+/// buffered view and returns its writes.
+fn run_buffer(
+    units: &[Unit],
+    range: std::ops::Range<usize>,
+    frozen: &ArrayStore,
+    kernel: &(dyn Kernel + Sync),
+) -> WriteBuffer {
+    let mut view = BufferedView::new(frozen);
+    for unit in &units[range] {
+        for item in *unit {
+            for (stmt, indices) in &item.instances {
+                kernel.execute(*stmt, indices, &mut view);
+            }
+        }
+    }
+    view.into_writes()
+}
+
+/// Merges buffered writes into the store at a phase barrier.  With
+/// `detect_races` there is one buffer per unit and write-write conflicts
+/// between different units are recorded; otherwise the merge is a plain
+/// replay.
+fn merge_buffers(
+    store: &mut ArrayStore,
+    buffer_writes: &[WriteBuffer],
+    detect_races: bool,
+    races: &mut Vec<(String, IVec)>,
+) {
+    if detect_races {
+        let mut writer: HashMap<(String, IVec), usize> = HashMap::new();
+        for (unit_id, writes) in buffer_writes.iter().enumerate() {
+            for (array, elements) in writes {
+                for (index, value) in elements {
+                    match writer.entry((array.clone(), index.clone())) {
+                        std::collections::hash_map::Entry::Occupied(mut entry) => {
+                            if *entry.get() != unit_id {
+                                races.push((array.clone(), index.clone()));
+                            }
+                            entry.insert(unit_id);
+                        }
+                        std::collections::hash_map::Entry::Vacant(entry) => {
+                            entry.insert(unit_id);
+                        }
+                    }
+                    store.set(array, index, *value);
+                }
+            }
+        }
+    } else {
+        for writes in buffer_writes {
+            for (array, elements) in writes {
+                for (index, value) in elements {
+                    store.set(array, index, *value);
+                }
+            }
+        }
+    }
 }
 
 fn run_item(item: &WorkItem, kernel: &dyn Kernel, store: &mut ArrayStore) {
@@ -229,7 +572,11 @@ mod tests {
         let kernel = RefKernel::new(&p);
         for threads in [1, 2, 4] {
             let v = verify_schedule(&sequential, &parallel, &kernel, threads);
-            assert!(v.passed(), "verification failed with {threads} threads: {:?}", v.mismatches);
+            assert!(
+                v.passed(),
+                "verification failed with {threads} threads: {:?}",
+                v.mismatches
+            );
         }
     }
 
@@ -242,7 +589,11 @@ mod tests {
         let sequential = Schedule::sequential(&p, &[20, 25]);
         let kernel = RefKernel::new(&p);
         let v = verify_schedule(&sequential, &parallel, &kernel, 4);
-        assert!(v.passed(), "mismatches: {:?}", &v.mismatches[..v.mismatches.len().min(5)]);
+        assert!(
+            v.passed(),
+            "mismatches: {:?}",
+            &v.mismatches[..v.mismatches.len().min(5)]
+        );
     }
 
     #[test]
@@ -273,6 +624,34 @@ mod tests {
         };
         let result = execute_schedule(&schedule, &kernel, 2);
         assert!(!result.race_free());
+    }
+
+    #[test]
+    fn worker_panics_propagate_instead_of_hanging() {
+        use crate::kernel::FnKernel;
+        let kernel = FnKernel(
+            |_s: usize, idx: &[i64], store: &mut dyn crate::array::StoreView| {
+                if idx[0] == 7 {
+                    panic!("kernel boom");
+                }
+                store.write("a", idx, 1.0);
+            },
+        );
+        let items = (1..=20).map(|i| WorkItem::single(0, vec![i])).collect();
+        let schedule = Schedule {
+            name: "panicky".to_string(),
+            phases: vec![Phase::Doall(items)],
+        };
+        for threads in [2, 4] {
+            let executor = ParallelExecutor::new(threads).with_min_batch_instances(1);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                executor.execute(&schedule, &kernel)
+            }));
+            assert!(
+                outcome.is_err(),
+                "the kernel panic must propagate, not hang or vanish"
+            );
+        }
     }
 
     #[test]

@@ -84,8 +84,11 @@ impl Kernel for RefKernel {
             let v = store.read(array, &idx);
             acc = acc * 0.75 + v * (1.0 + 0.1 * (k as f64 + 1.0));
         }
-        let index_term: f64 =
-            indices.iter().enumerate().map(|(k, &x)| (x as f64) * 0.001 * (k as f64 + 1.0)).sum();
+        let index_term: f64 = indices
+            .iter()
+            .enumerate()
+            .map(|(k, &x)| (x as f64) * 0.001 * (k as f64 + 1.0))
+            .sum();
         let value = acc + index_term + 0.25;
         for (array, access) in &accesses.writes {
             let idx = access.apply(indices);
@@ -130,7 +133,11 @@ mod tests {
         store.set("a", &[15], 3.0);
         kernel.execute(0, &[6], &mut store);
         let v = store.get("a", &[12]);
-        assert_ne!(v, ArrayStore::new().get("a", &[12]), "a(12) must have been written");
+        assert_ne!(
+            v,
+            ArrayStore::new().get("a", &[12]),
+            "a(12) must have been written"
+        );
         // changing the read input changes the written value
         let mut store2 = ArrayStore::new();
         store2.set("a", &[15], 4.0);
@@ -151,7 +158,10 @@ mod tests {
         let mut rev = ArrayStore::new();
         kernel.execute(0, &[9], &mut rev);
         kernel.execute(0, &[6], &mut rev);
-        assert!(!fwd.diff(&rev, 1e-12).is_empty(), "order must be observable");
+        assert!(
+            !fwd.diff(&rev, 1e-12).is_empty(),
+            "order must be observable"
+        );
     }
 
     #[test]

@@ -8,13 +8,14 @@
 //! * [`kernel`] — statement kernels; [`RefKernel`] derives an
 //!   order-sensitive computation directly from a program's array
 //!   references so that schedule correctness is observable,
-//! * [`executor`] — the sequential reference executor, the rayon-based
-//!   phase executor with per-phase barriers and write-conflict detection,
-//!   and schedule verification (parallel result == sequential result),
+//! * [`executor`] — the sequential reference executor, the multi-threaded
+//!   [`ParallelExecutor`] with per-phase barriers, per-chain work batching
+//!   and write-conflict detection, and schedule verification (parallel
+//!   result == sequential result),
 //! * [`cost`] — the calibrated analytic cost model that turns schedules
-//!   into the speedup curves of Figure 3 (the container has a single CPU,
-//!   so modelled time — not wall-clock — carries the multi-thread story;
-//!   see DESIGN.md for the substitution rationale).
+//!   into the speedup curves of Figure 3 even on machines with too few
+//!   cores to show real scaling (measured wall-clock speedups come from
+//!   [`ParallelExecutor`] via the benchmark harness).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +28,7 @@ pub mod kernel;
 pub use array::{Array, ArrayStore, BufferedView, StoreView};
 pub use cost::{makespan, CostModel};
 pub use executor::{
-    execute_schedule, execute_sequential, verify_schedule, ExecutionResult, Verification,
+    execute_schedule, execute_sequential, verify_schedule, ExecutionResult, ParallelExecutor,
+    Verification,
 };
 pub use kernel::{FnKernel, Kernel, RefKernel};

@@ -31,12 +31,22 @@ pub struct CholeskyParams {
 impl CholeskyParams {
     /// The parameters used in the paper's evaluation.
     pub fn paper() -> Self {
-        CholeskyParams { nmat: 250, m: 4, n: 40, nrhs: 3 }
+        CholeskyParams {
+            nmat: 250,
+            m: 4,
+            n: 40,
+            nrhs: 3,
+        }
     }
 
     /// A reduced configuration for fast tests (same shape, smaller `NMAT`).
     pub fn small() -> Self {
-        CholeskyParams { nmat: 4, m: 4, n: 10, nrhs: 2 }
+        CholeskyParams {
+            nmat: 4,
+            m: 4,
+            n: 10,
+            nrhs: 2,
+        }
     }
 
     /// The parameter vector in the order declared by
@@ -231,7 +241,10 @@ pub fn example4_cholesky() -> Program {
                             vec![stmt(
                                 "S6",
                                 vec![
-                                    ArrayRef::write("b", vec![v("I"), v("L"), kd.clone() - v("JJ")]),
+                                    ArrayRef::write(
+                                        "b",
+                                        vec![v("I"), v("L"), kd.clone() - v("JJ")],
+                                    ),
                                     ArrayRef::read("b", vec![v("I"), v("L"), kd.clone() - v("JJ")]),
                                     ArrayRef::read("a", vec![v("L"), -v("JJ"), kd.clone()]),
                                     ArrayRef::read("b", vec![v("I"), v("L"), kd.clone()]),
@@ -244,7 +257,11 @@ pub fn example4_cholesky() -> Program {
         ],
     );
 
-    Program::new("cholesky", &["NMAT", "M", "N", "NRHS"], vec![factorisation, substitution])
+    Program::new(
+        "cholesky",
+        &["NMAT", "M", "N", "NRHS"],
+        vec![factorisation, substitution],
+    )
 }
 
 #[cfg(test)]
@@ -258,7 +275,10 @@ mod tests {
         assert_eq!(p.max_depth(), 4);
         let stmts = p.statements();
         let names: Vec<&str> = stmts.iter().map(|s| s.stmt.name.as_str()).collect();
-        assert_eq!(names, vec!["S3", "S2", "S4", "S5", "S1", "S8", "S7", "S9", "S6"]);
+        assert_eq!(
+            names,
+            vec!["S3", "S2", "S4", "S5", "S1", "S8", "S7", "S9", "S6"]
+        );
         assert_eq!(p.arrays(), vec!["a", "b", "epss"]);
         // S3 sits under J, I, JJ, L.
         assert_eq!(stmts[0].loop_indices, vec!["J", "I", "JJ", "L"]);
@@ -266,7 +286,10 @@ mod tests {
         assert_eq!(stmts[4].loop_indices, vec!["J", "L"]);
         // S6 sits under I, KD, JJ, L in the second nest.
         assert_eq!(stmts[8].loop_indices, vec!["I", "KD", "JJ", "L"]);
-        assert_eq!(stmts[8].positions[0], 2, "substitution nest is the second top-level nest");
+        assert_eq!(
+            stmts[8].positions[0], 2,
+            "substitution nest is the second top-level nest"
+        );
     }
 
     #[test]

@@ -11,8 +11,7 @@
 //! The reproduced artefact is the classifier and the reported statistic,
 //! not SPEC's exact percentages (see DESIGN.md, substitutions).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 use rcp_depend::{classify_analysis, is_coupled_access, DependenceAnalysis, Uniformity};
 use rcp_loopir::expr::{c, v, LinExpr};
 use rcp_loopir::program::build::{loop_, stmt};
@@ -34,7 +33,12 @@ pub struct CorpusConfig {
 
 impl Default for CorpusConfig {
     fn default() -> Self {
-        CorpusConfig { n_loops: 200, coupled_fraction: 0.45, extent: 12, seed: 2004 }
+        CorpusConfig {
+            n_loops: 200,
+            coupled_fraction: 0.45,
+            extent: 12,
+            seed: 2004,
+        }
     }
 }
 
@@ -66,17 +70,15 @@ impl CorpusStats {
 
     /// Fraction of coupled loops whose dependences are non-uniform.
     pub fn non_uniform_among_coupled(&self) -> f64 {
-        let coupled_non_uniform = self
-            .non_uniform_loops
-            .min(self.coupled_loops);
+        let coupled_non_uniform = self.non_uniform_loops.min(self.coupled_loops);
         coupled_non_uniform as f64 / self.coupled_loops.max(1) as f64
     }
 }
 
 /// Generates one random two-deep loop nest.
-pub fn random_nest(rng: &mut StdRng, coupled_fraction: f64, id: usize) -> Program {
+pub fn random_nest(rng: &mut SmallRng, coupled_fraction: f64, id: usize) -> Program {
     let coupled = rng.gen_bool(coupled_fraction);
-    let sub = |rng: &mut StdRng, coupled: bool| -> Vec<LinExpr> {
+    let sub = |rng: &mut SmallRng, coupled: bool| -> Vec<LinExpr> {
         if coupled {
             // Coupled: I appears in both dimensions (the classic source of
             // non-uniform distances).
@@ -109,8 +111,11 @@ pub fn random_nest(rng: &mut StdRng, coupled_fraction: f64, id: usize) -> Progra
 
 /// Generates the corpus and classifies every loop nest.
 pub fn corpus_statistics(config: &CorpusConfig) -> CorpusStats {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut stats = CorpusStats { total_loops: config.n_loops, ..Default::default() };
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut stats = CorpusStats {
+        total_loops: config.n_loops,
+        ..Default::default()
+    };
     for id in 0..config.n_loops {
         let program = random_nest(&mut rng, config.coupled_fraction, id);
         let analysis = DependenceAnalysis::loop_level(&program);
@@ -145,7 +150,10 @@ mod tests {
 
     #[test]
     fn corpus_is_deterministic_for_a_seed() {
-        let config = CorpusConfig { n_loops: 30, ..Default::default() };
+        let config = CorpusConfig {
+            n_loops: 30,
+            ..Default::default()
+        };
         let a = corpus_statistics(&config);
         let b = corpus_statistics(&config);
         assert_eq!(a, b);

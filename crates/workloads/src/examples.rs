@@ -36,7 +36,10 @@ pub fn example1() -> Program {
                 vec![stmt(
                     "S",
                     vec![
-                        ArrayRef::write("a", vec![v("I1") * 3 + c(1), v("I1") * 2 + v("I2") - c(1)]),
+                        ArrayRef::write(
+                            "a",
+                            vec![v("I1") * 3 + c(1), v("I1") * 2 + v("I2") - c(1)],
+                        ),
                         ArrayRef::read("a", vec![v("I1") + c(3), v("I2") + c(1)]),
                     ],
                 )],
@@ -109,7 +112,10 @@ pub fn example2() -> Program {
                     "S",
                     vec![
                         ArrayRef::write("a", vec![v("I") * 2 + c(3), v("J") + c(1)]),
-                        ArrayRef::read("a", vec![v("I") + v("J") * 2 + c(1), v("I") + v("J") + c(3)]),
+                        ArrayRef::read(
+                            "a",
+                            vec![v("I") + v("J") * 2 + c(1), v("I") + v("J") + c(3)],
+                        ),
                     ],
                 )],
             )],
@@ -152,10 +158,16 @@ pub fn example3() -> Program {
                         v("I"),
                         vec![stmt(
                             "S1",
-                            vec![ArrayRef::read("a", vec![v("I") + v("K") * 2 + c(5), v("K") * 4 - v("J")])],
+                            vec![ArrayRef::read(
+                                "a",
+                                vec![v("I") + v("K") * 2 + c(5), v("K") * 4 - v("J")],
+                            )],
                         )],
                     ),
-                    stmt("S2", vec![ArrayRef::write("a", vec![v("I") - v("J"), v("I") + v("J")])]),
+                    stmt(
+                        "S2",
+                        vec![ArrayRef::write("a", vec![v("I") - v("J"), v("I") + v("J")])],
+                    ),
                 ],
             )],
         )],
@@ -197,7 +209,14 @@ mod tests {
         assert!(figure2().is_perfect_nest());
         assert_eq!(example1().max_depth(), 2);
         assert_eq!(example3().max_depth(), 3);
-        assert_eq!(figure2().loop_iteration_set().bind_params(&[]).enumerate().len(), 20);
+        assert_eq!(
+            figure2()
+                .loop_iteration_set()
+                .bind_params(&[])
+                .enumerate()
+                .len(),
+            20
+        );
     }
 
     #[test]

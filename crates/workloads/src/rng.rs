@@ -1,0 +1,103 @@
+//! A small deterministic pseudo-random number generator for the synthetic
+//! corpus.
+//!
+//! The workspace builds offline, so the `rand` crate is unavailable; this
+//! is a SplitMix64-seeded xoshiro256** generator — statistically far more
+//! than good enough for generating random loop nests, and fully
+//! reproducible from a `u64` seed across platforms and releases.
+
+/// A deterministic, seedable PRNG (xoshiro256**).
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    state: [u64; 4],
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed (SplitMix64 state expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits, the standard u64 → [0,1) construction.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// A uniform integer in the inclusive range `lo..=hi`.
+    pub fn gen_range(&mut self, range: std::ops::RangeInclusive<i64>) -> i64 {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "gen_range called with an empty range");
+        let span = (hi - lo) as u64 + 1;
+        // Debiased multiply-shift rejection sampling (Lemire).
+        let zone = u64::MAX - u64::MAX % span;
+        loop {
+            let raw = self.next_u64();
+            if raw < zone {
+                return lo + (raw % span) as i64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(2004);
+        let mut b = SmallRng::seed_from_u64(2004);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_and_bools_are_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1000 {
+            let v = rng.gen_range(-2..=3);
+            assert!((-2..=3).contains(&v));
+            seen_lo |= v == -2;
+            seen_hi |= v == 3;
+        }
+        assert!(seen_lo && seen_hi, "both endpoints must be reachable");
+        assert!(!(0..1000).any(|_| rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..1000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!(
+            (350..=650).contains(&heads),
+            "fair coin wildly off: {heads}"
+        );
+    }
+}

@@ -35,7 +35,10 @@ fn main() {
 
     let part = DenseThreeSet::compute(&phi, &rd);
     let show = |set: &DenseSet| -> String {
-        set.iter().map(|p| p[0].to_string()).collect::<Vec<_>>().join(", ")
+        set.iter()
+            .map(|p| p[0].to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     println!("\nthree-set partition:");
     println!("  P1 (independent + initial): {{{}}}", show(&part.p1));

@@ -18,11 +18,19 @@ use recurrence_chains::workloads::{example4_cholesky, CholeskyParams};
 
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
-    let params = if paper { CholeskyParams::paper() } else { CholeskyParams::small() };
+    let params = if paper {
+        CholeskyParams::paper()
+    } else {
+        CholeskyParams::small()
+    };
     println!("Cholesky kernel, parameters {params:?}");
 
     let program = example4_cholesky().bind_params(&params.as_vec());
-    println!("{} statements, max nesting depth {}", program.statements().len(), program.max_depth());
+    println!(
+        "{} statements, max nesting depth {}",
+        program.statements().len(),
+        program.max_depth()
+    );
 
     // Exact memory-based dependence graph by sequential instrumentation.
     let graph = trace_dependence_graph(&program, &[]);

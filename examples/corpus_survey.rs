@@ -16,7 +16,10 @@ use recurrence_chains::workloads::{corpus_statistics, CorpusConfig};
 
 fn main() {
     println!("fraction of generated references with coupled subscripts  ->  observed loop classification");
-    println!("{:>8}  {:>8}  {:>10}  {:>12}  {:>10}", "coupled", "loops", "dependent", "non-uniform", "uniform");
+    println!(
+        "{:>8}  {:>8}  {:>10}  {:>12}  {:>10}",
+        "coupled", "loops", "dependent", "non-uniform", "uniform"
+    );
     for coupled_fraction in [0.0, 0.25, 0.45, 0.75, 1.0] {
         let stats = corpus_statistics(&CorpusConfig {
             n_loops: 150,

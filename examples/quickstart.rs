@@ -34,8 +34,14 @@ fn main() {
     // 3. Symbolic recurrence-chain partitioning (works for unknown N1, N2).
     // ------------------------------------------------------------------
     let plan = symbolic_plan(&analysis).expect("Example 1 has one coupled pair, full rank");
-    println!("recurrence matrix T, offset u:\n{:?}\nu = {:?}", plan.recurrence.t, plan.recurrence.u);
-    println!("alpha = max(|det T|, |det T^-1|) = {}", plan.recurrence.alpha());
+    println!(
+        "recurrence matrix T, offset u:\n{:?}\nu = {:?}",
+        plan.recurrence.t, plan.recurrence.u
+    );
+    println!(
+        "alpha = max(|det T|, |det T^-1|) = {}",
+        plan.recurrence.alpha()
+    );
     println!("\ngenerated code:\n{}", generate_listing(&plan, "example1"));
 
     // ------------------------------------------------------------------

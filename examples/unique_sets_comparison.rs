@@ -27,8 +27,11 @@ fn main() {
     // Recurrence-chain partitioning (REC).
     let partition = concrete_partition(&analysis, &[n]);
     if let ConcretePartition::RecurrenceChains { three_set, .. } = &partition {
-        let p2: Vec<String> =
-            three_set.p2.iter().map(|p| format!("({}, {})", p[0], p[1])).collect();
+        let p2: Vec<String> = three_set
+            .p2
+            .iter()
+            .map(|p| format!("({}, {})", p[0], p[1]))
+            .collect();
         println!("REC intermediate set at N={n}: {{{}}}", p2.join(", "));
     }
     let rec = Schedule::from_partition(&analysis, &partition, "example2-rec");
@@ -55,7 +58,10 @@ fn main() {
     let sequential = Schedule::sequential(&program, &[n]);
     for (name, schedule) in [("REC", &rec), ("UNIQUE", &unique)] {
         let verdict = verify_schedule(&sequential, schedule, &kernel, 4);
-        println!("{name} verification: {}", if verdict.passed() { "PASSED" } else { "FAILED" });
+        println!(
+            "{name} verification: {}",
+            if verdict.passed() { "PASSED" } else { "FAILED" }
+        );
     }
 
     // Modelled speedups, 1–4 threads (figure 3, Example 2 plot).

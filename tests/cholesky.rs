@@ -6,31 +6,23 @@
 //! partitioning steps) is part of the benchmark harness
 //! (`paper_results ex4`), which runs in release mode.
 
-use recurrence_chains::codegen::{Phase, Schedule, WorkItem};
+use recurrence_chains::codegen::Schedule;
 use recurrence_chains::core::{dataflow_levels_indexed, dataflow_stage_sizes};
 use recurrence_chains::depend::trace_dependence_graph;
 use recurrence_chains::prelude::*;
 use recurrence_chains::workloads::{example4_cholesky, CholeskyParams};
-
-fn schedule_from_levels(
-    graph: &recurrence_chains::depend::TracedGraph,
-    levels: &[u32],
-    name: &str,
-) -> Schedule {
-    let n_stages = levels.iter().copied().max().map_or(0, |m| m as usize + 1);
-    let mut phases: Vec<Vec<WorkItem>> = vec![Vec::new(); n_stages];
-    for (idx, (stmt, indices)) in graph.instances.iter().enumerate() {
-        phases[levels[idx] as usize].push(WorkItem::single(*stmt, indices.clone()));
-    }
-    Schedule { name: name.to_string(), phases: phases.into_iter().map(Phase::Doall).collect() }
-}
 
 #[test]
 fn small_cholesky_dataflow_partition_is_valid_and_semantics_preserving() {
     // Bind the parameters into the program: the normalised descending sweep
     // uses `K = N − KD` in its subscripts, so kernels and access maps need a
     // parameter-free program.
-    let params = CholeskyParams { nmat: 2, m: 2, n: 5, nrhs: 1 };
+    let params = CholeskyParams {
+        nmat: 2,
+        m: 2,
+        n: 5,
+        nrhs: 1,
+    };
     let program = example4_cholesky().bind_params(&params.as_vec());
     let graph = trace_dependence_graph(&program, &[]);
     assert!(graph.n_instances() > 0);
@@ -46,32 +38,46 @@ fn small_cholesky_dataflow_partition_is_valid_and_semantics_preserving() {
     }
     let stages = dataflow_stage_sizes(graph.n_instances(), &graph.edges);
     assert_eq!(stages.iter().sum::<usize>(), graph.n_instances());
-    assert!(stages.len() > 1, "the kernel is not embarrassingly parallel");
+    assert!(
+        stages.len() > 1,
+        "the kernel is not embarrassingly parallel"
+    );
     assert!(
         stages.len() < graph.n_instances(),
         "dataflow partitioning must expose some parallelism"
     );
 
     // Execute the staged schedule and compare with sequential execution.
-    let schedule = schedule_from_levels(&graph, &levels, "cholesky-dataflow");
+    let schedule = Schedule::from_dataflow_levels("cholesky-dataflow", &graph.instances, &levels);
     assert!(schedule.validate_coverage(&program, &[]).is_empty());
     let kernel = RefKernel::new(&program);
     let sequential = Schedule::sequential(&program, &[]);
     let verdict = verify_schedule(&sequential, &schedule, &kernel, 4);
-    assert!(verdict.passed(), "parallel Cholesky diverges from sequential execution");
+    assert!(
+        verdict.passed(),
+        "parallel Cholesky diverges from sequential execution"
+    );
 }
 
 #[test]
 fn cholesky_step_count_grows_with_the_matrix_order() {
     let steps = |n: i64| {
-        let params = CholeskyParams { nmat: 2, m: 2, n, nrhs: 1 };
+        let params = CholeskyParams {
+            nmat: 2,
+            m: 2,
+            n,
+            nrhs: 1,
+        };
         let program = example4_cholesky().bind_params(&params.as_vec());
         let graph = trace_dependence_graph(&program, &[]);
         dataflow_stage_sizes(graph.n_instances(), &graph.edges).len()
     };
     let s5 = steps(5);
     let s10 = steps(10);
-    assert!(s10 > s5, "more columns ({s10}) must need more dataflow steps than fewer ({s5})");
+    assert!(
+        s10 > s5,
+        "more columns ({s10}) must need more dataflow steps than fewer ({s5})"
+    );
 }
 
 #[test]
@@ -79,7 +85,12 @@ fn cholesky_l_dimension_is_fully_parallel() {
     // Dependences never cross the vectorised L dimension: two instances of
     // the same statement with different L values are never connected.  This
     // is what the paper's PDM partitioning exploits (DOALL over L).
-    let params = CholeskyParams { nmat: 3, m: 2, n: 4, nrhs: 1 };
+    let params = CholeskyParams {
+        nmat: 3,
+        m: 2,
+        n: 4,
+        nrhs: 1,
+    };
     let program = example4_cholesky().bind_params(&params.as_vec());
     let graph = trace_dependence_graph(&program, &[]);
     let stmts = program.statements();

@@ -10,12 +10,12 @@ use recurrence_chains::runtime::CostModel;
 use recurrence_chains::workloads::{example1, example2, example3, figure2};
 
 /// Helper: concrete dense sets of an analysis.
-fn dense(
-    analysis: &DependenceAnalysis,
-    params: &[i64],
-) -> (DenseSet, DenseRelation) {
+fn dense(analysis: &DependenceAnalysis, params: &[i64]) -> (DenseSet, DenseRelation) {
     let (phi, rel) = analysis.bind_params(params);
-    (DenseSet::from_union(&phi), DenseRelation::from_relation(&rel))
+    (
+        DenseSet::from_union(&phi),
+        DenseRelation::from_relation(&rel),
+    )
 }
 
 #[test]
@@ -56,7 +56,10 @@ fn example1_end_to_end() {
     // REC and PDM are close under the cost model (the paper's extra REC
     // margin on Example 1 comes from subscript simplification in the
     // generated code); PL cannot parallelize the non-uniform loop at all.
-    assert!(s_rec >= s_pdm * 0.8, "REC {s_rec} should not trail PDM {s_pdm} by much");
+    assert!(
+        s_rec >= s_pdm * 0.8,
+        "REC {s_rec} should not trail PDM {s_pdm} by much"
+    );
     assert!(s_rec > s_pl, "REC {s_rec} must beat PL {s_pl}");
     // Baseline schedules are also correct parallelizations.
     assert!(verify_schedule(&sequential, &rec_pdm, &kernel, 4).passed());
@@ -106,7 +109,10 @@ fn example3_empty_intermediate_set() {
     // intermediate set, so only P1 and P3 remain and the loop runs in two
     // fully parallel steps.
     let three = recurrence_chains::core::DenseThreeSet::compute(&phi, &rd);
-    assert!(three.p2.is_empty(), "example 3 must have an empty intermediate set");
+    assert!(
+        three.p2.is_empty(),
+        "example 3 must have an empty intermediate set"
+    );
     assert!(!three.p1.is_empty());
     assert!(!three.p3.is_empty());
     assert!(three.validate(&phi, &rd).is_empty());
@@ -122,7 +128,11 @@ fn example3_empty_intermediate_set() {
     let kernel = RefKernel::new(&program);
     let sequential = Schedule::sequential(&program, &[n]);
     assert!(verify_schedule(&sequential, &combined, &kernel, 4).passed());
-    assert_eq!(combined.critical_path(), 2, "example 3 finishes in two iteration steps");
+    assert_eq!(
+        combined.critical_path(),
+        2,
+        "example 3 finishes in two iteration steps"
+    );
 }
 
 #[test]
@@ -131,7 +141,11 @@ fn figure2_partition_and_execution() {
     let analysis = DependenceAnalysis::loop_level(&program);
     let partition = concrete_partition(&analysis, &[]);
     let schedule = Schedule::from_partition(&analysis, &partition, "figure2-rec");
-    assert_eq!(schedule.n_phases(), 2, "figure 2 has an empty intermediate set");
+    assert_eq!(
+        schedule.n_phases(),
+        2,
+        "figure 2 has an empty intermediate set"
+    );
     let kernel = RefKernel::new(&program);
     let sequential = Schedule::sequential(&program, &[]);
     for threads in 1..=4 {
@@ -144,7 +158,12 @@ fn generated_listing_mentions_every_partition() {
     let analysis = DependenceAnalysis::loop_level(&example1());
     let plan = symbolic_plan(&analysis).unwrap();
     let listing = recurrence_chains::codegen::generate_listing(&plan, "example1");
-    for needle in ["initial partition", "final partition", "SUBROUTINE chain", "DOALL"] {
+    for needle in [
+        "initial partition",
+        "final partition",
+        "SUBROUTINE chain",
+        "DOALL",
+    ] {
         assert!(listing.contains(needle), "listing must contain `{needle}`");
     }
 }

@@ -5,7 +5,6 @@
 //! The bound is checked on the paper's examples across a range of sizes and
 //! on randomly generated full-rank coupled reference pairs.
 
-use proptest::prelude::*;
 use recurrence_chains::core::{longest_chain, symbolic_plan, ConcretePartition};
 use recurrence_chains::depend::DependenceAnalysis;
 use recurrence_chains::intlin::Rational;
@@ -16,7 +15,9 @@ use recurrence_chains::workloads::{example1, example2};
 
 fn check_bound(program: &Program, params: &[i64], diag: f64) {
     let analysis = DependenceAnalysis::loop_level(program);
-    let Some(plan) = symbolic_plan(&analysis) else { return };
+    let Some(plan) = symbolic_plan(&analysis) else {
+        return;
+    };
     let alpha = plan.recurrence.alpha();
     if alpha <= Rational::ONE {
         return; // the theorem assumes alpha > 1
@@ -62,17 +63,19 @@ fn example1_bound_value_from_the_paper() {
     assert!(bound <= 8, "log3(1044) + 1 is well under 8, got {bound}");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
-
-    /// Random full-rank coupled pairs: the chain produced by following the
-    /// recurrence never exceeds the Theorem-1 bound.
-    #[test]
-    fn theorem1_holds_for_random_full_rank_pairs(
-        a11 in 1i64..4, a12 in 0i64..3, a22 in 1i64..4,
-        off1 in -2i64..3, off2 in -2i64..3,
-        n in 5i64..10,
-    ) {
+/// Random full-rank coupled pairs: the chain produced by following the
+/// recurrence never exceeds the Theorem-1 bound.  (Randomised with a fixed
+/// seed — the offline stand-in for the original proptest strategy.)
+#[test]
+fn theorem1_holds_for_random_full_rank_pairs() {
+    let mut rng = recurrence_chains::workloads::SmallRng::seed_from_u64(0x7431);
+    for _case in 0..16 {
+        let a11 = rng.gen_range(1..=3);
+        let a12 = rng.gen_range(0..=2);
+        let a22 = rng.gen_range(1..=3);
+        let off1 = rng.gen_range(-2..=2);
+        let off2 = rng.gen_range(-2..=2);
+        let n = rng.gen_range(5..=9);
         // Write reference: a(a11*I + a12*J + off1, a22*J + off2); read: a(I, J).
         let program = Program::new(
             "random-pair",
@@ -90,7 +93,10 @@ proptest! {
                         vec![
                             ArrayRef::write(
                                 "a",
-                                vec![v("I") * a11 + v("J") * a12 + c(off1), v("J") * a22 + c(off2)],
+                                vec![
+                                    v("I") * a11 + v("J") * a12 + c(off1),
+                                    v("J") * a22 + c(off2),
+                                ],
                             ),
                             ArrayRef::read("a", vec![v("I"), v("J")]),
                         ],
