@@ -1,0 +1,277 @@
+//! `--baseline` diffing: compare a fresh `paper_results` run against a
+//! previously recorded `BENCH_results.json`.
+//!
+//! The comparison is intentionally speedup-centric: for every experiment
+//! present in both runs whose payload carries speedup series (the Figure-3
+//! curves, the measured executor run), each scheme's speedup at the last
+//! common thread count is compared and classified as improved / regressed /
+//! unchanged against a noise band.  Experiments without series are matched
+//! by presence only, and experiments appearing on one side only are called
+//! out — CI runs this against the committed baseline so a trajectory
+//! regression is visible in the log instead of silently landing.
+
+use crate::experiments::ExperimentReport;
+use crate::speedup::SpeedupSeries;
+use rcp_json::{json, Json};
+
+/// Relative change below which a speedup delta counts as noise.
+pub const NOISE_BAND: f64 = 0.05;
+
+/// The comparison of one scheme's speedup between two runs.
+#[derive(Clone, Debug)]
+pub struct SchemeDelta {
+    /// Experiment id (e.g. `fig3-ex1`).
+    pub experiment: String,
+    /// Scheme name (e.g. `REC`).
+    pub scheme: String,
+    /// Thread count at which the speedups are compared (the last one both
+    /// runs measured).
+    pub threads: usize,
+    /// Speedup in the baseline run.
+    pub old: f64,
+    /// Speedup in the new run.
+    pub new: f64,
+}
+
+impl SchemeDelta {
+    /// `new / old` — above 1 the new run is faster.
+    pub fn ratio(&self) -> f64 {
+        if self.old == 0.0 {
+            f64::INFINITY
+        } else {
+            self.new / self.old
+        }
+    }
+
+    /// Human-readable classification against the noise band.
+    pub fn verdict(&self) -> &'static str {
+        let r = self.ratio();
+        if r >= 1.0 + NOISE_BAND {
+            "improved"
+        } else if r <= 1.0 - NOISE_BAND {
+            "REGRESSED"
+        } else {
+            "unchanged"
+        }
+    }
+}
+
+/// The full baseline comparison.
+#[derive(Clone, Debug, Default)]
+pub struct BaselineDiff {
+    /// Per-scheme speedup deltas for experiments with series payloads.
+    pub deltas: Vec<SchemeDelta>,
+    /// Experiment ids only present in the new run.
+    pub only_new: Vec<String>,
+    /// Experiment ids only present in the baseline.
+    pub only_old: Vec<String>,
+}
+
+impl BaselineDiff {
+    /// True when no scheme regressed beyond the noise band.
+    pub fn no_regressions(&self) -> bool {
+        self.deltas.iter().all(|d| d.verdict() != "REGRESSED")
+    }
+
+    /// Renders the comparison as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        if self.deltas.is_empty() {
+            out.push_str("no comparable speedup series between the runs\n");
+        } else {
+            out.push_str(&format!(
+                "{:<12} {:<10} {:>4}  {:>8}  {:>8}  {:>7}  verdict\n",
+                "experiment", "scheme", "thr", "old", "new", "ratio"
+            ));
+            for d in &self.deltas {
+                out.push_str(&format!(
+                    "{:<12} {:<10} {:>4}  {:>8.2}  {:>8.2}  {:>6.2}x  {}\n",
+                    d.experiment,
+                    d.scheme,
+                    d.threads,
+                    d.old,
+                    d.new,
+                    d.ratio(),
+                    d.verdict()
+                ));
+            }
+        }
+        if !self.only_new.is_empty() {
+            out.push_str(&format!(
+                "experiments new in this run: {}\n",
+                self.only_new.join(", ")
+            ));
+        }
+        if !self.only_old.is_empty() {
+            out.push_str(&format!(
+                "experiments only in the baseline: {}\n",
+                self.only_old.join(", ")
+            ));
+        }
+        out
+    }
+
+    /// The machine-readable form of the comparison.
+    pub fn to_json(&self) -> Json {
+        json!({
+            "no_regressions": self.no_regressions(),
+            "deltas": self.deltas.iter().map(|d| json!({
+                "experiment": d.experiment,
+                "scheme": d.scheme,
+                "threads": d.threads,
+                "old": d.old,
+                "new": d.new,
+                "ratio": d.ratio(),
+                "verdict": d.verdict(),
+            })).collect::<Vec<_>>(),
+            "only_new": self.only_new,
+            "only_old": self.only_old,
+        })
+    }
+}
+
+/// Extracts the speedup series of one experiment payload, if it has any
+/// (both the `{"series": [...]}` figures and measured runs use the same
+/// `{"scheme", "speedups"}` element shape).
+fn series_of(data: &Json) -> Vec<SpeedupSeries> {
+    data["series"]
+        .as_array()
+        .map(|elems| elems.iter().filter_map(SpeedupSeries::from_json).collect())
+        .unwrap_or_default()
+}
+
+/// Compares freshly generated reports against a parsed baseline document
+/// (the whole `BENCH_results.json` payload or anything with the same
+/// `{"experiments": [...]}` shape).
+pub fn diff_against_baseline(new_reports: &[ExperimentReport], baseline: &Json) -> BaselineDiff {
+    let empty = Vec::new();
+    let old_experiments = baseline["experiments"].as_array().unwrap_or(&empty);
+    let old_by_id = |id: &str| {
+        old_experiments
+            .iter()
+            .find(|e| e["id"].as_str() == Some(id))
+    };
+
+    let mut diff = BaselineDiff::default();
+    for report in new_reports {
+        let Some(old) = old_by_id(&report.id) else {
+            diff.only_new.push(report.id.clone());
+            continue;
+        };
+        let old_series = series_of(&old["data"]);
+        for new_series in series_of(&report.data) {
+            if new_series.scheme == "linear" {
+                continue; // the reference curve carries no information
+            }
+            let Some(old_series) = old_series.iter().find(|s| s.scheme == new_series.scheme) else {
+                continue;
+            };
+            let threads = new_series.speedups.len().min(old_series.speedups.len());
+            if threads == 0 {
+                continue;
+            }
+            diff.deltas.push(SchemeDelta {
+                experiment: report.id.clone(),
+                scheme: new_series.scheme.clone(),
+                threads,
+                old: old_series.at(threads),
+                new: new_series.at(threads),
+            });
+        }
+    }
+    for old in old_experiments {
+        if let Some(id) = old["id"].as_str() {
+            if !new_reports.iter().any(|r| r.id == id) {
+                diff.only_old.push(id.to_string());
+            }
+        }
+    }
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(id: &str, schemes: &[(&str, &[f64])]) -> ExperimentReport {
+        ExperimentReport {
+            id: id.to_string(),
+            description: String::new(),
+            text: String::new(),
+            data: json!({
+                "series": schemes.iter().map(|(name, speedups)| json!({
+                    "scheme": *name,
+                    "speedups": speedups.to_vec(),
+                })).collect::<Vec<_>>(),
+            }),
+        }
+    }
+
+    fn payload(reports: &[ExperimentReport]) -> Json {
+        json!({ "experiments": reports.to_vec() })
+    }
+
+    #[test]
+    fn detects_improvements_and_regressions() {
+        let old = payload(&[
+            report("fig3-ex1", &[("REC", &[1.0, 2.0]), ("PDM", &[1.0, 1.8])]),
+            report("gone", &[("REC", &[1.0])]),
+        ]);
+        let new = [
+            report("fig3-ex1", &[("REC", &[1.0, 2.4]), ("PDM", &[1.0, 1.2])]),
+            report("fresh", &[]),
+        ];
+        let diff = diff_against_baseline(&new, &old);
+        assert_eq!(diff.deltas.len(), 2);
+        let rec = diff.deltas.iter().find(|d| d.scheme == "REC").unwrap();
+        assert_eq!(rec.verdict(), "improved");
+        assert_eq!(rec.threads, 2);
+        let pdm = diff.deltas.iter().find(|d| d.scheme == "PDM").unwrap();
+        assert_eq!(pdm.verdict(), "REGRESSED");
+        assert!(!diff.no_regressions());
+        assert_eq!(diff.only_new, vec!["fresh"]);
+        assert_eq!(diff.only_old, vec!["gone"]);
+        let text = diff.to_text();
+        assert!(text.contains("REGRESSED"));
+        assert!(text.contains("improved"));
+    }
+
+    #[test]
+    fn unchanged_within_noise_band_and_shorter_series() {
+        // The new run measured fewer thread counts (e.g. a smaller
+        // machine): comparison happens at the last common count.
+        let old = payload(&[report("measured", &[("ex1", &[1.0, 1.7, 2.1, 2.4])])]);
+        let new = [report("measured", &[("ex1", &[1.02])])];
+        let diff = diff_against_baseline(&new, &old);
+        assert_eq!(diff.deltas.len(), 1);
+        assert_eq!(diff.deltas[0].threads, 1);
+        assert_eq!(diff.deltas[0].verdict(), "unchanged");
+        assert!(diff.no_regressions());
+    }
+
+    #[test]
+    fn linear_reference_is_ignored() {
+        let old = payload(&[report(
+            "fig3-ex2",
+            &[("linear", &[1.0, 2.0]), ("REC", &[1.0, 1.5])],
+        )]);
+        let new = [report(
+            "fig3-ex2",
+            &[("linear", &[1.0, 2.0]), ("REC", &[1.0, 1.5])],
+        )];
+        let diff = diff_against_baseline(&new, &old);
+        assert_eq!(diff.deltas.len(), 1);
+        assert_eq!(diff.deltas[0].scheme, "REC");
+    }
+
+    #[test]
+    fn round_trips_through_the_json_parser() {
+        // A baseline written by pretty() and re-read by Json::parse must
+        // compare clean against itself.
+        let reports = [report("fig3-ex1", &[("REC", &[1.0, 2.0])])];
+        let parsed = Json::parse(&payload(&reports).pretty()).unwrap();
+        let diff = diff_against_baseline(&reports, &parsed);
+        assert!(diff.no_regressions());
+        assert_eq!(diff.deltas[0].verdict(), "unchanged");
+    }
+}

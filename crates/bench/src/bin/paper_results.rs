@@ -1,4 +1,4 @@
-//! Regenerates every table and figure of the paper's evaluation section.
+//! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
 //! cargo run --release -p rcp-bench --bin paper_results            # everything (full size)
@@ -6,18 +6,33 @@
 //! cargo run --release -p rcp-bench --bin paper_results -- fig3-ex1 ex4
 //! cargo run --release -p rcp-bench --bin paper_results -- --json            # BENCH_results.json
 //! cargo run --release -p rcp-bench --bin paper_results -- --json out.json
+//! cargo run --release -p rcp-bench --bin paper_results -- --serial          # one at a time
+//! cargo run --release -p rcp-bench --bin paper_results -- --baseline BENCH_results.json
 //! ```
+//!
+//! Independent experiments run concurrently (bounded by the hardware's
+//! available parallelism) and stream their reports in completion order;
+//! `--json` output is sorted by experiment id, so it stays deterministic
+//! regardless of completion order.  The two experiments that measure wall
+//! clock themselves (`measured`, `analysis`) are held back and run serially
+//! after the concurrent batch, so concurrent neighbours never pollute their
+//! timings.  `--baseline old.json` additionally diffs the fresh run against
+//! a recorded result file and reports per-experiment speedup deltas.
 
+use rcp_bench::baseline::diff_against_baseline;
 use rcp_bench::experiments::{
-    calibrated_model, corpus_table, ex1_partition, ex2_facts, ex3_facts, ex4_dataflow,
-    fig1_dependences, fig2_chains, fig3_ex1, fig3_ex2, fig3_ex3, fig3_ex4, measured_speedups,
-    theorem1_table, ExperimentReport,
+    analysis_pipeline, calibrated_model, corpus_table, ex1_partition, ex2_facts, ex3_facts,
+    ex4_dataflow, fig1_dependences, fig2_chains, fig3_ex1, fig3_ex2, fig3_ex3, fig3_ex4,
+    measured_speedups, theorem1_table, ExperimentReport,
 };
 use rcp_workloads::CholeskyParams;
+use std::sync::Mutex;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let serial = args.iter().any(|a| a == "--serial");
 
     // Evaluation parameters (paper values unless --quick).
     let (ex1_n1, ex1_n2) = if quick { (60, 100) } else { (300, 1000) };
@@ -35,7 +50,7 @@ fn main() {
     };
     // Measured (not modelled) ParallelExecutor wall clock on examples 1-4.
     let ((m_ex1_n1, m_ex1_n2), m_ex2_n, m_ex3_n) = if quick {
-        ((40, 60), 40, 16)
+        ((40, 60), 64, 24)
     } else {
         ((120, 200), 120, 24)
     };
@@ -55,29 +70,62 @@ fn main() {
     );
 
     // The single experiment registry: ids for selector validation and the
-    // run loop both come from here, so they cannot drift.
-    type Runner<'m> = Box<dyn FnMut() -> ExperimentReport + 'm>;
-    let mut experiments: Vec<(&str, Runner)> = vec![
-        ("fig1", Box::new(fig1_dependences)),
-        ("fig2", Box::new(fig2_chains)),
-        (
+    // run loop both come from here, so they cannot drift.  `timing` marks
+    // experiments that measure wall clock themselves; they are excluded
+    // from the concurrent batch so neighbours cannot skew their numbers.
+    struct Experiment {
+        id: &'static str,
+        timing: bool,
+        run: Box<dyn Fn() -> ExperimentReport + Send + Sync>,
+    }
+    fn exp(
+        id: &'static str,
+        timing: bool,
+        run: Box<dyn Fn() -> ExperimentReport + Send + Sync>,
+    ) -> Experiment {
+        Experiment { id, timing, run }
+    }
+    let experiments: Vec<Experiment> = vec![
+        exp("fig1", false, Box::new(fig1_dependences)),
+        exp("fig2", false, Box::new(fig2_chains)),
+        exp(
             "ex1",
+            false,
             Box::new(move || ex1_partition(ex1_n1.min(60), ex1_n2.min(100))),
         ),
-        ("ex2", Box::new(ex2_facts)),
-        ("ex3", Box::new(move || ex3_facts(ex3_n))),
-        ("ex4", Box::new(move || ex4_dataflow(cholesky))),
-        (
+        exp("ex2", false, Box::new(ex2_facts)),
+        exp("ex3", false, Box::new(move || ex3_facts(ex3_n))),
+        exp("ex4", false, Box::new(move || ex4_dataflow(cholesky))),
+        exp(
             "fig3-ex1",
-            Box::new(|| fig3_ex1(&model, ex1_n1, ex1_n2, threads)),
+            false,
+            Box::new(move || fig3_ex1(&model, ex1_n1, ex1_n2, threads)),
         ),
-        ("fig3-ex2", Box::new(|| fig3_ex2(&model, ex2_n, threads))),
-        ("fig3-ex3", Box::new(|| fig3_ex3(&model, ex3_n, threads))),
-        ("fig3-ex4", Box::new(|| fig3_ex4(&model, cholesky, threads))),
-        ("theorem1", Box::new(theorem1_table)),
-        ("corpus", Box::new(corpus_table)),
-        (
+        exp(
+            "fig3-ex2",
+            false,
+            Box::new(move || fig3_ex2(&model, ex2_n, threads)),
+        ),
+        exp(
+            "fig3-ex3",
+            false,
+            Box::new(move || fig3_ex3(&model, ex3_n, threads)),
+        ),
+        exp(
+            "fig3-ex4",
+            false,
+            Box::new(move || fig3_ex4(&model, cholesky, threads)),
+        ),
+        exp("theorem1", false, Box::new(theorem1_table)),
+        exp("corpus", false, Box::new(corpus_table)),
+        exp(
+            "analysis",
+            true,
+            Box::new(move || analysis_pipeline(threads)),
+        ),
+        exp(
             "measured",
+            true,
             Box::new(move || {
                 measured_speedups(
                     (m_ex1_n1, m_ex1_n2),
@@ -85,28 +133,38 @@ fn main() {
                     m_ex3_n,
                     cholesky_measured,
                     threads,
-                    3,
+                    7,
                 )
             }),
         ),
     ];
-    let known: Vec<&str> = experiments.iter().map(|(id, _)| *id).collect();
+    let known: Vec<&str> = experiments.iter().map(|e| e.id).collect();
 
     // `--json [path]`: the next argument is the output path unless it is a
     // flag or an experiment selector; with no path, BENCH_results.json.
-    let json_path = args.iter().position(|a| a == "--json").map(|k| {
-        args.get(k + 1)
-            .filter(|p| !p.starts_with("--") && !known.contains(&p.as_str()))
-            .cloned()
-            .unwrap_or_else(|| "BENCH_results.json".to_string())
-    });
+    let path_after = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|k| {
+            args.get(k + 1)
+                .filter(|p| !p.starts_with("--") && !known.contains(&p.as_str()))
+                .cloned()
+        })
+    };
+    let json_path = path_after("--json").map(|p| p.unwrap_or_else(|| "BENCH_results.json".into()));
+    // `--baseline <path>`: diff this run against a recorded result file.
+    let baseline_path = match path_after("--baseline") {
+        Some(Some(p)) => Some(p),
+        Some(None) => {
+            eprintln!("error: --baseline requires a path to a recorded results file");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+    let consumed_paths = [&json_path, &baseline_path];
+    let is_path_arg = |a: &String| consumed_paths.iter().any(|p| p.as_deref() == Some(a));
     // Reject unknown experiment selectors instead of silently running
     // nothing.
     for arg in &args {
-        if !arg.starts_with("--")
-            && Some(arg) != json_path.as_ref()
-            && !known.contains(&arg.as_str())
-        {
+        if !arg.starts_with("--") && !is_path_arg(arg) && !known.contains(&arg.as_str()) {
             eprintln!(
                 "error: unknown experiment id {arg:?} (known: {})",
                 known.join(", ")
@@ -116,22 +174,65 @@ fn main() {
     }
     let selected: Vec<&String> = args
         .iter()
-        .filter(|a| !a.starts_with("--") && Some(*a) != json_path.as_ref())
+        .filter(|a| !a.starts_with("--") && !is_path_arg(a))
         .collect();
     let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s.as_str() == id);
 
-    let mut reports: Vec<ExperimentReport> = Vec::new();
-    for (id, runner) in &mut experiments {
-        if want(id) {
-            eprintln!("running {id} ...");
-            let start = std::time::Instant::now();
-            let report = runner();
-            eprintln!("  done in {:.1}s", start.elapsed().as_secs_f64());
-            println!(
-                "==== {} — {} ====\n{}\n",
-                report.id, report.description, report.text
-            );
-            reports.push(report);
+    // Read the baseline up front so a bad path fails before any work runs.
+    let baseline = baseline_path.map(|path| {
+        let raw = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let parsed = rcp_json::Json::parse(&raw)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        (path, parsed)
+    });
+
+    // Run the concurrent batch first (streamed in completion order), then
+    // the timing-sensitive experiments serially on a quiet machine.
+    let workers = if serial {
+        1
+    } else {
+        rcp_runtime::pool::available_threads()
+    };
+    let stdout_gate = Mutex::new(());
+    let run_and_stream = |e: &&Experiment| {
+        let start = Instant::now();
+        let report = (e.run)();
+        let elapsed = start.elapsed().as_secs_f64();
+        let _gate = stdout_gate.lock().expect("stdout gate poisoned");
+        eprintln!("{} done in {elapsed:.1}s", e.id);
+        println!(
+            "==== {} — {} ====\n{}\n",
+            report.id, report.description, report.text
+        );
+        report
+    };
+    let concurrent: Vec<&Experiment> = experiments
+        .iter()
+        .filter(|e| !e.timing && want(e.id))
+        .collect();
+    let timing: Vec<&Experiment> = experiments
+        .iter()
+        .filter(|e| e.timing && want(e.id))
+        .collect();
+    eprintln!(
+        "running {} experiment(s) on {workers} worker(s), then {} timing experiment(s) serially ...",
+        concurrent.len(),
+        timing.len()
+    );
+    let mut reports: Vec<ExperimentReport> =
+        rcp_runtime::pool::par_map(workers, &concurrent, run_and_stream);
+    reports.extend(timing.iter().map(&run_and_stream));
+
+    // Deterministic --json output: sorted by experiment id, regardless of
+    // the completion order the run streamed in.
+    reports.sort_by(|a, b| a.id.cmp(&b.id));
+
+    if let Some((path, baseline)) = &baseline {
+        let diff = diff_against_baseline(&reports, baseline);
+        println!("==== baseline diff against {path} ====\n{}", diff.to_text());
+        if !diff.no_regressions() {
+            eprintln!("warning: speedup regressions beyond the noise band (see diff above)");
         }
     }
 

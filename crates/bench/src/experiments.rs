@@ -530,11 +530,19 @@ pub fn measured_speedups(
         reps,
     ));
 
+    let hardware_threads = rcp_runtime::pool::available_threads();
     let figure = SpeedupFigure {
         id: "measured".into(),
         workload: format!(
-            "measured wall clock, {} hardware threads available",
-            std::thread::available_parallelism().map_or(1, |n| n.get())
+            "measured wall clock, {} hardware thread{} available, requested up to {}{}",
+            hardware_threads,
+            if hardware_threads == 1 { "" } else { "s" },
+            max_threads,
+            if max_threads > hardware_threads {
+                " (oversubscribed thread counts skipped)"
+            } else {
+                ""
+            }
         ),
         series: measured.iter().map(|m| m.series.clone()).collect(),
     };
@@ -557,11 +565,218 @@ pub fn measured_speedups(
         "workload": figure.workload,
         "measured": true,
         "all_verified": all_verified,
+        "hardware_threads": hardware_threads,
+        "requested_threads": max_threads,
         "series": measured.iter().map(MeasuredSeries::to_json).collect::<Vec<_>>(),
     });
     ExperimentReport::new(
         "measured",
         "Measured (not modelled) ParallelExecutor speedups on examples 1-4",
+        text,
+        data,
+    )
+}
+
+/// E-A1 — the dependence-analysis pipeline itself: what the memoised
+/// HNF/diophantine solver saves on *repeated* corpus classification, and
+/// how the sharded analysis scales (with its results verified identical to
+/// the single-threaded analysis on examples 1–4).
+///
+/// Two measurements:
+///
+/// 1. **Solver cache.**  Every reference-pair dependence system of a
+///    synthetic corpus is solved twice on one thread — a cold pass from an
+///    empty cache and a warm pass — once through the full analysis front
+///    end and once isolating the solver stage the cache memoises.  Hit/miss
+///    counters come from [`rcp_intlin::solver_cache_stats`].
+/// 2. **Sharding.**  Wall clock of `DependenceAnalysis` on examples 1–3 and
+///    of the Cholesky dependence trace for 1..=`max_threads` shards, with
+///    every sharded result checked piece-for-piece / edge-for-edge against
+///    the single-threaded one.
+pub fn analysis_pipeline(max_threads: usize) -> ExperimentReport {
+    use rcp_depend::{dependence_system, Granularity};
+    use rcp_intlin::{reset_solver_cache, solve_linear_system_cached, solver_cache_stats};
+    use rcp_workloads::{random_nest, SmallRng};
+
+    let ms = |start: Instant| start.elapsed().as_secs_f64() * 1e3;
+
+    // --- 1. The solver cache on repeated corpus classification. ---
+    let n_nests = 400;
+    let mut rng = SmallRng::seed_from_u64(2004);
+    let nests: Vec<_> = (0..n_nests)
+        .map(|id| random_nest(&mut rng, 0.45, id))
+        .collect();
+
+    // Best-of-3 minima throughout: wall-clock noise is strictly additive,
+    // and a cold pass is made cold again by resetting the cache.
+    let best_of = |reps: usize, mut pass: Box<dyn FnMut() -> f64 + '_>| {
+        (0..reps.max(1))
+            .map(|_| pass())
+            .fold(f64::INFINITY, f64::min)
+    };
+    let analyze_pass = || {
+        let start = Instant::now();
+        for nest in &nests {
+            let _ = DependenceAnalysis::analyze_with_threads(nest, Granularity::LoopLevel, 1);
+        }
+        ms(start)
+    };
+    let analyze_cold_ms = best_of(
+        3,
+        Box::new(|| {
+            reset_solver_cache();
+            analyze_pass()
+        }),
+    );
+    // The last cold pass left the cache populated: warm passes hit.
+    let analyze_warm_ms = best_of(3, Box::new(analyze_pass));
+    let analyze_stats = solver_cache_stats();
+
+    // The solver stage in isolation: the *distinct* systems the corpus
+    // screens (duplicates removed, so the cold pass is all misses and the
+    // warm pass all hits — the intra-pass duplicate hits that already help
+    // the cold pass are accounted for by the hit rate above).
+    let mut seen = std::collections::HashSet::new();
+    let systems: Vec<(rcp_intlin::IMat, Vec<i64>)> = nests
+        .iter()
+        .flat_map(|nest| {
+            let stmts = nest.statements();
+            let info = &stmts[0];
+            let w = nest.loop_access(info, &info.stmt.refs[0]);
+            let r = nest.loop_access(info, &info.stmt.refs[1]);
+            [dependence_system(&w, &w), dependence_system(&w, &r)]
+        })
+        .filter(|system| seen.insert(system.clone()))
+        .collect();
+    let solver_pass = || {
+        let start = Instant::now();
+        for (m, rhs) in &systems {
+            let _ = solve_linear_system_cached(m, rhs);
+        }
+        ms(start)
+    };
+    let solver_cold_ms = best_of(
+        3,
+        Box::new(|| {
+            reset_solver_cache();
+            solver_pass()
+        }),
+    );
+    let solver_warm_ms = best_of(3, Box::new(solver_pass));
+    let solver_stats = solver_cache_stats();
+
+    // --- 2. Sharded analysis scaling, verified against 1 thread. ---
+    struct ShardedRow {
+        name: &'static str,
+        ms_per_threads: Vec<f64>,
+        identical: bool,
+    }
+    let mut rows: Vec<ShardedRow> = Vec::new();
+    let analysis_workloads = [
+        ("ex1-analysis", example1(), Granularity::LoopLevel),
+        ("ex2-analysis", example2(), Granularity::LoopLevel),
+        ("ex3-analysis", example3(), Granularity::StatementLevel),
+    ];
+    for (name, program, granularity) in analysis_workloads {
+        let start = Instant::now();
+        let reference = DependenceAnalysis::analyze_with_threads(&program, granularity, 1);
+        let mut ms_per_threads = vec![ms(start)];
+        let reference_relation = format!("{:?}", reference.relation);
+        let mut identical = true;
+        for threads in 2..=max_threads.max(1) {
+            let start = Instant::now();
+            let sharded = DependenceAnalysis::analyze_with_threads(&program, granularity, threads);
+            ms_per_threads.push(ms(start));
+            identical &= format!("{:?}", sharded.relation) == reference_relation;
+        }
+        rows.push(ShardedRow {
+            name,
+            ms_per_threads,
+            identical,
+        });
+    }
+    let cholesky = example4_cholesky().bind_params(
+        &CholeskyParams {
+            nmat: 10,
+            m: 4,
+            n: 20,
+            nrhs: 2,
+        }
+        .as_vec(),
+    );
+    let start = Instant::now();
+    let reference = rcp_depend::trace_dependence_graph_with_threads(&cholesky, &[], 1);
+    let mut ms_per_threads = vec![ms(start)];
+    let mut identical = true;
+    for threads in 2..=max_threads.max(1) {
+        let start = Instant::now();
+        let sharded = rcp_depend::trace_dependence_graph_with_threads(&cholesky, &[], threads);
+        ms_per_threads.push(ms(start));
+        identical &= sharded.edges == reference.edges && sharded.instances == reference.instances;
+    }
+    rows.push(ShardedRow {
+        name: "ex4-trace",
+        ms_per_threads,
+        identical,
+    });
+
+    // --- Report. ---
+    let solver_speedup = solver_cold_ms / solver_warm_ms.max(1e-9);
+    let analyze_speedup = analyze_cold_ms / analyze_warm_ms.max(1e-9);
+    let mut text = format!(
+        "solver cache on repeated corpus classification ({n_nests} nests, 1 thread):\n\
+           full analysis   cold {analyze_cold_ms:.2} ms   warm {analyze_warm_ms:.2} ms   \
+         speedup {analyze_speedup:.2}x\n\
+           solver stage    cold {solver_cold_ms:.3} ms   warm {solver_warm_ms:.3} ms   \
+         speedup {solver_speedup:.1}x   ({} distinct systems)\n\
+           cache hit rate {:.1}% ({} hits / {} lookups)\n\n\
+         sharded analysis wall clock (ms per thread count, {} hardware threads):\n",
+        systems.len(),
+        analyze_stats.hit_rate() * 100.0,
+        analyze_stats.hnf_hits + analyze_stats.dio_hits,
+        analyze_stats.lookups(),
+        rcp_runtime::pool::available_threads(),
+    );
+    text.push_str(&format!("{:<14}", "workload"));
+    for t in 1..=max_threads.max(1) {
+        text.push_str(&format!("{:>10}", format!("{t} thr")));
+    }
+    text.push_str("  identical\n");
+    for row in &rows {
+        text.push_str(&format!("{:<14}", row.name));
+        for v in &row.ms_per_threads {
+            text.push_str(&format!("{:>10.2}", v));
+        }
+        text.push_str(&format!("  {}\n", if row.identical { "yes" } else { "NO" }));
+    }
+    let all_identical = rows.iter().all(|r| r.identical);
+    let data = json!({
+        "corpus_nests": n_nests,
+        "cache": json!({
+            "analyze_cold_ms": analyze_cold_ms,
+            "analyze_warm_ms": analyze_warm_ms,
+            "analyze_speedup": analyze_speedup,
+            "solver_cold_ms": solver_cold_ms,
+            "solver_warm_ms": solver_warm_ms,
+            "solver_speedup": solver_speedup,
+            "distinct_systems": systems.len(),
+            "hit_rate": analyze_stats.hit_rate(),
+            "hnf_hits": analyze_stats.hnf_hits,
+            "hnf_misses": analyze_stats.hnf_misses,
+            "dio_hits": analyze_stats.dio_hits,
+            "dio_misses": analyze_stats.dio_misses,
+            "solver_stage_hit_rate": solver_stats.hit_rate(),
+        }),
+        "sharded": rows.iter().map(|r| json!({
+            "workload": r.name,
+            "ms_per_threads": r.ms_per_threads,
+            "identical": r.identical,
+        })).collect::<Vec<_>>(),
+        "all_identical": all_identical,
+    });
+    ExperimentReport::new(
+        "analysis",
+        "Dependence-analysis pipeline: solver-cache effect and sharded-analysis scaling",
         text,
         data,
     )
@@ -769,6 +984,24 @@ mod tests {
         let steps = report.data["steps"].as_u64().unwrap();
         assert!(steps > 5);
         assert!(steps < report.data["instances"].as_u64().unwrap());
+    }
+
+    #[test]
+    fn analysis_pipeline_reports_cache_and_sharding() {
+        let report = analysis_pipeline(2);
+        // Sharded results must be identical to single-threaded, always.
+        assert_eq!(report.data["all_identical"], true);
+        assert_eq!(report.data["sharded"].as_array().unwrap().len(), 4);
+        // The warm solver pass answers (almost) everything from the cache.
+        let cache = &report.data["cache"];
+        assert!(cache["hit_rate"].as_f64().unwrap() > 0.5);
+        // Warm must not be slower than cold beyond scheduling noise; the
+        // real ≥2x solver-stage margin is recorded by the experiment run
+        // (BENCH_results.json), not asserted here where CI noise rules.
+        assert!(
+            cache["solver_speedup"].as_f64().unwrap() > 1.0,
+            "warm solver pass must beat the cold pass"
+        );
     }
 
     #[test]

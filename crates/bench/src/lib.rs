@@ -6,6 +6,9 @@
 //!   [`experiments::ExperimentReport`] with a text table and JSON payload.
 //! * [`speedup`] — speedup-series helpers and the analytic phase-shape
 //!   model used for workloads too large to materialise point-by-point.
+//! * [`baseline`] — `--baseline old.json` diffing: per-experiment speedup
+//!   deltas against a recorded `BENCH_results.json` (run by CI against the
+//!   committed baseline).
 //! * the `paper_results` binary drives everything and is what EXPERIMENTS.md
 //!   records; `cargo bench` runs the Criterion micro-benchmarks measuring
 //!   the cost of the analyses and partitioning algorithms themselves.
@@ -13,9 +16,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod speedup;
 
+pub use baseline::{diff_against_baseline, BaselineDiff, SchemeDelta};
 pub use experiments::{calibrated_model, ExperimentReport};
 pub use speedup::{
     measured_speedup, phases_speedup, phases_time_ns, MeasuredSeries, PhaseShape, SpeedupFigure,

@@ -147,6 +147,11 @@ impl MeasuredSeries {
 /// Measures the real wall-clock speedup of `parallel` over `sequential` for
 /// `1..=max_threads` workers.
 ///
+/// Thread counts above `std::thread::available_parallelism()` are skipped —
+/// timing an oversubscribed pool measures scheduler thrash, not the
+/// schedule — so the returned series may be shorter than `max_threads`
+/// (callers report the hardware width alongside).
+///
 /// Every timing is the best of `reps` runs (minimum is the standard
 /// estimator for wall-clock microbenchmarks — noise is strictly additive).
 /// Verification per thread count: one untimed execution runs with race
@@ -154,7 +159,12 @@ impl MeasuredSeries {
 /// against the sequential store (the comparison happens outside the timed
 /// window).  Timed runs themselves use the trusted-schedule fast path, so
 /// a race that only manifests under a timed run's interleaving shows up as
-/// a store mismatch rather than a reported race.
+/// a store mismatch rather than a reported race.  Both executors get a
+/// cost model calibrated from the sequential measurement itself, so the
+/// sequential-fallback decision reflects this machine's real per-instance
+/// cost: schedules too small to amortise pool overhead run inline and the
+/// measured "speedup" stays at ~1 instead of regressing below the
+/// sequential baseline.
 pub fn measured_speedup(
     scheme: &str,
     sequential: &Schedule,
@@ -164,28 +174,45 @@ pub fn measured_speedup(
     reps: usize,
 ) -> MeasuredSeries {
     let reps = reps.max(1);
-    let mut reference = None;
+    // One untimed warm-up execution first: the very first run pays
+    // allocator and cache warm-up that neither side should be charged for.
+    let reference = execute_sequential(sequential, kernel);
     let mut sequential_ns = f64::INFINITY;
-    for _ in 0..reps {
+    let time_sequential = |sequential_ns: &mut f64| {
         let start = Instant::now();
         let store = execute_sequential(sequential, kernel);
-        sequential_ns = sequential_ns.min(start.elapsed().as_nanos() as f64);
-        reference.get_or_insert(store);
+        *sequential_ns = sequential_ns.min(start.elapsed().as_nanos() as f64);
+        store
+    };
+    // Best-of-reps before calibrating: a single sample would let one load
+    // spike inflate the model and mis-steer the fallback decision.
+    for _ in 0..reps {
+        let _ = time_sequential(&mut sequential_ns);
     }
-    let reference = reference.expect("reps >= 1");
+    let model = CostModel::calibrated(sequential_ns, sequential.n_instances());
 
+    let hardware_threads = rcp_runtime::pool::available_threads();
+    let max_threads = max_threads.min(hardware_threads).max(1);
     let mut verified = true;
     let mut parallel_ns = Vec::with_capacity(max_threads);
     for threads in 1..=max_threads {
         // One untimed validation run with race detection on…
-        let checked = ParallelExecutor::new(threads).execute(parallel, kernel);
+        let checked = ParallelExecutor::new(threads)
+            .with_cost_model(model)
+            .execute(parallel, kernel);
         verified &= checked.race_free() && reference.diff(&checked.store, 0.0).is_empty();
         // …then timed runs on the trusted-schedule fast path (no per-unit
         // race bookkeeping — the configuration real production use would
         // pick once a schedule is validated).
-        let executor = ParallelExecutor::new(threads).with_race_detection(false);
+        let executor = ParallelExecutor::new(threads)
+            .with_race_detection(false)
+            .with_cost_model(model);
         let mut best = f64::INFINITY;
         for _rep in 0..reps {
+            // Interleave a sequential timing with every parallel timing so
+            // machine-load drift over the measurement window affects both
+            // minima equally instead of skewing the ratio.
+            let _ = time_sequential(&mut sequential_ns);
             let result = executor.execute(parallel, kernel);
             best = best.min(result.total_time.as_nanos() as f64);
             verified &= reference.diff(&result.store, 0.0).is_empty();

@@ -13,8 +13,22 @@
 //! `Rd` always points forward in execution order, so `dom Rd` are iterations
 //! with a successor and `ran Rd` are iterations with a predecessor — exactly
 //! the sets the three-set partitioning of §3.1 operates on.
+//!
+//! # Sharding and screening
+//!
+//! Reference pairs are independent of each other, so the per-pair work —
+//! screening, building the convex pieces of both directions — is sharded
+//! over OS threads with [`rcp_pool::par_map`]
+//! ([`DependenceAnalysis::analyze_with_threads`]); results come back in
+//! pair order, so the assembled relation is identical to the
+//! single-threaded one piece for piece.  Before any piece is built, the
+//! dependence equation `i·A + a = j·B + b` is solved as a linear
+//! diophantine system through the memoised solver
+//! ([`rcp_intlin::solve_linear_system_cached`]): when it has no integer
+//! solution at all, the pair can induce no dependence in either direction
+//! and is skipped outright ([`DependenceAnalysis::n_screened_pairs`]).
 
-use rcp_intlin::IMat;
+use rcp_intlin::{solve_linear_system_cached, IMat, IVec};
 use rcp_loopir::{AccessMap, Program, StatementInfo};
 use rcp_presburger::{Constraint, ConvexSet, Relation, Space, UnionSet};
 
@@ -83,18 +97,66 @@ pub struct DependenceAnalysis {
     pub relation: Relation,
     /// The reference pairs that contributed to `Rd`.
     pub pairs: Vec<RefPair>,
+    /// Reference pairs proven dependence-free by the diophantine screen
+    /// (their dependence equation has no integer solution), for which no
+    /// relation pieces were built.
+    pub n_screened_pairs: usize,
 }
 
 impl DependenceAnalysis {
-    /// Runs the analysis at the requested granularity.
+    /// Below this many reference pairs the default [`Self::analyze`] stays
+    /// single-threaded: a couple of pairs finish faster inline than the
+    /// first worker thread takes to spawn.
+    pub const PAR_ANALYSIS_MIN_PAIRS: usize = 4;
+
+    /// Runs the analysis at the requested granularity, sharding the
+    /// per-pair work over all available hardware threads when the program
+    /// has enough reference pairs to amortise thread spawning (the result
+    /// is identical to the single-threaded analysis either way — see
+    /// [`Self::analyze_with_threads`]).
     ///
     /// # Panics
     /// Panics when `LoopLevel` is requested for a program that is not a
     /// perfect loop nest.
     pub fn analyze(program: &Program, granularity: Granularity) -> DependenceAnalysis {
+        let pairs = reference_pairs(program);
+        let threads = if pairs.len() >= Self::PAR_ANALYSIS_MIN_PAIRS {
+            rcp_pool::available_threads()
+        } else {
+            1
+        };
+        Self::analyze_pairs(program, granularity, threads, pairs)
+    }
+
+    /// Runs the analysis with the per-reference-pair work sharded over
+    /// `n_threads` OS threads (1 runs inline on the caller).
+    ///
+    /// Pairs are distributed dynamically but per-pair piece lists are
+    /// reassembled in pair order, so the resulting relation does not depend
+    /// on the thread count.
+    ///
+    /// # Panics
+    /// Panics when `LoopLevel` is requested for a program that is not a
+    /// perfect loop nest.
+    pub fn analyze_with_threads(
+        program: &Program,
+        granularity: Granularity,
+        n_threads: usize,
+    ) -> DependenceAnalysis {
+        Self::analyze_pairs(program, granularity, n_threads, reference_pairs(program))
+    }
+
+    /// The shared entry point: pairs are enumerated exactly once by the
+    /// caller (the default path also needs them for its threading gate).
+    fn analyze_pairs(
+        program: &Program,
+        granularity: Granularity,
+        n_threads: usize,
+        pairs: Vec<RefPair>,
+    ) -> DependenceAnalysis {
         match granularity {
-            Granularity::LoopLevel => analyze_loop_level(program),
-            Granularity::StatementLevel => analyze_statement_level(program),
+            Granularity::LoopLevel => analyze_loop_level(program, n_threads, pairs),
+            Granularity::StatementLevel => analyze_statement_level(program, n_threads, pairs),
         }
     }
 
@@ -234,7 +296,88 @@ fn dependence_pieces(
         .collect()
 }
 
-fn analyze_loop_level(program: &Program) -> DependenceAnalysis {
+/// The dependence equation of a reference pair as a linear diophantine
+/// system over the stacked unknown `(x, y)` (`x` the iteration of `acc1`,
+/// `y` of `acc2`): one equation per subscript dimension,
+/// `Σ_r A[r][d]·x_r − Σ_r B[r][d]·y_r = b_d − a_d`.
+pub fn dependence_system(acc1: &AccessMap, acc2: &AccessMap) -> (IMat, IVec) {
+    assert_eq!(
+        acc1.matrix.cols(),
+        acc2.matrix.cols(),
+        "array rank mismatch"
+    );
+    let n1 = acc1.matrix.rows();
+    let n2 = acc2.matrix.rows();
+    let rank = acc1.matrix.cols();
+    let mut m = IMat::zeros(rank, n1 + n2);
+    let mut rhs = vec![0i64; rank];
+    for d in 0..rank {
+        for r in 0..n1 {
+            m[(d, r)] = acc1.matrix[(r, d)];
+        }
+        for r in 0..n2 {
+            m[(d, n1 + r)] = -acc2.matrix[(r, d)];
+        }
+        rhs[d] = acc2.offset[d] - acc1.offset[d];
+    }
+    (m, rhs)
+}
+
+/// True when the dependence equation of the pair has at least one integer
+/// solution (ignoring iteration-space bounds).  When it does not, the pair
+/// induces no dependence in either direction — `(x, y)` solves one
+/// direction iff `(y, x)` solves the other — so the whole pair can be
+/// skipped.  Solves go through the memoised solver, so re-analyses and
+/// corpus sweeps answer this from the cache.
+pub fn pair_may_depend(acc1: &AccessMap, acc2: &AccessMap) -> bool {
+    let (m, rhs) = dependence_system(acc1, acc2);
+    solve_linear_system_cached(&m, &rhs).is_some()
+}
+
+/// Builds the pieces contributed by one reference pair: the diophantine
+/// screen first, then both directions of the dependence relation.  Returns
+/// `None` when the pair was screened out.
+#[allow(clippy::too_many_arguments)]
+fn pair_relation_pieces(
+    pair_space: &Space,
+    dim: usize,
+    pair: &RefPair,
+    acc1: &AccessMap,
+    set1: &ConvexSet,
+    acc2: &AccessMap,
+    set2: &ConvexSet,
+) -> Option<Vec<ConvexSet>> {
+    if !pair_may_depend(acc1, acc2) {
+        return None;
+    }
+    // Direction 1: the src end is an instance of ref1, the dst of ref2.
+    let mut pieces = dependence_pieces(pair_space, dim, acc1, set1, acc2, set2);
+    // Direction 2 (skip when the two references are the same one).
+    if !(pair.src_stmt == pair.dst_stmt && pair.src_ref == pair.dst_ref) {
+        pieces.extend(dependence_pieces(pair_space, dim, acc2, set2, acc1, set1));
+    }
+    Some(pieces)
+}
+
+/// Flattens per-pair piece lists in pair order (deterministic regardless of
+/// which thread built which pair) and counts screened pairs.
+fn assemble_pieces(per_pair: Vec<Option<Vec<ConvexSet>>>) -> (Vec<ConvexSet>, usize) {
+    let mut pieces = Vec::new();
+    let mut n_screened = 0;
+    for entry in per_pair {
+        match entry {
+            Some(p) => pieces.extend(p),
+            None => n_screened += 1,
+        }
+    }
+    (pieces, n_screened)
+}
+
+fn analyze_loop_level(
+    program: &Program,
+    n_threads: usize,
+    pairs: Vec<RefPair>,
+) -> DependenceAnalysis {
     assert!(
         program.is_perfect_nest(),
         "loop-level dependence analysis requires a perfect loop nest"
@@ -245,35 +388,23 @@ fn analyze_loop_level(program: &Program) -> DependenceAnalysis {
     let phi_convex = program.loop_iteration_set();
     let phi = UnionSet::from_convex(phi_convex.clone());
     let stmts = program.statements();
-    let pairs = reference_pairs(program);
 
-    let mut pieces: Vec<ConvexSet> = Vec::new();
-    for pair in &pairs {
+    let per_pair = rcp_pool::par_map(n_threads, &pairs, |pair| {
         let info1: &StatementInfo = &stmts[pair.src_stmt];
         let info2: &StatementInfo = &stmts[pair.dst_stmt];
         let acc1 = program.loop_access(info1, &info1.stmt.refs[pair.src_ref]);
         let acc2 = program.loop_access(info2, &info2.stmt.refs[pair.dst_ref]);
-        // Direction 1: the src end is an instance of ref1, the dst of ref2.
-        pieces.extend(dependence_pieces(
+        pair_relation_pieces(
             &pair_space,
             dim,
+            pair,
             &acc1,
             &phi_convex,
             &acc2,
             &phi_convex,
-        ));
-        // Direction 2 (skip when the two references are the same one).
-        if !(pair.src_stmt == pair.dst_stmt && pair.src_ref == pair.dst_ref) {
-            pieces.extend(dependence_pieces(
-                &pair_space,
-                dim,
-                &acc2,
-                &phi_convex,
-                &acc1,
-                &phi_convex,
-            ));
-        }
-    }
+        )
+    });
+    let (pieces, n_screened_pairs) = assemble_pieces(per_pair);
     let relation = Relation::new(dim, dim, UnionSet::from_pieces(pair_space.clone(), pieces));
     DependenceAnalysis {
         program: program.clone(),
@@ -284,44 +415,31 @@ fn analyze_loop_level(program: &Program) -> DependenceAnalysis {
         phi,
         relation,
         pairs,
+        n_screened_pairs,
     }
 }
 
-fn analyze_statement_level(program: &Program) -> DependenceAnalysis {
+fn analyze_statement_level(
+    program: &Program,
+    n_threads: usize,
+    pairs: Vec<RefPair>,
+) -> DependenceAnalysis {
     let space = program.unified_space();
     let dim = space.dim();
     let pair_space = pair_space_of(&space);
     let phi = program.unified_iteration_space();
     let stmts = program.statements();
-    let pairs = reference_pairs(program);
 
-    let mut pieces: Vec<ConvexSet> = Vec::new();
-    for pair in &pairs {
+    let per_pair = rcp_pool::par_map(n_threads, &pairs, |pair| {
         let info1: &StatementInfo = &stmts[pair.src_stmt];
         let info2: &StatementInfo = &stmts[pair.dst_stmt];
         let acc1 = program.unified_access(info1, &info1.stmt.refs[pair.src_ref]);
         let acc2 = program.unified_access(info2, &info2.stmt.refs[pair.dst_ref]);
         let set1 = program.statement_instance_set(info1);
         let set2 = program.statement_instance_set(info2);
-        pieces.extend(dependence_pieces(
-            &pair_space,
-            dim,
-            &acc1,
-            &set1,
-            &acc2,
-            &set2,
-        ));
-        if !(pair.src_stmt == pair.dst_stmt && pair.src_ref == pair.dst_ref) {
-            pieces.extend(dependence_pieces(
-                &pair_space,
-                dim,
-                &acc2,
-                &set2,
-                &acc1,
-                &set1,
-            ));
-        }
-    }
+        pair_relation_pieces(&pair_space, dim, pair, &acc1, &set1, &acc2, &set2)
+    });
+    let (pieces, n_screened_pairs) = assemble_pieces(per_pair);
     let relation = Relation::new(dim, dim, UnionSet::from_pieces(pair_space.clone(), pieces));
     DependenceAnalysis {
         program: program.clone(),
@@ -332,6 +450,7 @@ fn analyze_statement_level(program: &Program) -> DependenceAnalysis {
         phi,
         relation,
         pairs,
+        n_screened_pairs,
     }
 }
 
@@ -537,6 +656,76 @@ mod tests {
         // some instances at N = 30 (e.g. the paper generates a non-empty P3
         // for N >= 30), so the relation must not be empty.
         assert!(!dense.is_empty(), "example 3 has dependences at N=30");
+    }
+
+    #[test]
+    fn sharded_analysis_is_identical_to_single_threaded() {
+        for (program, granularity) in [
+            (example1(), Granularity::LoopLevel),
+            (figure2(), Granularity::LoopLevel),
+            (example1(), Granularity::StatementLevel),
+        ] {
+            let reference = DependenceAnalysis::analyze_with_threads(&program, granularity, 1);
+            for threads in [2, 3, 4] {
+                let sharded =
+                    DependenceAnalysis::analyze_with_threads(&program, granularity, threads);
+                assert_eq!(
+                    format!("{:?}", reference.relation),
+                    format!("{:?}", sharded.relation),
+                    "{} at {granularity:?} with {threads} threads must match",
+                    program.name
+                );
+                assert_eq!(reference.pairs, sharded.pairs);
+                assert_eq!(reference.n_screened_pairs, sharded.n_screened_pairs);
+            }
+        }
+    }
+
+    #[test]
+    fn diophantine_screen_skips_parity_independent_pairs() {
+        // a(2I) = a(2I + 1): even vs odd elements never meet; the write/read
+        // pair is screened, the write/write and read/read pairs are not.
+        let p = Program::new(
+            "parity",
+            &["N"],
+            vec![loop_(
+                "I",
+                c(1),
+                v("N"),
+                vec![stmt(
+                    "S",
+                    vec![
+                        ArrayRef::write("a", vec![v("I") * 2]),
+                        ArrayRef::read("a", vec![v("I") * 2 + c(1)]),
+                    ],
+                )],
+            )],
+        );
+        let analysis = DependenceAnalysis::loop_level(&p);
+        assert_eq!(analysis.n_screened_pairs, 1, "write/read pair screened");
+        let (_, rel) = analysis.bind_params(&[10]);
+        assert!(DenseRelation::from_relation(&rel).is_empty());
+        // The screen must never fire for a pair with real dependences.
+        let analysis = DependenceAnalysis::loop_level(&example1());
+        assert_eq!(analysis.n_screened_pairs, 0);
+    }
+
+    #[test]
+    fn dependence_system_matches_the_paper_equation() {
+        // Example 1 (eq. 3) as built by dependence_system must equal the
+        // hand-written system of the diophantine tests.
+        let p = example1();
+        let stmts = p.statements();
+        let info = &stmts[0];
+        let w = p.loop_access(info, &info.stmt.refs[0]);
+        let r = p.loop_access(info, &info.stmt.refs[1]);
+        let (m, rhs) = dependence_system(&w, &r);
+        assert_eq!(
+            m,
+            rcp_intlin::IMat::from_rows(&[vec![3, 0, -1, 0], vec![2, 1, 0, -1]])
+        );
+        assert_eq!(rhs, vec![2, 2]);
+        assert!(pair_may_depend(&w, &r));
     }
 
     #[test]

@@ -42,9 +42,12 @@ pub mod distance;
 pub mod screening;
 pub mod trace;
 
-pub use analysis::{is_coupled_access, CoupledPair, DependenceAnalysis, Granularity, RefPair};
+pub use analysis::{
+    dependence_system, is_coupled_access, pair_may_depend, CoupledPair, DependenceAnalysis,
+    Granularity, RefPair,
+};
 pub use distance::{
     classify_analysis, classify_uniformity, distance_set, syntactically_uniform, Uniformity,
 };
 pub use screening::{banerjee_test, gcd_test, Screening};
-pub use trace::{trace_dependence_graph, TracedGraph};
+pub use trace::{trace_dependence_graph, trace_dependence_graph_with_threads, TracedGraph};

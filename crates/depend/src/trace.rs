@@ -46,24 +46,34 @@ impl TracedGraph {
     }
 }
 
+/// Below this many statement instances the default
+/// [`trace_dependence_graph`] stays single-threaded: the walk finishes
+/// faster inline than the worker threads take to spawn.
+pub const PAR_TRACE_MIN_INSTANCES: usize = 16 * 1024;
+
 /// Traces the memory-based dependence graph of a program at concrete
-/// parameter values.
+/// parameter values, sharding the instance walk over all available
+/// hardware threads when the instance count is large enough to amortise
+/// thread spawning (see [`trace_dependence_graph_with_threads`]; the graph
+/// is identical either way).
 ///
 /// Parameters are bound into the program first, so subscripts that mention
 /// a symbolic parameter (e.g. the `K = N − KD` normalisation of a
 /// descending loop) are handled transparently.
 pub fn trace_dependence_graph(program: &Program, params: &[i64]) -> TracedGraph {
-    let bound;
-    let program = if params.is_empty() {
-        program
-    } else {
-        bound = program.bind_params(params);
-        &bound
-    };
-    let instances = program.enumerate_instances(&[]);
-    // Pre-compute the access maps of every statement.
-    let stmts = program.statements();
-    let accesses: Vec<(Vec<AccessMap>, Vec<AccessMap>)> = stmts
+    trace_with(program, params, |n_instances| {
+        if n_instances >= PAR_TRACE_MIN_INSTANCES {
+            rcp_pool::available_threads()
+        } else {
+            1
+        }
+    })
+}
+
+/// Per-statement access maps, writes and reads separated.
+fn statement_accesses(program: &Program) -> Vec<(Vec<AccessMap>, Vec<AccessMap>)> {
+    program
+        .statements()
         .iter()
         .map(|info| {
             let mut writes = Vec::new();
@@ -78,49 +88,172 @@ pub fn trace_dependence_graph(program: &Program, params: &[i64]) -> TracedGraph 
             }
             (writes, reads)
         })
-        .collect();
+        .collect()
+}
 
-    #[derive(Default)]
-    struct ElementState {
-        last_write: Option<u32>,
-        reads_since: Vec<u32>,
+/// Deterministic interning of array names (program order of first use).
+fn array_id_table(accesses: &[(Vec<AccessMap>, Vec<AccessMap>)]) -> HashMap<String, usize> {
+    let mut ids = HashMap::new();
+    for (writes, reads) in accesses {
+        for acc in writes.iter().chain(reads) {
+            let next = ids.len();
+            ids.entry(acc.array.clone()).or_insert(next);
+        }
     }
-    let mut state: HashMap<(usize, IVec), ElementState> = HashMap::new();
-    // Array names interned to indices for the element key.
-    let mut array_ids: HashMap<String, usize> = HashMap::new();
-    let mut edges: Vec<(u32, u32)> = Vec::new();
+    ids
+}
 
-    for (pos, (stmt, indices)) in instances.iter().enumerate() {
+/// Per-element access state accumulated while walking instances in order.
+#[derive(Clone, Default)]
+struct ElementState {
+    last_write: Option<u32>,
+    reads_since: Vec<u32>,
+}
+
+/// What one shard (a contiguous range of statement instances) records about
+/// one array element, for the cross-shard merge.
+#[derive(Clone, Default)]
+struct ShardElement {
+    /// Reads that happened before the shard's first write of the element.
+    prefix_reads: Vec<u32>,
+    /// The shard's first write of the element.
+    first_write: Option<u32>,
+    /// The running state at the end of the shard (last write, reads since).
+    tail: ElementState,
+}
+
+/// The edges local to one instance range plus its per-element boundary
+/// summaries.
+struct ShardTrace {
+    edges: Vec<(u32, u32)>,
+    elements: HashMap<(usize, IVec), ShardElement>,
+}
+
+/// Walks one contiguous range of statement instances exactly like the
+/// sequential tracer, but starting from empty element state; edges whose
+/// source lies before the range are recovered later from the per-element
+/// summaries.
+fn trace_shard(
+    instances: &[(usize, IVec)],
+    range: std::ops::Range<usize>,
+    accesses: &[(Vec<AccessMap>, Vec<AccessMap>)],
+    array_ids: &HashMap<String, usize>,
+) -> ShardTrace {
+    let mut elements: HashMap<(usize, IVec), ShardElement> = HashMap::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for pos in range {
+        let (stmt, indices) = &instances[pos];
         let pos = pos as u32;
         let (writes, reads) = &accesses[*stmt];
         // reads first (they read values produced before this instance)
         for acc in reads {
-            let next_id = array_ids.len();
-            let aid = *array_ids.entry(acc.array.clone()).or_insert(next_id);
-            let element = (aid, acc.apply(indices));
-            let entry = state.entry(element).or_default();
-            if let Some(w) = entry.last_write {
+            let aid = array_ids[&acc.array];
+            let entry = elements.entry((aid, acc.apply(indices))).or_default();
+            if let Some(w) = entry.tail.last_write {
                 edges.push((w, pos)); // flow
             }
-            entry.reads_since.push(pos);
+            if entry.first_write.is_none() {
+                entry.prefix_reads.push(pos);
+            }
+            entry.tail.reads_since.push(pos);
         }
         for acc in writes {
-            let next_id = array_ids.len();
-            let aid = *array_ids.entry(acc.array.clone()).or_insert(next_id);
-            let element = (aid, acc.apply(indices));
-            let entry = state.entry(element).or_default();
-            if let Some(w) = entry.last_write {
+            let aid = array_ids[&acc.array];
+            let entry = elements.entry((aid, acc.apply(indices))).or_default();
+            if let Some(w) = entry.tail.last_write {
                 if w != pos {
                     edges.push((w, pos)); // output
                 }
             }
-            for &r in &entry.reads_since {
+            for &r in &entry.tail.reads_since {
                 if r != pos {
                     edges.push((r, pos)); // anti
                 }
             }
-            entry.last_write = Some(pos);
-            entry.reads_since.clear();
+            entry.first_write.get_or_insert(pos);
+            entry.tail.last_write = Some(pos);
+            entry.tail.reads_since.clear();
+        }
+    }
+    ShardTrace { edges, elements }
+}
+
+/// Traces the memory-based dependence graph with the statement-instance
+/// walk sharded over `n_threads` OS threads.
+///
+/// Each shard traces a contiguous instance range independently; the shards
+/// are then merged left to right, carrying the per-element "last writer /
+/// reads since" state across shard boundaries so that cross-shard flow,
+/// anti and output edges are recovered exactly.  The resulting graph is
+/// identical to the single-threaded trace for every thread count (edges
+/// are sorted and deduplicated either way).
+pub fn trace_dependence_graph_with_threads(
+    program: &Program,
+    params: &[i64],
+    n_threads: usize,
+) -> TracedGraph {
+    trace_with(program, params, |_| n_threads)
+}
+
+/// The trace core; `choose_threads` picks the shard count once the
+/// instance count is known (the default entry point goes single-threaded
+/// below [`PAR_TRACE_MIN_INSTANCES`], the explicit one uses its argument).
+fn trace_with(
+    program: &Program,
+    params: &[i64],
+    choose_threads: impl FnOnce(usize) -> usize,
+) -> TracedGraph {
+    let bound;
+    let program = if params.is_empty() {
+        program
+    } else {
+        bound = program.bind_params(params);
+        &bound
+    };
+    let instances = program.enumerate_instances(&[]);
+    let accesses = statement_accesses(program);
+    let array_ids = array_id_table(&accesses);
+    let n_threads = choose_threads(instances.len());
+
+    // One shard per thread; a single shard is exactly the sequential walk.
+    let ranges = rcp_pool::shard_ranges(instances.len(), n_threads.max(1));
+    let mut shards = rcp_pool::par_map(n_threads, &ranges, |range| {
+        trace_shard(&instances, range.clone(), &accesses, &array_ids)
+    });
+
+    // Left-to-right merge: carry the global per-element state into each
+    // shard and emit the cross-boundary edges its local walk could not see.
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut state: HashMap<(usize, IVec), ElementState> = HashMap::new();
+    for shard in &mut shards {
+        edges.append(&mut shard.edges);
+        for (element, local) in shard.elements.drain() {
+            match state.entry(element) {
+                std::collections::hash_map::Entry::Occupied(mut entry) => {
+                    let global = entry.get_mut();
+                    if let Some(w) = global.last_write {
+                        for &r in &local.prefix_reads {
+                            edges.push((w, r)); // flow into the shard
+                        }
+                        if let Some(fw) = local.first_write {
+                            edges.push((w, fw)); // output across the boundary
+                        }
+                    }
+                    if let Some(fw) = local.first_write {
+                        for &r in &global.reads_since {
+                            edges.push((r, fw)); // anti across the boundary
+                        }
+                        *global = local.tail;
+                    } else {
+                        // No write in this shard: the element's reads extend
+                        // the reads-since-last-write window.
+                        global.reads_since.extend(local.tail.reads_since);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(entry) => {
+                    entry.insert(local.tail);
+                }
+            }
         }
     }
     edges.sort_unstable();
@@ -220,6 +353,65 @@ mod tests {
         // flow: write a(i+1) at i, read a(i+1) at i+1  -> 9 edges
         assert_eq!(traced.n_edges(), 9);
         assert!(traced.edges.iter().all(|(s, d)| d - s == 1));
+    }
+
+    #[test]
+    fn sharded_trace_is_identical_to_single_threaded() {
+        // Programs covering flow, anti and output edges plus read-modify-
+        // write instances, traced with shard boundaries cutting through
+        // chains of same-element accesses.
+        let rmw = Program::new(
+            "rmw",
+            &["N"],
+            vec![loop_(
+                "I",
+                c(1),
+                v("N"),
+                vec![stmt(
+                    "S",
+                    vec![
+                        ArrayRef::write("a", vec![v("I") * 2]),
+                        ArrayRef::read("a", vec![c(21) - v("I")]),
+                        ArrayRef::read("b", vec![c(1)]),
+                        ArrayRef::write("b", vec![c(1)]),
+                    ],
+                )],
+            )],
+        );
+        for (program, params) in [
+            (figure2(), vec![]),
+            (rmw, vec![40]),
+            (
+                Program::new(
+                    "uniform",
+                    &["N"],
+                    vec![loop_(
+                        "I",
+                        c(1),
+                        v("N"),
+                        vec![stmt(
+                            "S",
+                            vec![
+                                ArrayRef::write("a", vec![v("I") + c(1)]),
+                                ArrayRef::read("a", vec![v("I")]),
+                            ],
+                        )],
+                    )],
+                ),
+                vec![30],
+            ),
+        ] {
+            let reference = trace_dependence_graph_with_threads(&program, &params, 1);
+            for threads in [2, 3, 4, 7] {
+                let sharded = trace_dependence_graph_with_threads(&program, &params, threads);
+                assert_eq!(reference.instances, sharded.instances);
+                assert_eq!(
+                    reference.edges, sharded.edges,
+                    "{} with {threads} threads must trace identical edges",
+                    program.name
+                );
+            }
+        }
     }
 
     #[test]

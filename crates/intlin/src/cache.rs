@@ -1,0 +1,204 @@
+//! A keyed memo cache for Hermite-normal-form and diophantine solves.
+//!
+//! The analysis front end solves the dependence equation `i·A + a = j·B + b`
+//! for every reference pair it screens, and the same coefficient matrices
+//! recur constantly: re-analysis of the same program, the synthetic-corpus
+//! classification (whose generator draws subscripts from a small coefficient
+//! range), and every benchmark that re-runs an analysis.  Both solvers are
+//! pure functions of their inputs, so their results are memoised here in a
+//! process-wide cache keyed by the exact inputs
+//! (`IMat` for [`hermite_normal_form_cached`], `(IMat, rhs)` for
+//! [`solve_linear_system_cached`]).
+//!
+//! Cached results are **bit-identical** to uncached ones — the cache stores
+//! the value computed by the uncached function on first miss and clones it
+//! on every hit (verified by property tests over the synthetic corpus).
+//! Hit/miss counters are kept per solver; [`solver_cache_stats`] exposes
+//! them so benchmark reports can show hit rates, and
+//! [`reset_solver_cache`] clears both entries and counters for cold-start
+//! measurements.
+//!
+//! The cache is bounded ([`CACHE_CAPACITY`] entries per solver).  Once full,
+//! new results are still returned but no longer inserted — a deliberately
+//! simple policy whose behaviour does not depend on timing, so cached and
+//! uncached runs stay deterministic.
+
+use crate::diophantine::{solve_linear_system, DiophantineSolution};
+use crate::hnf::{hermite_normal_form, HnfResult};
+use crate::matrix::IMat;
+use crate::vector::IVec;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Maximum number of entries each solver cache retains.
+pub const CACHE_CAPACITY: usize = 1 << 16;
+
+/// Lazily allocated map behind a process-wide lock.
+type CacheSlot<K, V> = Mutex<Option<HashMap<K, V>>>;
+
+static HNF_CACHE: CacheSlot<IMat, HnfResult> = Mutex::new(None);
+static DIO_CACHE: CacheSlot<(IMat, IVec), Option<DiophantineSolution>> = Mutex::new(None);
+static HNF_HITS: AtomicU64 = AtomicU64::new(0);
+static HNF_MISSES: AtomicU64 = AtomicU64::new(0);
+static DIO_HITS: AtomicU64 = AtomicU64::new(0);
+static DIO_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Hit/miss counters of the process-wide solver caches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverCacheStats {
+    /// Hermite-normal-form cache hits.
+    pub hnf_hits: u64,
+    /// Hermite-normal-form cache misses.
+    pub hnf_misses: u64,
+    /// Diophantine-solution cache hits.
+    pub dio_hits: u64,
+    /// Diophantine-solution cache misses.
+    pub dio_misses: u64,
+}
+
+impl SolverCacheStats {
+    /// Total lookups across both caches.
+    pub fn lookups(&self) -> u64 {
+        self.hnf_hits + self.hnf_misses + self.dio_hits + self.dio_misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hnf_hits + self.dio_hits;
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// [`hermite_normal_form`](crate::hnf::hermite_normal_form) with process-wide
+/// memoisation keyed by the input matrix.
+pub fn hermite_normal_form_cached(a: &IMat) -> HnfResult {
+    let mut guard = HNF_CACHE.lock().expect("hnf cache poisoned");
+    let cache = guard.get_or_insert_with(HashMap::new);
+    if let Some(hit) = cache.get(a) {
+        HNF_HITS.fetch_add(1, Ordering::Relaxed);
+        return hit.clone();
+    }
+    HNF_MISSES.fetch_add(1, Ordering::Relaxed);
+    drop(guard);
+    let result = hermite_normal_form(a);
+    let mut guard = HNF_CACHE.lock().expect("hnf cache poisoned");
+    let cache = guard.get_or_insert_with(HashMap::new);
+    if cache.len() < CACHE_CAPACITY {
+        cache.insert(a.clone(), result.clone());
+    }
+    result
+}
+
+/// [`solve_linear_system`](crate::diophantine::solve_linear_system) with
+/// process-wide memoisation keyed by `(matrix, rhs)`.
+pub fn solve_linear_system_cached(m: &IMat, c: &[i64]) -> Option<DiophantineSolution> {
+    let key = (m.clone(), c.to_vec());
+    let mut guard = DIO_CACHE.lock().expect("diophantine cache poisoned");
+    let cache = guard.get_or_insert_with(HashMap::new);
+    if let Some(hit) = cache.get(&key) {
+        DIO_HITS.fetch_add(1, Ordering::Relaxed);
+        return hit.clone();
+    }
+    DIO_MISSES.fetch_add(1, Ordering::Relaxed);
+    drop(guard);
+    let result = solve_linear_system(m, c);
+    let mut guard = DIO_CACHE.lock().expect("diophantine cache poisoned");
+    let cache = guard.get_or_insert_with(HashMap::new);
+    if cache.len() < CACHE_CAPACITY {
+        cache.insert(key, result.clone());
+    }
+    result
+}
+
+/// A snapshot of the hit/miss counters.
+pub fn solver_cache_stats() -> SolverCacheStats {
+    SolverCacheStats {
+        hnf_hits: HNF_HITS.load(Ordering::Relaxed),
+        hnf_misses: HNF_MISSES.load(Ordering::Relaxed),
+        dio_hits: DIO_HITS.load(Ordering::Relaxed),
+        dio_misses: DIO_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Empties both caches and zeroes the counters (for cold-start timing).
+pub fn reset_solver_cache() {
+    *HNF_CACHE.lock().expect("hnf cache poisoned") = None;
+    *DIO_CACHE.lock().expect("diophantine cache poisoned") = None;
+    HNF_HITS.store(0, Ordering::Relaxed);
+    HNF_MISSES.store(0, Ordering::Relaxed);
+    DIO_HITS.store(0, Ordering::Relaxed);
+    DIO_MISSES.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The counters are process-wide, so tests in this module compare
+    // *deltas* rather than absolute values (other tests may run
+    // concurrently and bump them).
+
+    #[test]
+    fn cached_hnf_is_bit_identical() {
+        let mats = [
+            IMat::from_rows(&[vec![2, 4], vec![6, 8]]),
+            IMat::from_rows(&[vec![3, 0, -1, 0], vec![2, 1, 0, -1]]),
+            IMat::from_rows(&[vec![0, 0], vec![0, 0]]),
+        ];
+        for m in &mats {
+            let cold = hermite_normal_form_cached(m);
+            let warm = hermite_normal_form_cached(m);
+            let reference = hermite_normal_form(m);
+            assert_eq!(cold, reference);
+            assert_eq!(warm, reference);
+        }
+    }
+
+    #[test]
+    fn cached_solve_is_bit_identical_including_none() {
+        let cases = [
+            (IMat::from_rows(&[vec![3, 5]]), vec![7]),
+            (IMat::from_rows(&[vec![4, 6]]), vec![7]), // no integer solution
+            (IMat::from_rows(&[vec![1, 2], vec![3, 4]]), vec![5, 11]),
+            (IMat::zeros(2, 3), vec![1, 0]), // inconsistent
+        ];
+        for (m, c) in &cases {
+            let cold = solve_linear_system_cached(m, c);
+            let warm = solve_linear_system_cached(m, c);
+            let reference = solve_linear_system(m, c);
+            assert_eq!(cold, reference);
+            assert_eq!(warm, reference);
+        }
+    }
+
+    #[test]
+    fn repeated_lookups_hit() {
+        let m = IMat::from_rows(&[vec![11, 13], vec![17, 19]]);
+        let before = solver_cache_stats();
+        let _ = hermite_normal_form_cached(&m);
+        let _ = hermite_normal_form_cached(&m);
+        let _ = hermite_normal_form_cached(&m);
+        let after = solver_cache_stats();
+        assert!(after.hnf_hits >= before.hnf_hits + 2);
+        assert!(after.hnf_misses >= before.hnf_misses);
+        assert!(after.lookups() >= before.lookups() + 3);
+    }
+
+    #[test]
+    fn hit_rate_is_well_defined() {
+        assert_eq!(SolverCacheStats::default().hit_rate(), 0.0);
+        let s = SolverCacheStats {
+            hnf_hits: 3,
+            hnf_misses: 1,
+            dio_hits: 0,
+            dio_misses: 0,
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

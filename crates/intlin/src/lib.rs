@@ -16,7 +16,10 @@
 //!   unimodular transformation that produces it,
 //! * [`diophantine`] — solvers for systems of linear diophantine equations
 //!   `x·A = b`, returning a particular solution plus a lattice basis of the
-//!   homogeneous solutions.
+//!   homogeneous solutions,
+//! * [`cache`] — process-wide memoisation of HNF and diophantine solves
+//!   (keyed by the exact matrix/right-hand side) with hit/miss counters, so
+//!   repeated analyses and corpus classification re-solve nothing.
 //!
 //! The library follows the paper's *row-vector* convention: iteration
 //! vectors are row vectors and array subscripts are written `i·A + a`, so a
@@ -26,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod diophantine;
 pub mod gcd;
 pub mod hnf;
@@ -33,6 +37,10 @@ pub mod matrix;
 pub mod rational;
 pub mod vector;
 
+pub use cache::{
+    hermite_normal_form_cached, reset_solver_cache, solve_linear_system_cached, solver_cache_stats,
+    SolverCacheStats,
+};
 pub use diophantine::{solve_linear_system, DiophantineSolution};
 pub use gcd::{ext_gcd, gcd, gcd_slice, lcm};
 pub use hnf::{hermite_normal_form, HnfResult};

@@ -1,0 +1,177 @@
+//! A dependency-free `scope`/`par_map` facility on OS threads.
+//!
+//! This is the generalisation of the `ParallelExecutor` worker pool into a
+//! reusable building block: any data-parallel, *non-schedule* work — sharded
+//! dependence analysis over reference pairs, sharded trace construction over
+//! statement-instance ranges, per-array barrier merges — runs through
+//! [`par_map`] instead of hand-rolling its own `std::thread::scope` loop.
+//! It sits below every other workspace crate (no dependencies), so both the
+//! analysis front end (`rcp-depend`) and the runtime (`rcp-runtime`, which
+//! re-exports this crate as `rcp_runtime::pool`) can share it without a
+//! dependency cycle.
+//!
+//! Design points:
+//!
+//! * **Dynamic self-scheduling.** Workers claim the next unclaimed item
+//!   from a shared atomic cursor (like OpenMP `schedule(dynamic)`), so
+//!   uneven item costs load-balance automatically.
+//! * **Deterministic results.** The output vector is in input order no
+//!   matter which worker computed which item, so callers can merge
+//!   per-shard results deterministically.
+//! * **Inline fast path.** With one thread (or one item) the closure runs
+//!   on the caller — no spawning, no synchronisation — so callers can use
+//!   `par_map` unconditionally and let the thread count decide.
+//! * **Panic propagation.** A panicking item panics the caller (via
+//!   `std::thread::scope`'s join) instead of hanging or being dropped.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of hardware threads available to this process (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every item of `items` on up to `n_threads` OS threads and
+/// returns the results **in input order**.
+///
+/// Items are claimed dynamically (self-scheduling), so the assignment of
+/// items to threads is non-deterministic but the result vector is not.
+/// With `n_threads <= 1` or fewer than two items the map runs inline on the
+/// calling thread.
+///
+/// # Panics
+/// Propagates the first panic raised by `f`.
+pub fn par_map<T: Sync, R: Send>(
+    n_threads: usize,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    par_map_indexed(n_threads, items, |_, item| f(item))
+}
+
+/// [`par_map`] variant whose closure also receives the item index.
+///
+/// # Panics
+/// Propagates the first panic raised by `f`.
+pub fn par_map_indexed<T: Sync, R: Send>(
+    n_threads: usize,
+    items: &[T],
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    let workers = n_threads.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(k, it)| f(k, it)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(k) else {
+                    break;
+                };
+                let result = f(k, item);
+                *slots[k].lock().expect("par_map slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("par_map slot poisoned")
+                .expect("par_map item not computed")
+        })
+        .collect()
+}
+
+/// Splits `0..n` into at most `shards` contiguous, near-equal, non-empty
+/// ranges (fewer when `n < shards`).  The ranges partition `0..n` in order,
+/// so shard-indexed results can be merged deterministically.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1).min(n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = n / shards;
+    let extra = n % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for threads in [1, 2, 4, 7] {
+            let out = par_map(threads, &items, |&x| x * 2);
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_sees_correct_indices() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let out = par_map_indexed(3, &items, |k, s| format!("{k}{s}"));
+        assert_eq!(out, vec!["0a", "1b", "2c", "3d", "4e"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(par_map(4, &empty, |x| *x).is_empty());
+        assert_eq!(par_map(4, &[42], |x| *x), vec![42]);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let items: Vec<usize> = (0..64).collect();
+        let outcome = std::panic::catch_unwind(|| {
+            par_map(4, &items, |&x| {
+                if x == 13 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(outcome.is_err(), "a worker panic must reach the caller");
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_input() {
+        for n in [0usize, 1, 2, 5, 16, 17, 100] {
+            for shards in [1usize, 2, 3, 4, 8, 200] {
+                let ranges = shard_ranges(n, shards);
+                assert!(ranges.len() <= shards.max(1));
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "ranges must be contiguous");
+                    assert!(!r.is_empty(), "no empty shards");
+                    next = r.end;
+                }
+                assert_eq!(next, n, "ranges must cover 0..{n}");
+                if n > 0 {
+                    let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                    let min = lens.iter().min().unwrap();
+                    let max = lens.iter().max().unwrap();
+                    assert!(max - min <= 1, "near-equal shard sizes");
+                }
+            }
+        }
+    }
+}

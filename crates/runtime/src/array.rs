@@ -92,6 +92,20 @@ impl ArrayStore {
         self.arrays.get(name)
     }
 
+    /// Removes and returns the named array (an empty array when it was
+    /// never written).  Together with [`Self::insert_array`] this lets the
+    /// phase-barrier merge take disjoint arrays out of the store, fill them
+    /// on different threads, and put them back.
+    pub fn take_array(&mut self, name: &str) -> Array {
+        self.arrays.remove(name).unwrap_or_default()
+    }
+
+    /// (Re-)inserts an array under the given name, replacing any existing
+    /// contents.
+    pub fn insert_array(&mut self, name: &str, array: Array) {
+        self.arrays.insert(name.to_string(), array);
+    }
+
     /// Total number of written elements across all arrays.
     pub fn written_len(&self) -> usize {
         self.arrays.values().map(|a| a.written_len()).sum()

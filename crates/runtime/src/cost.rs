@@ -30,6 +30,9 @@ pub struct CostModel {
     pub item_overhead_ns: f64,
     /// Cost of one point-to-point synchronisation (DOACROSS P/V pair).
     pub sync_cost_ns: f64,
+    /// One-time cost of spawning a pool worker thread (paid per thread per
+    /// `ParallelExecutor::execute`, since the pool lives for one schedule).
+    pub thread_spawn_cost_ns: f64,
 }
 
 impl Default for CostModel {
@@ -42,6 +45,7 @@ impl Default for CostModel {
             barrier_cost_ns: 2_000.0,
             item_overhead_ns: 10.0,
             sync_cost_ns: 200.0,
+            thread_spawn_cost_ns: 60_000.0,
         }
     }
 }
@@ -94,6 +98,65 @@ impl CostModel {
     /// with the same total work.
     pub fn speedup(&self, schedule: &Schedule, threads: usize) -> f64 {
         self.sequential_time_ns(schedule) / self.schedule_time_ns(schedule, threads)
+    }
+
+    /// One-time pool start-up cost for an execution with `threads` workers.
+    pub fn pool_startup_ns(&self, threads: usize) -> f64 {
+        threads as f64 * self.thread_spawn_cost_ns
+    }
+
+    /// A fast `O(units)` estimate of [`Self::phase_time_ns`] using the
+    /// makespan lower bound `max(total work / threads, longest unit)`
+    /// instead of the LPT assignment (which sorts every unit and is too
+    /// expensive to run on each `execute` call of a large schedule).
+    pub fn phase_time_estimate_ns(&self, phase: &Phase, threads: usize) -> f64 {
+        let threads = threads.max(1) as f64;
+        let mut total = 0.0f64;
+        let mut longest = 0.0f64;
+        let mut unit = |instances: f64, items: f64| {
+            let cost = instances * self.instance_cost_ns + items * self.item_overhead_ns;
+            total += cost;
+            longest = longest.max(cost);
+        };
+        match phase {
+            Phase::Doall(items) => {
+                for i in items {
+                    unit(i.len() as f64, 1.0);
+                }
+            }
+            Phase::ChainSet(chains) => {
+                for c in chains {
+                    unit(
+                        c.iter().map(|i| i.len() as f64).sum::<f64>(),
+                        c.len() as f64,
+                    );
+                }
+            }
+        }
+        (total / threads).max(longest) + self.barrier_cost_ns
+    }
+
+    /// Whether running `schedule` on a `threads`-worker pool is modelled to
+    /// beat inline sequential execution, given that the hardware offers
+    /// `available` threads.
+    ///
+    /// The requested thread count is capped at `available` first — threads
+    /// beyond the hardware only add oversubscription, never speedup — and
+    /// the pool pays its start-up cost plus a barrier per phase, which is
+    /// exactly why small schedules are better off inline (the measured
+    /// `ex1`–`ex4` speedups below 1 that motivated this check).
+    pub fn parallel_pays_off(&self, schedule: &Schedule, threads: usize, available: usize) -> bool {
+        let effective = threads.min(available.max(1));
+        if effective <= 1 {
+            return false;
+        }
+        let parallel: f64 = schedule
+            .phases
+            .iter()
+            .map(|p| self.phase_time_estimate_ns(p, effective))
+            .sum::<f64>()
+            + self.pool_startup_ns(effective);
+        parallel < self.sequential_time_ns(schedule)
     }
 
     /// Modelled execution time of a DOACROSS loop: `n_outer` outer
@@ -278,6 +341,26 @@ mod tests {
             (t8 / t2 - 1.0).abs() < 0.25,
             "t2={t2} t8={t8} should be close"
         );
+    }
+
+    #[test]
+    fn fallback_decision_reflects_work_and_hardware() {
+        let model = CostModel::default();
+        let small = Schedule {
+            name: "small".into(),
+            phases: vec![doall(10)],
+        };
+        let big = Schedule {
+            name: "big".into(),
+            phases: vec![doall(200_000)],
+        };
+        // A tiny schedule never amortises pool start-up.
+        assert!(!model.parallel_pays_off(&small, 4, 4));
+        // A big DOALL does, when the hardware is really there…
+        assert!(model.parallel_pays_off(&big, 4, 4));
+        // …but not on a single-core machine, at any requested width.
+        assert!(!model.parallel_pays_off(&big, 4, 1));
+        assert!(!model.parallel_pays_off(&big, 1, 8));
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!   against the frozen pre-phase store through a [`BufferedView`], and the
 //!   buffered writes are merged at the phase barrier.  Overlapping writes
 //!   by two concurrent units are reported as a race (a correct partition
-//!   never produces one).
+//!   never produces one).  On the trusted-schedule fast path large barrier
+//!   merges are sharded per-array over the pool, and a cost-model-driven
+//!   sequential fallback (see [`ParallelExecutor::with_sequential_fallback`])
+//!   runs schedules too small to amortise pool overhead inline instead.
 //! * [`verify_schedule`] compares the parallel result against the
 //!   sequential result element-wise.
 //!
@@ -23,7 +26,8 @@
 //! rayon-backed implementation would have, and `ParallelExecutor` is the
 //! single seam to swap one in.
 
-use crate::array::{ArrayStore, BufferedView};
+use crate::array::{Array, ArrayStore, BufferedView};
+use crate::cost::CostModel;
 use crate::kernel::Kernel;
 use rcp_codegen::{Phase, Schedule, WorkItem};
 use rcp_intlin::IVec;
@@ -97,6 +101,8 @@ pub struct ParallelExecutor {
     n_threads: usize,
     min_batch_instances: usize,
     detect_races: bool,
+    sequential_fallback: bool,
+    cost_model: CostModel,
 }
 
 /// One unit of intra-phase concurrency: the items execute sequentially in
@@ -111,13 +117,21 @@ impl ParallelExecutor {
     /// next unit starts a new batch.
     pub const DEFAULT_MIN_BATCH_INSTANCES: usize = 64;
 
+    /// Buffered writes below this count are merged inline at the barrier;
+    /// at or above it (without race detection) the merge is sharded
+    /// per-array over the pool.
+    pub const PAR_MERGE_MIN_WRITES: usize = 8 * 1024;
+
     /// An executor with `n_threads` workers (0 and 1 both mean "run
-    /// inline") and default batching.
+    /// inline"), default batching, and the cost-model-driven sequential
+    /// fallback enabled.
     pub fn new(n_threads: usize) -> Self {
         ParallelExecutor {
             n_threads: n_threads.max(1),
             min_batch_instances: Self::DEFAULT_MIN_BATCH_INSTANCES,
             detect_races: true,
+            sequential_fallback: true,
+            cost_model: CostModel::default(),
         }
     }
 
@@ -142,18 +156,51 @@ impl ParallelExecutor {
         self
     }
 
+    /// Supplies the cost model used by the sequential-fallback decision
+    /// (defaults to [`CostModel::default`]; benchmarks pass a calibrated
+    /// model so the decision reflects the real per-instance cost).
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Enables or disables the cost-model-driven sequential fallback.
+    ///
+    /// With the fallback on (the default), a schedule whose modelled pool
+    /// execution — thread spawning, per-phase barriers, work divided over
+    /// at most the hardware's threads — does not beat inline sequential
+    /// execution runs on the calling thread instead.  Small schedules then
+    /// no longer pay pool overhead for a guaranteed slowdown, and thread
+    /// counts beyond the hardware are never oversubscribed.
+    pub fn with_sequential_fallback(mut self, sequential_fallback: bool) -> Self {
+        self.sequential_fallback = sequential_fallback;
+        self
+    }
+
     /// The number of worker threads the executor schedules onto.
     pub fn n_threads(&self) -> usize {
         self.n_threads
     }
 
+    /// True when `execute` would run the schedule on the worker pool rather
+    /// than inline on the caller.
+    pub fn uses_pool(&self, schedule: &Schedule) -> bool {
+        self.n_threads > 1
+            && (!self.sequential_fallback
+                || self.cost_model.parallel_pays_off(
+                    schedule,
+                    self.n_threads,
+                    rcp_pool::available_threads(),
+                ))
+    }
+
     /// Executes the schedule and returns the final store, per-phase wall
     /// clock, and any intra-phase write-write races.
     pub fn execute(&self, schedule: &Schedule, kernel: &(dyn Kernel + Sync)) -> ExecutionResult {
-        if self.n_threads == 1 {
-            self.execute_on_caller(schedule, kernel)
-        } else {
+        if self.uses_pool(schedule) {
             self.execute_on_pool(schedule, kernel)
+        } else {
+            self.execute_on_caller(schedule, kernel)
         }
     }
 
@@ -170,11 +217,20 @@ impl ParallelExecutor {
         let start_all = Instant::now();
         for phase in &schedule.phases {
             let start = Instant::now();
+            if !self.detect_races {
+                // Without detection a single worker executing units in
+                // order is equivalent to buffered execution for the valid
+                // schedules that mode is for — run the phase directly, no
+                // per-phase unit vector.
+                for item in phase_items(phase) {
+                    run_item(item, kernel, &mut store);
+                }
+                phase_times.push(start.elapsed());
+                continue;
+            }
             let units = phase_units(phase);
-            if units.len() == 1 || !self.detect_races {
-                // A single unit cannot race, and without detection a single
-                // worker executing units in order is equivalent to buffered
-                // execution for the valid schedules that mode is for.
+            if units.len() == 1 {
+                // A single unit cannot race.
                 for unit in &units {
                     for item in *unit {
                         run_item(item, kernel, &mut store);
@@ -348,7 +404,15 @@ impl ParallelExecutor {
                         per_buffer[buffer_id] = writes;
                     }
                     let mut store = store.write().expect("store lock poisoned");
-                    merge_buffers(&mut store, &per_buffer, self.detect_races, &mut races);
+                    if self.detect_races {
+                        merge_buffers(&mut store, &per_buffer, true, &mut races);
+                    } else {
+                        merge_buffers_per_array(
+                            &mut store,
+                            &per_buffer,
+                            self.n_threads.min(rcp_pool::available_threads()),
+                        );
+                    }
                     phase_times.push(start.elapsed());
                 }
             }));
@@ -395,6 +459,15 @@ impl ParallelExecutor {
         }
         batches
     }
+}
+
+/// All work items of a phase in execution order (no per-unit structure).
+fn phase_items(phase: &Phase) -> impl Iterator<Item = &WorkItem> {
+    let chains: &[Vec<WorkItem>] = match phase {
+        Phase::Doall(items) => std::slice::from_ref(items),
+        Phase::ChainSet(chains) => chains.as_slice(),
+    };
+    chains.iter().flatten()
 }
 
 /// The units of intra-phase concurrency: items of a DOALL, whole chains of
@@ -463,6 +536,78 @@ fn merge_buffers(
                 }
             }
         }
+    }
+}
+
+/// Replays buffered writes into the store with the merge sharded
+/// **per-array** over up to `n_threads` threads: every array's writes are
+/// applied by exactly one thread, in buffer order, so the result is
+/// identical to the sequential replay (concurrent units of a valid schedule
+/// write disjoint elements; for overlapping writes the per-array buffer
+/// order still matches the sequential merge).  Small merges — fewer than
+/// [`ParallelExecutor::PAR_MERGE_MIN_WRITES`] writes, or a single array —
+/// replay inline: sharding them would cost more in thread spawns than the
+/// replay itself.
+fn merge_buffers_per_array(
+    store: &mut ArrayStore,
+    buffer_writes: &[WriteBuffer],
+    n_threads: usize,
+) {
+    let inline_replay = |store: &mut ArrayStore| {
+        for writes in buffer_writes {
+            for (array, elements) in writes {
+                for (index, value) in elements {
+                    store.set(array, index, *value);
+                }
+            }
+        }
+    };
+    let total_writes: usize = buffer_writes
+        .iter()
+        .flat_map(|w| w.iter())
+        .map(|(_, elements)| elements.len())
+        .sum();
+    // Decide inline vs sharded before building any grouping, so the common
+    // small-merge case allocates nothing extra.
+    if n_threads <= 1 || total_writes < ParallelExecutor::PAR_MERGE_MIN_WRITES {
+        inline_replay(store);
+        return;
+    }
+    // Group each array's write runs in buffer order.
+    let mut grouped: HashMap<&str, Vec<&[(IVec, f64)]>> = HashMap::new();
+    for writes in buffer_writes {
+        for (array, elements) in writes {
+            grouped
+                .entry(array.as_str())
+                .or_default()
+                .push(elements.as_slice());
+        }
+    }
+    if grouped.len() <= 1 {
+        inline_replay(store);
+        return;
+    }
+    let mut names: Vec<&str> = grouped.keys().copied().collect();
+    names.sort_unstable();
+    // Take each array out of the store, fill them concurrently (the Mutex
+    // is uncontended — one job per array), then put them back.
+    type MergeJob<'w> = Mutex<(Array, Vec<&'w [(IVec, f64)]>)>;
+    let jobs: Vec<MergeJob> = names
+        .iter()
+        .map(|name| Mutex::new((store.take_array(name), grouped.remove(name).unwrap())))
+        .collect();
+    rcp_pool::par_map(n_threads, &jobs, |job| {
+        let mut guard = job.lock().expect("merge job poisoned");
+        let (array, runs) = &mut *guard;
+        for run in runs.iter() {
+            for (index, value) in *run {
+                array.set(index, *value);
+            }
+        }
+    });
+    for (name, job) in names.into_iter().zip(jobs) {
+        let (array, _) = job.into_inner().expect("merge job poisoned");
+        store.insert_array(name, array);
     }
 }
 
@@ -643,13 +788,70 @@ mod tests {
             phases: vec![Phase::Doall(items)],
         };
         for threads in [2, 4] {
-            let executor = ParallelExecutor::new(threads).with_min_batch_instances(1);
+            // Fallback disabled so the pool path itself is exercised even
+            // for this tiny schedule (and on single-core machines).
+            let executor = ParallelExecutor::new(threads)
+                .with_min_batch_instances(1)
+                .with_sequential_fallback(false);
+            assert!(executor.uses_pool(&schedule));
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 executor.execute(&schedule, &kernel)
             }));
             assert!(
                 outcome.is_err(),
                 "the kernel panic must propagate, not hang or vanish"
+            );
+        }
+    }
+
+    #[test]
+    fn small_schedules_fall_back_to_inline_execution() {
+        let p = figure2();
+        let seq = Schedule::sequential(&p, &[]);
+        // 20 instances can never amortise pool start-up: the default
+        // executor must choose the inline path at any thread count…
+        for threads in [2, 4, 16] {
+            assert!(!ParallelExecutor::new(threads).uses_pool(&seq));
+        }
+        // …and still produce the correct result there.
+        let kernel = RefKernel::new(&p);
+        let a = execute_sequential(&seq, &kernel);
+        let b = ParallelExecutor::new(4).execute(&seq, &kernel);
+        assert!(a.diff(&b.store, 0.0).is_empty());
+        assert!(b.race_free());
+        // Opting out restores the pool path.
+        assert!(ParallelExecutor::new(4)
+            .with_sequential_fallback(false)
+            .uses_pool(&seq));
+    }
+
+    #[test]
+    fn per_array_parallel_merge_matches_sequential_replay() {
+        // Enough writes across several arrays to cross the parallel-merge
+        // threshold, including cross-buffer overwrites of the same element
+        // (buffer order must win, as in the sequential replay).
+        let arrays = ["a", "b", "c", "d", "e"];
+        let buffers: Vec<WriteBuffer> = (0..8)
+            .map(|b| {
+                arrays
+                    .iter()
+                    .map(|name| {
+                        let elements: Vec<(IVec, f64)> = (0..1024)
+                            .map(|i| (vec![i as i64 % 700], (b * 10_000 + i) as f64))
+                            .collect();
+                        (name.to_string(), elements)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut reference = ArrayStore::new();
+        merge_buffers(&mut reference, &buffers, false, &mut Vec::new());
+        for threads in [1, 2, 4] {
+            let mut sharded = ArrayStore::new();
+            merge_buffers_per_array(&mut sharded, &buffers, threads);
+            assert!(
+                reference.diff(&sharded, 0.0).is_empty(),
+                "per-array merge with {threads} threads must equal the replay"
             );
         }
     }

@@ -15,10 +15,18 @@
 //! * [`cost`] — the calibrated analytic cost model that turns schedules
 //!   into the speedup curves of Figure 3 even on machines with too few
 //!   cores to show real scaling (measured wall-clock speedups come from
-//!   [`ParallelExecutor`] via the benchmark harness).
+//!   [`ParallelExecutor`] via the benchmark harness); it also drives the
+//!   executor's sequential fallback for schedules too small to amortise
+//!   pool overhead,
+//! * [`pool`] — the generalised `scope`/`par_map` thread-pool facility
+//!   (re-exported [`rcp_pool`]) that non-schedule work — sharded dependence
+//!   analysis, per-array barrier merges, concurrent benchmark experiments —
+//!   shares with the executor.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub use rcp_pool as pool;
 
 pub mod array;
 pub mod cost;

@@ -11,7 +11,8 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
-//! | [`intlin`] | `rcp-intlin` | exact rational/integer linear algebra, Hermite normal form, diophantine solvers |
+//! | [`pool`] | `rcp-pool` | dependency-free `par_map` thread-pool facility shared by analysis and runtime |
+//! | [`intlin`] | `rcp-intlin` | exact rational/integer linear algebra, Hermite normal form, diophantine solvers (memoised via `intlin::cache`) |
 //! | [`presburger`] | `rcp-presburger` | Omega-library-style integer sets, relations, Fourier-Motzkin, dense enumeration |
 //! | [`loopir`] | `rcp-loopir` | affine loop-nest IR, statement-level unified index space, access maps |
 //! | [`depend`] | `rcp-depend` | exact dependence relations, distance sets, uniformity classification, screening tests |
@@ -54,6 +55,7 @@ pub use rcp_core as core;
 pub use rcp_depend as depend;
 pub use rcp_intlin as intlin;
 pub use rcp_loopir as loopir;
+pub use rcp_pool as pool;
 pub use rcp_presburger as presburger;
 pub use rcp_runtime as runtime;
 pub use rcp_workloads as workloads;
@@ -68,6 +70,7 @@ pub mod prelude {
     pub use rcp_depend::{DependenceAnalysis, Granularity, Uniformity};
     pub use rcp_loopir::{ArrayRef, Program};
     pub use rcp_runtime::{
-        execute_schedule, execute_sequential, verify_schedule, ArrayStore, CostModel, RefKernel,
+        execute_schedule, execute_sequential, verify_schedule, ArrayStore, CostModel,
+        ParallelExecutor, RefKernel,
     };
 }
