@@ -73,6 +73,18 @@ impl BaselineDiff {
         self.deltas.iter().all(|d| d.verdict() != "REGRESSED")
     }
 
+    /// The deltas whose new/old ratio fell below `1 - tolerance` — the
+    /// regressions a CI gate should fail on.  `tolerance` replaces the
+    /// display-oriented [`NOISE_BAND`] so cross-machine comparisons (a CI
+    /// runner diffing against a baseline recorded elsewhere) can use a
+    /// wider band than same-machine ones.
+    pub fn regressions_beyond(&self, tolerance: f64) -> Vec<&SchemeDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.ratio() <= 1.0 - tolerance)
+            .collect()
+    }
+
     /// Renders the comparison as an aligned text table.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
@@ -229,6 +241,11 @@ mod tests {
         let pdm = diff.deltas.iter().find(|d| d.scheme == "PDM").unwrap();
         assert_eq!(pdm.verdict(), "REGRESSED");
         assert!(!diff.no_regressions());
+        // The gate: PDM fell 1.8 -> 1.2 (ratio 0.67), beyond a 5% or 20%
+        // tolerance but inside a 40% one.
+        assert_eq!(diff.regressions_beyond(NOISE_BAND).len(), 1);
+        assert_eq!(diff.regressions_beyond(0.20).len(), 1);
+        assert!(diff.regressions_beyond(0.40).is_empty());
         assert_eq!(diff.only_new, vec!["fresh"]);
         assert_eq!(diff.only_old, vec!["gone"]);
         let text = diff.to_text();

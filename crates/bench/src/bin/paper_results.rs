@@ -17,7 +17,11 @@
 //! clock themselves (`measured`, `analysis`) are held back and run serially
 //! after the concurrent batch, so concurrent neighbours never pollute their
 //! timings.  `--baseline old.json` additionally diffs the fresh run against
-//! a recorded result file and reports per-experiment speedup deltas.
+//! a recorded result file, reports per-experiment speedup deltas, and
+//! **exits non-zero** when any scheme's speedup dropped by more than the
+//! gate tolerance (`--baseline-tolerance <frac>`, default the 5% noise
+//! band) — so a CI baseline diff actually gates pushes instead of only
+//! logging a warning.
 
 use rcp_bench::baseline::diff_against_baseline;
 use rcp_bench::experiments::{
@@ -159,7 +163,32 @@ fn main() {
         }
         None => None,
     };
-    let consumed_paths = [&json_path, &baseline_path];
+    // `--baseline-tolerance <frac>`: the relative speedup drop beyond which
+    // the run exits non-zero (so the CI diff gates pushes).  Defaults to
+    // the display noise band; CI runners comparing against a baseline
+    // recorded on different hardware should pass a wider band.
+    let tolerance_arg = args
+        .iter()
+        .position(|a| a == "--baseline-tolerance")
+        .map(|k| {
+            args.get(k + 1).cloned().unwrap_or_else(|| {
+                eprintln!("error: --baseline-tolerance requires a fraction (e.g. 0.05)");
+                std::process::exit(2);
+            })
+        });
+    let baseline_tolerance = match &tolerance_arg {
+        Some(raw) => {
+            match raw.parse::<f64>() {
+                Ok(t) if (0.0..1.0).contains(&t) => t,
+                _ => {
+                    eprintln!("error: invalid --baseline-tolerance {raw:?} (expected a fraction in [0, 1))");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => rcp_bench::baseline::NOISE_BAND,
+    };
+    let consumed_paths = [&json_path, &baseline_path, &tolerance_arg];
     let is_path_arg = |a: &String| consumed_paths.iter().any(|p| p.as_deref() == Some(a));
     // Reject unknown experiment selectors instead of silently running
     // nothing.
@@ -228,11 +257,34 @@ fn main() {
     // the completion order the run streamed in.
     reports.sort_by(|a, b| a.id.cmp(&b.id));
 
+    let mut exit_code = 0;
     if let Some((path, baseline)) = &baseline {
         let diff = diff_against_baseline(&reports, baseline);
         println!("==== baseline diff against {path} ====\n{}", diff.to_text());
-        if !diff.no_regressions() {
-            eprintln!("warning: speedup regressions beyond the noise band (see diff above)");
+        let gating = diff.regressions_beyond(baseline_tolerance);
+        if !gating.is_empty() {
+            eprintln!(
+                "error: {} speedup regression(s) beyond the {:.0}% gate tolerance:",
+                gating.len(),
+                baseline_tolerance * 100.0
+            );
+            for d in &gating {
+                eprintln!(
+                    "  {} / {} at {} thread(s): {:.2} -> {:.2} ({:.2}x)",
+                    d.experiment,
+                    d.scheme,
+                    d.threads,
+                    d.old,
+                    d.new,
+                    d.ratio()
+                );
+            }
+            exit_code = 1;
+        } else if !diff.no_regressions() {
+            eprintln!(
+                "warning: regressions within the {:.0}% gate tolerance but beyond the display noise band",
+                baseline_tolerance * 100.0
+            );
         }
     }
 
@@ -248,5 +300,8 @@ fn main() {
         std::fs::write(&path, payload.pretty())
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote {path}");
+    }
+    if exit_code != 0 {
+        std::process::exit(exit_code);
     }
 }

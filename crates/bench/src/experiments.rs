@@ -596,6 +596,7 @@ pub fn measured_speedups(
 pub fn analysis_pipeline(max_threads: usize) -> ExperimentReport {
     use rcp_depend::{dependence_system, Granularity};
     use rcp_intlin::{reset_solver_cache, solve_linear_system_cached, solver_cache_stats};
+    use rcp_presburger::{emptiness_cache_stats, reset_emptiness_cache};
     use rcp_workloads::{random_nest, SmallRng};
 
     let ms = |start: Instant| start.elapsed().as_secs_f64() * 1e3;
@@ -625,12 +626,14 @@ pub fn analysis_pipeline(max_threads: usize) -> ExperimentReport {
         3,
         Box::new(|| {
             reset_solver_cache();
+            reset_emptiness_cache();
             analyze_pass()
         }),
     );
-    // The last cold pass left the cache populated: warm passes hit.
+    // The last cold pass left the caches populated: warm passes hit.
     let analyze_warm_ms = best_of(3, Box::new(analyze_pass));
     let analyze_stats = solver_cache_stats();
+    let emptiness_stats = emptiness_cache_stats();
 
     // The solver stage in isolation: the *distinct* systems the corpus
     // screens (duplicates removed, so the cold pass is all misses and the
@@ -729,12 +732,16 @@ pub fn analysis_pipeline(max_threads: usize) -> ExperimentReport {
          speedup {analyze_speedup:.2}x\n\
            solver stage    cold {solver_cold_ms:.3} ms   warm {solver_warm_ms:.3} ms   \
          speedup {solver_speedup:.1}x   ({} distinct systems)\n\
-           cache hit rate {:.1}% ({} hits / {} lookups)\n\n\
+           solver cache hit rate    {:.1}% ({} hits / {} lookups)\n\
+           emptiness cache hit rate {:.1}% ({} hits / {} FM feasibility lookups)\n\n\
          sharded analysis wall clock (ms per thread count, {} hardware threads):\n",
         systems.len(),
         analyze_stats.hit_rate() * 100.0,
         analyze_stats.hnf_hits + analyze_stats.dio_hits,
         analyze_stats.lookups(),
+        emptiness_stats.hit_rate() * 100.0,
+        emptiness_stats.hits,
+        emptiness_stats.lookups(),
         rcp_runtime::pool::available_threads(),
     );
     text.push_str(&format!("{:<14}", "workload"));
@@ -766,6 +773,11 @@ pub fn analysis_pipeline(max_threads: usize) -> ExperimentReport {
             "dio_hits": analyze_stats.dio_hits,
             "dio_misses": analyze_stats.dio_misses,
             "solver_stage_hit_rate": solver_stats.hit_rate(),
+        }),
+        "emptiness": json!({
+            "hits": emptiness_stats.hits,
+            "misses": emptiness_stats.misses,
+            "hit_rate": emptiness_stats.hit_rate(),
         }),
         "sharded": rows.iter().map(|r| json!({
             "workload": r.name,
@@ -995,6 +1007,12 @@ mod tests {
         // The warm solver pass answers (almost) everything from the cache.
         let cache = &report.data["cache"];
         assert!(cache["hit_rate"].as_f64().unwrap() > 0.5);
+        // Fourier-Motzkin emptiness checks are memoised too: the corpus
+        // draws from a small coefficient range, so repeated conjunctions
+        // dominate even the cold pass.
+        let emptiness = &report.data["emptiness"];
+        assert!(emptiness["hit_rate"].as_f64().unwrap() > 0.3);
+        assert!(emptiness["hits"].as_u64().unwrap() > 0);
         // Warm must not be slower than cold beyond scheduling noise; the
         // real ≥2x solver-stage margin is recorded by the experiment run
         // (BENCH_results.json), not asserted here where CI noise rules.

@@ -1,0 +1,615 @@
+//! `rcp-cli`: the `rcp` command-line driver for the recurrence-chains
+//! pipeline.
+//!
+//! The crate turns the workspace from a library into a tool: a `.loop`
+//! file (see `rcp-lang`) goes in, classifications, partitions, listings
+//! and measured runs come out.  Every subcommand is a plain function
+//! returning a [`Report`] (human text plus machine-readable JSON), so the
+//! binary is a thin argument-parsing shell and integration tests drive the
+//! same code paths the user does:
+//!
+//! ```text
+//! rcp parse      file.loop                         # front-end facts + canonical source
+//! rcp fmt        file.loop [--write]               # canonical formatting
+//! rcp analyze    file.loop --param N=300 [--json]  # dependence analysis + classification
+//! rcp partition  file.loop --param N=300           # Algorithm-1 three-set / dataflow partition
+//! rcp codegen    file.loop                         # paper-style DOALL/WHILE listing
+//! rcp run        file.loop --param N=300           # execute + verify against sequential
+//! rcp bench      file.loop --param N=300           # measured sequential vs parallel wall clock
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rcp_codegen::{generate_listing, Schedule};
+use rcp_core::{concrete_partition, symbolic_plan, uses_recurrence_chains, ConcretePartition};
+use rcp_depend::{classify_uniformity, distance_set, DependenceAnalysis, Granularity};
+use rcp_json::{json, Json};
+use rcp_lang::{parse_program, pretty};
+use rcp_loopir::{Node, Program};
+use rcp_presburger::{DenseRelation, DenseSet};
+use rcp_runtime::{execute_sequential, verify_schedule, ParallelExecutor, RefKernel};
+use std::time::Instant;
+
+/// Options shared by the subcommands.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// `--param NAME=VALUE` bindings, in command-line order.
+    pub params: Vec<(String, i64)>,
+    /// `--threads N` (run/bench), default 4.
+    pub threads: usize,
+    /// `--stmt`: force statement-level granularity even for perfect nests.
+    pub force_statement_level: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            params: Vec::new(),
+            threads: 4,
+            force_statement_level: false,
+        }
+    }
+}
+
+/// The outcome of one subcommand.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Human-readable report.
+    pub text: String,
+    /// Machine-readable payload (printed under `--json`).
+    pub data: Json,
+    /// True when the command ran but its verdict is a failure (e.g. a
+    /// parallel run that diverged from the sequential reference); the
+    /// binary exits non-zero.
+    pub failed: bool,
+}
+
+impl Report {
+    fn ok(text: String, data: Json) -> Self {
+        Report {
+            text,
+            data,
+            failed: false,
+        }
+    }
+}
+
+/// Parses `.loop` source, prefixing diagnostics with the origin (file
+/// name) so they read like compiler output.
+pub fn parse_source(source: &str, origin: &str) -> Result<Program, String> {
+    parse_program(source).map_err(|e| format!("{origin}: {e}"))
+}
+
+/// Resolves `--param` bindings against the program's declared parameters,
+/// in declaration order.  Every declared parameter must be bound and every
+/// binding must name a declared parameter.
+pub fn bind_parameters(program: &Program, opts: &Options) -> Result<Vec<i64>, String> {
+    for (name, _) in &opts.params {
+        if !program.params.iter().any(|p| p == name) {
+            return Err(if program.params.is_empty() {
+                format!(
+                    "program `{}` declares no parameters, but --param {name}=... was given",
+                    program.name
+                )
+            } else {
+                format!(
+                    "program `{}` has no parameter `{name}` (declares: {})",
+                    program.name,
+                    program.params.join(", ")
+                )
+            });
+        }
+    }
+    program
+        .params
+        .iter()
+        .map(|p| {
+            opts.params
+                .iter()
+                .rev()
+                .find(|(name, _)| name == p)
+                .map(|(_, value)| *value)
+                .ok_or_else(|| format!("missing --param {p}=<value> (program `{}`)", program.name))
+        })
+        .collect()
+}
+
+/// The granularity a program is analysed at: loop level for perfect nests
+/// unless `--stmt` forces the statement-level unified space.
+pub fn pick_granularity(program: &Program, opts: &Options) -> Granularity {
+    if opts.force_statement_level || !program.is_perfect_nest() {
+        Granularity::StatementLevel
+    } else {
+        Granularity::LoopLevel
+    }
+}
+
+fn granularity_name(g: Granularity) -> &'static str {
+    match g {
+        Granularity::LoopLevel => "loop",
+        Granularity::StatementLevel => "statement",
+    }
+}
+
+fn count_loops(nodes: &[Node]) -> usize {
+    nodes
+        .iter()
+        .map(|n| match n {
+            Node::Loop(l) => 1 + count_loops(&l.body),
+            Node::Stmt(_) => 0,
+        })
+        .sum()
+}
+
+fn params_object(program: &Program, values: &[i64]) -> Json {
+    Json::Object(
+        program
+            .params
+            .iter()
+            .zip(values)
+            .map(|(name, &value)| (name.clone(), Json::Int(value)))
+            .collect(),
+    )
+}
+
+/// `rcp parse`: front-end facts and the canonical form of the program.
+pub fn cmd_parse(source: &str, origin: &str) -> Result<Report, String> {
+    let program = parse_source(source, origin)?;
+    let canonical = pretty(&program);
+    let reparsed = parse_source(&canonical, "<canonical>")?;
+    let round_trips = reparsed == program;
+    let stmts = program.statements();
+    let text = format!(
+        "program `{}`: {} parameter(s) [{}], {} loop(s), {} statement(s), \
+         max depth {}, {} nest, arrays [{}], round-trips: {}\n\n{}",
+        program.name,
+        program.params.len(),
+        program.params.join(", "),
+        count_loops(&program.body),
+        stmts.len(),
+        program.max_depth(),
+        if program.is_perfect_nest() {
+            "perfect"
+        } else {
+            "imperfect"
+        },
+        program.arrays().join(", "),
+        if round_trips { "yes" } else { "NO" },
+        canonical
+    );
+    let data = json!({
+        "program": program.name,
+        "params": program.params,
+        "n_loops": count_loops(&program.body),
+        "n_statements": stmts.len(),
+        "max_depth": program.max_depth(),
+        "perfect_nest": program.is_perfect_nest(),
+        "arrays": program.arrays(),
+        "round_trips": round_trips,
+        "canonical": canonical,
+    });
+    Ok(Report {
+        text,
+        data,
+        failed: !round_trips,
+    })
+}
+
+/// `rcp fmt`: the canonical formatting of the program.
+pub fn cmd_fmt(source: &str, origin: &str) -> Result<Report, String> {
+    let program = parse_source(source, origin)?;
+    let canonical = pretty(&program);
+    let data = json!({
+        "program": program.name,
+        "canonical": canonical,
+        "changed": canonical != source,
+    });
+    Ok(Report::ok(canonical.clone(), data))
+}
+
+/// `rcp analyze`: exact dependence analysis and uniformity classification
+/// at concrete parameter values.  The JSON payload is deterministic (no
+/// wall clock), so CI can diff it against a golden file.
+pub fn cmd_analyze(source: &str, origin: &str, opts: &Options) -> Result<Report, String> {
+    let program = parse_source(source, origin)?;
+    let values = bind_parameters(&program, opts)?;
+    let granularity = pick_granularity(&program, opts);
+    let analysis = DependenceAnalysis::analyze(&program, granularity);
+    let (phi, rel) = analysis.bind_params(&values);
+    let phi_d = DenseSet::from_union(&phi);
+    let rd = DenseRelation::from_relation(&rel);
+    let uniformity = classify_uniformity(&rd, &phi_d);
+    let distances = distance_set(&rd);
+    let strategy = if uses_recurrence_chains(&analysis) {
+        "RecurrenceChains"
+    } else {
+        "Dataflow"
+    };
+    let param_list = program
+        .params
+        .iter()
+        .zip(&values)
+        .map(|(n, v)| format!("{n}={v}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let text = format!(
+        "program `{}` at [{}], {}-level analysis (dim {}):\n\
+         \x20 reference pairs        {}  ({} screened out by the diophantine test)\n\
+         \x20 iterations |Phi|       {}\n\
+         \x20 dependences |Rd|       {}\n\
+         \x20 distinct distances     {}\n\
+         \x20 classification         {:?}\n\
+         \x20 Algorithm 1 branch     {}\n",
+        program.name,
+        param_list,
+        granularity_name(granularity),
+        analysis.dim,
+        analysis.pairs.len(),
+        analysis.n_screened_pairs,
+        phi_d.len(),
+        rd.len(),
+        distances.len(),
+        uniformity,
+        strategy,
+    );
+    let data = json!({
+        "program": program.name,
+        "params": params_object(&program, &values),
+        "granularity": granularity_name(granularity),
+        "dim": analysis.dim,
+        "n_ref_pairs": analysis.pairs.len(),
+        "n_screened_pairs": analysis.n_screened_pairs,
+        "n_iterations": phi_d.len(),
+        "n_dependences": rd.len(),
+        "n_distinct_distances": distances.len(),
+        "uniformity": format!("{uniformity:?}"),
+        "strategy": strategy,
+    });
+    Ok(Report::ok(text, data))
+}
+
+fn partition_json(
+    program: &Program,
+    values: &[i64],
+    part: &ConcretePartition,
+    valid: bool,
+) -> Json {
+    let stats = part.stats();
+    let mut fields = vec![
+        ("program".to_string(), Json::Str(program.name.clone())),
+        ("params".to_string(), params_object(program, values)),
+        (
+            "strategy".to_string(),
+            Json::Str(format!("{:?}", part.strategy())),
+        ),
+        ("n_phases".to_string(), Json::Int(stats.n_phases as i64)),
+        (
+            "critical_path".to_string(),
+            Json::Int(stats.critical_path as i64),
+        ),
+        ("max_width".to_string(), Json::Int(stats.max_width as i64)),
+        (
+            "total_iterations".to_string(),
+            Json::Int(stats.total_iterations as i64),
+        ),
+    ];
+    match part {
+        ConcretePartition::RecurrenceChains { p1, chains, p3, .. } => {
+            let longest = rcp_core::longest_chain(chains);
+            let p2: usize = chains.iter().map(|c| c.len()).sum();
+            fields.push(("p1".to_string(), Json::Int(p1.len() as i64)));
+            fields.push(("p2".to_string(), Json::Int(p2 as i64)));
+            fields.push(("p3".to_string(), Json::Int(p3.len() as i64)));
+            fields.push(("n_chains".to_string(), Json::Int(chains.len() as i64)));
+            fields.push(("longest_chain".to_string(), Json::Int(longest as i64)));
+        }
+        ConcretePartition::Dataflow { stages } => {
+            fields.push(("n_stages".to_string(), Json::Int(stages.n_stages() as i64)));
+            fields.push((
+                "max_stage".to_string(),
+                Json::Int(stages.max_stage_size() as i64),
+            ));
+        }
+    }
+    fields.push(("valid".to_string(), Json::Bool(valid)));
+    Json::Object(fields)
+}
+
+/// `rcp partition`: the Algorithm-1 partition at concrete parameters, with
+/// the full validity check (coverage + every dependence respected).
+pub fn cmd_partition(source: &str, origin: &str, opts: &Options) -> Result<Report, String> {
+    let program = parse_source(source, origin)?;
+    let values = bind_parameters(&program, opts)?;
+    let granularity = pick_granularity(&program, opts);
+    let analysis = DependenceAnalysis::analyze(&program, granularity);
+    let (phi, rel) = analysis.bind_params(&values);
+    let phi_d = DenseSet::from_union(&phi);
+    let rd = DenseRelation::from_relation(&rel);
+    let part = rcp_core::concrete_partition_from_dense(&analysis, &phi_d, &rd);
+    let problems = part.validate(&phi_d, &rd);
+    let stats = part.stats();
+    let mut text = format!(
+        "program `{}`: {:?} partition, {} phase(s), critical path {}, \
+         max width {}, {} iteration(s)\n",
+        program.name,
+        part.strategy(),
+        stats.n_phases,
+        stats.critical_path,
+        stats.max_width,
+        stats.total_iterations,
+    );
+    match &part {
+        ConcretePartition::RecurrenceChains { p1, chains, p3, .. } => {
+            let p2: usize = chains.iter().map(|c| c.len()).sum();
+            text.push_str(&format!(
+                "  three-set partition: |P1| = {}, |P2| = {} (in {} chain(s), longest {}), |P3| = {}\n",
+                p1.len(),
+                p2,
+                chains.len(),
+                rcp_core::longest_chain(chains),
+                p3.len(),
+            ));
+        }
+        ConcretePartition::Dataflow { stages } => {
+            text.push_str(&format!(
+                "  dataflow stages: {} (widest {})\n",
+                stages.n_stages(),
+                stages.max_stage_size(),
+            ));
+        }
+    }
+    if problems.is_empty() {
+        text.push_str(
+            "  validation: ok (every iteration scheduled once, all dependences respected)\n",
+        );
+    } else {
+        text.push_str(&format!("  validation: {} problem(s):\n", problems.len()));
+        for p in problems.iter().take(5) {
+            text.push_str(&format!("    {p}\n"));
+        }
+    }
+    let data = partition_json(&program, &values, &part, problems.is_empty());
+    Ok(Report {
+        text,
+        data,
+        failed: !problems.is_empty(),
+    })
+}
+
+/// `rcp codegen`: the paper-style DOALL/WHILE listing (then-branch) or a
+/// canonical-source fallback for dataflow programs.
+pub fn cmd_codegen(source: &str, origin: &str, opts: &Options) -> Result<Report, String> {
+    let program = parse_source(source, origin)?;
+    let granularity = pick_granularity(&program, opts);
+    let analysis = DependenceAnalysis::analyze(&program, granularity);
+    match symbolic_plan(&analysis) {
+        Some(plan) => {
+            let listing = generate_listing(&plan, &program.name);
+            let data = json!({
+                "program": program.name,
+                "strategy": "RecurrenceChains",
+                "listing": listing,
+            });
+            Ok(Report::ok(listing, data))
+        }
+        None => {
+            let text = format!(
+                "program `{}` has no single full-rank coupled reference pair; Algorithm 1 \
+                 selects the dataflow branch, whose stages are enumerated at run time \
+                 (`rcp partition`).  Canonical source:\n\n{}",
+                program.name,
+                pretty(&program)
+            );
+            let data = json!({
+                "program": program.name,
+                "strategy": "Dataflow",
+                "listing": Json::Null,
+            });
+            Ok(Report::ok(text, data))
+        }
+    }
+}
+
+fn schedules_for(
+    program: &Program,
+    analysis: &DependenceAnalysis,
+    values: &[i64],
+) -> (Schedule, Schedule) {
+    let part = concrete_partition(analysis, values);
+    let parallel = Schedule::from_partition(analysis, &part, &format!("{}-rcp", program.name));
+    let sequential = Schedule::sequential(program, values);
+    (sequential, parallel)
+}
+
+/// `rcp run`: executes the partitioned schedule and verifies it
+/// element-for-element against the sequential reference.
+pub fn cmd_run(source: &str, origin: &str, opts: &Options) -> Result<Report, String> {
+    let program = parse_source(source, origin)?;
+    let values = bind_parameters(&program, opts)?;
+    let granularity = pick_granularity(&program, opts);
+    let analysis = DependenceAnalysis::analyze(&program, granularity);
+    let (sequential, parallel) = schedules_for(&program, &analysis, &values);
+    let kernel = RefKernel::new(&program);
+    let verdict = verify_schedule(&sequential, &parallel, &kernel, opts.threads);
+    let text = format!(
+        "program `{}`: executed {} instance(s) in {} phase(s) on {} thread(s)\n\
+         \x20 mismatches vs sequential: {}\n\
+         \x20 races detected:           {}\n\
+         \x20 verification:             {}\n",
+        program.name,
+        parallel.n_instances(),
+        parallel.n_phases(),
+        opts.threads,
+        verdict.mismatches.len(),
+        verdict.races.len(),
+        if verdict.passed() { "PASSED" } else { "FAILED" },
+    );
+    let data = json!({
+        "program": program.name,
+        "params": params_object(&program, &values),
+        "threads": opts.threads,
+        "n_instances": parallel.n_instances(),
+        "n_phases": parallel.n_phases(),
+        "mismatches": verdict.mismatches.len(),
+        "races": verdict.races.len(),
+        "passed": verdict.passed(),
+    });
+    Ok(Report {
+        text,
+        data,
+        failed: !verdict.passed(),
+    })
+}
+
+/// `rcp bench`: measured sequential vs parallel wall clock (best of 3).
+pub fn cmd_bench(source: &str, origin: &str, opts: &Options) -> Result<Report, String> {
+    let program = parse_source(source, origin)?;
+    let values = bind_parameters(&program, opts)?;
+    let granularity = pick_granularity(&program, opts);
+    let analysis = DependenceAnalysis::analyze(&program, granularity);
+    let (sequential, parallel) = schedules_for(&program, &analysis, &values);
+    let kernel = RefKernel::new(&program);
+    let reps = 3;
+    let best = |mut pass: Box<dyn FnMut() -> f64 + '_>| {
+        (0..reps).map(|_| pass()).fold(f64::INFINITY, f64::min)
+    };
+    let seq_ms = best(Box::new(|| {
+        let start = Instant::now();
+        let _ = execute_sequential(&sequential, &kernel);
+        start.elapsed().as_secs_f64() * 1e3
+    }));
+    let executor = ParallelExecutor::new(opts.threads).with_race_detection(false);
+    let par_ms = best(Box::new(|| {
+        let start = Instant::now();
+        let _ = executor.execute(&parallel, &kernel);
+        start.elapsed().as_secs_f64() * 1e3
+    }));
+    let speedup = seq_ms / par_ms.max(1e-9);
+    let text = format!(
+        "program `{}`: {} instance(s), best of {}\n\
+         \x20 sequential        {seq_ms:.3} ms\n\
+         \x20 parallel ({} thr)  {par_ms:.3} ms\n\
+         \x20 speedup           {speedup:.2}x\n",
+        program.name,
+        parallel.n_instances(),
+        reps,
+        opts.threads,
+    );
+    let data = json!({
+        "program": program.name,
+        "params": params_object(&program, &values),
+        "threads": opts.threads,
+        "n_instances": parallel.n_instances(),
+        "sequential_ms": seq_ms,
+        "parallel_ms": par_ms,
+        "speedup": speedup,
+    });
+    Ok(Report::ok(text, data))
+}
+
+/// Dispatches a subcommand by name.  `fmt` is excluded (it needs write
+/// access to the file and is handled by the binary).
+pub fn run_command(
+    command: &str,
+    source: &str,
+    origin: &str,
+    opts: &Options,
+) -> Result<Report, String> {
+    match command {
+        "parse" => cmd_parse(source, origin),
+        "fmt" => cmd_fmt(source, origin),
+        "analyze" => cmd_analyze(source, origin, opts),
+        "partition" => cmd_partition(source, origin, opts),
+        "codegen" => cmd_codegen(source, origin, opts),
+        "run" => cmd_run(source, origin, opts),
+        "bench" => cmd_bench(source, origin, opts),
+        other => Err(format!(
+            "unknown command `{other}` (known: parse, fmt, analyze, partition, codegen, run, bench)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE1: &str = "\
+PROGRAM example1
+PARAM N1, N2
+DO I1 = 1, N1
+  DO I2 = 1, N2
+    S: a(3*I1 + 1, 2*I1 + I2 - 1) = a(I1 + 3, I2 + 1)
+  ENDDO
+ENDDO
+END
+";
+
+    fn opts(params: &[(&str, i64)]) -> Options {
+        Options {
+            params: params.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn parse_reports_the_front_end_facts() {
+        let r = cmd_parse(EXAMPLE1, "example1.loop").unwrap();
+        assert!(!r.failed);
+        assert_eq!(r.data["program"].as_str(), Some("example1"));
+        assert_eq!(r.data["n_statements"].as_u64(), Some(1));
+        assert_eq!(r.data["perfect_nest"].as_bool(), Some(true));
+        assert_eq!(r.data["round_trips"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn analyze_matches_the_paper_facts() {
+        let r = cmd_analyze(EXAMPLE1, "example1.loop", &opts(&[("N1", 10), ("N2", 10)])).unwrap();
+        assert_eq!(r.data["n_dependences"].as_u64(), Some(18));
+        assert_eq!(r.data["uniformity"].as_str(), Some("NonUniform"));
+        assert_eq!(r.data["strategy"].as_str(), Some("RecurrenceChains"));
+        assert_eq!(r.data["n_screened_pairs"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn partition_validates_and_reports_the_three_sets() {
+        let r = cmd_partition(EXAMPLE1, "example1.loop", &opts(&[("N1", 10), ("N2", 10)])).unwrap();
+        assert!(!r.failed);
+        assert_eq!(r.data["strategy"].as_str(), Some("RecurrenceChains"));
+        assert_eq!(r.data["valid"].as_bool(), Some(true));
+        assert_eq!(r.data["total_iterations"].as_u64(), Some(100));
+        let p1 = r.data["p1"].as_u64().unwrap();
+        let p2 = r.data["p2"].as_u64().unwrap();
+        let p3 = r.data["p3"].as_u64().unwrap();
+        assert_eq!(p1 + p2 + p3, 100);
+    }
+
+    #[test]
+    fn run_verifies_against_sequential() {
+        let r = cmd_run(EXAMPLE1, "example1.loop", &opts(&[("N1", 8), ("N2", 8)])).unwrap();
+        assert!(!r.failed, "{}", r.text);
+        assert_eq!(r.data["passed"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn missing_and_unknown_params_are_reported() {
+        let err = cmd_analyze(EXAMPLE1, "f.loop", &opts(&[("N1", 10)])).unwrap_err();
+        assert!(err.contains("missing --param N2"));
+        let err =
+            cmd_analyze(EXAMPLE1, "f.loop", &opts(&[("N1", 1), ("N2", 1), ("Q", 1)])).unwrap_err();
+        assert!(err.contains("no parameter `Q`"));
+    }
+
+    #[test]
+    fn parse_errors_carry_the_origin() {
+        let err = cmd_parse("PROGRAM p\nDO I = , 9\nENDDO\nEND\n", "bad.loop").unwrap_err();
+        assert!(err.starts_with("bad.loop: line 2"), "{err}");
+    }
+
+    #[test]
+    fn codegen_emits_a_listing_for_the_then_branch() {
+        let r = cmd_codegen(EXAMPLE1, "example1.loop", &Options::default()).unwrap();
+        assert_eq!(r.data["strategy"].as_str(), Some("RecurrenceChains"));
+        assert!(r.data["listing"].as_str().is_some());
+    }
+}

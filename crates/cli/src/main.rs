@@ -1,0 +1,140 @@
+//! The `rcp` binary: a thin argument-parsing shell over [`rcp_cli`].
+
+use rcp_cli::{cmd_fmt, run_command, Options};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+rcp — recurrence-chains loop-nest driver
+
+USAGE:
+    rcp <COMMAND> <FILE.loop> [OPTIONS]
+
+COMMANDS:
+    parse       parse the file, report front-end facts + canonical source
+    fmt         print the canonical formatting (--write rewrites the file)
+    analyze     exact dependence analysis + uniformity classification
+    partition   Algorithm-1 three-set / dataflow partition (validated)
+    codegen     paper-style DOALL/WHILE listing
+    run         execute the partitioned schedule, verify vs sequential
+    bench       measured sequential vs parallel wall clock
+
+OPTIONS:
+    --param NAME=VALUE   bind a symbolic parameter (repeatable)
+    --threads N          worker threads for run/bench (default 4)
+    --stmt               force statement-level granularity
+    --json               print the machine-readable report instead of text
+    --write              (fmt only) rewrite the file in place
+
+EXAMPLE:
+    rcp analyze examples/loops/example1.loop --param N1=300 --param N2=1000
+";
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        print!("{USAGE}");
+        return if args.is_empty() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    let mut command: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut opts = Options::default();
+    let mut json = false;
+    let mut write = false;
+    let mut k = 0;
+    while k < args.len() {
+        let arg = &args[k];
+        match arg.as_str() {
+            "--json" => json = true,
+            "--write" => write = true,
+            "--stmt" => opts.force_statement_level = true,
+            "--param" | "--threads" => {
+                let Some(value) = args.get(k + 1) else {
+                    return fail(&format!("{arg} requires a value"));
+                };
+                k += 1;
+                if arg == "--threads" {
+                    match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => opts.threads = n,
+                        _ => return fail(&format!("invalid --threads value `{value}`")),
+                    }
+                } else {
+                    let Some((name, v)) = value.split_once('=') else {
+                        return fail(&format!("--param expects NAME=VALUE, got `{value}`"));
+                    };
+                    let Ok(v) = v.parse::<i64>() else {
+                        return fail(&format!("--param {name}: invalid integer `{v}`"));
+                    };
+                    opts.params.push((name.to_string(), v));
+                }
+            }
+            _ if arg.starts_with("--") => return fail(&format!("unknown option `{arg}`")),
+            _ if command.is_none() => command = Some(arg.clone()),
+            _ if file.is_none() => file = Some(arg.clone()),
+            _ => return fail(&format!("unexpected argument `{arg}`")),
+        }
+        k += 1;
+    }
+
+    let Some(command) = command else {
+        return fail("missing command (try `rcp --help`)");
+    };
+    let Some(file) = file else {
+        return fail("missing input file (try `rcp --help`)");
+    };
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot read {file}: {e}")),
+    };
+
+    // `fmt --write` rewrites the file instead of reporting.
+    if command == "fmt" && write {
+        return match cmd_fmt(&source, &file) {
+            Ok(report) => {
+                let canonical = report.data["canonical"].as_str().unwrap_or_default();
+                if canonical != source {
+                    if let Err(e) = std::fs::write(&file, canonical) {
+                        return fail(&format!("cannot write {file}: {e}"));
+                    }
+                    eprintln!("reformatted {file}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match run_command(&command, &source, &file, &opts) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.data.pretty());
+            } else {
+                print!("{}", report.text);
+                if !report.text.ends_with('\n') {
+                    println!();
+                }
+            }
+            if report.failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

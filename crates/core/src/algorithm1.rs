@@ -184,6 +184,18 @@ pub fn symbolic_plan(analysis: &DependenceAnalysis) -> Option<SymbolicPlan> {
     })
 }
 
+/// True when Algorithm 1 takes its then-branch for this analysis: a
+/// single coupled reference pair with full-rank matrices whose recurrence
+/// `i = j·T + u` exists.  The single source of truth for the branch
+/// condition, shared by [`concrete_partition_from_dense`] and every
+/// consumer that reports the chosen strategy (e.g. `rcp analyze`).
+pub fn uses_recurrence_chains(analysis: &DependenceAnalysis) -> bool {
+    analysis
+        .single_coupled_pair()
+        .and_then(|p| Recurrence::from_pair(&p))
+        .is_some()
+}
+
 /// Runs Algorithm 1 for concrete parameter values, choosing the
 /// recurrence-chain branch when possible and falling back to dataflow
 /// partitioning otherwise.
@@ -201,11 +213,7 @@ pub fn concrete_partition_from_dense(
     phi: &DenseSet,
     rd: &DenseRelation,
 ) -> ConcretePartition {
-    let use_chains = analysis
-        .single_coupled_pair()
-        .and_then(|p| Recurrence::from_pair(&p))
-        .is_some();
-    if use_chains {
+    if uses_recurrence_chains(analysis) {
         let three_set = DenseThreeSet::compute(phi, rd);
         let chains = chains_in_intermediate(&three_set, rd);
         ConcretePartition::RecurrenceChains {

@@ -28,21 +28,85 @@ use crate::hnf::{hermite_normal_form, HnfResult};
 use crate::matrix::IMat;
 use crate::vector::IVec;
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Maximum number of entries each solver cache retains.
 pub const CACHE_CAPACITY: usize = 1 << 16;
 
-/// Lazily allocated map behind a process-wide lock.
-type CacheSlot<K, V> = Mutex<Option<HashMap<K, V>>>;
+/// A process-wide bounded memo cache: a lazily allocated map behind a
+/// lock, hit/miss counters, and a capacity guard.  Once full, new results
+/// are still returned but no longer inserted — a deliberately simple
+/// policy whose behaviour does not depend on timing, so cached and
+/// uncached runs stay deterministic.
+///
+/// Every memoisation static in the workspace is an instance of this type:
+/// the two solver caches below and the Fourier–Motzkin emptiness cache in
+/// `rcp-presburger`.
+pub struct MemoCache<K, V> {
+    map: Mutex<Option<HashMap<K, V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
 
-static HNF_CACHE: CacheSlot<IMat, HnfResult> = Mutex::new(None);
-static DIO_CACHE: CacheSlot<(IMat, IVec), Option<DiophantineSolution>> = Mutex::new(None);
-static HNF_HITS: AtomicU64 = AtomicU64::new(0);
-static HNF_MISSES: AtomicU64 = AtomicU64::new(0);
-static DIO_HITS: AtomicU64 = AtomicU64::new(0);
-static DIO_MISSES: AtomicU64 = AtomicU64::new(0);
+impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
+    /// An empty cache retaining at most `capacity` entries (usable in
+    /// `static` position).
+    pub const fn new(capacity: usize) -> Self {
+        MemoCache {
+            map: Mutex::new(None),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Returns the cached value for `key`, computing and (capacity
+    /// permitting) inserting it on a miss.  `compute` runs outside the
+    /// lock, so concurrent misses may compute redundantly but never
+    /// deadlock; the stored value is whichever insert wins.
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        {
+            let mut guard = self.map.lock().expect("memo cache poisoned");
+            let cache = guard.get_or_insert_with(HashMap::new);
+            if let Some(hit) = cache.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return hit.clone();
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = compute();
+        let mut guard = self.map.lock().expect("memo cache poisoned");
+        let cache = guard.get_or_insert_with(HashMap::new);
+        if cache.len() < self.capacity {
+            cache.insert(key, result.clone());
+        }
+        result
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran the underlying computation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Empties the cache and zeroes the counters (for cold-start timing).
+    pub fn reset(&self) {
+        *self.map.lock().expect("memo cache poisoned") = None;
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+static HNF_CACHE: MemoCache<IMat, HnfResult> = MemoCache::new(CACHE_CAPACITY);
+static DIO_CACHE: MemoCache<(IMat, IVec), Option<DiophantineSolution>> =
+    MemoCache::new(CACHE_CAPACITY);
 
 /// Hit/miss counters of the process-wide solver caches.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -78,62 +142,29 @@ impl SolverCacheStats {
 /// [`hermite_normal_form`](crate::hnf::hermite_normal_form) with process-wide
 /// memoisation keyed by the input matrix.
 pub fn hermite_normal_form_cached(a: &IMat) -> HnfResult {
-    let mut guard = HNF_CACHE.lock().expect("hnf cache poisoned");
-    let cache = guard.get_or_insert_with(HashMap::new);
-    if let Some(hit) = cache.get(a) {
-        HNF_HITS.fetch_add(1, Ordering::Relaxed);
-        return hit.clone();
-    }
-    HNF_MISSES.fetch_add(1, Ordering::Relaxed);
-    drop(guard);
-    let result = hermite_normal_form(a);
-    let mut guard = HNF_CACHE.lock().expect("hnf cache poisoned");
-    let cache = guard.get_or_insert_with(HashMap::new);
-    if cache.len() < CACHE_CAPACITY {
-        cache.insert(a.clone(), result.clone());
-    }
-    result
+    HNF_CACHE.get_or_compute(a.clone(), || hermite_normal_form(a))
 }
 
 /// [`solve_linear_system`](crate::diophantine::solve_linear_system) with
 /// process-wide memoisation keyed by `(matrix, rhs)`.
 pub fn solve_linear_system_cached(m: &IMat, c: &[i64]) -> Option<DiophantineSolution> {
-    let key = (m.clone(), c.to_vec());
-    let mut guard = DIO_CACHE.lock().expect("diophantine cache poisoned");
-    let cache = guard.get_or_insert_with(HashMap::new);
-    if let Some(hit) = cache.get(&key) {
-        DIO_HITS.fetch_add(1, Ordering::Relaxed);
-        return hit.clone();
-    }
-    DIO_MISSES.fetch_add(1, Ordering::Relaxed);
-    drop(guard);
-    let result = solve_linear_system(m, c);
-    let mut guard = DIO_CACHE.lock().expect("diophantine cache poisoned");
-    let cache = guard.get_or_insert_with(HashMap::new);
-    if cache.len() < CACHE_CAPACITY {
-        cache.insert(key, result.clone());
-    }
-    result
+    DIO_CACHE.get_or_compute((m.clone(), c.to_vec()), || solve_linear_system(m, c))
 }
 
 /// A snapshot of the hit/miss counters.
 pub fn solver_cache_stats() -> SolverCacheStats {
     SolverCacheStats {
-        hnf_hits: HNF_HITS.load(Ordering::Relaxed),
-        hnf_misses: HNF_MISSES.load(Ordering::Relaxed),
-        dio_hits: DIO_HITS.load(Ordering::Relaxed),
-        dio_misses: DIO_MISSES.load(Ordering::Relaxed),
+        hnf_hits: HNF_CACHE.hits(),
+        hnf_misses: HNF_CACHE.misses(),
+        dio_hits: DIO_CACHE.hits(),
+        dio_misses: DIO_CACHE.misses(),
     }
 }
 
 /// Empties both caches and zeroes the counters (for cold-start timing).
 pub fn reset_solver_cache() {
-    *HNF_CACHE.lock().expect("hnf cache poisoned") = None;
-    *DIO_CACHE.lock().expect("diophantine cache poisoned") = None;
-    HNF_HITS.store(0, Ordering::Relaxed);
-    HNF_MISSES.store(0, Ordering::Relaxed);
-    DIO_HITS.store(0, Ordering::Relaxed);
-    DIO_MISSES.store(0, Ordering::Relaxed);
+    HNF_CACHE.reset();
+    DIO_CACHE.reset();
 }
 
 #[cfg(test)]

@@ -39,7 +39,7 @@ pub mod vector;
 
 pub use cache::{
     hermite_normal_form_cached, reset_solver_cache, solve_linear_system_cached, solver_cache_stats,
-    SolverCacheStats,
+    MemoCache, SolverCacheStats,
 };
 pub use diophantine::{solve_linear_system, DiophantineSolution};
 pub use gcd::{ext_gcd, gcd, gcd_slice, lcm};

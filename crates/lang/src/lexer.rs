@@ -1,0 +1,180 @@
+//! Line-oriented lexer for the `.loop` language.
+//!
+//! The grammar is line-structured (one construct per line, like the
+//! Fortran sources it mimics), so the lexer tokenizes one line at a time
+//! and records the 1-based column of every token for diagnostics.
+
+use crate::parser::{ParseError, SourcePos};
+use std::fmt;
+
+/// A lexical token of the `.loop` language.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// An identifier (loop index, parameter, array or statement name).
+    Ident(String),
+    /// A non-negative integer literal (signs are handled by the parser).
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `...` — the empty reference list of a statement side.
+    Ellipsis,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(name) => write!(f, "identifier `{name}`"),
+            Tok::Int(k) => write!(f, "integer `{k}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Ellipsis => write!(f, "`...`"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Position of the token's first character.
+    pub pos: SourcePos,
+}
+
+/// Strips a trailing `!` comment (the language has no string literals, so
+/// the first `!` always starts a comment).
+pub fn strip_comment(line: &str) -> &str {
+    match line.find('!') {
+        Some(k) => &line[..k],
+        None => line,
+    }
+}
+
+/// Tokenizes one line (comment already stripped).  `line_no` is 1-based.
+pub fn lex_line(line: &str, line_no: usize) -> Result<Vec<Token>, ParseError> {
+    let chars: Vec<char> = line.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let col = i + 1;
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let pos = SourcePos { line: line_no, col };
+        let single = |tok: Tok| Token {
+            tok,
+            pos: SourcePos { line: line_no, col },
+        };
+        match c {
+            '(' => tokens.push(single(Tok::LParen)),
+            ')' => tokens.push(single(Tok::RParen)),
+            ',' => tokens.push(single(Tok::Comma)),
+            ':' => tokens.push(single(Tok::Colon)),
+            '=' => tokens.push(single(Tok::Eq)),
+            '+' => tokens.push(single(Tok::Plus)),
+            '-' => tokens.push(single(Tok::Minus)),
+            '*' => tokens.push(single(Tok::Star)),
+            '.' => {
+                if chars[i..].starts_with(&['.', '.', '.']) {
+                    tokens.push(single(Tok::Ellipsis));
+                    i += 3;
+                    continue;
+                }
+                return Err(ParseError::new(pos, "unexpected character `.`".into()));
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let value: i64 = text.parse().map_err(|_| {
+                    ParseError::new(pos, format!("integer literal `{text}` out of range"))
+                })?;
+                tokens.push(Token {
+                    tok: Tok::Int(value),
+                    pos,
+                });
+                continue;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(chars[start..i].iter().collect()),
+                    pos,
+                });
+                continue;
+            }
+            _ => {
+                return Err(ParseError::new(pos, format!("unexpected character `{c}`")));
+            }
+        }
+        i += 1;
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_statement_line() {
+        let toks = lex_line("    S: a(3*I1 + 1) = a(I1 + 3)", 4).unwrap();
+        assert_eq!(toks[0].tok, Tok::Ident("S".into()));
+        assert_eq!(toks[0].pos, SourcePos { line: 4, col: 5 });
+        assert_eq!(toks[1].tok, Tok::Colon);
+        assert!(toks.iter().any(|t| t.tok == Tok::Int(3)));
+        assert!(toks.iter().any(|t| t.tok == Tok::Star));
+    }
+
+    #[test]
+    fn ellipsis_and_comments() {
+        assert_eq!(
+            strip_comment("DO I = 1, N ! the outer loop"),
+            "DO I = 1, N "
+        );
+        let toks = lex_line("S: ... = a(I)", 1).unwrap();
+        assert_eq!(toks[2].tok, Tok::Ellipsis);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        let err = lex_line("DO I = 1, N; S", 7).unwrap_err();
+        assert_eq!(err.pos, SourcePos { line: 7, col: 12 });
+        assert!(err.message.contains("unexpected character"));
+        let err = lex_line("S: a(I.5)", 2).unwrap_err();
+        assert!(err.message.contains("`.`"));
+    }
+
+    #[test]
+    fn rejects_overflowing_integers() {
+        let err = lex_line("S: a(99999999999999999999)", 1).unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+}

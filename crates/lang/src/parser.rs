@@ -1,0 +1,722 @@
+//! Recursive-descent parser: `.loop` source → [`rcp_loopir::Program`].
+//!
+//! The language is line-structured; every line is one construct:
+//!
+//! * `PROGRAM <name>` — header (the name runs to the end of the line, so
+//!   library names like `corpus-17` survive a round trip),
+//! * `PARAM <ident>, <ident>, …` — symbolic parameter declarations (their
+//!   order is the [`Program::bind_params`] order),
+//! * `DO <index> = <lower>, <upper>` / `ENDDO` — a unit-stride loop; a
+//!   lower bound may be `max(e, …)` and an upper bound `min(e, …)`,
+//! * `<name>: <writes> = <reads>` — a statement; each side is `...` or a
+//!   comma-separated list of affine references `array(e, e, …)`,
+//! * `END` — terminator.
+//!
+//! Bounds and subscripts are affine expressions over the enclosing loop
+//! indices and the declared parameters; anything else (unknown variables,
+//! `I*J` products, misplaced `min`/`max`) is rejected with a precise
+//! line/column diagnostic.
+
+use crate::lexer::{lex_line, strip_comment, Tok, Token};
+use rcp_loopir::expr::LinExpr;
+use rcp_loopir::program::{ArrayRef, Loop, Node, Program, Statement};
+use std::fmt;
+
+/// A 1-based line/column source position.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SourcePos {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+/// A parse failure with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Where the failure was detected.
+    pub pos: SourcePos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error.
+    pub fn new(pos: SourcePos, message: String) -> Self {
+        ParseError { pos, message }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}, column {}: {}",
+            self.pos.line, self.pos.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The reserved words of the language (matched case-insensitively).
+fn as_keyword(tok: &Tok) -> Option<&'static str> {
+    if let Tok::Ident(s) = tok {
+        match s.to_ascii_uppercase().as_str() {
+            "PROGRAM" => Some("PROGRAM"),
+            "PARAM" => Some("PARAM"),
+            "DO" => Some("DO"),
+            "ENDDO" => Some("ENDDO"),
+            "END" => Some("END"),
+            _ => None,
+        }
+    } else {
+        None
+    }
+}
+
+/// Variables an expression may mention at some point of the program.
+struct Scope<'a> {
+    params: &'a [String],
+    indices: &'a [String],
+}
+
+impl Scope<'_> {
+    fn check(&self, name: &str, pos: SourcePos) -> Result<(), ParseError> {
+        if self.params.iter().any(|p| p == name) || self.indices.iter().any(|i| i == name) {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                pos,
+                format!(
+                    "unknown variable `{name}`: not a declared PARAM or an enclosing loop index"
+                ),
+            ))
+        }
+    }
+}
+
+/// A cursor over one line's tokens.
+struct Cursor<'a> {
+    tokens: &'a [Token],
+    k: usize,
+    line: usize,
+    eol_col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(tokens: &'a [Token], line: usize, eol_col: usize) -> Self {
+        Cursor {
+            tokens,
+            k: 0,
+            line,
+            eol_col,
+        }
+    }
+
+    fn peek(&self) -> Option<&'a Tok> {
+        self.tokens.get(self.k).map(|t| &t.tok)
+    }
+
+    fn peek2(&self) -> Option<&'a Tok> {
+        self.tokens.get(self.k + 1).map(|t| &t.tok)
+    }
+
+    fn pos(&self) -> SourcePos {
+        match self.tokens.get(self.k) {
+            Some(t) => t.pos,
+            None => SourcePos {
+                line: self.line,
+                col: self.eol_col,
+            },
+        }
+    }
+
+    fn advance(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.k);
+        if t.is_some() {
+            self.k += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError::new(self.pos(), message)
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.k += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.err(format!("expected {what}, found {t}"))),
+            None => Err(self.err(format!("expected {what}, found end of line"))),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, SourcePos), ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(_)) => {
+                let t = self.advance().expect("peeked");
+                if let Some(kw) = as_keyword(&t.tok) {
+                    return Err(ParseError::new(
+                        t.pos,
+                        format!("keyword `{kw}` cannot be used as {what}"),
+                    ));
+                }
+                match &t.tok {
+                    Tok::Ident(name) => Ok((name.clone(), t.pos)),
+                    _ => unreachable!(),
+                }
+            }
+            Some(t) => Err(self.err(format!("expected {what}, found {t}"))),
+            None => Err(self.err(format!("expected {what}, found end of line"))),
+        }
+    }
+
+    fn expect_end(&mut self, after: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(self.err(format!("unexpected {t} after {after}"))),
+        }
+    }
+
+    /// One affine term: `k`, `k*v`, `v*k` or `v` (with `sign` applied).
+    fn parse_term(&mut self, sign: i64, scope: &Scope) -> Result<LinExpr, ParseError> {
+        match self.peek() {
+            Some(Tok::Int(_)) => {
+                let t = self.advance().expect("peeked");
+                let k = match t.tok {
+                    Tok::Int(k) => k,
+                    _ => unreachable!(),
+                };
+                if self.peek() == Some(&Tok::Star) {
+                    self.k += 1;
+                    let (name, pos) = self.expect_ident("a variable after `*`")?;
+                    scope.check(&name, pos)?;
+                    Ok(LinExpr::term(sign * k, &name))
+                } else {
+                    Ok(LinExpr::c(sign * k))
+                }
+            }
+            Some(Tok::Ident(_)) => {
+                let (name, pos) = self.expect_ident("a variable")?;
+                scope.check(&name, pos)?;
+                if self.peek() == Some(&Tok::Star) {
+                    self.k += 1;
+                    match self.peek() {
+                        Some(Tok::Int(_)) => {
+                            let t = self.advance().expect("peeked");
+                            let k = match t.tok {
+                                Tok::Int(k) => k,
+                                _ => unreachable!(),
+                            };
+                            Ok(LinExpr::term(sign * k, &name))
+                        }
+                        _ => Err(self.err(
+                            "non-affine term: expected an integer coefficient after `*`".into(),
+                        )),
+                    }
+                } else {
+                    Ok(LinExpr::term(sign, &name))
+                }
+            }
+            Some(t) => Err(self.err(format!("expected an affine expression, found {t}"))),
+            None => Err(self.err("expected an affine expression, found end of line".into())),
+        }
+    }
+
+    /// An affine expression: `[-] term ((+|-) term)*`.
+    fn parse_expr(&mut self, scope: &Scope) -> Result<LinExpr, ParseError> {
+        let mut sign = 1i64;
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.k += 1;
+                sign = -1;
+            }
+            Some(Tok::Plus) => {
+                self.k += 1;
+            }
+            _ => {}
+        }
+        let mut acc = self.parse_term(sign, scope)?;
+        loop {
+            match self.peek() {
+                Some(Tok::Plus) => {
+                    self.k += 1;
+                    acc = acc + self.parse_term(1, scope)?;
+                }
+                Some(Tok::Minus) => {
+                    self.k += 1;
+                    acc = acc + self.parse_term(-1, scope)?;
+                }
+                _ => break,
+            }
+        }
+        // Cancelled variables (`I - I`) must not survive as zero-coefficient
+        // entries: `LinExpr` equality is structural.
+        acc.terms.retain(|_, c| *c != 0);
+        Ok(acc)
+    }
+
+    /// A loop bound: a single expression, or `max(e, …)` (lower) /
+    /// `min(e, …)` (upper).
+    fn parse_bound(&mut self, scope: &Scope, lower: bool) -> Result<Vec<LinExpr>, ParseError> {
+        if let Some(Tok::Ident(name)) = self.peek() {
+            let fold = name.to_ascii_lowercase();
+            if (fold == "max" || fold == "min") && self.peek2() == Some(&Tok::LParen) {
+                match (fold.as_str(), lower) {
+                    ("max", false) => {
+                        return Err(self.err("`max(...)` is only valid as a lower bound".into()))
+                    }
+                    ("min", true) => {
+                        return Err(self.err("`min(...)` is only valid as an upper bound".into()))
+                    }
+                    _ => {}
+                }
+                self.k += 2; // the name and `(`
+                let mut out = vec![self.parse_expr(scope)?];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.k += 1;
+                    out.push(self.parse_expr(scope)?);
+                }
+                self.expect(&Tok::RParen, "`)`")?;
+                return Ok(out);
+            }
+        }
+        Ok(vec![self.parse_expr(scope)?])
+    }
+
+    /// An array reference `array(e, e, …)`.
+    fn parse_ref(&mut self, scope: &Scope, write: bool) -> Result<ArrayRef, ParseError> {
+        let (array, _) = self.expect_ident("an array name")?;
+        self.expect(&Tok::LParen, "`(` after the array name")?;
+        if self.peek() == Some(&Tok::RParen) {
+            return Err(self.err("expected a subscript expression".into()));
+        }
+        let mut subs = vec![self.parse_expr(scope)?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.k += 1;
+            subs.push(self.parse_expr(scope)?);
+        }
+        self.expect(&Tok::RParen, "`)`")?;
+        Ok(if write {
+            ArrayRef::write(&array, subs)
+        } else {
+            ArrayRef::read(&array, subs)
+        })
+    }
+
+    /// One side of a statement: `...` or a reference list.
+    fn parse_refs(&mut self, scope: &Scope, write: bool) -> Result<Vec<ArrayRef>, ParseError> {
+        if self.peek() == Some(&Tok::Ellipsis) {
+            self.k += 1;
+            return Ok(Vec::new());
+        }
+        let mut out = vec![self.parse_ref(scope, write)?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.k += 1;
+            out.push(self.parse_ref(scope, write)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Parses a whole `.loop` source into a [`Program`].
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let mut name: Option<String> = None;
+    let mut params: Vec<String> = Vec::new();
+    let mut top: Vec<Node> = Vec::new();
+    let mut stack: Vec<Loop> = Vec::new();
+    let mut ended = false;
+    let mut body_started = false;
+    let mut last_line = 0;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        last_line = line_no;
+        let text = strip_comment(raw);
+        if text.trim().is_empty() || raw.trim_start().starts_with('#') {
+            continue;
+        }
+        let first_col = text.len() - text.trim_start().len() + 1;
+        if ended {
+            return Err(ParseError::new(
+                SourcePos {
+                    line: line_no,
+                    col: first_col,
+                },
+                "content after END".into(),
+            ));
+        }
+
+        // The header line is handled textually so program names may contain
+        // characters outside the identifier charset (`corpus-17`, …).
+        if name.is_none() {
+            let trimmed = text.trim_start();
+            // `get` keeps the slice char-boundary-safe: a multibyte
+            // character straddling byte 7 is a malformed header, not a
+            // panic.  A successful `get(..7)` makes `trimmed[7..]` safe.
+            let is_header = trimmed
+                .get(..7)
+                .is_some_and(|head| head.eq_ignore_ascii_case("PROGRAM"));
+            let header_rest = is_header
+                .then(|| &trimmed[7..])
+                .filter(|rest| rest.is_empty() || rest.starts_with(char::is_whitespace));
+            match header_rest {
+                Some(rest) => {
+                    let program_name = rest.trim();
+                    if program_name.is_empty() {
+                        return Err(ParseError::new(
+                            SourcePos {
+                                line: line_no,
+                                col: first_col + 7,
+                            },
+                            "expected a program name after PROGRAM".into(),
+                        ));
+                    }
+                    name = Some(program_name.to_string());
+                    continue;
+                }
+                None => {
+                    return Err(ParseError::new(
+                        SourcePos {
+                            line: line_no,
+                            col: first_col,
+                        },
+                        "expected a PROGRAM header as the first line".into(),
+                    ));
+                }
+            }
+        }
+
+        let tokens = lex_line(text, line_no)?;
+        let eol_col = text.chars().count() + 1;
+        let mut cur = Cursor::new(&tokens, line_no, eol_col);
+        let indices: Vec<String> = stack.iter().map(|l| l.index.clone()).collect();
+        let scope = Scope {
+            params: &params,
+            indices: &indices,
+        };
+
+        match cur.peek().and_then(as_keyword) {
+            Some("PROGRAM") => {
+                return Err(cur.err("duplicate PROGRAM header".into()));
+            }
+            Some("PARAM") => {
+                if body_started {
+                    return Err(cur.err("PARAM lines must appear before the loop body".into()));
+                }
+                cur.k += 1;
+                loop {
+                    let (p, pos) = cur.expect_ident("a parameter name")?;
+                    if params.contains(&p) {
+                        return Err(ParseError::new(pos, format!("duplicate parameter `{p}`")));
+                    }
+                    params.push(p);
+                    match cur.peek() {
+                        Some(Tok::Comma) => cur.k += 1,
+                        None => break,
+                        Some(t) => {
+                            return Err(cur.err(format!("expected `,` or end of line, found {t}")))
+                        }
+                    }
+                }
+            }
+            Some("DO") => {
+                body_started = true;
+                cur.k += 1;
+                let (index, pos) = cur.expect_ident("a loop index")?;
+                if params.contains(&index) {
+                    return Err(ParseError::new(
+                        pos,
+                        format!("loop index `{index}` collides with a PARAM"),
+                    ));
+                }
+                if indices.contains(&index) {
+                    return Err(ParseError::new(
+                        pos,
+                        format!("loop index `{index}` shadows an enclosing loop"),
+                    ));
+                }
+                cur.expect(&Tok::Eq, "`=` after the loop index")?;
+                let lower = cur.parse_bound(&scope, true)?;
+                cur.expect(&Tok::Comma, "`,` between the loop bounds")?;
+                let upper = cur.parse_bound(&scope, false)?;
+                cur.expect_end("the loop bounds")?;
+                stack.push(Loop {
+                    index,
+                    lower,
+                    upper,
+                    body: Vec::new(),
+                });
+            }
+            Some("ENDDO") => {
+                let kw_pos = cur.pos();
+                cur.k += 1;
+                cur.expect_end("ENDDO")?;
+                match stack.pop() {
+                    Some(done) => {
+                        let node = Node::Loop(done);
+                        match stack.last_mut() {
+                            Some(parent) => parent.body.push(node),
+                            None => top.push(node),
+                        }
+                    }
+                    None => {
+                        return Err(ParseError::new(
+                            kw_pos,
+                            "ENDDO without a matching DO".into(),
+                        ))
+                    }
+                }
+            }
+            Some("END") => {
+                let kw_pos = cur.pos();
+                cur.k += 1;
+                cur.expect_end("END")?;
+                if !stack.is_empty() {
+                    return Err(ParseError::new(
+                        kw_pos,
+                        format!(
+                            "END with {} unclosed DO loop(s): missing ENDDO",
+                            stack.len()
+                        ),
+                    ));
+                }
+                ended = true;
+            }
+            _ => {
+                body_started = true;
+                let (stmt_name, _) = cur.expect_ident("a statement name, DO, ENDDO or END")?;
+                cur.expect(&Tok::Colon, "`:` after the statement name")?;
+                let mut refs = cur.parse_refs(&scope, true)?;
+                cur.expect(&Tok::Eq, "`=` between the write and read references")?;
+                refs.extend(cur.parse_refs(&scope, false)?);
+                cur.expect_end("the statement")?;
+                let node = Node::Stmt(Statement {
+                    name: stmt_name,
+                    refs,
+                });
+                match stack.last_mut() {
+                    Some(parent) => parent.body.push(node),
+                    None => top.push(node),
+                }
+            }
+        }
+    }
+
+    let eof = SourcePos {
+        line: last_line + 1,
+        col: 1,
+    };
+    let Some(name) = name else {
+        return Err(ParseError::new(
+            eof,
+            "empty program: expected a PROGRAM header".into(),
+        ));
+    };
+    if !ended {
+        return Err(ParseError::new(eof, "missing END".into()));
+    }
+    Ok(Program {
+        name,
+        params,
+        body: top,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcp_loopir::expr::{c, v};
+    use rcp_loopir::program::build::{loop_, loop_minmax, stmt};
+
+    const EXAMPLE1: &str = "\
+PROGRAM example1
+PARAM N1, N2
+DO I1 = 1, N1
+  DO I2 = 1, N2
+    S: a(3*I1 + 1, 2*I1 + I2 - 1) = a(I1 + 3, I2 + 1)
+  ENDDO
+ENDDO
+END
+";
+
+    fn example1() -> Program {
+        Program::new(
+            "example1",
+            &["N1", "N2"],
+            vec![loop_(
+                "I1",
+                c(1),
+                v("N1"),
+                vec![loop_(
+                    "I2",
+                    c(1),
+                    v("N2"),
+                    vec![stmt(
+                        "S",
+                        vec![
+                            ArrayRef::write(
+                                "a",
+                                vec![v("I1") * 3 + c(1), v("I1") * 2 + v("I2") - c(1)],
+                            ),
+                            ArrayRef::read("a", vec![v("I1") + c(3), v("I2") + c(1)]),
+                        ],
+                    )],
+                )],
+            )],
+        )
+    }
+
+    #[test]
+    fn parses_example1_to_the_library_program() {
+        assert_eq!(parse_program(EXAMPLE1).unwrap(), example1());
+    }
+
+    #[test]
+    fn comments_case_and_whitespace_are_insignificant() {
+        let src = "\
+! a paper loop
+program example1
+param N1, N2
+do I1 = 1, N1   ! outer
+do I2 = 1, N2
+S: a(3*I1+1, 2*I1+I2-1) = a(I1+3, I2+1)
+enddo
+# hash comments too
+enddo
+end
+";
+        assert_eq!(parse_program(src).unwrap(), example1());
+    }
+
+    #[test]
+    fn imperfect_nesting_and_empty_sides() {
+        let src = "\
+PROGRAM example3
+PARAM N
+DO I = 1, N
+  DO J = 1, I
+    DO K = J, I
+      S1: ... = a(I + 2*K + 5, 4*K - J)
+    ENDDO
+    S2: a(I - J, I + J) = ...
+  ENDDO
+ENDDO
+END
+";
+        let p = parse_program(src).unwrap();
+        assert!(!p.is_perfect_nest());
+        let stmts = p.statements();
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[0].stmt.name, "S1");
+        assert_eq!(stmts[0].stmt.refs.len(), 1);
+        assert!(!stmts[0].stmt.refs[0].is_write());
+        assert_eq!(stmts[1].positions, vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn minmax_bounds_parse() {
+        let src = "\
+PROGRAM bands
+PARAM M, J0
+DO I = max(-M, -J0), -1
+  S: a(I + 1) = a(-I)
+ENDDO
+END
+";
+        let p = parse_program(src).unwrap();
+        let expected = Program::new(
+            "bands",
+            &["M", "J0"],
+            vec![loop_minmax(
+                "I",
+                vec![-v("M"), -v("J0")],
+                vec![c(-1)],
+                vec![stmt(
+                    "S",
+                    vec![
+                        ArrayRef::write("a", vec![v("I") + c(1)]),
+                        ArrayRef::read("a", vec![-v("I")]),
+                    ],
+                )],
+            )],
+        );
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn coefficient_forms_and_cancellation() {
+        let src = "\
+PROGRAM forms
+PARAM N
+DO I = 1, N
+  S: a(I*2 + 3, 2*I - I - I) = a(0 - 1 + I)
+ENDDO
+END
+";
+        let p = parse_program(src).unwrap();
+        let s = &p.statements()[0].stmt;
+        assert_eq!(s.refs[0].subscripts[0], v("I") * 2 + c(3));
+        // 2I - I - I cancels to the constant 0 with no residual term.
+        assert_eq!(s.refs[0].subscripts[1], c(0));
+        assert_eq!(s.refs[1].subscripts[0], v("I") - c(1));
+    }
+
+    #[test]
+    fn program_names_keep_their_hyphens() {
+        let src = "PROGRAM corpus-17\nEND\n";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.name, "corpus-17");
+        assert!(p.body.is_empty());
+    }
+
+    #[test]
+    fn diagnostics_carry_positions() {
+        // Unknown variable in a subscript.
+        let src = "PROGRAM p\nDO I = 1, 9\n  S: a(Q) = ...\nENDDO\nEND\n";
+        let err = parse_program(src).unwrap_err();
+        assert_eq!(err.pos, SourcePos { line: 3, col: 8 });
+        assert!(err.message.contains("unknown variable `Q`"));
+        // Unbalanced ENDDO.
+        let err = parse_program("PROGRAM p\nENDDO\nEND\n").unwrap_err();
+        assert_eq!(err.message, "ENDDO without a matching DO");
+        // Missing ENDDO at END.
+        let err = parse_program("PROGRAM p\nDO I = 1, 9\nEND\n").unwrap_err();
+        assert!(err.message.contains("unclosed DO loop"));
+        // Non-affine subscript.
+        let err = parse_program(
+            "PROGRAM p\nDO I = 1, 9\nDO J = 1, 9\nS: a(I*J) = ...\nENDDO\nENDDO\nEND\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("non-affine term"));
+        // Missing END.
+        let err = parse_program("PROGRAM p\nDO I = 1, 9\nENDDO\n").unwrap_err();
+        assert_eq!(err.message, "missing END");
+        assert_eq!(err.pos, SourcePos { line: 4, col: 1 });
+    }
+
+    #[test]
+    fn multibyte_garbage_in_the_header_is_an_error_not_a_panic() {
+        // A multibyte character straddling byte 7 of the first line must
+        // produce the header diagnostic, not a char-boundary panic.
+        for src in ["PROGRAé x\nEND\n", "Résumé\nEND\n", "ПРОГРАМ x\nEND\n"] {
+            let err = parse_program(src).unwrap_err();
+            assert!(
+                err.message.contains("expected a PROGRAM header"),
+                "{src:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn misplaced_minmax_is_rejected() {
+        let err = parse_program("PROGRAM p\nDO I = min(1, 2), 9\nENDDO\nEND\n").unwrap_err();
+        assert!(err.message.contains("only valid as an upper bound"));
+        let err = parse_program("PROGRAM p\nDO I = 1, max(9, 8)\nENDDO\nEND\n").unwrap_err();
+        assert!(err.message.contains("only valid as a lower bound"));
+    }
+}

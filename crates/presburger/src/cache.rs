@@ -1,0 +1,143 @@
+//! A keyed memo cache for Fourier–Motzkin emptiness checks.
+//!
+//! [`ConvexSet::is_certainly_empty`](crate::ConvexSet::is_certainly_empty)
+//! dominates the dependence-analysis wall clock: every reference pair
+//! builds several lexicographic-order pieces and immediately asks each one
+//! whether it is rationally feasible, and the same constraint conjunctions
+//! recur constantly — re-analysis of the same program, the synthetic-corpus
+//! classification, every benchmark that re-runs an analysis.  Feasibility
+//! is a pure function of the (normalized) constraint list and the variable
+//! count, so the answers are memoised here in a process-wide
+//! [`rcp_intlin::MemoCache`] — the same bounded, counter-instrumented
+//! cache behind the HNF/diophantine solvers:
+//!
+//! * **bit-identical**: the cache stores the value computed by the uncached
+//!   [`rationally_feasible`] on first miss and returns it on every hit;
+//! * **bounded**: at most [`EMPTINESS_CACHE_CAPACITY`] entries; once full,
+//!   new results are still returned but no longer inserted, so behaviour
+//!   never depends on timing;
+//! * **observable**: hit/miss counters ([`emptiness_cache_stats`]) feed the
+//!   `analysis` experiment's report, and [`reset_emptiness_cache`] clears
+//!   everything for cold-start measurements.
+
+use crate::constraint::Constraint;
+use crate::fm::rationally_feasible;
+use rcp_intlin::MemoCache;
+
+/// Maximum number of feasibility results retained.
+pub const EMPTINESS_CACHE_CAPACITY: usize = 1 << 16;
+
+static EMPTINESS_CACHE: MemoCache<(Vec<Constraint>, usize), bool> =
+    MemoCache::new(EMPTINESS_CACHE_CAPACITY);
+
+/// Hit/miss counters of the process-wide emptiness cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EmptinessCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the Fourier–Motzkin elimination.
+    pub misses: u64,
+}
+
+impl EmptinessCacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// [`rationally_feasible`] with process-wide memoisation keyed by the
+/// exact constraint list and variable count.
+pub fn rationally_feasible_cached(constraints: &[Constraint], total: usize) -> bool {
+    EMPTINESS_CACHE.get_or_compute((constraints.to_vec(), total), || {
+        rationally_feasible(constraints, total)
+    })
+}
+
+/// A snapshot of the hit/miss counters.
+pub fn emptiness_cache_stats() -> EmptinessCacheStats {
+    EmptinessCacheStats {
+        hits: EMPTINESS_CACHE.hits(),
+        misses: EMPTINESS_CACHE.misses(),
+    }
+}
+
+/// Empties the cache and zeroes the counters (for cold-start timing).
+pub fn reset_emptiness_cache() {
+    EMPTINESS_CACHE.reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::Affine;
+
+    fn geq(coeffs: Vec<i64>, k: i64) -> Constraint {
+        Constraint::geq(Affine::new(coeffs, k))
+    }
+
+    #[test]
+    fn cached_answers_are_bit_identical() {
+        let cases: Vec<(Vec<Constraint>, usize)> = vec![
+            (vec![geq(vec![1, 0], 0), geq(vec![0, 1], 0)], 2),
+            (vec![geq(vec![1], -5), geq(vec![-1], 3)], 1), // infeasible
+            (vec![], 3),                                   // universe
+            (
+                vec![Constraint::eq(Affine::new(vec![2, 4], -3))], // 2x+4y=3
+                2,
+            ),
+        ];
+        for (cs, total) in &cases {
+            let cold = rationally_feasible_cached(cs, *total);
+            let warm = rationally_feasible_cached(cs, *total);
+            let reference = rationally_feasible(cs, *total);
+            assert_eq!(cold, reference);
+            assert_eq!(warm, reference);
+        }
+    }
+
+    #[test]
+    fn repeated_lookups_hit() {
+        // Counters are process-wide: compare deltas, not absolutes.
+        let cs = vec![geq(vec![7, -3], 11), geq(vec![-7, 3], 5)];
+        let before = emptiness_cache_stats();
+        let _ = rationally_feasible_cached(&cs, 2);
+        let _ = rationally_feasible_cached(&cs, 2);
+        let _ = rationally_feasible_cached(&cs, 2);
+        let after = emptiness_cache_stats();
+        assert!(after.hits >= before.hits + 2);
+        assert!(after.lookups() >= before.lookups() + 3);
+    }
+
+    #[test]
+    fn variable_count_is_part_of_the_key() {
+        // The same constraint list can be feasible over more variables but
+        // the cache must not conflate the two queries.
+        let cs = vec![geq(vec![1, -1], 0)];
+        assert_eq!(
+            rationally_feasible_cached(&cs, 2),
+            rationally_feasible(&cs, 2)
+        );
+        let cs3 = vec![geq(vec![1, -1, 0], 0)];
+        assert_eq!(
+            rationally_feasible_cached(&cs3, 3),
+            rationally_feasible(&cs3, 3)
+        );
+    }
+
+    #[test]
+    fn hit_rate_is_well_defined() {
+        assert_eq!(EmptinessCacheStats::default().hit_rate(), 0.0);
+        let s = EmptinessCacheStats { hits: 3, misses: 1 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,7 +1,8 @@
 //! Convex integer sets: conjunctions of affine constraints.
 
+use crate::cache::rationally_feasible_cached;
 use crate::constraint::{Constraint, ConstraintKind, Folded};
-use crate::fm::{eliminate_dim, rationally_feasible};
+use crate::fm::eliminate_dim;
 use crate::space::Space;
 use rcp_intlin::IVec;
 
@@ -122,11 +123,16 @@ impl ConvexSet {
     /// Fourier-Motzkin).  A `false` answer is not a guarantee of
     /// non-emptiness for parametric sets; for concrete sets use
     /// [`ConvexSet::enumerate`] or the dense engine.
+    ///
+    /// The Fourier-Motzkin feasibility test is memoised process-wide (see
+    /// [`crate::cache`]): the constraints are normalized before the check,
+    /// so the repeated conjunctions of corpus sweeps and re-analyses are
+    /// answered without re-eliminating anything.
     pub fn is_certainly_empty(&self) -> bool {
         if self.known_empty {
             return true;
         }
-        !rationally_feasible(&self.constraints, self.space.dim() + self.space.n_params())
+        !rationally_feasible_cached(&self.constraints, self.space.dim() + self.space.n_params())
     }
 
     /// True if the full assignment `[dims..., params...]` satisfies every

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod affine;
+pub mod cache;
 pub mod constraint;
 pub mod convex;
 pub mod dense;
@@ -44,6 +45,9 @@ pub mod space;
 pub mod union;
 
 pub use affine::Affine;
+pub use cache::{
+    emptiness_cache_stats, rationally_feasible_cached, reset_emptiness_cache, EmptinessCacheStats,
+};
 pub use constraint::{Constraint, ConstraintKind};
 pub use convex::ConvexSet;
 pub use dense::{DenseRelation, DenseSet};

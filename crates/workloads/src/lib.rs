@@ -11,9 +11,11 @@
 pub mod cholesky;
 pub mod corpus;
 pub mod examples;
+pub mod loopfiles;
 pub mod rng;
 
 pub use cholesky::{example4_cholesky, CholeskyParams};
 pub use corpus::{corpus_statistics, random_nest, CorpusConfig, CorpusStats};
 pub use examples::{example1, example2, example3, figure2, figure2_n, uniform_chain};
+pub use loopfiles::{bundled_loop, load_bundled, parse_loop_source, BundledLoop, BUNDLED_LOOPS};
 pub use rng::SmallRng;

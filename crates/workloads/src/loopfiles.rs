@@ -1,0 +1,215 @@
+//! The bundled `.loop` workloads under `examples/loops/`, embedded at
+//! compile time so text files are first-class workloads everywhere the
+//! Rust constructors are: tests, examples and the bench harness.
+//!
+//! Two families live there:
+//!
+//! * **library-backed** files exported by `cargo run --example
+//!   export_loops` from the constructors in this crate (the paper's
+//!   examples 1–4, the figure-2 loop, the uniform chain) — a test asserts
+//!   each parses back to the exact library [`Program`], so the text and
+//!   the Rust definitions cannot drift;
+//! * **text-first** SPEC-like nests (`lu`, `jacobi1d`, `mvt`, `syr2k`,
+//!   `wavefront`) that exist only as `.loop` source, kept canonical by
+//!   `rcp fmt`.
+//!
+//! Every bundled file round-trips bit-identically through
+//! pretty-print/parse: `parse(pretty(parse(f))) == parse(f)` and
+//! `pretty ∘ parse` is a fixed point on its own output.
+
+use rcp_lang::{parse_program, ParseError};
+use rcp_loopir::Program;
+
+/// A bundled `.loop` workload.
+#[derive(Clone, Copy, Debug)]
+pub struct BundledLoop {
+    /// Workload name (the file stem under `examples/loops/`).
+    pub name: &'static str,
+    /// The embedded `.loop` source.
+    pub source: &'static str,
+    /// True when the file is exported from a Rust constructor in this
+    /// crate (and parity-tested against it).
+    pub library_backed: bool,
+    /// Small parameter values suitable for quick classification surveys
+    /// (`(param name, value)` in the program's declaration order).
+    pub survey_params: &'static [(&'static str, i64)],
+}
+
+/// Every bundled `.loop` workload, in alphabetical order.
+pub const BUNDLED_LOOPS: &[BundledLoop] = &[
+    BundledLoop {
+        name: "cholesky",
+        source: include_str!("../../../examples/loops/cholesky.loop"),
+        library_backed: true,
+        survey_params: &[("NMAT", 4), ("M", 4), ("N", 10), ("NRHS", 2)],
+    },
+    BundledLoop {
+        name: "example1",
+        source: include_str!("../../../examples/loops/example1.loop"),
+        library_backed: true,
+        survey_params: &[("N1", 10), ("N2", 10)],
+    },
+    BundledLoop {
+        name: "example2",
+        source: include_str!("../../../examples/loops/example2.loop"),
+        library_backed: true,
+        survey_params: &[("N", 12)],
+    },
+    BundledLoop {
+        name: "example3",
+        source: include_str!("../../../examples/loops/example3.loop"),
+        library_backed: true,
+        survey_params: &[("N", 12)],
+    },
+    BundledLoop {
+        name: "figure2",
+        source: include_str!("../../../examples/loops/figure2.loop"),
+        library_backed: true,
+        survey_params: &[],
+    },
+    BundledLoop {
+        name: "jacobi1d",
+        source: include_str!("../../../examples/loops/jacobi1d.loop"),
+        library_backed: false,
+        survey_params: &[("TSTEPS", 3), ("N", 12)],
+    },
+    BundledLoop {
+        name: "lu",
+        source: include_str!("../../../examples/loops/lu.loop"),
+        library_backed: false,
+        survey_params: &[("N", 8)],
+    },
+    BundledLoop {
+        name: "mvt",
+        source: include_str!("../../../examples/loops/mvt.loop"),
+        library_backed: false,
+        survey_params: &[("N", 8)],
+    },
+    BundledLoop {
+        name: "syr2k",
+        source: include_str!("../../../examples/loops/syr2k.loop"),
+        library_backed: false,
+        survey_params: &[("N", 6), ("M", 4)],
+    },
+    BundledLoop {
+        name: "uniform_chain",
+        source: include_str!("../../../examples/loops/uniform_chain.loop"),
+        library_backed: true,
+        survey_params: &[("N", 16)],
+    },
+    BundledLoop {
+        name: "wavefront",
+        source: include_str!("../../../examples/loops/wavefront.loop"),
+        library_backed: false,
+        survey_params: &[("N", 8)],
+    },
+];
+
+impl BundledLoop {
+    /// Parses the embedded source.
+    ///
+    /// # Panics
+    /// Panics when the bundled source does not parse — impossible for a
+    /// shipped build, because the round-trip tests parse every file.
+    pub fn program(&self) -> Program {
+        parse_program(self.source).unwrap_or_else(|e| panic!("bundled workload {}: {e}", self.name))
+    }
+
+    /// The survey parameter values in declaration order.
+    pub fn survey_values(&self) -> Vec<i64> {
+        self.survey_params.iter().map(|(_, v)| *v).collect()
+    }
+}
+
+/// Looks a bundled workload up by name (file stem).
+pub fn bundled_loop(name: &str) -> Option<&'static BundledLoop> {
+    BUNDLED_LOOPS.iter().find(|b| b.name == name)
+}
+
+/// Parses a bundled workload by name.
+pub fn load_bundled(name: &str) -> Option<Program> {
+    bundled_loop(name).map(|b| b.program())
+}
+
+/// Parses arbitrary `.loop` source (re-exported from `rcp-lang` so
+/// workload consumers need no extra dependency).
+pub fn parse_loop_source(source: &str) -> Result<Program, ParseError> {
+    parse_program(source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcp_lang::pretty;
+
+    #[test]
+    fn every_bundled_file_parses_and_round_trips_bit_identically() {
+        for bundled in BUNDLED_LOOPS {
+            let program = bundled.program();
+            // File stems use `_` where program names may use `-`
+            // (`uniform-chain` lives in `uniform_chain.loop`).
+            assert_eq!(
+                program.name.replace('-', "_"),
+                bundled.name,
+                "file stem must match the program name"
+            );
+            let canonical = pretty(&program);
+            let reparsed = parse_program(&canonical)
+                .unwrap_or_else(|e| panic!("{}: canonical form does not parse: {e}", bundled.name));
+            assert_eq!(reparsed, program, "{}: parse(pretty(p)) != p", bundled.name);
+            assert_eq!(
+                pretty(&reparsed),
+                canonical,
+                "{}: pretty ∘ parse is not a fixed point",
+                bundled.name
+            );
+        }
+    }
+
+    #[test]
+    fn library_backed_files_match_their_constructors() {
+        let library: &[(&str, Program)] = &[
+            ("example1", crate::example1()),
+            ("example2", crate::example2()),
+            ("example3", crate::example3()),
+            ("figure2", crate::figure2()),
+            ("cholesky", crate::example4_cholesky()),
+            ("uniform_chain", crate::uniform_chain()),
+        ];
+        for (name, expected) in library {
+            let bundled = bundled_loop(name)
+                .unwrap_or_else(|| panic!("library workload {name} has no bundled .loop file"));
+            assert!(bundled.library_backed);
+            assert_eq!(
+                &bundled.program(),
+                expected,
+                "{name}.loop drifted from the Rust constructor: re-run \
+                 `cargo run --example export_loops`"
+            );
+        }
+    }
+
+    #[test]
+    fn survey_params_cover_every_declared_parameter() {
+        for bundled in BUNDLED_LOOPS {
+            let program = bundled.program();
+            let names: Vec<&str> = bundled.survey_params.iter().map(|(n, _)| *n).collect();
+            assert_eq!(
+                program.params, names,
+                "{}: survey params must list the declared parameters in order",
+                bundled.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(bundled_loop("lu").is_some());
+        assert!(bundled_loop("nope").is_none());
+        let p = load_bundled("wavefront").unwrap();
+        assert!(p.is_perfect_nest());
+        assert_eq!(p.max_depth(), 2);
+        assert_eq!(load_bundled("syr2k").unwrap().max_depth(), 3);
+        assert!(!load_bundled("mvt").unwrap().is_perfect_nest());
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerates the library-backed bundled `.loop` files from the canonical
+//! pretty-printer, so `examples/loops/` can never drift from the Rust
+//! workload definitions (`rcp_workloads`):
+//!
+//! ```text
+//! cargo run --example export_loops
+//! ```
+//!
+//! The hand-written SPEC-like nests (`lu.loop`, `jacobi1d.loop`, …) are
+//! text-first and are *not* touched; `rcp fmt --write` keeps those
+//! canonical instead.  A test in `rcp-workloads::loopfiles` asserts that
+//! every library-backed file parses back to the exact library program, so
+//! forgetting to re-run this exporter after editing a workload fails CI.
+
+use recurrence_chains::lang::pretty;
+use recurrence_chains::workloads;
+use std::path::Path;
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/loops");
+    std::fs::create_dir_all(&dir).expect("create examples/loops");
+    let programs = [
+        ("example1.loop", workloads::example1()),
+        ("example2.loop", workloads::example2()),
+        ("example3.loop", workloads::example3()),
+        ("figure2.loop", workloads::figure2()),
+        ("cholesky.loop", workloads::example4_cholesky()),
+        ("uniform_chain.loop", workloads::uniform_chain()),
+    ];
+    for (file, program) in programs {
+        let path = dir.join(file);
+        let text = pretty(&program);
+        // Sanity: the exported text must parse back to the same program.
+        let reparsed = recurrence_chains::lang::parse_program(&text)
+            .unwrap_or_else(|e| panic!("{file}: exported text does not parse: {e}"));
+        assert_eq!(reparsed, program, "{file}: round-trip mismatch");
+        std::fs::write(&path, &text).unwrap_or_else(|e| panic!("write {file}: {e}"));
+        println!("wrote {}", path.display());
+    }
+}

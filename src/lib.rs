@@ -15,12 +15,14 @@
 //! | [`intlin`] | `rcp-intlin` | exact rational/integer linear algebra, Hermite normal form, diophantine solvers (memoised via `intlin::cache`) |
 //! | [`presburger`] | `rcp-presburger` | Omega-library-style integer sets, relations, Fourier-Motzkin, dense enumeration |
 //! | [`loopir`] | `rcp-loopir` | affine loop-nest IR, statement-level unified index space, access maps |
+//! | [`lang`] | `rcp-lang` | the textual `.loop` language: parser with line/column diagnostics, canonical pretty-printer |
 //! | [`depend`] | `rcp-depend` | exact dependence relations, distance sets, uniformity classification, screening tests |
 //! | [`core`] | `rcp-core` | three-set partitioning, recurrence chains, dataflow partitioning, Algorithm 1, Theorem 1 |
 //! | [`codegen`] | `rcp-codegen` | executable schedules and pseudo-Fortran DOALL/WHILE listings |
 //! | [`runtime`] | `rcp-runtime` | array store, kernels, sequential/parallel executors, calibrated cost model |
 //! | [`baselines`] | `rcp-baselines` | PDM, PL, UNIQUE, DOACROSS, inner-loop parallelization comparators |
-//! | [`workloads`] | `rcp-workloads` | the paper's example loops 1–4, figure-2 loop, synthetic corpus |
+//! | [`workloads`] | `rcp-workloads` | the paper's example loops 1–4, figure-2 loop, synthetic corpus, bundled `.loop` files |
+//! | [`cli`] | `rcp-cli` | the `rcp` binary's subcommands (`parse`, `analyze`, `partition`, `codegen`, `run`, `bench`) |
 //!
 //! ## Quick start
 //!
@@ -50,10 +52,12 @@
 #![warn(missing_docs)]
 
 pub use rcp_baselines as baselines;
+pub use rcp_cli as cli;
 pub use rcp_codegen as codegen;
 pub use rcp_core as core;
 pub use rcp_depend as depend;
 pub use rcp_intlin as intlin;
+pub use rcp_lang as lang;
 pub use rcp_loopir as loopir;
 pub use rcp_pool as pool;
 pub use rcp_presburger as presburger;
