@@ -27,7 +27,7 @@ use rcp_bench::baseline::diff_against_baseline;
 use rcp_bench::experiments::{
     analysis_pipeline, calibrated_model, corpus_table, ex1_partition, ex2_facts, ex3_facts,
     ex4_dataflow, fig1_dependences, fig2_chains, fig3_ex1, fig3_ex2, fig3_ex3, fig3_ex4,
-    measured_speedups, theorem1_table, ExperimentReport,
+    loop_corpus, measured_speedups, theorem1_table, ExperimentReport,
 };
 use rcp_workloads::CholeskyParams;
 use std::sync::Mutex;
@@ -121,7 +121,8 @@ fn main() {
             Box::new(move || fig3_ex4(&model, cholesky, threads)),
         ),
         exp("theorem1", false, Box::new(theorem1_table)),
-        exp("corpus", false, Box::new(corpus_table)),
+        exp("corpus", false, Box::new(loop_corpus)),
+        exp("corpus-synthetic", false, Box::new(corpus_table)),
         exp(
             "analysis",
             true,

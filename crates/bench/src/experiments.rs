@@ -9,19 +9,20 @@
 //! EXPERIMENTS.md.
 
 use crate::speedup::{phases_speedup, PhaseShape, SpeedupFigure, SpeedupSeries};
-use rcp_baselines::{doacross_plan, pdm_schedule, pl_schedule, unique_sets_schedule};
+use rcp_baselines::doacross_plan;
 use rcp_codegen::{generate_listing, Schedule};
 use rcp_core::{
     concrete_partition, dataflow_stage_sizes, longest_chain, monotonic_chains, symbolic_plan,
     ConcretePartition, DenseThreeSet,
 };
-use rcp_depend::{trace_dependence_graph, DependenceAnalysis};
+use rcp_depend::{trace_dependence_graph, DependenceAnalysis, Granularity};
 use rcp_json::{json, Json, ToJson};
 use rcp_presburger::{DenseRelation, DenseSet};
 use rcp_runtime::{execute_sequential, CostModel, RefKernel};
+use rcp_session::{registry, Config, Session};
 use rcp_workloads::{
     corpus_statistics, example1, example2, example3, example4_cholesky, figure2, CholeskyParams,
-    CorpusConfig,
+    CorpusConfig, BUNDLED_LOOPS,
 };
 use std::time::Instant;
 
@@ -211,18 +212,25 @@ pub fn ex1_partition(n1: i64, n2: i64) -> ExperimentReport {
 /// E-EX2 — Example 2 (Ju & Chaudhary): intermediate set at N = 12 and phase
 /// counts of REC vs UNIQUE.
 pub fn ex2_facts() -> ExperimentReport {
-    let program = example2();
-    let analysis = DependenceAnalysis::loop_level(&program);
-    let partition = concrete_partition(&analysis, &[12]);
-    let p2: Vec<Vec<i64>> = match &partition {
+    let session = Session::with_config(Config::new().with_param("N", 12));
+    let stage = session
+        .load(example2())
+        .partition()
+        .expect("example 2 binds N=12");
+    let p2: Vec<Vec<i64>> = match stage.partition() {
         ConcretePartition::RecurrenceChains { three_set, .. } => three_set.p2.to_vec(),
         _ => unreachable!(),
     };
-    let rec = Schedule::from_partition(&analysis, &partition, "ex2-rec");
-    let (phi, rel) = analysis.bind_params(&[12]);
-    let phi_d = DenseSet::from_union(&phi);
-    let rd = DenseRelation::from_relation(&rel);
-    let unique = unique_sets_schedule(&analysis, &phi_d, &rd, "ex2-unique");
+    let rec = stage
+        .schedule_with("recurrence-chains")
+        .expect("registry scheme")
+        .schedule()
+        .clone();
+    let unique = stage
+        .schedule_with("unique")
+        .expect("registry scheme")
+        .schedule()
+        .clone();
     let text = format!(
         "N=12: intermediate set = {:?} (paper: the single iteration (2,6))\n\
          REC phases = {} (paper: 3 fully parallel partitions)\n\
@@ -306,25 +314,51 @@ pub fn ex4_dataflow(params: CholeskyParams) -> ExperimentReport {
     )
 }
 
-/// E-F3.1 — Figure 3, Example 1 plot: REC vs PDM vs PL vs linear.
+/// Builds the schedules of several registry schemes for one program at one
+/// binding, through the session pipeline (one analysis, one enumerated
+/// space, every scheme from the same [`rcp_session::Partitioner`]
+/// registry).
+fn registry_schedules(
+    program: rcp_loopir::Program,
+    params: &[(&str, i64)],
+    schemes: &[&str],
+) -> Vec<Schedule> {
+    let session = Session::with_config(Config::new().with_params(params));
+    let stage = session
+        .load(program)
+        .partition()
+        .expect("parameters bind cleanly");
+    schemes
+        .iter()
+        .map(|name| {
+            stage
+                .schedule_with(name)
+                .unwrap_or_else(|e| panic!("scheme {name}: {e}"))
+                .schedule()
+                .clone()
+        })
+        .collect()
+}
+
+/// E-F3.1 — Figure 3, Example 1 plot: REC vs PDM vs PL vs linear (all
+/// three schedules built through the Partitioner registry).
 pub fn fig3_ex1(model: &CostModel, n1: i64, n2: i64, max_threads: usize) -> ExperimentReport {
-    let program = example1();
-    let analysis = DependenceAnalysis::loop_level(&program);
-    let (phi, rel) = analysis.bind_params(&[n1, n2]);
-    let phi_d = DenseSet::from_union(&phi);
-    let rd = DenseRelation::from_relation(&rel);
-    let partition = rcp_core::concrete_partition_from_dense(&analysis, &phi_d, &rd);
-    let rec = Schedule::from_partition(&analysis, &partition, "rec");
-    let (_, pdm) = pdm_schedule(&analysis, &phi_d, &rd, "pdm");
-    let pl = pl_schedule(&analysis, &phi_d, &rd, "pl");
+    let schedules = registry_schedules(
+        example1(),
+        &[("N1", n1), ("N2", n2)],
+        &["recurrence-chains", "pdm", "pl"],
+    );
+    let [rec, pdm, pl] = &schedules[..] else {
+        unreachable!()
+    };
     let figure = SpeedupFigure {
         id: "fig3-ex1".into(),
         workload: format!("example 1, N1={n1}, N2={n2}"),
         series: vec![
             SpeedupSeries::linear(max_threads),
-            SpeedupSeries::from_fn("REC", max_threads, |t| model.speedup(&rec, t)),
-            SpeedupSeries::from_fn("PDM", max_threads, |t| model.speedup(&pdm, t)),
-            SpeedupSeries::from_fn("PL", max_threads, |t| model.speedup(&pl, t)),
+            SpeedupSeries::from_fn("REC", max_threads, |t| model.speedup(rec, t)),
+            SpeedupSeries::from_fn("PDM", max_threads, |t| model.speedup(pdm, t)),
+            SpeedupSeries::from_fn("PL", max_threads, |t| model.speedup(pl, t)),
         ],
     };
     let data = figure.to_json();
@@ -336,23 +370,20 @@ pub fn fig3_ex1(model: &CostModel, n1: i64, n2: i64, max_threads: usize) -> Expe
     )
 }
 
-/// E-F3.2 — Figure 3, Example 2 plot: REC vs UNIQUE vs linear.
+/// E-F3.2 — Figure 3, Example 2 plot: REC vs UNIQUE vs linear (both
+/// schedules built through the Partitioner registry).
 pub fn fig3_ex2(model: &CostModel, n: i64, max_threads: usize) -> ExperimentReport {
-    let program = example2();
-    let analysis = DependenceAnalysis::loop_level(&program);
-    let (phi, rel) = analysis.bind_params(&[n]);
-    let phi_d = DenseSet::from_union(&phi);
-    let rd = DenseRelation::from_relation(&rel);
-    let partition = rcp_core::concrete_partition_from_dense(&analysis, &phi_d, &rd);
-    let rec = Schedule::from_partition(&analysis, &partition, "rec");
-    let unique = unique_sets_schedule(&analysis, &phi_d, &rd, "unique");
+    let schedules = registry_schedules(example2(), &[("N", n)], &["recurrence-chains", "unique"]);
+    let [rec, unique] = &schedules[..] else {
+        unreachable!()
+    };
     let figure = SpeedupFigure {
         id: "fig3-ex2".into(),
         workload: format!("example 2, N={n}"),
         series: vec![
             SpeedupSeries::linear(max_threads),
-            SpeedupSeries::from_fn("REC", max_threads, |t| model.speedup(&rec, t)),
-            SpeedupSeries::from_fn("UNIQUE", max_threads, |t| model.speedup(&unique, t)),
+            SpeedupSeries::from_fn("REC", max_threads, |t| model.speedup(rec, t)),
+            SpeedupSeries::from_fn("UNIQUE", max_threads, |t| model.speedup(unique, t)),
         ],
     };
     let data = figure.to_json();
@@ -850,6 +881,98 @@ pub fn theorem1_table() -> ExperimentReport {
     )
 }
 
+/// E-C1 — the bundled `.loop` corpus through the session registry: per
+/// file, the classification, the partition shape, and the scheme chosen by
+/// Algorithm 1 (with the typed fallback reason when recurrence chains are
+/// unavailable), plus which registry schemes apply.
+pub fn loop_corpus() -> ExperimentReport {
+    let mut text = format!(
+        "{:<14} {:>5} {:>6} {:>6} {:>12} {:>7} {:>9} {:>7}  {:<18} {}\n",
+        "workload",
+        "gran",
+        "|Phi|",
+        "|Rd|",
+        "class",
+        "phases",
+        "critical",
+        "width",
+        "branch",
+        "applicable schemes / fallback reason"
+    );
+    let mut rows = Vec::new();
+    for bundled in BUNDLED_LOOPS {
+        let session = Session::with_config(Config {
+            params: bundled
+                .survey_params
+                .iter()
+                .map(|(n, v)| (n.to_string(), *v))
+                .collect(),
+            ..Config::new()
+        });
+        let stage = session
+            .bundled(bundled.name)
+            .and_then(|analyzed| analyzed.partition())
+            .unwrap_or_else(|e| panic!("{}: {e}", bundled.name));
+        let granularity = match stage.analysis().granularity {
+            Granularity::LoopLevel => "loop",
+            Granularity::StatementLevel => "stmt",
+        };
+        let stats = stage.stats();
+        let uniformity = format!("{:?}", stage.uniformity());
+        let reason = stage.plan_unavailability().map(|r| r.to_string());
+        let branch = match &reason {
+            None => "RecurrenceChains",
+            Some(_) => "Dataflow",
+        };
+        // Which registry schemes can schedule this file at all.
+        let applicable: Vec<&str> = registry()
+            .iter()
+            .filter(|scheme| stage.schedule_with(scheme.name()).is_ok())
+            .map(|scheme| scheme.name())
+            .collect();
+        text.push_str(&format!(
+            "{:<14} {:>5} {:>6} {:>6} {:>12} {:>7} {:>9} {:>7}  {:<18} {}\n",
+            bundled.name,
+            granularity,
+            stage.phi().len(),
+            stage.rd().len(),
+            uniformity,
+            stats.n_phases,
+            stats.critical_path,
+            stats.max_width,
+            branch,
+            match &reason {
+                Some(reason) => reason.clone(),
+                None => applicable.join(","),
+            },
+        ));
+        rows.push(json!({
+            "workload": bundled.name,
+            "granularity": granularity,
+            "n_iterations": stage.phi().len(),
+            "n_dependences": stage.rd().len(),
+            "uniformity": uniformity,
+            "strategy": branch,
+            "fallback_reason": match reason {
+                Some(reason) => Json::Str(reason),
+                None => Json::Null,
+            },
+            "n_phases": stats.n_phases,
+            "critical_path": stats.critical_path,
+            "max_width": stats.max_width,
+            "total_iterations": stats.total_iterations,
+            "valid": stage.validate().is_empty(),
+            "applicable_schemes": applicable,
+        }));
+    }
+    ExperimentReport::new(
+        "corpus",
+        "Bundled .loop corpus: classification, partition shape and scheme per file",
+        text,
+        json!(rows),
+    )
+}
+
 /// E-S1 — the §1 motivating statistics on the synthetic corpus.
 pub fn corpus_table() -> ExperimentReport {
     let mut text = String::from(
@@ -885,7 +1008,7 @@ pub fn corpus_table() -> ExperimentReport {
                    the synthetic corpus substitutes for the benchmark sources)\n",
     );
     ExperimentReport::new(
-        "corpus",
+        "corpus-synthetic",
         "§1 statistics on the synthetic loop corpus",
         text,
         json!(rows),
@@ -1020,6 +1143,51 @@ mod tests {
             cache["solver_speedup"].as_f64().unwrap() > 1.0,
             "warm solver pass must beat the cold pass"
         );
+    }
+
+    #[test]
+    fn loop_corpus_covers_every_bundled_file() {
+        let report = loop_corpus();
+        let rows = report.data.as_array().unwrap();
+        assert_eq!(rows.len(), BUNDLED_LOOPS.len());
+        for row in rows {
+            let name = row["workload"].as_str().unwrap();
+            // Every file's Algorithm-1 partition is valid, and the chosen
+            // branch is explained when it is not recurrence chains.
+            assert_eq!(row["valid"], true, "{name}");
+            match row["strategy"].as_str().unwrap() {
+                "RecurrenceChains" => assert!(row["fallback_reason"].as_str().is_none(), "{name}"),
+                "Dataflow" => assert!(row["fallback_reason"].as_str().is_some(), "{name}"),
+                other => panic!("{name}: unknown strategy {other}"),
+            }
+            // The paper's own scheme applies everywhere; loop-level files
+            // additionally admit the loop-level baselines.
+            let schemes = row["applicable_schemes"].as_array().unwrap();
+            assert!(
+                schemes
+                    .iter()
+                    .any(|s| s.as_str() == Some("recurrence-chains")),
+                "{name}"
+            );
+            if row["granularity"].as_str() == Some("loop") {
+                assert!(schemes.iter().any(|s| s.as_str() == Some("pdm")), "{name}");
+            }
+        }
+        // The known branch facts: example1 takes recurrence chains,
+        // cholesky falls back with the statement-level reason.
+        let find = |name: &str| {
+            rows.iter()
+                .find(|r| r["workload"].as_str() == Some(name))
+                .unwrap()
+        };
+        assert_eq!(
+            find("example1")["strategy"].as_str(),
+            Some("RecurrenceChains")
+        );
+        assert!(find("cholesky")["fallback_reason"]
+            .as_str()
+            .unwrap()
+            .contains("statement-level"));
     }
 
     #[test]

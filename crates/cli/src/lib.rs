@@ -3,52 +3,65 @@
 //!
 //! The crate turns the workspace from a library into a tool: a `.loop`
 //! file (see `rcp-lang`) goes in, classifications, partitions, listings
-//! and measured runs come out.  Every subcommand is a plain function
-//! returning a [`Report`] (human text plus machine-readable JSON), so the
-//! binary is a thin argument-parsing shell and integration tests drive the
-//! same code paths the user does:
+//! and measured runs come out.  Every subcommand is a thin consumer of the
+//! staged [`rcp_session`] API — it builds a [`Session`] from the parsed
+//! [`Options`], walks the `Analyzed → Planned/Partitioned → Scheduled`
+//! stages it needs, and renders a [`Report`] (human text plus
+//! machine-readable JSON).  All failures are typed [`RcpError`]s, so the
+//! binary and the integration tests see the same structured diagnostics:
 //!
 //! ```text
 //! rcp parse      file.loop                         # front-end facts + canonical source
 //! rcp fmt        file.loop [--write]               # canonical formatting
 //! rcp analyze    file.loop --param N=300 [--json]  # dependence analysis + classification
-//! rcp partition  file.loop --param N=300           # Algorithm-1 three-set / dataflow partition
+//! rcp partition  file.loop --param N=300           # Algorithm-1 partition + fallback reason
 //! rcp codegen    file.loop                         # paper-style DOALL/WHILE listing
 //! rcp run        file.loop --param N=300           # execute + verify against sequential
-//! rcp bench      file.loop --param N=300           # measured sequential vs parallel wall clock
+//! rcp bench      file.loop --scheme pdm            # measured wall clock, any registry scheme
+//! rcp schemes                                      # list the Partitioner registry
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rcp_codegen::{generate_listing, Schedule};
-use rcp_core::{concrete_partition, symbolic_plan, uses_recurrence_chains, ConcretePartition};
-use rcp_depend::{classify_uniformity, distance_set, DependenceAnalysis, Granularity};
+use rcp_core::ConcretePartition;
+use rcp_depend::Granularity;
 use rcp_json::{json, Json};
-use rcp_lang::{parse_program, pretty};
+use rcp_lang::pretty;
 use rcp_loopir::{Node, Program};
-use rcp_presburger::{DenseRelation, DenseSet};
-use rcp_runtime::{execute_sequential, verify_schedule, ParallelExecutor, RefKernel};
-use std::time::Instant;
+use rcp_session::{registry, Analyzed, Config, Partitioned, RcpError, Session};
 
-/// Options shared by the subcommands.
-#[derive(Clone, Debug)]
+/// Options shared by the subcommands — the CLI-argument mirror of the
+/// session [`Config`].
+#[derive(Clone, Debug, Default)]
 pub struct Options {
     /// `--param NAME=VALUE` bindings, in command-line order.
     pub params: Vec<(String, i64)>,
-    /// `--threads N` (run/bench), default 4.
-    pub threads: usize,
+    /// `--threads N` (run/bench); `None` keeps the session default (4).
+    pub threads: Option<usize>,
     /// `--stmt`: force statement-level granularity even for perfect nests.
     pub force_statement_level: bool,
+    /// `--scheme NAME`: schedule with a named registry scheme instead of
+    /// the default recurrence-chains scheme (run/bench).
+    pub scheme: Option<String>,
 }
 
-impl Default for Options {
-    fn default() -> Self {
-        Options {
-            params: Vec::new(),
-            threads: 4,
-            force_statement_level: false,
+impl Options {
+    /// The session configuration these options denote.
+    pub fn to_config(&self) -> Config {
+        let mut config = Config::new();
+        config.params = self.params.clone();
+        if let Some(threads) = self.threads {
+            config.threads = threads.max(1);
         }
+        config.force_statement_level = self.force_statement_level;
+        config.scheme = self.scheme.clone();
+        config
+    }
+
+    /// The session these options denote.
+    pub fn session(&self) -> Session {
+        Session::with_config(self.to_config())
     }
 }
 
@@ -72,56 +85,6 @@ impl Report {
             data,
             failed: false,
         }
-    }
-}
-
-/// Parses `.loop` source, prefixing diagnostics with the origin (file
-/// name) so they read like compiler output.
-pub fn parse_source(source: &str, origin: &str) -> Result<Program, String> {
-    parse_program(source).map_err(|e| format!("{origin}: {e}"))
-}
-
-/// Resolves `--param` bindings against the program's declared parameters,
-/// in declaration order.  Every declared parameter must be bound and every
-/// binding must name a declared parameter.
-pub fn bind_parameters(program: &Program, opts: &Options) -> Result<Vec<i64>, String> {
-    for (name, _) in &opts.params {
-        if !program.params.iter().any(|p| p == name) {
-            return Err(if program.params.is_empty() {
-                format!(
-                    "program `{}` declares no parameters, but --param {name}=... was given",
-                    program.name
-                )
-            } else {
-                format!(
-                    "program `{}` has no parameter `{name}` (declares: {})",
-                    program.name,
-                    program.params.join(", ")
-                )
-            });
-        }
-    }
-    program
-        .params
-        .iter()
-        .map(|p| {
-            opts.params
-                .iter()
-                .rev()
-                .find(|(name, _)| name == p)
-                .map(|(_, value)| *value)
-                .ok_or_else(|| format!("missing --param {p}=<value> (program `{}`)", program.name))
-        })
-        .collect()
-}
-
-/// The granularity a program is analysed at: loop level for perfect nests
-/// unless `--stmt` forces the statement-level unified space.
-pub fn pick_granularity(program: &Program, opts: &Options) -> Granularity {
-    if opts.force_statement_level || !program.is_perfect_nest() {
-        Granularity::StatementLevel
-    } else {
-        Granularity::LoopLevel
     }
 }
 
@@ -153,11 +116,28 @@ fn params_object(program: &Program, values: &[i64]) -> Json {
     )
 }
 
+fn param_list(program: &Program, values: &[i64]) -> String {
+    program
+        .params
+        .iter()
+        .zip(values)
+        .map(|(n, v)| format!("{n}={v}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// The fallback reason of a stage, when Algorithm 1 did not take its
+/// recurrence-chain branch (`None` when it did).
+fn fallback_reason(stage: &Partitioned) -> Option<String> {
+    stage.plan_unavailability().map(|r| r.to_string())
+}
+
 /// `rcp parse`: front-end facts and the canonical form of the program.
-pub fn cmd_parse(source: &str, origin: &str) -> Result<Report, String> {
-    let program = parse_source(source, origin)?;
+pub fn cmd_parse(source: &str, origin: &str) -> Result<Report, RcpError> {
+    let program = rcp_lang::parse_program(source).map_err(|e| RcpError::parse(origin, e))?;
     let canonical = pretty(&program);
-    let reparsed = parse_source(&canonical, "<canonical>")?;
+    let reparsed =
+        rcp_lang::parse_program(&canonical).map_err(|e| RcpError::parse("<canonical>", e))?;
     let round_trips = reparsed == program;
     let stmts = program.statements();
     let text = format!(
@@ -197,8 +177,8 @@ pub fn cmd_parse(source: &str, origin: &str) -> Result<Report, String> {
 }
 
 /// `rcp fmt`: the canonical formatting of the program.
-pub fn cmd_fmt(source: &str, origin: &str) -> Result<Report, String> {
-    let program = parse_source(source, origin)?;
+pub fn cmd_fmt(source: &str, origin: &str) -> Result<Report, RcpError> {
+    let program = rcp_lang::parse_program(source).map_err(|e| RcpError::parse(origin, e))?;
     let canonical = pretty(&program);
     let data = json!({
         "program": program.name,
@@ -211,29 +191,19 @@ pub fn cmd_fmt(source: &str, origin: &str) -> Result<Report, String> {
 /// `rcp analyze`: exact dependence analysis and uniformity classification
 /// at concrete parameter values.  The JSON payload is deterministic (no
 /// wall clock), so CI can diff it against a golden file.
-pub fn cmd_analyze(source: &str, origin: &str, opts: &Options) -> Result<Report, String> {
-    let program = parse_source(source, origin)?;
-    let values = bind_parameters(&program, opts)?;
-    let granularity = pick_granularity(&program, opts);
-    let analysis = DependenceAnalysis::analyze(&program, granularity);
-    let (phi, rel) = analysis.bind_params(&values);
-    let phi_d = DenseSet::from_union(&phi);
-    let rd = DenseRelation::from_relation(&rel);
-    let uniformity = classify_uniformity(&rd, &phi_d);
-    let distances = distance_set(&rd);
-    let strategy = if uses_recurrence_chains(&analysis) {
-        "RecurrenceChains"
-    } else {
-        "Dataflow"
+pub fn cmd_analyze(source: &str, origin: &str, opts: &Options) -> Result<Report, RcpError> {
+    let analyzed = opts.session().parse(source, origin)?;
+    let stage = analyzed.partition()?;
+    let program = analyzed.program();
+    let analysis = stage.analysis();
+    let uniformity = stage.uniformity();
+    let distances = stage.distances();
+    let reason = fallback_reason(&stage);
+    let strategy = match reason {
+        None => "RecurrenceChains",
+        Some(_) => "Dataflow",
     };
-    let param_list = program
-        .params
-        .iter()
-        .zip(&values)
-        .map(|(n, v)| format!("{n}={v}"))
-        .collect::<Vec<_>>()
-        .join(", ");
-    let text = format!(
+    let mut text = format!(
         "program `{}` at [{}], {}-level analysis (dim {}):\n\
          \x20 reference pairs        {}  ({} screened out by the diophantine test)\n\
          \x20 iterations |Phi|       {}\n\
@@ -242,37 +212,65 @@ pub fn cmd_analyze(source: &str, origin: &str, opts: &Options) -> Result<Report,
          \x20 classification         {:?}\n\
          \x20 Algorithm 1 branch     {}\n",
         program.name,
-        param_list,
-        granularity_name(granularity),
+        param_list(program, stage.values()),
+        granularity_name(analyzed.granularity()),
         analysis.dim,
         analysis.pairs.len(),
         analysis.n_screened_pairs,
-        phi_d.len(),
-        rd.len(),
+        stage.phi().len(),
+        stage.rd().len(),
         distances.len(),
         uniformity,
         strategy,
     );
-    let data = json!({
-        "program": program.name,
-        "params": params_object(&program, &values),
-        "granularity": granularity_name(granularity),
-        "dim": analysis.dim,
-        "n_ref_pairs": analysis.pairs.len(),
-        "n_screened_pairs": analysis.n_screened_pairs,
-        "n_iterations": phi_d.len(),
-        "n_dependences": rd.len(),
-        "n_distinct_distances": distances.len(),
-        "uniformity": format!("{uniformity:?}"),
-        "strategy": strategy,
-    });
-    Ok(Report::ok(text, data))
+    if let Some(reason) = &reason {
+        text.push_str(&format!("  fallback reason        {reason}\n"));
+    }
+    let mut fields = vec![
+        ("program".to_string(), Json::Str(program.name.clone())),
+        ("params".to_string(), params_object(program, stage.values())),
+        (
+            "granularity".to_string(),
+            Json::Str(granularity_name(analyzed.granularity()).to_string()),
+        ),
+        ("dim".to_string(), Json::Int(analysis.dim as i64)),
+        (
+            "n_ref_pairs".to_string(),
+            Json::Int(analysis.pairs.len() as i64),
+        ),
+        (
+            "n_screened_pairs".to_string(),
+            Json::Int(analysis.n_screened_pairs as i64),
+        ),
+        (
+            "n_iterations".to_string(),
+            Json::Int(stage.phi().len() as i64),
+        ),
+        (
+            "n_dependences".to_string(),
+            Json::Int(stage.rd().len() as i64),
+        ),
+        (
+            "n_distinct_distances".to_string(),
+            Json::Int(distances.len() as i64),
+        ),
+        (
+            "uniformity".to_string(),
+            Json::Str(format!("{uniformity:?}")),
+        ),
+        ("strategy".to_string(), Json::Str(strategy.to_string())),
+    ];
+    if let Some(reason) = reason {
+        fields.push(("fallback_reason".to_string(), Json::Str(reason)));
+    }
+    Ok(Report::ok(text, Json::Object(fields)))
 }
 
 fn partition_json(
     program: &Program,
     values: &[i64],
     part: &ConcretePartition,
+    reason: Option<&str>,
     valid: bool,
 ) -> Json {
     let stats = part.stats();
@@ -312,23 +310,26 @@ fn partition_json(
             ));
         }
     }
+    if let Some(reason) = reason {
+        fields.push(("fallback_reason".to_string(), Json::Str(reason.to_string())));
+    }
     fields.push(("valid".to_string(), Json::Bool(valid)));
     Json::Object(fields)
 }
 
 /// `rcp partition`: the Algorithm-1 partition at concrete parameters, with
-/// the full validity check (coverage + every dependence respected).
-pub fn cmd_partition(source: &str, origin: &str, opts: &Options) -> Result<Report, String> {
-    let program = parse_source(source, origin)?;
-    let values = bind_parameters(&program, opts)?;
-    let granularity = pick_granularity(&program, opts);
-    let analysis = DependenceAnalysis::analyze(&program, granularity);
-    let (phi, rel) = analysis.bind_params(&values);
-    let phi_d = DenseSet::from_union(&phi);
-    let rd = DenseRelation::from_relation(&rel);
-    let part = rcp_core::concrete_partition_from_dense(&analysis, &phi_d, &rd);
-    let problems = part.validate(&phi_d, &rd);
+/// the full validity check (coverage + every dependence respected).  When
+/// the program falls back from recurrence chains, the report says *why*
+/// (the typed `PlanUnavailable` reason) instead of silently switching
+/// strategy.
+pub fn cmd_partition(source: &str, origin: &str, opts: &Options) -> Result<Report, RcpError> {
+    let analyzed = opts.session().parse(source, origin)?;
+    let stage = analyzed.partition()?;
+    let program = analyzed.program();
+    let part = stage.partition();
+    let problems = stage.validate();
     let stats = part.stats();
+    let reason = fallback_reason(&stage);
     let mut text = format!(
         "program `{}`: {:?} partition, {} phase(s), critical path {}, \
          max width {}, {} iteration(s)\n",
@@ -339,7 +340,7 @@ pub fn cmd_partition(source: &str, origin: &str, opts: &Options) -> Result<Repor
         stats.max_width,
         stats.total_iterations,
     );
-    match &part {
+    match part {
         ConcretePartition::RecurrenceChains { p1, chains, p3, .. } => {
             let p2: usize = chains.iter().map(|c| c.len()).sum();
             text.push_str(&format!(
@@ -359,6 +360,9 @@ pub fn cmd_partition(source: &str, origin: &str, opts: &Options) -> Result<Repor
             ));
         }
     }
+    if let Some(reason) = &reason {
+        text.push_str(&format!("  recurrence chains unavailable: {reason}\n"));
+    }
     if problems.is_empty() {
         text.push_str(
             "  validation: ok (every iteration scheduled once, all dependences respected)\n",
@@ -369,7 +373,13 @@ pub fn cmd_partition(source: &str, origin: &str, opts: &Options) -> Result<Repor
             text.push_str(&format!("    {p}\n"));
         }
     }
-    let data = partition_json(&program, &values, &part, problems.is_empty());
+    let data = partition_json(
+        program,
+        stage.values(),
+        part,
+        reason.as_deref(),
+        problems.is_empty(),
+    );
     Ok(Report {
         text,
         data,
@@ -378,14 +388,14 @@ pub fn cmd_partition(source: &str, origin: &str, opts: &Options) -> Result<Repor
 }
 
 /// `rcp codegen`: the paper-style DOALL/WHILE listing (then-branch) or a
-/// canonical-source fallback for dataflow programs.
-pub fn cmd_codegen(source: &str, origin: &str, opts: &Options) -> Result<Report, String> {
-    let program = parse_source(source, origin)?;
-    let granularity = pick_granularity(&program, opts);
-    let analysis = DependenceAnalysis::analyze(&program, granularity);
-    match symbolic_plan(&analysis) {
-        Some(plan) => {
-            let listing = generate_listing(&plan, &program.name);
+/// canonical-source fallback, with the typed reason, for dataflow
+/// programs.
+pub fn cmd_codegen(source: &str, origin: &str, opts: &Options) -> Result<Report, RcpError> {
+    let analyzed = opts.session().parse(source, origin)?;
+    let program = analyzed.program();
+    match analyzed.plan() {
+        Ok(planned) => {
+            let listing = planned.listing();
             let data = json!({
                 "program": program.name,
                 "strategy": "RecurrenceChains",
@@ -393,17 +403,21 @@ pub fn cmd_codegen(source: &str, origin: &str, opts: &Options) -> Result<Report,
             });
             Ok(Report::ok(listing, data))
         }
-        None => {
+        Err(err) => {
+            let reason = err
+                .plan_reason()
+                .map(|r| r.to_string())
+                .ok_or(err.clone())?;
             let text = format!(
-                "program `{}` has no single full-rank coupled reference pair; Algorithm 1 \
-                 selects the dataflow branch, whose stages are enumerated at run time \
-                 (`rcp partition`).  Canonical source:\n\n{}",
+                "program `{}` takes Algorithm 1's dataflow branch ({reason}); its stages \
+                 are enumerated at run time (`rcp partition`).  Canonical source:\n\n{}",
                 program.name,
-                pretty(&program)
+                pretty(program)
             );
             let data = json!({
                 "program": program.name,
                 "strategy": "Dataflow",
+                "fallback_reason": reason,
                 "listing": Json::Null,
             });
             Ok(Report::ok(text, data))
@@ -411,46 +425,39 @@ pub fn cmd_codegen(source: &str, origin: &str, opts: &Options) -> Result<Report,
     }
 }
 
-fn schedules_for(
-    program: &Program,
-    analysis: &DependenceAnalysis,
-    values: &[i64],
-) -> (Schedule, Schedule) {
-    let part = concrete_partition(analysis, values);
-    let parallel = Schedule::from_partition(analysis, &part, &format!("{}-rcp", program.name));
-    let sequential = Schedule::sequential(program, values);
-    (sequential, parallel)
+fn scheduled_for(analyzed: &Analyzed) -> Result<rcp_session::Scheduled, RcpError> {
+    analyzed.partition()?.schedule()
 }
 
-/// `rcp run`: executes the partitioned schedule and verifies it
-/// element-for-element against the sequential reference.
-pub fn cmd_run(source: &str, origin: &str, opts: &Options) -> Result<Report, String> {
-    let program = parse_source(source, origin)?;
-    let values = bind_parameters(&program, opts)?;
-    let granularity = pick_granularity(&program, opts);
-    let analysis = DependenceAnalysis::analyze(&program, granularity);
-    let (sequential, parallel) = schedules_for(&program, &analysis, &values);
-    let kernel = RefKernel::new(&program);
-    let verdict = verify_schedule(&sequential, &parallel, &kernel, opts.threads);
+/// `rcp run`: executes the schedule of the configured scheme and verifies
+/// it element-for-element against the sequential reference.
+pub fn cmd_run(source: &str, origin: &str, opts: &Options) -> Result<Report, RcpError> {
+    let analyzed = opts.session().parse(source, origin)?;
+    let scheduled = scheduled_for(&analyzed)?;
+    let program = analyzed.program();
+    let verdict = scheduled.verify();
+    let threads = analyzed.config().threads;
     let text = format!(
-        "program `{}`: executed {} instance(s) in {} phase(s) on {} thread(s)\n\
+        "program `{}`: executed {} instance(s) in {} phase(s) on {} thread(s) [scheme {}]\n\
          \x20 mismatches vs sequential: {}\n\
          \x20 races detected:           {}\n\
          \x20 verification:             {}\n",
         program.name,
-        parallel.n_instances(),
-        parallel.n_phases(),
-        opts.threads,
+        scheduled.schedule().n_instances(),
+        scheduled.schedule().n_phases(),
+        threads,
+        scheduled.scheme(),
         verdict.mismatches.len(),
         verdict.races.len(),
         if verdict.passed() { "PASSED" } else { "FAILED" },
     );
     let data = json!({
         "program": program.name,
-        "params": params_object(&program, &values),
-        "threads": opts.threads,
-        "n_instances": parallel.n_instances(),
-        "n_phases": parallel.n_phases(),
+        "params": params_object(program, scheduled.partitioned().values()),
+        "threads": threads,
+        "scheme": scheduled.scheme(),
+        "n_instances": scheduled.schedule().n_instances(),
+        "n_phases": scheduled.schedule().n_phases(),
         "mismatches": verdict.mismatches.len(),
         "races": verdict.races.len(),
         "passed": verdict.passed(),
@@ -462,51 +469,69 @@ pub fn cmd_run(source: &str, origin: &str, opts: &Options) -> Result<Report, Str
     })
 }
 
-/// `rcp bench`: measured sequential vs parallel wall clock (best of 3).
-pub fn cmd_bench(source: &str, origin: &str, opts: &Options) -> Result<Report, String> {
-    let program = parse_source(source, origin)?;
-    let values = bind_parameters(&program, opts)?;
-    let granularity = pick_granularity(&program, opts);
-    let analysis = DependenceAnalysis::analyze(&program, granularity);
-    let (sequential, parallel) = schedules_for(&program, &analysis, &values);
-    let kernel = RefKernel::new(&program);
-    let reps = 3;
-    let best = |mut pass: Box<dyn FnMut() -> f64 + '_>| {
-        (0..reps).map(|_| pass()).fold(f64::INFINITY, f64::min)
-    };
-    let seq_ms = best(Box::new(|| {
-        let start = Instant::now();
-        let _ = execute_sequential(&sequential, &kernel);
-        start.elapsed().as_secs_f64() * 1e3
-    }));
-    let executor = ParallelExecutor::new(opts.threads).with_race_detection(false);
-    let par_ms = best(Box::new(|| {
-        let start = Instant::now();
-        let _ = executor.execute(&parallel, &kernel);
-        start.elapsed().as_secs_f64() * 1e3
-    }));
-    let speedup = seq_ms / par_ms.max(1e-9);
+/// `rcp bench`: measured sequential vs parallel wall clock (best of 3) of
+/// any registry scheme (`--scheme`).
+pub fn cmd_bench(source: &str, origin: &str, opts: &Options) -> Result<Report, RcpError> {
+    let analyzed = opts.session().parse(source, origin)?;
+    let scheduled = scheduled_for(&analyzed)?;
+    let program = analyzed.program();
+    let measured = scheduled.bench(3);
     let text = format!(
-        "program `{}`: {} instance(s), best of {}\n\
-         \x20 sequential        {seq_ms:.3} ms\n\
-         \x20 parallel ({} thr)  {par_ms:.3} ms\n\
-         \x20 speedup           {speedup:.2}x\n",
+        "program `{}`: {} instance(s), scheme {}, best of {}\n\
+         \x20 sequential        {:.3} ms\n\
+         \x20 parallel ({} thr)  {:.3} ms\n\
+         \x20 speedup           {:.2}x\n",
         program.name,
-        parallel.n_instances(),
-        reps,
-        opts.threads,
+        scheduled.schedule().n_instances(),
+        scheduled.scheme(),
+        measured.reps,
+        measured.sequential_ms,
+        measured.threads,
+        measured.parallel_ms,
+        measured.speedup(),
     );
     let data = json!({
         "program": program.name,
-        "params": params_object(&program, &values),
-        "threads": opts.threads,
-        "n_instances": parallel.n_instances(),
-        "sequential_ms": seq_ms,
-        "parallel_ms": par_ms,
-        "speedup": speedup,
+        "params": params_object(program, scheduled.partitioned().values()),
+        "threads": measured.threads,
+        "scheme": scheduled.scheme(),
+        "n_instances": scheduled.schedule().n_instances(),
+        "sequential_ms": measured.sequential_ms,
+        "parallel_ms": measured.parallel_ms,
+        "speedup": measured.speedup(),
     });
     Ok(Report::ok(text, data))
 }
+
+/// `rcp schemes`: lists the [`rcp_session::Partitioner`] registry.
+pub fn cmd_schemes() -> Report {
+    let mut text = String::from("registered partitioning schemes:\n");
+    let mut rows = Vec::new();
+    for scheme in registry() {
+        text.push_str(&format!(
+            "  {:<18} {}\n",
+            scheme.name(),
+            scheme.description()
+        ));
+        rows.push(json!({
+            "name": scheme.name(),
+            "description": scheme.description(),
+        }));
+    }
+    Report::ok(text, Json::Array(rows))
+}
+
+/// Every subcommand name `run_command` dispatches, in help order.
+pub const COMMANDS: [&str; 8] = [
+    "parse",
+    "fmt",
+    "analyze",
+    "partition",
+    "codegen",
+    "run",
+    "bench",
+    "schemes",
+];
 
 /// Dispatches a subcommand by name.  `fmt` is excluded (it needs write
 /// access to the file and is handled by the binary).
@@ -515,7 +540,7 @@ pub fn run_command(
     source: &str,
     origin: &str,
     opts: &Options,
-) -> Result<Report, String> {
+) -> Result<Report, RcpError> {
     match command {
         "parse" => cmd_parse(source, origin),
         "fmt" => cmd_fmt(source, origin),
@@ -524,9 +549,11 @@ pub fn run_command(
         "codegen" => cmd_codegen(source, origin, opts),
         "run" => cmd_run(source, origin, opts),
         "bench" => cmd_bench(source, origin, opts),
-        other => Err(format!(
-            "unknown command `{other}` (known: parse, fmt, analyze, partition, codegen, run, bench)"
-        )),
+        "schemes" => Ok(cmd_schemes()),
+        other => Err(RcpError::UnknownCommand {
+            name: other.to_string(),
+            known: COMMANDS.to_vec(),
+        }),
     }
 }
 
@@ -569,6 +596,7 @@ END
         assert_eq!(r.data["uniformity"].as_str(), Some("NonUniform"));
         assert_eq!(r.data["strategy"].as_str(), Some("RecurrenceChains"));
         assert_eq!(r.data["n_screened_pairs"].as_u64(), Some(0));
+        assert!(r.data["fallback_reason"].as_str().is_none());
     }
 
     #[test]
@@ -585,25 +613,76 @@ END
     }
 
     #[test]
+    fn partition_surfaces_the_fallback_reason() {
+        // Two coupled pairs: Algorithm 1 must fall back to dataflow and
+        // the report must say why.
+        const MULTI: &str = "\
+PROGRAM multi
+PARAM N
+DO I = 1, N
+  DO J = 1, N
+    S: a(I + J, J) = a(I, J), a(J, I)
+  ENDDO
+ENDDO
+END
+";
+        let r = cmd_partition(MULTI, "multi.loop", &opts(&[("N", 6)])).unwrap();
+        assert!(!r.failed, "{}", r.text);
+        assert_eq!(r.data["strategy"].as_str(), Some("Dataflow"));
+        let reason = r.data["fallback_reason"].as_str().unwrap();
+        assert!(
+            reason.contains("2 coupled reference pairs"),
+            "reason must name the failed precondition: {reason}"
+        );
+        assert!(r.text.contains("recurrence chains unavailable"));
+    }
+
+    #[test]
     fn run_verifies_against_sequential() {
         let r = cmd_run(EXAMPLE1, "example1.loop", &opts(&[("N1", 8), ("N2", 8)])).unwrap();
         assert!(!r.failed, "{}", r.text);
         assert_eq!(r.data["passed"].as_bool(), Some(true));
+        assert_eq!(r.data["scheme"].as_str(), Some("recurrence-chains"));
+    }
+
+    #[test]
+    fn bench_accepts_every_registry_scheme() {
+        for scheme in rcp_session::scheme_names() {
+            let mut o = opts(&[("N1", 6), ("N2", 6)]);
+            o.scheme = Some(scheme.to_string());
+            let r = cmd_bench(EXAMPLE1, "example1.loop", &o)
+                .unwrap_or_else(|e| panic!("scheme {scheme}: {e}"));
+            assert_eq!(r.data["scheme"].as_str(), Some(scheme));
+            assert_eq!(r.data["n_instances"].as_u64(), Some(36));
+        }
+    }
+
+    #[test]
+    fn unknown_schemes_are_rejected_with_the_known_list() {
+        let mut o = opts(&[("N1", 6), ("N2", 6)]);
+        o.scheme = Some("zigzag".to_string());
+        let err = cmd_bench(EXAMPLE1, "example1.loop", &o).unwrap_err();
+        assert!(matches!(err, RcpError::UnknownScheme { .. }));
+        assert!(err.to_string().contains("recurrence-chains"));
     }
 
     #[test]
     fn missing_and_unknown_params_are_reported() {
         let err = cmd_analyze(EXAMPLE1, "f.loop", &opts(&[("N1", 10)])).unwrap_err();
-        assert!(err.contains("missing --param N2"));
+        assert!(err.to_string().contains("missing --param N2"));
         let err =
             cmd_analyze(EXAMPLE1, "f.loop", &opts(&[("N1", 1), ("N2", 1), ("Q", 1)])).unwrap_err();
-        assert!(err.contains("no parameter `Q`"));
+        assert!(err.to_string().contains("no parameter `Q`"));
     }
 
     #[test]
-    fn parse_errors_carry_the_origin() {
+    fn parse_errors_carry_the_origin_and_position() {
         let err = cmd_parse("PROGRAM p\nDO I = , 9\nENDDO\nEND\n", "bad.loop").unwrap_err();
-        assert!(err.starts_with("bad.loop: line 2"), "{err}");
+        assert!(err.to_string().starts_with("bad.loop: line 2"), "{err}");
+        match err {
+            RcpError::Parse { error, .. } => assert_eq!(error.pos.line, 2),
+            other => panic!("expected a typed parse error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -611,5 +690,13 @@ END
         let r = cmd_codegen(EXAMPLE1, "example1.loop", &Options::default()).unwrap();
         assert_eq!(r.data["strategy"].as_str(), Some("RecurrenceChains"));
         assert!(r.data["listing"].as_str().is_some());
+    }
+
+    #[test]
+    fn schemes_lists_the_registry() {
+        let r = cmd_schemes();
+        assert_eq!(r.data.as_array().unwrap().len(), 6);
+        assert!(r.text.contains("recurrence-chains"));
+        assert!(r.text.contains("doacross"));
     }
 }

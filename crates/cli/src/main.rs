@@ -1,6 +1,6 @@
 //! The `rcp` binary: a thin argument-parsing shell over [`rcp_cli`].
 
-use rcp_cli::{cmd_fmt, run_command, Options};
+use rcp_cli::{cmd_fmt, cmd_schemes, run_command, Options};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -8,25 +8,29 @@ rcp — recurrence-chains loop-nest driver
 
 USAGE:
     rcp <COMMAND> <FILE.loop> [OPTIONS]
+    rcp schemes
 
 COMMANDS:
     parse       parse the file, report front-end facts + canonical source
     fmt         print the canonical formatting (--write rewrites the file)
     analyze     exact dependence analysis + uniformity classification
-    partition   Algorithm-1 three-set / dataflow partition (validated)
+    partition   Algorithm-1 partition (validated), with the fallback reason
     codegen     paper-style DOALL/WHILE listing
-    run         execute the partitioned schedule, verify vs sequential
+    run         execute the scheduled partition, verify vs sequential
     bench       measured sequential vs parallel wall clock
+    schemes     list the registered partitioning schemes
 
 OPTIONS:
     --param NAME=VALUE   bind a symbolic parameter (repeatable)
     --threads N          worker threads for run/bench (default 4)
+    --scheme NAME        partitioning scheme for run/bench (see `rcp schemes`)
     --stmt               force statement-level granularity
     --json               print the machine-readable report instead of text
     --write              (fmt only) rewrite the file in place
 
 EXAMPLE:
     rcp analyze examples/loops/example1.loop --param N1=300 --param N2=1000
+    rcp bench examples/loops/example1.loop --param N1=60 --param N2=60 --scheme pdm
 ";
 
 fn fail(message: &str) -> ExitCode {
@@ -57,24 +61,26 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--write" => write = true,
             "--stmt" => opts.force_statement_level = true,
-            "--param" | "--threads" => {
+            "--param" | "--threads" | "--scheme" => {
                 let Some(value) = args.get(k + 1) else {
                     return fail(&format!("{arg} requires a value"));
                 };
                 k += 1;
-                if arg == "--threads" {
-                    match value.parse::<usize>() {
-                        Ok(n) if n >= 1 => opts.threads = n,
+                match arg.as_str() {
+                    "--threads" => match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => opts.threads = Some(n),
                         _ => return fail(&format!("invalid --threads value `{value}`")),
+                    },
+                    "--scheme" => opts.scheme = Some(value.clone()),
+                    _ => {
+                        let Some((name, v)) = value.split_once('=') else {
+                            return fail(&format!("--param expects NAME=VALUE, got `{value}`"));
+                        };
+                        let Ok(v) = v.parse::<i64>() else {
+                            return fail(&format!("--param {name}: invalid integer `{v}`"));
+                        };
+                        opts.params.push((name.to_string(), v));
                     }
-                } else {
-                    let Some((name, v)) = value.split_once('=') else {
-                        return fail(&format!("--param expects NAME=VALUE, got `{value}`"));
-                    };
-                    let Ok(v) = v.parse::<i64>() else {
-                        return fail(&format!("--param {name}: invalid integer `{v}`"));
-                    };
-                    opts.params.push((name.to_string(), v));
                 }
             }
             _ if arg.starts_with("--") => return fail(&format!("unknown option `{arg}`")),
@@ -88,6 +94,18 @@ fn main() -> ExitCode {
     let Some(command) = command else {
         return fail("missing command (try `rcp --help`)");
     };
+
+    // `schemes` needs no input file: it reports the registry.
+    if command == "schemes" {
+        let report = cmd_schemes();
+        if json {
+            println!("{}", report.data.pretty());
+        } else {
+            print!("{}", report.text);
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let Some(file) = file else {
         return fail("missing input file (try `rcp --help`)");
     };

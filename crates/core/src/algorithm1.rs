@@ -18,8 +18,9 @@ use crate::chains::{chains_in_intermediate, longest_chain, Chain};
 use crate::dataflow::{dataflow_partition, DataflowPartition};
 use crate::recurrence::Recurrence;
 use crate::three_set::{DenseThreeSet, ThreeSetPartition};
-use rcp_depend::DependenceAnalysis;
+use rcp_depend::{CoupledPairCheck, DependenceAnalysis};
 use rcp_presburger::{DenseRelation, DenseSet};
+use std::fmt;
 
 /// The branch of Algorithm 1 chosen for a program.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -30,6 +31,74 @@ pub enum Strategy {
     /// partitioning.
     Dataflow,
 }
+
+/// Why Algorithm 1 cannot take its recurrence-chain then-branch for a
+/// program — the typed replacement for the reason-less `None` that
+/// [`symbolic_plan`] used to return.  Consumers (the `rcp partition`
+/// report, the session pipeline) surface this instead of silently
+/// falling back to dataflow partitioning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanUnavailable {
+    /// The analysis ran at statement level (imperfect nest or `--stmt`):
+    /// the coupled-pair recurrence is a loop-level construction.
+    StatementLevel,
+    /// No statement reads and writes the same array, so there is no
+    /// coupled pair; the dependence-free iterations form DOALL stages.
+    NoCoupledPair,
+    /// The nest has several coupled reference pairs, so no single
+    /// recurrence `i = j·T + u` covers all dependences (Algorithm 1's
+    /// else-branch condition).
+    MultipleCoupledPairs {
+        /// Number of same-array write/read pairs found.
+        count: usize,
+    },
+    /// The single pair's access matrices are not square (array rank ≠
+    /// nest depth), so no recurrence matrix exists.
+    NonSquareAccess {
+        /// The array with the non-square access.
+        array: String,
+    },
+    /// The single pair's access matrices are rank deficient, violating
+    /// Lemma 1's full-rank precondition for `T = B·A⁻¹`.
+    RankDeficientAccess {
+        /// The array with the rank-deficient access.
+        array: String,
+    },
+}
+
+impl fmt::Display for PlanUnavailable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanUnavailable::StatementLevel => write!(
+                f,
+                "statement-level analysis: the coupled-pair recurrence is only \
+                 defined at loop level"
+            ),
+            PlanUnavailable::NoCoupledPair => write!(
+                f,
+                "no coupled reference pair: no statement both reads and writes \
+                 the same array"
+            ),
+            PlanUnavailable::MultipleCoupledPairs { count } => write!(
+                f,
+                "{count} coupled reference pairs: the recurrence i = j*T + u \
+                 requires exactly one"
+            ),
+            PlanUnavailable::NonSquareAccess { array } => write!(
+                f,
+                "access matrices of `{array}` are not square (array rank != \
+                 nest depth), so no recurrence matrix T exists"
+            ),
+            PlanUnavailable::RankDeficientAccess { array } => write!(
+                f,
+                "access matrices of `{array}` are rank deficient, violating \
+                 Lemma 1's full-rank precondition"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanUnavailable {}
 
 /// The compile-time (symbolic) plan of the then-branch.
 #[derive(Clone, Debug)]
@@ -171,14 +240,48 @@ impl ConcretePartition {
     }
 }
 
+/// Diagnoses whether Algorithm 1's then-branch applies: `None` when the
+/// recurrence-chain plan is available, otherwise the precise reason it is
+/// not.  The single source of truth for the branch condition, shared by
+/// [`symbolic_plan`], [`concrete_partition_from_dense`] and every consumer
+/// that reports the chosen strategy (e.g. `rcp analyze`).
+pub fn plan_unavailability(analysis: &DependenceAnalysis) -> Option<PlanUnavailable> {
+    match analysis.coupled_pair_check() {
+        CoupledPairCheck::Single(pair) => match Recurrence::from_pair(&pair) {
+            Some(_) => None,
+            // Unreachable for square full-rank pairs, but kept total.
+            None => Some(PlanUnavailable::RankDeficientAccess {
+                array: pair.write.array.clone(),
+            }),
+        },
+        CoupledPairCheck::StatementLevel => Some(PlanUnavailable::StatementLevel),
+        CoupledPairCheck::NoPair => Some(PlanUnavailable::NoCoupledPair),
+        CoupledPairCheck::MultiplePairs { count } => {
+            Some(PlanUnavailable::MultipleCoupledPairs { count })
+        }
+        CoupledPairCheck::NonSquare { array } => Some(PlanUnavailable::NonSquareAccess { array }),
+        CoupledPairCheck::RankDeficient { array } => {
+            Some(PlanUnavailable::RankDeficientAccess { array })
+        }
+    }
+}
+
 /// Builds the symbolic (compile-time) plan when the then-branch of
 /// Algorithm 1 applies, i.e. the program has a single coupled reference
-/// pair with full-rank matrices.
-pub fn symbolic_plan(analysis: &DependenceAnalysis) -> Option<SymbolicPlan> {
-    let pair = analysis.single_coupled_pair()?;
-    let recurrence = Recurrence::from_pair(&pair)?;
+/// pair with full-rank matrices.  On failure the error says exactly which
+/// precondition broke, so callers can report *why* the program fell back
+/// to dataflow partitioning.
+pub fn symbolic_plan(analysis: &DependenceAnalysis) -> Result<SymbolicPlan, PlanUnavailable> {
+    if let Some(reason) = plan_unavailability(analysis) {
+        return Err(reason);
+    }
+    let pair = analysis
+        .single_coupled_pair()
+        .expect("plan_unavailability returned None, so the pair exists");
+    let recurrence = Recurrence::from_pair(&pair)
+        .expect("plan_unavailability returned None, so the recurrence exists");
     let partition = ThreeSetPartition::compute(&analysis.phi, &analysis.relation);
-    Some(SymbolicPlan {
+    Ok(SymbolicPlan {
         partition,
         recurrence,
     })
@@ -186,14 +289,9 @@ pub fn symbolic_plan(analysis: &DependenceAnalysis) -> Option<SymbolicPlan> {
 
 /// True when Algorithm 1 takes its then-branch for this analysis: a
 /// single coupled reference pair with full-rank matrices whose recurrence
-/// `i = j·T + u` exists.  The single source of truth for the branch
-/// condition, shared by [`concrete_partition_from_dense`] and every
-/// consumer that reports the chosen strategy (e.g. `rcp analyze`).
+/// `i = j·T + u` exists.
 pub fn uses_recurrence_chains(analysis: &DependenceAnalysis) -> bool {
-    analysis
-        .single_coupled_pair()
-        .and_then(|p| Recurrence::from_pair(&p))
-        .is_some()
+    plan_unavailability(analysis).is_none()
 }
 
 /// Runs Algorithm 1 for concrete parameter values, choosing the
@@ -294,7 +392,7 @@ mod tests {
     #[test]
     fn example1_uses_recurrence_chains() {
         let analysis = rcp_depend::DependenceAnalysis::loop_level(&example1());
-        assert!(symbolic_plan(&analysis).is_some());
+        assert!(symbolic_plan(&analysis).is_ok());
         let part = concrete_partition(&analysis, &[10, 10]);
         assert_eq!(part.strategy(), Strategy::RecurrenceChains);
         let (phi, rel) = analysis.bind_params(&[10, 10]);
@@ -399,7 +497,11 @@ mod tests {
         );
         let analysis = rcp_depend::DependenceAnalysis::loop_level(&p);
         assert!(analysis.single_coupled_pair().is_none());
-        assert!(symbolic_plan(&analysis).is_none());
+        assert_eq!(
+            symbolic_plan(&analysis).unwrap_err(),
+            PlanUnavailable::MultipleCoupledPairs { count: 2 },
+            "the fallback must say why the then-branch is unavailable"
+        );
         let part = concrete_partition(&analysis, &[6]);
         assert_eq!(part.strategy(), Strategy::Dataflow);
         let (phi, rel) = analysis.bind_params(&[6]);

@@ -66,8 +66,8 @@ pub mod recurrence;
 pub mod three_set;
 
 pub use algorithm1::{
-    concrete_partition, concrete_partition_from_dense, symbolic_plan, uses_recurrence_chains,
-    ConcretePartition, PlanStats, Strategy, SymbolicPlan,
+    concrete_partition, concrete_partition_from_dense, plan_unavailability, symbolic_plan,
+    uses_recurrence_chains, ConcretePartition, PlanStats, PlanUnavailable, Strategy, SymbolicPlan,
 };
 pub use chains::{chains_in_intermediate, longest_chain, monotonic_chains, Chain};
 pub use dataflow::{

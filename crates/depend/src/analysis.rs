@@ -78,6 +78,40 @@ impl CoupledPair {
     }
 }
 
+/// The outcome of scanning a program for the *single coupled reference
+/// pair* that Algorithm 1's then-branch requires: either the pair, or the
+/// precise precondition that failed.
+#[derive(Clone, Debug)]
+pub enum CoupledPairCheck {
+    /// Exactly one same-array write/read pair with square, full-rank
+    /// access matrices — the then-branch applies.
+    Single(CoupledPair),
+    /// The analysis ran at statement level, where the coupled-pair
+    /// construction (and hence the recurrence) is not defined.
+    StatementLevel,
+    /// No statement reads and writes the same array: no coupled pair can
+    /// exist (the loop is independent or uses distinct arrays).
+    NoPair,
+    /// More than one same-array write/read pair: the recurrence `i = j·T
+    /// + u` would not be unique.
+    MultiplePairs {
+        /// How many coupled pairs the scan found.
+        count: usize,
+    },
+    /// The single pair's access matrices are not square (array rank ≠
+    /// nest depth), so no recurrence matrix `T` exists.
+    NonSquare {
+        /// The array whose access is non-square.
+        array: String,
+    },
+    /// The single pair's access matrices are square but rank deficient,
+    /// so `T = B·A⁻¹` cannot be formed (Lemma 1's precondition).
+    RankDeficient {
+        /// The array whose access is rank deficient.
+        array: String,
+    },
+}
+
 /// The result of dependence analysis on a program.
 #[derive(Clone, Debug)]
 pub struct DependenceAnalysis {
@@ -178,11 +212,24 @@ impl DependenceAnalysis {
     /// Only meaningful at loop level, where the access matrices are square
     /// exactly when the array rank equals the nest depth.
     pub fn single_coupled_pair(&self) -> Option<CoupledPair> {
+        match self.coupled_pair_check() {
+            CoupledPairCheck::Single(pair) => Some(pair),
+            _ => None,
+        }
+    }
+
+    /// The full diagnosis behind [`Self::single_coupled_pair`]: either the
+    /// single usable pair, or the *reason* the then-branch precondition
+    /// fails — consumed by `rcp_core::symbolic_plan` so a fallback to
+    /// dataflow partitioning can explain itself instead of being a silent
+    /// `None`.
+    pub fn coupled_pair_check(&self) -> CoupledPairCheck {
         if self.granularity != Granularity::LoopLevel {
-            return None;
+            return CoupledPairCheck::StatementLevel;
         }
         let stmts = self.program.statements();
         let mut found: Option<CoupledPair> = None;
+        let mut non_square: Option<String> = None;
         let mut n_pairs = 0;
         for info in &stmts {
             let writes: Vec<&rcp_loopir::ArrayRef> = info.stmt.writes().collect();
@@ -200,14 +247,24 @@ impl DependenceAnalysis {
                             write: wa,
                             read: ra,
                         });
+                    } else {
+                        non_square = Some(w.array.clone());
                     }
                 }
             }
         }
-        if n_pairs == 1 {
-            found.filter(|p| p.full_rank())
-        } else {
-            None
+        match n_pairs {
+            0 => CoupledPairCheck::NoPair,
+            1 => match found {
+                Some(pair) if pair.full_rank() => CoupledPairCheck::Single(pair),
+                Some(pair) => CoupledPairCheck::RankDeficient {
+                    array: pair.write.array.clone(),
+                },
+                None => CoupledPairCheck::NonSquare {
+                    array: non_square.unwrap_or_default(),
+                },
+            },
+            count => CoupledPairCheck::MultiplePairs { count },
         }
     }
 

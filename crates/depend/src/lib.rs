@@ -43,8 +43,8 @@ pub mod screening;
 pub mod trace;
 
 pub use analysis::{
-    dependence_system, is_coupled_access, pair_may_depend, CoupledPair, DependenceAnalysis,
-    Granularity, RefPair,
+    dependence_system, is_coupled_access, pair_may_depend, CoupledPair, CoupledPairCheck,
+    DependenceAnalysis, Granularity, RefPair,
 };
 pub use distance::{
     classify_analysis, classify_uniformity, distance_set, syntactically_uniform, Uniformity,

@@ -139,13 +139,13 @@ impl SolverCacheStats {
     }
 }
 
-/// [`hermite_normal_form`](crate::hnf::hermite_normal_form) with process-wide
+/// [`hermite_normal_form`] with process-wide
 /// memoisation keyed by the input matrix.
 pub fn hermite_normal_form_cached(a: &IMat) -> HnfResult {
     HNF_CACHE.get_or_compute(a.clone(), || hermite_normal_form(a))
 }
 
-/// [`solve_linear_system`](crate::diophantine::solve_linear_system) with
+/// [`solve_linear_system`] with
 /// process-wide memoisation keyed by `(matrix, rhs)`.
 pub fn solve_linear_system_cached(m: &IMat, c: &[i64]) -> Option<DiophantineSolution> {
     DIO_CACHE.get_or_compute((m.clone(), c.to_vec()), || solve_linear_system(m, c))

@@ -4,7 +4,7 @@
 //! partitioning library.  Everything that the paper's formalism needs from
 //! "math" lives here:
 //!
-//! * [`gcd`] — greatest common divisors, least common multiples and the
+//! * [`mod@gcd`] — greatest common divisors, least common multiples and the
 //!   extended Euclidean algorithm used to solve linear diophantine
 //!   equations exactly,
 //! * [`Rational`] — exact rational numbers over `i128`, used whenever the

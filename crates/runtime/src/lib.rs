@@ -3,7 +3,7 @@
 //! This crate stands in for the paper's Fortran + OpenMP + 4-CPU Itanium
 //! testbed:
 //!
-//! * [`array`] — the array store generated loops compute on (sparse,
+//! * [`mod@array`] — the array store generated loops compute on (sparse,
 //!   supports negative subscripts, deterministic initial values),
 //! * [`kernel`] — statement kernels; [`RefKernel`] derives an
 //!   order-sensitive computation directly from a program's array

@@ -1,0 +1,204 @@
+//! The single configuration object of the session pipeline.
+//!
+//! Everything the old free-function pipeline took as scattered per-call
+//! arguments — parameter bindings, thread count, granularity forcing, the
+//! partitioning scheme, cache behaviour — lives in one [`Config`] that a
+//! [`crate::Session`] carries through every stage.
+
+use rcp_loopir::Program;
+
+use crate::error::RcpError;
+
+/// Configuration shared by every stage of a [`crate::Session`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Config {
+    /// `PARAM` bindings, in command-line order (`--param NAME=VALUE`).
+    /// Later bindings of the same name win.
+    pub params: Vec<(String, i64)>,
+    /// Worker threads for parallel execution and verification.
+    pub threads: usize,
+    /// Force the statement-level unified index space even for perfect
+    /// nests (the CLI's `--stmt`).
+    pub force_statement_level: bool,
+    /// The partitioning scheme to schedule with; `None` selects the
+    /// recurrence-chains scheme (Algorithm 1 with its dataflow fallback).
+    /// Names resolve through the [`crate::registry`].
+    pub scheme: Option<String>,
+    /// Memoise concrete partition stages per parameter binding, so one
+    /// [`crate::Analyzed`] can be re-partitioned for many bindings and
+    /// thread counts without recomputing anything.
+    pub reuse_partitions: bool,
+    /// Keep the workspace solver caches (HNF/diophantine, Fourier–Motzkin
+    /// emptiness) warm across analyses.  `false` resets them before every
+    /// analysis — cold, reproducible timings for measurement harnesses.
+    ///
+    /// **Caveat:** those caches are process-global, so a cold-cache
+    /// session resets them for *every* session in the process.  Only use
+    /// this from a harness that owns the process and runs sessions
+    /// serially (the cache results themselves are bit-identical either
+    /// way, so correctness is unaffected — only warm-timing measurements
+    /// and hit-rate counters of concurrent sessions would be skewed).
+    pub warm_caches: bool,
+    /// Shard the dependence analysis over this many threads; `None`
+    /// lets the analysis pick (all hardware threads when the program has
+    /// enough reference pairs to amortise spawning).
+    pub analysis_threads: Option<usize>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            params: Vec::new(),
+            threads: 4,
+            force_statement_level: false,
+            scheme: None,
+            reuse_partitions: true,
+            warm_caches: true,
+            analysis_threads: None,
+        }
+    }
+}
+
+impl Config {
+    /// A default configuration.
+    pub fn new() -> Self {
+        Config::default()
+    }
+
+    /// Adds one parameter binding (later bindings of a name win).
+    pub fn with_param(mut self, name: &str, value: i64) -> Self {
+        self.params.push((name.to_string(), value));
+        self
+    }
+
+    /// Replaces the parameter bindings.
+    pub fn with_params(mut self, params: &[(&str, i64)]) -> Self {
+        self.params = params.iter().map(|(n, v)| (n.to_string(), *v)).collect();
+        self
+    }
+
+    /// Sets the worker thread count for execution and verification.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Forces statement-level granularity (the CLI's `--stmt`).
+    pub fn with_statement_level(mut self, force: bool) -> Self {
+        self.force_statement_level = force;
+        self
+    }
+
+    /// Selects a partitioning scheme by registry name.
+    pub fn with_scheme(mut self, scheme: &str) -> Self {
+        self.scheme = Some(scheme.to_string());
+        self
+    }
+
+    /// Disables the per-binding partition memo (every call recomputes).
+    pub fn without_partition_reuse(mut self) -> Self {
+        self.reuse_partitions = false;
+        self
+    }
+
+    /// Resets the solver caches before every analysis (cold timings).
+    pub fn with_cold_caches(mut self) -> Self {
+        self.warm_caches = false;
+        self
+    }
+
+    /// Shards the dependence analysis over exactly this many threads.
+    pub fn with_analysis_threads(mut self, threads: usize) -> Self {
+        self.analysis_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Resolves this configuration's bindings (optionally overridden by
+    /// `overrides`, which win) against a program's declared parameters, in
+    /// declaration order.  Every declared parameter must be bound and
+    /// every binding must name a declared parameter.
+    pub fn resolve_params(
+        &self,
+        program: &Program,
+        overrides: &[(String, i64)],
+    ) -> Result<Vec<i64>, RcpError> {
+        let bindings: Vec<&(String, i64)> = self.params.iter().chain(overrides).collect();
+        for (name, _) in &bindings {
+            if !program.params.iter().any(|p| p == name) {
+                return Err(RcpError::UnknownParameter {
+                    program: program.name.clone(),
+                    name: name.clone(),
+                    declared: program.params.clone(),
+                });
+            }
+        }
+        program
+            .params
+            .iter()
+            .map(|p| {
+                bindings
+                    .iter()
+                    .rev()
+                    .find(|(name, _)| name == p)
+                    .map(|(_, value)| *value)
+                    .ok_or_else(|| RcpError::MissingParameter {
+                        program: program.name.clone(),
+                        name: p.clone(),
+                    })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_param_program() -> Program {
+        rcp_lang::parse_program(
+            "PROGRAM p\nPARAM N1, N2\nDO I = 1, N1\n  S: a(I) = a(I)\nENDDO\nEND\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn later_bindings_win_and_order_follows_the_declaration() {
+        let config = Config::new()
+            .with_param("N2", 5)
+            .with_param("N1", 3)
+            .with_param("N1", 7);
+        let values = config.resolve_params(&two_param_program(), &[]).unwrap();
+        assert_eq!(values, vec![7, 5]);
+    }
+
+    #[test]
+    fn overrides_beat_the_config() {
+        let config = Config::new().with_param("N1", 3).with_param("N2", 5);
+        let values = config
+            .resolve_params(&two_param_program(), &[("N1".to_string(), 100)])
+            .unwrap();
+        assert_eq!(values, vec![100, 5]);
+    }
+
+    #[test]
+    fn missing_and_unknown_parameters_are_typed() {
+        let program = two_param_program();
+        let err = Config::new()
+            .with_param("N1", 1)
+            .resolve_params(&program, &[])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RcpError::MissingParameter {
+                program: "p".into(),
+                name: "N2".into()
+            }
+        );
+        let err = Config::new()
+            .with_params(&[("N1", 1), ("N2", 1), ("Q", 1)])
+            .resolve_params(&program, &[])
+            .unwrap_err();
+        assert!(matches!(err, RcpError::UnknownParameter { ref name, .. } if name == "Q"));
+        assert!(err.to_string().contains("no parameter `Q`"));
+    }
+}

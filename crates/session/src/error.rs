@@ -1,0 +1,180 @@
+//! The workspace-wide error type of the session pipeline.
+//!
+//! Every fallible step of the staged API reports an [`RcpError`]: a typed,
+//! matchable enum that replaces the stringly `Result<_, String>` the CLI
+//! used to thread around and the reason-less `Option<SymbolicPlan>` of the
+//! old free-function pipeline.  Parse failures carry the `rcp-lang` source
+//! position, plan fallbacks carry the [`PlanUnavailable`] reason.
+
+use rcp_core::PlanUnavailable;
+use rcp_lang::ParseError;
+use std::fmt;
+
+/// Any failure of the session pipeline, from the front end to scheduling.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RcpError {
+    /// `.loop` source did not parse; carries the origin (file name) and
+    /// the full [`rcp_lang::ParseError`] with its line/column position.
+    Parse {
+        /// Where the source came from (file name or `<memory>`).
+        origin: String,
+        /// The parser diagnostic, with its source position.
+        error: ParseError,
+    },
+    /// A `--param NAME=VALUE` binding names a parameter the program does
+    /// not declare.
+    UnknownParameter {
+        /// The program being configured.
+        program: String,
+        /// The undeclared parameter name.
+        name: String,
+        /// The parameters the program does declare (possibly empty).
+        declared: Vec<String>,
+    },
+    /// A declared parameter has no binding.
+    MissingParameter {
+        /// The program being configured.
+        program: String,
+        /// The unbound parameter name.
+        name: String,
+    },
+    /// Algorithm 1 cannot take its recurrence-chain branch; the reason
+    /// says exactly which precondition failed (statement-level analysis,
+    /// several coupled pairs, non-square or rank-deficient access).
+    PlanUnavailable {
+        /// Why the recurrence-chain plan does not exist.
+        reason: PlanUnavailable,
+    },
+    /// A scheme name did not match any registered [`crate::Partitioner`].
+    UnknownScheme {
+        /// The requested name.
+        name: String,
+        /// Every registered scheme name.
+        known: Vec<&'static str>,
+    },
+    /// A registered scheme exists but cannot handle this program (e.g.
+    /// PDM requires loop-level granularity).
+    SchemeUnsupported {
+        /// The scheme that refused.
+        scheme: &'static str,
+        /// Why it refused.
+        reason: String,
+    },
+    /// A bundled workload name did not match any `examples/loops/*.loop`
+    /// file.
+    UnknownWorkload {
+        /// The requested name.
+        name: String,
+    },
+    /// An unknown CLI subcommand.
+    UnknownCommand {
+        /// The requested command.
+        name: String,
+        /// The commands that exist.
+        known: Vec<&'static str>,
+    },
+}
+
+impl RcpError {
+    /// Wraps a parser diagnostic with its origin.
+    pub fn parse(origin: &str, error: ParseError) -> Self {
+        RcpError::Parse {
+            origin: origin.to_string(),
+            error,
+        }
+    }
+
+    /// The plan-fallback reason, when this error is a
+    /// [`RcpError::PlanUnavailable`].
+    pub fn plan_reason(&self) -> Option<&PlanUnavailable> {
+        match self {
+            RcpError::PlanUnavailable { reason } => Some(reason),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RcpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RcpError::Parse { origin, error } => write!(f, "{origin}: {error}"),
+            RcpError::UnknownParameter {
+                program,
+                name,
+                declared,
+            } => {
+                if declared.is_empty() {
+                    write!(
+                        f,
+                        "program `{program}` declares no parameters, but --param {name}=... \
+                         was given"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "program `{program}` has no parameter `{name}` (declares: {})",
+                        declared.join(", ")
+                    )
+                }
+            }
+            RcpError::MissingParameter { program, name } => {
+                write!(f, "missing --param {name}=<value> (program `{program}`)")
+            }
+            RcpError::PlanUnavailable { reason } => {
+                write!(f, "recurrence-chain plan unavailable: {reason}")
+            }
+            RcpError::UnknownScheme { name, known } => {
+                write!(f, "unknown scheme `{name}` (known: {})", known.join(", "))
+            }
+            RcpError::SchemeUnsupported { scheme, reason } => {
+                write!(f, "scheme `{scheme}` does not apply: {reason}")
+            }
+            RcpError::UnknownWorkload { name } => {
+                write!(f, "no bundled workload named `{name}`")
+            }
+            RcpError::UnknownCommand { name, known } => {
+                write!(f, "unknown command `{name}` (known: {})", known.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for RcpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RcpError::Parse { error, .. } => Some(error),
+            RcpError::PlanUnavailable { reason } => Some(reason),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanUnavailable> for RcpError {
+    fn from(reason: PlanUnavailable) -> Self {
+        RcpError::PlanUnavailable { reason }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_errors_render_like_compiler_output() {
+        let err = rcp_lang::parse_program("PROGRAM p\nDO I = , 9\nENDDO\nEND\n").unwrap_err();
+        let wrapped = RcpError::parse("bad.loop", err);
+        assert!(wrapped.to_string().starts_with("bad.loop: line 2"));
+        // The structured position survives the wrapping.
+        match &wrapped {
+            RcpError::Parse { error, .. } => assert_eq!(error.pos.line, 2),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_unavailable_wraps_the_core_reason() {
+        let err: RcpError = PlanUnavailable::NoCoupledPair.into();
+        assert_eq!(err.plan_reason(), Some(&PlanUnavailable::NoCoupledPair));
+        assert!(err.to_string().contains("no coupled reference pair"));
+    }
+}

@@ -1,0 +1,674 @@
+//! The staged pipeline: `Session → Analyzed → Planned → Partitioned →
+//! Scheduled`.
+//!
+//! Each stage is an immutable, reusable artifact backed by shared storage
+//! (`Arc`), so stages are cheap to clone and pass around:
+//!
+//! * [`Session`] — the entry point, carrying one [`Config`];
+//! * [`Analyzed`] — a parsed program plus its (symbolic) dependence
+//!   analysis; one `Analyzed` serves any number of parameter bindings;
+//! * [`Planned`] — the compile-time recurrence-chain plan of Algorithm 1's
+//!   then-branch (or a typed [`RcpError::PlanUnavailable`] saying why it
+//!   does not exist);
+//! * [`Partitioned`] — the concrete, parameter-bound iteration space,
+//!   dependence relation and Algorithm-1 partition (memoised per binding);
+//! * [`Scheduled`] — an executable schedule produced by a registered
+//!   [`crate::Partitioner`], ready to run, verify and measure.
+//!
+//! Programs whose array subscripts mention `PARAM`s (the Cholesky kernel's
+//! `b(I, L, -KD + N)`) cannot be analysed symbolically — the access-map
+//! representation has no parameter columns — so for those the analysis is
+//! deferred to the partition stage, where the parameters are substituted
+//! into the program first.  The staged API hides the difference: the
+//! pipeline is the same either way, only the memoisation boundary moves.
+
+use crate::config::Config;
+use crate::error::RcpError;
+use crate::partitioner::{partitioner, SchemeSchedule, DEFAULT_SCHEME};
+use rcp_codegen::{generate_listing, Schedule};
+use rcp_core::{
+    concrete_partition_from_dense, plan_unavailability, symbolic_plan, ConcretePartition,
+    PlanStats, PlanUnavailable, Strategy, SymbolicPlan,
+};
+use rcp_depend::{classify_uniformity, distance_set, DependenceAnalysis, Granularity, Uniformity};
+use rcp_loopir::Program;
+use rcp_presburger::{DenseRelation, DenseSet};
+use rcp_runtime::{execute_sequential, verify_schedule, ParallelExecutor, RefKernel, Verification};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// The entry point of the staged pipeline: a [`Config`] plus the loaders
+/// that produce an [`Analyzed`] stage from `.loop` source, an in-memory
+/// [`Program`], or a bundled workload.
+#[derive(Clone, Debug, Default)]
+pub struct Session {
+    config: Config,
+}
+
+impl Session {
+    /// A session with the default configuration.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// A session with an explicit configuration.
+    pub fn with_config(config: Config) -> Session {
+        Session { config }
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (before loading).
+    pub fn config_mut(&mut self) -> &mut Config {
+        &mut self.config
+    }
+
+    /// Parses `.loop` source and runs the dependence analysis, producing
+    /// the [`Analyzed`] stage.  `origin` (a file name) prefixes parse
+    /// diagnostics so they read like compiler output.
+    pub fn parse(&self, source: &str, origin: &str) -> Result<Analyzed, RcpError> {
+        let program = rcp_lang::parse_program(source).map_err(|e| RcpError::parse(origin, e))?;
+        Ok(self.analyze_program(program, origin))
+    }
+
+    /// Analyses an in-memory program, producing the [`Analyzed`] stage.
+    pub fn load(&self, program: Program) -> Analyzed {
+        self.analyze_program(program, "<memory>")
+    }
+
+    /// Loads and analyses a bundled workload (`examples/loops/*.loop`) by
+    /// name.
+    pub fn bundled(&self, name: &str) -> Result<Analyzed, RcpError> {
+        let bundled =
+            rcp_workloads::bundled_loop(name).ok_or_else(|| RcpError::UnknownWorkload {
+                name: name.to_string(),
+            })?;
+        self.parse(bundled.source, &format!("{name}.loop"))
+    }
+
+    fn analyze_program(&self, program: Program, origin: &str) -> Analyzed {
+        let granularity = if self.config.force_statement_level || !program.is_perfect_nest() {
+            Granularity::StatementLevel
+        } else {
+            Granularity::LoopLevel
+        };
+        let deferred = subscripts_mention_params(&program);
+        let symbolic = if deferred {
+            None
+        } else {
+            Some(Arc::new(self.run_analysis(&program, granularity)))
+        };
+        Analyzed {
+            inner: Arc::new(AnalyzedInner {
+                config: self.config.clone(),
+                origin: origin.to_string(),
+                program,
+                granularity,
+                symbolic,
+                stages: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    fn run_analysis(&self, program: &Program, granularity: Granularity) -> DependenceAnalysis {
+        if !self.config.warm_caches {
+            rcp_intlin::reset_solver_cache();
+            rcp_presburger::reset_emptiness_cache();
+        }
+        match self.config.analysis_threads {
+            Some(threads) => {
+                DependenceAnalysis::analyze_with_threads(program, granularity, threads)
+            }
+            None => DependenceAnalysis::analyze(program, granularity),
+        }
+    }
+}
+
+/// True when any array subscript mentions a declared parameter — the
+/// symbolic access-map representation cannot carry those, so the analysis
+/// must run on the parameter-bound program.
+fn subscripts_mention_params(program: &Program) -> bool {
+    program.statements().iter().any(|info| {
+        info.stmt.refs.iter().any(|r| {
+            r.subscripts.iter().any(|sub| {
+                sub.terms
+                    .iter()
+                    .any(|(name, &c)| c != 0 && program.params.iter().any(|p| p == name))
+            })
+        })
+    })
+}
+
+struct AnalyzedInner {
+    config: Config,
+    origin: String,
+    program: Program,
+    granularity: Granularity,
+    /// The parameter-independent analysis; `None` when subscripts mention
+    /// parameters and analysis is deferred to the partition stage.
+    symbolic: Option<Arc<DependenceAnalysis>>,
+    /// Memoised concrete stage payloads, keyed by parameter values.  The
+    /// memo stores the cycle-free [`StageCore`] — not a [`Partitioned`],
+    /// whose back-reference to this struct would form an `Arc` cycle and
+    /// leak every memoised analysis for the life of the process.
+    stages: Mutex<HashMap<Vec<i64>, Arc<StageCore>>>,
+}
+
+/// A parsed program plus its dependence analysis: the reusable front half
+/// of the pipeline.  Cloning is cheap (shared storage); one `Analyzed` can
+/// be partitioned for many parameter bindings without re-analysis.
+#[derive(Clone)]
+pub struct Analyzed {
+    inner: Arc<AnalyzedInner>,
+}
+
+impl fmt::Debug for Analyzed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Analyzed")
+            .field("program", &self.inner.program.name)
+            .field("origin", &self.inner.origin)
+            .field("granularity", &self.inner.granularity)
+            .field("deferred", &self.inner.symbolic.is_none())
+            .finish()
+    }
+}
+
+impl Analyzed {
+    /// The analysed program (as parsed, parameters symbolic).
+    pub fn program(&self) -> &Program {
+        &self.inner.program
+    }
+
+    /// Where the program came from (file name or `<memory>`).
+    pub fn origin(&self) -> &str {
+        &self.inner.origin
+    }
+
+    /// The granularity the program is analysed at: loop level for perfect
+    /// nests unless the configuration forces the statement-level unified
+    /// space.
+    pub fn granularity(&self) -> Granularity {
+        self.inner.granularity
+    }
+
+    /// The session configuration this stage was built with.
+    pub fn config(&self) -> &Config {
+        &self.inner.config
+    }
+
+    /// The parameter-independent dependence analysis, when one exists.
+    /// `None` for programs whose subscripts mention parameters — use a
+    /// [`Partitioned`] stage, whose analysis is always present.
+    pub fn symbolic_analysis(&self) -> Option<&DependenceAnalysis> {
+        self.inner.symbolic.as_deref()
+    }
+
+    /// Why Algorithm 1's recurrence-chain branch is unavailable, or `None`
+    /// when it applies.  For deferred-analysis programs this needs the
+    /// configuration's parameter bindings.
+    pub fn plan_unavailability(&self) -> Result<Option<PlanUnavailable>, RcpError> {
+        match self.inner.symbolic.as_deref() {
+            Some(analysis) => Ok(plan_unavailability(analysis)),
+            None => Ok(plan_unavailability(self.partition()?.analysis())),
+        }
+    }
+
+    /// The Algorithm-1 branch taken for this program.
+    pub fn strategy(&self) -> Result<Strategy, RcpError> {
+        Ok(match self.plan_unavailability()? {
+            None => Strategy::RecurrenceChains,
+            Some(_) => Strategy::Dataflow,
+        })
+    }
+
+    /// The compile-time recurrence-chain plan ([`Planned`] stage), or a
+    /// typed error saying exactly why the then-branch does not apply.
+    pub fn plan(&self) -> Result<Planned, RcpError> {
+        let plan = match self.inner.symbolic.as_deref() {
+            Some(analysis) => symbolic_plan(analysis)?,
+            None => symbolic_plan(self.partition()?.analysis())?,
+        };
+        Ok(Planned {
+            analyzed: self.clone(),
+            plan: Arc::new(plan),
+        })
+    }
+
+    /// The concrete [`Partitioned`] stage at the configuration's parameter
+    /// bindings.
+    pub fn partition(&self) -> Result<Partitioned, RcpError> {
+        self.partition_with(&[])
+    }
+
+    /// The concrete [`Partitioned`] stage with additional bindings that
+    /// override the configuration's (the re-partition path: analysis is
+    /// never re-run for symbolic programs).
+    pub fn partition_with(&self, overrides: &[(String, i64)]) -> Result<Partitioned, RcpError> {
+        let values = self
+            .inner
+            .config
+            .resolve_params(&self.inner.program, overrides)?;
+        self.partition_values(&values)
+    }
+
+    /// The concrete [`Partitioned`] stage at explicit parameter values (in
+    /// declaration order).
+    pub fn partition_values(&self, values: &[i64]) -> Result<Partitioned, RcpError> {
+        if self.inner.config.reuse_partitions {
+            let stages = self.inner.stages.lock().expect("stage memo poisoned");
+            if let Some(core) = stages.get(values) {
+                return Ok(self.wrap_core(core.clone()));
+            }
+        }
+        let core = self.build_core(values);
+        if self.inner.config.reuse_partitions {
+            let mut stages = self.inner.stages.lock().expect("stage memo poisoned");
+            stages.insert(values.to_vec(), core.clone());
+        }
+        Ok(self.wrap_core(core))
+    }
+
+    /// Number of memoised concrete stages (for tests and reporting).
+    pub fn cached_partitions(&self) -> usize {
+        self.inner.stages.lock().expect("stage memo poisoned").len()
+    }
+
+    fn wrap_core(&self, core: Arc<StageCore>) -> Partitioned {
+        Partitioned {
+            inner: Arc::new(PartitionedInner {
+                analyzed: self.clone(),
+                core,
+            }),
+        }
+    }
+
+    fn build_core(&self, values: &[i64]) -> Arc<StageCore> {
+        let inner = &self.inner;
+        let session = Session::with_config(inner.config.clone());
+        let (analysis, analysis_values, runtime_program, runtime_values) =
+            match inner.symbolic.clone() {
+                Some(analysis) => (
+                    analysis,
+                    values.to_vec(),
+                    inner.program.clone(),
+                    values.to_vec(),
+                ),
+                None => {
+                    let bound = inner.program.bind_params(values);
+                    let analysis = Arc::new(session.run_analysis(&bound, inner.granularity));
+                    (analysis, Vec::new(), bound, Vec::new())
+                }
+            };
+        let (phi_union, relation) = analysis.bind_params(&analysis_values);
+        let phi = DenseSet::from_union(&phi_union);
+        let rd = DenseRelation::from_relation(&relation);
+        Arc::new(StageCore {
+            values: values.to_vec(),
+            analysis,
+            runtime_program,
+            runtime_values,
+            phi,
+            rd,
+            partition: OnceLock::new(),
+        })
+    }
+}
+
+/// The compile-time (symbolic) recurrence-chain plan of Algorithm 1's
+/// then-branch: the three-set partition and the recurrence `i = j·T + u`,
+/// plus the paper-style generated listing.
+#[derive(Clone)]
+pub struct Planned {
+    analyzed: Analyzed,
+    plan: Arc<SymbolicPlan>,
+}
+
+impl fmt::Debug for Planned {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Planned")
+            .field("program", &self.analyzed.program().name)
+            .field("alpha", &self.plan.recurrence.alpha())
+            .finish()
+    }
+}
+
+impl Planned {
+    /// The underlying symbolic plan (three sets + recurrence).
+    pub fn plan(&self) -> &SymbolicPlan {
+        &self.plan
+    }
+
+    /// The [`Analyzed`] stage this plan came from.
+    pub fn analyzed(&self) -> &Analyzed {
+        &self.analyzed
+    }
+
+    /// The paper-style DOALL/WHILE listing of the plan.
+    pub fn listing(&self) -> String {
+        generate_listing(&self.plan, &self.analyzed.program().name)
+    }
+}
+
+/// The heavy, shareable payload of one concrete stage.  Holds no
+/// reference back to the [`Analyzed`] stage, so the per-binding memo
+/// (`AnalyzedInner::stages`) stays acyclic and everything is freed when
+/// the last user handle drops.
+struct StageCore {
+    /// The parameter values of this stage, in declaration order.
+    values: Vec<i64>,
+    /// The analysis behind this stage: the shared symbolic analysis, or a
+    /// per-binding analysis of the parameter-bound program.
+    analysis: Arc<DependenceAnalysis>,
+    /// The program the runtime executes (parameter-bound when the
+    /// analysis was deferred, the original otherwise).
+    runtime_program: Program,
+    /// Parameter values matching `runtime_program` (empty when bound).
+    runtime_values: Vec<i64>,
+    phi: DenseSet,
+    rd: DenseRelation,
+    /// The Algorithm-1 partition, computed on first use.
+    partition: OnceLock<ConcretePartition>,
+}
+
+struct PartitionedInner {
+    analyzed: Analyzed,
+    core: Arc<StageCore>,
+}
+
+/// The concrete, parameter-bound middle of the pipeline: the enumerated
+/// iteration space, the dense dependence relation, and (lazily) the
+/// Algorithm-1 partition.  Cloning is cheap; stages are memoised per
+/// binding on the owning [`Analyzed`].
+#[derive(Clone)]
+pub struct Partitioned {
+    inner: Arc<PartitionedInner>,
+}
+
+impl fmt::Debug for Partitioned {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Partitioned")
+            .field("program", &self.inner.analyzed.program().name)
+            .field("values", &self.inner.core.values)
+            .field("iterations", &self.inner.core.phi.len())
+            .field("dependences", &self.inner.core.rd.len())
+            .finish()
+    }
+}
+
+impl Partitioned {
+    /// The [`Analyzed`] stage this partition came from.
+    pub fn analyzed(&self) -> &Analyzed {
+        &self.inner.analyzed
+    }
+
+    /// The parameter values of this stage, in declaration order.
+    pub fn values(&self) -> &[i64] {
+        &self.inner.core.values
+    }
+
+    /// The dependence analysis backing this stage (always present, even
+    /// for deferred-analysis programs).
+    pub fn analysis(&self) -> &DependenceAnalysis {
+        &self.inner.core.analysis
+    }
+
+    /// The program the runtime executes for this binding.
+    pub fn runtime_program(&self) -> &Program {
+        &self.inner.core.runtime_program
+    }
+
+    /// Parameter values matching [`Self::runtime_program`].
+    pub fn runtime_values(&self) -> &[i64] {
+        &self.inner.core.runtime_values
+    }
+
+    /// The enumerated iteration space `Φ`.
+    pub fn phi(&self) -> &DenseSet {
+        &self.inner.core.phi
+    }
+
+    /// The enumerated dependence relation `Rd`.
+    pub fn rd(&self) -> &DenseRelation {
+        &self.inner.core.rd
+    }
+
+    /// The dependence classification of this binding.
+    pub fn uniformity(&self) -> Uniformity {
+        classify_uniformity(&self.inner.core.rd, &self.inner.core.phi)
+    }
+
+    /// The distinct dependence distance vectors of this binding.
+    pub fn distances(&self) -> Vec<rcp_intlin::IVec> {
+        distance_set(&self.inner.core.rd)
+    }
+
+    /// The Algorithm-1 partition (computed once, then shared).
+    pub fn partition(&self) -> &ConcretePartition {
+        self.inner.core.partition.get_or_init(|| {
+            concrete_partition_from_dense(
+                &self.inner.core.analysis,
+                &self.inner.core.phi,
+                &self.inner.core.rd,
+            )
+        })
+    }
+
+    /// Why the recurrence-chain branch is unavailable for this program,
+    /// `None` when it applies.
+    pub fn plan_unavailability(&self) -> Option<PlanUnavailable> {
+        plan_unavailability(&self.inner.core.analysis)
+    }
+
+    /// Partition statistics (phases, critical path, widths).
+    pub fn stats(&self) -> PlanStats {
+        self.partition().stats()
+    }
+
+    /// Full validity check of the partition: every iteration scheduled
+    /// exactly once, every dependence respected.  Empty when valid.
+    pub fn validate(&self) -> Vec<String> {
+        self.partition()
+            .validate(&self.inner.core.phi, &self.inner.core.rd)
+    }
+
+    /// Schedules this partition with the configured scheme (or the default
+    /// recurrence-chains scheme), producing the [`Scheduled`] stage.
+    pub fn schedule(&self) -> Result<Scheduled, RcpError> {
+        let config = self.inner.analyzed.config();
+        match &config.scheme {
+            Some(name) => self.schedule_with(name),
+            None => self.schedule_with(DEFAULT_SCHEME),
+        }
+    }
+
+    /// Schedules this partition with an explicitly named scheme from the
+    /// [`crate::registry`].
+    pub fn schedule_with(&self, scheme: &str) -> Result<Scheduled, RcpError> {
+        let partitioner = partitioner(scheme)?;
+        let SchemeSchedule { schedule, pipeline } = partitioner.build(self)?;
+        Ok(Scheduled {
+            inner: Arc::new(ScheduledInner {
+                partitioned: self.clone(),
+                scheme: partitioner.name(),
+                schedule,
+                pipeline,
+                sequential: OnceLock::new(),
+            }),
+        })
+    }
+}
+
+struct ScheduledInner {
+    partitioned: Partitioned,
+    scheme: &'static str,
+    schedule: Schedule,
+    pipeline: Option<rcp_baselines::DoacrossPlan>,
+    sequential: OnceLock<Schedule>,
+}
+
+/// Timing of one measured sequential-vs-parallel comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchMeasurement {
+    /// Best sequential wall clock, milliseconds.
+    pub sequential_ms: f64,
+    /// Best parallel wall clock, milliseconds.
+    pub parallel_ms: f64,
+    /// Worker threads of the parallel run.
+    pub threads: usize,
+    /// Repetitions each side was measured for (best-of).
+    pub reps: usize,
+}
+
+impl BenchMeasurement {
+    /// `sequential / parallel` — above 1 the parallel run is faster.
+    pub fn speedup(&self) -> f64 {
+        self.sequential_ms / self.parallel_ms.max(1e-9)
+    }
+}
+
+/// The executable end of the pipeline: a schedule built by a registered
+/// [`crate::Partitioner`], with the sequential reference, verification and
+/// measurement attached.
+#[derive(Clone)]
+pub struct Scheduled {
+    inner: Arc<ScheduledInner>,
+}
+
+impl fmt::Debug for Scheduled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scheduled")
+            .field("program", &self.inner.partitioned.analyzed().program().name)
+            .field("scheme", &self.inner.scheme)
+            .field("phases", &self.inner.schedule.n_phases())
+            .finish()
+    }
+}
+
+impl Scheduled {
+    /// The [`Partitioned`] stage this schedule came from.
+    pub fn partitioned(&self) -> &Partitioned {
+        &self.inner.partitioned
+    }
+
+    /// The registry name of the scheme that built this schedule.
+    pub fn scheme(&self) -> &'static str {
+        self.inner.scheme
+    }
+
+    /// The parallel schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.inner.schedule
+    }
+
+    /// The DOACROSS pipeline descriptor, for schemes whose parallel
+    /// structure (point-to-point synchronisation) a barrier schedule
+    /// cannot express; consumed by the runtime cost model.
+    pub fn pipeline(&self) -> Option<&rcp_baselines::DoacrossPlan> {
+        self.inner.pipeline.as_ref()
+    }
+
+    /// The sequential reference schedule (built once, then shared).
+    pub fn sequential(&self) -> &Schedule {
+        self.inner.sequential.get_or_init(|| {
+            Schedule::sequential(
+                self.inner.partitioned.runtime_program(),
+                self.inner.partitioned.runtime_values(),
+            )
+        })
+    }
+
+    /// The reference kernel of the program.
+    pub fn kernel(&self) -> RefKernel {
+        RefKernel::new(self.inner.partitioned.runtime_program())
+    }
+
+    /// Executes the parallel schedule and verifies it element-for-element
+    /// (and race-freedom) against the sequential reference, on the
+    /// configured thread count.
+    pub fn verify(&self) -> Verification {
+        let kernel = self.kernel();
+        verify_schedule(
+            self.sequential(),
+            &self.inner.schedule,
+            &kernel,
+            self.config_threads(),
+        )
+    }
+
+    /// Measured sequential vs parallel wall clock, best of `reps`.
+    pub fn bench(&self, reps: usize) -> BenchMeasurement {
+        let kernel = self.kernel();
+        let reps = reps.max(1);
+        let best = |mut pass: Box<dyn FnMut() -> f64 + '_>| {
+            (0..reps).map(|_| pass()).fold(f64::INFINITY, f64::min)
+        };
+        let sequential = self.sequential();
+        let sequential_ms = best(Box::new(|| {
+            let start = Instant::now();
+            let _ = execute_sequential(sequential, &kernel);
+            start.elapsed().as_secs_f64() * 1e3
+        }));
+        let threads = self.config_threads();
+        let executor = ParallelExecutor::new(threads).with_race_detection(false);
+        let parallel_ms = best(Box::new(|| {
+            let start = Instant::now();
+            let _ = executor.execute(&self.inner.schedule, &kernel);
+            start.elapsed().as_secs_f64() * 1e3
+        }));
+        BenchMeasurement {
+            sequential_ms,
+            parallel_ms,
+            threads,
+            reps,
+        }
+    }
+
+    fn config_threads(&self) -> usize {
+        self.inner.partitioned.analyzed().config().threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memoised_stages_do_not_keep_the_analyzed_stage_alive() {
+        // Regression: the per-binding memo used to store `Partitioned`
+        // stages whose back-reference formed an `Arc` cycle with
+        // `AnalyzedInner`, leaking every memoised analysis for the life
+        // of the process.  With the cycle-free `StageCore` memo, dropping
+        // the last user handle frees everything.
+        let analyzed = Session::with_config(Config::new().with_params(&[("N1", 6), ("N2", 6)]))
+            .bundled("example1")
+            .unwrap();
+        let stage = analyzed.partition().unwrap();
+        assert_eq!(analyzed.cached_partitions(), 1);
+        let weak = Arc::downgrade(&analyzed.inner);
+        drop(stage);
+        drop(analyzed);
+        assert!(
+            weak.upgrade().is_none(),
+            "the memo must not keep AnalyzedInner alive after the last user handle drops"
+        );
+    }
+
+    #[test]
+    fn a_detached_stage_outlives_its_analyzed_handle() {
+        // The stage's own back-reference is intentionally strong: a
+        // Partitioned handed to a worker keeps working after the caller
+        // dropped the Analyzed it came from.
+        let analyzed = Session::with_config(Config::new().with_params(&[("N1", 6), ("N2", 6)]))
+            .bundled("example1")
+            .unwrap();
+        let stage = analyzed.partition().unwrap();
+        drop(analyzed);
+        assert_eq!(stage.stats().total_iterations, 36);
+        assert!(stage.schedule().unwrap().verify().passed());
+    }
+}

@@ -1,6 +1,6 @@
-//! Quickstart: partition the paper's running example (Example 1) with
-//! recurrence chains, print the generated pseudo-Fortran, and verify the
-//! parallel schedule against the sequential loop.
+//! Quickstart: drive the paper's running example (Example 1) through the
+//! staged session pipeline — plan, partition, schedule, verify, measure —
+//! and compare every registered partitioning scheme on the way.
 //!
 //! Run with:
 //!
@@ -8,75 +8,85 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use recurrence_chains::codegen::generate_listing;
 use recurrence_chains::prelude::*;
 use recurrence_chains::runtime::CostModel;
-use recurrence_chains::workloads::example1;
 
-fn main() {
+fn main() -> Result<(), RcpError> {
     // ------------------------------------------------------------------
-    // 1. The input loop (figure 1 of the paper):
+    // 1. One Config, one Session: parameters, threads, scheme selection
+    //    all live here instead of per-call arguments.
+    // ------------------------------------------------------------------
+    let session = Session::with_config(
+        Config::new()
+            .with_param("N1", 60)
+            .with_param("N2", 80)
+            .with_threads(4),
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Analyzed: the bundled example1.loop (figure 1 of the paper):
     //        DO I1 = 1, N1
     //          DO I2 = 1, N2
     //            a(3*I1+1, 2*I1+I2-1) = a(I1+3, I2+1)
     // ------------------------------------------------------------------
-    let program = example1();
-    println!("input loop:\n{}", program.to_pseudo_code());
+    let analyzed = session.bundled("example1")?;
+    println!("input loop:\n{}", analyzed.program().to_pseudo_code());
 
     // ------------------------------------------------------------------
-    // 2. Exact dependence analysis: the loop is non-uniform.
+    // 3. Planned: the compile-time recurrence-chain plan (works for
+    //    unknown N1, N2).  A fallback would be a typed error saying why.
     // ------------------------------------------------------------------
-    let analysis = DependenceAnalysis::loop_level(&program);
-    let uniformity = recurrence_chains::depend::classify_analysis(&analysis, &[10, 10]);
-    println!("dependence classification at N1=N2=10: {uniformity:?}");
-
-    // ------------------------------------------------------------------
-    // 3. Symbolic recurrence-chain partitioning (works for unknown N1, N2).
-    // ------------------------------------------------------------------
-    let plan = symbolic_plan(&analysis).expect("Example 1 has one coupled pair, full rank");
+    let planned = analyzed.plan()?;
+    let recurrence = &planned.plan().recurrence;
     println!(
         "recurrence matrix T, offset u:\n{:?}\nu = {:?}",
-        plan.recurrence.t, plan.recurrence.u
+        recurrence.t, recurrence.u
     );
-    println!(
-        "alpha = max(|det T|, |det T^-1|) = {}",
-        plan.recurrence.alpha()
-    );
-    println!("\ngenerated code:\n{}", generate_listing(&plan, "example1"));
+    println!("alpha = max(|det T|, |det T^-1|) = {}", recurrence.alpha());
+    println!("\ngenerated code:\n{}", planned.listing());
 
     // ------------------------------------------------------------------
-    // 4. Concrete partition + executable schedule for N1=300, N2=1000
-    //    (the evaluation parameters of the paper).
+    // 4. Partitioned: the concrete partition at the configured binding.
+    //    The same Analyzed re-partitions for other bindings for free.
     // ------------------------------------------------------------------
-    let params = [60i64, 80]; // keep the example fast; the bench uses 300 x 1000
-    let partition = concrete_partition(&analysis, &params);
+    let partition = analyzed.partition()?;
     let stats = partition.stats();
     println!(
-        "concrete partition at N1={}, N2={}: {} phases, critical path {}, widest phase {}, {} iterations",
-        params[0], params[1], stats.n_phases, stats.critical_path, stats.max_width, stats.total_iterations
+        "concrete partition at {:?}: {} phases, critical path {}, widest phase {}, {} iterations",
+        partition.values(),
+        stats.n_phases,
+        stats.critical_path,
+        stats.max_width,
+        stats.total_iterations
     );
 
-    let schedule = Schedule::from_partition(&analysis, &partition, "example1-rec");
-    let sequential = Schedule::sequential(&program, &params);
-
     // ------------------------------------------------------------------
-    // 5. Verify: the parallel schedule computes the same array contents.
+    // 5. Scheduled: execute and verify against the sequential loop.
     // ------------------------------------------------------------------
-    let kernel = RefKernel::new(&program);
-    let verdict = verify_schedule(&sequential, &schedule, &kernel, 4);
+    let scheduled = partition.schedule()?;
+    let verdict = scheduled.verify();
     println!(
         "verification against sequential execution: {}",
         if verdict.passed() { "PASSED" } else { "FAILED" }
     );
 
     // ------------------------------------------------------------------
-    // 6. Modelled speedups (the container has one CPU; the cost model
+    // 6. The Partitioner registry: every scheme over the same artifact,
+    //    modelled at 4 threads (the container has one CPU; the cost model
     //    carries the multi-thread story, see DESIGN.md).
     // ------------------------------------------------------------------
     let model = CostModel::default();
-    print!("modelled speedup (REC):");
-    for threads in 1..=4 {
-        print!("  {}T = {:.2}", threads, model.speedup(&schedule, threads));
+    println!("\nmodelled speedup at 4 threads, by scheme:");
+    for scheme in registry() {
+        match partition.schedule_with(scheme.name()) {
+            Ok(s) => println!(
+                "  {:<18} {:>5.2}x   ({} phases)",
+                scheme.name(),
+                model.speedup(s.schedule(), 4),
+                s.schedule().n_phases()
+            ),
+            Err(e) => println!("  {:<18} n/a     ({e})", scheme.name()),
+        }
     }
-    println!();
+    Ok(())
 }

@@ -22,30 +22,44 @@
 //! | [`runtime`] | `rcp-runtime` | array store, kernels, sequential/parallel executors, calibrated cost model |
 //! | [`baselines`] | `rcp-baselines` | PDM, PL, UNIQUE, DOACROSS, inner-loop parallelization comparators |
 //! | [`workloads`] | `rcp-workloads` | the paper's example loops 1–4, figure-2 loop, synthetic corpus, bundled `.loop` files |
-//! | [`cli`] | `rcp-cli` | the `rcp` binary's subcommands (`parse`, `analyze`, `partition`, `codegen`, `run`, `bench`) |
+//! | [`session`] | `rcp-session` | the staged `Session` pipeline API, the `Partitioner` scheme registry, typed `RcpError`s |
+//! | [`cli`] | `rcp-cli` | the `rcp` binary's subcommands (`parse`, `analyze`, `partition`, `codegen`, `run`, `bench`, `schemes`) |
 //!
 //! ## Quick start
+//!
+//! The staged session pipeline is the canonical way to drive the system:
+//! configure once, analyse once, then re-partition, schedule, and verify
+//! as many bindings and schemes as needed.
 //!
 //! ```
 //! use recurrence_chains::prelude::*;
 //!
-//! // The paper's running example (figure 1 / Example 1).
-//! let program = recurrence_chains::workloads::example1();
-//! let analysis = DependenceAnalysis::loop_level(&program);
+//! // The paper's running example (figure 1 / Example 1), bundled as
+//! // examples/loops/example1.loop.
+//! let session = Session::with_config(
+//!     Config::new().with_param("N1", 10).with_param("N2", 10).with_threads(4),
+//! );
+//! let analyzed = session.bundled("example1")?;
 //!
 //! // Compile-time (symbolic) plan: three-set partition + recurrence T, u.
-//! let plan = symbolic_plan(&analysis).expect("single coupled pair with full-rank matrices");
-//! assert_eq!(plan.recurrence.alpha(), recurrence_chains::intlin::Rational::from_int(3));
+//! // A fallback would be a typed error saying *why* (PlanUnavailable).
+//! let planned = analyzed.plan()?;
+//! assert_eq!(
+//!     planned.plan().recurrence.alpha(),
+//!     recurrence_chains::intlin::Rational::from_int(3),
+//! );
 //!
-//! // Concrete partition and executable schedule for N1 = N2 = 10.
-//! let partition = concrete_partition(&analysis, &[10, 10]);
-//! let schedule = Schedule::from_partition(&analysis, &partition, "example1-rec");
+//! // Concrete partition at the configured parameters; the same Analyzed
+//! // serves other bindings without re-running the analysis.
+//! let partition = analyzed.partition()?;
+//! assert_eq!(partition.stats().total_iterations, 100);
 //!
-//! // The parallel schedule computes exactly what the sequential loop computes.
-//! let kernel = RefKernel::new(&program);
-//! let sequential = Schedule::sequential(&program, &[10, 10]);
-//! let verdict = verify_schedule(&sequential, &schedule, &kernel, 4);
-//! assert!(verdict.passed());
+//! // Schedule with the paper's scheme (any registry scheme works:
+//! // recurrence-chains, pdm, pl, unique, doacross, inner-parallel) and
+//! // verify the parallel execution against the sequential loop.
+//! let scheduled = partition.schedule()?;
+//! assert!(scheduled.verify().passed());
+//! # Ok::<(), recurrence_chains::session::RcpError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -62,19 +76,24 @@ pub use rcp_loopir as loopir;
 pub use rcp_pool as pool;
 pub use rcp_presburger as presburger;
 pub use rcp_runtime as runtime;
+pub use rcp_session as session;
 pub use rcp_workloads as workloads;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use rcp_codegen::{Phase, Schedule, WorkItem};
     pub use rcp_core::{
-        concrete_partition, symbolic_plan, ConcretePartition, Recurrence, Strategy,
-        ThreeSetPartition,
+        concrete_partition, symbolic_plan, ConcretePartition, PlanUnavailable, Recurrence,
+        Strategy, ThreeSetPartition,
     };
     pub use rcp_depend::{DependenceAnalysis, Granularity, Uniformity};
     pub use rcp_loopir::{ArrayRef, Program};
     pub use rcp_runtime::{
         execute_schedule, execute_sequential, verify_schedule, ArrayStore, CostModel,
         ParallelExecutor, RefKernel,
+    };
+    pub use rcp_session::{
+        registry, scheme_names, Analyzed, Config, Partitioned, Partitioner, Planned, RcpError,
+        Scheduled, Session,
     };
 }

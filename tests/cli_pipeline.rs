@@ -74,6 +74,33 @@ fn cli_analyze_of_example1_matches_the_golden_json() {
     );
 }
 
+/// The analyze JSON for the Cholesky kernel — a deferred-analysis program
+/// (parameters in subscripts) on Algorithm 1's dataflow branch, with the
+/// typed fallback reason in the payload — matches its golden file too.
+#[test]
+fn cli_analyze_of_cholesky_matches_the_golden_json() {
+    let (source, origin) = loop_file("cholesky.loop");
+    let report = cmd_analyze(
+        &source,
+        &origin,
+        &opts(&[("NMAT", 4), ("M", 4), ("N", 10), ("NRHS", 2)]),
+    )
+    .unwrap();
+    let golden = include_str!("golden/cholesky_analyze.json");
+    assert_eq!(
+        format!("{}\n", report.data.pretty()),
+        golden,
+        "rcp analyze output drifted from tests/golden/cholesky_analyze.json — \
+         regenerate with: rcp analyze examples/loops/cholesky.loop \
+         --param NMAT=4 --param M=4 --param N=10 --param NRHS=2 --json"
+    );
+    assert_eq!(report.data["strategy"].as_str(), Some("Dataflow"));
+    assert!(report.data["fallback_reason"]
+        .as_str()
+        .unwrap()
+        .contains("statement-level"));
+}
+
 /// Every bundled file goes through `rcp parse` cleanly and round-trips.
 #[test]
 fn cli_parse_accepts_every_bundled_file() {
@@ -102,24 +129,51 @@ fn cli_run_verifies_paper_and_spec_like_workloads() {
     }
 }
 
-/// The dispatcher knows every subcommand and rejects unknown ones.
+/// The dispatcher knows every subcommand and rejects unknown ones with a
+/// typed error.
 #[test]
 fn command_dispatch() {
     let (source, origin) = loop_file("figure2.loop");
-    for cmd in ["parse", "fmt", "analyze", "partition", "codegen"] {
+    for cmd in ["parse", "fmt", "analyze", "partition", "codegen", "schemes"] {
         let r = run_command(cmd, &source, &origin, &Options::default());
-        assert!(r.is_ok(), "{cmd}: {r:?}");
+        assert!(r.is_ok(), "{cmd}: {:?}", r.err().map(|e| e.to_string()));
     }
     let err = run_command("explode", &source, &origin, &Options::default()).unwrap_err();
-    assert!(err.contains("unknown command"));
+    assert!(matches!(
+        err,
+        recurrence_chains::session::RcpError::UnknownCommand { .. }
+    ));
+    assert!(err.to_string().contains("unknown command"));
 }
 
-/// Parse failures surface the origin file and position, CLI-style.
+/// Parse failures surface the origin file and position, CLI-style, and
+/// keep the structured source position.
 #[test]
 fn cli_reports_diagnostics_with_the_origin() {
     let err = cmd_parse("PROGRAM p\nDO I = 1 N\nENDDO\nEND\n", "broken.loop").unwrap_err();
     assert_eq!(
-        err,
+        err.to_string(),
         "broken.loop: line 2, column 10: expected `,` between the loop bounds, found identifier `N`"
     );
+    match err {
+        recurrence_chains::session::RcpError::Parse { error, .. } => {
+            assert_eq!((error.pos.line, error.pos.col), (2, 10));
+        }
+        other => panic!("expected a typed parse error, got {other:?}"),
+    }
+}
+
+/// `rcp bench --scheme` accepts every name in the Partitioner registry.
+#[test]
+fn cli_bench_accepts_every_registry_scheme() {
+    let (source, origin) = loop_file("example1.loop");
+    for scheme in recurrence_chains::session::scheme_names() {
+        let o = Options {
+            scheme: Some(scheme.to_string()),
+            ..opts(&[("N1", 6), ("N2", 6)])
+        };
+        let r = recurrence_chains::cli::cmd_bench(&source, &origin, &o)
+            .unwrap_or_else(|e| panic!("scheme {scheme}: {e}"));
+        assert_eq!(r.data["scheme"].as_str(), Some(scheme));
+    }
 }

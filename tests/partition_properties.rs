@@ -93,7 +93,7 @@ fn partition_respects_dependences_and_semantics() {
 
         // Theorem 1 whenever the recurrence branch applies and alpha > 1.
         if let ConcretePartition::RecurrenceChains { chains, .. } = &partition {
-            if let Some(plan) = recurrence_chains::core::symbolic_plan(&analysis) {
+            if let Ok(plan) = recurrence_chains::core::symbolic_plan(&analysis) {
                 let alpha = plan.recurrence.alpha();
                 if alpha > recurrence_chains::intlin::Rational::ONE {
                     let l = ((2 * n * n) as f64).sqrt();

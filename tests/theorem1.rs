@@ -15,7 +15,7 @@ use recurrence_chains::workloads::{example1, example2};
 
 fn check_bound(program: &Program, params: &[i64], diag: f64) {
     let analysis = DependenceAnalysis::loop_level(program);
-    let Some(plan) = symbolic_plan(&analysis) else {
+    let Ok(plan) = symbolic_plan(&analysis) else {
         return;
     };
     let alpha = plan.recurrence.alpha();
