@@ -27,7 +27,7 @@ use rcp_bench::baseline::diff_against_baseline;
 use rcp_bench::experiments::{
     analysis_pipeline, calibrated_model, corpus_table, ex1_partition, ex2_facts, ex3_facts,
     ex4_dataflow, fig1_dependences, fig2_chains, fig3_ex1, fig3_ex2, fig3_ex3, fig3_ex4,
-    loop_corpus, measured_speedups, theorem1_table, ExperimentReport,
+    loop_corpus, measured_speedups, scaling_experiment, theorem1_table, ExperimentReport,
 };
 use rcp_workloads::CholeskyParams;
 use std::sync::Mutex;
@@ -128,6 +128,7 @@ fn main() {
             true,
             Box::new(move || analysis_pipeline(threads)),
         ),
+        exp("scaling", true, Box::new(move || scaling_experiment(quick))),
         exp(
             "measured",
             true,
@@ -208,12 +209,19 @@ fn main() {
         .collect();
     let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s.as_str() == id);
 
-    // Read the baseline up front so a bad path fails before any work runs.
+    // Read the baseline up front so a bad path fails cleanly — a readable
+    // error and a non-zero exit, not a panic backtrace — before any work
+    // runs (the CI log should say "baseline missing", not "thread
+    // panicked").
     let baseline = baseline_path.map(|path| {
-        let raw = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-        let parsed = rcp_json::Json::parse(&raw)
-            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let parsed = rcp_json::Json::parse(&raw).unwrap_or_else(|e| {
+            eprintln!("error: cannot parse baseline {path}: {e}");
+            std::process::exit(2);
+        });
         (path, parsed)
     });
 
@@ -298,8 +306,10 @@ fn main() {
             "quick": quick,
             "experiments": reports,
         });
-        std::fs::write(&path, payload.pretty())
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        std::fs::write(&path, payload.pretty()).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
         eprintln!("wrote {path}");
     }
     if exit_code != 0 {

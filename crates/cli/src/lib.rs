@@ -29,7 +29,7 @@ use rcp_depend::Granularity;
 use rcp_json::{json, Json};
 use rcp_lang::pretty;
 use rcp_loopir::{Node, Program};
-use rcp_session::{registry, Analyzed, Config, Partitioned, RcpError, Session};
+use rcp_session::{registry, Analyzed, Config, GranularityChoice, Partitioned, RcpError, Session};
 
 /// Options shared by the subcommands — the CLI-argument mirror of the
 /// session [`Config`].
@@ -39,8 +39,9 @@ pub struct Options {
     pub params: Vec<(String, i64)>,
     /// `--threads N` (run/bench); `None` keeps the session default (4).
     pub threads: Option<usize>,
-    /// `--stmt`: force statement-level granularity even for perfect nests.
-    pub force_statement_level: bool,
+    /// `--granularity loop|stmt|auto` (with `--stmt` as the historical
+    /// spelling of `stmt`).
+    pub granularity: GranularityChoice,
     /// `--scheme NAME`: schedule with a named registry scheme instead of
     /// the default recurrence-chains scheme (run/bench).
     pub scheme: Option<String>,
@@ -54,7 +55,7 @@ impl Options {
         if let Some(threads) = self.threads {
             config.threads = threads.max(1);
         }
-        config.force_statement_level = self.force_statement_level;
+        config.granularity = self.granularity;
         config.scheme = self.scheme.clone();
         config
     }
@@ -63,6 +64,80 @@ impl Options {
     pub fn session(&self) -> Session {
         Session::with_config(self.to_config())
     }
+}
+
+/// A parsed `rcp` invocation: the subcommand, its input file, the shared
+/// options, and the output flags.
+#[derive(Clone, Debug, Default)]
+pub struct Invocation {
+    /// The subcommand name.
+    pub command: String,
+    /// The input file, when one was given.
+    pub file: Option<String>,
+    /// The shared options.
+    pub opts: Options,
+    /// `--json`: print the machine-readable report.
+    pub json: bool,
+    /// `--write` (fmt only): rewrite the file in place.
+    pub write: bool,
+}
+
+/// Parses an `rcp` argument list (without the binary name) into an
+/// [`Invocation`].  Lives in the library (not the binary) so the usage
+/// errors are golden-testable; the returned string is exactly what the
+/// binary prints after `error: `.
+pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
+    let mut inv = Invocation::default();
+    let mut command: Option<String> = None;
+    let mut k = 0;
+    while k < args.len() {
+        let arg = &args[k];
+        match arg.as_str() {
+            "--json" => inv.json = true,
+            "--write" => inv.write = true,
+            "--stmt" => inv.opts.granularity = GranularityChoice::Statement,
+            "--param" | "--threads" | "--scheme" | "--granularity" => {
+                let Some(value) = args.get(k + 1) else {
+                    return Err(format!("{arg} requires a value"));
+                };
+                k += 1;
+                match arg.as_str() {
+                    "--threads" => match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => inv.opts.threads = Some(n),
+                        _ => return Err(format!("invalid --threads value `{value}`")),
+                    },
+                    "--scheme" => inv.opts.scheme = Some(value.clone()),
+                    "--granularity" => match GranularityChoice::parse(value) {
+                        Some(choice) => inv.opts.granularity = choice,
+                        None => {
+                            return Err(format!(
+                                "invalid --granularity `{value}` (expected loop, stmt or auto)"
+                            ))
+                        }
+                    },
+                    _ => {
+                        let Some((name, v)) = value.split_once('=') else {
+                            return Err(format!("--param expects NAME=VALUE, got `{value}`"));
+                        };
+                        let Ok(v) = v.parse::<i64>() else {
+                            return Err(format!("--param {name}: invalid integer `{v}`"));
+                        };
+                        inv.opts.params.push((name.to_string(), v));
+                    }
+                }
+            }
+            _ if arg.starts_with("--") => return Err(format!("unknown option `{arg}`")),
+            _ if command.is_none() => command = Some(arg.clone()),
+            _ if inv.file.is_none() => inv.file = Some(arg.clone()),
+            _ => return Err(format!("unexpected argument `{arg}`")),
+        }
+        k += 1;
+    }
+    let Some(command) = command else {
+        return Err("missing command (try `rcp --help`)".to_string());
+    };
+    inv.command = command;
+    Ok(inv)
 }
 
 /// The outcome of one subcommand.
@@ -199,13 +274,27 @@ pub fn cmd_analyze(source: &str, origin: &str, opts: &Options) -> Result<Report,
     let uniformity = stage.uniformity();
     let distances = stage.distances();
     let reason = fallback_reason(&stage);
-    let strategy = match reason {
-        None => "RecurrenceChains",
-        Some(_) => "Dataflow",
+    // For aggregated loop-level views the planning branch alone is not
+    // the whole story: the partitioner may still salvage a validated
+    // chain-shaped partition.  Aggregated point spaces are small (outer
+    // prefixes only), so report the strategy the partition actually
+    // takes; for direct views keep the cheap plan-based answer.
+    let strategy = if analysis.is_aggregated() {
+        match stage.partition().strategy() {
+            rcp_core::Strategy::RecurrenceChains => "RecurrenceChains",
+            rcp_core::Strategy::Dataflow => "Dataflow",
+        }
+    } else {
+        match reason {
+            None => "RecurrenceChains",
+            Some(_) => "Dataflow",
+        }
     };
+    let screen = analysis.screen;
     let mut text = format!(
-        "program `{}` at [{}], {}-level analysis (dim {}):\n\
-         \x20 reference pairs        {}  ({} screened out by the diophantine test)\n\
+        "program `{}` at [{}], {}-level analysis (dim {}{}):\n\
+         \x20 reference pairs        {}  ({} screened out: {} gcd, {} box, {} solver; \
+         {} chain classes)\n\
          \x20 iterations |Phi|       {}\n\
          \x20 dependences |Rd|       {}\n\
          \x20 distinct distances     {}\n\
@@ -215,8 +304,17 @@ pub fn cmd_analyze(source: &str, origin: &str, opts: &Options) -> Result<Report,
         param_list(program, stage.values()),
         granularity_name(analyzed.granularity()),
         analysis.dim,
+        if analysis.is_aggregated() {
+            ", aggregated"
+        } else {
+            ""
+        },
         analysis.pairs.len(),
         analysis.n_screened_pairs,
+        screen.by_gcd,
+        screen.by_bbox,
+        screen.by_solver,
+        screen.n_classes,
         stage.phi().len(),
         stage.rd().len(),
         distances.len(),
@@ -241,6 +339,21 @@ pub fn cmd_analyze(source: &str, origin: &str, opts: &Options) -> Result<Report,
         (
             "n_screened_pairs".to_string(),
             Json::Int(analysis.n_screened_pairs as i64),
+        ),
+        (
+            "screen".to_string(),
+            json!({
+                "by_gcd": screen.by_gcd,
+                "by_bbox": screen.by_bbox,
+                "by_solver": screen.by_solver,
+                "shared_verdicts": screen.shared_verdicts,
+                "n_classes": screen.n_classes,
+                "n_shape_buckets": screen.n_shape_buckets,
+            }),
+        ),
+        (
+            "aggregated".to_string(),
+            Json::Bool(analysis.is_aggregated()),
         ),
         (
             "n_iterations".to_string(),

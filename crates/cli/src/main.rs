@@ -1,6 +1,7 @@
-//! The `rcp` binary: a thin argument-parsing shell over [`rcp_cli`].
+//! The `rcp` binary: a thin shell over [`rcp_cli`] (argument parsing
+//! lives in the library so the usage errors are golden-testable).
 
-use rcp_cli::{cmd_fmt, cmd_schemes, run_command, Options};
+use rcp_cli::{cmd_fmt, cmd_schemes, parse_args, run_command};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -21,12 +22,14 @@ COMMANDS:
     schemes     list the registered partitioning schemes
 
 OPTIONS:
-    --param NAME=VALUE   bind a symbolic parameter (repeatable)
-    --threads N          worker threads for run/bench (default 4)
-    --scheme NAME        partitioning scheme for run/bench (see `rcp schemes`)
-    --stmt               force statement-level granularity
-    --json               print the machine-readable report instead of text
-    --write              (fmt only) rewrite the file in place
+    --param NAME=VALUE     bind a symbolic parameter (repeatable)
+    --threads N            worker threads for run/bench (default 4)
+    --scheme NAME          partitioning scheme for run/bench (see `rcp schemes`)
+    --granularity KIND     loop | stmt | auto (default auto); `loop` also
+                           covers imperfect nests via the aggregated view
+    --stmt                 shorthand for --granularity stmt
+    --json                 print the machine-readable report instead of text
+    --write                (fmt only) rewrite the file in place
 
 EXAMPLE:
     rcp analyze examples/loops/example1.loop --param N1=300 --param N2=1000
@@ -49,56 +52,15 @@ fn main() -> ExitCode {
         };
     }
 
-    let mut command: Option<String> = None;
-    let mut file: Option<String> = None;
-    let mut opts = Options::default();
-    let mut json = false;
-    let mut write = false;
-    let mut k = 0;
-    while k < args.len() {
-        let arg = &args[k];
-        match arg.as_str() {
-            "--json" => json = true,
-            "--write" => write = true,
-            "--stmt" => opts.force_statement_level = true,
-            "--param" | "--threads" | "--scheme" => {
-                let Some(value) = args.get(k + 1) else {
-                    return fail(&format!("{arg} requires a value"));
-                };
-                k += 1;
-                match arg.as_str() {
-                    "--threads" => match value.parse::<usize>() {
-                        Ok(n) if n >= 1 => opts.threads = Some(n),
-                        _ => return fail(&format!("invalid --threads value `{value}`")),
-                    },
-                    "--scheme" => opts.scheme = Some(value.clone()),
-                    _ => {
-                        let Some((name, v)) = value.split_once('=') else {
-                            return fail(&format!("--param expects NAME=VALUE, got `{value}`"));
-                        };
-                        let Ok(v) = v.parse::<i64>() else {
-                            return fail(&format!("--param {name}: invalid integer `{v}`"));
-                        };
-                        opts.params.push((name.to_string(), v));
-                    }
-                }
-            }
-            _ if arg.starts_with("--") => return fail(&format!("unknown option `{arg}`")),
-            _ if command.is_none() => command = Some(arg.clone()),
-            _ if file.is_none() => file = Some(arg.clone()),
-            _ => return fail(&format!("unexpected argument `{arg}`")),
-        }
-        k += 1;
-    }
-
-    let Some(command) = command else {
-        return fail("missing command (try `rcp --help`)");
+    let inv = match parse_args(&args) {
+        Ok(inv) => inv,
+        Err(message) => return fail(&message),
     };
 
     // `schemes` needs no input file: it reports the registry.
-    if command == "schemes" {
+    if inv.command == "schemes" {
         let report = cmd_schemes();
-        if json {
+        if inv.json {
             println!("{}", report.data.pretty());
         } else {
             print!("{}", report.text);
@@ -106,7 +68,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let Some(file) = file else {
+    let Some(file) = inv.file else {
         return fail("missing input file (try `rcp --help`)");
     };
     let source = match std::fs::read_to_string(&file) {
@@ -115,7 +77,7 @@ fn main() -> ExitCode {
     };
 
     // `fmt --write` rewrites the file instead of reporting.
-    if command == "fmt" && write {
+    if inv.command == "fmt" && inv.write {
         return match cmd_fmt(&source, &file) {
             Ok(report) => {
                 let canonical = report.data["canonical"].as_str().unwrap_or_default();
@@ -134,9 +96,9 @@ fn main() -> ExitCode {
         };
     }
 
-    match run_command(&command, &source, &file, &opts) {
+    match run_command(&inv.command, &source, &file, &inv.opts) {
         Ok(report) => {
-            if json {
+            if inv.json {
                 println!("{}", report.data.pretty());
             } else {
                 print!("{}", report.text);

@@ -1,0 +1,131 @@
+//! Golden CLI error paths: every malformed invocation produces a typed,
+//! stable diagnostic and a non-zero exit — never a panic.
+//!
+//! These drive the real `rcp` binary (via `CARGO_BIN_EXE_rcp`), so the
+//! full path — argument parsing, file loading, session errors — is under
+//! test, stderr byte for byte.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn rcp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rcp"))
+        .args(args)
+        .output()
+        .expect("the rcp binary runs")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).to_string()
+}
+
+fn example1_path() -> String {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("../../examples/loops/example1.loop");
+    p.to_string_lossy().to_string()
+}
+
+fn temp_loop_file(name: &str, contents: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(name);
+    std::fs::write(&p, contents).expect("temp .loop file writes");
+    p.to_string_lossy().to_string()
+}
+
+#[test]
+fn unknown_scheme_is_a_typed_error() {
+    let out = rcp(&[
+        "bench",
+        &example1_path(),
+        "--param",
+        "N1=6",
+        "--param",
+        "N2=6",
+        "--scheme",
+        "zigzag",
+    ]);
+    assert!(!out.status.success());
+    assert_eq!(
+        stderr_of(&out),
+        "error: unknown scheme `zigzag` (known: recurrence-chains, pdm, pl, unique, \
+         doacross, inner-parallel)\n"
+    );
+}
+
+#[test]
+fn malformed_param_is_a_usage_error() {
+    let out = rcp(&["analyze", &example1_path(), "--param", "N1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(
+        stderr_of(&out),
+        "error: --param expects NAME=VALUE, got `N1`\n"
+    );
+    let out = rcp(&["analyze", &example1_path(), "--param", "N1=abc"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(
+        stderr_of(&out),
+        "error: --param N1: invalid integer `abc`\n"
+    );
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = rcp(&["analyze", "/definitely/not/here.loop", "--param", "N=1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = stderr_of(&out);
+    assert!(
+        stderr.starts_with("error: cannot read /definitely/not/here.loop: "),
+        "unexpected stderr: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn undeclared_variable_input_is_a_positioned_diagnostic() {
+    let path = temp_loop_file(
+        "rcp-cli-undeclared.loop",
+        "PROGRAM bad\nPARAM N\nDO I = 1, N\n  S: a(Q + 1) = a(I)\nENDDO\nEND\n",
+    );
+    let out = rcp(&["analyze", &path, "--param", "N=5"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(
+        stderr_of(&out),
+        format!(
+            "error: {path}: line 4, column 8: unknown variable `Q`: not a declared \
+             PARAM or an enclosing loop index\n"
+        )
+    );
+}
+
+#[test]
+fn invalid_granularity_is_a_usage_error() {
+    let out = rcp(&["analyze", &example1_path(), "--granularity", "zig"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(
+        stderr_of(&out),
+        "error: invalid --granularity `zig` (expected loop, stmt or auto)\n"
+    );
+}
+
+#[test]
+fn granularity_loop_works_end_to_end_on_an_imperfect_nest() {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("../../examples/loops/mvt.loop");
+    let out = rcp(&[
+        "partition",
+        &p.to_string_lossy(),
+        "--param",
+        "N=5",
+        "--granularity",
+        "loop",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}\nstdout: {}",
+        stderr_of(&out),
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("RecurrenceChains"), "{stdout}");
+    assert!(stdout.contains("validation: ok"), "{stdout}");
+}

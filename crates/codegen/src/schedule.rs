@@ -120,13 +120,29 @@ impl Schedule {
     /// At loop-level granularity each partition point is one loop-body
     /// iteration and expands to all statements of the (perfect) nest; at
     /// statement-level granularity each point is a single statement
-    /// instance.
+    /// instance.  Aggregated loop-level points (imperfect nests) need the
+    /// parameter values to expand their inner loops — use
+    /// [`Self::from_partition_bound`] for those.
     pub fn from_partition(
         analysis: &DependenceAnalysis,
         partition: &ConcretePartition,
         name: &str,
     ) -> Schedule {
-        let to_item = |point: &IVec| point_to_item(analysis, point);
+        Self::from_partition_bound(analysis, partition, &[], name)
+    }
+
+    /// [`Self::from_partition`] with the parameter values of the
+    /// partition's binding, required to expand the aggregated loop-level
+    /// points of an imperfect nest (each point executes the whole body of
+    /// one prefix iteration, whose inner loop bounds may mention
+    /// parameters).  For direct views `params` is unused.
+    pub fn from_partition_bound(
+        analysis: &DependenceAnalysis,
+        partition: &ConcretePartition,
+        params: &[i64],
+        name: &str,
+    ) -> Schedule {
+        let to_item = |point: &IVec| point_to_item(analysis, params, point);
         let mut phases = Vec::new();
         match partition {
             ConcretePartition::RecurrenceChains { p1, chains, p3, .. } => {
@@ -179,12 +195,15 @@ impl Schedule {
     }
 
     /// Builds a one-phase DOALL schedule from a dense set of points (used by
-    /// baseline schemes).
+    /// baseline schemes; direct views only).
     pub fn doall_phase(analysis: &DependenceAnalysis, points: &DenseSet, name: &str) -> Schedule {
         Schedule {
             name: name.to_string(),
             phases: vec![Phase::Doall(
-                points.iter().map(|p| point_to_item(analysis, p)).collect(),
+                points
+                    .iter()
+                    .map(|p| point_to_item(analysis, &[], p))
+                    .collect(),
             )],
         }
     }
@@ -271,10 +290,25 @@ impl Schedule {
 }
 
 /// Expands one partition point into a work item according to the analysis
-/// granularity.
-fn point_to_item(analysis: &DependenceAnalysis, point: &IVec) -> WorkItem {
-    match analysis.granularity {
-        Granularity::LoopLevel => {
+/// granularity and view.
+fn point_to_item(analysis: &DependenceAnalysis, params: &[i64], point: &IVec) -> WorkItem {
+    match (analysis.granularity, &analysis.view) {
+        (Granularity::LoopLevel, rcp_depend::LoopView::Groups(groups)) => {
+            // An aggregated point is (group, prefix iteration, padding):
+            // it executes the whole body of that prefix iteration in
+            // program order.
+            let group = groups
+                .iter()
+                .find(|g| g.group as i64 == point[0])
+                .expect("aggregated point names a loop group");
+            let prefix: IVec = point[1..1 + group.depth()].to_vec();
+            WorkItem {
+                instances: analysis
+                    .program
+                    .enumerate_group_instances(group, &prefix, params),
+            }
+        }
+        (Granularity::LoopLevel, _) => {
             // A loop-level point is an iteration of the perfect nest: all
             // statements of the nest execute at these indices, in order.
             let instances = analysis
@@ -285,7 +319,7 @@ fn point_to_item(analysis: &DependenceAnalysis, point: &IVec) -> WorkItem {
                 .collect();
             WorkItem { instances }
         }
-        Granularity::StatementLevel => {
+        (Granularity::StatementLevel, _) => {
             let (stmt, indices) = analysis
                 .program
                 .decode_instance(point)

@@ -42,6 +42,10 @@ pub enum PlanUnavailable {
     /// The analysis ran at statement level (imperfect nest or `--stmt`):
     /// the coupled-pair recurrence is a loop-level construction.
     StatementLevel,
+    /// The analysis ran over the aggregated loop-group view of an
+    /// imperfect nest, where Lemma 1's recurrence is not defined; the
+    /// partitioner attempts validated component chains instead.
+    AggregatedLoopLevel,
     /// No statement reads and writes the same array, so there is no
     /// coupled pair; the dependence-free iterations form DOALL stages.
     NoCoupledPair,
@@ -73,6 +77,12 @@ impl fmt::Display for PlanUnavailable {
                 f,
                 "statement-level analysis: the coupled-pair recurrence is only \
                  defined at loop level"
+            ),
+            PlanUnavailable::AggregatedLoopLevel => write!(
+                f,
+                "aggregated loop-level view of an imperfect nest: Lemma 1's \
+                 recurrence requires a perfect nest (the partition uses \
+                 validated component chains when the structure admits them)"
             ),
             PlanUnavailable::NoCoupledPair => write!(
                 f,
@@ -255,6 +265,7 @@ pub fn plan_unavailability(analysis: &DependenceAnalysis) -> Option<PlanUnavaila
             }),
         },
         CoupledPairCheck::StatementLevel => Some(PlanUnavailable::StatementLevel),
+        CoupledPairCheck::AggregatedLoopLevel => Some(PlanUnavailable::AggregatedLoopLevel),
         CoupledPairCheck::NoPair => Some(PlanUnavailable::NoCoupledPair),
         CoupledPairCheck::MultiplePairs { count } => {
             Some(PlanUnavailable::MultipleCoupledPairs { count })
@@ -320,10 +331,44 @@ pub fn concrete_partition_from_dense(
             p3: three_set.p3.clone(),
             three_set,
         }
+    } else if analysis.is_aggregated() {
+        // Aggregated loop-level views of imperfect nests have no symbolic
+        // recurrence `i = j·T + u`, but the dependence structure often
+        // still admits the paper's chain-shaped partition (three sets +
+        // disjoint monotonic chains).  Attempt it and keep it only when
+        // it validates; otherwise fall back to dataflow stages, exactly
+        // like Algorithm 1's else-branch.
+        try_chain_partition(phi, rd).unwrap_or_else(|| ConcretePartition::Dataflow {
+            stages: dataflow_partition(phi, rd),
+        })
     } else {
         ConcretePartition::Dataflow {
             stages: dataflow_partition(phi, rd),
         }
+    }
+}
+
+/// Attempts the chain-shaped partition of a dense dependence structure
+/// without the single-coupled-pair precondition: three sets plus the
+/// connected-component chains covering the intermediate set
+/// ([`crate::chains::component_chains`] — tolerant of the transitive
+/// edges aggregated relations carry), kept only when fully valid
+/// (disjoint monotonic chains, every dependence respected).  Used by the
+/// aggregated loop-level views, where Lemma 1's recurrence does not exist
+/// but the chain decomposition frequently does.
+pub fn try_chain_partition(phi: &DenseSet, rd: &DenseRelation) -> Option<ConcretePartition> {
+    let three_set = DenseThreeSet::compute(phi, rd);
+    let chains = crate::chains::component_chains(&three_set.p2, rd);
+    let candidate = ConcretePartition::RecurrenceChains {
+        p1: three_set.p1.clone(),
+        chains,
+        p3: three_set.p3.clone(),
+        three_set,
+    };
+    if candidate.validate(phi, rd).is_empty() {
+        Some(candidate)
+    } else {
+        None
     }
 }
 

@@ -76,6 +76,53 @@ pub fn chains_in_intermediate(part: &DenseThreeSet, rd: &DenseRelation) -> Vec<C
     chains
 }
 
+/// Builds chains as the connected components of the dependence graph
+/// restricted to the intermediate set, each ordered lexicographically.
+///
+/// Unlike [`chains_in_intermediate`] this does not require unique
+/// successors, so it tolerates the transitive edges of aggregated
+/// loop-level relations (where `t → t+1` and `t → t+2` coexist).  The
+/// result is only a valid chain partition when every component is totally
+/// ordered with consecutive direct dependences — which
+/// [`crate::try_chain_partition`] verifies before accepting it.
+pub fn component_chains(p2: &DenseSet, rd: &DenseRelation) -> Vec<Chain> {
+    use std::collections::{BTreeMap, VecDeque};
+    let points: Vec<IVec> = p2.iter().cloned().collect();
+    let index: BTreeMap<&IVec, usize> = points.iter().enumerate().map(|(k, p)| (p, k)).collect();
+    // Undirected adjacency restricted to P2.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); points.len()];
+    for (src, dst) in rd.iter() {
+        if let (Some(&a), Some(&b)) = (index.get(src), index.get(dst)) {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+    }
+    let mut seen = vec![false; points.len()];
+    let mut chains = Vec::new();
+    for start in 0..points.len() {
+        if seen[start] {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut queue = VecDeque::from([start]);
+        seen[start] = true;
+        while let Some(k) = queue.pop_front() {
+            component.push(points[k].clone());
+            for &n in &adj[k] {
+                if !seen[n] {
+                    seen[n] = true;
+                    queue.push_back(n);
+                }
+            }
+        }
+        component.sort();
+        chains.push(Chain {
+            iterations: component,
+        });
+    }
+    chains
+}
+
 /// Decomposes an arbitrary dependence relation into maximal monotonic
 /// chains: a chain starts at an iteration that has no predecessor, has a
 /// predecessor with several successors, or has several predecessors, and

@@ -67,9 +67,12 @@ pub mod three_set;
 
 pub use algorithm1::{
     concrete_partition, concrete_partition_from_dense, plan_unavailability, symbolic_plan,
-    uses_recurrence_chains, ConcretePartition, PlanStats, PlanUnavailable, Strategy, SymbolicPlan,
+    try_chain_partition, uses_recurrence_chains, ConcretePartition, PlanStats, PlanUnavailable,
+    Strategy, SymbolicPlan,
 };
-pub use chains::{chains_in_intermediate, longest_chain, monotonic_chains, Chain};
+pub use chains::{
+    chains_in_intermediate, component_chains, longest_chain, monotonic_chains, Chain,
+};
 pub use dataflow::{
     dataflow_levels_indexed, dataflow_partition, dataflow_partition_by_peeling,
     dataflow_stage_sizes, DataflowPartition,

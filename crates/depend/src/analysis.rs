@@ -17,17 +17,24 @@
 //! # Sharding and screening
 //!
 //! Reference pairs are independent of each other, so the per-pair work —
-//! screening, building the convex pieces of both directions — is sharded
-//! over OS threads with [`rcp_pool::par_map`]
+//! building the convex pieces of both directions — is sharded over OS
+//! threads with [`rcp_pool::par_map`]
 //! ([`DependenceAnalysis::analyze_with_threads`]); results come back in
 //! pair order, so the assembled relation is identical to the
 //! single-threaded one piece for piece.  Before any piece is built, the
-//! dependence equation `i·A + a = j·B + b` is solved as a linear
-//! diophantine system through the memoised solver
-//! ([`rcp_intlin::solve_linear_system_cached`]): when it has no integer
-//! solution at all, the pair can induce no dependence in either direction
-//! and is skipped outright ([`DependenceAnalysis::n_screened_pairs`]).
+//! whole pair space goes through the pre-solve screens of
+//! [`crate::pairspace`] — shape-bucketed GCD test, bounding-box
+//! intersection of the accessed regions, and the class-deduplicated
+//! diophantine solve of the dependence equation `i·A + a = j·B + b`
+//! through the memoised solver
+//! ([`rcp_intlin::solve_linear_system_cached`]).  Screened pairs are
+//! skipped outright ([`DependenceAnalysis::n_screened_pairs`],
+//! [`DependenceAnalysis::screen`]) without changing the resulting
+//! relation piece for piece.
 
+use crate::pairspace::{
+    reference_box, statement_var_intervals, Interval, PairScreen, ScreenConfig, ScreenStats,
+};
 use rcp_intlin::{solve_linear_system_cached, IMat, IVec};
 use rcp_loopir::{AccessMap, Program, StatementInfo};
 use rcp_presburger::{Constraint, ConvexSet, Relation, Space, UnionSet};
@@ -35,10 +42,36 @@ use rcp_presburger::{Constraint, ConvexSet, Relation, Space, UnionSet};
 /// The granularity at which dependences are computed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Granularity {
-    /// One point per iteration of a perfect loop nest (§2).
+    /// One point per iteration of a loop nest (§2).  For perfect nests
+    /// this is the classic loop space; for imperfect nests it is the
+    /// aggregated group view of [`crate::looplevel`] (one point per
+    /// iteration of each top-level nest's maximal perfect prefix).
     LoopLevel,
     /// One point per statement instance in the unified index space (§3.3).
     StatementLevel,
+}
+
+/// How the analysis space maps back to the program: directly (the classic
+/// perfect-nest loop space, or the statement-level unified space), or
+/// through the aggregated loop-group view of an imperfect nest.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LoopView {
+    /// Points are loop iterations of a perfect nest or unified statement
+    /// instances — the pre-existing spaces.
+    Direct,
+    /// Points are `(group, prefix-iteration)` aggregates of an imperfect
+    /// nest; each point executes its whole body in program order.
+    Groups(Vec<rcp_loopir::LoopGroup>),
+}
+
+impl LoopView {
+    /// The loop groups of an aggregated view, `None` for direct views.
+    pub fn groups(&self) -> Option<&[rcp_loopir::LoopGroup]> {
+        match self {
+            LoopView::Direct => None,
+            LoopView::Groups(g) => Some(g),
+        }
+    }
 }
 
 /// A pair of array references that can induce dependences.
@@ -89,6 +122,12 @@ pub enum CoupledPairCheck {
     /// The analysis ran at statement level, where the coupled-pair
     /// construction (and hence the recurrence) is not defined.
     StatementLevel,
+    /// The analysis ran over the aggregated loop-group view of an
+    /// imperfect nest: the statement-local access matrices do not map the
+    /// `(group, prefix)` point space, so Lemma 1's recurrence `T = B·A⁻¹`
+    /// is not defined there (the partitioner uses validated component
+    /// chains instead).
+    AggregatedLoopLevel,
     /// No statement reads and writes the same array: no coupled pair can
     /// exist (the loop is independent or uses distinct arrays).
     NoPair,
@@ -112,6 +151,45 @@ pub enum CoupledPairCheck {
     },
 }
 
+/// Everything an analysis run can be configured with: the granularity,
+/// an explicit thread count for the sharded per-pair work, and which
+/// pre-solve screens of the pair-space engine run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnalysisOptions {
+    /// Loop-level or statement-level.
+    pub granularity: Granularity,
+    /// Shard the per-pair work over exactly this many threads; `None`
+    /// lets the analysis pick (all hardware threads when the program has
+    /// enough reference pairs to amortise spawning).
+    pub threads: Option<usize>,
+    /// The pre-solve screening stages (see [`crate::pairspace`]).
+    pub screen: ScreenConfig,
+}
+
+impl AnalysisOptions {
+    /// Default options at the given granularity: automatic threading,
+    /// full screening.
+    pub fn new(granularity: Granularity) -> Self {
+        AnalysisOptions {
+            granularity,
+            threads: None,
+            screen: ScreenConfig::full(),
+        }
+    }
+
+    /// Pins the shard count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Selects the screening stages.
+    pub fn with_screen(mut self, screen: ScreenConfig) -> Self {
+        self.screen = screen;
+        self
+    }
+}
+
 /// The result of dependence analysis on a program.
 #[derive(Clone, Debug)]
 pub struct DependenceAnalysis {
@@ -131,10 +209,15 @@ pub struct DependenceAnalysis {
     pub relation: Relation,
     /// The reference pairs that contributed to `Rd`.
     pub pairs: Vec<RefPair>,
-    /// Reference pairs proven dependence-free by the diophantine screen
-    /// (their dependence equation has no integer solution), for which no
-    /// relation pieces were built.
+    /// Reference pairs proven dependence-free by the pre-solve screens
+    /// (GCD test, bounding-box disjointness, or an unsolvable dependence
+    /// equation), for which no relation pieces were built.
     pub n_screened_pairs: usize,
+    /// Per-stage counts of the pair-space screening pass.
+    pub screen: ScreenStats,
+    /// How analysis points map back to the program (direct spaces, or
+    /// the aggregated loop-group view of an imperfect nest).
+    pub view: LoopView,
 }
 
 impl DependenceAnalysis {
@@ -153,13 +236,7 @@ impl DependenceAnalysis {
     /// Panics when `LoopLevel` is requested for a program that is not a
     /// perfect loop nest.
     pub fn analyze(program: &Program, granularity: Granularity) -> DependenceAnalysis {
-        let pairs = reference_pairs(program);
-        let threads = if pairs.len() >= Self::PAR_ANALYSIS_MIN_PAIRS {
-            rcp_pool::available_threads()
-        } else {
-            1
-        };
-        Self::analyze_pairs(program, granularity, threads, pairs)
+        Self::with_options(program, &AnalysisOptions::new(granularity))
     }
 
     /// Runs the analysis with the per-reference-pair work sharded over
@@ -177,21 +254,44 @@ impl DependenceAnalysis {
         granularity: Granularity,
         n_threads: usize,
     ) -> DependenceAnalysis {
-        Self::analyze_pairs(program, granularity, n_threads, reference_pairs(program))
+        Self::with_options(
+            program,
+            &AnalysisOptions::new(granularity).with_threads(n_threads),
+        )
     }
 
-    /// The shared entry point: pairs are enumerated exactly once by the
-    /// caller (the default path also needs them for its threading gate).
-    fn analyze_pairs(
-        program: &Program,
-        granularity: Granularity,
-        n_threads: usize,
-        pairs: Vec<RefPair>,
-    ) -> DependenceAnalysis {
-        match granularity {
-            Granularity::LoopLevel => analyze_loop_level(program, n_threads, pairs),
-            Granularity::StatementLevel => analyze_statement_level(program, n_threads, pairs),
+    /// The fully configurable entry point behind every other constructor.
+    ///
+    /// # Panics
+    /// Panics when `LoopLevel` is requested for a program with no
+    /// loop-level view at all: neither a perfect nest nor decomposable
+    /// into top-level loop groups (a bare top-level statement).
+    pub fn with_options(program: &Program, options: &AnalysisOptions) -> DependenceAnalysis {
+        let pairs = reference_pairs(program);
+        let n_threads = options.threads.unwrap_or_else(|| {
+            if pairs.len() >= Self::PAR_ANALYSIS_MIN_PAIRS {
+                rcp_pool::available_threads()
+            } else {
+                1
+            }
+        });
+        match options.granularity {
+            Granularity::LoopLevel if program.is_perfect_nest() => {
+                analyze_loop_level(program, n_threads, pairs, options.screen)
+            }
+            Granularity::LoopLevel => {
+                crate::looplevel::analyze_aggregated(program, n_threads, pairs, options.screen)
+            }
+            Granularity::StatementLevel => {
+                analyze_statement_level(program, n_threads, pairs, options.screen)
+            }
         }
+    }
+
+    /// True when this analysis runs over the aggregated loop-group view
+    /// of an imperfect nest.
+    pub fn is_aggregated(&self) -> bool {
+        matches!(self.view, LoopView::Groups(_))
     }
 
     /// Convenience constructor for the common loop-level case.
@@ -226,6 +326,15 @@ impl DependenceAnalysis {
     pub fn coupled_pair_check(&self) -> CoupledPairCheck {
         if self.granularity != Granularity::LoopLevel {
             return CoupledPairCheck::StatementLevel;
+        }
+        if self.is_aggregated() {
+            // The statement-local access matrices live in each statement's
+            // own loop space, not the aggregated (group, prefix) point
+            // space — a "single coupled pair" found here must not feed the
+            // recurrence machinery (its chains would not be the relation's
+            // chains; see `rcp_core::try_chain_partition` for the path
+            // aggregated views take instead).
+            return CoupledPairCheck::AggregatedLoopLevel;
         }
         let stmts = self.program.statements();
         let mut found: Option<CoupledPair> = None;
@@ -277,7 +386,7 @@ impl DependenceAnalysis {
     }
 }
 
-fn reference_pairs(program: &Program) -> Vec<RefPair> {
+pub(crate) fn reference_pairs(program: &Program) -> Vec<RefPair> {
     let stmts = program.statements();
     let mut pairs = Vec::new();
     // Ordered enumeration of (stmt, ref) positions; consider each unordered
@@ -313,7 +422,7 @@ fn reference_pairs(program: &Program) -> Vec<RefPair> {
     pairs
 }
 
-fn pair_space_of(space: &Space) -> Space {
+pub(crate) fn pair_space_of(space: &Space) -> Space {
     space.product(space)
 }
 
@@ -391,9 +500,8 @@ pub fn pair_may_depend(acc1: &AccessMap, acc2: &AccessMap) -> bool {
     solve_linear_system_cached(&m, &rhs).is_some()
 }
 
-/// Builds the pieces contributed by one reference pair: the diophantine
-/// screen first, then both directions of the dependence relation.  Returns
-/// `None` when the pair was screened out.
+/// Builds the pieces contributed by one reference pair that survived the
+/// pair-space screens: both directions of the dependence relation.
 #[allow(clippy::too_many_arguments)]
 fn pair_relation_pieces(
     pair_space: &Space,
@@ -403,22 +511,43 @@ fn pair_relation_pieces(
     set1: &ConvexSet,
     acc2: &AccessMap,
     set2: &ConvexSet,
-) -> Option<Vec<ConvexSet>> {
-    if !pair_may_depend(acc1, acc2) {
-        return None;
-    }
+) -> Vec<ConvexSet> {
     // Direction 1: the src end is an instance of ref1, the dst of ref2.
     let mut pieces = dependence_pieces(pair_space, dim, acc1, set1, acc2, set2);
     // Direction 2 (skip when the two references are the same one).
     if !(pair.src_stmt == pair.dst_stmt && pair.src_ref == pair.dst_ref) {
         pieces.extend(dependence_pieces(pair_space, dim, acc2, set2, acc1, set1));
     }
-    Some(pieces)
+    pieces
+}
+
+/// Precomputes, per statement, every reference's access map in the
+/// analysis space plus its accessed-region bounding box (computed from
+/// the statement-local subscripts, so it is granularity-independent).
+pub(crate) fn per_statement_accesses(
+    program: &Program,
+    stmts: &[StatementInfo],
+    map: impl Fn(&StatementInfo, &rcp_loopir::ArrayRef) -> AccessMap,
+) -> (Vec<Vec<AccessMap>>, Vec<Vec<Vec<Interval>>>) {
+    let mut accesses = Vec::with_capacity(stmts.len());
+    let mut boxes = Vec::with_capacity(stmts.len());
+    for info in stmts {
+        let vars = statement_var_intervals(info, program);
+        accesses.push(info.stmt.refs.iter().map(|r| map(info, r)).collect());
+        boxes.push(
+            info.stmt
+                .refs
+                .iter()
+                .map(|r| reference_box(&r.subscripts, &vars))
+                .collect(),
+        );
+    }
+    (accesses, boxes)
 }
 
 /// Flattens per-pair piece lists in pair order (deterministic regardless of
 /// which thread built which pair) and counts screened pairs.
-fn assemble_pieces(per_pair: Vec<Option<Vec<ConvexSet>>>) -> (Vec<ConvexSet>, usize) {
+pub(crate) fn assemble_pieces(per_pair: Vec<Option<Vec<ConvexSet>>>) -> (Vec<ConvexSet>, usize) {
     let mut pieces = Vec::new();
     let mut n_screened = 0;
     for entry in per_pair {
@@ -434,6 +563,7 @@ fn analyze_loop_level(
     program: &Program,
     n_threads: usize,
     pairs: Vec<RefPair>,
+    screen_config: ScreenConfig,
 ) -> DependenceAnalysis {
     assert!(
         program.is_perfect_nest(),
@@ -445,21 +575,25 @@ fn analyze_loop_level(
     let phi_convex = program.loop_iteration_set();
     let phi = UnionSet::from_convex(phi_convex.clone());
     let stmts = program.statements();
+    let (accesses, boxes) =
+        per_statement_accesses(program, &stmts, |info, r| program.loop_access(info, r));
+    let screen = PairScreen::run(screen_config, &pairs, &accesses, &boxes);
 
-    let per_pair = rcp_pool::par_map(n_threads, &pairs, |pair| {
-        let info1: &StatementInfo = &stmts[pair.src_stmt];
-        let info2: &StatementInfo = &stmts[pair.dst_stmt];
-        let acc1 = program.loop_access(info1, &info1.stmt.refs[pair.src_ref]);
-        let acc2 = program.loop_access(info2, &info2.stmt.refs[pair.dst_ref]);
-        pair_relation_pieces(
+    let per_pair = rcp_pool::par_map_indexed(n_threads, &pairs, |k, pair| {
+        if !screen.verdict(k).may_depend() {
+            return None;
+        }
+        let acc1 = &accesses[pair.src_stmt][pair.src_ref];
+        let acc2 = &accesses[pair.dst_stmt][pair.dst_ref];
+        Some(pair_relation_pieces(
             &pair_space,
             dim,
             pair,
-            &acc1,
+            acc1,
             &phi_convex,
-            &acc2,
+            acc2,
             &phi_convex,
-        )
+        ))
     });
     let (pieces, n_screened_pairs) = assemble_pieces(per_pair);
     let relation = Relation::new(dim, dim, UnionSet::from_pieces(pair_space.clone(), pieces));
@@ -473,6 +607,8 @@ fn analyze_loop_level(
         relation,
         pairs,
         n_screened_pairs,
+        screen: screen.stats(),
+        view: LoopView::Direct,
     }
 }
 
@@ -480,21 +616,36 @@ fn analyze_statement_level(
     program: &Program,
     n_threads: usize,
     pairs: Vec<RefPair>,
+    screen_config: ScreenConfig,
 ) -> DependenceAnalysis {
     let space = program.unified_space();
     let dim = space.dim();
     let pair_space = pair_space_of(&space);
     let phi = program.unified_iteration_space();
     let stmts = program.statements();
+    let (accesses, boxes) =
+        per_statement_accesses(program, &stmts, |info, r| program.unified_access(info, r));
+    let sets: Vec<ConvexSet> = stmts
+        .iter()
+        .map(|info| program.statement_instance_set(info))
+        .collect();
+    let screen = PairScreen::run(screen_config, &pairs, &accesses, &boxes);
 
-    let per_pair = rcp_pool::par_map(n_threads, &pairs, |pair| {
-        let info1: &StatementInfo = &stmts[pair.src_stmt];
-        let info2: &StatementInfo = &stmts[pair.dst_stmt];
-        let acc1 = program.unified_access(info1, &info1.stmt.refs[pair.src_ref]);
-        let acc2 = program.unified_access(info2, &info2.stmt.refs[pair.dst_ref]);
-        let set1 = program.statement_instance_set(info1);
-        let set2 = program.statement_instance_set(info2);
-        pair_relation_pieces(&pair_space, dim, pair, &acc1, &set1, &acc2, &set2)
+    let per_pair = rcp_pool::par_map_indexed(n_threads, &pairs, |k, pair| {
+        if !screen.verdict(k).may_depend() {
+            return None;
+        }
+        let acc1 = &accesses[pair.src_stmt][pair.src_ref];
+        let acc2 = &accesses[pair.dst_stmt][pair.dst_ref];
+        Some(pair_relation_pieces(
+            &pair_space,
+            dim,
+            pair,
+            acc1,
+            &sets[pair.src_stmt],
+            acc2,
+            &sets[pair.dst_stmt],
+        ))
     });
     let (pieces, n_screened_pairs) = assemble_pieces(per_pair);
     let relation = Relation::new(dim, dim, UnionSet::from_pieces(pair_space.clone(), pieces));
@@ -508,6 +659,8 @@ fn analyze_statement_level(
         relation,
         pairs,
         n_screened_pairs,
+        screen: screen.stats(),
+        view: LoopView::Direct,
     }
 }
 
@@ -765,6 +918,121 @@ mod tests {
         // The screen must never fire for a pair with real dependences.
         let analysis = DependenceAnalysis::loop_level(&example1());
         assert_eq!(analysis.n_screened_pairs, 0);
+    }
+
+    #[test]
+    fn bounding_box_screen_fires_without_changing_the_relation() {
+        use crate::pairspace::ScreenConfig;
+        // a(I) = a(I + 100) over I in 1..=10: writes touch [1,10], reads
+        // [101,110] — disjoint boxes, but the dependence equation has
+        // integer solutions, so only the box screen can prove independence.
+        let p = Program::new(
+            "separated",
+            &[],
+            vec![loop_(
+                "I",
+                c(1),
+                c(10),
+                vec![stmt(
+                    "S",
+                    vec![
+                        ArrayRef::write("a", vec![v("I")]),
+                        ArrayRef::read("a", vec![v("I") + c(100)]),
+                    ],
+                )],
+            )],
+        );
+        let screened = DependenceAnalysis::loop_level(&p);
+        assert_eq!(screened.screen.by_bbox, 1, "write/read pair box-screened");
+        let exact = DependenceAnalysis::with_options(
+            &p,
+            &AnalysisOptions::new(Granularity::LoopLevel).with_screen(ScreenConfig::exact_only()),
+        );
+        assert_eq!(exact.screen.by_bbox, 0);
+        // Bit-identical relations: the box-screened pair's pieces were all
+        // rationally infeasible, so the exact path dropped them too.
+        assert_eq!(
+            format!("{:?}", screened.relation),
+            format!("{:?}", exact.relation)
+        );
+        assert_eq!(screened.pairs, exact.pairs);
+    }
+
+    #[test]
+    fn gcd_screen_subsumed_by_the_solver_stage() {
+        use crate::pairspace::ScreenConfig;
+        // The parity loop: the GCD screen answers without a solver call,
+        // and the exact-only path screens the same pair via the solver.
+        let p = Program::new(
+            "parity",
+            &["N"],
+            vec![loop_(
+                "I",
+                c(1),
+                v("N"),
+                vec![stmt(
+                    "S",
+                    vec![
+                        ArrayRef::write("a", vec![v("I") * 2]),
+                        ArrayRef::read("a", vec![v("I") * 2 + c(1)]),
+                    ],
+                )],
+            )],
+        );
+        let full = DependenceAnalysis::loop_level(&p);
+        assert_eq!(full.screen.by_gcd, 1);
+        assert_eq!(full.n_screened_pairs, 1);
+        let exact = DependenceAnalysis::with_options(
+            &p,
+            &AnalysisOptions::new(Granularity::LoopLevel).with_screen(ScreenConfig::exact_only()),
+        );
+        assert_eq!(exact.screen.by_gcd, 0);
+        assert_eq!(exact.screen.by_solver, 1);
+        assert_eq!(exact.n_screened_pairs, 1);
+        assert_eq!(
+            format!("{:?}", full.relation),
+            format!("{:?}", exact.relation)
+        );
+    }
+
+    #[test]
+    fn chain_classes_share_solver_verdicts() {
+        // Two statements with identical access shapes: their write/read
+        // pairs share a dependence system, so the class memo answers the
+        // second pair without a second solve.
+        let p = Program::new(
+            "classes",
+            &["N"],
+            vec![loop_(
+                "I",
+                c(1),
+                v("N"),
+                vec![
+                    stmt(
+                        "S1",
+                        vec![
+                            ArrayRef::write("a", vec![v("I") * 2]),
+                            ArrayRef::read("a", vec![v("I") * 2 + c(1)]),
+                        ],
+                    ),
+                    stmt(
+                        "S2",
+                        vec![
+                            ArrayRef::write("b", vec![v("I") * 2]),
+                            ArrayRef::read("b", vec![v("I") * 2 + c(1)]),
+                        ],
+                    ),
+                ],
+            )],
+        );
+        let analysis = DependenceAnalysis::statement_level(&p);
+        assert!(
+            analysis.screen.shared_verdicts > 0,
+            "identical systems must share one verdict: {:?}",
+            analysis.screen
+        );
+        assert!(analysis.screen.n_classes < analysis.screen.n_pairs);
+        assert!(analysis.screen.n_shape_buckets >= 2);
     }
 
     #[test]

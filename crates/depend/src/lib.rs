@@ -39,15 +39,21 @@
 
 pub mod analysis;
 pub mod distance;
+pub mod looplevel;
+pub mod pairspace;
 pub mod screening;
 pub mod trace;
 
 pub use analysis::{
-    dependence_system, is_coupled_access, pair_may_depend, CoupledPair, CoupledPairCheck,
-    DependenceAnalysis, Granularity, RefPair,
+    dependence_system, is_coupled_access, pair_may_depend, AnalysisOptions, CoupledPair,
+    CoupledPairCheck, DependenceAnalysis, Granularity, LoopView, RefPair,
 };
 pub use distance::{
     classify_analysis, classify_uniformity, distance_set, syntactically_uniform, Uniformity,
 };
+pub use pairspace::{PairScreen, ScreenConfig, ScreenStats};
 pub use screening::{banerjee_test, gcd_test, Screening};
-pub use trace::{trace_dependence_graph, trace_dependence_graph_with_threads, TracedGraph};
+pub use trace::{
+    parallel_trace_pays_off, trace_dependence_graph, trace_dependence_graph_forced,
+    trace_dependence_graph_with_threads, TracedGraph,
+};

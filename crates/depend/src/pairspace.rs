@@ -1,0 +1,470 @@
+//! The sparse pair-space engine: pre-solve screening of reference pairs.
+//!
+//! The exact dependence machinery — convex pieces over the `2·dim`
+//! pair space, Fourier–Motzkin emptiness per lexicographic disjunct — is
+//! priced per *reference pair*, and the full pair space of a real kernel
+//! (the Cholesky workload has hundreds of same-array pairs at statement
+//! level) is dominated by pairs that a much cheaper argument already
+//! proves independent.  This module runs those arguments first, so the
+//! exact solvers only see pairs that survive:
+//!
+//! 1. **Shape buckets + GCD screen.**  References are bucketed by
+//!    `(array, subscript-shape hash)`; every pair's dependence equation is
+//!    first checked dimension-wise with the GCD test (no solver call).
+//!    A GCD failure in one dimension implies the joint diophantine system
+//!    is unsolvable, so this screens a *subset* of what the exact solve
+//!    would screen — never more.
+//! 2. **Bounding-box intersection.**  Each reference's accessed region is
+//!    bounded per array dimension by propagating the (constant parts of
+//!    the) loop bounds through the subscript expressions with interval
+//!    arithmetic.  Two references whose boxes are disjoint in any
+//!    dimension cannot touch a common element.  Disjoint integer boxes
+//!    are rationally disjoint, so every relation piece of such a pair is
+//!    rationally infeasible and would have been discarded by the
+//!    Fourier–Motzkin emptiness filter anyway: skipping the pair changes
+//!    nothing about the resulting relation, piece for piece.
+//! 3. **Class-deduplicated diophantine screen.**  Surviving pairs are
+//!    grouped into *chain classes* by their exact dependence system
+//!    `(A | −B, b − a)`; one representative per class goes through the
+//!    memoised solver ([`rcp_intlin::solve_linear_system_cached`]) and
+//!    the verdict is shared by every pair of the class, so re-solves
+//!    within one analysis never happen — not even cache lookups.
+//!
+//! All three stages are conservative: a screened pair contributes no
+//! piece the unscreened analysis would have kept, which is what
+//! `tests/screen_equivalence.rs` proves bit-identically on the paper
+//! examples, the Cholesky kernel and the random corpus.
+
+use crate::analysis::{dependence_system, RefPair};
+use crate::screening::{gcd_test, Screening};
+use rcp_intlin::{solve_linear_system_cached, IMat, IVec};
+use rcp_loopir::{AccessMap, LinExpr, Program, StatementInfo};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Which screening stages run before the exact pair-space machinery.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ScreenConfig {
+    /// Dimension-wise GCD test per pair (no solver call).
+    pub gcd: bool,
+    /// Per-reference bounding-box intersection.
+    pub bbox: bool,
+    /// Share one diophantine verdict across every pair of a chain class
+    /// (identical dependence systems).
+    pub dedup: bool,
+}
+
+impl Default for ScreenConfig {
+    fn default() -> Self {
+        ScreenConfig::full()
+    }
+}
+
+impl ScreenConfig {
+    /// Every screening stage enabled (the default).
+    pub fn full() -> Self {
+        ScreenConfig {
+            gcd: true,
+            bbox: true,
+            dedup: true,
+        }
+    }
+
+    /// The legacy behaviour: only the memoised diophantine solve screens
+    /// pairs (what the analysis did before the pair-space engine existed).
+    /// The equivalence suite proves `full()` produces bit-identical
+    /// analyses to this mode.
+    pub fn exact_only() -> Self {
+        ScreenConfig {
+            gcd: false,
+            bbox: false,
+            dedup: false,
+        }
+    }
+}
+
+/// Per-stage counts of one screening pass over a pair space.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct ScreenStats {
+    /// Total reference pairs enumerated.
+    pub n_pairs: usize,
+    /// Pairs screened by the dimension-wise GCD test.
+    pub by_gcd: usize,
+    /// Pairs screened by bounding-box disjointness.
+    pub by_bbox: usize,
+    /// Pairs screened by the exact diophantine solve (no integer solution
+    /// to the dependence equation).
+    pub by_solver: usize,
+    /// Pairs whose solver verdict was answered by another pair of the
+    /// same chain class (identical dependence system), without touching
+    /// the solver or its cache.
+    pub shared_verdicts: usize,
+    /// Distinct dependence systems among the pairs that reached the
+    /// solver stage (the number of chain classes).
+    pub n_classes: usize,
+    /// Distinct `(array, subscript-shape)` buckets over all references.
+    pub n_shape_buckets: usize,
+}
+
+impl ScreenStats {
+    /// Pairs removed before the exact pair-space machinery ran.
+    pub fn screened(&self) -> usize {
+        self.by_gcd + self.by_bbox + self.by_solver
+    }
+
+    /// Pairs that reached the exact relation construction.
+    pub fn survivors(&self) -> usize {
+        self.n_pairs - self.screened()
+    }
+}
+
+/// A possibly half-unbounded integer interval (`None` = unbounded on that
+/// side).  All arithmetic saturates, so pathological coefficients cannot
+/// wrap around and produce an unsound "disjoint" verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Greatest known lower bound, if any.
+    pub lo: Option<i64>,
+    /// Least known upper bound, if any.
+    pub hi: Option<i64>,
+}
+
+impl Interval {
+    /// The interval containing every integer.
+    pub fn unbounded() -> Self {
+        Interval { lo: None, hi: None }
+    }
+
+    /// The single-point interval `[k, k]`.
+    pub fn point(k: i64) -> Self {
+        Interval {
+            lo: Some(k),
+            hi: Some(k),
+        }
+    }
+
+    /// True when the interval certainly contains no integer
+    /// (both ends known and crossed).
+    pub fn is_empty(&self) -> bool {
+        matches!((self.lo, self.hi), (Some(l), Some(h)) if l > h)
+    }
+
+    /// `self + other` (exact interval addition).
+    pub fn add(&self, other: &Interval) -> Interval {
+        let side = |a: Option<i64>, b: Option<i64>| match (a, b) {
+            (Some(x), Some(y)) => Some(x.saturating_add(y)),
+            _ => None,
+        };
+        Interval {
+            lo: side(self.lo, other.lo),
+            hi: side(self.hi, other.hi),
+        }
+    }
+
+    /// `c · self` (exact interval scaling; a negative factor swaps ends).
+    pub fn scale(&self, c: i64) -> Interval {
+        if c == 0 {
+            return Interval::point(0);
+        }
+        let mul = |side: Option<i64>| side.map(|v| v.saturating_mul(c));
+        if c > 0 {
+            Interval {
+                lo: mul(self.lo),
+                hi: mul(self.hi),
+            }
+        } else {
+            Interval {
+                lo: mul(self.hi),
+                hi: mul(self.lo),
+            }
+        }
+    }
+
+    /// True unless the two intervals are provably disjoint.
+    pub fn intersects(&self, other: &Interval) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        let above = matches!((self.lo, other.hi), (Some(l), Some(h)) if l > h);
+        let below = matches!((self.hi, other.lo), (Some(h), Some(l)) if h < l);
+        !(above || below)
+    }
+}
+
+/// Evaluates a symbolic linear expression over known variable intervals.
+/// Variables without an entry (symbolic parameters, unknown names) make
+/// the result unbounded in the direction(s) they influence.
+pub fn expr_interval(e: &LinExpr, vars: &HashMap<String, Interval>) -> Interval {
+    let mut acc = Interval::point(e.constant);
+    for (name, &c) in &e.terms {
+        if c == 0 {
+            continue;
+        }
+        let v = vars.get(name).copied().unwrap_or_else(Interval::unbounded);
+        acc = acc.add(&v.scale(c));
+    }
+    acc
+}
+
+/// The per-loop-variable intervals of one statement, propagated
+/// outermost-in from its loop bounds.  The effective lower bound of a
+/// loop is `max(lowers)`, so any *known* lower bound of any one lower
+/// expression is a valid lower bound of the variable (dually for
+/// `min(uppers)`).
+pub fn statement_var_intervals(
+    info: &StatementInfo,
+    _program: &Program,
+) -> HashMap<String, Interval> {
+    let mut vars: HashMap<String, Interval> = HashMap::new();
+    for (k, (lowers, uppers)) in info.bounds.iter().enumerate() {
+        let lo = lowers
+            .iter()
+            .filter_map(|e| expr_interval(e, &vars).lo)
+            .max();
+        let hi = uppers
+            .iter()
+            .filter_map(|e| expr_interval(e, &vars).hi)
+            .min();
+        vars.insert(info.loop_indices[k].clone(), Interval { lo, hi });
+    }
+    vars
+}
+
+/// The accessed-region bounding box of one reference: one interval per
+/// array dimension, computed from the statement-local subscript
+/// expressions (independent of the loop- or statement-level space
+/// encoding).
+pub fn reference_box(subscripts: &[LinExpr], vars: &HashMap<String, Interval>) -> Vec<Interval> {
+    subscripts.iter().map(|s| expr_interval(s, vars)).collect()
+}
+
+/// True unless the two boxes are provably disjoint in some dimension.
+/// Boxes of different rank never arise for references to the same array;
+/// the conservative answer (may alias) is returned if they do.
+pub fn boxes_intersect(a: &[Interval], b: &[Interval]) -> bool {
+    if a.len() != b.len() {
+        return true;
+    }
+    a.iter().zip(b).all(|(x, y)| x.intersects(y))
+}
+
+/// The subscript-shape hash of an access: a digest of the coefficient
+/// matrix alone (offsets excluded), so references that differ only by a
+/// translation land in the same bucket.
+fn shape_hash(acc: &AccessMap) -> u64 {
+    let mut h = DefaultHasher::new();
+    acc.matrix.rows().hash(&mut h);
+    acc.matrix.cols().hash(&mut h);
+    for r in 0..acc.matrix.rows() {
+        for c in 0..acc.matrix.cols() {
+            acc.matrix[(r, c)].hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// Why a pair was screened out (or that it survived).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// The pair reaches the exact relation construction.
+    MayDepend,
+    /// Screened by the dimension-wise GCD test.
+    IndependentByGcd,
+    /// Screened by bounding-box disjointness.
+    IndependentByBox,
+    /// Screened by the exact diophantine solve.
+    IndependentBySolver,
+}
+
+impl Verdict {
+    /// True when the pair survived every screen.
+    pub fn may_depend(&self) -> bool {
+        matches!(self, Verdict::MayDepend)
+    }
+}
+
+/// The screening pass over a full pair space: per-pair verdicts plus the
+/// per-stage statistics.  Built once per analysis, before the per-pair
+/// work is sharded over threads (the pass itself is cheap — interval
+/// arithmetic, gcds and one memoised solve per chain class).
+pub struct PairScreen {
+    verdicts: Vec<Verdict>,
+    stats: ScreenStats,
+}
+
+impl PairScreen {
+    /// Screens every pair.  `accesses[s][r]` is the access map of
+    /// reference `r` of statement `s` in the analysis space;
+    /// `boxes[s][r]` its accessed-region bounding box.
+    pub fn run(
+        config: ScreenConfig,
+        pairs: &[RefPair],
+        accesses: &[Vec<AccessMap>],
+        boxes: &[Vec<Vec<Interval>>],
+    ) -> PairScreen {
+        let mut stats = ScreenStats {
+            n_pairs: pairs.len(),
+            ..ScreenStats::default()
+        };
+        // Shape buckets over all references — a reported statistic only:
+        // it measures how much subscript-shape duplication the pair space
+        // carries (the dedup below keys on the *full* dependence system,
+        // matrix and right-hand side, not on these buckets).
+        let mut buckets: std::collections::HashSet<(String, u64)> = Default::default();
+        for per_stmt in accesses {
+            for acc in per_stmt {
+                buckets.insert((acc.array.clone(), shape_hash(acc)));
+            }
+        }
+        stats.n_shape_buckets = buckets.len();
+
+        // Chain classes are always *counted* (so `n_classes` means the
+        // same thing in every mode); verdicts are only *shared* across a
+        // class when dedup is enabled.
+        let mut classes: HashMap<(IMat, IVec), bool> = HashMap::new();
+        let verdicts = pairs
+            .iter()
+            .map(|pair| {
+                let acc1 = &accesses[pair.src_stmt][pair.src_ref];
+                let acc2 = &accesses[pair.dst_stmt][pair.dst_ref];
+                if config.gcd && gcd_test(acc1, acc2) == Screening::Independent {
+                    stats.by_gcd += 1;
+                    return Verdict::IndependentByGcd;
+                }
+                if config.bbox {
+                    let b1 = &boxes[pair.src_stmt][pair.src_ref];
+                    let b2 = &boxes[pair.dst_stmt][pair.dst_ref];
+                    if !boxes_intersect(b1, b2) {
+                        stats.by_bbox += 1;
+                        return Verdict::IndependentByBox;
+                    }
+                }
+                let system = dependence_system(acc1, acc2);
+                let solvable = match classes.get(&system) {
+                    Some(&v) if config.dedup => {
+                        stats.shared_verdicts += 1;
+                        v
+                    }
+                    _ => {
+                        let v = solve_linear_system_cached(&system.0, &system.1).is_some();
+                        classes.insert(system, v);
+                        v
+                    }
+                };
+                if solvable {
+                    Verdict::MayDepend
+                } else {
+                    stats.by_solver += 1;
+                    Verdict::IndependentBySolver
+                }
+            })
+            .collect();
+        stats.n_classes = classes.len();
+        PairScreen { verdicts, stats }
+    }
+
+    /// The verdict of pair `k` (indexing the pair list the screen ran on).
+    pub fn verdict(&self, k: usize) -> Verdict {
+        self.verdicts[k]
+    }
+
+    /// The per-stage statistics of the pass.
+    pub fn stats(&self) -> ScreenStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcp_loopir::expr::{c, v};
+
+    #[test]
+    fn interval_arithmetic() {
+        let a = Interval {
+            lo: Some(1),
+            hi: Some(5),
+        };
+        let b = Interval {
+            lo: Some(-2),
+            hi: Some(3),
+        };
+        assert_eq!(
+            a.add(&b),
+            Interval {
+                lo: Some(-1),
+                hi: Some(8)
+            }
+        );
+        assert_eq!(
+            a.scale(-2),
+            Interval {
+                lo: Some(-10),
+                hi: Some(-2)
+            }
+        );
+        assert!(a.intersects(&b));
+        let far = Interval {
+            lo: Some(6),
+            hi: Some(9),
+        };
+        assert!(!a.intersects(&far));
+        // Half-open intervals intersect unless the known ends separate.
+        let right = Interval {
+            lo: Some(6),
+            hi: None,
+        };
+        assert!(!a.intersects(&right));
+        assert!(b.intersects(&right) || b.hi.unwrap() < 6);
+        assert!(Interval::unbounded().intersects(&a));
+        // Saturation keeps huge coefficients sound.
+        let big = Interval {
+            lo: Some(i64::MAX - 1),
+            hi: Some(i64::MAX),
+        };
+        assert!(big.scale(3).hi.is_some());
+    }
+
+    #[test]
+    fn expr_intervals_respect_unknowns() {
+        let mut vars = HashMap::new();
+        vars.insert("I".to_string(), Interval::point(3));
+        vars.insert(
+            "J".to_string(),
+            Interval {
+                lo: Some(1),
+                hi: Some(4),
+            },
+        );
+        // 2I - J + 1 over I=3, J in [1,4]: [3, 6].
+        let e = v("I") * 2 - v("J") + c(1);
+        assert_eq!(
+            expr_interval(&e, &vars),
+            Interval {
+                lo: Some(3),
+                hi: Some(6)
+            }
+        );
+        // A symbolic parameter makes the result unbounded.
+        let e = v("I") + v("N");
+        assert_eq!(expr_interval(&e, &vars), Interval::unbounded());
+    }
+
+    #[test]
+    fn boxes_disjoint_in_one_dimension_do_not_intersect() {
+        let a = vec![Interval::point(0), Interval::unbounded()];
+        let b = vec![
+            Interval {
+                lo: Some(-4),
+                hi: Some(-1),
+            },
+            Interval::unbounded(),
+        ];
+        assert!(!boxes_intersect(&a, &b));
+        let c = vec![Interval::point(0), Interval::point(7)];
+        assert!(boxes_intersect(&a, &c));
+        // Mismatched ranks answer conservatively.
+        assert!(boxes_intersect(&a[..1], &c));
+    }
+}

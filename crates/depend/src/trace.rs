@@ -51,6 +51,39 @@ impl TracedGraph {
 /// faster inline than the worker threads take to spawn.
 pub const PAR_TRACE_MIN_INSTANCES: usize = 16 * 1024;
 
+/// Estimated cost of tracing one statement instance (hash probes plus an
+/// edge push), used by the sequential-fallback cost model.
+const TRACE_INSTANCE_COST_NS: f64 = 250.0;
+
+/// One-time cost of spawning one worker thread.
+const TRACE_SPAWN_COST_NS: f64 = 60_000.0;
+
+/// Fraction of the sequential walk the left-to-right merge re-pays
+/// serially (the merge rebuilds per-element state and re-appends every
+/// shard's edges on the calling thread).  Calibrated pessimistically from
+/// the measured `ex4-trace` runs: at 2 shards the merge share is large
+/// enough that sharding never pays, which matches the recorded regression
+/// (5.9 ms sequential vs 6.9 ms at 2 threads).
+const TRACE_MERGE_FRACTION: f64 = 0.55;
+
+/// Whether sharding a trace of `n_instances` over `threads` workers is
+/// modelled to beat the inline sequential walk, given `available`
+/// hardware threads.  This is the tracer's counterpart of the executor's
+/// `CostModel::parallel_pays_off`: the requested width is capped at the
+/// hardware first (threads beyond the cores only add oversubscription —
+/// exactly the measured `ex4-trace` regression), the pool pays one spawn
+/// per worker, and the serial merge bounds the achievable speedup.
+pub fn parallel_trace_pays_off(n_instances: usize, threads: usize, available: usize) -> bool {
+    let t = threads.min(available.max(1));
+    if t <= 1 || n_instances < PAR_TRACE_MIN_INSTANCES {
+        return false;
+    }
+    let sequential = n_instances as f64 * TRACE_INSTANCE_COST_NS;
+    let parallel =
+        sequential * (1.0 / t as f64 + TRACE_MERGE_FRACTION) + t as f64 * TRACE_SPAWN_COST_NS;
+    parallel < sequential
+}
+
 /// Traces the memory-based dependence graph of a program at concrete
 /// parameter values, sharding the instance walk over all available
 /// hardware threads when the instance count is large enough to amortise
@@ -62,12 +95,19 @@ pub const PAR_TRACE_MIN_INSTANCES: usize = 16 * 1024;
 /// descending loop) are handled transparently.
 pub fn trace_dependence_graph(program: &Program, params: &[i64]) -> TracedGraph {
     trace_with(program, params, |n_instances| {
-        if n_instances >= PAR_TRACE_MIN_INSTANCES {
-            rcp_pool::available_threads()
-        } else {
-            1
-        }
+        gated_threads(n_instances, rcp_pool::available_threads())
     })
+}
+
+/// Applies the sequential-fallback cost model: the effective shard count
+/// for a trace of `n_instances` when `requested` threads were asked for.
+fn gated_threads(n_instances: usize, requested: usize) -> usize {
+    let available = rcp_pool::available_threads();
+    if parallel_trace_pays_off(n_instances, requested, available) {
+        requested.min(available)
+    } else {
+        1
+    }
 }
 
 /// Per-statement access maps, writes and reads separated.
@@ -179,7 +219,7 @@ fn trace_shard(
 }
 
 /// Traces the memory-based dependence graph with the statement-instance
-/// walk sharded over `n_threads` OS threads.
+/// walk sharded over up to `n_threads` OS threads.
 ///
 /// Each shard traces a contiguous instance range independently; the shards
 /// are then merged left to right, carrying the per-element "last writer /
@@ -187,7 +227,29 @@ fn trace_shard(
 /// anti and output edges are recovered exactly.  The resulting graph is
 /// identical to the single-threaded trace for every thread count (edges
 /// are sorted and deduplicated either way).
+///
+/// `n_threads` is an upper bound, not a demand: the same sequential
+/// fallback the executor applies ([`parallel_trace_pays_off`]) caps the
+/// width at the hardware and runs small traces inline, so forcing a
+/// thread count on a small trace never pays pool overhead.  Measurement
+/// and merge-equivalence harnesses that need the sharded path
+/// unconditionally use [`trace_dependence_graph_forced`].
 pub fn trace_dependence_graph_with_threads(
+    program: &Program,
+    params: &[i64],
+    n_threads: usize,
+) -> TracedGraph {
+    trace_with(program, params, |n_instances| {
+        gated_threads(n_instances, n_threads)
+    })
+}
+
+/// [`trace_dependence_graph_with_threads`] without the cost-model gate:
+/// shards over exactly `n_threads`, however small the trace.  This exists
+/// for the test-suite (exercising the cross-shard merge on small
+/// programs) and for calibration harnesses; production callers want the
+/// gated entry points.
+pub fn trace_dependence_graph_forced(
     program: &Program,
     params: &[i64],
     n_threads: usize,
@@ -401,9 +463,9 @@ mod tests {
                 vec![30],
             ),
         ] {
-            let reference = trace_dependence_graph_with_threads(&program, &params, 1);
+            let reference = trace_dependence_graph_forced(&program, &params, 1);
             for threads in [2, 3, 4, 7] {
-                let sharded = trace_dependence_graph_with_threads(&program, &params, threads);
+                let sharded = trace_dependence_graph_forced(&program, &params, threads);
                 assert_eq!(reference.instances, sharded.instances);
                 assert_eq!(
                     reference.edges, sharded.edges,
@@ -412,6 +474,28 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn small_traces_never_pay_pool_overhead() {
+        // The cost-model gate: small traces run inline whatever width was
+        // requested; oversubscription (threads beyond the hardware) never
+        // pays; large traces only shard when the modelled win is real.
+        assert!(!parallel_trace_pays_off(100, 8, 8));
+        assert!(!parallel_trace_pays_off(PAR_TRACE_MIN_INSTANCES - 1, 4, 4));
+        // One hardware thread: sharding can never pay (the measured
+        // ex4-trace regression of the single-CPU container).
+        assert!(!parallel_trace_pays_off(10_000_000, 4, 1));
+        // Two workers cannot amortise the serial merge share.
+        assert!(!parallel_trace_pays_off(10_000_000, 2, 8));
+        // A big trace on real hardware at 4+ workers does pay.
+        assert!(parallel_trace_pays_off(10_000_000, 4, 8));
+        // The gated entry point produces the identical graph either way.
+        let p = figure2();
+        let gated = trace_dependence_graph_with_threads(&p, &[], 4);
+        let forced = trace_dependence_graph_forced(&p, &[], 4);
+        assert_eq!(gated.instances, forced.instances);
+        assert_eq!(gated.edges, forced.edges);
     }
 
     #[test]

@@ -6,9 +6,14 @@
 //! construct per line, `...` for an empty statement side, `max(…)`/`min(…)`
 //! only when a loop has several lower/upper bounds.
 //!
-//! For every program whose statements list their write references before
-//! their read references (all paper workloads and every program the parser
-//! itself produces), `parse(pretty(p)) == p`; for canonical sources,
+//! The round-trip guarantee is **total**: for *every* program,
+//! `parse(pretty(p)) == p.canonicalized()` — the printer renders each
+//! statement in canonical reference order (writes first, relative order
+//! preserved; see [`rcp_loopir::Statement::canonicalized`], a pure
+//! normalisation since reference order inside a statement carries no
+//! semantics), and the parser produces canonical programs by
+//! construction.  For programs already in canonical order this is the
+//! familiar `parse(pretty(p)) == p`, and for canonical sources
 //! `pretty(parse(s)) == s`.
 
 use rcp_loopir::expr::LinExpr;
@@ -150,6 +155,37 @@ mod tests {
         assert!(text.contains("S2: a(I + 1) = ..."));
         assert!(text.contains("S3: ... = ..."));
         assert_eq!(parse_program(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn reads_first_statements_round_trip_to_their_canonical_form() {
+        // The figure-2 statement with the read listed *before* the write:
+        // printing is total, and the round trip lands on the canonical
+        // (writes-first) program.
+        let p = Program::new(
+            "reads-first",
+            &[],
+            vec![loop_(
+                "I",
+                c(1),
+                c(20),
+                vec![stmt(
+                    "S",
+                    vec![
+                        ArrayRef::read("a", vec![c(21) - v("I")]),
+                        ArrayRef::write("a", vec![v("I") * 2]),
+                    ],
+                )],
+            )],
+        );
+        let text = pretty(&p);
+        assert!(text.contains("S: a(2*I) = a(-I + 21)"));
+        let reparsed = parse_program(&text).unwrap();
+        assert_ne!(reparsed, p, "the ref order was normalised");
+        assert_eq!(reparsed, p.canonicalized());
+        // Canonicalisation is idempotent and pretty-stable.
+        assert_eq!(p.canonicalized().canonicalized(), p.canonicalized());
+        assert_eq!(pretty(&p.canonicalized()), text);
     }
 
     #[test]

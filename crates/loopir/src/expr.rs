@@ -9,6 +9,33 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
 
+/// A variable that could not be resolved or evaluated: it is neither an
+/// in-scope loop index nor a declared parameter (resolution), or it has no
+/// binding (evaluation).
+///
+/// This is what user input (a hand-built [`crate::Program`], an
+/// out-of-contract call) produces instead of a panic; the session layer
+/// wraps it into its typed error so `rcp analyze` prints a diagnostic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnknownVariable {
+    /// The offending variable name.
+    pub name: String,
+    /// The expression it occurred in, rendered.
+    pub expr: String,
+}
+
+impl fmt::Display for UnknownVariable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown variable `{}` in expression `{}`",
+            self.name, self.expr
+        )
+    }
+}
+
+impl std::error::Error for UnknownVariable {}
+
 /// A symbolic linear expression: an integer constant plus integer multiples
 /// of named variables (loop indices or symbolic parameters).
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
@@ -67,8 +94,15 @@ impl LinExpr {
     /// list of variable names (loop indices then parameters).
     ///
     /// # Panics
-    /// Panics when the expression mentions a variable not in `names`.
+    /// Panics when the expression mentions a variable not in `names`; use
+    /// [`Self::try_resolve`] on unvalidated input.
     pub fn resolve(&self, names: &[&str]) -> (Vec<i64>, i64) {
+        self.try_resolve(names).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::resolve`]: reports the first variable not in
+    /// `names` instead of panicking.
+    pub fn try_resolve(&self, names: &[&str]) -> Result<(Vec<i64>, i64), UnknownVariable> {
         let mut coeffs = vec![0i64; names.len()];
         for (name, &c) in &self.terms {
             if c == 0 {
@@ -77,10 +111,13 @@ impl LinExpr {
             let pos = names
                 .iter()
                 .position(|n| n == name)
-                .unwrap_or_else(|| panic!("unknown variable `{name}` in expression {self}"));
+                .ok_or_else(|| UnknownVariable {
+                    name: name.clone(),
+                    expr: self.to_string(),
+                })?;
             coeffs[pos] += c;
         }
-        (coeffs, self.constant)
+        Ok((coeffs, self.constant))
     }
 
     /// Substitutes a concrete value for one named variable, folding it into
@@ -96,19 +133,27 @@ impl LinExpr {
     /// Evaluates the expression under a name → value binding.
     ///
     /// # Panics
-    /// Panics when a variable with non-zero coefficient has no binding.
+    /// Panics when a variable with non-zero coefficient has no binding;
+    /// use [`Self::try_eval`] on unvalidated input.
     pub fn eval(&self, env: &BTreeMap<String, i64>) -> i64 {
+        self.try_eval(env).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::eval`]: reports the first unbound variable with a
+    /// non-zero coefficient instead of panicking.
+    pub fn try_eval(&self, env: &BTreeMap<String, i64>) -> Result<i64, UnknownVariable> {
         let mut v = self.constant;
         for (name, &c) in &self.terms {
             if c == 0 {
                 continue;
             }
-            let x = env
-                .get(name)
-                .unwrap_or_else(|| panic!("unbound variable `{name}` in expression {self}"));
+            let x = env.get(name).ok_or_else(|| UnknownVariable {
+                name: name.clone(),
+                expr: self.to_string(),
+            })?;
             v += c * x;
         }
-        v
+        Ok(v)
     }
 }
 

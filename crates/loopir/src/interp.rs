@@ -55,6 +55,20 @@ fn eval_bound(exprs: &[LinExpr], env: &BTreeMap<String, i64>, is_lower: bool) ->
     }
 }
 
+/// The instance-enumeration core, shared with
+/// [`Program::enumerate_group_instances`]: walks `nodes` with the
+/// surrounding loop environment `env` and index prefix `indices` already
+/// in place, assigning statement ids from `stmt_counter` onwards.
+pub(crate) fn walk_nodes(
+    nodes: &[Node],
+    env: &mut BTreeMap<String, i64>,
+    indices: &mut IVec,
+    stmt_counter: &mut usize,
+    out: &mut Vec<Instance>,
+) {
+    walk(nodes, env, indices, stmt_counter, out)
+}
+
 fn walk(
     nodes: &[Node],
     env: &mut BTreeMap<String, i64>,

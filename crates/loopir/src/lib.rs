@@ -51,7 +51,10 @@ pub mod interp;
 pub mod program;
 pub mod spaces;
 
-pub use expr::LinExpr;
+pub use expr::{LinExpr, UnknownVariable};
 pub use interp::Instance;
-pub use program::{build, AccessKind, ArrayRef, Loop, Node, Program, Statement, StatementInfo};
+pub use program::{
+    build, AccessKind, ArrayRef, Loop, LoopGroup, Node, Program, Statement, StatementInfo,
+    UnboundVariable,
+};
 pub use spaces::AccessMap;

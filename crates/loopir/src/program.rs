@@ -7,8 +7,26 @@
 //! multiple statements per body are allowed (§3.3 extends the iteration
 //! space to statement level for exactly this case).
 
-use crate::expr::LinExpr;
+use crate::expr::{LinExpr, UnknownVariable};
 use std::fmt;
+
+/// An undeclared variable found while validating a [`Program`]: the
+/// variable is neither an enclosing loop index nor a declared parameter.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct UnboundVariable {
+    /// The offending variable.
+    pub variable: UnknownVariable,
+    /// Where it occurred (statement / bound context, human-readable).
+    pub context: String,
+}
+
+impl fmt::Display for UnboundVariable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.variable, self.context)
+    }
+}
+
+impl std::error::Error for UnboundVariable {}
 
 /// How an array reference accesses memory.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -98,6 +116,23 @@ impl Statement {
     pub fn reads(&self) -> impl Iterator<Item = &ArrayRef> {
         self.refs.iter().filter(|r| !r.is_write())
     }
+
+    /// The statement in canonical reference order: writes first, then
+    /// reads, the original relative order preserved within each side.
+    ///
+    /// Reference order inside a statement carries no semantics — every
+    /// read observes the pre-statement store (the trace walker and the
+    /// runtime kernels apply all reads before all writes) — so this is a
+    /// pure normalisation, used by the `.loop` pretty-printer's total
+    /// round-trip guarantee.
+    pub fn canonicalized(&self) -> Statement {
+        let mut refs: Vec<ArrayRef> = self.writes().cloned().collect();
+        refs.extend(self.reads().cloned());
+        Statement {
+            name: self.name.clone(),
+            refs,
+        }
+    }
 }
 
 /// A `DO` loop with unit stride: `DO index = max(lower), min(upper)`.
@@ -131,6 +166,32 @@ pub struct Program {
     pub params: Vec<String>,
     /// Top-level nodes in program order.
     pub body: Vec<Node>,
+}
+
+/// One top-level loop nest of a (possibly imperfect) program, reduced to
+/// its **maximal perfect prefix**: the chain of singleton loops from the
+/// group's root downwards, which every statement of the group sits under.
+/// Produced by [`Program::loop_groups`]; this is the structural basis of
+/// the loop-level granularity view of imperfect nests (one aggregation
+/// point per iteration of the prefix, executing the whole body below it
+/// in program order).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LoopGroup {
+    /// Index of the group's root among the program's top-level nodes.
+    pub group: usize,
+    /// The prefix chain's loop index names, outermost first (length ≥ 1).
+    pub indices: Vec<String>,
+    /// Bounds of the prefix chain's loops, outermost first.
+    pub bounds: Vec<(Vec<LinExpr>, Vec<LinExpr>)>,
+    /// Statement ids (program order) living inside this group.
+    pub statements: Vec<usize>,
+}
+
+impl LoopGroup {
+    /// Depth of the perfect prefix.
+    pub fn depth(&self) -> usize {
+        self.indices.len()
+    }
 }
 
 /// A statement together with its nesting context, produced by
@@ -238,6 +299,87 @@ impl Program {
         }
     }
 
+    /// Decomposes the program into its top-level loop groups, each with
+    /// its maximal perfect loop prefix — the structure behind loop-level
+    /// granularity for imperfect nests.  Returns `None` when a top-level
+    /// node is a bare statement (no loop to aggregate under) or when the
+    /// program has no loops at all.
+    pub fn loop_groups(&self) -> Option<Vec<LoopGroup>> {
+        fn count_stmts(nodes: &[Node]) -> usize {
+            nodes
+                .iter()
+                .map(|n| match n {
+                    Node::Stmt(_) => 1,
+                    Node::Loop(l) => count_stmts(&l.body),
+                })
+                .sum()
+        }
+        if self.body.is_empty() {
+            return None;
+        }
+        let mut groups = Vec::new();
+        let mut stmt_cursor = 0usize;
+        for (gidx, node) in self.body.iter().enumerate() {
+            let Node::Loop(root) = node else {
+                return None;
+            };
+            let mut indices = vec![root.index.clone()];
+            let mut bounds = vec![(root.lower.clone(), root.upper.clone())];
+            let mut body = &root.body;
+            while let [Node::Loop(l)] = body.as_slice() {
+                indices.push(l.index.clone());
+                bounds.push((l.lower.clone(), l.upper.clone()));
+                body = &l.body;
+            }
+            let n = count_stmts(&root.body);
+            groups.push(LoopGroup {
+                group: gidx,
+                indices,
+                bounds,
+                statements: (stmt_cursor..stmt_cursor + n).collect(),
+            });
+            stmt_cursor += n;
+        }
+        Some(groups)
+    }
+
+    /// Enumerates, in program order, the statement instances executed by
+    /// one iteration of a loop group's perfect prefix (the body of one
+    /// loop-level aggregation point).  `prefix` gives the prefix loop
+    /// values, outermost first; instance index vectors include them.
+    pub fn enumerate_group_instances(
+        &self,
+        group: &LoopGroup,
+        prefix: &[i64],
+        params: &[i64],
+    ) -> Vec<crate::interp::Instance> {
+        assert_eq!(prefix.len(), group.depth(), "prefix arity mismatch");
+        assert_eq!(params.len(), self.params.len(), "parameter count mismatch");
+        let Node::Loop(root) = &self.body[group.group] else {
+            panic!("loop group root is not a loop");
+        };
+        let mut env: std::collections::BTreeMap<String, i64> = Default::default();
+        for (name, &value) in self.params.iter().zip(params) {
+            env.insert(name.clone(), value);
+        }
+        for (name, &value) in group.indices.iter().zip(prefix) {
+            env.insert(name.clone(), value);
+        }
+        // Descend the prefix chain to the aggregated body.
+        let mut body = &root.body;
+        for _ in 1..group.depth() {
+            let [Node::Loop(l)] = body.as_slice() else {
+                panic!("loop group prefix does not match the program");
+            };
+            body = &l.body;
+        }
+        let mut out = Vec::new();
+        let mut indices = prefix.to_vec();
+        let mut stmt_counter = group.statements.first().copied().unwrap_or(0);
+        crate::interp::walk_nodes(body, &mut env, &mut indices, &mut stmt_counter, &mut out);
+        out
+    }
+
     /// Substitutes concrete values for all symbolic parameters, producing an
     /// equivalent parameter-free program (all loop bounds and subscripts
     /// become affine in the loop indices alone).
@@ -284,6 +426,98 @@ impl Program {
             params: Vec::new(),
             body: bind_nodes(&self.body, &bind_expr),
         }
+    }
+
+    /// The program with every statement in canonical reference order
+    /// (writes first — see [`Statement::canonicalized`]).  Idempotent;
+    /// the identity on programs the `.loop` parser produces.
+    pub fn canonicalized(&self) -> Program {
+        fn canon_nodes(nodes: &[Node]) -> Vec<Node> {
+            nodes
+                .iter()
+                .map(|node| match node {
+                    Node::Stmt(s) => Node::Stmt(s.canonicalized()),
+                    Node::Loop(l) => Node::Loop(Loop {
+                        index: l.index.clone(),
+                        lower: l.lower.clone(),
+                        upper: l.upper.clone(),
+                        body: canon_nodes(&l.body),
+                    }),
+                })
+                .collect()
+        }
+        Program {
+            name: self.name.clone(),
+            params: self.params.clone(),
+            body: canon_nodes(&self.body),
+        }
+    }
+
+    /// Validates that every variable mentioned by a loop bound or array
+    /// subscript is an enclosing loop index or a declared parameter — the
+    /// precondition of every `resolve`/`eval` the analysis pipeline runs.
+    ///
+    /// The `.loop` parser enforces this at parse time with source
+    /// positions; this check covers hand-built programs, so the session
+    /// layer can report a typed error instead of panicking deep inside
+    /// the space construction.
+    pub fn check_variables(&self) -> Result<(), UnboundVariable> {
+        fn check_expr(
+            e: &LinExpr,
+            scope: &[&str],
+            context: impl Fn() -> String,
+        ) -> Result<(), UnboundVariable> {
+            e.try_resolve(scope)
+                .map(|_| ())
+                .map_err(|variable| UnboundVariable {
+                    variable,
+                    context: context(),
+                })
+        }
+        fn check_nodes<'p>(
+            nodes: &'p [Node],
+            scope: &mut Vec<&'p str>,
+            params: &[&str],
+        ) -> Result<(), UnboundVariable> {
+            for node in nodes {
+                match node {
+                    Node::Loop(l) => {
+                        // Bounds resolve against the *outer* scope.
+                        let mut visible: Vec<&str> = scope.clone();
+                        visible.extend(params.iter().copied());
+                        for (side, exprs) in [("lower", &l.lower), ("upper", &l.upper)] {
+                            for e in exprs {
+                                check_expr(e, &visible, || {
+                                    format!("{side} bound of loop `{}`", l.index)
+                                })?;
+                            }
+                        }
+                        scope.push(&l.index);
+                        check_nodes(&l.body, scope, params)?;
+                        scope.pop();
+                    }
+                    Node::Stmt(s) => {
+                        let mut visible: Vec<&str> = scope.clone();
+                        visible.extend(params.iter().copied());
+                        for r in &s.refs {
+                            for (d, sub) in r.subscripts.iter().enumerate() {
+                                check_expr(sub, &visible, || {
+                                    format!(
+                                        "subscript {} of `{}` in statement `{}`",
+                                        d + 1,
+                                        r.array,
+                                        s.name
+                                    )
+                                })?;
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+        let params: Vec<&str> = self.params.iter().map(|s| s.as_str()).collect();
+        check_nodes(&self.body, &mut Vec::new(), &params)
     }
 
     /// Renders the program as pseudo-Fortran source (for documentation and

@@ -191,6 +191,19 @@ impl Program {
         None
     }
 
+    /// The statement-local iteration set: the membership constraints of
+    /// one statement's instances over its *own* surrounding loop indices
+    /// (outermost first) plus the program parameters.  This is the
+    /// building block of the aggregated loop-level view of imperfect
+    /// nests, where the inner dimensions are later projected out.
+    pub fn statement_local_set(&self, info: &StatementInfo) -> ConvexSet {
+        let names: Vec<&str> = info.loop_indices.iter().map(|s| s.as_str()).collect();
+        let params: Vec<&str> = self.params.iter().map(|s| s.as_str()).collect();
+        let space = Space::with_names(&names, &params);
+        let constraints = bound_constraints(&space, &names, &self.params, &info.bounds, |k| k);
+        ConvexSet::from_constraints(space, constraints)
+    }
+
     /// The loop-level access map of a reference (perfect nests only): a
     /// matrix with one row per loop of the nest.
     pub fn loop_access(&self, info: &StatementInfo, r: &ArrayRef) -> AccessMap {

@@ -9,6 +9,37 @@ use rcp_loopir::Program;
 
 use crate::error::RcpError;
 
+/// The granularity a session analyses programs at (the CLI's
+/// `--granularity loop|stmt|auto`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum GranularityChoice {
+    /// Perfect nests at loop level, everything else at statement level —
+    /// the historical behaviour.
+    #[default]
+    Auto,
+    /// Force loop level.  Perfect nests use the classic §2 space;
+    /// imperfect nests use the aggregated loop-group view (one point per
+    /// iteration of each top-level nest's maximal perfect prefix).
+    /// Programs with no loop-level view at all (a bare top-level
+    /// statement) are rejected with a typed error.
+    Loop,
+    /// Force the statement-level unified index space (the CLI's
+    /// `--stmt`).
+    Statement,
+}
+
+impl GranularityChoice {
+    /// Parses the CLI spelling (`loop`, `stmt`/`statement`, `auto`).
+    pub fn parse(text: &str) -> Option<GranularityChoice> {
+        match text {
+            "loop" => Some(GranularityChoice::Loop),
+            "stmt" | "statement" => Some(GranularityChoice::Statement),
+            "auto" => Some(GranularityChoice::Auto),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration shared by every stage of a [`crate::Session`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct Config {
@@ -17,9 +48,10 @@ pub struct Config {
     pub params: Vec<(String, i64)>,
     /// Worker threads for parallel execution and verification.
     pub threads: usize,
-    /// Force the statement-level unified index space even for perfect
-    /// nests (the CLI's `--stmt`).
-    pub force_statement_level: bool,
+    /// The granularity programs are analysed at (`--granularity`, with
+    /// `--stmt` as the historical spelling of
+    /// [`GranularityChoice::Statement`]).
+    pub granularity: GranularityChoice,
     /// The partitioning scheme to schedule with; `None` selects the
     /// recurrence-chains scheme (Algorithm 1 with its dataflow fallback).
     /// Names resolve through the [`crate::registry`].
@@ -50,7 +82,7 @@ impl Default for Config {
         Config {
             params: Vec::new(),
             threads: 4,
-            force_statement_level: false,
+            granularity: GranularityChoice::Auto,
             scheme: None,
             reuse_partitions: true,
             warm_caches: true,
@@ -83,9 +115,20 @@ impl Config {
         self
     }
 
-    /// Forces statement-level granularity (the CLI's `--stmt`).
+    /// Forces statement-level granularity (the CLI's `--stmt`); `false`
+    /// restores the automatic choice.
     pub fn with_statement_level(mut self, force: bool) -> Self {
-        self.force_statement_level = force;
+        self.granularity = if force {
+            GranularityChoice::Statement
+        } else {
+            GranularityChoice::Auto
+        };
+        self
+    }
+
+    /// Selects the analysis granularity.
+    pub fn with_granularity(mut self, granularity: GranularityChoice) -> Self {
+        self.granularity = granularity;
         self
     }
 

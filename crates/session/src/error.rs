@@ -38,6 +38,26 @@ pub enum RcpError {
         /// The unbound parameter name.
         name: String,
     },
+    /// A loop bound or array subscript mentions a variable that is neither
+    /// an enclosing loop index nor a declared parameter.  The `.loop`
+    /// parser rejects this with a source position; this variant covers
+    /// hand-built [`rcp_loopir::Program`]s reaching the session, which
+    /// used to panic deep inside the space construction instead.
+    UnboundVariable {
+        /// The program being analysed.
+        program: String,
+        /// The offending variable with its context.
+        detail: rcp_loopir::UnboundVariable,
+    },
+    /// The requested granularity does not exist for this program (e.g.
+    /// `--granularity loop` on a program with a bare top-level statement,
+    /// which no loop-level view — perfect or aggregated — can cover).
+    GranularityUnavailable {
+        /// The program being analysed.
+        program: String,
+        /// Why the granularity is unavailable.
+        reason: String,
+    },
     /// Algorithm 1 cannot take its recurrence-chain branch; the reason
     /// says exactly which precondition failed (statement-level analysis,
     /// several coupled pairs, non-square or rank-deficient access).
@@ -120,6 +140,15 @@ impl fmt::Display for RcpError {
             RcpError::MissingParameter { program, name } => {
                 write!(f, "missing --param {name}=<value> (program `{program}`)")
             }
+            RcpError::UnboundVariable { program, detail } => {
+                write!(f, "program `{program}`: {detail}")
+            }
+            RcpError::GranularityUnavailable { program, reason } => {
+                write!(
+                    f,
+                    "program `{program}`: requested granularity unavailable: {reason}"
+                )
+            }
             RcpError::PlanUnavailable { reason } => {
                 write!(f, "recurrence-chain plan unavailable: {reason}")
             }
@@ -144,6 +173,7 @@ impl std::error::Error for RcpError {
         match self {
             RcpError::Parse { error, .. } => Some(error),
             RcpError::PlanUnavailable { reason } => Some(reason),
+            RcpError::UnboundVariable { detail, .. } => Some(detail),
             _ => None,
         }
     }

@@ -57,7 +57,7 @@ mod error;
 mod partitioner;
 mod pipeline;
 
-pub use config::Config;
+pub use config::{Config, GranularityChoice};
 pub use error::RcpError;
 pub use partitioner::{
     partitioner, registry, scheme_names, Partitioner, SchemeSchedule, DEFAULT_SCHEME,

@@ -64,6 +64,14 @@ fn require_loop_level(stage: &Partitioned, scheme: &'static str) -> Result<(), R
                 .to_string(),
         });
     }
+    if stage.analysis().is_aggregated() {
+        return Err(RcpError::SchemeUnsupported {
+            scheme,
+            reason: "the scheme's lattice construction is defined on perfect nests, not on \
+                     the aggregated loop-group view of an imperfect nest"
+                .to_string(),
+        });
+    }
     Ok(())
 }
 
@@ -83,8 +91,15 @@ impl Partitioner for RecurrenceChains {
         "Algorithm 1: three-set partition + WHILE recurrence chains, dataflow fallback"
     }
     fn build(&self, stage: &Partitioned) -> Result<SchemeSchedule, RcpError> {
-        let schedule =
-            Schedule::from_partition(stage.analysis(), stage.partition(), &label(stage, "rcp"));
+        // `runtime_values` match `analysis().program` (the bound program
+        // for deferred analyses, the original otherwise); aggregated
+        // loop-level points need them to expand their inner loops.
+        let schedule = Schedule::from_partition_bound(
+            stage.analysis(),
+            stage.partition(),
+            stage.runtime_values(),
+            &label(stage, "rcp"),
+        );
         Ok(SchemeSchedule {
             schedule,
             pipeline: None,

@@ -73,11 +73,14 @@ impl Session {
     /// diagnostics so they read like compiler output.
     pub fn parse(&self, source: &str, origin: &str) -> Result<Analyzed, RcpError> {
         let program = rcp_lang::parse_program(source).map_err(|e| RcpError::parse(origin, e))?;
-        Ok(self.analyze_program(program, origin))
+        self.analyze_program(program, origin)
     }
 
     /// Analyses an in-memory program, producing the [`Analyzed`] stage.
-    pub fn load(&self, program: Program) -> Analyzed {
+    /// Unlike parsed source (whose scope the parser already validated),
+    /// hand-built programs can reference undeclared variables; those are
+    /// reported as [`RcpError::UnboundVariable`] instead of panicking.
+    pub fn load(&self, program: Program) -> Result<Analyzed, RcpError> {
         self.analyze_program(program, "<memory>")
     }
 
@@ -91,11 +94,34 @@ impl Session {
         self.parse(bundled.source, &format!("{name}.loop"))
     }
 
-    fn analyze_program(&self, program: Program, origin: &str) -> Analyzed {
-        let granularity = if self.config.force_statement_level || !program.is_perfect_nest() {
-            Granularity::StatementLevel
-        } else {
-            Granularity::LoopLevel
+    fn analyze_program(&self, program: Program, origin: &str) -> Result<Analyzed, RcpError> {
+        program
+            .check_variables()
+            .map_err(|detail| RcpError::UnboundVariable {
+                program: program.name.clone(),
+                detail,
+            })?;
+        let granularity = match self.config.granularity {
+            crate::GranularityChoice::Statement => Granularity::StatementLevel,
+            crate::GranularityChoice::Auto => {
+                if program.is_perfect_nest() {
+                    Granularity::LoopLevel
+                } else {
+                    Granularity::StatementLevel
+                }
+            }
+            crate::GranularityChoice::Loop => {
+                if program.is_perfect_nest() || program.loop_groups().is_some() {
+                    Granularity::LoopLevel
+                } else {
+                    return Err(RcpError::GranularityUnavailable {
+                        program: program.name.clone(),
+                        reason: "no loop-level view exists: a top-level statement sits outside \
+                                 every loop (use --granularity stmt)"
+                            .to_string(),
+                    });
+                }
+            }
         };
         let deferred = subscripts_mention_params(&program);
         let symbolic = if deferred {
@@ -103,7 +129,7 @@ impl Session {
         } else {
             Some(Arc::new(self.run_analysis(&program, granularity)))
         };
-        Analyzed {
+        Ok(Analyzed {
             inner: Arc::new(AnalyzedInner {
                 config: self.config.clone(),
                 origin: origin.to_string(),
@@ -112,7 +138,7 @@ impl Session {
                 symbolic,
                 stages: Mutex::new(HashMap::new()),
             }),
-        }
+        })
     }
 
     fn run_analysis(&self, program: &Program, granularity: Granularity) -> DependenceAnalysis {
@@ -656,6 +682,40 @@ mod tests {
             weak.upgrade().is_none(),
             "the memo must not keep AnalyzedInner alive after the last user handle drops"
         );
+    }
+
+    #[test]
+    fn hand_built_programs_with_unbound_variables_get_a_typed_error() {
+        // Regression: this used to panic inside the space construction
+        // (`unknown variable `Q` in expression ...`).
+        use rcp_loopir::expr::{c, v};
+        use rcp_loopir::program::build::{loop_, stmt};
+        let bad = rcp_loopir::Program::new(
+            "bad",
+            &["N"],
+            vec![loop_(
+                "I",
+                c(1),
+                v("N"),
+                vec![stmt(
+                    "S",
+                    vec![
+                        rcp_loopir::ArrayRef::write("a", vec![v("Q") + c(1)]),
+                        rcp_loopir::ArrayRef::read("a", vec![v("I")]),
+                    ],
+                )],
+            )],
+        );
+        let err = Session::new().load(bad).unwrap_err();
+        match &err {
+            RcpError::UnboundVariable { program, detail } => {
+                assert_eq!(program, "bad");
+                assert_eq!(detail.variable.name, "Q");
+                assert!(detail.context.contains("statement `S`"), "{detail}");
+            }
+            other => panic!("expected UnboundVariable, got {other:?}"),
+        }
+        assert!(err.to_string().contains("unknown variable `Q`"), "{err}");
     }
 
     #[test]

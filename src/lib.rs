@@ -86,14 +86,16 @@ pub mod prelude {
         concrete_partition, symbolic_plan, ConcretePartition, PlanUnavailable, Recurrence,
         Strategy, ThreeSetPartition,
     };
-    pub use rcp_depend::{DependenceAnalysis, Granularity, Uniformity};
+    pub use rcp_depend::{
+        AnalysisOptions, DependenceAnalysis, Granularity, ScreenConfig, Uniformity,
+    };
     pub use rcp_loopir::{ArrayRef, Program};
     pub use rcp_runtime::{
         execute_schedule, execute_sequential, verify_schedule, ArrayStore, CostModel,
         ParallelExecutor, RefKernel,
     };
     pub use rcp_session::{
-        registry, scheme_names, Analyzed, Config, Partitioned, Partitioner, Planned, RcpError,
-        Scheduled, Session,
+        registry, scheme_names, Analyzed, Config, GranularityChoice, Partitioned, Partitioner,
+        Planned, RcpError, Scheduled, Session,
     };
 }

@@ -8,7 +8,7 @@
 //!   paper's examples 1–4 and the Cholesky kernel.
 
 use recurrence_chains::depend::{
-    dependence_system, trace_dependence_graph_with_threads, DependenceAnalysis, Granularity,
+    dependence_system, trace_dependence_graph_forced, DependenceAnalysis, Granularity,
 };
 use recurrence_chains::intlin::{
     hermite_normal_form, hermite_normal_form_cached, solve_linear_system,
@@ -98,10 +98,12 @@ fn sharded_cholesky_trace_matches_single_threaded() {
         nrhs: 2,
     };
     let program = example4_cholesky().bind_params(&params.as_vec());
-    let reference = trace_dependence_graph_with_threads(&program, &[], 1);
+    // The forced variant bypasses the sequential-fallback cost gate: the
+    // point here is exercising the cross-shard merge, not saving time.
+    let reference = trace_dependence_graph_forced(&program, &[], 1);
     assert!(reference.n_edges() > 0, "Cholesky must have dependences");
     for threads in [2, 3, 4, 6] {
-        let sharded = trace_dependence_graph_with_threads(&program, &[], threads);
+        let sharded = trace_dependence_graph_forced(&program, &[], threads);
         assert_eq!(reference.instances, sharded.instances);
         assert_eq!(
             reference.edges, sharded.edges,

@@ -1,0 +1,44 @@
+//! Golden pair-space counts of the full statement-level Cholesky
+//! analysis at paper scale (NMAT = 250, M = 4, N = 40, NRHS = 3).
+//!
+//! The pair space and its screening outcome are fully deterministic —
+//! 98 same-array pairs, a third of them box-disjoint, 40 chain classes —
+//! so any drift (a screen silently weakening, a pair enumeration change,
+//! a relation piece appearing or vanishing) fails this diff.  CI runs the
+//! `scaling` experiment for the wall-clock side; this test pins the
+//! counts.
+
+use recurrence_chains::depend::{AnalysisOptions, DependenceAnalysis, Granularity};
+use recurrence_chains::workloads::{example4_cholesky, CholeskyParams};
+
+#[test]
+fn cholesky_pair_space_counts_match_the_golden_file() {
+    let params = CholeskyParams::paper(); // NMAT=250, M=4, N=40, NRHS=3
+    let bound = example4_cholesky().bind_params(&params.as_vec());
+    let analysis = DependenceAnalysis::with_options(
+        &bound,
+        &AnalysisOptions::new(Granularity::StatementLevel),
+    );
+    let s = analysis.screen;
+    let actual = format!(
+        "{{\n  \"nmat\": {},\n  \"n_pairs\": {},\n  \"by_gcd\": {},\n  \"by_bbox\": {},\n  \
+         \"by_solver\": {},\n  \"shared_verdicts\": {},\n  \"n_classes\": {},\n  \
+         \"n_shape_buckets\": {},\n  \"survivors\": {},\n  \"relation_pieces\": {}\n}}\n",
+        params.nmat,
+        s.n_pairs,
+        s.by_gcd,
+        s.by_bbox,
+        s.by_solver,
+        s.shared_verdicts,
+        s.n_classes,
+        s.n_shape_buckets,
+        s.survivors(),
+        analysis.relation.as_set().n_pieces(),
+    );
+    let golden = include_str!("golden/cholesky_pairspace.json");
+    assert_eq!(
+        actual, golden,
+        "pair-space counts drifted from tests/golden/cholesky_pairspace.json — \
+         if the change is intentional, update the golden with the printed left value"
+    );
+}

@@ -59,7 +59,9 @@ fn pairs(rd: &DenseRelation) -> Vec<(Vec<i64>, Vec<i64>)> {
 /// stores element for element.
 fn assert_equivalent(name: &str, program: &Program, values: &[(&str, i64)]) {
     let session = Session::with_config(Config::new().with_params(values));
-    let analyzed = session.load(program.clone());
+    let analyzed = session
+        .load(program.clone())
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
     let stage = analyzed
         .partition()
         .unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -183,13 +185,14 @@ fn repartitioning_reuses_the_analysis_and_matches_fresh_sessions() {
     // One Analyzed, many bindings: each re-partition must equal a fresh
     // single-binding session (which itself equals legacy, by the tests
     // above).
-    let analyzed = Session::new().load(example1());
+    let analyzed = Session::new().load(example1()).unwrap();
     for (n1, n2) in [(6i64, 6i64), (10, 10), (12, 7), (9, 14)] {
         let stage = analyzed
             .partition_with(&[("N1".into(), n1), ("N2".into(), n2)])
             .unwrap();
         let fresh = Session::with_config(Config::new().with_params(&[("N1", n1), ("N2", n2)]))
             .load(example1())
+            .unwrap()
             .partition()
             .unwrap();
         assert_eq!(stage.phi(), fresh.phi(), "N1={n1} N2={n2}");
@@ -218,7 +221,8 @@ fn sharded_session_analysis_equals_the_single_threaded_legacy_analysis() {
                 .with_params(&[("N1", 10), ("N2", 10)])
                 .with_analysis_threads(threads),
         )
-        .load(example1());
+        .load(example1())
+        .unwrap();
         assert_eq!(
             format!("{:?}", analyzed.symbolic_analysis().unwrap().relation),
             reference,
