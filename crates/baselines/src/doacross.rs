@@ -78,20 +78,32 @@ pub fn doacross_plan(
 
 /// The inner-loop (PAR) parallelization: one DOALL phase per outer-loop
 /// iteration, containing all statement instances of that outer iteration.
+///
+/// The DOALL is over *inner iterations*: statement instances sharing the
+/// same full index vector stay one work item, in program order.  The
+/// dependence analysis only reports deps between distinct iteration
+/// points, so splitting same-point statements into parallel items would
+/// race on conflicts (e.g. two statements writing one cell) that the
+/// relation by convention leaves to intra-iteration program order.
 pub fn inner_parallel_schedule(program: &Program, params: &[i64], name: &str) -> Schedule {
     let instances = program.enumerate_instances(params);
-    let mut by_outer: BTreeMap<i64, Vec<(usize, IVec)>> = BTreeMap::new();
+    let mut by_outer: BTreeMap<i64, BTreeMap<IVec, Vec<(usize, IVec)>>> = BTreeMap::new();
     for (stmt, idx) in instances {
         let outer = *idx.first().unwrap_or(&0);
-        by_outer.entry(outer).or_default().push((stmt, idx));
+        by_outer
+            .entry(outer)
+            .or_default()
+            .entry(idx.clone())
+            .or_default()
+            .push((stmt, idx));
     }
     let phases: Vec<Phase> = by_outer
         .into_values()
-        .map(|insts| {
+        .map(|points| {
             Phase::Doall(
-                insts
-                    .into_iter()
-                    .map(|(s, idx)| WorkItem::single(s, idx))
+                points
+                    .into_values()
+                    .map(|instances| WorkItem { instances })
                     .collect(),
             )
         })

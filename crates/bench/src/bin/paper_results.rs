@@ -27,8 +27,10 @@ use rcp_bench::baseline::diff_against_baseline;
 use rcp_bench::experiments::{
     analysis_pipeline, calibrated_model, corpus_table, ex1_partition, ex2_facts, ex3_facts,
     ex4_dataflow, fig1_dependences, fig2_chains, fig3_ex1, fig3_ex2, fig3_ex3, fig3_ex4,
-    loop_corpus, measured_speedups, scaling_experiment, theorem1_table, ExperimentReport,
+    fuzz_experiment, loop_corpus, measured_speedups, scaling_experiment, theorem1_table,
+    ExperimentReport,
 };
+use rcp_bench::selection::select_experiments;
 use rcp_workloads::CholeskyParams;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -122,6 +124,7 @@ fn main() {
         ),
         exp("theorem1", false, Box::new(theorem1_table)),
         exp("corpus", false, Box::new(loop_corpus)),
+        exp("fuzz", false, Box::new(move || fuzz_experiment(quick))),
         exp("corpus-synthetic", false, Box::new(corpus_table)),
         exp(
             "analysis",
@@ -192,22 +195,19 @@ fn main() {
     };
     let consumed_paths = [&json_path, &baseline_path, &tolerance_arg];
     let is_path_arg = |a: &String| consumed_paths.iter().any(|p| p.as_deref() == Some(a));
-    // Reject unknown experiment selectors instead of silently running
-    // nothing.
-    for arg in &args {
-        if !arg.starts_with("--") && !is_path_arg(arg) && !known.contains(&arg.as_str()) {
-            eprintln!(
-                "error: unknown experiment id {arg:?} (known: {})",
-                known.join(", ")
-            );
-            std::process::exit(2);
-        }
-    }
-    let selected: Vec<&String> = args
+    // Resolve the selectors: unknown ids are rejected instead of silently
+    // running nothing, and duplicates (`measured measured`) collapse to
+    // one selection.
+    let requested: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--") && !is_path_arg(a))
+        .map(|a| a.as_str())
         .collect();
-    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s.as_str() == id);
+    let selected = select_experiments(&requested, &known).unwrap_or_else(|message| {
+        eprintln!("error: {message}");
+        std::process::exit(2);
+    });
+    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
 
     // Read the baseline up front so a bad path fails cleanly — a readable
     // error and a non-zero exit, not a panic backtrace — before any work

@@ -1141,6 +1141,99 @@ pub fn corpus_table() -> ExperimentReport {
     )
 }
 
+/// E-FZ — the differential fuzzing campaign as a recorded experiment:
+/// the pinned CI seed, nests/sec throughput, and the per-scheme survival
+/// table.  Each scheme's survival fraction (applicable cases without a
+/// discrepancy, over applicable cases) is recorded as a one-point
+/// `series` element, so the CI baseline diff gates on survival dropping
+/// exactly like it gates on speedups.
+pub fn fuzz_experiment(quick: bool) -> ExperimentReport {
+    let config = rcp_fuzz::CampaignConfig {
+        seed: 0xC0FFEE,
+        count: if quick { 20 } else { 50 },
+        minimize: false,
+    };
+    let campaign = rcp_fuzz::run_campaign(&config);
+    let mut text = format!(
+        "campaign seed {:#x}, {} nest(s) in {:.2}s ({:.1} nests/sec)\n\
+         {:<18} {:>10} {:>7} {:>11} {:>8} {:>13} {:>9}\n",
+        campaign.seed,
+        campaign.count,
+        campaign.elapsed.as_secs_f64(),
+        campaign.nests_per_sec(),
+        "scheme",
+        "applicable",
+        "passed",
+        "under-sync",
+        "n/a",
+        "discrepancies",
+        "survival"
+    );
+    let mut schemes = Vec::new();
+    let mut series = Vec::new();
+    for stat in &campaign.stats {
+        let survival = if stat.applicable() == 0 {
+            1.0
+        } else {
+            (stat.applicable() - stat.discrepancies) as f64 / stat.applicable() as f64
+        };
+        text.push_str(&format!(
+            "{:<18} {:>10} {:>7} {:>11} {:>8} {:>13} {:>9.2}\n",
+            stat.scheme,
+            stat.applicable(),
+            stat.passed,
+            stat.under_synchronised,
+            stat.not_applicable,
+            stat.discrepancies,
+            survival,
+        ));
+        schemes.push(json!({
+            "scheme": stat.scheme,
+            "applicable": stat.applicable(),
+            "passed": stat.passed,
+            "under_synchronised": stat.under_synchronised,
+            "not_applicable": stat.not_applicable,
+            "discrepancies": stat.discrepancies,
+            "survival": survival,
+        }));
+        series.push(json!({
+            "scheme": stat.scheme,
+            "speedups": [survival],
+        }));
+    }
+    for error in &campaign.errors {
+        text.push_str(&format!("ERROR {error}\n"));
+    }
+    for ce in &campaign.counterexamples {
+        text.push_str(&format!(
+            "DISCREPANCY case {}: scheme {}, {} thread(s): {}\n",
+            ce.case_id, ce.discrepancy.scheme, ce.discrepancy.threads, ce.discrepancy.detail
+        ));
+    }
+    let clean = campaign.clean();
+    text.push_str(if clean {
+        "verdict: CLEAN (no discrepancies)\n"
+    } else {
+        "verdict: FAILED\n"
+    });
+    let data = json!({
+        "seed": format!("{:#x}", campaign.seed),
+        "count": campaign.count,
+        "nests_per_sec": campaign.nests_per_sec(),
+        "schemes": schemes,
+        "series": series,
+        "discrepancies": campaign.counterexamples.len(),
+        "errors": campaign.errors.len(),
+        "clean": clean,
+    });
+    ExperimentReport::new(
+        "fuzz",
+        "Differential fuzzing campaign: per-scheme survival on the pinned seed",
+        text,
+        data,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1355,6 +1448,25 @@ mod tests {
         let report = theorem1_table();
         for row in report.data.as_array().unwrap() {
             assert_eq!(row["holds"], true);
+        }
+    }
+
+    #[test]
+    fn fuzz_experiment_is_clean_and_gateable_on_the_pinned_seed() {
+        let report = fuzz_experiment(true);
+        assert_eq!(report.id, "fuzz");
+        assert_eq!(report.data["clean"].as_bool(), Some(true));
+        assert_eq!(report.data["seed"].as_str(), Some("0xc0ffee"));
+        assert_eq!(report.data["discrepancies"].as_u64(), Some(0));
+        let series = report.data["series"].as_array().unwrap();
+        assert_eq!(series.len(), 6, "one survival series per registry scheme");
+        for elem in series {
+            // The baseline diff reads {scheme, speedups}; survival must be
+            // a full 1.0 on a clean campaign so any future discrepancy
+            // shows up as a gated regression.
+            let speedups = elem["speedups"].as_array().unwrap();
+            assert_eq!(speedups.len(), 1);
+            assert_eq!(speedups[0].as_f64(), Some(1.0));
         }
     }
 }

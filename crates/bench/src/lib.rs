@@ -9,6 +9,8 @@
 //! * [`baseline`] — `--baseline old.json` diffing: per-experiment speedup
 //!   deltas against a recorded `BENCH_results.json` (run by CI against the
 //!   committed baseline).
+//! * [`selection`] — experiment-selector resolution for `paper_results`
+//!   (duplicate ids collapse, unknown ids are rejected with the registry).
 //! * the `paper_results` binary drives everything and is what EXPERIMENTS.md
 //!   records; `cargo bench` runs the Criterion micro-benchmarks measuring
 //!   the cost of the analyses and partitioning algorithms themselves.
@@ -18,10 +20,12 @@
 
 pub mod baseline;
 pub mod experiments;
+pub mod selection;
 pub mod speedup;
 
 pub use baseline::{diff_against_baseline, BaselineDiff, SchemeDelta};
 pub use experiments::{calibrated_model, ExperimentReport};
+pub use selection::select_experiments;
 pub use speedup::{
     measured_speedup, phases_speedup, phases_time_ns, MeasuredSeries, PhaseShape, SpeedupFigure,
     SpeedupSeries,

@@ -1,0 +1,54 @@
+//! Experiment-selector resolution for the `paper_results` driver.
+//!
+//! A command line like `paper_results measured measured` names the same
+//! experiment twice; the run loop iterates the registry (not the
+//! selectors), so duplicates never ran an experiment twice, but the
+//! selection still deserves a canonical form: unknown ids are rejected
+//! with the known list, duplicates are dropped, and first-occurrence
+//! order is preserved.
+
+/// Resolves requested experiment ids against the known registry:
+/// deduplicates (keeping first-occurrence order) and rejects unknown ids
+/// with an error naming the full registry.  An empty request selects
+/// everything, represented by the empty selection.
+pub fn select_experiments(requested: &[&str], known: &[&str]) -> Result<Vec<String>, String> {
+    let mut selected: Vec<String> = Vec::new();
+    for id in requested {
+        if !known.contains(id) {
+            return Err(format!(
+                "unknown experiment id {id:?} (known: {})",
+                known.join(", ")
+            ));
+        }
+        if !selected.iter().any(|s| s == id) {
+            selected.push((*id).to_string());
+        }
+    }
+    Ok(selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KNOWN: &[&str] = &["fig1", "measured", "corpus", "fuzz"];
+
+    #[test]
+    fn duplicates_collapse_preserving_first_occurrence_order() {
+        let selected =
+            select_experiments(&["measured", "fig1", "measured", "measured"], KNOWN).unwrap();
+        assert_eq!(selected, vec!["measured", "fig1"]);
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected_with_the_known_list() {
+        let err = select_experiments(&["measured", "nope"], KNOWN).unwrap_err();
+        assert!(err.contains("nope"));
+        assert!(err.contains("fig1"));
+    }
+
+    #[test]
+    fn empty_request_selects_everything() {
+        assert!(select_experiments(&[], KNOWN).unwrap().is_empty());
+    }
+}

@@ -19,6 +19,7 @@
 //! rcp run        file.loop --param N=300           # execute + verify against sequential
 //! rcp bench      file.loop --scheme pdm            # measured wall clock, any registry scheme
 //! rcp schemes                                      # list the Partitioner registry
+//! rcp fuzz       --seed 0xC0FFEE --count 50        # differential fuzzing of the registry
 //! ```
 
 #![forbid(unsafe_code)]
@@ -80,6 +81,42 @@ pub struct Invocation {
     pub json: bool,
     /// `--write` (fmt only): rewrite the file in place.
     pub write: bool,
+    /// `--check` (fmt only): exit non-zero when the file is not canonical.
+    pub check: bool,
+    /// `--seed S` (fuzz only): campaign seed, decimal or `0x…` hex.
+    pub seed: Option<u64>,
+    /// `--count N` (fuzz only): number of nests to generate.
+    pub count: Option<usize>,
+    /// `--minimize` (fuzz only): shrink counterexamples before emitting.
+    pub minimize: bool,
+    /// `--out DIR` (fuzz only): directory counterexample `.loop` files are
+    /// written to (default `tests/regressions`).
+    pub out: Option<String>,
+    /// `--replay FILE` (fuzz only): replay one committed regression
+    /// instead of running a campaign.
+    pub replay: Option<String>,
+}
+
+impl Invocation {
+    /// The fuzz campaign configuration these arguments denote.
+    pub fn fuzz_options(&self) -> FuzzOptions {
+        FuzzOptions {
+            seed: self.seed.unwrap_or(FuzzOptions::DEFAULT_SEED),
+            count: self.count.unwrap_or(FuzzOptions::DEFAULT_COUNT),
+            minimize: self.minimize,
+        }
+    }
+}
+
+/// Parses a `--seed` value: decimal or `0x…`/`0X…` hexadecimal.
+pub fn parse_seed(value: &str) -> Option<u64> {
+    match value
+        .strip_prefix("0x")
+        .or_else(|| value.strip_prefix("0X"))
+    {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => value.parse().ok(),
+    }
 }
 
 /// Parses an `rcp` argument list (without the binary name) into an
@@ -95,7 +132,31 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
         match arg.as_str() {
             "--json" => inv.json = true,
             "--write" => inv.write = true,
+            "--check" => inv.check = true,
+            "--minimize" => inv.minimize = true,
             "--stmt" => inv.opts.granularity = GranularityChoice::Statement,
+            "--seed" | "--count" | "--out" | "--replay" => {
+                let Some(value) = args.get(k + 1) else {
+                    return Err(format!("{arg} requires a value"));
+                };
+                k += 1;
+                match arg.as_str() {
+                    "--seed" => match parse_seed(value) {
+                        Some(seed) => inv.seed = Some(seed),
+                        None => {
+                            return Err(format!(
+                                "invalid --seed `{value}` (expected a decimal or 0x… integer)"
+                            ))
+                        }
+                    },
+                    "--count" => match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => inv.count = Some(n),
+                        _ => return Err(format!("invalid --count value `{value}`")),
+                    },
+                    "--out" => inv.out = Some(value.clone()),
+                    _ => inv.replay = Some(value.clone()),
+                }
+            }
             "--param" | "--threads" | "--scheme" | "--granularity" => {
                 let Some(value) = args.get(k + 1) else {
                     return Err(format!("{arg} requires a value"));
@@ -251,10 +312,21 @@ pub fn cmd_parse(source: &str, origin: &str) -> Result<Report, RcpError> {
     })
 }
 
-/// `rcp fmt`: the canonical formatting of the program.
+/// `rcp fmt`: the canonical formatting of the program.  A leading block
+/// of `!` comment (and blank) lines is kept verbatim above the canonical
+/// program text, so workload files can carry a descriptive header without
+/// failing `--check`.
 pub fn cmd_fmt(source: &str, origin: &str) -> Result<Report, RcpError> {
     let program = rcp_lang::parse_program(source).map_err(|e| RcpError::parse(origin, e))?;
-    let canonical = pretty(&program);
+    let header_len: usize = source
+        .split_inclusive('\n')
+        .take_while(|line| {
+            let t = line.trim();
+            t.is_empty() || t.starts_with('!')
+        })
+        .map(|line| line.len())
+        .sum();
+    let canonical = format!("{}{}", &source[..header_len], pretty(&program));
     let data = json!({
         "program": program.name,
         "canonical": canonical,
@@ -616,6 +688,175 @@ pub fn cmd_bench(source: &str, origin: &str, opts: &Options) -> Result<Report, R
     Ok(Report::ok(text, data))
 }
 
+/// Options of an `rcp fuzz` campaign (the CLI mirror of
+/// [`rcp_fuzz::CampaignConfig`]).
+#[derive(Clone, Debug)]
+pub struct FuzzOptions {
+    /// Campaign seed (`--seed`, decimal or `0x…`).
+    pub seed: u64,
+    /// Number of nests to generate (`--count`).
+    pub count: usize,
+    /// Shrink counterexamples before emitting (`--minimize`).
+    pub minimize: bool,
+}
+
+impl FuzzOptions {
+    /// The pinned seed CI runs with.
+    pub const DEFAULT_SEED: u64 = 0xC0FFEE;
+    /// The default campaign size.
+    pub const DEFAULT_COUNT: usize = 50;
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            seed: Self::DEFAULT_SEED,
+            count: Self::DEFAULT_COUNT,
+            minimize: false,
+        }
+    }
+}
+
+/// `rcp fuzz`: a differential fuzzing campaign over the scheme registry.
+/// Returns the report plus the rendered counterexample `.loop` files
+/// (`(file name, contents)`), which the binary writes under `--out`.
+pub fn cmd_fuzz(opts: &FuzzOptions) -> (Report, Vec<(String, String)>) {
+    let campaign = rcp_fuzz::run_campaign(&rcp_fuzz::CampaignConfig {
+        seed: opts.seed,
+        count: opts.count,
+        minimize: opts.minimize,
+    });
+    let mut text = format!(
+        "fuzz campaign: seed {:#x}, {} nest(s) in {:.2}s ({:.1} nests/sec)\n\
+         \x20 {:<18} {:>10} {:>8} {:>12} {:>8} {:>13}\n",
+        campaign.seed,
+        campaign.count,
+        campaign.elapsed.as_secs_f64(),
+        campaign.nests_per_sec(),
+        "scheme",
+        "applicable",
+        "passed",
+        "under-sync",
+        "n/a",
+        "discrepancies",
+    );
+    let mut scheme_rows = Vec::new();
+    for s in &campaign.stats {
+        text.push_str(&format!(
+            "\x20 {:<18} {:>10} {:>8} {:>12} {:>8} {:>13}\n",
+            s.scheme,
+            s.applicable(),
+            s.passed,
+            s.under_synchronised,
+            s.not_applicable,
+            s.discrepancies,
+        ));
+        scheme_rows.push(json!({
+            "scheme": s.scheme,
+            "applicable": s.applicable(),
+            "passed": s.passed,
+            "under_synchronised": s.under_synchronised,
+            "not_applicable": s.not_applicable,
+            "discrepancies": s.discrepancies,
+        }));
+    }
+    for error in &campaign.errors {
+        text.push_str(&format!("  ERROR {error}\n"));
+    }
+    let mut artifacts = Vec::new();
+    for ce in &campaign.counterexamples {
+        let (file, contents) = rcp_fuzz::render_regression(ce, campaign.seed);
+        text.push_str(&format!(
+            "  DISCREPANCY case {} (scheme {}, {} thread(s)): {} -> {}\n",
+            ce.case_id, ce.discrepancy.scheme, ce.discrepancy.threads, ce.discrepancy.detail, file,
+        ));
+        artifacts.push((file, contents));
+    }
+    let clean = campaign.clean();
+    text.push_str(if clean {
+        "  verdict: CLEAN (no discrepancies)\n"
+    } else {
+        "  verdict: FAILED\n"
+    });
+    let total_discrepancies: usize = campaign.stats.iter().map(|s| s.discrepancies).sum();
+    let data = json!({
+        "seed": format!("{:#x}", campaign.seed),
+        "count": campaign.count,
+        "nests_per_sec": campaign.nests_per_sec(),
+        "schemes": Json::Array(scheme_rows),
+        "discrepancies": total_discrepancies,
+        "counterexamples": campaign.counterexamples.len(),
+        "errors": campaign.errors.len(),
+        "clean": clean,
+    });
+    (
+        Report {
+            text,
+            data,
+            failed: !clean,
+        },
+        artifacts,
+    )
+}
+
+/// `rcp fuzz --replay`: replays one committed regression `.loop` file
+/// through every scheme; fails when any scheme still diverges.
+pub fn cmd_fuzz_replay(source: &str, origin: &str) -> Result<Report, RcpError> {
+    let (program, params) = rcp_fuzz::parse_regression(source).map_err(|message| {
+        RcpError::parse(
+            origin,
+            rcp_lang::ParseError {
+                pos: rcp_lang::SourcePos { line: 0, col: 0 },
+                message,
+            },
+        )
+    })?;
+    let result = rcp_fuzz::run_case(&program, &params)?;
+    let mut text = format!(
+        "replay `{}` at [{}]:\n",
+        program.name,
+        params
+            .iter()
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    let mut rows = Vec::new();
+    let mut diverged = false;
+    for (scheme, verdict) in &result.verdicts {
+        let (status, detail) = match verdict {
+            rcp_fuzz::Verdict::Passed => ("passed", String::new()),
+            rcp_fuzz::Verdict::NotApplicable(reason) => ("n/a", reason.clone()),
+            rcp_fuzz::Verdict::UnderSynchronised { violations } => (
+                "under-synchronised",
+                format!("{violations} unordered dependence pair(s)"),
+            ),
+            rcp_fuzz::Verdict::Discrepancy(d) => {
+                diverged = true;
+                (
+                    "DISCREPANCY",
+                    format!("{} thread(s): {}", d.threads, d.detail),
+                )
+            }
+        };
+        text.push_str(&format!(
+            "  {scheme:<18} {status}{}{detail}\n",
+            if detail.is_empty() { "" } else { ": " },
+        ));
+        rows.push(json!({ "scheme": scheme, "status": status, "detail": detail }));
+    }
+    let data = json!({
+        "program": program.name,
+        "verdicts": Json::Array(rows),
+        "diverged": diverged,
+    });
+    Ok(Report {
+        text,
+        data,
+        failed: diverged,
+    })
+}
+
 /// `rcp schemes`: lists the [`rcp_session::Partitioner`] registry.
 pub fn cmd_schemes() -> Report {
     let mut text = String::from("registered partitioning schemes:\n");
@@ -635,7 +876,7 @@ pub fn cmd_schemes() -> Report {
 }
 
 /// Every subcommand name `run_command` dispatches, in help order.
-pub const COMMANDS: [&str; 8] = [
+pub const COMMANDS: [&str; 9] = [
     "parse",
     "fmt",
     "analyze",
@@ -644,6 +885,7 @@ pub const COMMANDS: [&str; 8] = [
     "run",
     "bench",
     "schemes",
+    "fuzz",
 ];
 
 /// Dispatches a subcommand by name.  `fmt` is excluded (it needs write
@@ -663,6 +905,9 @@ pub fn run_command(
         "run" => cmd_run(source, origin, opts),
         "bench" => cmd_bench(source, origin, opts),
         "schemes" => Ok(cmd_schemes()),
+        // `rcp fuzz FILE` replays a committed regression; the file-less
+        // campaign form is dispatched by the binary (like `schemes`).
+        "fuzz" => cmd_fuzz_replay(source, origin),
         other => Err(RcpError::UnknownCommand {
             name: other.to_string(),
             known: COMMANDS.to_vec(),
@@ -811,5 +1056,74 @@ END
         assert_eq!(r.data.as_array().unwrap().len(), 6);
         assert!(r.text.contains("recurrence-chains"));
         assert!(r.text.contains("doacross"));
+    }
+
+    #[test]
+    fn fuzz_flags_parse() {
+        let args: Vec<String> = ["fuzz", "--seed", "0xC0FFEE", "--count", "7", "--minimize"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let inv = parse_args(&args).unwrap();
+        assert_eq!(inv.command, "fuzz");
+        let opts = inv.fuzz_options();
+        assert_eq!(opts.seed, 0xC0FFEE);
+        assert_eq!(opts.count, 7);
+        assert!(opts.minimize);
+
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0x2A"), Some(42));
+        assert!(parse_seed("0xZZ").is_none());
+        let err = parse_args(&["fuzz".into(), "--seed".into(), "smoke".into()]).unwrap_err();
+        assert!(err.contains("invalid --seed"));
+        let err = parse_args(&["fuzz".into(), "--count".into(), "0".into()]).unwrap_err();
+        assert!(err.contains("invalid --count"));
+    }
+
+    #[test]
+    fn fmt_check_flag_parses_and_reports_changed() {
+        let inv = parse_args(&["fmt".into(), "f.loop".into(), "--check".into()]).unwrap();
+        assert!(inv.check);
+        let r = cmd_fmt(EXAMPLE1, "f.loop").unwrap();
+        assert_eq!(r.data["changed"].as_bool(), Some(false));
+        let r = cmd_fmt(
+            "PROGRAM p\nDO I = 1, 9\nS: a(I) = a(I - 1)\nENDDO\nEND\n",
+            "f.loop",
+        )
+        .unwrap();
+        assert_eq!(r.data["changed"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn fuzz_runs_a_small_clean_campaign() {
+        let (r, artifacts) = cmd_fuzz(&FuzzOptions {
+            seed: FuzzOptions::DEFAULT_SEED,
+            count: 5,
+            minimize: true,
+        });
+        assert!(!r.failed, "{}", r.text);
+        assert!(artifacts.is_empty());
+        assert_eq!(r.data["clean"].as_bool(), Some(true));
+        assert_eq!(r.data["count"].as_u64(), Some(5));
+        assert_eq!(r.data["seed"].as_str(), Some("0xc0ffee"));
+        assert_eq!(r.data["schemes"].as_array().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn fuzz_replays_a_regression_source() {
+        let source = "\
+! rcp-fuzz minimised counterexample (historical)
+! params: N=6
+PROGRAM fuzz_replay_check
+PARAM N
+DO I = 1, N
+  S1: a(I) = a(I - 1)
+ENDDO
+END
+";
+        let r = cmd_fuzz_replay(source, "fuzz_replay_check.loop").unwrap();
+        assert!(!r.failed, "{}", r.text);
+        assert_eq!(r.data["diverged"].as_bool(), Some(false));
+        assert!(r.text.contains("recurrence-chains"));
     }
 }

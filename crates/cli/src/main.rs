@@ -1,7 +1,7 @@
 //! The `rcp` binary: a thin shell over [`rcp_cli`] (argument parsing
 //! lives in the library so the usage errors are golden-testable).
 
-use rcp_cli::{cmd_fmt, cmd_schemes, parse_args, run_command};
+use rcp_cli::{cmd_fmt, cmd_fuzz, cmd_fuzz_replay, cmd_schemes, parse_args, run_command};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -10,16 +10,21 @@ rcp — recurrence-chains loop-nest driver
 USAGE:
     rcp <COMMAND> <FILE.loop> [OPTIONS]
     rcp schemes
+    rcp fuzz [--seed S] [--count N] [--minimize] [--out DIR]
 
 COMMANDS:
     parse       parse the file, report front-end facts + canonical source
-    fmt         print the canonical formatting (--write rewrites the file)
+    fmt         print the canonical formatting (--write rewrites the file,
+                --check exits non-zero when it is not canonical)
     analyze     exact dependence analysis + uniformity classification
     partition   Algorithm-1 partition (validated), with the fallback reason
     codegen     paper-style DOALL/WHILE listing
     run         execute the scheduled partition, verify vs sequential
     bench       measured sequential vs parallel wall clock
     schemes     list the registered partitioning schemes
+    fuzz        differential fuzzing: random nests, every scheme at 1/2/4
+                threads, bit-for-bit vs sequential (--replay FILE replays
+                one committed regression)
 
 OPTIONS:
     --param NAME=VALUE     bind a symbolic parameter (repeatable)
@@ -30,10 +35,17 @@ OPTIONS:
     --stmt                 shorthand for --granularity stmt
     --json                 print the machine-readable report instead of text
     --write                (fmt only) rewrite the file in place
+    --check                (fmt only) fail instead of printing when not canonical
+    --seed S               (fuzz only) campaign seed, decimal or 0x… (default 0xC0FFEE)
+    --count N              (fuzz only) nests to generate (default 50)
+    --minimize             (fuzz only) shrink counterexamples before emitting
+    --out DIR              (fuzz only) counterexample directory (default tests/regressions)
+    --replay FILE          (fuzz only) replay one committed regression file
 
 EXAMPLE:
     rcp analyze examples/loops/example1.loop --param N1=300 --param N2=1000
     rcp bench examples/loops/example1.loop --param N1=60 --param N2=60 --scheme pdm
+    rcp fuzz --seed 0xC0FFEE --count 50 --minimize
 ";
 
 fn fail(message: &str) -> ExitCode {
@@ -68,6 +80,60 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // `fuzz` runs a campaign (no input file) unless `--replay FILE` or a
+    // positional file asks to replay one committed regression.
+    if inv.command == "fuzz" {
+        let replay = inv.replay.clone().or_else(|| inv.file.clone());
+        if let Some(file) = replay {
+            let source = match std::fs::read_to_string(&file) {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("cannot read {file}: {e}")),
+            };
+            return match cmd_fuzz_replay(&source, &file) {
+                Ok(report) => {
+                    if inv.json {
+                        println!("{}", report.data.pretty());
+                    } else {
+                        print!("{}", report.text);
+                    }
+                    if report.failed {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        let (report, artifacts) = cmd_fuzz(&inv.fuzz_options());
+        if !artifacts.is_empty() {
+            let out = inv.out.as_deref().unwrap_or("tests/regressions");
+            if let Err(e) = std::fs::create_dir_all(out) {
+                return fail(&format!("cannot create {out}: {e}"));
+            }
+            for (file, contents) in &artifacts {
+                let path = std::path::Path::new(out).join(file);
+                if let Err(e) = std::fs::write(&path, contents) {
+                    return fail(&format!("cannot write {}: {e}", path.display()));
+                }
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        if inv.json {
+            println!("{}", report.data.pretty());
+        } else {
+            print!("{}", report.text);
+        }
+        return if report.failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
     let Some(file) = inv.file else {
         return fail("missing input file (try `rcp --help`)");
     };
@@ -76,18 +142,24 @@ fn main() -> ExitCode {
         Err(e) => return fail(&format!("cannot read {file}: {e}")),
     };
 
-    // `fmt --write` rewrites the file instead of reporting.
-    if inv.command == "fmt" && inv.write {
+    // `fmt --write` rewrites the file, `fmt --check` gates on canonical
+    // formatting; both report instead of printing the canonical source.
+    if inv.command == "fmt" && (inv.write || inv.check) {
         return match cmd_fmt(&source, &file) {
             Ok(report) => {
                 let canonical = report.data["canonical"].as_str().unwrap_or_default();
-                if canonical != source {
+                if canonical == source {
+                    ExitCode::SUCCESS
+                } else if inv.write {
                     if let Err(e) = std::fs::write(&file, canonical) {
                         return fail(&format!("cannot write {file}: {e}"));
                     }
                     eprintln!("reformatted {file}");
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("would reformat {file}");
+                    ExitCode::FAILURE
                 }
-                ExitCode::SUCCESS
             }
             Err(e) => {
                 eprintln!("error: {e}");

@@ -290,8 +290,13 @@ impl Schedule {
 }
 
 /// Expands one partition point into a work item according to the analysis
-/// granularity and view.
-fn point_to_item(analysis: &DependenceAnalysis, params: &[i64], point: &IVec) -> WorkItem {
+/// granularity and view: a loop-level point becomes all statements of the
+/// nest at those indices, an aggregated point the whole body of one prefix
+/// iteration, a statement-level point a single instance.  Public because
+/// structural schedule checks (the differential fuzzer's dependence-respect
+/// oracle) need the same point-to-instances expansion the schedules were
+/// built with.
+pub fn point_to_item(analysis: &DependenceAnalysis, params: &[i64], point: &IVec) -> WorkItem {
     match (analysis.granularity, &analysis.view) {
         (Granularity::LoopLevel, rcp_depend::LoopView::Groups(groups)) => {
             // An aggregated point is (group, prefix iteration, padding):

@@ -325,11 +325,24 @@ pub fn concrete_partition_from_dense(
     if uses_recurrence_chains(analysis) {
         let three_set = DenseThreeSet::compute(phi, rd);
         let chains = chains_in_intermediate(&three_set, rd);
-        ConcretePartition::RecurrenceChains {
+        let candidate = ConcretePartition::RecurrenceChains {
             p1: three_set.p1.clone(),
             chains,
             p3: three_set.p3.clone(),
             three_set,
+        };
+        // The coupled pair's recurrence is the *syntactic* then-branch
+        // condition; when the program carries dependences the recurrence
+        // does not generate (a second array coupling the statements), the
+        // chain partition can miss intermediate iterations.  Keep it only
+        // when it validates against the full dependence relation, else
+        // take the else-branch exactly as for multiple coupled pairs.
+        if candidate.validate(phi, rd).is_empty() {
+            candidate
+        } else {
+            ConcretePartition::Dataflow {
+                stages: dataflow_partition(phi, rd),
+            }
         }
     } else if analysis.is_aggregated() {
         // Aggregated loop-level views of imperfect nests have no symbolic

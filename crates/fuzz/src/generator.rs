@@ -1,0 +1,304 @@
+//! The seeded, grammar-driven loop-nest generator.
+//!
+//! Every case is drawn from the same shape grammar the bundled corpus
+//! exercises: perfect nests of depth 1–3, imperfect jacobi-style nests
+//! (one outer loop over several inner sweeps), mvt-style programs of two
+//! top-level nests, coupled subscripts (one index in several dimensions —
+//! the paper's source of non-uniform distances), `max(…)`/`min(…)` bounds,
+//! triangular bounds, and PARAM-bearing subscripts (which force the
+//! deferred-analysis path of the session pipeline).
+//!
+//! The generator is **total over the pipeline's input contract**: every
+//! emitted program declares its parameters, references only in-scope loop
+//! indices, and keeps iteration spaces small enough that the differential
+//! harness can execute every scheme at several thread counts in
+//! milliseconds.  A property test (200 seeds) additionally pins
+//! `parse(pretty(generate(seed))) == canonicalize(generate(seed))`, so a
+//! fuzz input can never trip the parser instead of the analysis.
+
+use rcp_loopir::expr::{c, v, LinExpr};
+use rcp_loopir::program::build::{loop_minmax, stmt};
+use rcp_loopir::{ArrayRef, Node, Program};
+use rcp_workloads::SmallRng;
+
+/// One generated fuzz input: a parametric program plus concrete parameter
+/// values to run it at.
+#[derive(Clone, Debug)]
+pub struct FuzzCase {
+    /// Case index inside its campaign.
+    pub id: usize,
+    /// The per-case RNG seed (derived from the campaign seed and the id).
+    pub case_seed: u64,
+    /// The generated loop nest.
+    pub program: Program,
+    /// Concrete parameter values, in declaration order.
+    pub params: Vec<(String, i64)>,
+}
+
+impl FuzzCase {
+    /// The parameter values in declaration order.
+    pub fn values(&self) -> Vec<i64> {
+        self.params.iter().map(|(_, value)| *value).collect()
+    }
+}
+
+/// Derives the per-case seed from the campaign seed, so each case is
+/// reproducible in isolation (`generate(seed, id)`) regardless of `count`.
+pub fn case_seed(campaign_seed: u64, id: usize) -> u64 {
+    campaign_seed ^ (id as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// The loop index names by nesting depth.
+const INDEX_NAMES: [&str; 3] = ["I", "J", "K"];
+
+struct Gen {
+    rng: SmallRng,
+    params: Vec<String>,
+    /// Subscript dimensionality per array name, fixed up front so every
+    /// reference to an array agrees (the dependence system pairs
+    /// same-array references dimension by dimension).
+    array_dims: Vec<(&'static str, usize)>,
+    next_stmt: usize,
+}
+
+impl Gen {
+    fn pick_name(&mut self, names: &[String]) -> String {
+        let k = self.rng.gen_range(0..=(names.len() as i64 - 1)) as usize;
+        names[k].clone()
+    }
+
+    fn pick_param(&mut self) -> String {
+        let params = self.params.clone();
+        self.pick_name(&params)
+    }
+
+    fn pick_array(&mut self) -> (&'static str, usize) {
+        let k = self.rng.gen_range(0..=(self.array_dims.len() as i64 - 1)) as usize;
+        self.array_dims[k]
+    }
+
+    fn stmt_name(&mut self) -> String {
+        self.next_stmt += 1;
+        format!("S{}", self.next_stmt)
+    }
+
+    /// A single affine subscript expression over the in-scope indices,
+    /// occasionally mentioning a parameter (the deferred-analysis shape).
+    fn subscript_expr(&mut self, scope: &[String]) -> LinExpr {
+        let idx = self.pick_name(scope);
+        let mut expr = match self.rng.gen_range(0..=9) {
+            0..=4 => v(&idx) + c(self.rng.gen_range(-2..=2)),
+            5..=7 => v(&idx) * self.rng.gen_range(2..=3) + c(self.rng.gen_range(0..=3)),
+            8 => {
+                // PARAM-bearing: a(I + N - k) — forces the session to defer
+                // the analysis to the parameter-bound program.
+                let param = self.pick_param();
+                v(&idx) + v(&param) - c(self.rng.gen_range(1..=3))
+            }
+            _ => c(self.rng.gen_range(0..=3)),
+        };
+        if scope.len() > 1 && self.rng.gen_bool(0.25) {
+            let other = self.pick_name(scope);
+            expr = expr + v(&other);
+        }
+        expr
+    }
+
+    /// The subscript vector of one reference: either per-dimension affine
+    /// expressions or the coupled shape (one index in both dimensions).
+    fn subscripts(&mut self, scope: &[String], dim: usize) -> Vec<LinExpr> {
+        if dim == 2 && self.rng.gen_bool(0.4) {
+            // Coupled: the classic source of non-uniform distances.
+            let i0 = self.pick_name(scope);
+            let a = self.rng.gen_range(1..=3);
+            let b = self.rng.gen_range(1..=2);
+            let second = if scope.len() > 1 && self.rng.gen_bool(0.7) {
+                let other = self.pick_name(scope);
+                v(&i0) * b + v(&other) + c(self.rng.gen_range(0..=2))
+            } else {
+                v(&i0) * b + c(self.rng.gen_range(0..=2))
+            };
+            return vec![v(&i0) * a + c(self.rng.gen_range(0..=2)), second];
+        }
+        (0..dim).map(|_| self.subscript_expr(scope)).collect()
+    }
+
+    /// One statement: a write plus up to two reads (reads of the written
+    /// array create loop-carried dependences, reads of the other array
+    /// cross-statement ones).
+    fn statement(&mut self, scope: &[String]) -> Node {
+        let (array, dim) = self.pick_array();
+        let mut refs = vec![ArrayRef::write(array, self.subscripts(scope, dim))];
+        for _ in 0..self.rng.gen_range(0..=2) {
+            let (read_array, read_dim) = self.pick_array();
+            refs.push(ArrayRef::read(read_array, self.subscripts(scope, read_dim)));
+        }
+        let name = self.stmt_name();
+        stmt(&name, refs)
+    }
+
+    fn statements(&mut self, scope: &[String]) -> Vec<Node> {
+        (0..self.rng.gen_range(1..=2))
+            .map(|_| self.statement(scope))
+            .collect()
+    }
+
+    /// The bounds of a loop at `depth` (0 = outermost).  Outer loops are
+    /// rectangular over a parameter; inner loops mix rectangular,
+    /// triangular and `max`/`min` banded shapes.
+    fn bounds(&mut self, depth: usize, scope: &[String]) -> (Vec<LinExpr>, Vec<LinExpr>) {
+        let n = v(&self.pick_param());
+        if depth == 0 || scope.is_empty() {
+            return (vec![c(1)], vec![n]);
+        }
+        let outer = v(&self.pick_name(scope));
+        match self.rng.gen_range(0..=3) {
+            0 => (vec![c(1)], vec![n]),
+            1 => (vec![outer], vec![n]),
+            2 => (vec![c(1)], vec![outer]),
+            _ => {
+                let band = c(self.rng.gen_range(1..=2));
+                (
+                    vec![c(1), outer.clone() - band.clone()],
+                    vec![n, outer + band],
+                )
+            }
+        }
+    }
+
+    /// A perfect nest of the given depth ending in 1–2 statements.
+    fn perfect_nest(&mut self, depth: usize) -> Node {
+        let mut scope: Vec<String> = Vec::new();
+        let mut levels = Vec::new();
+        for (d, index) in INDEX_NAMES.iter().enumerate().take(depth) {
+            let (lower, upper) = self.bounds(d, &scope);
+            scope.push(index.to_string());
+            levels.push((index.to_string(), lower, upper));
+        }
+        let mut node_body = self.statements(&scope);
+        for (index, lower, upper) in levels.into_iter().rev() {
+            node_body = vec![loop_minmax(&index, lower, upper, node_body)];
+        }
+        node_body.remove(0)
+    }
+
+    /// A jacobi-style imperfect nest: one outer loop over two inner
+    /// single-loop sweeps.
+    fn imperfect_nest(&mut self) -> Node {
+        let outer_scope = vec![INDEX_NAMES[0].to_string()];
+        let mut body = Vec::new();
+        for _ in 0..2 {
+            let (lower, upper) = self.bounds(1, &outer_scope);
+            let scope = vec![INDEX_NAMES[0].to_string(), INDEX_NAMES[1].to_string()];
+            let stmts = self.statements(&scope);
+            body.push(loop_minmax(INDEX_NAMES[1], lower, upper, stmts));
+        }
+        let n = v(&self.pick_param());
+        loop_minmax(INDEX_NAMES[0], vec![c(1)], vec![n], body)
+    }
+}
+
+/// Generates one fuzz case from a campaign seed and case id.  Fully
+/// deterministic: the same `(seed, id)` always yields the same program and
+/// parameter values.
+pub fn generate(campaign_seed: u64, id: usize) -> FuzzCase {
+    let case_seed = case_seed(campaign_seed, id);
+    let mut rng = SmallRng::seed_from_u64(case_seed);
+    let n = rng.gen_range(4..=7);
+    let mut params = vec![("N".to_string(), n)];
+    if rng.gen_bool(0.3) {
+        params.push(("M".to_string(), rng.gen_range(3..=5)));
+    }
+    let mut generator = Gen {
+        array_dims: vec![("a", rng.gen_range(1..=2) as usize), ("b", 1)],
+        params: params.iter().map(|(name, _)| name.clone()).collect(),
+        rng,
+        next_stmt: 0,
+    };
+    let body = match generator.rng.gen_range(0..=3) {
+        0..=1 => {
+            let depth = generator.rng.gen_range(1..=3) as usize;
+            vec![generator.perfect_nest(depth)]
+        }
+        2 => vec![generator.imperfect_nest()],
+        _ => {
+            // mvt-style: two top-level nests sharing arrays.
+            let d1 = generator.rng.gen_range(1..=2) as usize;
+            let d2 = generator.rng.gen_range(1..=2) as usize;
+            vec![generator.perfect_nest(d1), generator.perfect_nest(d2)]
+        }
+    };
+    let param_names: Vec<&str> = params.iter().map(|(name, _)| name.as_str()).collect();
+    let program = Program::new(&format!("fuzz_{id}"), &param_names, body);
+    FuzzCase {
+        id,
+        case_seed,
+        program,
+        params,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for id in 0..20 {
+            let a = generate(0xC0FFEE, id);
+            let b = generate(0xC0FFEE, id);
+            assert_eq!(a.program, b.program);
+            assert_eq!(a.params, b.params);
+        }
+    }
+
+    #[test]
+    fn generated_programs_declare_every_variable() {
+        for id in 0..100 {
+            let case = generate(2004, id);
+            case.program
+                .check_variables()
+                .unwrap_or_else(|e| panic!("case {id}: {e}"));
+            assert!(!case.program.statements().is_empty());
+        }
+    }
+
+    #[test]
+    fn the_grammar_reaches_its_advertised_shapes() {
+        let mut saw_imperfect = false;
+        let mut saw_coupled_dim = false;
+        let mut saw_minmax = false;
+        let mut saw_param_subscript = false;
+        for id in 0..200 {
+            let case = generate(7, id);
+            saw_imperfect |= !case.program.is_perfect_nest();
+            for info in case.program.statements() {
+                for r in &info.stmt.refs {
+                    saw_coupled_dim |= r.subscripts.len() == 2;
+                    saw_param_subscript |= r.subscripts.iter().any(|s| {
+                        s.terms
+                            .iter()
+                            .any(|(name, &k)| k != 0 && case.program.params.contains(name))
+                    });
+                }
+            }
+            fn has_minmax(nodes: &[Node]) -> bool {
+                nodes.iter().any(|node| match node {
+                    Node::Loop(l) => l.lower.len() > 1 || l.upper.len() > 1 || has_minmax(&l.body),
+                    Node::Stmt(_) => false,
+                })
+            }
+            saw_minmax |= has_minmax(&case.program.body);
+        }
+        assert!(saw_imperfect, "imperfect nests must be generated");
+        assert!(
+            saw_coupled_dim,
+            "two-dimensional references must be generated"
+        );
+        assert!(saw_minmax, "max/min bounds must be generated");
+        assert!(
+            saw_param_subscript,
+            "PARAM-bearing subscripts must be generated"
+        );
+    }
+}

@@ -1,0 +1,371 @@
+//! The differential harness: every applicable scheme, at several thread
+//! counts, bit-for-bit against sequential execution.
+//!
+//! The oracle runs in two stages per scheme:
+//!
+//! 1. **Structural soundness.**  The scheme's schedule must cover the
+//!    sequential instance multiset exactly ([`Schedule::validate_coverage`])
+//!    and must respect the computed dependence relation `Rd` positionally:
+//!    for every edge, the source instance must execute in an earlier
+//!    barrier phase than the sink, or strictly earlier within the same
+//!    sequential unit of one phase.  Baseline schemes reproduce their
+//!    *published* structure, which for some programs knowingly
+//!    under-synchronises (see `rcp_session::SchemeSchedule`); such
+//!    schedules are classified [`Verdict::UnderSynchronised`] and excluded
+//!    from the execution oracle rather than reported as miscompiles.
+//!    Coverage failures, by contrast, are always real discrepancies — no
+//!    published scheme drops or duplicates work.
+//!
+//! 2. **Execution.**  Structurally sound schedules are executed at 1, 2 and
+//!    4 threads and their stores diffed against the sequential store with
+//!    tolerance **zero**.  Any mismatch or detected write-write race is a
+//!    [`Verdict::Discrepancy`].  This still catches genuine analysis bugs:
+//!    if the dependence analysis misses an edge, the schedule passes the
+//!    structural check *against the wrong `Rd`* but the executed store
+//!    diverges from sequential.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use rcp_codegen::{point_to_item, Phase, Schedule};
+use rcp_depend::DependenceAnalysis;
+use rcp_intlin::IVec;
+use rcp_loopir::Program;
+use rcp_presburger::DenseRelation;
+use rcp_runtime::{execute_schedule, execute_sequential, RefKernel};
+use rcp_session::{scheme_names, Config, RcpError, Session};
+
+use crate::generator::generate;
+use crate::minimize::minimize;
+
+/// The thread counts every sound schedule is executed at.
+pub const FUZZ_THREADS: [usize; 3] = [1, 2, 4];
+
+/// The differential verdict for one scheme on one case.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict {
+    /// The scheme rejected the case (e.g. it requires a non-aggregated
+    /// loop-level analysis).  The payload is the scheme's own reason.
+    NotApplicable(String),
+    /// The schedule is well-covered but its phase/unit structure violates
+    /// the computed dependence relation — the published baseline shape
+    /// under-synchronises this program.  Excluded from the execution
+    /// oracle; the payload counts the violated instance-order pairs.
+    UnderSynchronised {
+        /// Number of dependence instance pairs the schedule leaves
+        /// unordered or mis-ordered.
+        violations: usize,
+    },
+    /// Structurally sound and bit-identical to sequential execution at
+    /// every thread count.
+    Passed,
+    /// A genuine differential failure.
+    Discrepancy(Discrepancy),
+}
+
+/// A differential failure: what diverged, for which scheme, at how many
+/// threads.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Discrepancy {
+    /// The scheme whose execution diverged.
+    pub scheme: String,
+    /// The thread count the divergence was observed at (0 for structural
+    /// coverage failures, which are thread-independent).
+    pub threads: usize,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+}
+
+/// All verdicts of one case, in registry order.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// `(scheme name, verdict)` per registered scheme.
+    pub verdicts: Vec<(String, Verdict)>,
+}
+
+impl CaseResult {
+    /// The first discrepancy, if any scheme diverged.
+    pub fn discrepancy(&self) -> Option<&Discrepancy> {
+        self.verdicts.iter().find_map(|(_, v)| match v {
+            Verdict::Discrepancy(d) => Some(d),
+            _ => None,
+        })
+    }
+}
+
+/// Counts dependence instance pairs whose schedule positions violate the
+/// required order: for every `Rd` edge, each source instance must execute
+/// in an earlier phase than each sink instance, or strictly earlier within
+/// the same sequential unit (chain, or intra-item program order) of the
+/// same phase.  Instances missing from the schedule also count.
+pub fn ordering_violations(
+    schedule: &Schedule,
+    analysis: &DependenceAnalysis,
+    params: &[i64],
+    rd: &DenseRelation,
+) -> usize {
+    // (phase, unit, step) per instance: unit = DOALL item or chain index,
+    // step = sequential position inside the unit.
+    let mut pos: HashMap<(usize, IVec), (usize, usize, usize)> = HashMap::new();
+    for (phase_idx, phase) in schedule.phases.iter().enumerate() {
+        match phase {
+            Phase::Doall(items) => {
+                for (unit, item) in items.iter().enumerate() {
+                    for (step, inst) in item.instances.iter().enumerate() {
+                        pos.insert(inst.clone(), (phase_idx, unit, step));
+                    }
+                }
+            }
+            Phase::ChainSet(chains) => {
+                for (unit, chain) in chains.iter().enumerate() {
+                    let mut step = 0;
+                    for item in chain {
+                        for inst in &item.instances {
+                            pos.insert(inst.clone(), (phase_idx, unit, step));
+                            step += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut violations = 0;
+    for (src, dst) in rd.iter() {
+        if src == dst {
+            // Intra-point dependences are honoured by the program-order
+            // execution inside a work item.
+            continue;
+        }
+        let src_item = point_to_item(analysis, params, src);
+        let dst_item = point_to_item(analysis, params, dst);
+        for si in &src_item.instances {
+            for di in &dst_item.instances {
+                if si == di {
+                    continue;
+                }
+                let ordered = match (pos.get(si), pos.get(di)) {
+                    (Some(&(ps, us, ss)), Some(&(pd, ud, sd))) => {
+                        ps < pd || (ps == pd && us == ud && ss < sd)
+                    }
+                    _ => false,
+                };
+                if !ordered {
+                    violations += 1;
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Runs one program through the full differential oracle: sequential
+/// reference once, then every registered scheme through structure and
+/// execution checks.
+pub fn run_case(program: &Program, params: &[(String, i64)]) -> Result<CaseResult, RcpError> {
+    let session = Session::with_config(Config {
+        params: params.to_vec(),
+        ..Config::default()
+    });
+    let stage = session.load(program.clone())?.partition()?;
+    let runtime_program = stage.runtime_program();
+    let runtime_values = stage.runtime_values();
+    let kernel = RefKernel::new(runtime_program);
+    let reference_schedule = Schedule::sequential(runtime_program, runtime_values);
+    let reference = execute_sequential(&reference_schedule, &kernel);
+
+    let mut verdicts = Vec::new();
+    for scheme in scheme_names() {
+        let verdict = match stage.schedule_with(scheme) {
+            Err(err) => Verdict::NotApplicable(err.to_string()),
+            Ok(scheduled) => {
+                let schedule = scheduled.schedule();
+                let coverage = schedule.validate_coverage(runtime_program, runtime_values);
+                if !coverage.is_empty() {
+                    Verdict::Discrepancy(Discrepancy {
+                        scheme: scheme.to_string(),
+                        threads: 0,
+                        detail: format!(
+                            "coverage: {} ({} problem(s))",
+                            coverage[0],
+                            coverage.len()
+                        ),
+                    })
+                } else {
+                    let violations =
+                        ordering_violations(schedule, stage.analysis(), runtime_values, stage.rd());
+                    if violations > 0 {
+                        Verdict::UnderSynchronised { violations }
+                    } else {
+                        let mut verdict = Verdict::Passed;
+                        for threads in FUZZ_THREADS {
+                            let result = execute_schedule(schedule, &kernel, threads);
+                            let mismatches = reference.diff(&result.store, 0.0);
+                            if !mismatches.is_empty() || !result.races.is_empty() {
+                                verdict = Verdict::Discrepancy(Discrepancy {
+                                    scheme: scheme.to_string(),
+                                    threads,
+                                    detail: format!(
+                                        "{} store mismatch(es), {} race(s) vs sequential",
+                                        mismatches.len(),
+                                        result.races.len()
+                                    ),
+                                });
+                                break;
+                            }
+                        }
+                        verdict
+                    }
+                }
+            }
+        };
+        verdicts.push((scheme.to_string(), verdict));
+    }
+    Ok(CaseResult { verdicts })
+}
+
+/// Configuration of a fuzzing campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// The campaign seed; per-case seeds derive from it.
+    pub seed: u64,
+    /// Number of nests to generate and check.
+    pub count: usize,
+    /// Shrink counterexamples before reporting them.
+    pub minimize: bool,
+}
+
+/// Per-scheme verdict tally across a campaign.
+#[derive(Clone, Debug, Default)]
+pub struct SchemeStats {
+    /// Scheme name.
+    pub scheme: String,
+    /// Cases the scheme rejected.
+    pub not_applicable: usize,
+    /// Cases whose published structure under-synchronises.
+    pub under_synchronised: usize,
+    /// Cases that were bit-identical to sequential at every thread count.
+    pub passed: usize,
+    /// Genuine differential failures.
+    pub discrepancies: usize,
+}
+
+impl SchemeStats {
+    /// Cases that entered the differential oracle for this scheme.
+    pub fn applicable(&self) -> usize {
+        self.passed + self.discrepancies
+    }
+}
+
+/// A (possibly minimised) failing case.
+#[derive(Clone, Debug)]
+pub struct CounterExample {
+    /// Case index inside the campaign.
+    pub case_id: usize,
+    /// The per-case seed (replays in isolation via `generate`).
+    pub case_seed: u64,
+    /// The failing program (minimised when the campaign asked for it).
+    pub program: Program,
+    /// Parameter bindings the failure reproduces at.
+    pub params: Vec<(String, i64)>,
+    /// What diverged.
+    pub discrepancy: Discrepancy,
+    /// Whether the minimiser ran on this counterexample.
+    pub minimized: bool,
+}
+
+/// The aggregate result of a fuzzing campaign.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    /// The campaign seed.
+    pub seed: u64,
+    /// Number of cases generated.
+    pub count: usize,
+    /// Per-scheme verdict tallies, in registry order.
+    pub stats: Vec<SchemeStats>,
+    /// Failing cases, in case order.
+    pub counterexamples: Vec<CounterExample>,
+    /// Cases the pipeline itself rejected (generator bug if ever
+    /// non-empty: the generator must only emit loadable programs).
+    pub errors: Vec<String>,
+    /// Wall-clock time of the campaign.
+    pub elapsed: Duration,
+}
+
+impl Campaign {
+    /// True when no scheme diverged and no case errored.
+    pub fn clean(&self) -> bool {
+        self.counterexamples.is_empty() && self.errors.is_empty()
+    }
+
+    /// Nests checked per second.
+    pub fn nests_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.count as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs a full campaign: generate `count` nests from `seed`, run each
+/// through the differential oracle, minimise any counterexample if asked.
+/// Deterministic in everything but `elapsed`.
+pub fn run_campaign(config: &CampaignConfig) -> Campaign {
+    let start = Instant::now();
+    let mut stats: Vec<SchemeStats> = scheme_names()
+        .iter()
+        .map(|name| SchemeStats {
+            scheme: name.to_string(),
+            ..SchemeStats::default()
+        })
+        .collect();
+    let mut counterexamples = Vec::new();
+    let mut errors = Vec::new();
+    for id in 0..config.count {
+        let case = generate(config.seed, id);
+        match run_case(&case.program, &case.params) {
+            Err(err) => errors.push(format!(
+                "case {id} (seed {:#x}): pipeline rejected generated nest: {err}",
+                case.case_seed
+            )),
+            Ok(result) => {
+                for (scheme, verdict) in &result.verdicts {
+                    let entry = stats
+                        .iter_mut()
+                        .find(|s| &s.scheme == scheme)
+                        .expect("verdict scheme is registered");
+                    match verdict {
+                        Verdict::NotApplicable(_) => entry.not_applicable += 1,
+                        Verdict::UnderSynchronised { .. } => entry.under_synchronised += 1,
+                        Verdict::Passed => entry.passed += 1,
+                        Verdict::Discrepancy(_) => entry.discrepancies += 1,
+                    }
+                }
+                if let Some(d) = result.discrepancy() {
+                    let (program, params) = if config.minimize {
+                        minimize(&case.program, &case.params)
+                    } else {
+                        (case.program.clone(), case.params.clone())
+                    };
+                    counterexamples.push(CounterExample {
+                        case_id: id,
+                        case_seed: case.case_seed,
+                        program,
+                        params,
+                        discrepancy: d.clone(),
+                        minimized: config.minimize,
+                    });
+                }
+            }
+        }
+    }
+    Campaign {
+        seed: config.seed,
+        count: config.count,
+        stats,
+        counterexamples,
+        errors,
+        elapsed: start.elapsed(),
+    }
+}

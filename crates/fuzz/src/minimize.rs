@@ -1,0 +1,255 @@
+//! Greedy counterexample minimisation.
+//!
+//! Given a failing case, repeatedly tries a fixed family of shrinking
+//! transformations — drop a statement, drop a read, halve a parameter,
+//! simplify a subscript, collapse a `max`/`min` bound — keeping each
+//! candidate that still exhibits *some* discrepancy, until a full round
+//! of attempts yields nothing smaller.  The result is the program that is
+//! committed as a `.loop` regression, so smaller is directly better for
+//! whoever has to debug it.
+
+use rcp_loopir::{Loop, Node, Program, Statement};
+
+use crate::harness::run_case;
+
+/// Upper bound on accepted shrink steps, as a runaway guard; real
+/// counterexamples converge in far fewer.
+const MAX_STEPS: usize = 200;
+
+/// True when the case still exhibits a discrepancy under the differential
+/// oracle.  Pipeline errors do **not** count: a candidate the session
+/// rejects outright has shrunk past the interesting program.
+fn still_fails(program: &Program, params: &[(String, i64)]) -> bool {
+    match run_case(program, params) {
+        Ok(result) => result.discrepancy().is_some(),
+        Err(_) => false,
+    }
+}
+
+fn count_statements(nodes: &[Node]) -> usize {
+    nodes
+        .iter()
+        .map(|n| match n {
+            Node::Stmt(_) => 1,
+            Node::Loop(l) => count_statements(&l.body),
+        })
+        .sum()
+}
+
+fn count_loops(nodes: &[Node]) -> usize {
+    nodes
+        .iter()
+        .map(|n| match n {
+            Node::Stmt(_) => 0,
+            Node::Loop(l) => 1 + count_loops(&l.body),
+        })
+        .sum()
+}
+
+/// Applies `edit` to the `target`-th statement in lexical order; `None`
+/// from the edit removes the statement (empty loops are pruned).  Returns
+/// `None` when the edit was a no-op or would leave the program empty.
+fn edit_nth_statement(
+    program: &Program,
+    target: usize,
+    edit: &dyn Fn(&Statement) -> Option<Statement>,
+) -> Option<Program> {
+    fn walk(
+        nodes: &[Node],
+        counter: &mut usize,
+        target: usize,
+        edit: &dyn Fn(&Statement) -> Option<Statement>,
+    ) -> Vec<Node> {
+        let mut out = Vec::new();
+        for node in nodes {
+            match node {
+                Node::Stmt(s) => {
+                    let here = *counter;
+                    *counter += 1;
+                    if here == target {
+                        if let Some(edited) = edit(s) {
+                            out.push(Node::Stmt(edited));
+                        }
+                    } else {
+                        out.push(node.clone());
+                    }
+                }
+                Node::Loop(l) => {
+                    let body = walk(&l.body, counter, target, edit);
+                    if !body.is_empty() {
+                        out.push(Node::Loop(Loop {
+                            index: l.index.clone(),
+                            lower: l.lower.clone(),
+                            upper: l.upper.clone(),
+                            body,
+                        }));
+                    }
+                }
+            }
+        }
+        out
+    }
+    let mut counter = 0;
+    let body = walk(&program.body, &mut counter, target, edit);
+    if body.is_empty() || body == program.body {
+        return None;
+    }
+    let mut out = program.clone();
+    out.body = body;
+    Some(out)
+}
+
+/// Applies `edit` in place to the `target`-th loop in lexical (pre-order)
+/// order.  Returns `None` when the edit changed nothing.
+fn edit_nth_loop(program: &Program, target: usize, edit: &dyn Fn(&mut Loop)) -> Option<Program> {
+    fn walk(nodes: &mut [Node], counter: &mut usize, target: usize, edit: &dyn Fn(&mut Loop)) {
+        for node in nodes {
+            if let Node::Loop(l) = node {
+                let here = *counter;
+                *counter += 1;
+                if here == target {
+                    edit(l);
+                    return;
+                }
+                walk(&mut l.body, counter, target, edit);
+            }
+        }
+    }
+    let mut out = program.clone();
+    let mut counter = 0;
+    walk(&mut out.body, &mut counter, target, edit);
+    if out == *program {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// All shrink candidates of the current case, smallest-step first.
+fn candidates(program: &Program, params: &[(String, i64)]) -> Vec<(Program, Vec<(String, i64)>)> {
+    let mut out = Vec::new();
+
+    // Halve parameter values (floor 2): smaller spaces, faster replays.
+    for (k, (_, value)) in params.iter().enumerate() {
+        if *value > 2 {
+            let mut shrunk = params.to_vec();
+            shrunk[k].1 = (*value / 2).max(2);
+            out.push((program.clone(), shrunk));
+        }
+    }
+
+    // Drop whole statements.
+    let n_stmts = count_statements(&program.body);
+    if n_stmts > 1 {
+        for k in 0..n_stmts {
+            if let Some(p) = edit_nth_statement(program, k, &|_| None) {
+                out.push((p, params.to_vec()));
+            }
+        }
+    }
+
+    // Drop read references.
+    for k in 0..n_stmts {
+        let dropped_read = |which: usize| {
+            move |s: &Statement| {
+                let mut reads_seen = 0;
+                let refs: Vec<_> = s
+                    .refs
+                    .iter()
+                    .filter(|r| {
+                        if r.is_write() {
+                            return true;
+                        }
+                        let keep = reads_seen != which;
+                        reads_seen += 1;
+                        keep
+                    })
+                    .cloned()
+                    .collect();
+                if refs.len() == s.refs.len() {
+                    None
+                } else {
+                    Some(Statement::new(&s.name, refs))
+                }
+            }
+        };
+        for which in 0..3 {
+            let edit = dropped_read(which);
+            if let Some(p) = edit_nth_statement(program, k, &move |s| edit(s)) {
+                out.push((p, params.to_vec()));
+            }
+        }
+    }
+
+    // Simplify subscripts: zero a constant, drop a variable term, reset a
+    // coefficient to 1.
+    for k in 0..n_stmts {
+        for ref_idx in 0..4 {
+            for sub_idx in 0..3 {
+                for mode in 0..3 {
+                    let edit = move |s: &Statement| {
+                        let mut s = s.clone();
+                        let r = s.refs.get_mut(ref_idx)?;
+                        let e = r.subscripts.get_mut(sub_idx)?;
+                        match mode {
+                            0 if e.constant != 0 => e.constant = 0,
+                            1 => {
+                                let name = e.terms.keys().next()?.clone();
+                                if e.terms.len() < 2 {
+                                    return None;
+                                }
+                                e.terms.remove(&name);
+                            }
+                            2 => {
+                                let name = e
+                                    .terms
+                                    .iter()
+                                    .find(|(_, &c)| c != 1)
+                                    .map(|(n, _)| n.clone())?;
+                                e.terms.insert(name, 1);
+                            }
+                            _ => return None,
+                        }
+                        Some(s)
+                    };
+                    if let Some(p) = edit_nth_statement(program, k, &edit) {
+                        out.push((p, params.to_vec()));
+                    }
+                }
+            }
+        }
+    }
+
+    // Collapse max/min bounds to their first entry.
+    let n_loops = count_loops(&program.body);
+    for k in 0..n_loops {
+        if let Some(p) = edit_nth_loop(program, k, &|l| {
+            l.lower.truncate(1);
+            l.upper.truncate(1);
+        }) {
+            out.push((p, params.to_vec()));
+        }
+    }
+
+    out
+}
+
+/// Shrinks a failing case to a (locally) minimal one that still fails.
+/// Returns the input unchanged when no transformation preserves the
+/// failure.  Deterministic: candidates are tried in a fixed order and the
+/// first that still fails is kept.
+pub fn minimize(program: &Program, params: &[(String, i64)]) -> (Program, Vec<(String, i64)>) {
+    let mut current = (program.clone(), params.to_vec());
+    let mut steps = 0;
+    'outer: while steps < MAX_STEPS {
+        for (p, v) in candidates(&current.0, &current.1) {
+            if still_fails(&p, &v) {
+                current = (p, v);
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    current
+}

@@ -1,0 +1,116 @@
+//! Emission and replay of committed `.loop` regression files.
+//!
+//! A minimised counterexample is rendered as a normal `.loop` program with
+//! a comment header recording its provenance (campaign seed, case id, what
+//! diverged) and its concrete parameter binding on a machine-readable
+//! `! params:` line.  Committed files live under `tests/regressions/` and
+//! are replayed by CI and by `rcp fuzz --replay`.
+
+use rcp_loopir::Program;
+
+use crate::harness::CounterExample;
+
+/// The canonical file stem of a counterexample: campaign seed (hex) plus
+/// case id, matching the emitted program name.
+pub fn regression_name(campaign_seed: u64, case_id: usize) -> String {
+    format!("fuzz_{campaign_seed:x}_{case_id}")
+}
+
+/// Renders a counterexample as a committable `.loop` regression file.
+/// Returns `(file name, file contents)`.
+pub fn render_regression(ce: &CounterExample, campaign_seed: u64) -> (String, String) {
+    let name = regression_name(campaign_seed, ce.case_id);
+    let mut program = ce.program.clone();
+    program.name = name.clone();
+    let params_line = ce
+        .params
+        .iter()
+        .map(|(n, v)| format!("{n}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let minimised = if ce.minimized { "minimised " } else { "" };
+    let contents = format!(
+        "! rcp-fuzz {minimised}counterexample (campaign seed {campaign_seed:#x}, case {case_id}, case seed {case_seed:#x})\n\
+         ! discrepancy: scheme {scheme}, {threads} thread(s): {detail}\n\
+         ! params: {params_line}\n\
+         {body}",
+        case_id = ce.case_id,
+        case_seed = ce.case_seed,
+        scheme = ce.discrepancy.scheme,
+        threads = ce.discrepancy.threads,
+        detail = ce.discrepancy.detail,
+        body = rcp_lang::pretty(&program),
+    );
+    (format!("{name}.loop"), contents)
+}
+
+/// Parses a committed regression file back into a program plus the
+/// parameter binding recorded on its `! params:` line.  Parameters the
+/// program declares but the header omits default to 4.
+pub fn parse_regression(source: &str) -> Result<(Program, Vec<(String, i64)>), String> {
+    let program = rcp_lang::parse_program(source).map_err(|e| e.to_string())?;
+    let mut bound: Vec<(String, i64)> = Vec::new();
+    for line in source.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("! params:") {
+            for binding in rest.split_whitespace() {
+                let (name, value) = binding
+                    .split_once('=')
+                    .ok_or_else(|| format!("malformed params binding {binding:?}"))?;
+                let value: i64 = value
+                    .parse()
+                    .map_err(|_| format!("malformed params value {binding:?}"))?;
+                bound.push((name.to_string(), value));
+            }
+        }
+    }
+    let mut params = Vec::new();
+    for name in &program.params {
+        let value = bound
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(4);
+        params.push((name.clone(), value));
+    }
+    Ok((program, params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+    use crate::harness::Discrepancy;
+
+    #[test]
+    fn regression_files_round_trip() {
+        let case = generate(0xC0FFEE, 3);
+        let ce = CounterExample {
+            case_id: case.id,
+            case_seed: case.case_seed,
+            program: case.program.clone(),
+            params: case.params.clone(),
+            discrepancy: Discrepancy {
+                scheme: "pdm".to_string(),
+                threads: 2,
+                detail: "1 store mismatch(es), 0 race(s) vs sequential".to_string(),
+            },
+            minimized: true,
+        };
+        let (file, contents) = render_regression(&ce, 0xC0FFEE);
+        assert_eq!(file, "fuzz_c0ffee_3.loop");
+        let (program, params) = parse_regression(&contents).unwrap();
+        assert_eq!(program.name, "fuzz_c0ffee_3");
+        assert_eq!(params, case.params);
+        let mut renamed = case.program.canonicalized();
+        renamed.name = program.name.clone();
+        assert_eq!(program, renamed);
+    }
+
+    #[test]
+    fn missing_params_line_defaults() {
+        let source = "PROGRAM t\nPARAM N\nDO I = 1, N\n  S1: a(I) = a(I - 1)\nENDDO\nEND\n";
+        let (_, params) = parse_regression(source).unwrap();
+        assert_eq!(params, vec![("N".to_string(), 4)]);
+    }
+}

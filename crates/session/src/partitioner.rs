@@ -174,7 +174,12 @@ impl Partitioner for Unique {
             stage.phi(),
             stage.rd(),
             &label(stage, "unique"),
-        );
+        )
+        .ok_or_else(|| RcpError::SchemeUnsupported {
+            scheme: self.name(),
+            reason: "role-class graph is cyclic: no sequential order of unique sets exists"
+                .to_string(),
+        })?;
         Ok(SchemeSchedule {
             schedule,
             pipeline: None,

@@ -9,9 +9,9 @@
 //!   examples 1–4, the figure-2 loop, the uniform chain) — a test asserts
 //!   each parses back to the exact library [`Program`], so the text and
 //!   the Rust definitions cannot drift;
-//! * **text-first** SPEC-like nests (`lu`, `jacobi1d`, `mvt`, `syr2k`,
-//!   `wavefront`) that exist only as `.loop` source, kept canonical by
-//!   `rcp fmt`.
+//! * **text-first** SPEC-like nests (`applu`, `jacobi1d`, `lu`, `mvt`,
+//!   `swim`, `syr2k`, `tomcatv`, `wavefront`) that exist only as `.loop`
+//!   source, kept canonical by `rcp fmt`.
 //!
 //! Every bundled file round-trips bit-identically through
 //! pretty-print/parse: `parse(pretty(parse(f))) == parse(f)` and
@@ -37,6 +37,12 @@ pub struct BundledLoop {
 
 /// Every bundled `.loop` workload, in alphabetical order.
 pub const BUNDLED_LOOPS: &[BundledLoop] = &[
+    BundledLoop {
+        name: "applu",
+        source: include_str!("../../../examples/loops/applu.loop"),
+        library_backed: false,
+        survey_params: &[("N", 6)],
+    },
     BundledLoop {
         name: "cholesky",
         source: include_str!("../../../examples/loops/cholesky.loop"),
@@ -86,10 +92,22 @@ pub const BUNDLED_LOOPS: &[BundledLoop] = &[
         survey_params: &[("N", 8)],
     },
     BundledLoop {
+        name: "swim",
+        source: include_str!("../../../examples/loops/swim.loop"),
+        library_backed: false,
+        survey_params: &[("M", 6), ("N", 6)],
+    },
+    BundledLoop {
         name: "syr2k",
         source: include_str!("../../../examples/loops/syr2k.loop"),
         library_backed: false,
         survey_params: &[("N", 6), ("M", 4)],
+    },
+    BundledLoop {
+        name: "tomcatv",
+        source: include_str!("../../../examples/loops/tomcatv.loop"),
+        library_backed: false,
+        survey_params: &[("N", 8)],
     },
     BundledLoop {
         name: "uniform_chain",
@@ -211,5 +229,8 @@ mod tests {
         assert_eq!(p.max_depth(), 2);
         assert_eq!(load_bundled("syr2k").unwrap().max_depth(), 3);
         assert!(!load_bundled("mvt").unwrap().is_perfect_nest());
+        assert_eq!(load_bundled("applu").unwrap().max_depth(), 3);
+        assert!(load_bundled("swim").unwrap().is_perfect_nest());
+        assert!(!load_bundled("tomcatv").unwrap().is_perfect_nest());
     }
 }

@@ -40,7 +40,8 @@ fn main() {
     let (phi, rel) = analysis.bind_params(&[n]);
     let phi_d = DenseSet::from_union(&phi);
     let rd = DenseRelation::from_relation(&rel);
-    let unique = unique_sets_schedule(&analysis, &phi_d, &rd, "example2-unique");
+    let unique = unique_sets_schedule(&analysis, &phi_d, &rd, "example2-unique")
+        .expect("example 2's class graph is acyclic");
 
     println!(
         "REC   : {} phases, critical path {} work items",

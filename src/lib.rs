@@ -23,7 +23,8 @@
 //! | [`baselines`] | `rcp-baselines` | PDM, PL, UNIQUE, DOACROSS, inner-loop parallelization comparators |
 //! | [`workloads`] | `rcp-workloads` | the paper's example loops 1–4, figure-2 loop, synthetic corpus, bundled `.loop` files |
 //! | [`session`] | `rcp-session` | the staged `Session` pipeline API, the `Partitioner` scheme registry, typed `RcpError`s |
-//! | [`cli`] | `rcp-cli` | the `rcp` binary's subcommands (`parse`, `analyze`, `partition`, `codegen`, `run`, `bench`, `schemes`) |
+//! | [`cli`] | `rcp-cli` | the `rcp` binary's subcommands (`parse`, `analyze`, `partition`, `codegen`, `run`, `bench`, `schemes`, `fuzz`) |
+//! | [`fuzz`] | `rcp-fuzz` | differential fuzzing: seeded nest generator, cross-scheme execution oracle, counterexample minimiser |
 //!
 //! ## Quick start
 //!
@@ -70,6 +71,7 @@ pub use rcp_cli as cli;
 pub use rcp_codegen as codegen;
 pub use rcp_core as core;
 pub use rcp_depend as depend;
+pub use rcp_fuzz as fuzz;
 pub use rcp_intlin as intlin;
 pub use rcp_lang as lang;
 pub use rcp_loopir as loopir;

@@ -1,0 +1,39 @@
+//! Replays every committed `tests/regressions/*.loop` counterexample
+//! through the differential oracle.  A committed regression documents a
+//! bug that has since been fixed, so replay must produce no discrepancy;
+//! the directory being empty (only the README) is the healthy state.
+
+use std::fs;
+use std::path::PathBuf;
+
+use recurrence_chains::fuzz::{parse_regression, run_case, Verdict};
+
+fn regression_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/regressions")
+}
+
+#[test]
+fn committed_regressions_replay_clean() {
+    let dir = regression_dir();
+    let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("tests/regressions exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "loop"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let source = fs::read_to_string(&path).unwrap();
+        let (program, params) =
+            parse_regression(&source).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let result = run_case(&program, &params)
+            .unwrap_or_else(|e| panic!("{}: pipeline rejected regression: {e}", path.display()));
+        for (scheme, verdict) in &result.verdicts {
+            assert!(
+                !matches!(verdict, Verdict::Discrepancy(_)),
+                "{}: scheme {scheme} still diverges: {verdict:?}",
+                path.display()
+            );
+        }
+    }
+}

@@ -83,7 +83,8 @@ fn example2_matches_paper_facts() {
     let schedule = Schedule::from_partition(&analysis, &partition, "example2-rec");
     assert_eq!(schedule.n_phases(), 3);
     let (phi, rd) = dense(&analysis, &[12]);
-    let unique = unique_sets_schedule(&analysis, &phi, &rd, "example2-unique");
+    let unique = unique_sets_schedule(&analysis, &phi, &rd, "example2-unique")
+        .expect("example 2's class graph is acyclic");
     assert!(unique.n_phases() > schedule.n_phases());
 
     // Both compute the sequential result.
