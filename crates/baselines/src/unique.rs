@@ -41,6 +41,10 @@ struct Role {
 /// sets exists and the published scheme does not apply (differential
 /// fuzzing surfaced such nests; they previously tripped an internal
 /// assertion).
+// Panic-hygiene allow: `roles` was seeded with every point of `phi` and
+// `rd.iter()` only yields endpoints inside `phi`, so the lookups are
+// invariants.
+#[allow(clippy::unwrap_used)]
 pub fn unique_sets_schedule(
     analysis: &DependenceAnalysis,
     phi: &DenseSet,

@@ -27,8 +27,8 @@ use rcp_bench::baseline::diff_against_baseline;
 use rcp_bench::experiments::{
     analysis_pipeline, calibrated_model, corpus_table, ex1_partition, ex2_facts, ex3_facts,
     ex4_dataflow, fig1_dependences, fig2_chains, fig3_ex1, fig3_ex2, fig3_ex3, fig3_ex4,
-    fuzz_experiment, loop_corpus, measured_speedups, scaling_experiment, theorem1_table,
-    ExperimentReport,
+    fuzz_experiment, guard_overhead, loop_corpus, measured_speedups, scaling_experiment,
+    theorem1_table, ExperimentReport,
 };
 use rcp_bench::selection::select_experiments;
 use rcp_workloads::CholeskyParams;
@@ -132,6 +132,7 @@ fn main() {
             Box::new(move || analysis_pipeline(threads)),
         ),
         exp("scaling", true, Box::new(move || scaling_experiment(quick))),
+        exp("guard", true, Box::new(move || guard_overhead(quick))),
         exp(
             "measured",
             true,

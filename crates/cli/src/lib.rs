@@ -27,6 +27,7 @@
 
 use rcp_core::ConcretePartition;
 use rcp_depend::Granularity;
+use rcp_fuzz::ChaosVerdict;
 use rcp_json::{json, Json};
 use rcp_lang::pretty;
 use rcp_loopir::{Node, Program};
@@ -46,6 +47,13 @@ pub struct Options {
     /// `--scheme NAME`: schedule with a named registry scheme instead of
     /// the default recurrence-chains scheme (run/bench).
     pub scheme: Option<String>,
+    /// `--budget-work N`: cap the cooperative work-unit counter.
+    pub budget_work: Option<u64>,
+    /// `--budget-ms N`: wall-clock deadline for guarded stages.
+    pub budget_ms: Option<u64>,
+    /// `--no-degrade`: make budget exhaustion a hard error instead of
+    /// walking the degradation ladder.
+    pub no_degrade: bool,
 }
 
 impl Options {
@@ -58,6 +66,13 @@ impl Options {
         }
         config.granularity = self.granularity;
         config.scheme = self.scheme.clone();
+        if let Some(units) = self.budget_work {
+            config = config.with_work_budget(units);
+        }
+        if let Some(millis) = self.budget_ms {
+            config = config.with_deadline_ms(millis);
+        }
+        config.degrade = !self.no_degrade;
         config
     }
 
@@ -95,6 +110,12 @@ pub struct Invocation {
     /// `--replay FILE` (fuzz only): replay one committed regression
     /// instead of running a campaign.
     pub replay: Option<String>,
+    /// `--chaos` (fuzz only): run the fault-injection campaign instead of
+    /// the differential one (requires a `failpoints` build).
+    pub chaos: bool,
+    /// `--site NAME` (fuzz --chaos only): restrict the chaos campaign to
+    /// these failpoint sites (repeatable; empty = every catalog site).
+    pub sites: Vec<String>,
 }
 
 impl Invocation {
@@ -134,7 +155,32 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
             "--write" => inv.write = true,
             "--check" => inv.check = true,
             "--minimize" => inv.minimize = true,
+            "--chaos" => inv.chaos = true,
+            "--no-degrade" => inv.opts.no_degrade = true,
             "--stmt" => inv.opts.granularity = GranularityChoice::Statement,
+            "--budget-work" | "--budget-ms" => {
+                let Some(value) = args.get(k + 1) else {
+                    return Err(format!("{arg} requires a value"));
+                };
+                k += 1;
+                let Ok(n) = value.parse::<u64>() else {
+                    return Err(format!(
+                        "invalid {arg} value `{value}` (expected a non-negative integer)"
+                    ));
+                };
+                if arg == "--budget-work" {
+                    inv.opts.budget_work = Some(n);
+                } else {
+                    inv.opts.budget_ms = Some(n);
+                }
+            }
+            "--site" => {
+                let Some(value) = args.get(k + 1) else {
+                    return Err(format!("{arg} requires a value"));
+                };
+                k += 1;
+                inv.sites.push(value.clone());
+            }
             "--seed" | "--count" | "--out" | "--replay" => {
                 let Some(value) = args.get(k + 1) else {
                     return Err(format!("{arg} requires a value"));
@@ -268,6 +314,13 @@ fn fallback_reason(stage: &Partitioned) -> Option<String> {
     stage.plan_unavailability().map(|r| r.to_string())
 }
 
+/// The machine-readable rendering of a failed command: under `--json` the
+/// binary prints this single object, whose `error` field carries the typed
+/// [`RcpError`] Display (`tests/robustness.rs` pins the round-trip).
+pub fn error_json(error: &RcpError) -> Json {
+    json!({ "error": error.to_string() })
+}
+
 /// `rcp parse`: front-end facts and the canonical form of the program.
 pub fn cmd_parse(source: &str, origin: &str) -> Result<Report, RcpError> {
     let program = rcp_lang::parse_program(source).map_err(|e| RcpError::parse(origin, e))?;
@@ -335,11 +388,74 @@ pub fn cmd_fmt(source: &str, origin: &str) -> Result<Report, RcpError> {
     Ok(Report::ok(canonical.clone(), data))
 }
 
+/// Renders the post-budget `rcp analyze` report: the rung of the
+/// degradation ladder, the typed cause, and — on the screened-conservative
+/// rung — the screen-only pass that replaces the exact analysis.  The
+/// result is weaker but never wrong, so the command still succeeds.
+fn degraded_analyze(
+    analyzed: &Analyzed,
+    report: &rcp_session::DegradationReport,
+) -> Result<Report, RcpError> {
+    let program = analyzed.program();
+    let values = analyzed.config().resolve_params(program, &[])?;
+    let mut text = format!(
+        "program `{}` at [{}]: analysis degraded to {}\n\
+         \x20 cause                  {}\n",
+        program.name,
+        param_list(program, &values),
+        report.level,
+        report.cause,
+    );
+    let mut fields = vec![
+        ("program".to_string(), Json::Str(program.name.clone())),
+        ("params".to_string(), params_object(program, &values)),
+        (
+            "degradation".to_string(),
+            Json::Str(report.level.as_str().to_string()),
+        ),
+        (
+            "degradation_cause".to_string(),
+            Json::Str(report.cause.to_string()),
+        ),
+    ];
+    if let Some(screen) = &report.screen {
+        text.push_str(&format!(
+            "\x20 screen-only pass       {} pair(s): {} proved independent, {} may-depend \
+             ({} gcd, {} box, {} solver)\n",
+            screen.n_pairs,
+            screen.independent_pairs,
+            screen.may_depend_pairs,
+            screen.screen.by_gcd,
+            screen.screen.by_bbox,
+            screen.screen.by_solver,
+        ));
+        fields.push((
+            "screen".to_string(),
+            json!({
+                "n_pairs": screen.n_pairs,
+                "independent_pairs": screen.independent_pairs,
+                "may_depend_pairs": screen.may_depend_pairs,
+                "by_gcd": screen.screen.by_gcd,
+                "by_bbox": screen.screen.by_bbox,
+                "by_solver": screen.screen.by_solver,
+            }),
+        ));
+    }
+    text.push_str(
+        "\x20 guarantee              every reported independence is sound; \
+         sequential execution remains available\n",
+    );
+    Ok(Report::ok(text, Json::Object(fields)))
+}
+
 /// `rcp analyze`: exact dependence analysis and uniformity classification
 /// at concrete parameter values.  The JSON payload is deterministic (no
 /// wall clock), so CI can diff it against a golden file.
 pub fn cmd_analyze(source: &str, origin: &str, opts: &Options) -> Result<Report, RcpError> {
     let analyzed = opts.session().parse(source, origin)?;
+    if let Some(report) = analyzed.degradation() {
+        return degraded_analyze(&analyzed, report);
+    }
     let stage = analyzed.partition()?;
     let program = analyzed.program();
     let analysis = stage.analysis();
@@ -444,6 +560,10 @@ pub fn cmd_analyze(source: &str, origin: &str, opts: &Options) -> Result<Report,
             Json::Str(format!("{uniformity:?}")),
         ),
         ("strategy".to_string(), Json::Str(strategy.to_string())),
+        (
+            "degradation".to_string(),
+            Json::Str(analyzed.degradation_level().as_str().to_string()),
+        ),
     ];
     if let Some(reason) = reason {
         fields.push(("fallback_reason".to_string(), Json::Str(reason)));
@@ -620,7 +740,10 @@ pub fn cmd_run(source: &str, origin: &str, opts: &Options) -> Result<Report, Rcp
     let analyzed = opts.session().parse(source, origin)?;
     let scheduled = scheduled_for(&analyzed)?;
     let program = analyzed.program();
-    let verdict = scheduled.verify();
+    // The budget-checked variant: with `--budget-*` set, execution and
+    // verification run under the same guard as the analysis; without a
+    // budget it is plain `verify()`.
+    let verdict = scheduled.verify_checked()?;
     let threads = analyzed.config().threads;
     let text = format!(
         "program `{}`: executed {} instance(s) in {} phase(s) on {} thread(s) [scheme {}]\n\
@@ -857,6 +980,110 @@ pub fn cmd_fuzz_replay(source: &str, origin: &str) -> Result<Report, RcpError> {
     })
 }
 
+/// `rcp fuzz --chaos`: the fault-injection campaign — every fault at every
+/// failpoint site across the bundled corpus must yield a typed error or a
+/// store-identical degraded result, never a panic and never a miscompile.
+///
+/// Failpoints are compiled out of release builds; the `Err` arm carries
+/// the polite refusal a non-`failpoints` binary reports.
+pub fn cmd_chaos(config: &rcp_fuzz::ChaosConfig) -> Result<Report, String> {
+    let campaign = rcp_fuzz::run_chaos_campaign(config)?;
+    let mut workloads: Vec<&str> = campaign
+        .outcomes
+        .iter()
+        .map(|o| o.workload.as_str())
+        .collect();
+    workloads.sort_unstable();
+    workloads.dedup();
+    let n_workloads = workloads.len();
+    let mut text = format!(
+        "chaos campaign: {} case(s) over {} workload(s) in {:.2}s ({} fault(s) fired)\n\
+         \x20 {:<22} {:>6} {:>6} {:>12} {:>9} {:>7}\n",
+        campaign.outcomes.len(),
+        n_workloads,
+        campaign.elapsed.as_secs_f64(),
+        campaign.triggered(),
+        "site",
+        "cases",
+        "fired",
+        "typed-error",
+        "degraded",
+        "FAILED",
+    );
+    let mut site_rows = Vec::new();
+    for &site in rcp_guard::FAILPOINT_SITES {
+        if !config.sites.is_empty() && !config.sites.iter().any(|s| s == site) {
+            continue;
+        }
+        let outcomes: Vec<_> = campaign
+            .outcomes
+            .iter()
+            .filter(|o| o.site == site)
+            .collect();
+        let fired: u64 = outcomes.iter().map(|o| o.fired).sum();
+        let count = |pred: &dyn Fn(&ChaosVerdict) -> bool| {
+            outcomes.iter().filter(|o| pred(&o.verdict)).count()
+        };
+        let typed = count(&|v| matches!(v, ChaosVerdict::TypedError(_)));
+        let degraded = count(&|v| matches!(v, ChaosVerdict::Degraded(_)));
+        let failed = count(&|v| matches!(v, ChaosVerdict::Failed(_)));
+        text.push_str(&format!(
+            "\x20 {:<22} {:>6} {:>6} {:>12} {:>9} {:>7}\n",
+            site,
+            outcomes.len(),
+            fired,
+            typed,
+            degraded,
+            failed,
+        ));
+        site_rows.push(json!({
+            "site": site,
+            "cases": outcomes.len(),
+            "fired": fired,
+            "typed_error": typed,
+            "degraded": degraded,
+            "failed": failed,
+        }));
+    }
+    for outcome in campaign.failures() {
+        text.push_str(&format!(
+            "  FAILURE {} @ {} ({}): {:?}\n",
+            outcome.workload, outcome.site, outcome.fault, outcome.verdict,
+        ));
+    }
+    for site in &campaign.untriggered_sites {
+        text.push_str(&format!(
+            "  UNTRIGGERED {site}: no workload reached this failpoint\n"
+        ));
+    }
+    let clean = campaign.clean() && campaign.untriggered_sites.is_empty();
+    text.push_str(if clean {
+        "  verdict: CLEAN (every injected fault yielded a typed error or a \
+         store-identical degraded result)\n"
+    } else {
+        "  verdict: FAILED\n"
+    });
+    let data = json!({
+        "cases": campaign.outcomes.len(),
+        "triggered": campaign.triggered(),
+        "sites": Json::Array(site_rows),
+        "failures": campaign.failures().len(),
+        "untriggered_sites": Json::Array(
+            campaign
+                .untriggered_sites
+                .iter()
+                .map(|s| Json::Str(s.to_string()))
+                .collect()
+        ),
+        "clean": clean,
+    });
+    Ok(Report {
+        text,
+        data,
+        failed: !clean,
+    })
+}
+
 /// `rcp schemes`: lists the [`rcp_session::Partitioner`] registry.
 pub fn cmd_schemes() -> Report {
     let mut text = String::from("registered partitioning schemes:\n");
@@ -1078,6 +1305,100 @@ END
         assert!(err.contains("invalid --seed"));
         let err = parse_args(&["fuzz".into(), "--count".into(), "0".into()]).unwrap_err();
         assert!(err.contains("invalid --count"));
+    }
+
+    #[test]
+    fn budget_flags_parse_and_reach_the_config() {
+        let args: Vec<String> = [
+            "analyze",
+            "f.loop",
+            "--budget-work",
+            "9",
+            "--budget-ms",
+            "50",
+            "--no-degrade",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let inv = parse_args(&args).unwrap();
+        assert_eq!(inv.opts.budget_work, Some(9));
+        assert_eq!(inv.opts.budget_ms, Some(50));
+        assert!(inv.opts.no_degrade);
+        let config = inv.opts.to_config();
+        let budget = config.budget.expect("budget flags set a BudgetSpec");
+        assert_eq!(budget.max_work, Some(9));
+        assert_eq!(budget.max_millis, Some(50));
+        assert!(!config.degrade);
+
+        let err = parse_args(&["analyze".into(), "--budget-work".into(), "-3".into()]).unwrap_err();
+        assert!(err.contains("invalid --budget-work"), "{err}");
+        let err = parse_args(&["analyze".into(), "--budget-ms".into()]).unwrap_err();
+        assert!(err.contains("--budget-ms requires a value"), "{err}");
+    }
+
+    #[test]
+    fn chaos_flags_parse() {
+        let args: Vec<String> = ["fuzz", "--chaos", "--site", "intlin::hnf"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let inv = parse_args(&args).unwrap();
+        assert!(inv.chaos);
+        assert_eq!(inv.sites, vec!["intlin::hnf".to_string()]);
+    }
+
+    #[test]
+    fn analyze_reports_the_exact_rung_by_default() {
+        let r = cmd_analyze(EXAMPLE1, "example1.loop", &opts(&[("N1", 6), ("N2", 6)])).unwrap();
+        assert_eq!(r.data["degradation"].as_str(), Some("exact"));
+    }
+
+    #[test]
+    fn an_exhausted_work_budget_degrades_the_analyze_report() {
+        let o = Options {
+            budget_work: Some(1),
+            ..opts(&[("N1", 6), ("N2", 6)])
+        };
+        let r = cmd_analyze(EXAMPLE1, "example1.loop", &o).unwrap();
+        assert!(!r.failed, "degradation is a success, not a failure");
+        assert_eq!(
+            r.data["degradation"].as_str(),
+            Some("screened-conservative")
+        );
+        let cause = r.data["degradation_cause"].as_str().unwrap();
+        assert!(
+            cause.starts_with("budget exceeded in stage `"),
+            "cause must be the typed BudgetExceeded display: {cause}"
+        );
+        assert!(r.data["screen"]["n_pairs"].as_u64().is_some());
+        assert!(
+            r.text.contains("degraded to screened-conservative"),
+            "{}",
+            r.text
+        );
+    }
+
+    #[test]
+    fn no_degrade_makes_budget_exhaustion_a_hard_error() {
+        let o = Options {
+            budget_work: Some(1),
+            no_degrade: true,
+            ..opts(&[("N1", 6), ("N2", 6)])
+        };
+        let err = cmd_analyze(EXAMPLE1, "example1.loop", &o).unwrap_err();
+        assert!(matches!(err, RcpError::BudgetExceeded { .. }), "{err}");
+        // The same typed error is what `--json` carries.
+        let rendered = error_json(&err).pretty();
+        let parsed = Json::parse(&rendered).unwrap();
+        assert_eq!(parsed["error"].as_str(), Some(err.to_string().as_str()));
+    }
+
+    #[cfg(not(feature = "failpoints"))]
+    #[test]
+    fn chaos_without_failpoints_refuses_politely() {
+        let err = cmd_chaos(&rcp_fuzz::ChaosConfig::default()).unwrap_err();
+        assert!(err.contains("failpoints"), "{err}");
     }
 
     #[test]

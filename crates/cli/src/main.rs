@@ -1,7 +1,9 @@
 //! The `rcp` binary: a thin shell over [`rcp_cli`] (argument parsing
 //! lives in the library so the usage errors are golden-testable).
 
-use rcp_cli::{cmd_fmt, cmd_fuzz, cmd_fuzz_replay, cmd_schemes, parse_args, run_command};
+use rcp_cli::{
+    cmd_chaos, cmd_fmt, cmd_fuzz, cmd_fuzz_replay, cmd_schemes, parse_args, run_command,
+};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -11,6 +13,7 @@ USAGE:
     rcp <COMMAND> <FILE.loop> [OPTIONS]
     rcp schemes
     rcp fuzz [--seed S] [--count N] [--minimize] [--out DIR]
+    rcp fuzz --chaos [--site NAME]...
 
 COMMANDS:
     parse       parse the file, report front-end facts + canonical source
@@ -29,6 +32,12 @@ COMMANDS:
 OPTIONS:
     --param NAME=VALUE     bind a symbolic parameter (repeatable)
     --threads N            worker threads for run/bench (default 4)
+    --budget-work N        cap the cooperative work-unit counter (see
+                           docs/ROBUSTNESS.md); exhaustion degrades the
+                           analysis instead of failing it
+    --budget-ms N          wall-clock deadline for guarded pipeline stages
+    --no-degrade           make budget exhaustion a hard error instead of
+                           walking the degradation ladder
     --scheme NAME          partitioning scheme for run/bench (see `rcp schemes`)
     --granularity KIND     loop | stmt | auto (default auto); `loop` also
                            covers imperfect nests via the aggregated view
@@ -41,6 +50,10 @@ OPTIONS:
     --minimize             (fuzz only) shrink counterexamples before emitting
     --out DIR              (fuzz only) counterexample directory (default tests/regressions)
     --replay FILE          (fuzz only) replay one committed regression file
+    --chaos                (fuzz only) fault-injection campaign over the
+                           failpoint catalog (needs a --features failpoints build)
+    --site NAME            (fuzz --chaos only) restrict to one failpoint site
+                           (repeatable)
 
 EXAMPLE:
     rcp analyze examples/loops/example1.loop --param N1=300 --param N2=1000
@@ -83,6 +96,29 @@ fn main() -> ExitCode {
     // `fuzz` runs a campaign (no input file) unless `--replay FILE` or a
     // positional file asks to replay one committed regression.
     if inv.command == "fuzz" {
+        // `--chaos` runs the fault-injection campaign instead of the
+        // differential one; a binary without failpoints refuses politely.
+        if inv.chaos {
+            let config = rcp_fuzz::ChaosConfig {
+                workloads: Vec::new(),
+                sites: inv.sites.clone(),
+            };
+            return match cmd_chaos(&config) {
+                Ok(report) => {
+                    if inv.json {
+                        println!("{}", report.data.pretty());
+                    } else {
+                        print!("{}", report.text);
+                    }
+                    if report.failed {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(message) => fail(&message),
+            };
+        }
         let replay = inv.replay.clone().or_else(|| inv.file.clone());
         if let Some(file) = replay {
             let source = match std::fs::read_to_string(&file) {
@@ -103,6 +139,9 @@ fn main() -> ExitCode {
                     }
                 }
                 Err(e) => {
+                    if inv.json {
+                        println!("{}", rcp_cli::error_json(&e).pretty());
+                    }
                     eprintln!("error: {e}");
                     ExitCode::FAILURE
                 }
@@ -185,6 +224,9 @@ fn main() -> ExitCode {
             }
         }
         Err(e) => {
+            if inv.json {
+                println!("{}", rcp_cli::error_json(&e).pretty());
+            }
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }

@@ -108,6 +108,88 @@ fn invalid_granularity_is_a_usage_error() {
 }
 
 #[test]
+fn budget_exceeded_is_a_golden_typed_error_under_no_degrade() {
+    let out = rcp(&[
+        "analyze",
+        &example1_path(),
+        "--param",
+        "N1=8",
+        "--param",
+        "N2=8",
+        "--budget-work",
+        "1",
+        "--no-degrade",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(
+        stderr_of(&out),
+        "error: budget exceeded in stage `fm-projection`: spent 5 of 1 budget units\n"
+    );
+    assert!(!stderr_of(&out).contains("panicked"));
+
+    // Under --json the same typed error is also machine-readable on stdout.
+    let out = rcp(&[
+        "analyze",
+        &example1_path(),
+        "--param",
+        "N1=8",
+        "--param",
+        "N2=8",
+        "--budget-work",
+        "1",
+        "--no-degrade",
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout),
+        "{\n  \"error\": \"budget exceeded in stage `fm-projection`: \
+         spent 5 of 1 budget units\"\n}\n"
+    );
+}
+
+#[test]
+fn budget_exhaustion_degrades_analyze_instead_of_failing_by_default() {
+    let out = rcp(&[
+        "analyze",
+        &example1_path(),
+        "--param",
+        "N1=8",
+        "--param",
+        "N2=8",
+        "--budget-work",
+        "1",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "degradation is a success: {}",
+        stderr_of(&out)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\"degradation\": \"screened-conservative\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("\"degradation_cause\": \"budget exceeded in stage `"),
+        "{stdout}"
+    );
+}
+
+#[cfg(not(feature = "failpoints"))]
+#[test]
+fn chaos_without_failpoints_is_a_polite_refusal() {
+    // The default build compiles failpoints out; `--chaos` must explain
+    // how to get them rather than doing nothing or panicking.
+    let out = rcp(&["fuzz", "--chaos"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("failpoints"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
 fn granularity_loop_works_end_to_end_on_an_imperfect_nest() {
     let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     p.push("../../examples/loops/mvt.loop");

@@ -100,6 +100,9 @@ impl Schedule {
     /// The fully sequential schedule of a program at concrete parameter
     /// values: every statement instance in lexicographic (program) order as
     /// one chain.
+    // Panic-hygiene allow: points enumerated from the program's own unified
+    // space always decode back to instances of that program.
+    #[allow(clippy::expect_used)]
     pub fn sequential(program: &Program, params: &[i64]) -> Schedule {
         let phi = program.unified_iteration_space().bind_params(params);
         let mut items = Vec::new();
@@ -296,6 +299,9 @@ impl Schedule {
 /// structural schedule checks (the differential fuzzer's dependence-respect
 /// oracle) need the same point-to-instances expansion the schedules were
 /// built with.
+// Panic-hygiene allow: partition points come from the same analysis the
+// expansion consults, so the group/instance lookups are invariants.
+#[allow(clippy::expect_used)]
 pub fn point_to_item(analysis: &DependenceAnalysis, params: &[i64], point: &IVec) -> WorkItem {
     match (analysis.granularity, &analysis.view) {
         (Granularity::LoopLevel, rcp_depend::LoopView::Groups(groups)) => {

@@ -282,6 +282,9 @@ pub fn plan_unavailability(analysis: &DependenceAnalysis) -> Option<PlanUnavaila
 /// pair with full-rank matrices.  On failure the error says exactly which
 /// precondition broke, so callers can report *why* the program fell back
 /// to dataflow partitioning.
+// Panic-hygiene allow: both `expect`s restate what `plan_unavailability`
+// just verified — the pair and recurrence exist when it returns `None`.
+#[allow(clippy::expect_used)]
 pub fn symbolic_plan(analysis: &DependenceAnalysis) -> Result<SymbolicPlan, PlanUnavailable> {
     if let Some(reason) = plan_unavailability(analysis) {
         return Err(reason);

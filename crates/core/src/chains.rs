@@ -53,6 +53,8 @@ impl Chain {
 /// iteration, following unique successors while the next iteration is still
 /// intermediate.  The returned chains partition `P2` when Lemma 1 holds.
 pub fn chains_in_intermediate(part: &DenseThreeSet, rd: &DenseRelation) -> Vec<Chain> {
+    rcp_guard::tick(rcp_guard::Stage::ChainEnumeration, part.w.len() as u64 + 1);
+    rcp_guard::fail_point("core::chains", rcp_guard::Stage::ChainEnumeration);
     let mut chains = Vec::new();
     for start in part.w.iter() {
         let mut chain = Vec::new();
@@ -87,6 +89,8 @@ pub fn chains_in_intermediate(part: &DenseThreeSet, rd: &DenseRelation) -> Vec<C
 /// [`crate::try_chain_partition`] verifies before accepting it.
 pub fn component_chains(p2: &DenseSet, rd: &DenseRelation) -> Vec<Chain> {
     use std::collections::{BTreeMap, VecDeque};
+    rcp_guard::tick(rcp_guard::Stage::ChainEnumeration, p2.len() as u64 + 1);
+    rcp_guard::fail_point("core::chains", rcp_guard::Stage::ChainEnumeration);
     let points: Vec<IVec> = p2.iter().cloned().collect();
     let index: BTreeMap<&IVec, usize> = points.iter().enumerate().map(|(k, p)| (p, k)).collect();
     // Undirected adjacency restricted to P2.

@@ -83,6 +83,9 @@ impl DataflowPartition {
 
 /// Computes the dataflow partition of `phi` under the dependence relation
 /// `rd` (restricted to `phi`).
+// Panic-hygiene allow: `restrict_within(phi)` has just confined every edge
+// endpoint to `phi`, so both `expect`ed map lookups are invariants.
+#[allow(clippy::expect_used)]
 pub fn dataflow_partition(phi: &DenseSet, rd: &DenseRelation) -> DataflowPartition {
     // level(x) = 1 + max over predecessors p in phi of level(p); iterations
     // without predecessors get level 0.  Computed with Kahn's algorithm.

@@ -559,6 +559,45 @@ pub(crate) fn assemble_pieces(per_pair: Vec<Option<Vec<ConvexSet>>>) -> (Vec<Con
     (pieces, n_screened)
 }
 
+/// The result of the screen-only pass behind the degradation ladder's
+/// middle rung: per-pair conservative verdicts with **no** exact relation
+/// construction (no Fourier–Motzkin, no lexicographic pieces).  Pairs the
+/// cheap screens cannot prove independent are reported as may-depend —
+/// weaker than the exact analysis, never wrong.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScreenSummary {
+    /// Reference pairs the screen ran over.
+    pub n_pairs: usize,
+    /// Pairs proved independent by the screens (GCD, bounding box, or the
+    /// memoised exact diophantine solve).
+    pub independent_pairs: usize,
+    /// Pairs conservatively treated as may-depend.
+    pub may_depend_pairs: usize,
+    /// Per-stage statistics of the screening pass.
+    pub screen: ScreenStats,
+}
+
+/// Runs only the pair-space screening pass over `program`'s unified
+/// statement space — the fallback analysis the session uses when the exact
+/// analysis exhausts its budget.  Costs one screen sweep (interval
+/// arithmetic, gcds, memoised solves); never builds dependence relations.
+pub fn screen_summary(program: &Program, config: ScreenConfig) -> ScreenSummary {
+    let pairs = reference_pairs(program);
+    let stmts = program.statements();
+    let (accesses, boxes) =
+        per_statement_accesses(program, &stmts, |info, r| program.unified_access(info, r));
+    let screen = PairScreen::run(config, &pairs, &accesses, &boxes);
+    let independent_pairs = (0..pairs.len())
+        .filter(|&k| !screen.verdict(k).may_depend())
+        .count();
+    ScreenSummary {
+        n_pairs: pairs.len(),
+        independent_pairs,
+        may_depend_pairs: pairs.len() - independent_pairs,
+        screen: screen.stats(),
+    }
+}
+
 fn analyze_loop_level(
     program: &Program,
     n_threads: usize,
@@ -583,6 +622,8 @@ fn analyze_loop_level(
         if !screen.verdict(k).may_depend() {
             return None;
         }
+        rcp_guard::tick(rcp_guard::Stage::Analysis, 1);
+        rcp_guard::fail_point("depend::pair-analysis", rcp_guard::Stage::Analysis);
         let acc1 = &accesses[pair.src_stmt][pair.src_ref];
         let acc2 = &accesses[pair.dst_stmt][pair.dst_ref];
         Some(pair_relation_pieces(
@@ -635,6 +676,8 @@ fn analyze_statement_level(
         if !screen.verdict(k).may_depend() {
             return None;
         }
+        rcp_guard::tick(rcp_guard::Stage::Analysis, 1);
+        rcp_guard::fail_point("depend::pair-analysis", rcp_guard::Stage::Analysis);
         let acc1 = &accesses[pair.src_stmt][pair.src_ref];
         let acc2 = &accesses[pair.dst_stmt][pair.dst_ref];
         Some(pair_relation_pieces(

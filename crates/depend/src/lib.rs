@@ -45,8 +45,9 @@ pub mod screening;
 pub mod trace;
 
 pub use analysis::{
-    dependence_system, is_coupled_access, pair_may_depend, AnalysisOptions, CoupledPair,
-    CoupledPairCheck, DependenceAnalysis, Granularity, LoopView, RefPair,
+    dependence_system, is_coupled_access, pair_may_depend, screen_summary, AnalysisOptions,
+    CoupledPair, CoupledPairCheck, DependenceAnalysis, Granularity, LoopView, RefPair,
+    ScreenSummary,
 };
 pub use distance::{
     classify_analysis, classify_uniformity, distance_set, syntactically_uniform, Uniformity,

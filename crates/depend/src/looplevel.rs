@@ -199,6 +199,9 @@ fn aggregated_direction_pieces(
 /// # Panics
 /// Panics when the program has no loop-group decomposition (a bare
 /// top-level statement).
+// Panic-hygiene allow: the granularity chooser only selects loop-level
+// analysis for programs with a group decomposition; documented invariant.
+#[allow(clippy::expect_used)]
 pub(crate) fn analyze_aggregated(
     program: &Program,
     n_threads: usize,
@@ -238,6 +241,8 @@ pub(crate) fn analyze_aggregated(
         if !screen.verdict(k).may_depend() {
             return None;
         }
+        rcp_guard::tick(rcp_guard::Stage::Analysis, 1);
+        rcp_guard::fail_point("depend::pair-analysis", rcp_guard::Stage::Analysis);
         let (s1, r1, s2, r2) = (pair.src_stmt, pair.src_ref, pair.dst_stmt, pair.dst_ref);
         let (g1, g2) = (stmt_group[s1], stmt_group[s2]);
         let (d1, d2) = (groups[g1].depth(), groups[g2].depth());

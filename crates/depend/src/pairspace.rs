@@ -303,6 +303,11 @@ impl PairScreen {
         accesses: &[Vec<AccessMap>],
         boxes: &[Vec<Vec<Interval>>],
     ) -> PairScreen {
+        // One `pair-screen` work unit per pair: the pass is linear in the
+        // pair count, and charging it up front lets tiny work budgets trip
+        // before any exact solving starts.
+        rcp_guard::tick(rcp_guard::Stage::PairScreen, pairs.len() as u64);
+        rcp_guard::fail_point("depend::screen", rcp_guard::Stage::PairScreen);
         let mut stats = ScreenStats {
             n_pairs: pairs.len(),
             ..ScreenStats::default()

@@ -311,6 +311,9 @@ impl Campaign {
 /// Runs a full campaign: generate `count` nests from `seed`, run each
 /// through the differential oracle, minimise any counterexample if asked.
 /// Deterministic in everything but `elapsed`.
+// Panic-hygiene allow: `stats` was seeded from `scheme_names()`, the same
+// registry every verdict's scheme name comes from.
+#[allow(clippy::expect_used)]
 pub fn run_campaign(config: &CampaignConfig) -> Campaign {
     let start = Instant::now();
     let mut stats: Vec<SchemeStats> = scheme_names()

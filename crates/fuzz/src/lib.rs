@@ -5,8 +5,11 @@
 //! ([`generator`]), a differential harness that runs every applicable
 //! scheme from the session registry at 1/2/4 threads and diffs the
 //! executed stores bit-for-bit against sequential execution ([`harness`]),
-//! a greedy counterexample minimiser ([`mod@minimize`]), and the emission and
-//! replay of committed `.loop` regression files ([`regressions`]).
+//! a greedy counterexample minimiser ([`mod@minimize`]), the emission and
+//! replay of committed `.loop` regression files ([`regressions`]), and the
+//! fault-injection chaos campaign ([`chaos`], compile-time gated behind the
+//! `failpoints` feature) proving the pipeline degrades instead of
+//! miscompiling.
 //!
 //! Everything is deterministic from the campaign seed: the same
 //! `(seed, count)` reproduces the same nests, the same verdicts and the
@@ -16,11 +19,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod generator;
 pub mod harness;
 pub mod minimize;
 pub mod regressions;
 
+pub use chaos::{
+    parse_chaos_regression, render_chaos_regression, run_chaos_campaign, run_chaos_case,
+    sequential_reference, ChaosCampaign, ChaosConfig, ChaosOutcome, ChaosVerdict, Fault,
+};
 pub use generator::{case_seed, generate, FuzzCase};
 pub use harness::{
     ordering_violations, run_campaign, run_case, Campaign, CampaignConfig, CaseResult,

@@ -1,0 +1,83 @@
+//! The chaos-campaign integration test (requires `--features failpoints`).
+//!
+//! One test function on purpose: the failpoint registry is process-global,
+//! so chaos cases must not interleave with each other.  Inside, the test
+//! runs the full campaign — every fault at every catalog site across the
+//! bundled corpus — and then replays every committed
+//! `tests/regressions/chaos_*.loop` case.
+
+use std::fs;
+use std::path::Path;
+
+use rcp_fuzz::{
+    parse_chaos_regression, run_chaos_campaign, run_chaos_case, sequential_reference, ChaosConfig,
+    ChaosVerdict,
+};
+
+#[test]
+fn every_fault_at_every_site_degrades_instead_of_miscompiling() {
+    // --- The full campaign over the bundled corpus. ---
+    let campaign = run_chaos_campaign(&ChaosConfig::default()).expect("failpoints compiled in");
+    let failures = campaign.failures();
+    assert!(
+        failures.is_empty(),
+        "chaos failures:\n{}",
+        failures
+            .iter()
+            .map(|o| format!(
+                "  {} @ {} ({}): {:?}",
+                o.workload, o.site, o.fault, o.verdict
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        campaign.untriggered_sites.is_empty(),
+        "catalog sites with no chaos coverage on any workload: {:?}",
+        campaign.untriggered_sites
+    );
+    assert!(
+        campaign.triggered() > 0,
+        "the campaign must actually inject faults"
+    );
+
+    // --- Replay every committed chaos regression. ---
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/regressions");
+    let mut replayed = 0;
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .expect("tests/regressions exists")
+        .map(|e| e.expect("readable entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if !name.starts_with("chaos_") || !name.ends_with(".loop") {
+            continue;
+        }
+        let source = fs::read_to_string(&path).expect("readable regression");
+        let (program, params, site, fault) =
+            parse_chaos_regression(&source).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let reference = sequential_reference(&program, &params)
+            .unwrap_or_else(|e| panic!("{name}: reference failed: {e}"));
+        let outcome = run_chaos_case(&program, &params, &reference, &site, fault)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            outcome.verdict.acceptable(),
+            "{name}: {:?}",
+            outcome.verdict
+        );
+        assert!(
+            outcome.fired > 0,
+            "{name}: the armed site {site} never fired — stale regression?"
+        );
+        // A committed chaos case must not be a silent pass: the fault has
+        // to leave a visible trace (typed error or degradation).
+        assert!(
+            !matches!(outcome.verdict, ChaosVerdict::Passed),
+            "{name}: fault fired {} time(s) but left no trace",
+            outcome.fired
+        );
+        replayed += 1;
+    }
+    assert!(replayed >= 2, "expected committed chaos regressions");
+}

@@ -23,7 +23,7 @@
 //! simple policy whose behaviour does not depend on timing, so cached and
 //! uncached runs stay deterministic.
 
-use crate::diophantine::{solve_linear_system, DiophantineSolution};
+use crate::diophantine::DiophantineSolution;
 use crate::hnf::{hermite_normal_form, HnfResult};
 use crate::matrix::IMat;
 use crate::vector::IVec;
@@ -44,11 +44,20 @@ pub const CACHE_CAPACITY: usize = 1 << 16;
 /// Every memoisation static in the workspace is an instance of this type:
 /// the two solver caches below and the Fourier–Motzkin emptiness cache in
 /// `rcp-presburger`.
+///
+/// **Poison recovery.**  A panic that unwinds while a thread holds the
+/// cache lock (a broken `Hash` impl detonating during lookup, an injected
+/// fault, a budget trip) poisons the mutex.  Since the cache memoises pure
+/// functions, a poisoned state carries no invariant worth protecting: the
+/// lock is recovered clear-and-continue — entries are dropped, the poison
+/// flag is cleared, and later lookups simply recompute.  One panicking
+/// holder must not turn every later solve into a panic.
 pub struct MemoCache<K, V> {
     map: Mutex<Option<HashMap<K, V>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     capacity: usize,
+    failpoint: Option<(&'static str, rcp_guard::Stage)>,
 }
 
 impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
@@ -60,16 +69,53 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             capacity,
+            failpoint: None,
+        }
+    }
+
+    /// [`MemoCache::new`] with a named fault-injection site that fires
+    /// *inside* the cache lock — the one place in the workspace where an
+    /// injected panic genuinely poisons a mutex, which is exactly what the
+    /// chaos campaign uses it for.
+    pub const fn with_failpoint(
+        capacity: usize,
+        site: &'static str,
+        stage: rcp_guard::Stage,
+    ) -> Self {
+        MemoCache {
+            map: Mutex::new(None),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity,
+            failpoint: Some((site, stage)),
+        }
+    }
+
+    /// Acquires the map lock, recovering a poisoned one clear-and-continue
+    /// (see the type docs).
+    fn lock_map(&self) -> std::sync::MutexGuard<'_, Option<HashMap<K, V>>> {
+        match self.map.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.map.clear_poison();
+                let mut guard = poisoned.into_inner();
+                *guard = None;
+                guard
+            }
         }
     }
 
     /// Returns the cached value for `key`, computing and (capacity
     /// permitting) inserting it on a miss.  `compute` runs outside the
     /// lock, so concurrent misses may compute redundantly but never
-    /// deadlock; the stored value is whichever insert wins.
+    /// deadlock (and a panicking `compute` never poisons); the stored
+    /// value is whichever insert wins.
     pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
         {
-            let mut guard = self.map.lock().expect("memo cache poisoned");
+            let mut guard = self.lock_map();
+            if let Some((site, stage)) = self.failpoint {
+                rcp_guard::fail_point(site, stage);
+            }
             let cache = guard.get_or_insert_with(HashMap::new);
             if let Some(hit) = cache.get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -78,7 +124,7 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let result = compute();
-        let mut guard = self.map.lock().expect("memo cache poisoned");
+        let mut guard = self.lock_map();
         let cache = guard.get_or_insert_with(HashMap::new);
         if cache.len() < self.capacity {
             cache.insert(key, result.clone());
@@ -98,13 +144,17 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
 
     /// Empties the cache and zeroes the counters (for cold-start timing).
     pub fn reset(&self) {
-        *self.map.lock().expect("memo cache poisoned") = None;
+        *self.lock_map() = None;
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
 }
 
-static HNF_CACHE: MemoCache<IMat, HnfResult> = MemoCache::new(CACHE_CAPACITY);
+static HNF_CACHE: MemoCache<IMat, HnfResult> = MemoCache::with_failpoint(
+    CACHE_CAPACITY,
+    "intlin::cache-lookup",
+    rcp_guard::Stage::IntSolve,
+);
 static DIO_CACHE: MemoCache<(IMat, IVec), Option<DiophantineSolution>> =
     MemoCache::new(CACHE_CAPACITY);
 
@@ -141,14 +191,36 @@ impl SolverCacheStats {
 
 /// [`hermite_normal_form`] with process-wide
 /// memoisation keyed by the input matrix.
+///
+/// Charges one `int-solve` work unit to the current budget guard (a hit
+/// and a miss cost the same unit: budgets bound *lookups*, keeping guarded
+/// runs deterministic regardless of cache warmth).
 pub fn hermite_normal_form_cached(a: &IMat) -> HnfResult {
-    HNF_CACHE.get_or_compute(a.clone(), || hermite_normal_form(a))
+    rcp_guard::tick(rcp_guard::Stage::IntSolve, 1);
+    HNF_CACHE.get_or_compute(a.clone(), || {
+        rcp_guard::fail_point("intlin::hnf", rcp_guard::Stage::IntSolve);
+        hermite_normal_form(a)
+    })
 }
 
-/// [`solve_linear_system`] with
+/// [`solve_linear_system`](crate::diophantine::solve_linear_system) with
 /// process-wide memoisation keyed by `(matrix, rhs)`.
+///
+/// A miss reuses the HNF cache for the decomposition — the HNF depends
+/// only on the coefficient matrix, so one decomposition serves every
+/// right-hand side the analysis solves against it.  (The nested lookup
+/// deliberately does not tick: a dio hit and a dio miss both charge
+/// exactly one `int-solve` unit, see [`hermite_normal_form_cached`].)
 pub fn solve_linear_system_cached(m: &IMat, c: &[i64]) -> Option<DiophantineSolution> {
-    DIO_CACHE.get_or_compute((m.clone(), c.to_vec()), || solve_linear_system(m, c))
+    rcp_guard::tick(rcp_guard::Stage::IntSolve, 1);
+    DIO_CACHE.get_or_compute((m.clone(), c.to_vec()), || {
+        rcp_guard::fail_point("intlin::dio", rcp_guard::Stage::IntSolve);
+        let hnf = HNF_CACHE.get_or_compute(m.clone(), || {
+            rcp_guard::fail_point("intlin::hnf", rcp_guard::Stage::IntSolve);
+            hermite_normal_form(m)
+        });
+        crate::diophantine::solve_with_hnf(m, c, &hnf)
+    })
 }
 
 /// A snapshot of the hit/miss counters.
@@ -170,6 +242,7 @@ pub fn reset_solver_cache() {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::diophantine::solve_linear_system;
 
     // The counters are process-wide, so tests in this module compare
     // *deltas* rather than absolute values (other tests may run
@@ -219,6 +292,108 @@ mod tests {
         assert!(after.hnf_hits >= before.hnf_hits + 2);
         assert!(after.hnf_misses >= before.hnf_misses);
         assert!(after.lookups() >= before.lookups() + 3);
+    }
+
+    // Regression for the mutex-poisoning fragility: a panic raised while a
+    // thread holds the cache lock used to poison it, turning every later
+    // solve into a `.lock().expect(...)` panic.  The key type below has a
+    // `Hash` impl that detonates on demand — and `HashMap::get` hashes the
+    // key *under the cache lock*, which is exactly where real-world broken
+    // key impls (or injected faults) fire.
+    #[derive(Clone, PartialEq, Eq)]
+    struct Volatile {
+        id: u64,
+        armed: std::cell::Cell<bool>,
+    }
+
+    impl Volatile {
+        fn calm(id: u64) -> Self {
+            Volatile {
+                id,
+                armed: std::cell::Cell::new(false),
+            }
+        }
+
+        fn bomb(id: u64) -> Self {
+            Volatile {
+                id,
+                armed: std::cell::Cell::new(true),
+            }
+        }
+    }
+
+    impl Hash for Volatile {
+        fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+            if self.armed.replace(false) {
+                panic!("hash bomb {id}", id = self.id);
+            }
+            self.id.hash(state);
+        }
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_and_cache_stays_usable() {
+        let cache: MemoCache<Volatile, u64> = MemoCache::new(8);
+        assert_eq!(cache.get_or_compute(Volatile::calm(1), || 10), 10);
+        assert_eq!(
+            cache.get_or_compute(Volatile::calm(1), || 99),
+            10,
+            "warm hit"
+        );
+
+        // Panic through a lookup while holding the lock: poisons the mutex.
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_compute(Volatile::bomb(2), || 20)
+        }));
+        assert!(boom.is_err(), "the hash bomb must unwind out of the lookup");
+
+        // Clear-and-continue: the next lookup recovers the lock (entries
+        // dropped, so it recomputes) and the cache memoises again after.
+        assert_eq!(cache.get_or_compute(Volatile::calm(1), || 11), 11);
+        assert_eq!(
+            cache.get_or_compute(Volatile::calm(1), || 99),
+            11,
+            "reuse after recovery"
+        );
+        cache.reset(); // reset must also survive a recovered lock
+    }
+
+    #[test]
+    fn panicking_compute_does_not_poison() {
+        // `compute` runs outside the lock, so even an unrecovered mutex
+        // would survive this; the test pins that property.
+        let cache: MemoCache<u64, u64> = MemoCache::new(8);
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_compute(7, || panic!("solver bug"))
+        }));
+        assert!(boom.is_err());
+        assert_eq!(cache.get_or_compute(7, || 42), 42);
+        assert_eq!(
+            cache.get_or_compute(7, || 0),
+            42,
+            "memoises after the panic"
+        );
+    }
+
+    #[test]
+    fn solver_entry_points_charge_the_budget() {
+        use rcp_guard::{BudgetSpec, Guard, Interrupt, Stage};
+        let m = IMat::from_rows(&[vec![2, 3], vec![5, 7]]);
+        let guard = Guard::new(BudgetSpec::unlimited().with_max_work(2));
+        let outcome = rcp_guard::scope(&guard, || {
+            rcp_guard::catch(|| {
+                let _ = hermite_normal_form_cached(&m);
+                let _ = solve_linear_system_cached(&m, &[1, 1]);
+                let _ = hermite_normal_form_cached(&m); // third lookup trips
+            })
+        });
+        match outcome {
+            Err(Interrupt::Budget(b)) => {
+                assert_eq!(b.stage, Stage::IntSolve);
+                assert_eq!(b.limit, 2);
+            }
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
     }
 
     #[test]

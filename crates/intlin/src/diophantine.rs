@@ -52,12 +52,26 @@ impl DiophantineSolution {
 ///
 /// Returns `None` when the system has no integer solution.
 pub fn solve_linear_system(m: &IMat, c: &[i64]) -> Option<DiophantineSolution> {
+    solve_with_hnf(m, c, &hermite_normal_form(m))
+}
+
+/// [`solve_linear_system`] with the Hermite normal form of `m` supplied by
+/// the caller — the HNF depends only on the coefficient matrix, so one
+/// (possibly memoised) decomposition serves every right-hand side.
+// Panic-hygiene allow: the `expect` is a documented overflow abort — a
+// solution component outside i64 is a hard arithmetic limit, not a
+// recoverable condition.
+#[allow(clippy::expect_used)]
+pub fn solve_with_hnf(
+    m: &IMat,
+    c: &[i64],
+    res: &crate::hnf::HnfResult,
+) -> Option<DiophantineSolution> {
     assert_eq!(c.len(), m.rows(), "right-hand side dimension mismatch");
     // Column-style HNF: M · U = H with H in column echelon form.  Writing
     // y = U·z the system becomes H·z = c, which is solved by forward
     // substitution row by row; columns of H that never serve as pivots are
     // free parameters whose images under U span the homogeneous lattice.
-    let res = hermite_normal_form(m);
     let h = &res.h;
     let u = &res.u;
     let cols = m.cols();

@@ -29,6 +29,8 @@ pub fn gcd(a: i64, b: i64) -> i64 {
 /// Least common multiple of two integers, always non-negative.
 ///
 /// `lcm(0, x) == 0`.  Panics on overflow in debug builds.
+// Panic-hygiene allow: documented overflow abort, not a recoverable error.
+#[allow(clippy::expect_used)]
 pub fn lcm(a: i64, b: i64) -> i64 {
     if a == 0 || b == 0 {
         return 0;

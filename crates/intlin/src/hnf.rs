@@ -30,6 +30,9 @@ pub struct HnfResult {
 /// the only non-zero entry of its row among columns at or after the pivot
 /// column; entries of the pivot row in *earlier* pivot columns are reduced
 /// modulo the pivot.
+// Panic-hygiene allow: the single `unwrap` finds a non-zero column right
+// after the all-zero case was excluded — an invariant, not an error path.
+#[allow(clippy::unwrap_used)]
 pub fn hermite_normal_form(a: &IMat) -> HnfResult {
     let rows = a.rows();
     let cols = a.cols();

@@ -133,6 +133,9 @@ impl IMat {
     ///
     /// # Panics
     /// Panics if the matrix is not square.
+    // Panic-hygiene allow: documented overflow abort — a determinant outside
+    // i64 is a hard arithmetic limit, not a recoverable condition.
+    #[allow(clippy::expect_used)]
     pub fn det(&self) -> i64 {
         assert!(self.is_square(), "determinant of non-square matrix");
         let n = self.rows;
@@ -398,6 +401,9 @@ impl RatMat {
     }
 
     /// Converts to an integer matrix when every entry is integral.
+    // Panic-hygiene allow: the `unwrap` is guarded by the `is_integral`
+    // check above it — every entry is known to be an integer.
+    #[allow(clippy::unwrap_used)]
     pub fn to_integer(&self) -> Option<IMat> {
         if !self.is_integral() {
             return None;

@@ -103,12 +103,16 @@ impl Rational {
     }
 
     /// Floor of the rational as an integer.
+    // Panic-hygiene allow: documented overflow abort, not a recoverable error.
+    #[allow(clippy::expect_used)]
     pub fn floor(&self) -> i64 {
         let q = self.num.div_euclid(self.den);
         i64::try_from(q).expect("rational floor overflows i64")
     }
 
     /// Ceiling of the rational as an integer.
+    // Panic-hygiene allow: documented overflow abort, not a recoverable error.
+    #[allow(clippy::expect_used)]
     pub fn ceil(&self) -> i64 {
         let q = -(-self.num).div_euclid(self.den);
         i64::try_from(q).expect("rational ceil overflows i64")

@@ -155,6 +155,9 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    // Panic-hygiene allow: `advance().expect("peeked")` runs only inside a
+    // match arm where `peek()` just returned `Some` — a lexer invariant.
+    #[allow(clippy::expect_used)]
     fn expect_ident(&mut self, what: &str) -> Result<(String, SourcePos), ParseError> {
         match self.peek() {
             Some(Tok::Ident(_)) => {
@@ -183,6 +186,9 @@ impl<'a> Cursor<'a> {
     }
 
     /// One affine term: `k`, `k*v`, `v*k` or `v` (with `sign` applied).
+    // Panic-hygiene allow: `advance().expect("peeked")` runs only inside a
+    // match arm where `peek()` just returned `Some` — a lexer invariant.
+    #[allow(clippy::expect_used)]
     fn parse_term(&mut self, sign: i64, scope: &Scope) -> Result<LinExpr, ParseError> {
         match self.peek() {
             Some(Tok::Int(_)) => {

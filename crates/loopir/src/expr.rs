@@ -96,6 +96,9 @@ impl LinExpr {
     /// # Panics
     /// Panics when the expression mentions a variable not in `names`; use
     /// [`Self::try_resolve`] on unvalidated input.
+    // Panic-hygiene allow: documented panicking convenience over the
+    // fallible `try_resolve`, for callers holding validated programs.
+    #[allow(clippy::panic)]
     pub fn resolve(&self, names: &[&str]) -> (Vec<i64>, i64) {
         self.try_resolve(names).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -135,6 +138,9 @@ impl LinExpr {
     /// # Panics
     /// Panics when a variable with non-zero coefficient has no binding;
     /// use [`Self::try_eval`] on unvalidated input.
+    // Panic-hygiene allow: documented panicking convenience over the
+    // fallible `try_eval`, for callers holding validated programs.
+    #[allow(clippy::panic)]
     pub fn eval(&self, env: &BTreeMap<String, i64>) -> i64 {
         self.try_eval(env).unwrap_or_else(|e| panic!("{e}"))
     }

@@ -46,6 +46,9 @@ impl Program {
     }
 }
 
+// Panic-hygiene allow: the parser never produces a loop without bound
+// expressions, so the `expect`s guard a structural invariant.
+#[allow(clippy::expect_used)]
 fn eval_bound(exprs: &[LinExpr], env: &BTreeMap<String, i64>, is_lower: bool) -> i64 {
     let values = exprs.iter().map(|e| e.eval(env));
     if is_lower {

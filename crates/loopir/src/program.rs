@@ -347,6 +347,10 @@ impl Program {
     /// one iteration of a loop group's perfect prefix (the body of one
     /// loop-level aggregation point).  `prefix` gives the prefix loop
     /// values, outermost first; instance index vectors include them.
+    // Panic-hygiene allow: a `LoopGroup` is only ever built from this same
+    // program, so the panics guard structural invariants (caller bugs), not
+    // runtime conditions.
+    #[allow(clippy::panic)]
     pub fn enumerate_group_instances(
         &self,
         group: &LoopGroup,

@@ -68,6 +68,9 @@ impl Program {
     }
 
     /// The loop-level iteration space `Φ` of a perfect nest (eq. 1).
+    // Panic-hygiene allow: `loop_space` above has already panicked on a
+    // non-perfect nest, which always has at least one statement.
+    #[allow(clippy::expect_used)]
     pub fn loop_iteration_set(&self) -> ConvexSet {
         let space = self.loop_space();
         let indices = self.perfect_nest_indices();

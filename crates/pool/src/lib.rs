@@ -1,14 +1,14 @@
-//! A dependency-free `scope`/`par_map` facility on OS threads.
+//! A `scope`/`par_map` facility on OS threads.
 //!
 //! This is the generalisation of the `ParallelExecutor` worker pool into a
 //! reusable building block: any data-parallel, *non-schedule* work — sharded
 //! dependence analysis over reference pairs, sharded trace construction over
 //! statement-instance ranges, per-array barrier merges — runs through
 //! [`par_map`] instead of hand-rolling its own `std::thread::scope` loop.
-//! It sits below every other workspace crate (no dependencies), so both the
-//! analysis front end (`rcp-depend`) and the runtime (`rcp-runtime`, which
-//! re-exports this crate as `rcp_runtime::pool`) can share it without a
-//! dependency cycle.
+//! It sits directly above `rcp-guard` and below every other workspace crate,
+//! so both the analysis front end (`rcp-depend`) and the runtime
+//! (`rcp-runtime`, which re-exports this crate as `rcp_runtime::pool`) can
+//! share it without a dependency cycle.
 //!
 //! Design points:
 //!
@@ -21,14 +21,24 @@
 //! * **Inline fast path.** With one thread (or one item) the closure runs
 //!   on the caller — no spawning, no synchronisation — so callers can use
 //!   `par_map` unconditionally and let the thread count decide.
-//! * **Panic propagation.** A panicking item panics the caller (via
-//!   `std::thread::scope`'s join) instead of hanging or being dropped.
+//! * **Panic propagation with payloads.** A panicking item panics the
+//!   caller — but unlike raw `std::thread::scope` (whose join replaces the
+//!   payload with a generic "a scoped thread panicked") the original
+//!   payload is carried across, enriched with the item index via
+//!   [`rcp_guard::resume_with_context`].  Budget-exhaustion payloads
+//!   ([`rcp_guard::BudgetExceeded`]) pass through untouched, and the
+//!   remaining workers stop claiming items once one has failed.
+//! * **Guard propagation.** The caller's installed budget guard
+//!   ([`rcp_guard::current`]) is re-installed inside every worker, so
+//!   checkpoints inside `f` keep charging the same budget across threads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::any::Any;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// The number of hardware threads available to this process (at least 1).
@@ -45,7 +55,8 @@ pub fn available_threads() -> usize {
 /// calling thread.
 ///
 /// # Panics
-/// Propagates the first panic raised by `f`.
+/// Propagates the first panic raised by `f`, keeping its payload (see the
+/// crate docs).
 pub fn par_map<T: Sync, R: Send>(
     n_threads: usize,
     items: &[T],
@@ -54,10 +65,21 @@ pub fn par_map<T: Sync, R: Send>(
     par_map_indexed(n_threads, items, |_, item| f(item))
 }
 
+/// Recovers a possibly poisoned slot lock: the protected value is a plain
+/// `Option<R>` that is only ever *assigned*, so a poison marker (left by a
+/// panic elsewhere in the scope) carries no invariant to protect.
+fn recover<'a, T>(lock: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    match lock.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 /// [`par_map`] variant whose closure also receives the item index.
 ///
 /// # Panics
-/// Propagates the first panic raised by `f`.
+/// Propagates the first panic raised by `f`, keeping its payload (see the
+/// crate docs).
 pub fn par_map_indexed<T: Sync, R: Send>(
     n_threads: usize,
     items: &[T],
@@ -67,26 +89,54 @@ pub fn par_map_indexed<T: Sync, R: Send>(
     if workers <= 1 {
         return items.iter().enumerate().map(|(k, it)| f(k, it)).collect();
     }
+    let guard = rcp_guard::current();
     let cursor = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let first_panic: Mutex<Option<(usize, Box<dyn Any + Send>)>> = Mutex::new(None);
     let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let k = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(k) else {
-                    break;
-                };
-                let result = f(k, item);
-                *slots[k].lock().expect("par_map slot poisoned") = Some(result);
+            scope.spawn(|| {
+                rcp_guard::maybe_scope(guard.as_ref(), || loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(k) else {
+                        break;
+                    };
+                    match catch_unwind(AssertUnwindSafe(|| f(k, item))) {
+                        Ok(result) => *recover(&slots[k]) = Some(result),
+                        Err(payload) => {
+                            failed.store(true, Ordering::Relaxed);
+                            let mut slot = recover(&first_panic);
+                            if slot.is_none() {
+                                *slot = Some((k, payload));
+                            }
+                            break;
+                        }
+                    }
+                })
             });
         }
     });
+    if let Some((k, payload)) = recover(&first_panic).take() {
+        rcp_guard::resume_with_context(payload, format!("par_map item {k}"));
+    }
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("par_map slot poisoned")
-                .expect("par_map item not computed")
+        .enumerate()
+        .map(|(k, slot)| {
+            let value = match slot.into_inner() {
+                Ok(value) => value,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            match value {
+                Some(result) => result,
+                // Unreachable: with no recorded panic, every claimed index
+                // < items.len() was computed before its worker exited.
+                None => unreachable!("par_map item {k} not computed"),
+            }
         })
         .collect()
 }
@@ -150,6 +200,59 @@ mod tests {
             })
         });
         assert!(outcome.is_err(), "a worker panic must reach the caller");
+    }
+
+    #[test]
+    fn panic_payloads_survive_with_item_context() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = rcp_guard::catch(|| {
+            par_map(4, &items, |&x| {
+                if x == 13 {
+                    panic!("solver bug on item {x}");
+                }
+                x
+            })
+        });
+        match result {
+            Err(rcp_guard::Interrupt::Panic(p)) => {
+                assert_eq!(p.message, "solver bug on item 13");
+                assert_eq!(p.context, vec!["par_map item 13".to_string()]);
+            }
+            other => panic!("expected a captured panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_guards_propagate_into_workers() {
+        use rcp_guard::{BudgetSpec, Guard, Interrupt, Stage};
+        let items: Vec<usize> = (0..256).collect();
+        let guard = Guard::new(BudgetSpec::unlimited().with_max_work(32));
+        let result = rcp_guard::scope(&guard, || {
+            rcp_guard::catch(|| {
+                par_map(4, &items, |&x| {
+                    rcp_guard::tick(Stage::Analysis, 1);
+                    x
+                })
+            })
+        });
+        match result {
+            Err(Interrupt::Budget(b)) => {
+                assert_eq!(b.stage, Stage::Analysis);
+                assert_eq!(b.limit, 32);
+            }
+            other => panic!("expected budget exhaustion from inside workers, got {other:?}"),
+        }
+        // Unlimited guard: all items complete and the shared counter saw
+        // every tick from every worker thread.
+        let guard = Guard::new(BudgetSpec::unlimited());
+        let out = rcp_guard::scope(&guard, || {
+            par_map(4, &items, |&x| {
+                rcp_guard::tick(Stage::Analysis, 1);
+                x
+            })
+        });
+        assert_eq!(out.len(), items.len());
+        assert_eq!(guard.work_spent(), items.len() as u64);
     }
 
     #[test]

@@ -59,6 +59,7 @@ impl EmptinessCacheStats {
 /// exact constraint list and variable count.
 pub fn rationally_feasible_cached(constraints: &[Constraint], total: usize) -> bool {
     EMPTINESS_CACHE.get_or_compute((constraints.to_vec(), total), || {
+        rcp_guard::fail_point("presburger::emptiness", rcp_guard::Stage::FmProjection);
         rationally_feasible(constraints, total)
     })
 }

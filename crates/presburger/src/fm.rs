@@ -199,6 +199,11 @@ pub fn rationally_feasible(constraints: &[Constraint], total: usize) -> bool {
         }
     }
     for v in 0..total {
+        // Charge the budget per eliminated variable, weighted by the live
+        // constraint count: FM's cost (and blow-up risk) is in the working
+        // set, so adversarial nests burn budget proportionally faster.
+        rcp_guard::tick(rcp_guard::Stage::FmProjection, 1 + work.len() as u64);
+        rcp_guard::fail_point("presburger::fm", rcp_guard::Stage::FmProjection);
         let elim = eliminate_dim(&work, v);
         if elim.infeasible {
             return false;

@@ -190,6 +190,9 @@ impl CostModel {
 
 /// Longest-processing-time-first makespan of independent unit costs on
 /// `workers` identical workers.
+// Panic-hygiene allow: costs are finite sums of finite model constants, so
+// `partial_cmp` never sees a NaN, and `loads` is non-empty by construction.
+#[allow(clippy::unwrap_used)]
 pub fn makespan(costs: &[f64], workers: usize) -> f64 {
     let workers = workers.max(1);
     if costs.is_empty() {

@@ -217,6 +217,8 @@ impl ParallelExecutor {
         let start_all = Instant::now();
         for phase in &schedule.phases {
             let start = Instant::now();
+            rcp_guard::tick(rcp_guard::Stage::Execution, 1);
+            rcp_guard::fail_point("runtime::phase", rcp_guard::Stage::Execution);
             if !self.detect_races {
                 // Without detection a single worker executing units in
                 // order is equivalent to buffered execution for the valid
@@ -263,6 +265,12 @@ impl ParallelExecutor {
     /// Workers park on a barrier between phases; the coordinator publishes
     /// each phase's units and batches, releases the workers, and merges
     /// their buffered writes at the phase barrier.
+    // Panic-hygiene allow: the lock `expect`s fire only when a sibling
+    // thread already panicked while holding the lock; every panic here is
+    // caught by the surrounding catch_unwind frames, recorded with worker
+    // context, and re-raised once all workers have parked — the documented
+    // propagation path, never a silent hang.
+    #[allow(clippy::expect_used)]
     fn execute_on_pool(
         &self,
         schedule: &Schedule,
@@ -289,71 +297,98 @@ impl ParallelExecutor {
         // loop.  Worker bodies are wrapped in catch_unwind so a panicking
         // kernel can never strand the other side at a barrier (the rayon
         // executor this replaces propagated panics; a deadlock would turn a
-        // crash into a silent hang).
+        // crash into a silent hang).  The payload is enriched with which
+        // worker it came from (`rcp_guard::with_context`) instead of being
+        // flattened into a generic "worker panicked".
         let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
-        let record_panic = |payload: Box<dyn std::any::Any + Send>| {
-            panic_payload
-                .lock()
-                .expect("panic slot poisoned")
-                .get_or_insert(payload);
+        let record_panic = |payload: Box<dyn std::any::Any + Send>, context: String| {
+            let payload = rcp_guard::with_context(payload, context);
+            // The slot lock is only ever held for this insert, so a poison
+            // marker (another thread recording while panicking) protects
+            // nothing: recover and keep the first payload.
+            let mut slot = match panic_payload.lock() {
+                Ok(slot) => slot,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            slot.get_or_insert(payload);
         };
+        // Re-install the caller's budget guard inside every worker so
+        // kernel-side checkpoints keep charging the session budget.
+        let active_guard = rcp_guard::current();
 
         std::thread::scope(|scope| {
-            for _ in 0..self.n_threads {
-                scope.spawn(|| {
-                    ready.wait();
-                    loop {
-                        phase_start.wait();
-                        if shutdown.load(Ordering::Acquire) {
-                            break;
-                        }
-                        let outcome =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                let task_guard = task.read().expect("task lock poisoned");
-                                let task = task_guard.as_ref().expect("phase task published");
-                                let frozen = store.read().expect("store lock poisoned");
-                                let mut produced = Vec::new();
-                                // Dynamic self-scheduling: claim the next
-                                // unclaimed batch from the shared cursor until
-                                // the queue drains.
-                                loop {
-                                    let b = cursor.fetch_add(1, Ordering::Relaxed);
-                                    let Some(range) = task.batches.get(b) else {
-                                        break;
-                                    };
-                                    if task.detect_races {
-                                        // One buffer per unit, so write-write
-                                        // conflicts between units stay
-                                        // observable.
-                                        for unit_id in range.clone() {
+            for worker_id in 0..self.n_threads {
+                // Shadow the shared state with references so the `move`
+                // closure moves only those (and the copyable worker id).
+                #[allow(clippy::redundant_locals)]
+                let (task, store, results, cursor) = (&task, &store, &results, &cursor);
+                let (ready, phase_start, phase_end) = (&ready, &phase_start, &phase_end);
+                let (shutdown, record_panic, active_guard) =
+                    (&shutdown, &record_panic, &active_guard);
+                scope.spawn(move || {
+                    rcp_guard::maybe_scope(active_guard.as_ref(), || {
+                        ready.wait();
+                        loop {
+                            phase_start.wait();
+                            if shutdown.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    rcp_guard::fail_point(
+                                        "runtime::phase",
+                                        rcp_guard::Stage::Execution,
+                                    );
+                                    let task_guard = task.read().expect("task lock poisoned");
+                                    let task = task_guard.as_ref().expect("phase task published");
+                                    let frozen = store.read().expect("store lock poisoned");
+                                    let mut produced = Vec::new();
+                                    // Dynamic self-scheduling: claim the next
+                                    // unclaimed batch from the shared cursor until
+                                    // the queue drains.
+                                    loop {
+                                        let b = cursor.fetch_add(1, Ordering::Relaxed);
+                                        let Some(range) = task.batches.get(b) else {
+                                            break;
+                                        };
+                                        if task.detect_races {
+                                            // One buffer per unit, so write-write
+                                            // conflicts between units stay
+                                            // observable.
+                                            for unit_id in range.clone() {
+                                                let writes = run_buffer(
+                                                    &task.units,
+                                                    unit_id..unit_id + 1,
+                                                    &frozen,
+                                                    kernel,
+                                                );
+                                                produced.push((unit_id, writes));
+                                            }
+                                        } else {
                                             let writes = run_buffer(
                                                 &task.units,
-                                                unit_id..unit_id + 1,
+                                                range.clone(),
                                                 &frozen,
                                                 kernel,
                                             );
-                                            produced.push((unit_id, writes));
+                                            produced.push((b, writes));
                                         }
-                                    } else {
-                                        let writes =
-                                            run_buffer(&task.units, range.clone(), &frozen, kernel);
-                                        produced.push((b, writes));
                                     }
-                                }
-                                drop(frozen);
-                                drop(task_guard);
-                                if !produced.is_empty() {
-                                    results
-                                        .lock()
-                                        .expect("results lock poisoned")
-                                        .append(&mut produced);
-                                }
-                            }));
-                        if let Err(payload) = outcome {
-                            record_panic(payload);
+                                    drop(frozen);
+                                    drop(task_guard);
+                                    if !produced.is_empty() {
+                                        results
+                                            .lock()
+                                            .expect("results lock poisoned")
+                                            .append(&mut produced);
+                                    }
+                                }));
+                            if let Err(payload) = outcome {
+                                record_panic(payload, format!("executor worker {worker_id}"));
+                            }
+                            phase_end.wait();
                         }
-                        phase_end.wait();
-                    }
+                    })
                 });
             }
 
@@ -368,6 +403,7 @@ impl ParallelExecutor {
             let coordinator = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 for phase in &schedule.phases {
                     let start = Instant::now();
+                    rcp_guard::tick(rcp_guard::Stage::Execution, 1);
                     let units = phase_units(phase);
                     // Fast path: a single unit has no intra-phase
                     // concurrency (and cannot race) — run it on the
@@ -417,7 +453,7 @@ impl ParallelExecutor {
                 }
             }));
             if let Err(payload) = coordinator {
-                record_panic(payload);
+                record_panic(payload, "executor coordinator".to_string());
             }
             total_time = start_all.elapsed();
             // Release the workers to exit; every worker is parked at
@@ -427,7 +463,11 @@ impl ParallelExecutor {
             phase_start.wait();
         });
 
-        if let Some(payload) = panic_payload.into_inner().expect("panic slot poisoned") {
+        let recorded = match panic_payload.into_inner() {
+            Ok(slot) => slot,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(payload) = recorded {
             std::panic::resume_unwind(payload);
         }
 
@@ -508,6 +548,7 @@ fn merge_buffers(
     detect_races: bool,
     races: &mut Vec<(String, IVec)>,
 ) {
+    rcp_guard::fail_point("runtime::merge", rcp_guard::Stage::Execution);
     if detect_races {
         let mut writer: HashMap<(String, IVec), usize> = HashMap::new();
         for (unit_id, writes) in buffer_writes.iter().enumerate() {
@@ -548,11 +589,17 @@ fn merge_buffers(
 /// [`ParallelExecutor::PAR_MERGE_MIN_WRITES`] writes, or a single array —
 /// replay inline: sharding them would cost more in thread spawns than the
 /// replay itself.
+// Panic-hygiene allow: the grouped-map `unwrap` walks keys just collected
+// from that map, and the job-lock `expect`s are uncontended single-owner
+// locks whose poisoning implies a merge panic already in flight (caught by
+// the executor's unwind frames).
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 fn merge_buffers_per_array(
     store: &mut ArrayStore,
     buffer_writes: &[WriteBuffer],
     n_threads: usize,
 ) {
+    rcp_guard::fail_point("runtime::merge", rcp_guard::Stage::Execution);
     let inline_replay = |store: &mut ArrayStore| {
         for writes in buffer_writes {
             for (array, elements) in writes {
@@ -797,10 +844,24 @@ mod tests {
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 executor.execute(&schedule, &kernel)
             }));
-            assert!(
-                outcome.is_err(),
-                "the kernel panic must propagate, not hang or vanish"
-            );
+            match outcome {
+                Err(payload) => {
+                    // The payload must survive the worker boundary with the
+                    // original message plus which worker raised it — not be
+                    // flattened into a generic "worker panicked".
+                    let captured = payload
+                        .downcast::<rcp_guard::CapturedPanic>()
+                        .expect("worker panics carry a CapturedPanic payload");
+                    assert_eq!(captured.message, "kernel boom");
+                    assert_eq!(captured.context.len(), 1, "{:?}", captured.context);
+                    assert!(
+                        captured.context[0].starts_with("executor worker "),
+                        "context names the worker: {:?}",
+                        captured.context
+                    );
+                }
+                Ok(_) => panic!("the kernel panic must propagate, not hang or vanish"),
+            }
         }
     }
 

@@ -74,6 +74,9 @@ impl RefKernel {
 }
 
 impl Kernel for RefKernel {
+    // Panic-hygiene allow: schedules executed against a `RefKernel` are
+    // built from the same program, so every statement id is present.
+    #[allow(clippy::expect_used)]
     fn execute(&self, stmt_id: usize, indices: &[i64], store: &mut dyn StoreView) {
         let accesses = self.stmts.get(&stmt_id).expect("unknown statement id");
         // Combine the read values with an order-sensitive function so that

@@ -75,6 +75,16 @@ pub struct Config {
     /// lets the analysis pick (all hardware threads when the program has
     /// enough reference pairs to amortise spawning).
     pub analysis_threads: Option<usize>,
+    /// The resource budget (work units and/or a wall-clock deadline)
+    /// enforced at the pipeline's cooperative checkpoints; `None` runs
+    /// unguarded (no budget, no per-checkpoint overhead beyond a
+    /// thread-local read).  The CLI's `--budget-work` / `--budget-ms`.
+    pub budget: Option<rcp_guard::BudgetSpec>,
+    /// When a budget is exhausted, walk the degradation ladder (exact →
+    /// screened-conservative → sequential) instead of failing with
+    /// [`RcpError::BudgetExceeded`].  `true` by default; the CLI's
+    /// `--no-degrade` clears it.
+    pub degrade: bool,
 }
 
 impl Default for Config {
@@ -87,6 +97,8 @@ impl Default for Config {
             reuse_partitions: true,
             warm_caches: true,
             analysis_threads: None,
+            budget: None,
+            degrade: true,
         }
     }
 }
@@ -153,6 +165,38 @@ impl Config {
     /// Shards the dependence analysis over exactly this many threads.
     pub fn with_analysis_threads(mut self, threads: usize) -> Self {
         self.analysis_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Enforces `budget` at the pipeline's cooperative checkpoints.
+    pub fn with_budget(mut self, budget: rcp_guard::BudgetSpec) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Caps the cooperative work-unit counter (see
+    /// [`rcp_guard::BudgetSpec::with_max_work`]).
+    pub fn with_work_budget(mut self, units: u64) -> Self {
+        let spec = self.budget.take().unwrap_or_default().with_max_work(units);
+        self.budget = Some(spec);
+        self
+    }
+
+    /// Sets a wall-clock deadline in milliseconds for guarded stages.
+    pub fn with_deadline_ms(mut self, millis: u64) -> Self {
+        let spec = self
+            .budget
+            .take()
+            .unwrap_or_default()
+            .with_deadline_ms(millis);
+        self.budget = Some(spec);
+        self
+    }
+
+    /// Makes budget exhaustion a hard [`RcpError::BudgetExceeded`] instead
+    /// of walking the degradation ladder.
+    pub fn without_degradation(mut self) -> Self {
+        self.degrade = false;
         self
     }
 

@@ -1,0 +1,80 @@
+//! The degradation ladder: what a session still promises after its budget
+//! runs out.
+//!
+//! A budget-guarded session never trades correctness for liveness — it
+//! trades *precision*.  When a cooperative checkpoint trips during
+//! analysis, the session steps down one rung at a time:
+//!
+//! 1. **Exact** — the normal result: the full dependence analysis with
+//!    exact relation pieces, Algorithm-1 partitions, parallel schedules.
+//! 2. **Screened-conservative** — only the cheap pair-space screens ran
+//!    (GCD, bounding boxes, memoised diophantine solves); pairs the
+//!    screens cannot prove independent are reported *may-depend*.  No
+//!    exact relation exists, so no parallel schedule is built — but every
+//!    reported independence is still sound.
+//! 3. **Sequential** — even the screen pass failed (an injected fault, a
+//!    poisoned cache).  Nothing is claimed about dependences; the program
+//!    still runs, bit-identically, via the sequential schedule.
+//!
+//! Every rung is *weaker but never wrong*: the only things lost going down
+//! are precision and parallelism.  The level is carried on the
+//! [`crate::Analyzed`] stage and reported by `rcp analyze` (text and
+//! `--json`) alongside the existing `fallback_reason`.
+
+use crate::error::RcpError;
+use rcp_depend::ScreenSummary;
+use std::fmt;
+
+/// The rung of the degradation ladder a session result sits on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DegradationLevel {
+    /// The full exact analysis ran to completion.
+    #[default]
+    Exact,
+    /// Only the screening pass ran; surviving pairs are conservatively
+    /// may-depend.
+    ScreenedConservative,
+    /// No analysis result at all; only sequential execution is offered.
+    Sequential,
+}
+
+impl DegradationLevel {
+    /// The stable kebab-case name used in reports and `--json` output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DegradationLevel::Exact => "exact",
+            DegradationLevel::ScreenedConservative => "screened-conservative",
+            DegradationLevel::Sequential => "sequential",
+        }
+    }
+
+    /// True on the top rung (no degradation happened).
+    pub fn is_exact(&self) -> bool {
+        matches!(self, DegradationLevel::Exact)
+    }
+}
+
+impl fmt::Display for DegradationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Why and how far a session degraded: the rung, the typed cause (almost
+/// always [`RcpError::BudgetExceeded`]), and — on the middle rung — the
+/// screen-only verdicts that replace the exact analysis.
+#[derive(Clone, Debug)]
+pub struct DegradationReport {
+    /// The rung the session landed on (never [`DegradationLevel::Exact`]).
+    pub level: DegradationLevel,
+    /// The typed error that knocked the session off the exact rung.
+    pub cause: RcpError,
+    /// The screen-only pass, present on the screened-conservative rung.
+    pub screen: Option<ScreenSummary>,
+}
+
+impl fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "degraded to {}: {}", self.level, self.cause)
+    }
+}

@@ -93,6 +93,31 @@ pub enum RcpError {
         /// The commands that exist.
         known: Vec<&'static str>,
     },
+    /// A configured resource budget ([`crate::Config::with_budget`]) was
+    /// exhausted at a cooperative checkpoint.  With degradation enabled the
+    /// session reports this alongside a weaker-but-sound result instead of
+    /// failing (see `docs/ROBUSTNESS.md`); with `--no-degrade` it is the
+    /// final error.
+    BudgetExceeded {
+        /// The pipeline stage whose checkpoint tripped (a
+        /// [`rcp_guard::Stage`] name, e.g. `fm-projection`).
+        stage: String,
+        /// Units spent at the trip: work units, or elapsed milliseconds
+        /// for a deadline trip.
+        spent: u64,
+        /// The configured limit for the tripped resource.
+        limit: u64,
+    },
+    /// A worker (or any pipeline stage) panicked; the payload was captured
+    /// and converted to data instead of crossing the API as an unwind.
+    WorkerPanic {
+        /// The downcast panic message.
+        message: String,
+        /// Where it happened, innermost first ("par_map item 13",
+        /// "executor worker 2") — empty when the panic did not cross a
+        /// worker boundary.
+        context: Vec<String>,
+    },
 }
 
 impl RcpError {
@@ -164,6 +189,23 @@ impl fmt::Display for RcpError {
             RcpError::UnknownCommand { name, known } => {
                 write!(f, "unknown command `{name}` (known: {})", known.join(", "))
             }
+            RcpError::BudgetExceeded {
+                stage,
+                spent,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "budget exceeded in stage `{stage}`: spent {spent} of {limit} budget units"
+                )
+            }
+            RcpError::WorkerPanic { message, context } => {
+                write!(f, "pipeline stage panicked: {message}")?;
+                if !context.is_empty() {
+                    write!(f, " (in {})", context.join(", in "))?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -182,6 +224,28 @@ impl std::error::Error for RcpError {
 impl From<PlanUnavailable> for RcpError {
     fn from(reason: PlanUnavailable) -> Self {
         RcpError::PlanUnavailable { reason }
+    }
+}
+
+impl From<rcp_guard::BudgetExceeded> for RcpError {
+    fn from(b: rcp_guard::BudgetExceeded) -> Self {
+        RcpError::BudgetExceeded {
+            stage: b.stage.as_str().to_string(),
+            spent: b.spent,
+            limit: b.limit,
+        }
+    }
+}
+
+impl From<rcp_guard::Interrupt> for RcpError {
+    fn from(interrupt: rcp_guard::Interrupt) -> Self {
+        match interrupt {
+            rcp_guard::Interrupt::Budget(b) => b.into(),
+            rcp_guard::Interrupt::Panic(p) => RcpError::WorkerPanic {
+                message: p.message,
+                context: p.context,
+            },
+        }
     }
 }
 

@@ -53,16 +53,19 @@
 #![warn(missing_docs)]
 
 mod config;
+mod degrade;
 mod error;
 mod partitioner;
 mod pipeline;
 
 pub use config::{Config, GranularityChoice};
+pub use degrade::{DegradationLevel, DegradationReport};
 pub use error::RcpError;
 pub use partitioner::{
     partitioner, registry, scheme_names, Partitioner, SchemeSchedule, DEFAULT_SCHEME,
 };
 pub use pipeline::{Analyzed, BenchMeasurement, Partitioned, Planned, Scheduled, Session};
+pub use rcp_guard::BudgetSpec;
 
 #[cfg(test)]
 mod tests {

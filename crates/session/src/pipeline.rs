@@ -23,6 +23,7 @@
 //! pipeline is the same either way, only the memoisation boundary moves.
 
 use crate::config::Config;
+use crate::degrade::{DegradationLevel, DegradationReport};
 use crate::error::RcpError;
 use crate::partitioner::{partitioner, SchemeSchedule, DEFAULT_SCHEME};
 use rcp_codegen::{generate_listing, Schedule};
@@ -124,10 +125,21 @@ impl Session {
             }
         };
         let deferred = subscripts_mention_params(&program);
+        let mut degradation = None;
         let symbolic = if deferred {
             None
         } else {
-            Some(Arc::new(self.run_analysis(&program, granularity)))
+            // The exact analysis runs under the configured budget guard
+            // and behind a catch boundary: a tripped checkpoint (or any
+            // panic below) arrives here as a typed Interrupt, never as an
+            // unwind through the public API.
+            match self.run_analysis_guarded(&program, granularity) {
+                Ok(analysis) => Some(Arc::new(analysis)),
+                Err(interrupt) => {
+                    degradation = Some(self.degrade_after(interrupt, &program)?);
+                    None
+                }
+            }
         };
         Ok(Analyzed {
             inner: Arc::new(AnalyzedInner {
@@ -136,9 +148,54 @@ impl Session {
                 program,
                 granularity,
                 symbolic,
+                degradation,
                 stages: Mutex::new(HashMap::new()),
             }),
         })
+    }
+
+    fn run_analysis_guarded(
+        &self,
+        program: &Program,
+        granularity: Granularity,
+    ) -> Result<DependenceAnalysis, rcp_guard::Interrupt> {
+        run_guarded(&self.config.budget, || {
+            self.run_analysis(program, granularity)
+        })
+    }
+
+    /// Walks the degradation ladder after the exact analysis was
+    /// interrupted.  Only budget exhaustion degrades (and only when the
+    /// configuration allows it); a genuine panic is never papered over —
+    /// it surfaces as a typed [`RcpError::WorkerPanic`].
+    fn degrade_after(
+        &self,
+        interrupt: rcp_guard::Interrupt,
+        program: &Program,
+    ) -> Result<DegradationReport, RcpError> {
+        let cause: RcpError = match interrupt {
+            rcp_guard::Interrupt::Budget(b) if self.config.degrade => b.into(),
+            other => return Err(other.into()),
+        };
+        // Middle rung: the screen-only pass.  It runs *outside* any guard
+        // scope — it must not be charged to the budget that just ran out —
+        // and behind its own catch: if it unwinds too (an armed failpoint,
+        // a pathological program), fall to the bottom rung instead of
+        // letting the panic escape.
+        match rcp_guard::catch(|| {
+            rcp_depend::screen_summary(program, rcp_depend::ScreenConfig::full())
+        }) {
+            Ok(screen) => Ok(DegradationReport {
+                level: DegradationLevel::ScreenedConservative,
+                cause,
+                screen: Some(screen),
+            }),
+            Err(_) => Ok(DegradationReport {
+                level: DegradationLevel::Sequential,
+                cause,
+                screen: None,
+            }),
+        }
     }
 
     fn run_analysis(&self, program: &Program, granularity: Granularity) -> DependenceAnalysis {
@@ -152,6 +209,25 @@ impl Session {
             }
             None => DependenceAnalysis::analyze(program, granularity),
         }
+    }
+}
+
+/// Runs `f` under a fresh guard over `budget` (when one is configured)
+/// and behind a catch boundary.  Every guarded stage entry — analysis,
+/// deferred re-analysis, schedule construction, checked execution — gets
+/// its own guard, so `budget` bounds each stage rather than the session's
+/// lifetime.
+fn run_guarded<R>(
+    budget: &Option<rcp_guard::BudgetSpec>,
+    f: impl FnOnce() -> R,
+) -> Result<R, rcp_guard::Interrupt> {
+    rcp_guard::suppress_control_flow_panic_output();
+    match budget {
+        Some(spec) => {
+            let guard = rcp_guard::Guard::new(spec.clone());
+            rcp_guard::scope(&guard, || rcp_guard::catch(f))
+        }
+        None => rcp_guard::catch(f),
     }
 }
 
@@ -176,13 +252,36 @@ struct AnalyzedInner {
     program: Program,
     granularity: Granularity,
     /// The parameter-independent analysis; `None` when subscripts mention
-    /// parameters and analysis is deferred to the partition stage.
+    /// parameters and analysis is deferred to the partition stage, or when
+    /// the session degraded (see `degradation`).
     symbolic: Option<Arc<DependenceAnalysis>>,
+    /// Set when the exact analysis was interrupted by budget exhaustion
+    /// and the session stepped down the degradation ladder.
+    degradation: Option<DegradationReport>,
     /// Memoised concrete stage payloads, keyed by parameter values.  The
     /// memo stores the cycle-free [`StageCore`] — not a [`Partitioned`],
     /// whose back-reference to this struct would form an `Arc` cycle and
     /// leak every memoised analysis for the life of the process.
     stages: Mutex<HashMap<Vec<i64>, Arc<StageCore>>>,
+}
+
+impl AnalyzedInner {
+    /// The stage memo, recovering from poisoning.  The memo caches pure
+    /// derivations of the immutable program, so a panic that unwound
+    /// through the lock (an injected fault, a budget trip mid-insert)
+    /// leaves no invariant to protect — clear the entries and continue;
+    /// the worst case is recomputation.
+    fn lock_stages(&self) -> std::sync::MutexGuard<'_, HashMap<Vec<i64>, Arc<StageCore>>> {
+        match self.stages.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.stages.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                guard
+            }
+        }
+    }
 }
 
 /// A parsed program plus its dependence analysis: the reusable front half
@@ -200,6 +299,7 @@ impl fmt::Debug for Analyzed {
             .field("origin", &self.inner.origin)
             .field("granularity", &self.inner.granularity)
             .field("deferred", &self.inner.symbolic.is_none())
+            .field("degradation", &self.degradation_level())
             .finish()
     }
 }
@@ -229,9 +329,32 @@ impl Analyzed {
 
     /// The parameter-independent dependence analysis, when one exists.
     /// `None` for programs whose subscripts mention parameters — use a
-    /// [`Partitioned`] stage, whose analysis is always present.
+    /// [`Partitioned`] stage, whose analysis is always present — and for
+    /// degraded sessions (see [`Self::degradation`]).
     pub fn symbolic_analysis(&self) -> Option<&DependenceAnalysis> {
         self.inner.symbolic.as_deref()
+    }
+
+    /// How far this session degraded, or `None` on the exact rung.
+    pub fn degradation(&self) -> Option<&DegradationReport> {
+        self.inner.degradation.as_ref()
+    }
+
+    /// The degradation-ladder rung of this session's result.
+    pub fn degradation_level(&self) -> DegradationLevel {
+        self.inner
+            .degradation
+            .as_ref()
+            .map_or(DegradationLevel::Exact, |report| report.level)
+    }
+
+    /// The sequential schedule of the program at the configuration's
+    /// parameter bindings — the bottom rung of the degradation ladder,
+    /// available on *every* rung (it needs no dependence analysis and is
+    /// store-identical to the reference execution by construction).
+    pub fn sequential_schedule(&self) -> Result<Schedule, RcpError> {
+        let values = self.inner.config.resolve_params(&self.inner.program, &[])?;
+        Ok(Schedule::sequential(&self.inner.program, &values))
     }
 
     /// Why Algorithm 1's recurrence-chain branch is unavailable, or `None`
@@ -285,15 +408,21 @@ impl Analyzed {
     /// The concrete [`Partitioned`] stage at explicit parameter values (in
     /// declaration order).
     pub fn partition_values(&self, values: &[i64]) -> Result<Partitioned, RcpError> {
+        if let Some(report) = &self.inner.degradation {
+            // A degraded session has no exact analysis to partition; the
+            // typed cause says why.  Screen verdicts and the sequential
+            // schedule remain available on the Analyzed stage.
+            return Err(report.cause.clone());
+        }
         if self.inner.config.reuse_partitions {
-            let stages = self.inner.stages.lock().expect("stage memo poisoned");
+            let stages = self.inner.lock_stages();
             if let Some(core) = stages.get(values) {
                 return Ok(self.wrap_core(core.clone()));
             }
         }
-        let core = self.build_core(values);
+        let core = self.build_core(values)?;
         if self.inner.config.reuse_partitions {
-            let mut stages = self.inner.stages.lock().expect("stage memo poisoned");
+            let mut stages = self.inner.lock_stages();
             stages.insert(values.to_vec(), core.clone());
         }
         Ok(self.wrap_core(core))
@@ -301,7 +430,7 @@ impl Analyzed {
 
     /// Number of memoised concrete stages (for tests and reporting).
     pub fn cached_partitions(&self) -> usize {
-        self.inner.stages.lock().expect("stage memo poisoned").len()
+        self.inner.lock_stages().len()
     }
 
     fn wrap_core(&self, core: Arc<StageCore>) -> Partitioned {
@@ -313,35 +442,43 @@ impl Analyzed {
         }
     }
 
-    fn build_core(&self, values: &[i64]) -> Arc<StageCore> {
+    fn build_core(&self, values: &[i64]) -> Result<Arc<StageCore>, RcpError> {
         let inner = &self.inner;
         let session = Session::with_config(inner.config.clone());
-        let (analysis, analysis_values, runtime_program, runtime_values) =
-            match inner.symbolic.clone() {
-                Some(analysis) => (
-                    analysis,
-                    values.to_vec(),
-                    inner.program.clone(),
-                    values.to_vec(),
-                ),
-                None => {
-                    let bound = inner.program.bind_params(values);
-                    let analysis = Arc::new(session.run_analysis(&bound, inner.granularity));
-                    (analysis, Vec::new(), bound, Vec::new())
-                }
-            };
-        let (phi_union, relation) = analysis.bind_params(&analysis_values);
-        let phi = DenseSet::from_union(&phi_union);
-        let rd = DenseRelation::from_relation(&relation);
-        Arc::new(StageCore {
-            values: values.to_vec(),
-            analysis,
-            runtime_program,
-            runtime_values,
-            phi,
-            rd,
-            partition: OnceLock::new(),
+        // The whole concrete stage — the deferred re-analysis and the φ/Rd
+        // enumeration (which re-enters the presburger feasibility seams) —
+        // runs under one guarded scope.  There is no ladder here: a
+        // concrete stage was explicitly requested, so exhaustion is a hard
+        // typed error rather than a weaker result.
+        run_guarded(&inner.config.budget, || {
+            let (analysis, analysis_values, runtime_program, runtime_values) =
+                match inner.symbolic.clone() {
+                    Some(analysis) => (
+                        analysis,
+                        values.to_vec(),
+                        inner.program.clone(),
+                        values.to_vec(),
+                    ),
+                    None => {
+                        let bound = inner.program.bind_params(values);
+                        let analysis = session.run_analysis(&bound, inner.granularity);
+                        (Arc::new(analysis), Vec::new(), bound, Vec::new())
+                    }
+                };
+            let (phi_union, relation) = analysis.bind_params(&analysis_values);
+            let phi = DenseSet::from_union(&phi_union);
+            let rd = DenseRelation::from_relation(&relation);
+            Arc::new(StageCore {
+                values: values.to_vec(),
+                analysis,
+                runtime_program,
+                runtime_values,
+                phi,
+                rd,
+                partition: OnceLock::new(),
+            })
         })
+        .map_err(RcpError::from)
     }
 }
 
@@ -474,8 +611,20 @@ impl Partitioned {
     }
 
     /// The Algorithm-1 partition (computed once, then shared).
+    ///
+    /// The computation is a cooperative checkpoint: under an installed
+    /// guard (a [`Scheduled`] built through [`Self::schedule`], or a
+    /// checked execution) a budget trip unwinds to the enclosing catch
+    /// boundary and surfaces as [`RcpError::BudgetExceeded`] there.  A
+    /// failed initialisation leaves the `OnceLock` empty, so a later call
+    /// under a fresh budget simply retries.
     pub fn partition(&self) -> &ConcretePartition {
         self.inner.core.partition.get_or_init(|| {
+            rcp_guard::fail_point("session::partition", rcp_guard::Stage::Partition);
+            rcp_guard::tick(
+                rcp_guard::Stage::Partition,
+                self.inner.core.phi.len() as u64,
+            );
             concrete_partition_from_dense(
                 &self.inner.core.analysis,
                 &self.inner.core.phi,
@@ -516,7 +665,12 @@ impl Partitioned {
     /// [`crate::registry`].
     pub fn schedule_with(&self, scheme: &str) -> Result<Scheduled, RcpError> {
         let partitioner = partitioner(scheme)?;
-        let SchemeSchedule { schedule, pipeline } = partitioner.build(self)?;
+        // Schedule construction (which lazily computes the Algorithm-1
+        // partition) is guarded: budget trips and injected faults below
+        // this point come back as typed errors, never as unwinds.
+        let budget = &self.inner.analyzed.config().budget;
+        let SchemeSchedule { schedule, pipeline } =
+            run_guarded(budget, || partitioner.build(self)).map_err(RcpError::from)??;
         Ok(Scheduled {
             inner: Arc::new(ScheduledInner {
                 partitioned: self.clone(),
@@ -626,6 +780,28 @@ impl Scheduled {
         )
     }
 
+    /// Like [`Self::verify`], but under the configured budget guard and
+    /// behind a catch boundary: executor-phase budget trips, injected
+    /// faults and worker panics surface as typed errors instead of
+    /// unwinding through the caller.
+    pub fn verify_checked(&self) -> Result<Verification, RcpError> {
+        let budget = &self.inner.partitioned.analyzed().config().budget;
+        run_guarded(budget, || self.verify()).map_err(RcpError::from)
+    }
+
+    /// Executes the parallel schedule under the configured budget guard,
+    /// returning the execution result (final store, timings, races) or a
+    /// typed error.  The degradation ladder's bottom rung —
+    /// [`execute_sequential`] on [`Self::sequential`] — remains available
+    /// after any failure here.
+    pub fn execute_checked(&self) -> Result<rcp_runtime::ExecutionResult, RcpError> {
+        let kernel = self.kernel();
+        let executor = ParallelExecutor::new(self.config_threads());
+        let budget = &self.inner.partitioned.analyzed().config().budget;
+        run_guarded(budget, || executor.execute(&self.inner.schedule, &kernel))
+            .map_err(RcpError::from)
+    }
+
     /// Measured sequential vs parallel wall clock, best of `reps`.
     pub fn bench(&self, reps: usize) -> BenchMeasurement {
         let kernel = self.kernel();
@@ -716,6 +892,108 @@ mod tests {
             other => panic!("expected UnboundVariable, got {other:?}"),
         }
         assert!(err.to_string().contains("unknown variable `Q`"), "{err}");
+    }
+
+    #[test]
+    fn an_exhausted_budget_degrades_to_screened_conservative() {
+        // A one-work-unit budget cannot cover example1's analysis: the
+        // session must step down the ladder, not stall and not unwind.
+        let analyzed = Session::with_config(
+            Config::new()
+                .with_params(&[("N1", 10), ("N2", 10)])
+                .with_work_budget(1),
+        )
+        .bundled("example1")
+        .unwrap();
+        let report = analyzed.degradation().expect("must degrade");
+        assert_eq!(report.level, DegradationLevel::ScreenedConservative);
+        assert!(!analyzed.degradation_level().is_exact());
+        assert!(analyzed.symbolic_analysis().is_none());
+        // The cause is the typed budget error, naming its stage.
+        match &report.cause {
+            RcpError::BudgetExceeded { spent, limit, .. } => {
+                assert_eq!(*limit, 1);
+                assert!(*spent >= *limit, "spent {spent} < limit {limit}");
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // The screen-only pass still delivers sound verdicts...
+        let screen = report.screen.expect("screen pass ran");
+        assert_eq!(screen.n_pairs, 2);
+        assert_eq!(
+            screen.independent_pairs + screen.may_depend_pairs,
+            screen.n_pairs
+        );
+        // ...an exact partition is refused with the same typed cause...
+        assert_eq!(analyzed.partition().unwrap_err(), report.cause);
+        // ...and the bottom rung always works.
+        let sequential = analyzed.sequential_schedule().unwrap();
+        assert_eq!(sequential.n_instances(), 100);
+    }
+
+    #[test]
+    fn without_degradation_budget_exhaustion_is_a_hard_error() {
+        let err = Session::with_config(
+            Config::new()
+                .with_params(&[("N1", 10), ("N2", 10)])
+                .with_work_budget(1)
+                .without_degradation(),
+        )
+        .bundled("example1")
+        .unwrap_err();
+        assert!(
+            matches!(err, RcpError::BudgetExceeded { limit: 1, .. }),
+            "expected BudgetExceeded, got {err:?}"
+        );
+        assert!(err.to_string().contains("budget exceeded in stage"));
+    }
+
+    #[test]
+    fn a_generous_budget_stays_on_the_exact_rung() {
+        let analyzed = Session::with_config(
+            Config::new()
+                .with_params(&[("N1", 10), ("N2", 10)])
+                .with_work_budget(1_000_000)
+                .with_deadline_ms(120_000),
+        )
+        .bundled("example1")
+        .unwrap();
+        assert!(analyzed.degradation().is_none());
+        assert!(analyzed.degradation_level().is_exact());
+        let scheduled = analyzed.partition().unwrap().schedule().unwrap();
+        assert!(scheduled.verify_checked().unwrap().passed());
+        let result = scheduled.execute_checked().unwrap();
+        assert_eq!(
+            result.store,
+            execute_sequential(scheduled.sequential(), &scheduled.kernel()),
+            "checked execution must be store-identical to sequential"
+        );
+    }
+
+    #[test]
+    fn deferred_programs_hit_budget_limits_at_partition_time() {
+        // Cholesky defers analysis to the partition stage; a starvation
+        // budget there is a hard typed error (the ladder lives at the
+        // analyze stage, where no concrete result was demanded yet).
+        let analyzed = Session::with_config(
+            Config::new()
+                .with_param("NMAT", 2)
+                .with_param("M", 2)
+                .with_param("N", 6)
+                .with_param("NRHS", 1)
+                .with_work_budget(1),
+        )
+        .bundled("cholesky")
+        .unwrap();
+        assert!(
+            analyzed.degradation().is_none(),
+            "deferred: nothing ran yet"
+        );
+        let err = analyzed.partition().unwrap_err();
+        assert!(
+            matches!(err, RcpError::BudgetExceeded { .. }),
+            "expected BudgetExceeded, got {err:?}"
+        );
     }
 
     #[test]

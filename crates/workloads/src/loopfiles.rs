@@ -129,6 +129,9 @@ impl BundledLoop {
     /// # Panics
     /// Panics when the bundled source does not parse — impossible for a
     /// shipped build, because the round-trip tests parse every file.
+    // Panic-hygiene allow: compile-time-embedded sources are verified by
+    // the round-trip tests; a parse failure here is a build defect.
+    #[allow(clippy::panic)]
     pub fn program(&self) -> Program {
         parse_program(self.source).unwrap_or_else(|e| panic!("bundled workload {}: {e}", self.name))
     }

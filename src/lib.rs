@@ -11,6 +11,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
+//! | [`guard`] | `rcp-guard` | cooperative resource budgets (work units + deadlines), typed budget-exhaustion, fault-injection failpoints |
 //! | [`pool`] | `rcp-pool` | dependency-free `par_map` thread-pool facility shared by analysis and runtime |
 //! | [`intlin`] | `rcp-intlin` | exact rational/integer linear algebra, Hermite normal form, diophantine solvers (memoised via `intlin::cache`) |
 //! | [`presburger`] | `rcp-presburger` | Omega-library-style integer sets, relations, Fourier-Motzkin, dense enumeration |
@@ -72,6 +73,7 @@ pub use rcp_codegen as codegen;
 pub use rcp_core as core;
 pub use rcp_depend as depend;
 pub use rcp_fuzz as fuzz;
+pub use rcp_guard as guard;
 pub use rcp_intlin as intlin;
 pub use rcp_lang as lang;
 pub use rcp_loopir as loopir;
@@ -91,13 +93,14 @@ pub mod prelude {
     pub use rcp_depend::{
         AnalysisOptions, DependenceAnalysis, Granularity, ScreenConfig, Uniformity,
     };
+    pub use rcp_guard::BudgetSpec;
     pub use rcp_loopir::{ArrayRef, Program};
     pub use rcp_runtime::{
         execute_schedule, execute_sequential, verify_schedule, ArrayStore, CostModel,
         ParallelExecutor, RefKernel,
     };
     pub use rcp_session::{
-        registry, scheme_names, Analyzed, Config, GranularityChoice, Partitioned, Partitioner,
-        Planned, RcpError, Scheduled, Session,
+        registry, scheme_names, Analyzed, Config, DegradationLevel, DegradationReport,
+        GranularityChoice, Partitioned, Partitioner, Planned, RcpError, Scheduled, Session,
     };
 }
