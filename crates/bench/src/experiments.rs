@@ -717,6 +717,130 @@ pub fn guard_overhead(quick: bool) -> ExperimentReport {
     )
 }
 
+/// E-TRACE — disabled-tracing overhead of the instrumented pipeline.
+///
+/// The profiling instrumentation (docs/OBSERVABILITY.md) must cost nearly
+/// nothing when the runtime switch is off: every `span!` site and every
+/// guard-checkpoint mirror collapses to one relaxed atomic load.  As with
+/// [`guard_overhead`], A/B wall-clock differencing cannot resolve a
+/// sub-1% effect on a shared runner, so the overhead is computed
+/// analytically: the number of instrumentation events one load → analyze
+/// → partition run fires (span entries counted exactly from one traced
+/// run; checkpoint loads bounded above by the work-unit total of a
+/// thread-scoped guard, so concurrent activity cannot leak in and the
+/// estimate errs high, never low) times the microbenched cost of one
+/// *disabled* `span!` site, over the pipeline wall clock with tracing
+/// off — the shipped default.
+///
+/// The series payload carries the throughput ratio `1 / (1 + overhead)`,
+/// which sinks below 0.99 if the dormant instrumentation ever costs more
+/// than 1%, so the committed `BENCH_results.json` baseline turns
+/// instrumentation-cost creep into a CI regression.
+pub fn trace_overhead(quick: bool) -> ExperimentReport {
+    use rcp_guard::{BudgetSpec, Guard};
+
+    let (n1, n2) = if quick { (30, 30) } else { (60, 60) };
+    let passes = if quick { 7 } else { 11 };
+
+    let pipeline = |budget: bool| {
+        let mut config = Config::new()
+            .with_param("N1", n1)
+            .with_param("N2", n2)
+            .with_threads(1);
+        if budget {
+            config = config.with_work_budget(u64::MAX);
+        }
+        let session = Session::with_config(config);
+        let stage = session
+            .load(example1())
+            .expect("example 1 loads")
+            .partition()
+            .expect("example 1 partitions");
+        std::hint::black_box(stage.partition().stats());
+    };
+
+    // 1a. Checkpoint loads per run, bounded above by the work units one
+    //     run charges (bulk charges tick once but count per unit): read
+    //     from a thread-scoped guard, deterministic for a fixed workload.
+    let counter = Guard::new(BudgetSpec::default());
+    let ticks = rcp_guard::scope(&counter, || {
+        pipeline(true);
+        counter.work_spent()
+    });
+
+    // 1b. Span entries per run, counted exactly from one traced run (the
+    //     workload is single-threaded, so the count is deterministic).
+    fn span_count(nodes: &[rcp_trace::SpanNode]) -> u64 {
+        nodes
+            .iter()
+            .map(|n| n.count + span_count(&n.children))
+            .sum()
+    }
+    rcp_trace::reset_spans();
+    rcp_trace::set_enabled(true);
+    pipeline(false);
+    rcp_trace::set_enabled(false);
+    let spans = span_count(&rcp_trace::span_tree());
+    rcp_trace::reset_spans();
+    let events = ticks + spans;
+
+    // 2. The wall clock of one pipeline run with tracing disabled — the
+    //    shipped default (best-of-`passes` minimum; noise is additive).
+    pipeline(false);
+    let pipeline_ms = (0..passes)
+        .map(|_| {
+            let start = Instant::now();
+            pipeline(false);
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    // 3. The cost of one dormant instrumentation site: a `span!` that
+    //    sees the switch off, amortised over a loop long enough to swamp
+    //    timer resolution.
+    let n_events: u64 = 4_000_000;
+    let per_event_ns = (0..passes)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..n_events {
+                let span = rcp_trace::span!("bench.noop");
+                std::hint::black_box(&span);
+            }
+            start.elapsed().as_secs_f64() * 1e9 / n_events as f64
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    let overhead_frac = (events as f64 * per_event_ns) / (pipeline_ms * 1e6);
+    let overhead_pct = overhead_frac * 100.0;
+    let ratio = 1.0 / (1.0 + overhead_frac);
+
+    let text = format!(
+        "example 1 (N1={n1}, N2={n2}), best of {passes} passes, tracing disabled:\n\
+         pipeline                {pipeline_ms:>8.2} ms, {events} dormant events \
+         ({spans} spans + {ticks} checkpoint loads)\n\
+         one dormant site        {per_event_ns:>8.2} ns  (tight loop of {n_events} \
+         disabled span! calls)\n\
+         dormant overhead        {overhead_pct:>8.4}%  of pipeline time \
+         (budget target: < 1%)\n"
+    );
+    let data = json!({
+        "n1": n1, "n2": n2,
+        "pipeline_ms": pipeline_ms,
+        "span_events": spans,
+        "tick_events": ticks,
+        "per_event_ns": per_event_ns,
+        "overhead_pct": overhead_pct,
+        "disabled_overhead_ok": overhead_frac < 0.01,
+        "series": [json!({ "scheme": "pipeline", "speedups": [ratio] })],
+    });
+    ExperimentReport::new(
+        "trace",
+        "Dormant-instrumentation overhead of the traced session pipeline",
+        text,
+        data,
+    )
+}
+
 /// E-A1 — the dependence-analysis pipeline itself: what the memoised
 /// HNF/diophantine solver saves on *repeated* corpus classification, and
 /// how the sharded analysis scales (with its results verified identical to
@@ -728,15 +852,18 @@ pub fn guard_overhead(quick: bool) -> ExperimentReport {
 ///    synthetic corpus is solved twice on one thread — a cold pass from an
 ///    empty cache and a warm pass — once through the full analysis front
 ///    end and once isolating the solver stage the cache memoises.  Hit/miss
-///    counters come from [`rcp_intlin::solver_cache_stats`].
+///    counters are scoped delta-since-mark snapshots of the [`rcp_trace`]
+///    metrics registry (`intlin.cache.*`, `presburger.cache.emptiness.*`)
+///    taken around the warm passes, so whatever the other experiments in
+///    the same process did to the global counters cannot bleed in.
 /// 2. **Sharding.**  Wall clock of `DependenceAnalysis` on examples 1–3 and
 ///    of the Cholesky dependence trace for 1..=`max_threads` shards, with
 ///    every sharded result checked piece-for-piece / edge-for-edge against
 ///    the single-threaded one.
 pub fn analysis_pipeline(max_threads: usize) -> ExperimentReport {
     use rcp_depend::{dependence_system, Granularity};
-    use rcp_intlin::{reset_solver_cache, solve_linear_system_cached, solver_cache_stats};
-    use rcp_presburger::{emptiness_cache_stats, reset_emptiness_cache};
+    use rcp_intlin::{reset_solver_cache, solve_linear_system_cached};
+    use rcp_presburger::reset_emptiness_cache;
     use rcp_workloads::{random_nest, SmallRng};
 
     let ms = |start: Instant| start.elapsed().as_secs_f64() * 1e3;
@@ -770,10 +897,24 @@ pub fn analysis_pipeline(max_threads: usize) -> ExperimentReport {
             analyze_pass()
         }),
     );
-    // The last cold pass left the caches populated: warm passes hit.
+    // The last cold pass left the caches populated: warm passes hit.  The
+    // registry mark taken here scopes the counter reads to exactly the
+    // warm passes (delta-since-mark), immune to cross-experiment bleed.
+    let cache_mark = rcp_trace::snapshot();
     let analyze_warm_ms = best_of(3, Box::new(analyze_pass));
-    let analyze_stats = solver_cache_stats();
-    let emptiness_stats = emptiness_cache_stats();
+    let warm = rcp_trace::snapshot().delta_since(&cache_mark);
+    let hnf_hits = warm.counter("intlin.cache.hnf.hits");
+    let hnf_misses = warm.counter("intlin.cache.hnf.misses");
+    let dio_hits = warm.counter("intlin.cache.dio.hits");
+    let dio_misses = warm.counter("intlin.cache.dio.misses");
+    let cache_lookups = hnf_hits + hnf_misses + dio_hits + dio_misses;
+    let cache_hit_rate = (hnf_hits + dio_hits) as f64 / cache_lookups.max(1) as f64;
+    let emptiness_hits = warm.counter("presburger.cache.emptiness.hits");
+    let emptiness_misses = warm.counter("presburger.cache.emptiness.misses");
+    let emptiness_rate = warm.hit_rate(
+        "presburger.cache.emptiness.hits",
+        "presburger.cache.emptiness.misses",
+    );
 
     // The solver stage in isolation: the *distinct* systems the corpus
     // screens (duplicates removed, so the cold pass is all misses and the
@@ -805,8 +946,15 @@ pub fn analysis_pipeline(max_threads: usize) -> ExperimentReport {
             solver_pass()
         }),
     );
+    let solver_mark = rcp_trace::snapshot();
     let solver_warm_ms = best_of(3, Box::new(solver_pass));
-    let solver_stats = solver_cache_stats();
+    let solver_delta = rcp_trace::snapshot().delta_since(&solver_mark);
+    let solver_stage_hits = solver_delta.counter("intlin.cache.hnf.hits")
+        + solver_delta.counter("intlin.cache.dio.hits");
+    let solver_stage_lookups = solver_stage_hits
+        + solver_delta.counter("intlin.cache.hnf.misses")
+        + solver_delta.counter("intlin.cache.dio.misses");
+    let solver_stage_hit_rate = solver_stage_hits as f64 / solver_stage_lookups.max(1) as f64;
 
     // --- 2. Sharded analysis scaling, verified against 1 thread. ---
     struct ShardedRow {
@@ -899,12 +1047,12 @@ pub fn analysis_pipeline(max_threads: usize) -> ExperimentReport {
            emptiness cache hit rate {:.1}% ({} hits / {} FM feasibility lookups)\n\n\
          sharded analysis wall clock (ms per thread count, {} hardware threads):\n",
         systems.len(),
-        analyze_stats.hit_rate() * 100.0,
-        analyze_stats.hnf_hits + analyze_stats.dio_hits,
-        analyze_stats.lookups(),
-        emptiness_stats.hit_rate() * 100.0,
-        emptiness_stats.hits,
-        emptiness_stats.lookups(),
+        cache_hit_rate * 100.0,
+        hnf_hits + dio_hits,
+        cache_lookups,
+        emptiness_rate * 100.0,
+        emptiness_hits,
+        emptiness_hits + emptiness_misses,
         rcp_runtime::pool::available_threads(),
     );
     text.push_str(&format!("{:<14}", "workload"));
@@ -930,17 +1078,17 @@ pub fn analysis_pipeline(max_threads: usize) -> ExperimentReport {
             "solver_warm_ms": solver_warm_ms,
             "solver_speedup": solver_speedup,
             "distinct_systems": systems.len(),
-            "hit_rate": analyze_stats.hit_rate(),
-            "hnf_hits": analyze_stats.hnf_hits,
-            "hnf_misses": analyze_stats.hnf_misses,
-            "dio_hits": analyze_stats.dio_hits,
-            "dio_misses": analyze_stats.dio_misses,
-            "solver_stage_hit_rate": solver_stats.hit_rate(),
+            "hit_rate": cache_hit_rate,
+            "hnf_hits": hnf_hits,
+            "hnf_misses": hnf_misses,
+            "dio_hits": dio_hits,
+            "dio_misses": dio_misses,
+            "solver_stage_hit_rate": solver_stage_hit_rate,
         }),
         "emptiness": json!({
-            "hits": emptiness_stats.hits,
-            "misses": emptiness_stats.misses,
-            "hit_rate": emptiness_stats.hit_rate(),
+            "hits": emptiness_hits,
+            "misses": emptiness_misses,
+            "hit_rate": emptiness_rate,
         }),
         "sharded": rows.iter().map(|r| json!({
             "workload": r.name,
@@ -1485,6 +1633,30 @@ mod tests {
             cache["solver_speedup"].as_f64().unwrap() > 1.0,
             "warm solver pass must beat the cold pass"
         );
+    }
+
+    #[test]
+    fn trace_overhead_is_negligible_when_disabled() {
+        let report = trace_overhead(true);
+        assert!(
+            report.data["span_events"].as_u64().unwrap() > 0,
+            "the instrumented pipeline must fire spans when traced"
+        );
+        assert!(
+            report.data["tick_events"].as_u64().unwrap() > 0,
+            "the pipeline must pass guard checkpoints"
+        );
+        assert_eq!(
+            report.data["disabled_overhead_ok"], true,
+            "dormant instrumentation must stay under 1% of pipeline time \
+             (got {:?}%)",
+            report.data["overhead_pct"]
+        );
+        let series = report.data["series"].as_array().unwrap();
+        let ratio = series[0]["speedups"].as_array().unwrap()[0]
+            .as_f64()
+            .unwrap();
+        assert!(ratio > 0.99, "throughput ratio {ratio} must stay near 1.0");
     }
 
     #[test]

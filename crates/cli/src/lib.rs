@@ -18,9 +18,15 @@
 //! rcp codegen    file.loop                         # paper-style DOALL/WHILE listing
 //! rcp run        file.loop --param N=300           # execute + verify against sequential
 //! rcp bench      file.loop --scheme pdm            # measured wall clock, any registry scheme
+//! rcp stats      file.loop --param N=300           # Prometheus-style metrics snapshot
 //! rcp schemes                                      # list the Partitioner registry
 //! rcp fuzz       --seed 0xC0FFEE --count 50        # differential fuzzing of the registry
 //! ```
+//!
+//! Any file-taking subcommand also accepts `--profile` (append the
+//! [`rcp_trace`] span tree and metrics to the human report) and
+//! `--profile-json` (merge the machine-readable profile into the `--json`
+//! payload); see `docs/OBSERVABILITY.md` for the span model and schema.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,6 +60,10 @@ pub struct Options {
     /// `--no-degrade`: make budget exhaustion a hard error instead of
     /// walking the degradation ladder.
     pub no_degrade: bool,
+    /// `--profile` / `--profile-json`: record [`rcp_trace`] spans and
+    /// metrics while the command runs and append the profile to the
+    /// report.
+    pub profile: bool,
 }
 
 impl Options {
@@ -73,6 +83,9 @@ impl Options {
             config = config.with_deadline_ms(millis);
         }
         config.degrade = !self.no_degrade;
+        if self.profile {
+            config = config.with_tracing();
+        }
         config
     }
 
@@ -156,6 +169,11 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
             "--check" => inv.check = true,
             "--minimize" => inv.minimize = true,
             "--chaos" => inv.chaos = true,
+            "--profile" => inv.opts.profile = true,
+            "--profile-json" => {
+                inv.opts.profile = true;
+                inv.json = true;
+            }
             "--no-degrade" => inv.opts.no_degrade = true,
             "--stmt" => inv.opts.granularity = GranularityChoice::Statement,
             "--budget-work" | "--budget-ms" => {
@@ -1084,6 +1102,155 @@ pub fn cmd_chaos(config: &rcp_fuzz::ChaosConfig) -> Result<Report, String> {
     })
 }
 
+/// One span node of the machine-readable profile: name, hit count, wall
+/// time, children.  `wall_ms` is the profile's only timing-dependent
+/// field (see [`scrub_profile`]).
+fn span_json(node: &rcp_trace::SpanNode) -> Json {
+    json!({
+        "name": node.name,
+        "count": node.count,
+        "wall_ms": node.total_ns as f64 / 1e6,
+        "children": Json::Array(node.children.iter().map(span_json).collect()),
+    })
+}
+
+fn metrics_object(map: &std::collections::BTreeMap<String, u64>) -> Json {
+    Json::Object(
+        map.iter()
+            .map(|(k, &v)| (k.clone(), Json::Int(v as i64)))
+            .collect(),
+    )
+}
+
+/// The machine-readable profile of one `--profile` window: the span tree
+/// plus every counter and gauge.  Histograms are deliberately absent —
+/// their bucket contents are timing-dependent, and the profile is pinned
+/// by a timing-scrubbed golden file in which `wall_ms` is the only
+/// scrubbed field.
+fn profile_json(snap: &rcp_trace::Snapshot, tree: &[rcp_trace::SpanNode]) -> Json {
+    json!({
+        "spans": Json::Array(tree.iter().map(span_json).collect()),
+        "counters": metrics_object(&snap.counters),
+        "gauges": metrics_object(&snap.gauges),
+    })
+}
+
+/// Replaces every `wall_ms` value in a profile JSON with `0` — the one
+/// timing-dependent field — so two profile runs (and the committed golden
+/// file) compare equal on structure and counter values alone.
+pub fn scrub_profile(profile: &Json) -> Json {
+    match profile {
+        Json::Object(fields) => Json::Object(
+            fields
+                .iter()
+                .map(|(k, v)| {
+                    if k == "wall_ms" {
+                        (k.clone(), Json::Int(0))
+                    } else {
+                        (k.clone(), scrub_profile(v))
+                    }
+                })
+                .collect(),
+        ),
+        Json::Array(items) => Json::Array(items.iter().map(scrub_profile).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Renders a `--profile` window as the human tree view: per-stage spans
+/// with wall time, per-stage work ticks, solver cache hit rates, and the
+/// remaining counters and gauges.
+fn render_profile(snap: &rcp_trace::Snapshot, tree: &[rcp_trace::SpanNode]) -> String {
+    const TICK_PREFIX: &str = "guard.ticks.";
+    fn walk(node: &rcp_trace::SpanNode, depth: usize, text: &mut String) {
+        let label = format!("{}{}", "  ".repeat(depth), node.name);
+        text.push_str(&format!(
+            "    {label:<36} {:>5}x {:>10.3} ms\n",
+            node.count,
+            node.total_ns as f64 / 1e6,
+        ));
+        for child in &node.children {
+            walk(child, depth + 1, text);
+        }
+    }
+    let mut text = String::from("\nprofile:\n  spans:\n");
+    for node in tree {
+        walk(node, 0, &mut text);
+    }
+    let ticks: Vec<_> = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with(TICK_PREFIX))
+        .collect();
+    if !ticks.is_empty() {
+        text.push_str("  work ticks:\n");
+        for (k, v) in ticks {
+            text.push_str(&format!("    {:<36} {v:>10}\n", &k[TICK_PREFIX.len()..]));
+        }
+    }
+    let caches = [
+        ("intlin.cache.hnf", "hnf"),
+        ("intlin.cache.dio", "diophantine"),
+        ("presburger.cache.emptiness", "emptiness"),
+    ];
+    let mut rates = String::new();
+    for (prefix, label) in caches {
+        let hits = snap.counter(&format!("{prefix}.hits"));
+        let misses = snap.counter(&format!("{prefix}.misses"));
+        if hits + misses > 0 {
+            rates.push_str(&format!(
+                "    {label:<36} {:>9.1}%  ({hits} hit(s), {misses} miss(es))\n",
+                100.0 * hits as f64 / (hits + misses) as f64,
+            ));
+        }
+    }
+    if !rates.is_empty() {
+        text.push_str("  cache hit rates:\n");
+        text.push_str(&rates);
+    }
+    let plain: Vec<_> = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| !k.starts_with(TICK_PREFIX))
+        .collect();
+    if !plain.is_empty() {
+        text.push_str("  counters:\n");
+        for (k, v) in plain {
+            text.push_str(&format!("    {k:<36} {v:>10}\n"));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        text.push_str("  gauges:\n");
+        for (k, v) in &snap.gauges {
+            text.push_str(&format!("    {k:<36} {v:>10}\n"));
+        }
+    }
+    text
+}
+
+/// `rcp stats`: drives the full pipeline (analyze → partition → schedule →
+/// run) with tracing enabled and dumps the metrics registry as a
+/// Prometheus-style text snapshot.
+pub fn cmd_stats(source: &str, origin: &str, opts: &Options) -> Result<Report, RcpError> {
+    rcp_trace::set_enabled(true);
+    rcp_trace::reset();
+    let session = Session::with_config(opts.to_config().with_tracing());
+    let analyzed = session.parse(source, origin)?;
+    // Drive every downstream stage the session supports; a degraded
+    // session stops at the analysis, and `stats` reports whatever ran.
+    if analyzed.degradation().is_none() {
+        let scheduled = analyzed.partition()?.schedule()?;
+        let _ = scheduled.verify_checked()?;
+    }
+    let snap = rcp_trace::snapshot();
+    let text = snap.to_prometheus();
+    let data = json!({
+        "counters": metrics_object(&snap.counters),
+        "gauges": metrics_object(&snap.gauges),
+    });
+    Ok(Report::ok(text, data))
+}
+
 /// `rcp schemes`: lists the [`rcp_session::Partitioner`] registry.
 pub fn cmd_schemes() -> Report {
     let mut text = String::from("registered partitioning schemes:\n");
@@ -1103,7 +1270,7 @@ pub fn cmd_schemes() -> Report {
 }
 
 /// Every subcommand name `run_command` dispatches, in help order.
-pub const COMMANDS: [&str; 9] = [
+pub const COMMANDS: [&str; 10] = [
     "parse",
     "fmt",
     "analyze",
@@ -1111,18 +1278,12 @@ pub const COMMANDS: [&str; 9] = [
     "codegen",
     "run",
     "bench",
+    "stats",
     "schemes",
     "fuzz",
 ];
 
-/// Dispatches a subcommand by name.  `fmt` is excluded (it needs write
-/// access to the file and is handled by the binary).
-pub fn run_command(
-    command: &str,
-    source: &str,
-    origin: &str,
-    opts: &Options,
-) -> Result<Report, RcpError> {
+fn dispatch(command: &str, source: &str, origin: &str, opts: &Options) -> Result<Report, RcpError> {
     match command {
         "parse" => cmd_parse(source, origin),
         "fmt" => cmd_fmt(source, origin),
@@ -1131,6 +1292,7 @@ pub fn run_command(
         "codegen" => cmd_codegen(source, origin, opts),
         "run" => cmd_run(source, origin, opts),
         "bench" => cmd_bench(source, origin, opts),
+        "stats" => cmd_stats(source, origin, opts),
         "schemes" => Ok(cmd_schemes()),
         // `rcp fuzz FILE` replays a committed regression; the file-less
         // campaign form is dispatched by the binary (like `schemes`).
@@ -1140,6 +1302,36 @@ pub fn run_command(
             known: COMMANDS.to_vec(),
         }),
     }
+}
+
+/// Dispatches a subcommand by name.  `fmt` is excluded (it needs write
+/// access to the file and is handled by the binary).
+///
+/// Under `--profile` the command runs inside one bounded trace window
+/// (enable, reset, run): the human report gains the rendered span tree
+/// and metrics, and object-shaped JSON reports gain a `profile` field.
+/// The window is process-global, so profiled commands assume they own the
+/// registry for the duration of the run — true for the binary, and for
+/// any test that serialises its profiled invocations.
+pub fn run_command(
+    command: &str,
+    source: &str,
+    origin: &str,
+    opts: &Options,
+) -> Result<Report, RcpError> {
+    if !opts.profile {
+        return dispatch(command, source, origin, opts);
+    }
+    rcp_trace::set_enabled(true);
+    rcp_trace::reset();
+    let mut report = dispatch(command, source, origin, opts)?;
+    let snap = rcp_trace::snapshot();
+    let tree = rcp_trace::span_tree();
+    report.text.push_str(&render_profile(&snap, &tree));
+    if let Json::Object(fields) = &mut report.data {
+        fields.push(("profile".to_string(), profile_json(&snap, &tree)));
+    }
+    Ok(report)
 }
 
 #[cfg(test)]

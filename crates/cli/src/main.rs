@@ -24,6 +24,8 @@ COMMANDS:
     codegen     paper-style DOALL/WHILE listing
     run         execute the scheduled partition, verify vs sequential
     bench       measured sequential vs parallel wall clock
+    stats       run the full pipeline with tracing on, dump the metrics
+                registry as a Prometheus-style snapshot
     schemes     list the registered partitioning schemes
     fuzz        differential fuzzing: random nests, every scheme at 1/2/4
                 threads, bit-for-bit vs sequential (--replay FILE replays
@@ -42,6 +44,10 @@ OPTIONS:
     --granularity KIND     loop | stmt | auto (default auto); `loop` also
                            covers imperfect nests via the aggregated view
     --stmt                 shorthand for --granularity stmt
+    --profile              append the per-stage span tree, work ticks and
+                           cache hit rates to the report (docs/OBSERVABILITY.md)
+    --profile-json         like --profile, but merge the machine-readable
+                           profile into the --json payload (implies --json)
     --json                 print the machine-readable report instead of text
     --write                (fmt only) rewrite the file in place
     --check                (fmt only) fail instead of printing when not canonical
@@ -57,6 +63,7 @@ OPTIONS:
 
 EXAMPLE:
     rcp analyze examples/loops/example1.loop --param N1=300 --param N2=1000
+    rcp analyze examples/loops/example1.loop --param N1=60 --param N2=60 --profile
     rcp bench examples/loops/example1.loop --param N1=60 --param N2=60 --scheme pdm
     rcp fuzz --seed 0xC0FFEE --count 50 --minimize
 ";

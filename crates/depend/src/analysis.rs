@@ -267,6 +267,7 @@ impl DependenceAnalysis {
     /// loop-level view at all: neither a perfect nest nor decomposable
     /// into top-level loop groups (a bare top-level statement).
     pub fn with_options(program: &Program, options: &AnalysisOptions) -> DependenceAnalysis {
+        let _span = rcp_trace::span!("depend.analyze");
         let pairs = reference_pairs(program);
         let n_threads = options.threads.unwrap_or_else(|| {
             if pairs.len() >= Self::PAR_ANALYSIS_MIN_PAIRS {
@@ -275,6 +276,8 @@ impl DependenceAnalysis {
                 1
             }
         });
+        rcp_trace::counter("depend.analysis.pairs").add(pairs.len() as u64);
+        rcp_trace::gauge("depend.analysis.threads").set(n_threads as u64);
         match options.granularity {
             Granularity::LoopLevel if program.is_perfect_nest() => {
                 analyze_loop_level(program, n_threads, pairs, options.screen)
@@ -618,6 +621,7 @@ fn analyze_loop_level(
         per_statement_accesses(program, &stmts, |info, r| program.loop_access(info, r));
     let screen = PairScreen::run(screen_config, &pairs, &accesses, &boxes);
 
+    let _pairs_span = rcp_trace::span!("depend.pairs");
     let per_pair = rcp_pool::par_map_indexed(n_threads, &pairs, |k, pair| {
         if !screen.verdict(k).may_depend() {
             return None;
@@ -672,6 +676,7 @@ fn analyze_statement_level(
         .collect();
     let screen = PairScreen::run(screen_config, &pairs, &accesses, &boxes);
 
+    let _pairs_span = rcp_trace::span!("depend.pairs");
     let per_pair = rcp_pool::par_map_indexed(n_threads, &pairs, |k, pair| {
         if !screen.verdict(k).may_depend() {
             return None;

@@ -237,6 +237,7 @@ pub(crate) fn analyze_aggregated(
         .collect();
     let screen = PairScreen::run(screen_config, &pairs, &accesses, &boxes);
 
+    let _pairs_span = rcp_trace::span!("depend.pairs");
     let per_pair = rcp_pool::par_map_indexed(n_threads, &pairs, |k, pair| {
         if !screen.verdict(k).may_depend() {
             return None;

@@ -117,6 +117,21 @@ impl ScreenStats {
     pub fn survivors(&self) -> usize {
         self.n_pairs - self.screened()
     }
+
+    /// Adds this pass's counts to the `rcp-trace` registry
+    /// (`depend.screen.*` counters, cumulative across passes), so profiles
+    /// and `rcp stats` report screening work without threading the struct
+    /// through every caller.
+    pub fn record_metrics(&self) {
+        let add = |name: &str, v: usize| rcp_trace::counter(name).add(v as u64);
+        add("depend.screen.pairs", self.n_pairs);
+        add("depend.screen.by_gcd", self.by_gcd);
+        add("depend.screen.by_bbox", self.by_bbox);
+        add("depend.screen.by_solver", self.by_solver);
+        add("depend.screen.shared_verdicts", self.shared_verdicts);
+        add("depend.screen.classes", self.n_classes);
+        add("depend.screen.shape_buckets", self.n_shape_buckets);
+    }
 }
 
 /// A possibly half-unbounded integer interval (`None` = unbounded on that
@@ -308,6 +323,7 @@ impl PairScreen {
         // before any exact solving starts.
         rcp_guard::tick(rcp_guard::Stage::PairScreen, pairs.len() as u64);
         rcp_guard::fail_point("depend::screen", rcp_guard::Stage::PairScreen);
+        let _span = rcp_trace::span!("depend.screen");
         let mut stats = ScreenStats {
             n_pairs: pairs.len(),
             ..ScreenStats::default()
@@ -366,6 +382,7 @@ impl PairScreen {
             })
             .collect();
         stats.n_classes = classes.len();
+        stats.record_metrics();
         PairScreen { verdicts, stats }
     }
 

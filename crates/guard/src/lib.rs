@@ -28,8 +28,10 @@
 //!   campaign (`rcp fuzz --chaos`) to prove every injected fault at every
 //!   site surfaces as a typed error or a correct degraded result.
 //!
-//! The crate sits below every other workspace crate (no dependencies), so
-//! the solvers (`rcp-intlin`, `rcp-presburger`), the analysis front end
+//! The crate sits below every other workspace crate (its only dependency
+//! is the equally bottom-level `rcp-trace`, into which [`tick`] mirrors
+//! per-stage work units when tracing is enabled), so the solvers
+//! (`rcp-intlin`, `rcp-presburger`), the analysis front end
 //! (`rcp-depend`), the runtime and the pool can all checkpoint without a
 //! dependency cycle.
 
@@ -62,6 +64,18 @@ pub enum Stage {
     /// Executor phases and barrier merges (`rcp-runtime`).
     Execution,
 }
+
+/// All stages in pipeline order: the iteration order for reports and the
+/// naming order for the trace tick slots.
+pub const ALL_STAGES: [Stage; 7] = [
+    Stage::Analysis,
+    Stage::FmProjection,
+    Stage::IntSolve,
+    Stage::PairScreen,
+    Stage::ChainEnumeration,
+    Stage::Partition,
+    Stage::Execution,
+];
 
 impl Stage {
     /// The stable kebab-case name used in errors, JSON output and docs.
@@ -284,6 +298,20 @@ pub fn current() -> Option<Guard> {
     CURRENT.with(|slot| slot.borrow().clone())
 }
 
+/// Mirrors a checkpoint's work units into the trace registry's per-stage
+/// tick slots, so a profile reports cooperative work per stage even when
+/// no budget guard is installed.  Only called when tracing is enabled; the
+/// slot names register once per process.
+fn mirror_tick(stage: Stage, units: u64) {
+    static NAMED: Once = Once::new();
+    NAMED.call_once(|| {
+        for stage in ALL_STAGES {
+            rcp_trace::name_tick_slot(stage as usize, stage.as_str());
+        }
+    });
+    rcp_trace::tick_slot(stage as usize, units);
+}
+
 /// The cooperative checkpoint: charges `units` of work at `stage` to the
 /// current guard.  No guard installed: a no-op.  Budget exhausted: unwinds
 /// with a [`BudgetExceeded`] payload, to be caught by the session
@@ -295,6 +323,12 @@ pub fn current() -> Option<Guard> {
 // one sanctioned thrower.
 #[allow(clippy::panic)]
 pub fn tick(stage: Stage, units: u64) {
+    // When tracing is enabled (one relaxed load otherwise), the per-stage
+    // tick slots get the same units the budget would be charged — the
+    // profile's "work ticks" column.
+    if rcp_trace::enabled() {
+        mirror_tick(stage, units);
+    }
     // Charge through the borrow rather than cloning the guard out: a clone
     // is two extra atomic refcount operations per checkpoint, which at
     // thousands of checkpoints per analysis is the difference between the

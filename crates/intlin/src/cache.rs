@@ -13,8 +13,10 @@
 //! Cached results are **bit-identical** to uncached ones — the cache stores
 //! the value computed by the uncached function on first miss and clones it
 //! on every hit (verified by property tests over the synthetic corpus).
-//! Hit/miss counters are kept per solver; [`solver_cache_stats`] exposes
-//! them so benchmark reports can show hit rates, and
+//! Hit/miss counters are kept per solver and registered with the
+//! `rcp-trace` metrics registry (`intlin.cache.hnf.*` /
+//! `intlin.cache.dio.*`), so benchmark reports read hit rates through one
+//! [`rcp_trace::snapshot`] instead of a bespoke stats API;
 //! [`reset_solver_cache`] clears both entries and counters for cold-start
 //! measurements.
 //!
@@ -143,10 +145,24 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
     }
 
     /// Empties the cache and zeroes the counters (for cold-start timing).
+    /// The counters may double as `rcp-trace` registry counters (see
+    /// [`MemoCache::register_metrics`]); both views zero together.
     pub fn reset(&self) {
         *self.lock_map() = None;
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<K, V> MemoCache<K, V> {
+    /// Adopts this cache's hit/miss cells as `rcp-trace` registry counters
+    /// `<prefix>.hits` / `<prefix>.misses`.  The cells stay the cache's
+    /// own storage — one counter, two views — so [`MemoCache::reset`] and
+    /// `rcp_trace::reset_metrics` zero the same numbers.  Requires a
+    /// `static` cache (every memoisation cache in the workspace is one).
+    pub fn register_metrics(&'static self, prefix: &str) {
+        rcp_trace::register_external(&format!("{prefix}.hits"), &self.hits);
+        rcp_trace::register_external(&format!("{prefix}.misses"), &self.misses);
     }
 }
 
@@ -158,35 +174,17 @@ static HNF_CACHE: MemoCache<IMat, HnfResult> = MemoCache::with_failpoint(
 static DIO_CACHE: MemoCache<(IMat, IVec), Option<DiophantineSolution>> =
     MemoCache::new(CACHE_CAPACITY);
 
-/// Hit/miss counters of the process-wide solver caches.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct SolverCacheStats {
-    /// Hermite-normal-form cache hits.
-    pub hnf_hits: u64,
-    /// Hermite-normal-form cache misses.
-    pub hnf_misses: u64,
-    /// Diophantine-solution cache hits.
-    pub dio_hits: u64,
-    /// Diophantine-solution cache misses.
-    pub dio_misses: u64,
-}
-
-impl SolverCacheStats {
-    /// Total lookups across both caches.
-    pub fn lookups(&self) -> u64 {
-        self.hnf_hits + self.hnf_misses + self.dio_hits + self.dio_misses
-    }
-
-    /// Fraction of lookups served from the cache (0 when there were none).
-    pub fn hit_rate(&self) -> f64 {
-        let hits = self.hnf_hits + self.dio_hits;
-        let lookups = self.lookups();
-        if lookups == 0 {
-            0.0
-        } else {
-            hits as f64 / lookups as f64
-        }
-    }
+/// Registers the solver caches' hit/miss counters with the `rcp-trace`
+/// metrics registry as `intlin.cache.hnf.{hits,misses}` and
+/// `intlin.cache.dio.{hits,misses}`.  The cached entry points call this
+/// lazily, so any run that touched a solver exposes its counters; call it
+/// eagerly to make the names appear in a snapshot before first use.
+pub fn register_cache_metrics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        HNF_CACHE.register_metrics("intlin.cache.hnf");
+        DIO_CACHE.register_metrics("intlin.cache.dio");
+    });
 }
 
 /// [`hermite_normal_form`] with process-wide
@@ -196,6 +194,7 @@ impl SolverCacheStats {
 /// and a miss cost the same unit: budgets bound *lookups*, keeping guarded
 /// runs deterministic regardless of cache warmth).
 pub fn hermite_normal_form_cached(a: &IMat) -> HnfResult {
+    register_cache_metrics();
     rcp_guard::tick(rcp_guard::Stage::IntSolve, 1);
     HNF_CACHE.get_or_compute(a.clone(), || {
         rcp_guard::fail_point("intlin::hnf", rcp_guard::Stage::IntSolve);
@@ -212,6 +211,7 @@ pub fn hermite_normal_form_cached(a: &IMat) -> HnfResult {
 /// deliberately does not tick: a dio hit and a dio miss both charge
 /// exactly one `int-solve` unit, see [`hermite_normal_form_cached`].)
 pub fn solve_linear_system_cached(m: &IMat, c: &[i64]) -> Option<DiophantineSolution> {
+    register_cache_metrics();
     rcp_guard::tick(rcp_guard::Stage::IntSolve, 1);
     DIO_CACHE.get_or_compute((m.clone(), c.to_vec()), || {
         rcp_guard::fail_point("intlin::dio", rcp_guard::Stage::IntSolve);
@@ -223,17 +223,9 @@ pub fn solve_linear_system_cached(m: &IMat, c: &[i64]) -> Option<DiophantineSolu
     })
 }
 
-/// A snapshot of the hit/miss counters.
-pub fn solver_cache_stats() -> SolverCacheStats {
-    SolverCacheStats {
-        hnf_hits: HNF_CACHE.hits(),
-        hnf_misses: HNF_CACHE.misses(),
-        dio_hits: DIO_CACHE.hits(),
-        dio_misses: DIO_CACHE.misses(),
-    }
-}
-
 /// Empties both caches and zeroes the counters (for cold-start timing).
+/// The counters are the `intlin.cache.*` registry counters, so registry
+/// reads see zero afterwards too.
 pub fn reset_solver_cache() {
     HNF_CACHE.reset();
     DIO_CACHE.reset();
@@ -282,16 +274,18 @@ mod tests {
     }
 
     #[test]
-    fn repeated_lookups_hit() {
+    fn repeated_lookups_hit_and_surface_in_the_registry() {
         let m = IMat::from_rows(&[vec![11, 13], vec![17, 19]]);
-        let before = solver_cache_stats();
+        register_cache_metrics();
+        let mark = rcp_trace::snapshot();
         let _ = hermite_normal_form_cached(&m);
         let _ = hermite_normal_form_cached(&m);
         let _ = hermite_normal_form_cached(&m);
-        let after = solver_cache_stats();
-        assert!(after.hnf_hits >= before.hnf_hits + 2);
-        assert!(after.hnf_misses >= before.hnf_misses);
-        assert!(after.lookups() >= before.lookups() + 3);
+        let delta = rcp_trace::snapshot().delta_since(&mark);
+        assert!(delta.counter("intlin.cache.hnf.hits") >= 2);
+        assert!(
+            delta.counter("intlin.cache.hnf.hits") + delta.counter("intlin.cache.hnf.misses") >= 3
+        );
     }
 
     // Regression for the mutex-poisoning fragility: a panic raised while a
@@ -394,17 +388,5 @@ mod tests {
             }
             other => panic!("expected budget exhaustion, got {other:?}"),
         }
-    }
-
-    #[test]
-    fn hit_rate_is_well_defined() {
-        assert_eq!(SolverCacheStats::default().hit_rate(), 0.0);
-        let s = SolverCacheStats {
-            hnf_hits: 3,
-            hnf_misses: 1,
-            dio_hits: 0,
-            dio_misses: 0,
-        };
-        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
     }
 }

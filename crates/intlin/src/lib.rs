@@ -18,8 +18,9 @@
 //!   `x·A = b`, returning a particular solution plus a lattice basis of the
 //!   homogeneous solutions,
 //! * [`cache`] — process-wide memoisation of HNF and diophantine solves
-//!   (keyed by the exact matrix/right-hand side) with hit/miss counters, so
-//!   repeated analyses and corpus classification re-solve nothing.
+//!   (keyed by the exact matrix/right-hand side) with hit/miss counters
+//!   surfaced through the `rcp-trace` metrics registry, so repeated
+//!   analyses and corpus classification re-solve nothing.
 //!
 //! The library follows the paper's *row-vector* convention: iteration
 //! vectors are row vectors and array subscripts are written `i·A + a`, so a
@@ -38,8 +39,8 @@ pub mod rational;
 pub mod vector;
 
 pub use cache::{
-    hermite_normal_form_cached, reset_solver_cache, solve_linear_system_cached, solver_cache_stats,
-    MemoCache, SolverCacheStats,
+    hermite_normal_form_cached, register_cache_metrics, reset_solver_cache,
+    solve_linear_system_cached, MemoCache,
 };
 pub use diophantine::{solve_linear_system, DiophantineSolution};
 pub use gcd::{ext_gcd, gcd, gcd_slice, lcm};

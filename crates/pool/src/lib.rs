@@ -39,11 +39,33 @@ use std::any::Any;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// The number of hardware threads available to this process (at least 1).
 pub fn available_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Registry counter handles, resolved once: `par_map` can be called in
+/// tight benchmark loops, and a handle bump is one relaxed `fetch_add`
+/// versus a registry-map lookup per call.
+struct PoolMetrics {
+    calls: rcp_trace::Counter,
+    items: rcp_trace::Counter,
+    inline: rcp_trace::Counter,
+    workers: rcp_trace::Counter,
+    shards: rcp_trace::Counter,
+}
+
+fn metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        calls: rcp_trace::counter("pool.par_map.calls"),
+        items: rcp_trace::counter("pool.par_map.items"),
+        inline: rcp_trace::counter("pool.par_map.inline"),
+        workers: rcp_trace::counter("pool.par_map.workers"),
+        shards: rcp_trace::counter("pool.shard_ranges.shards"),
+    })
 }
 
 /// Applies `f` to every item of `items` on up to `n_threads` OS threads and
@@ -86,9 +108,14 @@ pub fn par_map_indexed<T: Sync, R: Send>(
     f: impl Fn(usize, &T) -> R + Sync,
 ) -> Vec<R> {
     let workers = n_threads.max(1).min(items.len());
+    let m = metrics();
+    m.calls.inc();
+    m.items.add(items.len() as u64);
     if workers <= 1 {
+        m.inline.inc();
         return items.iter().enumerate().map(|(k, it)| f(k, it)).collect();
     }
+    m.workers.add(workers as u64);
     let guard = rcp_guard::current();
     let cursor = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
@@ -149,6 +176,7 @@ pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
     if n == 0 {
         return Vec::new();
     }
+    metrics().shards.add(shards as u64);
     let base = n / shards;
     let extra = n % shards;
     let mut out = Vec::with_capacity(shards);

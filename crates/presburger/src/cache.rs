@@ -16,8 +16,9 @@
 //! * **bounded**: at most [`EMPTINESS_CACHE_CAPACITY`] entries; once full,
 //!   new results are still returned but no longer inserted, so behaviour
 //!   never depends on timing;
-//! * **observable**: hit/miss counters ([`emptiness_cache_stats`]) feed the
-//!   `analysis` experiment's report, and [`reset_emptiness_cache`] clears
+//! * **observable**: hit/miss counters are registered with the `rcp-trace`
+//!   metrics registry as `presburger.cache.emptiness.{hits,misses}` (read
+//!   via `rcp_trace::snapshot`), and [`reset_emptiness_cache`] clears
 //!   everything for cold-start measurements.
 
 use crate::constraint::Constraint;
@@ -30,49 +31,28 @@ pub const EMPTINESS_CACHE_CAPACITY: usize = 1 << 16;
 static EMPTINESS_CACHE: MemoCache<(Vec<Constraint>, usize), bool> =
     MemoCache::new(EMPTINESS_CACHE_CAPACITY);
 
-/// Hit/miss counters of the process-wide emptiness cache.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct EmptinessCacheStats {
-    /// Lookups answered from the cache.
-    pub hits: u64,
-    /// Lookups that ran the Fourier–Motzkin elimination.
-    pub misses: u64,
-}
-
-impl EmptinessCacheStats {
-    /// Total lookups.
-    pub fn lookups(&self) -> u64 {
-        self.hits + self.misses
-    }
-
-    /// Fraction of lookups served from the cache (0 when there were none).
-    pub fn hit_rate(&self) -> f64 {
-        if self.lookups() == 0 {
-            0.0
-        } else {
-            self.hits as f64 / self.lookups() as f64
-        }
-    }
+/// Registers the emptiness cache's hit/miss counters with the `rcp-trace`
+/// metrics registry as `presburger.cache.emptiness.{hits,misses}`.  Called
+/// lazily by [`rationally_feasible_cached`]; call it eagerly to make the
+/// names appear in a snapshot before first use.
+pub fn register_cache_metrics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| EMPTINESS_CACHE.register_metrics("presburger.cache.emptiness"));
 }
 
 /// [`rationally_feasible`] with process-wide memoisation keyed by the
 /// exact constraint list and variable count.
 pub fn rationally_feasible_cached(constraints: &[Constraint], total: usize) -> bool {
+    register_cache_metrics();
     EMPTINESS_CACHE.get_or_compute((constraints.to_vec(), total), || {
         rcp_guard::fail_point("presburger::emptiness", rcp_guard::Stage::FmProjection);
         rationally_feasible(constraints, total)
     })
 }
 
-/// A snapshot of the hit/miss counters.
-pub fn emptiness_cache_stats() -> EmptinessCacheStats {
-    EmptinessCacheStats {
-        hits: EMPTINESS_CACHE.hits(),
-        misses: EMPTINESS_CACHE.misses(),
-    }
-}
-
 /// Empties the cache and zeroes the counters (for cold-start timing).
+/// The counters are the `presburger.cache.emptiness.*` registry counters,
+/// so registry reads see zero afterwards too.
 pub fn reset_emptiness_cache() {
     EMPTINESS_CACHE.reset();
 }
@@ -107,16 +87,21 @@ mod tests {
     }
 
     #[test]
-    fn repeated_lookups_hit() {
+    fn repeated_lookups_hit_and_surface_in_the_registry() {
         // Counters are process-wide: compare deltas, not absolutes.
         let cs = vec![geq(vec![7, -3], 11), geq(vec![-7, 3], 5)];
-        let before = emptiness_cache_stats();
+        register_cache_metrics();
+        let mark = rcp_trace::snapshot();
         let _ = rationally_feasible_cached(&cs, 2);
         let _ = rationally_feasible_cached(&cs, 2);
         let _ = rationally_feasible_cached(&cs, 2);
-        let after = emptiness_cache_stats();
-        assert!(after.hits >= before.hits + 2);
-        assert!(after.lookups() >= before.lookups() + 3);
+        let delta = rcp_trace::snapshot().delta_since(&mark);
+        assert!(delta.counter("presburger.cache.emptiness.hits") >= 2);
+        assert!(
+            delta.counter("presburger.cache.emptiness.hits")
+                + delta.counter("presburger.cache.emptiness.misses")
+                >= 3
+        );
     }
 
     #[test]
@@ -133,12 +118,5 @@ mod tests {
             rationally_feasible_cached(&cs3, 3),
             rationally_feasible(&cs3, 3)
         );
-    }
-
-    #[test]
-    fn hit_rate_is_well_defined() {
-        assert_eq!(EmptinessCacheStats::default().hit_rate(), 0.0);
-        let s = EmptinessCacheStats { hits: 3, misses: 1 };
-        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
     }
 }

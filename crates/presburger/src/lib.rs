@@ -45,9 +45,7 @@ pub mod space;
 pub mod union;
 
 pub use affine::Affine;
-pub use cache::{
-    emptiness_cache_stats, rationally_feasible_cached, reset_emptiness_cache, EmptinessCacheStats,
-};
+pub use cache::{rationally_feasible_cached, register_cache_metrics, reset_emptiness_cache};
 pub use constraint::{Constraint, ConstraintKind};
 pub use convex::ConvexSet;
 pub use dense::{DenseRelation, DenseSet};

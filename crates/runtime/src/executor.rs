@@ -33,8 +33,32 @@ use rcp_codegen::{Phase, Schedule, WorkItem};
 use rcp_intlin::IVec;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Barrier, Mutex, RwLock};
+use std::sync::{Barrier, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
+
+/// Registry handles for the executor's phase/merge statistics — the
+/// `executor.*` metrics a profile or `rcp stats` reports.  Resolved once;
+/// each use is one relaxed `fetch_add`.
+struct ExecMetrics {
+    phases: rcp_trace::Counter,
+    merge_replay: rcp_trace::Counter,
+    merge_sharded: rcp_trace::Counter,
+    merge_writes: rcp_trace::Counter,
+    races: rcp_trace::Counter,
+    phase_us: rcp_trace::Histogram,
+}
+
+fn metrics() -> &'static ExecMetrics {
+    static METRICS: OnceLock<ExecMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ExecMetrics {
+        phases: rcp_trace::counter("executor.phases"),
+        merge_replay: rcp_trace::counter("executor.merge.replay"),
+        merge_sharded: rcp_trace::counter("executor.merge.sharded"),
+        merge_writes: rcp_trace::counter("executor.merge.writes"),
+        races: rcp_trace::counter("executor.races"),
+        phase_us: rcp_trace::histogram("executor.phase_us"),
+    })
+}
 
 /// The outcome of executing a schedule.
 #[derive(Debug)]
@@ -197,11 +221,20 @@ impl ParallelExecutor {
     /// Executes the schedule and returns the final store, per-phase wall
     /// clock, and any intra-phase write-write races.
     pub fn execute(&self, schedule: &Schedule, kernel: &(dyn Kernel + Sync)) -> ExecutionResult {
-        if self.uses_pool(schedule) {
+        let _span = rcp_trace::span!("executor.run");
+        let result = if self.uses_pool(schedule) {
             self.execute_on_pool(schedule, kernel)
         } else {
             self.execute_on_caller(schedule, kernel)
+        };
+        let m = metrics();
+        m.phases.add(result.phase_times.len() as u64);
+        m.races.add(result.races.len() as u64);
+        for phase in &result.phase_times {
+            m.phase_us
+                .observe(u64::try_from(phase.as_micros()).unwrap_or(u64::MAX));
         }
+        result
     }
 
     /// Single-worker execution: every phase runs on the calling thread,
@@ -549,6 +582,15 @@ fn merge_buffers(
     races: &mut Vec<(String, IVec)>,
 ) {
     rcp_guard::fail_point("runtime::merge", rcp_guard::Stage::Execution);
+    let m = metrics();
+    m.merge_replay.inc();
+    m.merge_writes.add(
+        buffer_writes
+            .iter()
+            .flat_map(|w| w.iter())
+            .map(|(_, elements)| elements.len() as u64)
+            .sum(),
+    );
     if detect_races {
         let mut writer: HashMap<(String, IVec), usize> = HashMap::new();
         for (unit_id, writes) in buffer_writes.iter().enumerate() {
@@ -614,9 +656,12 @@ fn merge_buffers_per_array(
         .flat_map(|w| w.iter())
         .map(|(_, elements)| elements.len())
         .sum();
+    let m = metrics();
+    m.merge_writes.add(total_writes as u64);
     // Decide inline vs sharded before building any grouping, so the common
     // small-merge case allocates nothing extra.
     if n_threads <= 1 || total_writes < ParallelExecutor::PAR_MERGE_MIN_WRITES {
+        m.merge_replay.inc();
         inline_replay(store);
         return;
     }
@@ -631,9 +676,11 @@ fn merge_buffers_per_array(
         }
     }
     if grouped.len() <= 1 {
+        m.merge_replay.inc();
         inline_replay(store);
         return;
     }
+    m.merge_sharded.inc();
     let mut names: Vec<&str> = grouped.keys().copied().collect();
     names.sort_unstable();
     // Take each array out of the store, fill them concurrently (the Mutex

@@ -85,6 +85,14 @@ pub struct Config {
     /// [`RcpError::BudgetExceeded`].  `true` by default; the CLI's
     /// `--no-degrade` clears it.
     pub degrade: bool,
+    /// Record [`rcp_trace`] spans and metrics while this session runs (the
+    /// CLI's `--profile`).  Tracing is a process-global switch: a session
+    /// built with `tracing` flips it on at stage entry (one relaxed store)
+    /// and leaves it on — the harness that wants a bounded window calls
+    /// [`rcp_trace::set_enabled`]`(false)` and [`rcp_trace::reset`] itself.
+    /// `false` (the default) never touches the switch, so an untraced
+    /// session costs one relaxed load per would-be span.
+    pub tracing: bool,
 }
 
 impl Default for Config {
@@ -99,6 +107,7 @@ impl Default for Config {
             analysis_threads: None,
             budget: None,
             degrade: true,
+            tracing: false,
         }
     }
 }
@@ -197,6 +206,13 @@ impl Config {
     /// of walking the degradation ladder.
     pub fn without_degradation(mut self) -> Self {
         self.degrade = false;
+        self
+    }
+
+    /// Records [`rcp_trace`] spans and metrics while the session runs
+    /// (see the [`Config::tracing`] field for the global-switch caveat).
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
         self
     }
 

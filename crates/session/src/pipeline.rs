@@ -73,7 +73,11 @@ impl Session {
     /// the [`Analyzed`] stage.  `origin` (a file name) prefixes parse
     /// diagnostics so they read like compiler output.
     pub fn parse(&self, source: &str, origin: &str) -> Result<Analyzed, RcpError> {
-        let program = rcp_lang::parse_program(source).map_err(|e| RcpError::parse(origin, e))?;
+        self.sync_tracing();
+        let program = {
+            let _span = rcp_trace::span!("session.load");
+            rcp_lang::parse_program(source).map_err(|e| RcpError::parse(origin, e))?
+        };
         self.analyze_program(program, origin)
     }
 
@@ -95,7 +99,18 @@ impl Session {
         self.parse(bundled.source, &format!("{name}.loop"))
     }
 
+    /// Flips the process-global trace switch on when this session was
+    /// configured with [`Config::with_tracing`] (never off — see the
+    /// field's docs for who owns the window).
+    fn sync_tracing(&self) {
+        if self.config.tracing {
+            rcp_trace::set_enabled(true);
+        }
+    }
+
     fn analyze_program(&self, program: Program, origin: &str) -> Result<Analyzed, RcpError> {
+        self.sync_tracing();
+        let _span = rcp_trace::span!("session.analyze");
         program
             .check_variables()
             .map_err(|detail| RcpError::UnboundVariable {
@@ -378,6 +393,7 @@ impl Analyzed {
     /// The compile-time recurrence-chain plan ([`Planned`] stage), or a
     /// typed error saying exactly why the then-branch does not apply.
     pub fn plan(&self) -> Result<Planned, RcpError> {
+        let _span = rcp_trace::span!("session.plan");
         let plan = match self.inner.symbolic.as_deref() {
             Some(analysis) => symbolic_plan(analysis)?,
             None => symbolic_plan(self.partition()?.analysis())?,
@@ -443,6 +459,7 @@ impl Analyzed {
     }
 
     fn build_core(&self, values: &[i64]) -> Result<Arc<StageCore>, RcpError> {
+        let _span = rcp_trace::span!("session.partition");
         let inner = &self.inner;
         let session = Session::with_config(inner.config.clone());
         // The whole concrete stage — the deferred re-analysis and the φ/Rd
@@ -620,6 +637,7 @@ impl Partitioned {
     /// under a fresh budget simply retries.
     pub fn partition(&self) -> &ConcretePartition {
         self.inner.core.partition.get_or_init(|| {
+            let _span = rcp_trace::span!("core.partition");
             rcp_guard::fail_point("session::partition", rcp_guard::Stage::Partition);
             rcp_guard::tick(
                 rcp_guard::Stage::Partition,
@@ -664,6 +682,7 @@ impl Partitioned {
     /// Schedules this partition with an explicitly named scheme from the
     /// [`crate::registry`].
     pub fn schedule_with(&self, scheme: &str) -> Result<Scheduled, RcpError> {
+        let _span = rcp_trace::span!("session.schedule");
         let partitioner = partitioner(scheme)?;
         // Schedule construction (which lazily computes the Algorithm-1
         // partition) is guarded: budget trips and injected faults below
@@ -771,6 +790,7 @@ impl Scheduled {
     /// (and race-freedom) against the sequential reference, on the
     /// configured thread count.
     pub fn verify(&self) -> Verification {
+        let _span = rcp_trace::span!("session.run");
         let kernel = self.kernel();
         verify_schedule(
             self.sequential(),
@@ -795,6 +815,7 @@ impl Scheduled {
     /// [`execute_sequential`] on [`Self::sequential`] — remains available
     /// after any failure here.
     pub fn execute_checked(&self) -> Result<rcp_runtime::ExecutionResult, RcpError> {
+        let _span = rcp_trace::span!("session.run");
         let kernel = self.kernel();
         let executor = ParallelExecutor::new(self.config_threads());
         let budget = &self.inner.partitioned.analyzed().config().budget;
@@ -804,6 +825,7 @@ impl Scheduled {
 
     /// Measured sequential vs parallel wall clock, best of `reps`.
     pub fn bench(&self, reps: usize) -> BenchMeasurement {
+        let _span = rcp_trace::span!("session.run");
         let kernel = self.kernel();
         let reps = reps.max(1);
         let best = |mut pass: Box<dyn FnMut() -> f64 + '_>| {

@@ -1,0 +1,833 @@
+//! `rcp-trace`: structured per-stage tracing and the unified metrics
+//! registry for the whole pipeline.
+//!
+//! The repo's observability used to be scattered ad-hoc counters — the
+//! intlin solver-cache stats, the presburger emptiness-cache stats, the
+//! pair-space `ScreenStats`, guard tick totals, per-experiment stopwatches
+//! — each with its own reset/report API and no way to see where a single
+//! `rcp analyze` spends its time.  This crate is the one substrate they
+//! all report through:
+//!
+//! * **Spans.**  [`span()`]`("session.analyze")` (or the [`span!`] macro)
+//!   returns an RAII guard; on drop the elapsed monotonic time is recorded
+//!   into a per-thread buffer under the thread's current span path, so
+//!   spans nest.  Buffers are merged deterministically on [`span_tree`]:
+//!   aggregation keys on the span *path* and sums are order-independent,
+//!   and sibling order is the global first-registration order of the span
+//!   names (pipeline order in practice), never thread interleaving.
+//! * **Metrics.**  A process-global registry of named [`Counter`]s,
+//!   [`Gauge`]s and [`Histogram`]s plus *external* counters
+//!   ([`register_external`]) that adopt an existing `&'static AtomicU64` —
+//!   how the solver caches expose their hit/miss cells without moving
+//!   them.  One [`snapshot`]/[`reset_metrics`] API covers everything, and
+//!   [`Snapshot::delta_since`] gives scoped diff-since-mark readings so
+//!   concurrent consumers (the bench experiments) don't bleed into each
+//!   other.
+//! * **Stage ticks.**  A fixed array of tick slots ([`tick_slot`]) that
+//!   `rcp_guard::tick` mirrors its per-stage work units into, so a profile
+//!   reports cooperative work per stage even when no budget is armed.
+//! * **The off switch.**  Everything span-shaped is gated on one relaxed
+//!   `AtomicBool` ([`set_enabled`]); disabled, a span is a `None` guard and
+//!   a stage tick is a single atomic load — the same "compiles to
+//!   near-nothing" pattern as `rcp-guard`'s <1% checkpoint budget, and the
+//!   `trace` bench experiment measures exactly that.
+//!
+//! The crate sits at the workspace bottom beside nothing at all (zero
+//! dependencies), so every other crate — including `rcp-guard` — can
+//! report into it without a cycle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// The enable switch
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns span recording and stage-tick mirroring on or off for the whole
+/// process.  Counters, gauges and histograms are always live (they are
+/// plain relaxed atomics, exactly what the ad-hoc cache counters were);
+/// the switch covers the parts that cost more than one `fetch_add`.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True when span recording is on (one relaxed load — the entire cost of a
+/// disabled span or stage-tick mirror).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Lock hygiene
+// ---------------------------------------------------------------------------
+
+/// Locks with poison recovery: a panic while a holder had the lock (chaos
+/// campaigns unwind through everything) must not cascade into every later
+/// profile read.  Same idiom as the guard's failpoint registry and the
+/// intlin memo cache.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => {
+            mutex.clear_poison();
+            poisoned.into_inner()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// One completed span occurrence: the full path from the root (outermost
+/// span on this thread) to the span itself, plus its elapsed time.
+#[derive(Clone, Debug)]
+struct SpanRec {
+    path: Vec<&'static str>,
+    elapsed_ns: u64,
+}
+
+type SpanBuffer = Arc<Mutex<Vec<SpanRec>>>;
+
+/// Every thread's span buffer, registered on the thread's first recorded
+/// span.  The `Arc` here keeps records alive after the thread exits (pool
+/// workers are short-lived); merging reads all buffers.
+static BUFFERS: Mutex<Vec<SpanBuffer>> = Mutex::new(Vec::new());
+
+/// Global first-registration order of span names: the deterministic
+/// sibling sort key for [`span_tree`].  Top-level stage spans are opened
+/// by the coordinating thread in pipeline order, so the tree reads in
+/// pipeline order regardless of which worker finished first.
+static NAME_ORDER: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    static LOCAL_BUFFER: RefCell<Option<SpanBuffer>> = const { RefCell::new(None) };
+}
+
+fn intern_name(name: &'static str) {
+    let mut order = lock_recover(&NAME_ORDER);
+    if !order.contains(&name) {
+        order.push(name);
+    }
+}
+
+fn name_rank(order: &[&'static str], name: &str) -> usize {
+    order.iter().position(|n| *n == name).unwrap_or(usize::MAX)
+}
+
+fn record_span(path: Vec<&'static str>, elapsed_ns: u64) {
+    LOCAL_BUFFER.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let buffer = slot.get_or_insert_with(|| {
+            let fresh: SpanBuffer = Arc::new(Mutex::new(Vec::new()));
+            lock_recover(&BUFFERS).push(Arc::clone(&fresh));
+            fresh
+        });
+        lock_recover(buffer).push(SpanRec { path, elapsed_ns });
+    });
+}
+
+/// An RAII span guard: created by [`span()`], records on drop.  When tracing
+/// is disabled at creation the guard is inert (`start` is `None`) and drop
+/// does nothing, so an unclosed `--profile` toggle can't half-record.
+#[must_use = "a span records its elapsed time when dropped; binding it to `_` drops it immediately"]
+pub struct Span {
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// True when this guard is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start.take() else {
+            return;
+        };
+        let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = stack.clone();
+            stack.pop();
+            path
+        });
+        if !path.is_empty() {
+            record_span(path, elapsed_ns);
+        }
+    }
+}
+
+/// Opens a span named `name` nested under the thread's current span, and
+/// returns the RAII guard that closes it.  Disabled tracing: one relaxed
+/// load, no allocation, an inert guard.
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { start: None };
+    }
+    intern_name(name);
+    STACK.with(|stack| stack.borrow_mut().push(name));
+    Span {
+        start: Some(Instant::now()),
+    }
+}
+
+/// [`span()`] as a macro, for symmetry with the tick/fail-point call sites:
+/// `let _guard = rcp_trace::span!("session.analyze");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+/// One node of the aggregated span tree: every recorded occurrence of a
+/// span path, merged across threads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanNode {
+    /// The span name (last path segment).
+    pub name: &'static str,
+    /// How many times this exact path was recorded.
+    pub count: u64,
+    /// Total elapsed nanoseconds across all occurrences (wall time; the
+    /// only nondeterministic field — goldens scrub it).
+    pub total_ns: u64,
+    /// Child spans, in deterministic first-registration order.
+    pub children: Vec<SpanNode>,
+}
+
+fn build_tree(records: &[SpanRec], order: &[&'static str]) -> Vec<SpanNode> {
+    fn insert(nodes: &mut Vec<SpanNode>, path: &[&'static str], elapsed_ns: u64) {
+        let (head, rest) = match path.split_first() {
+            Some(split) => split,
+            None => return,
+        };
+        let node = match nodes.iter_mut().find(|n| n.name == *head) {
+            Some(node) => node,
+            None => {
+                nodes.push(SpanNode {
+                    name: head,
+                    count: 0,
+                    total_ns: 0,
+                    children: Vec::new(),
+                });
+                // Just pushed, so the vector is non-empty; avoid unwrap for
+                // the panic-hygiene gate.
+                match nodes.last_mut() {
+                    Some(node) => node,
+                    None => return,
+                }
+            }
+        };
+        if rest.is_empty() {
+            node.count += 1;
+            node.total_ns = node.total_ns.saturating_add(elapsed_ns);
+        } else {
+            insert(&mut node.children, rest, elapsed_ns);
+        }
+    }
+    fn sort(nodes: &mut Vec<SpanNode>, order: &[&'static str]) {
+        nodes.sort_by_key(|n| (name_rank(order, n.name), n.name));
+        for node in nodes {
+            sort(&mut node.children, order);
+        }
+    }
+    let mut roots = Vec::new();
+    for rec in records {
+        insert(&mut roots, &rec.path, rec.elapsed_ns);
+    }
+    sort(&mut roots, order);
+    roots
+}
+
+/// Merges every thread's span buffer into one aggregated tree.  Counts and
+/// structure are deterministic for a deterministic workload; only
+/// `total_ns` carries wall time.  Non-destructive: records stay until
+/// [`reset_spans`].
+pub fn span_tree() -> Vec<SpanNode> {
+    let buffers: Vec<SpanBuffer> = lock_recover(&BUFFERS).clone();
+    let mut records = Vec::new();
+    for buffer in &buffers {
+        records.extend(lock_recover(buffer).iter().cloned());
+    }
+    let order = lock_recover(&NAME_ORDER).clone();
+    build_tree(&records, &order)
+}
+
+/// Drops every recorded span occurrence (the name-order intern table is
+/// kept: it only ever grows and keeps sibling order stable across
+/// mark/reset cycles).
+pub fn reset_spans() {
+    let buffers: Vec<SpanBuffer> = lock_recover(&BUFFERS).clone();
+    for buffer in &buffers {
+        lock_recover(buffer).clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage tick slots
+// ---------------------------------------------------------------------------
+
+/// Number of stage tick slots; `rcp-guard` has 7 stages, the headroom is
+/// for future stages without a lockstep release.
+pub const TICK_SLOTS: usize = 16;
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+static TICK_COUNTS: [AtomicU64; TICK_SLOTS] = [ZERO; TICK_SLOTS];
+static TICK_NAMES: Mutex<[Option<&'static str>; TICK_SLOTS]> = Mutex::new([None; TICK_SLOTS]);
+
+/// Names a tick slot; the guard registers its stage names here once, and
+/// snapshots render slot `i` as counter `guard.ticks.<name>`.
+pub fn name_tick_slot(index: usize, name: &'static str) {
+    if index < TICK_SLOTS {
+        lock_recover(&TICK_NAMES)[index] = Some(name);
+    }
+}
+
+/// Adds `units` to tick slot `index` — the mirror `rcp_guard::tick` calls
+/// when tracing is enabled.  One relaxed `fetch_add` on a static.
+#[inline]
+pub fn tick_slot(index: usize, units: u64) {
+    if index < TICK_SLOTS {
+        TICK_COUNTS[index].fetch_add(units, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+enum Cell {
+    Owned(Arc<AtomicU64>),
+    External(&'static AtomicU64),
+}
+
+impl Cell {
+    fn get(&self) -> &AtomicU64 {
+        match self {
+            Cell::Owned(cell) => cell,
+            Cell::External(cell) => cell,
+        }
+    }
+}
+
+/// A monotonically increasing counter handle.  Cheap to clone; fetch the
+/// handle once (a `OnceLock` static at a hot call site) and bump it with
+/// [`Counter::add`].
+#[derive(Clone)]
+pub struct Counter {
+    cell: Cell,
+}
+
+impl Counter {
+    /// Adds `n` (relaxed).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.get().fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1 (relaxed).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.cell.get().load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge handle (thread count, configured sizes).
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Cell,
+}
+
+impl Gauge {
+    /// Stores `v` (relaxed).
+    pub fn set(&self, v: u64) {
+        self.cell.get().store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.cell.get().load(Ordering::Relaxed)
+    }
+}
+
+/// Power-of-two-bucket histogram bucket count: bucket `i` holds values `v`
+/// with `bucket_index(v) == i`, i.e. `v == 0` in bucket 0 and otherwise
+/// `floor(log2 v) + 1` capped to the last bucket.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// The shared core of a [`Histogram`] handle.
+pub struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// A log2-bucket histogram handle (phase durations, merge write counts).
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// Records one observation of `v`.
+    pub fn observe(&self, v: u64) {
+        self.core.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.core.count.fetch_add(1, Ordering::Relaxed);
+        self.core.sum.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time reading of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts; bucket `i` spans `[2^(i-1), 2^i)`
+    /// (bucket 0 is exactly zero), upper-inclusive bound `2^i - 1`.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+enum Entry {
+    Counter(Cell),
+    Gauge(Cell),
+    Histogram(Arc<HistogramCore>),
+}
+
+static REGISTRY: OnceLock<Mutex<BTreeMap<String, Entry>>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<BTreeMap<String, Entry>> {
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn fresh_cell() -> Cell {
+    Cell::Owned(Arc::new(AtomicU64::new(0)))
+}
+
+/// The counter registered under `name`, creating it at zero on first use.
+/// Names are dot-separated `crate.subsystem.metric` (see
+/// `docs/OBSERVABILITY.md`).  If `name` is already registered as a
+/// different metric kind, a detached handle is returned (it works but
+/// never appears in snapshots) rather than panicking.
+pub fn counter(name: &str) -> Counter {
+    let mut map = lock_recover(registry());
+    let entry = map
+        .entry(name.to_string())
+        .or_insert_with(|| Entry::Counter(fresh_cell()));
+    match entry {
+        Entry::Counter(cell) => Counter { cell: cell.clone() },
+        _ => Counter { cell: fresh_cell() },
+    }
+}
+
+/// The gauge registered under `name` (see [`counter`] for naming and
+/// kind-mismatch behaviour).
+pub fn gauge(name: &str) -> Gauge {
+    let mut map = lock_recover(registry());
+    let entry = map
+        .entry(name.to_string())
+        .or_insert_with(|| Entry::Gauge(fresh_cell()));
+    match entry {
+        Entry::Gauge(cell) => Gauge { cell: cell.clone() },
+        _ => Gauge { cell: fresh_cell() },
+    }
+}
+
+/// The histogram registered under `name` (see [`counter`] for naming and
+/// kind-mismatch behaviour).
+pub fn histogram(name: &str) -> Histogram {
+    let mut map = lock_recover(registry());
+    let entry = map.entry(name.to_string()).or_insert_with(|| {
+        Entry::Histogram(Arc::new(HistogramCore {
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    });
+    match entry {
+        Entry::Histogram(core) => Histogram {
+            core: Arc::clone(core),
+        },
+        _ => Histogram {
+            core: Arc::new(HistogramCore {
+                buckets: [ZERO; HISTOGRAM_BUCKETS],
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        },
+    }
+}
+
+/// Adopts an existing static atomic as the counter `name` — how the memo
+/// caches surface their hit/miss cells without moving them (the cell stays
+/// the cache's own field; resetting the cache and resetting the registry
+/// zero the same storage).  Re-registering the same name replaces the
+/// binding, so a re-registered cache wins.
+pub fn register_external(name: &str, cell: &'static AtomicU64) {
+    lock_recover(registry()).insert(name.to_string(), Entry::Counter(Cell::External(cell)));
+}
+
+/// A point-in-time reading of the whole registry (plus the guard's stage
+/// tick slots, rendered as `guard.ticks.<stage>` counters).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram readings by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The counter's value, zero when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge's value, zero when absent.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// `hits / (hits + misses)` over two counters, `0.0` when both are
+    /// zero — the shared shape of every cache hit-rate readout.
+    pub fn hit_rate(&self, hits: &str, misses: &str) -> f64 {
+        let h = self.counter(hits);
+        let lookups = h + self.counter(misses);
+        if lookups == 0 {
+            0.0
+        } else {
+            h as f64 / lookups as f64
+        }
+    }
+
+    /// The change since `mark`: counters and histogram buckets subtract
+    /// (saturating, so a reset between the marks reads as zero rather than
+    /// wrapping), gauges keep their newer value.  This is the scoped view
+    /// the bench experiments read so concurrent experiments sharing the
+    /// process-global cache counters don't bleed into each other.
+    pub fn delta_since(&self, mark: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, value)| (name.clone(), value.saturating_sub(mark.counter(name))))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let base = mark.histograms.get(name);
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| {
+                        b.saturating_sub(base.and_then(|m| m.buckets.get(i)).copied().unwrap_or(0))
+                    })
+                    .collect();
+                (
+                    name.clone(),
+                    HistogramSnapshot {
+                        buckets,
+                        count: h.count.saturating_sub(base.map_or(0, |m| m.count)),
+                        sum: h.sum.saturating_sub(base.map_or(0, |m| m.sum)),
+                    },
+                )
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
+    /// Renders the snapshot in Prometheus text exposition style (dots in
+    /// names become underscores, all series `rcp_`-prefixed), the format
+    /// `rcp stats` prints and the ROADMAP's `rcpd` scrape endpoint will
+    /// serve.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let metric = sanitize(name);
+            let _ = writeln!(out, "# TYPE rcp_{metric} counter");
+            let _ = writeln!(out, "rcp_{metric} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let metric = sanitize(name);
+            let _ = writeln!(out, "# TYPE rcp_{metric} gauge");
+            let _ = writeln!(out, "rcp_{metric} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let metric = sanitize(name);
+            let _ = writeln!(out, "# TYPE rcp_{metric} histogram");
+            let mut cumulative = 0u64;
+            for (i, bucket) in h.buckets.iter().enumerate() {
+                if *bucket == 0 {
+                    continue;
+                }
+                cumulative += bucket;
+                let le = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                let _ = writeln!(out, "rcp_{metric}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "rcp_{metric}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "rcp_{metric}_sum {}", h.sum);
+            let _ = writeln!(out, "rcp_{metric}_count {}", h.count);
+        }
+        out
+    }
+}
+
+/// Reads every registered metric plus the named guard tick slots.
+pub fn snapshot() -> Snapshot {
+    let mut snap = Snapshot::default();
+    {
+        let map = lock_recover(registry());
+        for (name, entry) in map.iter() {
+            match entry {
+                Entry::Counter(cell) => {
+                    snap.counters
+                        .insert(name.clone(), cell.get().load(Ordering::Relaxed));
+                }
+                Entry::Gauge(cell) => {
+                    snap.gauges
+                        .insert(name.clone(), cell.get().load(Ordering::Relaxed));
+                }
+                Entry::Histogram(core) => {
+                    snap.histograms.insert(
+                        name.clone(),
+                        HistogramSnapshot {
+                            buckets: core
+                                .buckets
+                                .iter()
+                                .map(|b| b.load(Ordering::Relaxed))
+                                .collect(),
+                            count: core.count.load(Ordering::Relaxed),
+                            sum: core.sum.load(Ordering::Relaxed),
+                        },
+                    );
+                }
+            }
+        }
+    }
+    let names = lock_recover(&TICK_NAMES);
+    for (i, name) in names.iter().enumerate() {
+        if let Some(name) = name {
+            snap.counters.insert(
+                format!("guard.ticks.{name}"),
+                TICK_COUNTS[i].load(Ordering::Relaxed),
+            );
+        }
+    }
+    snap
+}
+
+/// Zeroes every registered counter (owned *and* external — for a memo
+/// cache the external cell doubles as the cache's own counter, so both
+/// views reset together), gauge, histogram and tick slot.  Registrations
+/// and span records survive; see [`reset_spans`] for the latter.
+pub fn reset_metrics() {
+    let map = lock_recover(registry());
+    for entry in map.values() {
+        match entry {
+            Entry::Counter(cell) | Entry::Gauge(cell) => {
+                cell.get().store(0, Ordering::Relaxed);
+            }
+            Entry::Histogram(core) => {
+                for bucket in &core.buckets {
+                    bucket.store(0, Ordering::Relaxed);
+                }
+                core.count.store(0, Ordering::Relaxed);
+                core.sum.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+    for slot in &TICK_COUNTS {
+        slot.store(0, Ordering::Relaxed);
+    }
+}
+
+/// [`reset_metrics`] plus [`reset_spans`]: the clean-slate call a profile
+/// mark uses.
+pub fn reset() {
+    reset_metrics();
+    reset_spans();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trace state is process-global; tests that toggle the switch or
+    /// reset buffers serialise on this.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _serial = lock_recover(&SERIAL);
+        set_enabled(false);
+        reset();
+        let guard = span("should-not-record");
+        assert!(!guard.is_recording());
+        drop(guard);
+        assert!(span_tree().iter().all(|n| n.name != "should-not-record"));
+    }
+
+    #[test]
+    fn spans_nest_and_merge_deterministically() {
+        let _serial = lock_recover(&SERIAL);
+        set_enabled(true);
+        reset();
+        {
+            let _outer = span!("outer");
+            {
+                let _inner = span!("inner-a");
+            }
+            {
+                let _inner = span!("inner-b");
+            }
+            {
+                let _inner = span!("inner-a");
+            }
+        }
+        // A worker thread records under its own root; sums merge by path.
+        let worker = std::thread::spawn(|| {
+            let _outer = span!("outer");
+            let _inner = span!("inner-b");
+        });
+        worker.join().expect("worker");
+        set_enabled(false);
+        let tree = span_tree();
+        let outer = tree
+            .iter()
+            .find(|n| n.name == "outer")
+            .expect("outer span recorded");
+        assert_eq!(outer.count, 2);
+        let names: Vec<&str> = outer.children.iter().map(|n| n.name).collect();
+        assert_eq!(
+            names,
+            vec!["inner-a", "inner-b"],
+            "siblings sort by first-registration order"
+        );
+        assert_eq!(outer.children[0].count, 2);
+        assert_eq!(outer.children[1].count, 2);
+    }
+
+    #[test]
+    fn counters_gauges_and_deltas() {
+        let _serial = lock_recover(&SERIAL);
+        reset();
+        let c = counter("test.counter");
+        c.add(5);
+        let mark = snapshot();
+        c.add(7);
+        gauge("test.gauge").set(42);
+        let delta = snapshot().delta_since(&mark);
+        assert_eq!(delta.counter("test.counter"), 7);
+        assert_eq!(delta.gauge("test.gauge"), 42);
+        assert_eq!(delta.counter("test.absent"), 0);
+        assert!((snapshot().hit_rate("test.counter", "test.absent") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn external_counters_share_storage() {
+        let _serial = lock_recover(&SERIAL);
+        static CELL: AtomicU64 = AtomicU64::new(0);
+        register_external("test.external", &CELL);
+        reset_metrics();
+        CELL.store(3, Ordering::Relaxed);
+        assert_eq!(snapshot().counter("test.external"), 3);
+        reset_metrics();
+        assert_eq!(
+            CELL.load(Ordering::Relaxed),
+            0,
+            "registry reset zeroes the adopted cell"
+        );
+    }
+
+    #[test]
+    fn tick_slots_surface_as_guard_counters() {
+        let _serial = lock_recover(&SERIAL);
+        reset_metrics();
+        name_tick_slot(0, "analysis");
+        tick_slot(0, 4);
+        tick_slot(0, 2);
+        tick_slot(TICK_SLOTS + 5, 99); // out of range: ignored, no panic
+        assert_eq!(snapshot().counter("guard.ticks.analysis"), 6);
+    }
+
+    #[test]
+    fn histograms_bucket_by_log2_and_render_prometheus() {
+        let _serial = lock_recover(&SERIAL);
+        reset_metrics();
+        let h = histogram("test.hist");
+        h.observe(0);
+        h.observe(1);
+        h.observe(3);
+        h.observe(1000);
+        let snap = snapshot();
+        let reading = snap.histograms.get("test.hist").expect("registered");
+        assert_eq!(reading.count, 4);
+        assert_eq!(reading.sum, 1004);
+        assert_eq!(reading.buckets[0], 1, "zero lands in bucket 0");
+        assert_eq!(reading.buckets[1], 1, "one lands in bucket 1");
+        assert_eq!(reading.buckets[2], 1, "2..=3 lands in bucket 2");
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE rcp_test_hist histogram"), "{text}");
+        assert!(text.contains("rcp_test_hist_sum 1004"), "{text}");
+        assert!(
+            text.contains("rcp_test_hist_bucket{le=\"+Inf\"} 4"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn kind_mismatch_returns_detached_handles() {
+        let _serial = lock_recover(&SERIAL);
+        counter("test.kind").inc();
+        let g = gauge("test.kind");
+        g.set(77);
+        assert_eq!(
+            snapshot().counter("test.kind"),
+            1,
+            "the registered counter is untouched by the detached gauge"
+        );
+        assert_eq!(g.get(), 77, "the detached handle still works locally");
+    }
+}

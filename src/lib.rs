@@ -11,6 +11,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
+//! | [`trace`] | `rcp-trace` | thread-aware span tracing + the unified metrics registry (counters/gauges/histograms), near-zero cost when disabled |
 //! | [`guard`] | `rcp-guard` | cooperative resource budgets (work units + deadlines), typed budget-exhaustion, fault-injection failpoints |
 //! | [`pool`] | `rcp-pool` | dependency-free `par_map` thread-pool facility shared by analysis and runtime |
 //! | [`intlin`] | `rcp-intlin` | exact rational/integer linear algebra, Hermite normal form, diophantine solvers (memoised via `intlin::cache`) |
@@ -24,7 +25,7 @@
 //! | [`baselines`] | `rcp-baselines` | PDM, PL, UNIQUE, DOACROSS, inner-loop parallelization comparators |
 //! | [`workloads`] | `rcp-workloads` | the paper's example loops 1–4, figure-2 loop, synthetic corpus, bundled `.loop` files |
 //! | [`session`] | `rcp-session` | the staged `Session` pipeline API, the `Partitioner` scheme registry, typed `RcpError`s |
-//! | [`cli`] | `rcp-cli` | the `rcp` binary's subcommands (`parse`, `analyze`, `partition`, `codegen`, `run`, `bench`, `schemes`, `fuzz`) |
+//! | [`cli`] | `rcp-cli` | the `rcp` binary's subcommands (`parse`, `analyze`, `partition`, `codegen`, `run`, `bench`, `stats`, `schemes`, `fuzz`) |
 //! | [`fuzz`] | `rcp-fuzz` | differential fuzzing: seeded nest generator, cross-scheme execution oracle, counterexample minimiser |
 //!
 //! ## Quick start
@@ -81,6 +82,7 @@ pub use rcp_pool as pool;
 pub use rcp_presburger as presburger;
 pub use rcp_runtime as runtime;
 pub use rcp_session as session;
+pub use rcp_trace as trace;
 pub use rcp_workloads as workloads;
 
 /// The most commonly used items, re-exported flat.

@@ -12,7 +12,7 @@ use recurrence_chains::depend::{
 };
 use recurrence_chains::intlin::{
     hermite_normal_form, hermite_normal_form_cached, solve_linear_system,
-    solve_linear_system_cached, solver_cache_stats,
+    solve_linear_system_cached,
 };
 use recurrence_chains::workloads::{
     example1, example2, example3, example4_cholesky, figure2, random_nest, CholeskyParams, SmallRng,
@@ -48,8 +48,11 @@ fn cached_solvers_are_bit_identical_across_the_corpus() {
         }
     }
     assert!(checked >= 600, "the corpus sweep must exercise the cache");
+    // The cache counters live in the rcp-trace registry now; the sweep
+    // above must have been counted there.
+    let snap = recurrence_chains::trace::snapshot();
     assert!(
-        solver_cache_stats().lookups() > 0,
+        snap.counter("intlin.cache.hnf.hits") + snap.counter("intlin.cache.hnf.misses") > 0,
         "lookups must be counted"
     );
 }
