@@ -1498,6 +1498,147 @@ pub fn fuzz_experiment(quick: bool) -> ExperimentReport {
     )
 }
 
+/// E-SERVE — the `rcpd` daemon over loopback: cold vs warm (cache-hit)
+/// analyze latency per bundled workload, sustained warm throughput, and
+/// the content-addressed cache's hit/miss/eviction counters as scraped
+/// from `GET /metrics`.
+///
+/// The headline gate is the cache: the corpus-total warm latency must be
+/// at least 10x better than the corpus-total cold latency (docs/SERVING.md
+/// records the claim; the per-workload table shows where the ratio comes
+/// from).  Cold requests pay parse + full exact analysis; warm requests
+/// pay parse + SHA-256 + an `Arc` clone.
+pub fn server_experiment(quick: bool) -> ExperimentReport {
+    use rcp_serve::client::Client;
+    use rcp_serve::{Server, ServerConfig};
+
+    let warm_reps = if quick { 3 } else { 7 };
+    let throughput_threads = 4;
+    let throughput_reps = if quick { 25 } else { 100 };
+
+    let server = Server::start(ServerConfig {
+        workers: 4,
+        cache_capacity: BUNDLED_LOOPS.len() + 2,
+        ..ServerConfig::default()
+    })
+    .expect("loopback server starts");
+    let addr = server.addr().to_string();
+    let client = Client::new(addr.clone());
+
+    let time_analyze = |client: &Client, name: &str| -> f64 {
+        let body = json!({ "workload": name });
+        let start = Instant::now();
+        let reply = client.post("/v1/analyze", &body).expect("analyze responds");
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(reply.status, 200, "{name}: {}", reply.body);
+        elapsed
+    };
+
+    // Cold pass: first request per workload misses the cache and pays the
+    // full analysis.  Warm pass: best-of-`warm_reps` steady-state hit.
+    let mut rows = Vec::new();
+    let mut text = String::from(
+        "workload              cold-ms   warm-ms   ratio   (cold = first request,\n\
+         \x20                                              warm = best cache hit)\n",
+    );
+    let (mut cold_total, mut warm_total) = (0.0f64, 0.0f64);
+    for bundled in BUNDLED_LOOPS {
+        let cold = time_analyze(&client, bundled.name);
+        let warm = (0..warm_reps)
+            .map(|_| time_analyze(&client, bundled.name))
+            .fold(f64::INFINITY, f64::min);
+        cold_total += cold;
+        warm_total += warm;
+        text.push_str(&format!(
+            "{:<20} {cold:>8.3} {warm:>9.3} {:>7.1}\n",
+            bundled.name,
+            cold / warm,
+        ));
+        rows.push(json!({
+            "workload": bundled.name,
+            "cold_ms": cold,
+            "warm_ms": warm,
+            "ratio": cold / warm,
+        }));
+    }
+    let corpus_ratio = cold_total / warm_total;
+
+    // Sustained warm throughput: concurrent clients hammering one cached
+    // workload (the hit path end to end: connect, parse, hash, respond).
+    // The registry mark proves the whole burst re-analyses nothing: the
+    // pair-screening counter must not move while it runs.
+    let mark = rcp_trace::snapshot();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..throughput_threads {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let client = Client::new(addr);
+                for _ in 0..throughput_reps {
+                    let reply = client
+                        .post("/v1/analyze", &json!({ "workload": "example1" }))
+                        .expect("warm analyze responds");
+                    assert_eq!(reply.status, 200);
+                }
+            });
+        }
+    });
+    let throughput_elapsed = start.elapsed().as_secs_f64();
+    let requests = (throughput_threads * throughput_reps) as f64;
+    let rps = requests / throughput_elapsed;
+
+    // The cache counters, as a client sees them at GET /metrics.
+    let metrics = client.get("/metrics").expect("metrics responds");
+    assert_eq!(metrics.status, 200);
+    let scrape = |name: &str| -> u64 {
+        metrics
+            .body
+            .lines()
+            .find(|l| l.starts_with(name))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    let (hits, misses, evictions) = (
+        scrape("rcp_serve_cache_hits"),
+        scrape("rcp_serve_cache_misses"),
+        scrape("rcp_serve_cache_evictions"),
+    );
+    let delta = rcp_trace::snapshot().delta_since(&mark);
+
+    server.shutdown();
+    server.join();
+
+    text.push_str(&format!(
+        "corpus total         {cold_total:>8.3} {warm_total:>9.3} {corpus_ratio:>7.1}   \
+         (gate: warm >= 10x better)\n\
+         warm throughput      {rps:>8.0} req/s  ({throughput_threads} client(s) x \
+         {throughput_reps} request(s) in {throughput_elapsed:.2}s)\n\
+         cache counters       {hits} hit(s), {misses} miss(es), {evictions} eviction(s) \
+         (from GET /metrics)\n",
+    ));
+    let data = json!({
+        "workloads": Json::Array(rows),
+        "cold_total_ms": cold_total,
+        "warm_total_ms": warm_total,
+        "corpus_ratio": corpus_ratio,
+        "warm_10x": corpus_ratio >= 10.0,
+        "throughput_rps": rps,
+        "cache": json!({
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "warm_burst_screen_pairs": delta.counter("depend.screen.pairs"),
+        }),
+    });
+    ExperimentReport::new(
+        "server",
+        "rcpd over loopback: cold vs warm analyze latency, throughput, cache hit rate",
+        text,
+        data,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

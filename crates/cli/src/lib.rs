@@ -21,7 +21,15 @@
 //! rcp stats      file.loop --param N=300           # Prometheus-style metrics snapshot
 //! rcp schemes                                      # list the Partitioner registry
 //! rcp fuzz       --seed 0xC0FFEE --count 50        # differential fuzzing of the registry
+//! rcp serve      --addr 127.0.0.1:0                # run the rcpd partition daemon
+//! rcp remote     analyze file.loop --addr H:P      # drive a running daemon
 //! ```
+//!
+//! The stage handlers (`cmd_analyze` and friends) live in
+//! [`rcp_serve::api`] and are re-exported here: the daemon's
+//! `POST /v1/<command>` endpoints and the CLI subcommands are the same
+//! functions, so a served response body is bit-identical to the CLI's
+//! `--json` output (see `docs/SERVING.md`).
 //!
 //! Any file-taking subcommand also accepts `--profile` (append the
 //! [`rcp_trace`] span tree and metrics to the human report) and
@@ -31,69 +39,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rcp_core::ConcretePartition;
-use rcp_depend::Granularity;
 use rcp_fuzz::ChaosVerdict;
 use rcp_json::{json, Json};
 use rcp_lang::pretty;
-use rcp_loopir::{Node, Program};
-use rcp_session::{registry, Analyzed, Config, GranularityChoice, Partitioned, RcpError, Session};
+use rcp_loopir::Node;
+use rcp_serve::client::Client;
+use rcp_session::{registry, GranularityChoice, RcpError, Session};
 
-/// Options shared by the subcommands — the CLI-argument mirror of the
-/// session [`Config`].
-#[derive(Clone, Debug, Default)]
-pub struct Options {
-    /// `--param NAME=VALUE` bindings, in command-line order.
-    pub params: Vec<(String, i64)>,
-    /// `--threads N` (run/bench); `None` keeps the session default (4).
-    pub threads: Option<usize>,
-    /// `--granularity loop|stmt|auto` (with `--stmt` as the historical
-    /// spelling of `stmt`).
-    pub granularity: GranularityChoice,
-    /// `--scheme NAME`: schedule with a named registry scheme instead of
-    /// the default recurrence-chains scheme (run/bench).
-    pub scheme: Option<String>,
-    /// `--budget-work N`: cap the cooperative work-unit counter.
-    pub budget_work: Option<u64>,
-    /// `--budget-ms N`: wall-clock deadline for guarded stages.
-    pub budget_ms: Option<u64>,
-    /// `--no-degrade`: make budget exhaustion a hard error instead of
-    /// walking the degradation ladder.
-    pub no_degrade: bool,
-    /// `--profile` / `--profile-json`: record [`rcp_trace`] spans and
-    /// metrics while the command runs and append the profile to the
-    /// report.
-    pub profile: bool,
-}
-
-impl Options {
-    /// The session configuration these options denote.
-    pub fn to_config(&self) -> Config {
-        let mut config = Config::new();
-        config.params = self.params.clone();
-        if let Some(threads) = self.threads {
-            config.threads = threads.max(1);
-        }
-        config.granularity = self.granularity;
-        config.scheme = self.scheme.clone();
-        if let Some(units) = self.budget_work {
-            config = config.with_work_budget(units);
-        }
-        if let Some(millis) = self.budget_ms {
-            config = config.with_deadline_ms(millis);
-        }
-        config.degrade = !self.no_degrade;
-        if self.profile {
-            config = config.with_tracing();
-        }
-        config
-    }
-
-    /// The session these options denote.
-    pub fn session(&self) -> Session {
-        Session::with_config(self.to_config())
-    }
-}
+pub use rcp_serve::api::{
+    cmd_analyze, cmd_codegen, cmd_partition, cmd_run, error_json, params_object, scheduled_for,
+    Options, Report,
+};
+pub use rcp_serve::ServerConfig;
 
 /// A parsed `rcp` invocation: the subcommand, its input file, the shared
 /// options, and the output flags.
@@ -129,6 +86,20 @@ pub struct Invocation {
     /// `--site NAME` (fuzz --chaos only): restrict the chaos campaign to
     /// these failpoint sites (repeatable; empty = every catalog site).
     pub sites: Vec<String>,
+    /// `--addr HOST:PORT` (serve/remote): the daemon's bind or target
+    /// address.
+    pub addr: Option<String>,
+    /// `--workers N` (serve only): request worker threads.
+    pub workers: Option<usize>,
+    /// `--queue-capacity N` (serve only): bounded admission queue depth.
+    pub queue_capacity: Option<usize>,
+    /// `--cache-capacity N` (serve only): analysis-cache entries.
+    pub cache_capacity: Option<usize>,
+    /// `--admin-token TOKEN` (serve: required by `/admin/shutdown`;
+    /// remote shutdown: presented as the bearer token).
+    pub admin_token: Option<String>,
+    /// The third positional argument (`rcp remote <sub> <target>`).
+    pub extra: Option<String>,
 }
 
 impl Invocation {
@@ -138,6 +109,21 @@ impl Invocation {
             seed: self.seed.unwrap_or(FuzzOptions::DEFAULT_SEED),
             count: self.count.unwrap_or(FuzzOptions::DEFAULT_COUNT),
             minimize: self.minimize,
+        }
+    }
+
+    /// The daemon configuration an `rcp serve` invocation denotes.
+    pub fn server_config(&self) -> ServerConfig {
+        let defaults = ServerConfig::default();
+        ServerConfig {
+            addr: self.addr.clone().unwrap_or(defaults.addr),
+            workers: self.workers.unwrap_or(defaults.workers),
+            queue_capacity: self.queue_capacity.unwrap_or(defaults.queue_capacity),
+            cache_capacity: self.cache_capacity.unwrap_or(defaults.cache_capacity),
+            admin_token: self.admin_token.clone(),
+            default_budget_work: self.opts.budget_work,
+            default_budget_ms: self.opts.budget_ms,
+            ..defaults
         }
     }
 }
@@ -199,6 +185,32 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
                 k += 1;
                 inv.sites.push(value.clone());
             }
+            "--addr" | "--admin-token" => {
+                let Some(value) = args.get(k + 1) else {
+                    return Err(format!("{arg} requires a value"));
+                };
+                k += 1;
+                if arg == "--addr" {
+                    inv.addr = Some(value.clone());
+                } else {
+                    inv.admin_token = Some(value.clone());
+                }
+            }
+            "--workers" | "--queue-capacity" | "--cache-capacity" => {
+                let Some(value) = args.get(k + 1) else {
+                    return Err(format!("{arg} requires a value"));
+                };
+                k += 1;
+                let n = match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err(format!("invalid {arg} value `{value}`")),
+                };
+                match arg.as_str() {
+                    "--workers" => inv.workers = Some(n),
+                    "--queue-capacity" => inv.queue_capacity = Some(n),
+                    _ => inv.cache_capacity = Some(n),
+                }
+            }
             "--seed" | "--count" | "--out" | "--replay" => {
                 let Some(value) = args.get(k + 1) else {
                     return Err(format!("{arg} requires a value"));
@@ -254,6 +266,9 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
             _ if arg.starts_with("--") => return Err(format!("unknown option `{arg}`")),
             _ if command.is_none() => command = Some(arg.clone()),
             _ if inv.file.is_none() => inv.file = Some(arg.clone()),
+            _ if command.as_deref() == Some("remote") && inv.extra.is_none() => {
+                inv.extra = Some(arg.clone())
+            }
             _ => return Err(format!("unexpected argument `{arg}`")),
         }
         k += 1;
@@ -265,36 +280,6 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, String> {
     Ok(inv)
 }
 
-/// The outcome of one subcommand.
-#[derive(Clone, Debug)]
-pub struct Report {
-    /// Human-readable report.
-    pub text: String,
-    /// Machine-readable payload (printed under `--json`).
-    pub data: Json,
-    /// True when the command ran but its verdict is a failure (e.g. a
-    /// parallel run that diverged from the sequential reference); the
-    /// binary exits non-zero.
-    pub failed: bool,
-}
-
-impl Report {
-    fn ok(text: String, data: Json) -> Self {
-        Report {
-            text,
-            data,
-            failed: false,
-        }
-    }
-}
-
-fn granularity_name(g: Granularity) -> &'static str {
-    match g {
-        Granularity::LoopLevel => "loop",
-        Granularity::StatementLevel => "statement",
-    }
-}
-
 fn count_loops(nodes: &[Node]) -> usize {
     nodes
         .iter()
@@ -303,40 +288,6 @@ fn count_loops(nodes: &[Node]) -> usize {
             Node::Stmt(_) => 0,
         })
         .sum()
-}
-
-fn params_object(program: &Program, values: &[i64]) -> Json {
-    Json::Object(
-        program
-            .params
-            .iter()
-            .zip(values)
-            .map(|(name, &value)| (name.clone(), Json::Int(value)))
-            .collect(),
-    )
-}
-
-fn param_list(program: &Program, values: &[i64]) -> String {
-    program
-        .params
-        .iter()
-        .zip(values)
-        .map(|(n, v)| format!("{n}={v}"))
-        .collect::<Vec<_>>()
-        .join(", ")
-}
-
-/// The fallback reason of a stage, when Algorithm 1 did not take its
-/// recurrence-chain branch (`None` when it did).
-fn fallback_reason(stage: &Partitioned) -> Option<String> {
-    stage.plan_unavailability().map(|r| r.to_string())
-}
-
-/// The machine-readable rendering of a failed command: under `--json` the
-/// binary prints this single object, whose `error` field carries the typed
-/// [`RcpError`] Display (`tests/robustness.rs` pins the round-trip).
-pub fn error_json(error: &RcpError) -> Json {
-    json!({ "error": error.to_string() })
 }
 
 /// `rcp parse`: front-end facts and the canonical form of the program.
@@ -404,395 +355,6 @@ pub fn cmd_fmt(source: &str, origin: &str) -> Result<Report, RcpError> {
         "changed": canonical != source,
     });
     Ok(Report::ok(canonical.clone(), data))
-}
-
-/// Renders the post-budget `rcp analyze` report: the rung of the
-/// degradation ladder, the typed cause, and — on the screened-conservative
-/// rung — the screen-only pass that replaces the exact analysis.  The
-/// result is weaker but never wrong, so the command still succeeds.
-fn degraded_analyze(
-    analyzed: &Analyzed,
-    report: &rcp_session::DegradationReport,
-) -> Result<Report, RcpError> {
-    let program = analyzed.program();
-    let values = analyzed.config().resolve_params(program, &[])?;
-    let mut text = format!(
-        "program `{}` at [{}]: analysis degraded to {}\n\
-         \x20 cause                  {}\n",
-        program.name,
-        param_list(program, &values),
-        report.level,
-        report.cause,
-    );
-    let mut fields = vec![
-        ("program".to_string(), Json::Str(program.name.clone())),
-        ("params".to_string(), params_object(program, &values)),
-        (
-            "degradation".to_string(),
-            Json::Str(report.level.as_str().to_string()),
-        ),
-        (
-            "degradation_cause".to_string(),
-            Json::Str(report.cause.to_string()),
-        ),
-    ];
-    if let Some(screen) = &report.screen {
-        text.push_str(&format!(
-            "\x20 screen-only pass       {} pair(s): {} proved independent, {} may-depend \
-             ({} gcd, {} box, {} solver)\n",
-            screen.n_pairs,
-            screen.independent_pairs,
-            screen.may_depend_pairs,
-            screen.screen.by_gcd,
-            screen.screen.by_bbox,
-            screen.screen.by_solver,
-        ));
-        fields.push((
-            "screen".to_string(),
-            json!({
-                "n_pairs": screen.n_pairs,
-                "independent_pairs": screen.independent_pairs,
-                "may_depend_pairs": screen.may_depend_pairs,
-                "by_gcd": screen.screen.by_gcd,
-                "by_bbox": screen.screen.by_bbox,
-                "by_solver": screen.screen.by_solver,
-            }),
-        ));
-    }
-    text.push_str(
-        "\x20 guarantee              every reported independence is sound; \
-         sequential execution remains available\n",
-    );
-    Ok(Report::ok(text, Json::Object(fields)))
-}
-
-/// `rcp analyze`: exact dependence analysis and uniformity classification
-/// at concrete parameter values.  The JSON payload is deterministic (no
-/// wall clock), so CI can diff it against a golden file.
-pub fn cmd_analyze(source: &str, origin: &str, opts: &Options) -> Result<Report, RcpError> {
-    let analyzed = opts.session().parse(source, origin)?;
-    if let Some(report) = analyzed.degradation() {
-        return degraded_analyze(&analyzed, report);
-    }
-    let stage = analyzed.partition()?;
-    let program = analyzed.program();
-    let analysis = stage.analysis();
-    let uniformity = stage.uniformity();
-    let distances = stage.distances();
-    let reason = fallback_reason(&stage);
-    // For aggregated loop-level views the planning branch alone is not
-    // the whole story: the partitioner may still salvage a validated
-    // chain-shaped partition.  Aggregated point spaces are small (outer
-    // prefixes only), so report the strategy the partition actually
-    // takes; for direct views keep the cheap plan-based answer.
-    let strategy = if analysis.is_aggregated() {
-        match stage.partition().strategy() {
-            rcp_core::Strategy::RecurrenceChains => "RecurrenceChains",
-            rcp_core::Strategy::Dataflow => "Dataflow",
-        }
-    } else {
-        match reason {
-            None => "RecurrenceChains",
-            Some(_) => "Dataflow",
-        }
-    };
-    let screen = analysis.screen;
-    let mut text = format!(
-        "program `{}` at [{}], {}-level analysis (dim {}{}):\n\
-         \x20 reference pairs        {}  ({} screened out: {} gcd, {} box, {} solver; \
-         {} chain classes)\n\
-         \x20 iterations |Phi|       {}\n\
-         \x20 dependences |Rd|       {}\n\
-         \x20 distinct distances     {}\n\
-         \x20 classification         {:?}\n\
-         \x20 Algorithm 1 branch     {}\n",
-        program.name,
-        param_list(program, stage.values()),
-        granularity_name(analyzed.granularity()),
-        analysis.dim,
-        if analysis.is_aggregated() {
-            ", aggregated"
-        } else {
-            ""
-        },
-        analysis.pairs.len(),
-        analysis.n_screened_pairs,
-        screen.by_gcd,
-        screen.by_bbox,
-        screen.by_solver,
-        screen.n_classes,
-        stage.phi().len(),
-        stage.rd().len(),
-        distances.len(),
-        uniformity,
-        strategy,
-    );
-    if let Some(reason) = &reason {
-        text.push_str(&format!("  fallback reason        {reason}\n"));
-    }
-    let mut fields = vec![
-        ("program".to_string(), Json::Str(program.name.clone())),
-        ("params".to_string(), params_object(program, stage.values())),
-        (
-            "granularity".to_string(),
-            Json::Str(granularity_name(analyzed.granularity()).to_string()),
-        ),
-        ("dim".to_string(), Json::Int(analysis.dim as i64)),
-        (
-            "n_ref_pairs".to_string(),
-            Json::Int(analysis.pairs.len() as i64),
-        ),
-        (
-            "n_screened_pairs".to_string(),
-            Json::Int(analysis.n_screened_pairs as i64),
-        ),
-        (
-            "screen".to_string(),
-            json!({
-                "by_gcd": screen.by_gcd,
-                "by_bbox": screen.by_bbox,
-                "by_solver": screen.by_solver,
-                "shared_verdicts": screen.shared_verdicts,
-                "n_classes": screen.n_classes,
-                "n_shape_buckets": screen.n_shape_buckets,
-            }),
-        ),
-        (
-            "aggregated".to_string(),
-            Json::Bool(analysis.is_aggregated()),
-        ),
-        (
-            "n_iterations".to_string(),
-            Json::Int(stage.phi().len() as i64),
-        ),
-        (
-            "n_dependences".to_string(),
-            Json::Int(stage.rd().len() as i64),
-        ),
-        (
-            "n_distinct_distances".to_string(),
-            Json::Int(distances.len() as i64),
-        ),
-        (
-            "uniformity".to_string(),
-            Json::Str(format!("{uniformity:?}")),
-        ),
-        ("strategy".to_string(), Json::Str(strategy.to_string())),
-        (
-            "degradation".to_string(),
-            Json::Str(analyzed.degradation_level().as_str().to_string()),
-        ),
-    ];
-    if let Some(reason) = reason {
-        fields.push(("fallback_reason".to_string(), Json::Str(reason)));
-    }
-    Ok(Report::ok(text, Json::Object(fields)))
-}
-
-fn partition_json(
-    program: &Program,
-    values: &[i64],
-    part: &ConcretePartition,
-    reason: Option<&str>,
-    valid: bool,
-) -> Json {
-    let stats = part.stats();
-    let mut fields = vec![
-        ("program".to_string(), Json::Str(program.name.clone())),
-        ("params".to_string(), params_object(program, values)),
-        (
-            "strategy".to_string(),
-            Json::Str(format!("{:?}", part.strategy())),
-        ),
-        ("n_phases".to_string(), Json::Int(stats.n_phases as i64)),
-        (
-            "critical_path".to_string(),
-            Json::Int(stats.critical_path as i64),
-        ),
-        ("max_width".to_string(), Json::Int(stats.max_width as i64)),
-        (
-            "total_iterations".to_string(),
-            Json::Int(stats.total_iterations as i64),
-        ),
-    ];
-    match part {
-        ConcretePartition::RecurrenceChains { p1, chains, p3, .. } => {
-            let longest = rcp_core::longest_chain(chains);
-            let p2: usize = chains.iter().map(|c| c.len()).sum();
-            fields.push(("p1".to_string(), Json::Int(p1.len() as i64)));
-            fields.push(("p2".to_string(), Json::Int(p2 as i64)));
-            fields.push(("p3".to_string(), Json::Int(p3.len() as i64)));
-            fields.push(("n_chains".to_string(), Json::Int(chains.len() as i64)));
-            fields.push(("longest_chain".to_string(), Json::Int(longest as i64)));
-        }
-        ConcretePartition::Dataflow { stages } => {
-            fields.push(("n_stages".to_string(), Json::Int(stages.n_stages() as i64)));
-            fields.push((
-                "max_stage".to_string(),
-                Json::Int(stages.max_stage_size() as i64),
-            ));
-        }
-    }
-    if let Some(reason) = reason {
-        fields.push(("fallback_reason".to_string(), Json::Str(reason.to_string())));
-    }
-    fields.push(("valid".to_string(), Json::Bool(valid)));
-    Json::Object(fields)
-}
-
-/// `rcp partition`: the Algorithm-1 partition at concrete parameters, with
-/// the full validity check (coverage + every dependence respected).  When
-/// the program falls back from recurrence chains, the report says *why*
-/// (the typed `PlanUnavailable` reason) instead of silently switching
-/// strategy.
-pub fn cmd_partition(source: &str, origin: &str, opts: &Options) -> Result<Report, RcpError> {
-    let analyzed = opts.session().parse(source, origin)?;
-    let stage = analyzed.partition()?;
-    let program = analyzed.program();
-    let part = stage.partition();
-    let problems = stage.validate();
-    let stats = part.stats();
-    let reason = fallback_reason(&stage);
-    let mut text = format!(
-        "program `{}`: {:?} partition, {} phase(s), critical path {}, \
-         max width {}, {} iteration(s)\n",
-        program.name,
-        part.strategy(),
-        stats.n_phases,
-        stats.critical_path,
-        stats.max_width,
-        stats.total_iterations,
-    );
-    match part {
-        ConcretePartition::RecurrenceChains { p1, chains, p3, .. } => {
-            let p2: usize = chains.iter().map(|c| c.len()).sum();
-            text.push_str(&format!(
-                "  three-set partition: |P1| = {}, |P2| = {} (in {} chain(s), longest {}), |P3| = {}\n",
-                p1.len(),
-                p2,
-                chains.len(),
-                rcp_core::longest_chain(chains),
-                p3.len(),
-            ));
-        }
-        ConcretePartition::Dataflow { stages } => {
-            text.push_str(&format!(
-                "  dataflow stages: {} (widest {})\n",
-                stages.n_stages(),
-                stages.max_stage_size(),
-            ));
-        }
-    }
-    if let Some(reason) = &reason {
-        text.push_str(&format!("  recurrence chains unavailable: {reason}\n"));
-    }
-    if problems.is_empty() {
-        text.push_str(
-            "  validation: ok (every iteration scheduled once, all dependences respected)\n",
-        );
-    } else {
-        text.push_str(&format!("  validation: {} problem(s):\n", problems.len()));
-        for p in problems.iter().take(5) {
-            text.push_str(&format!("    {p}\n"));
-        }
-    }
-    let data = partition_json(
-        program,
-        stage.values(),
-        part,
-        reason.as_deref(),
-        problems.is_empty(),
-    );
-    Ok(Report {
-        text,
-        data,
-        failed: !problems.is_empty(),
-    })
-}
-
-/// `rcp codegen`: the paper-style DOALL/WHILE listing (then-branch) or a
-/// canonical-source fallback, with the typed reason, for dataflow
-/// programs.
-pub fn cmd_codegen(source: &str, origin: &str, opts: &Options) -> Result<Report, RcpError> {
-    let analyzed = opts.session().parse(source, origin)?;
-    let program = analyzed.program();
-    match analyzed.plan() {
-        Ok(planned) => {
-            let listing = planned.listing();
-            let data = json!({
-                "program": program.name,
-                "strategy": "RecurrenceChains",
-                "listing": listing,
-            });
-            Ok(Report::ok(listing, data))
-        }
-        Err(err) => {
-            let reason = err
-                .plan_reason()
-                .map(|r| r.to_string())
-                .ok_or(err.clone())?;
-            let text = format!(
-                "program `{}` takes Algorithm 1's dataflow branch ({reason}); its stages \
-                 are enumerated at run time (`rcp partition`).  Canonical source:\n\n{}",
-                program.name,
-                pretty(program)
-            );
-            let data = json!({
-                "program": program.name,
-                "strategy": "Dataflow",
-                "fallback_reason": reason,
-                "listing": Json::Null,
-            });
-            Ok(Report::ok(text, data))
-        }
-    }
-}
-
-fn scheduled_for(analyzed: &Analyzed) -> Result<rcp_session::Scheduled, RcpError> {
-    analyzed.partition()?.schedule()
-}
-
-/// `rcp run`: executes the schedule of the configured scheme and verifies
-/// it element-for-element against the sequential reference.
-pub fn cmd_run(source: &str, origin: &str, opts: &Options) -> Result<Report, RcpError> {
-    let analyzed = opts.session().parse(source, origin)?;
-    let scheduled = scheduled_for(&analyzed)?;
-    let program = analyzed.program();
-    // The budget-checked variant: with `--budget-*` set, execution and
-    // verification run under the same guard as the analysis; without a
-    // budget it is plain `verify()`.
-    let verdict = scheduled.verify_checked()?;
-    let threads = analyzed.config().threads;
-    let text = format!(
-        "program `{}`: executed {} instance(s) in {} phase(s) on {} thread(s) [scheme {}]\n\
-         \x20 mismatches vs sequential: {}\n\
-         \x20 races detected:           {}\n\
-         \x20 verification:             {}\n",
-        program.name,
-        scheduled.schedule().n_instances(),
-        scheduled.schedule().n_phases(),
-        threads,
-        scheduled.scheme(),
-        verdict.mismatches.len(),
-        verdict.races.len(),
-        if verdict.passed() { "PASSED" } else { "FAILED" },
-    );
-    let data = json!({
-        "program": program.name,
-        "params": params_object(program, scheduled.partitioned().values()),
-        "threads": threads,
-        "scheme": scheduled.scheme(),
-        "n_instances": scheduled.schedule().n_instances(),
-        "n_phases": scheduled.schedule().n_phases(),
-        "mismatches": verdict.mismatches.len(),
-        "races": verdict.races.len(),
-        "passed": verdict.passed(),
-    });
-    Ok(Report {
-        text,
-        data,
-        failed: !verdict.passed(),
-    })
 }
 
 /// `rcp bench`: measured sequential vs parallel wall clock (best of 3) of
@@ -1074,10 +636,27 @@ pub fn cmd_chaos(config: &rcp_fuzz::ChaosConfig) -> Result<Report, String> {
             "  UNTRIGGERED {site}: no workload reached this failpoint\n"
         ));
     }
-    let clean = campaign.clean() && campaign.untriggered_sites.is_empty();
+    // The server leg: the same (site, fault) catalog armed *inside* live
+    // `rcpd` requests, proving the transport guarantees (structured error
+    // or degraded result — never a hung connection or dead worker).
+    let server = rcp_fuzz::run_server_chaos_campaign(config)?;
+    text.push_str(&format!(
+        "server chaos: {} case(s) over loopback in {:.2}s ({} fault(s) fired in-request)\n",
+        server.outcomes.len(),
+        server.elapsed.as_secs_f64(),
+        server.triggered(),
+    ));
+    for outcome in server.failures() {
+        text.push_str(&format!(
+            "  SERVER FAILURE {} @ {} ({}): status {:?}, {:?}\n",
+            outcome.workload, outcome.site, outcome.fault, outcome.status, outcome.verdict,
+        ));
+    }
+    let clean = campaign.clean() && campaign.untriggered_sites.is_empty() && server.clean();
     text.push_str(if clean {
         "  verdict: CLEAN (every injected fault yielded a typed error or a \
-         store-identical degraded result)\n"
+         store-identical degraded result; every server fault answered a \
+         structured response)\n"
     } else {
         "  verdict: FAILED\n"
     });
@@ -1093,6 +672,12 @@ pub fn cmd_chaos(config: &rcp_fuzz::ChaosConfig) -> Result<Report, String> {
                 .map(|s| Json::Str(s.to_string()))
                 .collect()
         ),
+        "server": json!({
+            "cases": server.outcomes.len(),
+            "triggered": server.triggered(),
+            "failures": server.failures().len(),
+            "clean": server.clean(),
+        }),
         "clean": clean,
     });
     Ok(Report {
@@ -1269,8 +854,129 @@ pub fn cmd_schemes() -> Report {
     Report::ok(text, Json::Array(rows))
 }
 
+/// The `rcp remote` subcommands that post a program to a stage endpoint.
+pub const REMOTE_STAGES: [&str; 4] = ["analyze", "partition", "codegen", "run"];
+
+/// `rcp remote <sub> [target] --addr HOST:PORT`: drives a running `rcpd`.
+///
+/// * `sub` ∈ [`REMOTE_STAGES`] posts one program to `POST /v1/<sub>`:
+///   `target` names either a `.loop` file (the binary passes its contents
+///   as `file_source`) or a bundled workload.
+/// * `batch` posts the whole bundled corpus to `POST /v1/batch`
+///   (`target` picks the per-entry command, default `analyze`).
+/// * `metrics` / `health` hit the matching GET endpoints.
+/// * `shutdown` posts `POST /admin/shutdown` with `admin_token`.
+///
+/// The report's `text` and `data` are the server's response body —
+/// verbatim, so `rcp remote analyze … --json` output diffs bit-for-bit
+/// against the local `rcp analyze … --json` output (CI pins this).
+/// `failed` mirrors a non-2xx status; transport failures are the `Err`
+/// string.
+pub fn cmd_remote(
+    sub: &str,
+    addr: &str,
+    target: Option<&str>,
+    file_source: Option<String>,
+    opts: &Options,
+    admin_token: Option<&str>,
+) -> Result<Report, String> {
+    let client = Client::new(addr);
+    let reply = match sub {
+        "metrics" => client.get("/metrics")?,
+        "health" => client.get("/healthz")?,
+        "shutdown" => {
+            let token = admin_token.ok_or("remote shutdown needs --admin-token")?;
+            client.post_with_headers(
+                "/admin/shutdown",
+                &json!({}),
+                &[("authorization".to_string(), format!("Bearer {token}"))],
+            )?
+        }
+        "batch" => {
+            let command = target.unwrap_or("analyze");
+            if !REMOTE_STAGES.contains(&command) {
+                return Err(format!(
+                    "invalid batch command `{command}` (expected {})",
+                    REMOTE_STAGES.join(", ")
+                ));
+            }
+            let entries: Vec<Json> = rcp_workloads::BUNDLED_LOOPS
+                .iter()
+                .map(|b| json!({ "workload": b.name }))
+                .collect();
+            client.post(
+                "/v1/batch",
+                &json!({ "command": command, "entries": Json::Array(entries) }),
+            )?
+        }
+        stage if REMOTE_STAGES.contains(&stage) => {
+            let mut fields: Vec<(String, Json)> = Vec::new();
+            match (&file_source, target) {
+                (Some(source), _) => fields.push(("source".to_string(), Json::Str(source.clone()))),
+                (None, Some(workload)) => {
+                    fields.push(("workload".to_string(), Json::Str(workload.to_string())))
+                }
+                (None, None) => {
+                    return Err(format!(
+                        "remote {stage} needs a .loop file or a bundled workload name"
+                    ))
+                }
+            }
+            if !opts.params.is_empty() {
+                fields.push((
+                    "params".to_string(),
+                    Json::Object(
+                        opts.params
+                            .iter()
+                            .map(|(n, v)| (n.clone(), Json::Int(*v)))
+                            .collect(),
+                    ),
+                ));
+            }
+            if let Some(threads) = opts.threads {
+                fields.push(("threads".to_string(), Json::Int(threads as i64)));
+            }
+            if let Some(scheme) = &opts.scheme {
+                fields.push(("scheme".to_string(), Json::Str(scheme.clone())));
+            }
+            if opts.granularity != GranularityChoice::Auto {
+                let name = match opts.granularity {
+                    GranularityChoice::Loop => "loop",
+                    GranularityChoice::Statement => "stmt",
+                    GranularityChoice::Auto => "auto",
+                };
+                fields.push(("granularity".to_string(), Json::Str(name.to_string())));
+            }
+            if let Some(units) = opts.budget_work {
+                fields.push(("budget_work".to_string(), Json::Int(units as i64)));
+            }
+            if let Some(millis) = opts.budget_ms {
+                fields.push(("budget_ms".to_string(), Json::Int(millis as i64)));
+            }
+            if opts.no_degrade {
+                fields.push(("degrade".to_string(), Json::Bool(false)));
+            }
+            client.post(&format!("/v1/{stage}"), &Json::Object(fields))?
+        }
+        other => {
+            return Err(format!(
+                "unknown remote subcommand `{other}` (known: {}, batch, metrics, health, shutdown)",
+                REMOTE_STAGES.join(", ")
+            ))
+        }
+    };
+    let data = reply
+        .json()
+        .unwrap_or_else(|_| Json::Str(reply.body.clone()));
+    Ok(Report {
+        text: reply.body.clone(),
+        data,
+        failed: !reply.is_success(),
+    })
+}
+
 /// Every subcommand name `run_command` dispatches, in help order.
-pub const COMMANDS: [&str; 10] = [
+pub const COMMANDS: [&str; 12] = [
     "parse",
     "fmt",
     "analyze",
@@ -1281,6 +987,8 @@ pub const COMMANDS: [&str; 10] = [
     "stats",
     "schemes",
     "fuzz",
+    "serve",
+    "remote",
 ];
 
 fn dispatch(command: &str, source: &str, origin: &str, opts: &Options) -> Result<Report, RcpError> {

@@ -2,7 +2,7 @@
 //! lives in the library so the usage errors are golden-testable).
 
 use rcp_cli::{
-    cmd_chaos, cmd_fmt, cmd_fuzz, cmd_fuzz_replay, cmd_schemes, parse_args, run_command,
+    cmd_chaos, cmd_fmt, cmd_fuzz, cmd_fuzz_replay, cmd_remote, cmd_schemes, parse_args, run_command,
 };
 use std::process::ExitCode;
 
@@ -14,6 +14,10 @@ USAGE:
     rcp schemes
     rcp fuzz [--seed S] [--count N] [--minimize] [--out DIR]
     rcp fuzz --chaos [--site NAME]...
+    rcp serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+              [--cache-capacity N] [--admin-token TOKEN]
+    rcp remote <analyze|partition|codegen|run> <FILE.loop|WORKLOAD> --addr HOST:PORT
+    rcp remote <batch|metrics|health|shutdown> --addr HOST:PORT
 
 COMMANDS:
     parse       parse the file, report front-end facts + canonical source
@@ -30,6 +34,12 @@ COMMANDS:
     fuzz        differential fuzzing: random nests, every scheme at 1/2/4
                 threads, bit-for-bit vs sequential (--replay FILE replays
                 one committed regression)
+    serve       run the rcpd partition-as-a-service daemon in the foreground
+                (see docs/SERVING.md); serves analyses over HTTP with a
+                content-addressed cache until /admin/shutdown drains it
+    remote      drive a running daemon: analyze/partition/codegen/run post
+                a .loop file or bundled workload name, batch sweeps the
+                bundled corpus, plus metrics, health, and shutdown
 
 OPTIONS:
     --param NAME=VALUE     bind a symbolic parameter (repeatable)
@@ -60,8 +70,19 @@ OPTIONS:
                            failpoint catalog (needs a --features failpoints build)
     --site NAME            (fuzz --chaos only) restrict to one failpoint site
                            (repeatable)
+    --addr HOST:PORT       (serve) bind address, default 127.0.0.1:0;
+                           (remote) the daemon to talk to (required)
+    --workers N            (serve only) request worker threads (default 4)
+    --queue-capacity N     (serve only) bounded admission queue depth; a full
+                           queue answers 429 (default 64)
+    --cache-capacity N     (serve only) content-addressed analysis cache
+                           entries before LRU eviction (default 64)
+    --admin-token TOKEN    (serve) required bearer token for /admin/shutdown;
+                           (remote shutdown) the token to present
 
 EXAMPLE:
+    rcp serve --addr 127.0.0.1:7591 --admin-token s3cret
+    rcp remote analyze example1 --addr 127.0.0.1:7591 --param N1=60 --param N2=60
     rcp analyze examples/loops/example1.loop --param N1=300 --param N2=1000
     rcp analyze examples/loops/example1.loop --param N1=60 --param N2=60 --profile
     rcp bench examples/loops/example1.loop --param N1=60 --param N2=60 --scheme pdm
@@ -98,6 +119,65 @@ fn main() -> ExitCode {
             print!("{}", report.text);
         }
         return ExitCode::SUCCESS;
+    }
+
+    // `serve` runs the daemon in the foreground until it is drained by an
+    // authenticated `/admin/shutdown` (or the process is killed).
+    if inv.command == "serve" {
+        let server = match rcp_serve::Server::start(inv.server_config()) {
+            Ok(server) => server,
+            Err(error) => return fail(&format!("failed to start: {error}")),
+        };
+        // The CI smoke job and scripts scrape this line for the port.
+        println!("rcpd listening on {}", server.addr());
+        server.join();
+        println!("rcpd drained, exiting");
+        return ExitCode::SUCCESS;
+    }
+
+    // `remote` drives a running daemon; the second positional is the
+    // subcommand, the third (stage posts only) a .loop file or workload.
+    if inv.command == "remote" {
+        let Some(sub) = inv.file.clone() else {
+            return fail(
+                "remote needs a subcommand: analyze, partition, codegen, run, \
+                 batch, metrics, health, shutdown",
+            );
+        };
+        let Some(addr) = inv.addr.clone() else {
+            return fail("remote needs --addr HOST:PORT");
+        };
+        // A target naming a readable file posts its contents as an inline
+        // source; anything else is taken as a bundled workload name.
+        let file_source = match inv.extra.as_deref() {
+            Some(target) => std::fs::read_to_string(target).ok(),
+            None => None,
+        };
+        return match cmd_remote(
+            &sub,
+            &addr,
+            inv.extra.as_deref(),
+            file_source,
+            &inv.opts,
+            inv.admin_token.as_deref(),
+        ) {
+            Ok(report) => {
+                if inv.json {
+                    println!("{}", report.data.pretty());
+                } else {
+                    print!("{}", report.text);
+                    if !report.text.ends_with('\n') {
+                        println!();
+                    }
+                }
+                if report.failed {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(message) => fail(&message),
+        };
     }
 
     // `fuzz` runs a campaign (no input file) unless `--replay FILE` or a

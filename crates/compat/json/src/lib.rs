@@ -6,6 +6,14 @@
 //! benchmark harness relies on: a [`Json`] value with indexing and
 //! accessors, a [`json!`] constructor macro, compact [`std::fmt::Display`]
 //! output, and a [`Json::pretty`] printer.
+//!
+//! [`Json::parse`] is hardened for untrusted input (the `rcpd` server
+//! feeds it request bodies straight off the wire): duplicate object keys
+//! and trailing garbage are rejected, nesting is capped at
+//! [`MAX_DEPTH`] so a hostile document cannot overflow the recursive
+//! parser's stack, and every failure is a typed [`ParseError`] carrying
+//! the byte offset — which the server maps to a structured `400`, never
+//! a `500`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -199,21 +207,26 @@ impl Json {
     }
 
     /// Parses a JSON document (the inverse of [`Json::pretty`] /
-    /// `Display`), used by the benchmark harness to load a committed
-    /// `BENCH_results.json` for `--baseline` diffing.
+    /// `Display`): the benchmark harness loads a committed
+    /// `BENCH_results.json` for `--baseline` diffing, and the `rcpd`
+    /// server parses request bodies, so the parser treats its input as
+    /// untrusted — duplicate object keys and trailing garbage are
+    /// rejected, and nesting deeper than [`MAX_DEPTH`] is a typed error
+    /// instead of a stack overflow.
     ///
     /// Numbers without a fraction or exponent that fit an `i64` parse as
     /// [`Json::Int`]; everything else numeric parses as [`Json::Float`].
-    pub fn parse(input: &str) -> Result<Json, String> {
+    pub fn parse(input: &str) -> Result<Json, ParseError> {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
-            return Err(format!("trailing input at byte {}", p.pos));
+            return Err(p.err("trailing input"));
         }
         Ok(value)
     }
@@ -257,12 +270,47 @@ impl Json {
     }
 }
 
+/// The deepest array/object nesting [`Json::parse`] accepts.  The parser
+/// recurses per nesting level, so the cap keeps a hostile document (e.g.
+/// ten thousand `[`s) from overflowing the stack; 128 levels is far
+/// beyond any payload the workspace produces.
+pub const MAX_DEPTH: usize = 128;
+
+/// A typed [`Json::parse`] failure: what went wrong and where.
+///
+/// The server maps this to a structured `400 Bad Request` (the offset
+/// lets clients locate the defect); `Display` renders
+/// `"<message> at byte <offset>"`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input at which parsing failed.
+    pub offset: usize,
+    /// The diagnostic.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
     fn skip_ws(&mut self) {
         while let Some(b) = self.bytes.get(self.pos) {
             if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
@@ -277,25 +325,36 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+            Err(self.err(format!("expected {:?}", b as char)))
         }
     }
 
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
         } else {
-            Err(format!("invalid literal at byte {}", self.pos))
+            Err(self.err("invalid literal"))
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    /// Bumps the nesting depth on entry to an array or object; the cap
+    /// turns a hostile deeply-nested document into a typed error before
+    /// the recursion can exhaust the stack.
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
         match self.peek() {
             Some(b'n') => self.literal("null", Json::Null),
             Some(b't') => self.literal("true", Json::Bool(true)),
@@ -304,16 +363,18 @@ impl Parser<'_> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(format!("unexpected input at byte {}", self.pos)),
+            _ => Err(self.err("unexpected input")),
         }
     }
 
-    fn array(&mut self) -> Result<Json, String> {
+    fn array(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut elems = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Array(elems));
         }
         loop {
@@ -324,24 +385,34 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Array(elems));
                 }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                _ => return Err(self.err("expected ',' or ']'")),
             }
         }
     }
 
-    fn object(&mut self) -> Result<Json, String> {
+    fn object(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{')?;
-        let mut entries = Vec::new();
+        self.descend()?;
+        let mut entries: Vec<(String, Json)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Object(entries));
         }
         loop {
             self.skip_ws();
+            let key_offset = self.pos;
             let key = self.string()?;
+            if entries.iter().any(|(k, _)| *k == key) {
+                return Err(ParseError {
+                    offset: key_offset,
+                    message: format!("duplicate key {key:?}"),
+                });
+            }
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
@@ -351,14 +422,15 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Object(entries));
                 }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                _ => return Err(self.err("expected ',' or '}'")),
             }
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, ParseError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
@@ -368,7 +440,7 @@ impl Parser<'_> {
             }
             out.push_str(
                 std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| "invalid UTF-8 in string".to_string())?,
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
             );
             match self.peek() {
                 Some(b'"') => {
@@ -391,24 +463,24 @@ impl Parser<'_> {
                                 .bytes
                                 .get(self.pos + 1..self.pos + 5)
                                 .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| "invalid \\u escape".to_string())?;
+                                .map_err(|_| self.err("invalid \\u escape"))?;
                             // Surrogates are not produced by our printer;
                             // map unpaired ones to the replacement char.
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                             self.pos += 4;
                         }
-                        _ => return Err(format!("invalid escape at byte {}", self.pos)),
+                        _ => return Err(self.err("invalid escape")),
                     }
                     self.pos += 1;
                 }
-                _ => return Err("unterminated string".to_string()),
+                _ => return Err(self.err("unterminated string")),
             }
         }
     }
 
-    fn number(&mut self) -> Result<Json, String> {
+    fn number(&mut self) -> Result<Json, ParseError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -425,7 +497,7 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| "invalid number".to_string())?;
+            .map_err(|_| self.err("invalid number"))?;
         if !is_float {
             if let Ok(v) = text.parse::<i64>() {
                 return Ok(Json::Int(v));
@@ -433,7 +505,10 @@ impl Parser<'_> {
         }
         text.parse::<f64>()
             .map(Json::Float)
-            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+            .map_err(|_| ParseError {
+                offset: start,
+                message: format!("invalid number {text:?}"),
+            })
     }
 }
 
@@ -602,5 +677,82 @@ mod tests {
         for bad in ["", "{", "[1,", "\"open", "{\"k\" 1}", "tru", "1 2", "[1] x"] {
             assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage_with_offset() {
+        let err = Json::parse("{\"k\": 1} extra").unwrap_err();
+        assert_eq!(err.message, "trailing input");
+        assert_eq!(err.offset, 9);
+        assert!(Json::parse("null null").is_err());
+        assert!(Json::parse("42x").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_keys() {
+        let err = Json::parse("{\"a\": 1, \"b\": 2, \"a\": 3}").unwrap_err();
+        assert_eq!(err.message, "duplicate key \"a\"");
+        assert_eq!(err.offset, 17);
+        // Duplicates inside nested objects are caught too.
+        assert!(Json::parse("{\"outer\": {\"x\": 1, \"x\": 2}}").is_err());
+        // Same key at different nesting levels is fine.
+        assert!(Json::parse("{\"x\": {\"x\": 1}}").is_ok());
+    }
+
+    #[test]
+    fn parse_caps_nesting_depth() {
+        let deep = |n: usize| format!("{}0{}", "[".repeat(n), "]".repeat(n));
+        assert!(Json::parse(&deep(MAX_DEPTH)).is_ok());
+        let err = Json::parse(&deep(MAX_DEPTH + 1)).unwrap_err();
+        assert!(err.message.contains("nesting deeper than"), "{err}");
+        // Objects count toward the same budget as arrays.
+        let mut doc = String::new();
+        for _ in 0..=MAX_DEPTH {
+            doc.push_str("{\"k\":");
+        }
+        doc.push('0');
+        doc.push_str(&"}".repeat(MAX_DEPTH + 1));
+        assert!(Json::parse(&doc).is_err());
+        // Depth is nesting, not total count: many siblings are fine.
+        let wide = format!("[{}]", vec!["[0]"; 1000].join(","));
+        assert!(Json::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let originals = [
+            "plain",
+            "quote \" backslash \\ slash /",
+            "newline \n return \r tab \t",
+            "backspace \u{8} formfeed \u{c} bell \u{7}",
+            "control \u{1} \u{1f} boundary \u{20}",
+            "unicode \u{fffd} snowman \u{2603} cjk \u{4e16}\u{754c}",
+        ];
+        for s in originals {
+            let doc = Json::Str(s.to_string()).to_string();
+            assert_eq!(
+                Json::parse(&doc).unwrap(),
+                Json::Str(s.to_string()),
+                "{s:?} must round-trip through {doc:?}"
+            );
+        }
+        // Explicit \u escapes decode even when the printer would emit the
+        // character raw.
+        assert_eq!(
+            Json::parse("\"\\u2603\"").unwrap(),
+            Json::Str("\u{2603}".to_string())
+        );
+        assert!(Json::parse("\"\\u26\"").is_err());
+        assert!(Json::parse("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        let err = Json::parse("{\"k\" 1}").unwrap_err();
+        assert_eq!(err.message, "expected ':'");
+        assert_eq!(err.offset, 5);
+        assert_eq!(err.to_string(), "expected ':' at byte 5");
+        // ParseError implements std::error::Error for `?`-friendly callers.
+        let _: &dyn std::error::Error = &err;
     }
 }

@@ -24,6 +24,7 @@ pub mod generator;
 pub mod harness;
 pub mod minimize;
 pub mod regressions;
+pub mod server_chaos;
 
 pub use chaos::{
     parse_chaos_regression, render_chaos_regression, run_chaos_campaign, run_chaos_case,
@@ -36,3 +37,7 @@ pub use harness::{
 };
 pub use minimize::minimize;
 pub use regressions::{parse_regression, regression_name, render_regression};
+pub use server_chaos::{
+    run_server_chaos_campaign, ServerChaosCampaign, ServerChaosOutcome, ServerChaosVerdict,
+    SERVER_CHAOS_WORKLOADS,
+};

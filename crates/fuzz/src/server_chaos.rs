@@ -1,0 +1,281 @@
+//! The server chaos campaign: failpoints armed *inside* a live `rcpd`
+//! request, proving the daemon's three transport guarantees hold under
+//! injected faults.
+//!
+//! The core campaign ([`crate::chaos`]) proves the session pipeline
+//! degrades instead of miscompiling.  This module re-runs the same
+//! `(site, fault)` catalog against a real in-process [`rcp_serve::Server`]
+//! over loopback, because the daemon adds failure modes of its own: a
+//! worker thread could die, a connection could hang, an unwind could drop
+//! a response half-written.  The oracle therefore accepts exactly:
+//!
+//! * **Passed** — a 2xx response with a parseable JSON body (the fault
+//!   never fired on this request's path, or the run completed exactly);
+//! * **Degraded** — a 2xx response whose body carries a `degradation`
+//!   report (the session walked the ladder and still answered);
+//! * **Typed error** — a non-2xx status whose body is the structured
+//!   `{"error": …}` shape every handler promises.
+//!
+//! Anything else fails the campaign: a transport error or read timeout is
+//! a *hung connection*, an unparseable error body is an *unstructured
+//! response*, and a fault-free follow-up request that does not answer 200
+//! is a *dead worker*.  Each case posts a freshly renamed program so the
+//! content-addressed cache cannot satisfy it — every fault is injected on
+//! the cold analysis path, not absorbed by a cache hit.
+//!
+//! Compile-time gated like the core campaign: build with
+//! `--features failpoints`.
+
+use std::time::{Duration, Instant};
+
+use rcp_json::{json, Json};
+use rcp_serve::client::Client;
+use rcp_serve::{Server, ServerConfig};
+use rcp_workloads::bundled_loop;
+
+use crate::chaos::ChaosConfig;
+pub use rcp_guard::Fault;
+
+/// The verdict of one `(site, fault)` server chaos case.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerChaosVerdict {
+    /// A 2xx response with a parseable JSON body.
+    Passed,
+    /// A 2xx response whose body carries a degradation report; the payload
+    /// is the reported level.
+    Degraded(String),
+    /// A non-2xx status with the structured `{"error": …}` body; the
+    /// payload is `(status, message)`.
+    TypedError(u16, String),
+    /// A transport guarantee was broken: hung connection, unstructured
+    /// error body, or a dead worker afterwards.
+    Failed(String),
+}
+
+impl ServerChaosVerdict {
+    /// True for everything but [`ServerChaosVerdict::Failed`].
+    pub fn acceptable(&self) -> bool {
+        !matches!(self, ServerChaosVerdict::Failed(_))
+    }
+}
+
+/// One executed server chaos case.
+#[derive(Clone, Debug)]
+pub struct ServerChaosOutcome {
+    /// The bundled workload the posted program was derived from.
+    pub workload: String,
+    /// The armed failpoint site.
+    pub site: &'static str,
+    /// The injected fault.
+    pub fault: Fault,
+    /// How many times the site fired while the request was in flight.
+    pub fired: u64,
+    /// The HTTP status the daemon answered (None on transport failure).
+    pub status: Option<u16>,
+    /// What the daemon did.
+    pub verdict: ServerChaosVerdict,
+}
+
+/// The aggregate result of a server chaos campaign.
+#[derive(Clone, Debug)]
+pub struct ServerChaosCampaign {
+    /// Every executed case, in (workload, site, fault) order.
+    pub outcomes: Vec<ServerChaosOutcome>,
+    /// Wall-clock time of the campaign.
+    pub elapsed: Duration,
+}
+
+impl ServerChaosCampaign {
+    /// The failed cases.
+    pub fn failures(&self) -> Vec<&ServerChaosOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.verdict.acceptable())
+            .collect()
+    }
+
+    /// True when every case kept the transport guarantees.
+    pub fn clean(&self) -> bool {
+        self.failures().is_empty()
+    }
+
+    /// Cases whose fault actually fired inside the request.
+    pub fn triggered(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.fired > 0).count()
+    }
+}
+
+/// The workloads the server campaign drives by default: `example1`
+/// exercises the analysis/partition sites, `wavefront` the runtime sites.
+/// (The full-corpus coverage proof belongs to the core campaign; here the
+/// property under test is the transport boundary.)
+pub const SERVER_CHAOS_WORKLOADS: &[&str] = &["example1", "wavefront"];
+
+/// Runs the server chaos campaign: starts an in-process daemon, then for
+/// every `(workload, site, fault)` combination arms exactly that fault,
+/// posts a cache-cold `/v1/run` request, classifies the response, and
+/// probes the daemon with a fault-free request to prove the worker
+/// survived.  Errors (typed, not a panic) when fault injection is not
+/// compiled in.
+pub fn run_server_chaos_campaign(config: &ChaosConfig) -> Result<ServerChaosCampaign, String> {
+    if !rcp_guard::failpoints_enabled() {
+        return Err(
+            "fault injection is not compiled in (rebuild with --features failpoints)".to_string(),
+        );
+    }
+    let start = Instant::now();
+    let sites: Vec<&'static str> = rcp_guard::FAILPOINT_SITES
+        .iter()
+        .copied()
+        .filter(|s| config.sites.is_empty() || config.sites.iter().any(|w| w == s))
+        .collect();
+    if sites.is_empty() {
+        return Err("no failpoint sites match the requested filter".to_string());
+    }
+    let workloads: Vec<&str> = if config.workloads.is_empty() {
+        SERVER_CHAOS_WORKLOADS.to_vec()
+    } else {
+        config.workloads.iter().map(String::as_str).collect()
+    };
+    rcp_guard::disarm_all();
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 8,
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("failed to start the chaos server: {e}"))?;
+    let client = Client::new(server.addr().to_string()).with_timeout(Duration::from_secs(20));
+    let mut outcomes = Vec::new();
+    let mut case = 0usize;
+    let result: Result<(), String> = (|| {
+        for workload in &workloads {
+            let bundled = bundled_loop(workload)
+                .ok_or_else(|| format!("unknown bundled workload `{workload}`"))?;
+            let params: Vec<(String, Json)> = bundled
+                .survey_params
+                .iter()
+                .map(|(n, v)| (n.to_string(), Json::Int(*v)))
+                .collect();
+            for site in &sites {
+                for fault in [Fault::Panic, Fault::BudgetExhaust] {
+                    case += 1;
+                    // A per-case program name forces a cold cache key, so
+                    // the armed fault meets a real analysis, not a hit.
+                    let mut program = bundled.program();
+                    program.name = format!("{}_server_chaos_{case}", bundled.name);
+                    let body = json!({
+                        "source": rcp_lang::pretty(&program),
+                        "params": Json::Object(params.clone()),
+                    });
+                    rcp_guard::disarm_all();
+                    rcp_guard::arm(site, fault)?;
+                    let reply = client.post("/v1/run", &body);
+                    let fired = rcp_guard::fire_count(site);
+                    rcp_guard::disarm_all();
+                    let (status, verdict) = classify(reply);
+                    let verdict = match verdict {
+                        // The worker must have survived the fault: a
+                        // fault-free follow-up request must answer 200.
+                        v if v.acceptable() => match probe(&client) {
+                            Ok(()) => v,
+                            Err(e) => ServerChaosVerdict::Failed(e),
+                        },
+                        v => v,
+                    };
+                    outcomes.push(ServerChaosOutcome {
+                        workload: bundled.name.to_string(),
+                        site,
+                        fault,
+                        fired,
+                        status,
+                        verdict,
+                    });
+                }
+            }
+        }
+        Ok(())
+    })();
+    rcp_guard::disarm_all();
+    server.shutdown();
+    server.join();
+    result?;
+    Ok(ServerChaosCampaign {
+        outcomes,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Classifies one reply against the three acceptable shapes.
+fn classify(reply: Result<rcp_serve::client::Reply, String>) -> (Option<u16>, ServerChaosVerdict) {
+    let reply = match reply {
+        Err(e) => {
+            return (
+                None,
+                ServerChaosVerdict::Failed(format!("hung or dropped connection: {e}")),
+            )
+        }
+        Ok(reply) => reply,
+    };
+    let status = reply.status;
+    let body = match reply.json() {
+        Err(e) => {
+            return (
+                Some(status),
+                ServerChaosVerdict::Failed(format!("unparseable {status} body: {e}")),
+            )
+        }
+        Ok(body) => body,
+    };
+    let verdict = if reply.is_success() {
+        if body["passed"] == Json::Bool(false) {
+            // A 2xx run whose verification failed is a miscompile under
+            // fault — the one thing chaos must never let through.
+            ServerChaosVerdict::Failed(
+                "run verification failed under an injected fault".to_string(),
+            )
+        } else {
+            match body["degradation"].as_str() {
+                Some(level) if level != "exact" => ServerChaosVerdict::Degraded(level.to_string()),
+                _ => ServerChaosVerdict::Passed,
+            }
+        }
+    } else {
+        match body["error"].as_str() {
+            Some(message) => ServerChaosVerdict::TypedError(status, message.to_string()),
+            None => ServerChaosVerdict::Failed(format!(
+                "{status} response without a structured error body"
+            )),
+        }
+    };
+    (Some(status), verdict)
+}
+
+/// Proves the daemon still answers after a fault: a fault-free analyze
+/// request on a bundled workload must return 200.
+fn probe(client: &Client) -> Result<(), String> {
+    let reply = client
+        .post("/v1/analyze", &json!({ "workload": "example1" }))
+        .map_err(|e| format!("dead worker: follow-up request failed: {e}"))?;
+    if reply.status == 200 {
+        Ok(())
+    } else {
+        Err(format!(
+            "dead worker: fault-free follow-up answered {}",
+            reply.status
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_server_campaign_refuses_politely_without_failpoints() {
+        if !rcp_guard::failpoints_enabled() {
+            let err = run_server_chaos_campaign(&ChaosConfig::default()).unwrap_err();
+            assert!(err.contains("not compiled in"), "{err}");
+        }
+    }
+}

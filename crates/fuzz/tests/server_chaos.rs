@@ -1,0 +1,40 @@
+//! The server chaos-campaign integration test (requires
+//! `--features failpoints`).
+//!
+//! One test function on purpose: the failpoint registry is process-global,
+//! so chaos cases must not interleave — and the campaign itself owns an
+//! in-process `rcpd` whose worker threads see the same armed registry.
+//! The assertion is the daemon's transport guarantee: every injected
+//! fault inside a request ends as a structured error response or a
+//! degraded-but-answered result — never a hung connection, never an
+//! unstructured body, never a dead worker.
+
+use rcp_fuzz::{run_server_chaos_campaign, ChaosConfig};
+
+#[test]
+fn every_injected_fault_ends_as_a_structured_response() {
+    let campaign =
+        run_server_chaos_campaign(&ChaosConfig::default()).expect("failpoints compiled in");
+    let failures = campaign.failures();
+    assert!(
+        failures.is_empty(),
+        "server chaos failures:\n{}",
+        failures
+            .iter()
+            .map(|o| format!(
+                "  {} @ {} ({}): status {:?}, {:?}",
+                o.workload, o.site, o.fault, o.status, o.verdict
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        campaign.triggered() > 0,
+        "the campaign must actually inject faults inside requests"
+    );
+    // Every case answered with *some* HTTP status — no transport drops.
+    assert!(
+        campaign.outcomes.iter().all(|o| o.status.is_some()),
+        "some case saw no HTTP response at all"
+    );
+}

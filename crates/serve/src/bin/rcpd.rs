@@ -1,0 +1,37 @@
+//! `rcpd` — the standalone partition-as-a-service daemon binary.
+//!
+//! `rcp serve` wraps the same [`rcp_serve::Server`]; this binary exists
+//! so deployments that only want the daemon need not ship the full CLI.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: rcpd [--addr HOST:PORT] [--workers N] [--queue-capacity N]\n\
+             \x20           [--cache-capacity N] [--admin-token TOKEN]\n\
+             \x20           [--budget-work N] [--budget-ms N]"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let config = match rcp_serve::ServerConfig::from_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("rcpd: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match rcp_serve::Server::start(config) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("rcpd: failed to start: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The CI smoke job and `rcp remote` scrape this line for the port.
+    println!("rcpd listening on {}", server.addr());
+    server.join();
+    println!("rcpd drained, exiting");
+    ExitCode::SUCCESS
+}

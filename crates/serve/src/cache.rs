@@ -1,0 +1,321 @@
+//! The content-addressed cross-request analysis cache.
+//!
+//! The cache key is the SHA-256 digest of the *canonical* program text
+//! (`rcp_lang::pretty` of the parsed program — the round-trip-total
+//! printer, so whitespace, comments and formatting differences between
+//! requests collapse onto one entry) concatenated with the analysis-
+//! relevant configuration footprint (granularity, scheme, threads,
+//! budget, degradation policy).  Parameter *bindings* are deliberately
+//! not part of the key: the cached value is the parameter-free
+//! [`Analyzed`] stage, and each binding goes through
+//! [`Analyzed::partition_with`], whose per-binding stage memo makes warm
+//! re-partitions free as well.
+//!
+//! Capacity is bounded with LRU eviction; `serve.cache.hits`,
+//! `serve.cache.misses` and `serve.cache.evictions` counters live in the
+//! `rcp-trace` registry (always-on atomics, visible at `GET /metrics` —
+//! see `docs/OBSERVABILITY.md`).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use rcp_session::{Analyzed, Config, RcpError};
+
+/// Computes the SHA-256 digest of `data`, hex-encoded (FIPS 180-4).
+pub fn sha256_hex(data: &[u8]) -> String {
+    const K: [u32; 64] = [
+        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+        0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+        0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+        0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+        0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+        0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+        0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+        0xc67178f2,
+    ];
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+    // Padding: 0x80, zeros, 64-bit big-endian bit length.
+    let mut message = data.to_vec();
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    message.push(0x80);
+    while message.len() % 64 != 56 {
+        message.push(0);
+    }
+    message.extend_from_slice(&bit_len.to_be_bytes());
+    let mut w = [0u32; 64];
+    for block in message.chunks_exact(64) {
+        for (t, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                block[4 * t],
+                block[4 * t + 1],
+                block[4 * t + 2],
+                block[4 * t + 3],
+            ]);
+        }
+        for t in 16..64 {
+            let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+            let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+            w[t] = w[t - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[t - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for t in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[t])
+                .wrapping_add(w[t]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (slot, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+            *slot = slot.wrapping_add(v);
+        }
+    }
+    let mut hex = String::with_capacity(64);
+    for word in h {
+        use std::fmt::Write as _;
+        let _ = write!(hex, "{word:08x}");
+    }
+    hex
+}
+
+/// The analysis-relevant footprint of a session configuration — every
+/// [`Config`] field that changes what [`Analyzed`] contains.  Parameter
+/// bindings are excluded on purpose (see the module docs); profile
+/// tracing is excluded because it changes observability, not results.
+pub fn config_footprint(config: &Config) -> String {
+    format!(
+        "granularity={:?};threads={};scheme={:?};budget={:?};degrade={}",
+        config.granularity,
+        config.threads,
+        config.scheme,
+        config.budget.as_ref().map(|b| (b.max_work, b.max_millis)),
+        config.degrade,
+    )
+}
+
+/// The cache key of a canonical program text under a configuration.
+pub fn content_address(canonical: &str, config: &Config) -> String {
+    sha256_hex(format!("{canonical}\x00{}", config_footprint(config)).as_bytes())
+}
+
+struct CacheEntry {
+    analyzed: Analyzed,
+    last_used: u64,
+}
+
+struct CacheState {
+    entries: HashMap<String, CacheEntry>,
+    clock: u64,
+}
+
+/// A bounded, LRU-evicting map from content address to the cached
+/// [`Analyzed`] stage.  `Analyzed` is `Arc`-backed, so a hit is one map
+/// lookup plus a reference-count bump; concurrent requests for the same
+/// program share one analysis and its per-binding partition memo.
+pub struct AnalysisCache {
+    state: Mutex<CacheState>,
+    capacity: usize,
+}
+
+impl AnalysisCache {
+    /// A cache holding at most `capacity` analyses (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        AnalysisCache {
+            state: Mutex::new(CacheState {
+                entries: HashMap::new(),
+                clock: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        // A panic while holding the lock cannot poison cached analyses
+        // (they are immutable Arc values), so recover instead of
+        // cascading the failure into every later request.
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The analysis at `key`, building it with `build` on a miss.  Returns
+    /// the stage plus whether it was a hit; build failures are not cached
+    /// (a transient budget trip must not pin an error forever).
+    pub fn get_or_insert_with(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> Result<Analyzed, RcpError>,
+    ) -> Result<(Analyzed, bool), RcpError> {
+        {
+            let mut state = self.lock();
+            state.clock += 1;
+            let now = state.clock;
+            if let Some(entry) = state.entries.get_mut(key) {
+                entry.last_used = now;
+                rcp_trace::counter("serve.cache.hits").inc();
+                return Ok((entry.analyzed.clone(), true));
+            }
+        }
+        // The build runs outside the lock so one slow analysis does not
+        // serialise every other request; two racing misses for the same
+        // key both analyse, and the second insert wins harmlessly.
+        rcp_trace::counter("serve.cache.misses").inc();
+        let analyzed = build()?;
+        let mut state = self.lock();
+        state.clock += 1;
+        let now = state.clock;
+        if state.entries.len() >= self.capacity && !state.entries.contains_key(key) {
+            if let Some(victim) = state
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                state.entries.remove(&victim);
+                rcp_trace::counter("serve.cache.evictions").inc();
+            }
+        }
+        state.entries.insert(
+            key.to_string(),
+            CacheEntry {
+                analyzed: analyzed.clone(),
+                last_used: now,
+            },
+        );
+        Ok((analyzed, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcp_session::Session;
+
+    #[test]
+    fn sha256_matches_the_fips_test_vectors() {
+        assert_eq!(
+            sha256_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha256_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // A message crossing the one-block boundary (padding in block 2).
+        assert_eq!(
+            sha256_hex(&[b'a'; 64]),
+            "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb"
+        );
+    }
+
+    #[test]
+    fn formatting_differences_share_a_content_address() {
+        let a = "PROGRAM p\nPARAM N\nDO I = 1, N\n  S: a(I) = a(I - 1)\nENDDO\nEND\n";
+        let b = "PROGRAM  p\n PARAM N\nDO I = 1,N\nS: a(I) = a(I-1)\nENDDO\nEND\n";
+        let config = Config::new();
+        let key = |src: &str| {
+            let program = rcp_lang::parse_program(src).unwrap();
+            content_address(&rcp_lang::pretty(&program), &config)
+        };
+        assert_eq!(key(a), key(b));
+    }
+
+    #[test]
+    fn config_changes_the_content_address() {
+        let canonical = "PROGRAM p\nEND\n";
+        let base = Config::new();
+        let stmt = {
+            let mut c = Config::new();
+            c.granularity = rcp_session::GranularityChoice::Statement;
+            c
+        };
+        assert_ne!(
+            content_address(canonical, &base),
+            content_address(canonical, &stmt)
+        );
+        assert_ne!(
+            content_address(canonical, &base),
+            content_address(canonical, &base.clone().with_work_budget(10)),
+        );
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let _guard = crate::metrics_test_lock();
+        let session = Session::new();
+        let analyzed = |n: usize| {
+            let src =
+                format!("PROGRAM p{n}\nPARAM N\nDO I = 1, N\n  S: a(I) = a(I - 1)\nENDDO\nEND\n");
+            session.parse(&src, "<test>").unwrap()
+        };
+        let cache = AnalysisCache::new(2);
+        let mark = rcp_trace::snapshot();
+        let (_, hit) = cache.get_or_insert_with("k1", || Ok(analyzed(1))).unwrap();
+        assert!(!hit);
+        cache.get_or_insert_with("k2", || Ok(analyzed(2))).unwrap();
+        // Touch k1 so k2 becomes the LRU victim.
+        let (_, hit) = cache.get_or_insert_with("k1", || unreachable!()).unwrap();
+        assert!(hit);
+        cache.get_or_insert_with("k3", || Ok(analyzed(3))).unwrap();
+        assert_eq!(cache.len(), 2);
+        // k2 was evicted; k1 survived.
+        let (_, hit) = cache.get_or_insert_with("k1", || unreachable!()).unwrap();
+        assert!(hit);
+        let (_, hit) = cache.get_or_insert_with("k2", || Ok(analyzed(2))).unwrap();
+        assert!(!hit);
+        let delta = rcp_trace::snapshot().delta_since(&mark);
+        assert_eq!(delta.counter("serve.cache.hits"), 2);
+        assert_eq!(delta.counter("serve.cache.misses"), 4);
+        assert!(delta.counter("serve.cache.evictions") >= 1);
+    }
+
+    #[test]
+    fn build_failures_are_not_cached() {
+        let _guard = crate::metrics_test_lock();
+        let cache = AnalysisCache::new(4);
+        let err = cache
+            .get_or_insert_with("bad", || {
+                Err(RcpError::UnknownWorkload {
+                    name: "nope".to_string(),
+                })
+            })
+            .unwrap_err();
+        assert!(matches!(err, RcpError::UnknownWorkload { .. }));
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! The thin HTTP client behind `rcp remote`, the loopback tests and the
+//! `server` bench experiment — one request per connection, hard read
+//! timeouts so a wedged server surfaces as a typed error instead of a
+//! hung test.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use rcp_json::Json;
+
+/// A response as the client sees it.
+#[derive(Clone, Debug)]
+pub struct Reply {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The response body, decoded as UTF-8.
+    pub body: String,
+}
+
+impl Reply {
+    /// Parses the body as JSON.
+    pub fn json(&self) -> Result<Json, String> {
+        Json::parse(&self.body).map_err(|e| format!("response body is not JSON: {e}"))
+    }
+
+    /// True for 2xx statuses.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// A client pinned to one server address.
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`) with a 30-second timeout.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Client {
+            addr: addr.into(),
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Overrides the connect/read/write timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// `GET path`.
+    pub fn get(&self, path: &str) -> Result<Reply, String> {
+        self.request("GET", path, None, &[])
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post(&self, path: &str, body: &Json) -> Result<Reply, String> {
+        self.post_with_headers(path, body, &[])
+    }
+
+    /// `POST path` with a JSON body and extra headers
+    /// (`(name, value)` pairs — e.g. budget or authorization headers).
+    pub fn post_with_headers(
+        &self,
+        path: &str,
+        body: &Json,
+        headers: &[(String, String)],
+    ) -> Result<Reply, String> {
+        self.request("POST", path, Some(body.to_string()), headers)
+    }
+
+    fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<String>,
+        headers: &[(String, String)],
+    ) -> Result<Reply, String> {
+        let stream =
+            TcpStream::connect(&self.addr).map_err(|e| format!("connect to {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.timeout)))
+            .map_err(|e| format!("set timeout: {e}"))?;
+        let mut writer = stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?;
+        let body = body.unwrap_or_default();
+        let mut request = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.addr,
+            body.len(),
+        );
+        if !body.is_empty() {
+            request.push_str("content-type: application/json\r\n");
+        }
+        for (name, value) in headers {
+            request.push_str(&format!("{name}: {value}\r\n"));
+        }
+        request.push_str("\r\n");
+        request.push_str(&body);
+        writer
+            .write_all(request.as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("send request: {e}"))?;
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader
+            .read_line(&mut status_line)
+            .map_err(|e| format!("read status line: {e}"))?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("malformed status line `{}`", status_line.trim_end()))?;
+        // Skip headers (the server always closes the connection, so the
+        // body is simply everything after the blank line).
+        loop {
+            let mut line = String::new();
+            let n = reader
+                .read_line(&mut line)
+                .map_err(|e| format!("read headers: {e}"))?;
+            if n == 0 || line == "\r\n" || line == "\n" {
+                break;
+            }
+        }
+        let mut body = Vec::new();
+        reader
+            .read_to_end(&mut body)
+            .map_err(|e| format!("read body: {e}"))?;
+        Ok(Reply {
+            status,
+            body: String::from_utf8_lossy(&body).into_owned(),
+        })
+    }
+}

@@ -1,0 +1,328 @@
+//! A minimal HTTP/1.1 layer over `std::net` — just enough protocol for
+//! `rcpd`'s JSON endpoints, with the limits an internet-facing parser
+//! needs: capped request-line/header/body sizes, a typed error for every
+//! malformed input (mapped to `400`/`413`/`431`, never a panic), and
+//! `Connection: close` semantics so every exchange is one request, one
+//! response, one socket.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line (method + path + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Most accepted header lines.
+pub const MAX_HEADERS: usize = 64;
+/// Longest accepted single header line.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The method verb, upper-case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The request path (query strings are kept verbatim).
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order; names are
+    /// lower-cased at parse time.
+    pub headers: Vec<(String, String)>,
+    /// The request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed; [`HttpError::status`] gives the
+/// response code the server answers with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// The bytes on the wire are not an HTTP/1.1 request.
+    Malformed(String),
+    /// The declared `Content-Length` exceeds the server's cap.
+    BodyTooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The server's cap.
+        limit: usize,
+    },
+    /// Too many or too long header lines.
+    HeadersTooLarge,
+    /// The socket failed or the peer hung up mid-request.
+    Io(String),
+}
+
+impl HttpError {
+    /// The HTTP status this parse failure maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Malformed(_) | HttpError::Io(_) => 400,
+            HttpError::BodyTooLarge { .. } => 413,
+            HttpError::HeadersTooLarge => 431,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(detail) => write!(f, "malformed request: {detail}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "request body of {declared} bytes exceeds the {limit}-byte cap"
+                )
+            }
+            HttpError::HeadersTooLarge => write!(f, "request headers exceed the accepted size"),
+            HttpError::Io(detail) => write!(f, "request read failed: {detail}"),
+        }
+    }
+}
+
+fn read_line(reader: &mut impl BufRead, cap: usize) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    let n = io::Read::take(&mut *reader, cap as u64 + 2)
+        .read_until(b'\n', &mut line)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    if n == 0 {
+        return Err(HttpError::Io("connection closed mid-request".to_string()));
+    }
+    if line.last() != Some(&b'\n') {
+        // Either the line outran the cap or the peer hung up mid-line.
+        return if line.len() as u64 >= cap as u64 + 2 {
+            Err(HttpError::HeadersTooLarge)
+        } else {
+            Err(HttpError::Io("connection closed mid-request".to_string()))
+        };
+    }
+    line.pop();
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".to_string()))
+}
+
+/// Reads one request off `reader`, enforcing the size caps.  `max_body`
+/// bounds the accepted `Content-Length`.
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<Request, HttpError> {
+    let request_line = read_line(reader, MAX_REQUEST_LINE)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".to_string()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line has no path".to_string()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line has no version".to_string()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, MAX_HEADER_LINE)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!(
+                "header without colon: `{line}`"
+            )));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let request = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    let content_length = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("invalid content-length `{v}`")))?,
+    };
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    io::Read::read_exact(reader, &mut body).map_err(|e| HttpError::Io(e.to_string()))?;
+    Ok(Request { body, ..request })
+}
+
+/// An HTTP response the server writes back.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response: the value pretty-printed plus a trailing newline,
+    /// exactly what `rcp <cmd> --json` prints — so CI can diff a served
+    /// body against the CLI's golden file byte for byte.
+    pub fn json(status: u16, value: &rcp_json::Json) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: format!("{}\n", value.pretty()).into_bytes(),
+        }
+    }
+
+    /// A plain-text response (the `/metrics` exposition format).
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Serialises the response with `Connection: close`.
+    pub fn write_to(&self, writer: &mut impl Write) -> io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len(),
+        )?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+/// The canonical reason phrase of the status codes `rcpd` emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str, max_body: usize) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), max_body)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(
+            "POST /v1/analyze HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"\"}",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/analyze");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert_eq!(req.body, b"{\"\"}");
+    }
+
+    #[test]
+    fn parses_a_bare_get() {
+        let req = parse("GET /metrics HTTP/1.1\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_with_413() {
+        let err = parse(
+            "POST /v1/run HTTP/1.1\r\nContent-Length: 4096\r\n\r\n",
+            1024,
+        )
+        .unwrap_err();
+        assert_eq!(err.status(), 413);
+        assert!(matches!(
+            err,
+            HttpError::BodyTooLarge {
+                declared: 4096,
+                limit: 1024
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_400() {
+        for raw in [
+            "\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET /x SPDY/3\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbad header line\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            let err = parse(raw, 1024).unwrap_err();
+            assert_eq!(err.status(), 400, "{raw:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn truncated_bodies_are_io_errors() {
+        let err = parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort", 1024).unwrap_err();
+        assert!(matches!(err, HttpError::Io(_)));
+    }
+
+    #[test]
+    fn header_flood_is_431() {
+        let mut raw = String::from("GET /x HTTP/1.1\r\n");
+        for k in 0..100 {
+            raw.push_str(&format!("h{k}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        let err = parse(&raw, 1024).unwrap_err();
+        assert_eq!(err.status(), 431);
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let mut out = Vec::new();
+        Response::json(200, &rcp_json::json!({"ok": true}))
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: "));
+        assert!(text.contains("connection: close"));
+        assert!(text.ends_with("}\n"));
+    }
+}

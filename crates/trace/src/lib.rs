@@ -364,6 +364,26 @@ impl Gauge {
         self.cell.get().store(v, Ordering::Relaxed);
     }
 
+    /// Adds `n` atomically (relaxed) — for gauges tracking a live count
+    /// (in-flight requests, queue depth) updated from several threads,
+    /// where `set(get() + n)` would lose updates.
+    pub fn add(&self, n: u64) {
+        self.cell.get().fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` atomically (relaxed), saturating at zero.
+    pub fn sub(&self, n: u64) {
+        let cell = self.cell.get();
+        let mut current = cell.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(n);
+            match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
     /// The current value.
     pub fn get(&self) -> u64 {
         self.cell.get().load(Ordering::Relaxed)

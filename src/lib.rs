@@ -25,8 +25,9 @@
 //! | [`baselines`] | `rcp-baselines` | PDM, PL, UNIQUE, DOACROSS, inner-loop parallelization comparators |
 //! | [`workloads`] | `rcp-workloads` | the paper's example loops 1–4, figure-2 loop, synthetic corpus, bundled `.loop` files |
 //! | [`session`] | `rcp-session` | the staged `Session` pipeline API, the `Partitioner` scheme registry, typed `RcpError`s |
-//! | [`cli`] | `rcp-cli` | the `rcp` binary's subcommands (`parse`, `analyze`, `partition`, `codegen`, `run`, `bench`, `stats`, `schemes`, `fuzz`) |
-//! | [`fuzz`] | `rcp-fuzz` | differential fuzzing: seeded nest generator, cross-scheme execution oracle, counterexample minimiser |
+//! | [`serve`] | `rcp-serve` | `rcpd`, the partition-as-a-service daemon: HTTP/1.1 server, bounded worker pool, content-addressed analysis cache, thin client |
+//! | [`cli`] | `rcp-cli` | the `rcp` binary's subcommands (`parse`, `analyze`, `partition`, `codegen`, `run`, `bench`, `stats`, `schemes`, `fuzz`, `serve`, `remote`) |
+//! | [`fuzz`] | `rcp-fuzz` | differential fuzzing: seeded nest generator, cross-scheme execution oracle, counterexample minimiser, chaos campaigns (pipeline + server) |
 //!
 //! ## Quick start
 //!
@@ -81,6 +82,7 @@ pub use rcp_loopir as loopir;
 pub use rcp_pool as pool;
 pub use rcp_presburger as presburger;
 pub use rcp_runtime as runtime;
+pub use rcp_serve as serve;
 pub use rcp_session as session;
 pub use rcp_trace as trace;
 pub use rcp_workloads as workloads;

@@ -1,0 +1,108 @@
+//! Concurrent cache-correctness over loopback: N client threads drive a
+//! live `rcpd`, and every response must be bit-identical to the report a
+//! single-threaded [`Session`] run produces for the same program and
+//! binding.  After the corpus is cached, a concurrent warm burst must do
+//! zero re-analysis — proven by a delta-since-mark snapshot of the
+//! process-global metrics registry (`depend.screen.pairs` does not move).
+//!
+//! One test function on purpose: the metrics registry is process-global,
+//! so the delta assertion must not interleave with other requests.
+
+use rcp_serve::api::{cmd_analyze, Options};
+use rcp_serve::client::Client;
+use rcp_serve::{Server, ServerConfig};
+use rcp_workloads::bundled_loop;
+
+/// The workloads the threads mix: distinct programs, so the burst
+/// exercises distinct cache keys concurrently, not just one hot entry.
+const WORKLOADS: &[&str] = &["example1", "tomcatv", "wavefront", "mvt"];
+
+fn expected_body(name: &str) -> String {
+    let bundled = bundled_loop(name).expect("bundled workload");
+    let opts = Options {
+        params: bundled
+            .survey_params
+            .iter()
+            .map(|(n, v)| (n.to_string(), *v))
+            .collect(),
+        ..Options::default()
+    };
+    let report = cmd_analyze(bundled.source, name, &opts).expect("single-threaded analyze");
+    // The server's JSON bodies are `pretty() + "\n"` — the same shape the
+    // CLI prints under `--json`.
+    format!("{}\n", report.data.pretty())
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_responses_and_warm_bursts_reanalyze_nothing() {
+    let server = Server::start(ServerConfig {
+        workers: 4,
+        cache_capacity: WORKLOADS.len() + 2,
+        ..ServerConfig::default()
+    })
+    .expect("loopback server starts");
+    let addr = server.addr().to_string();
+
+    let expected: Vec<(String, String)> = WORKLOADS
+        .iter()
+        .map(|name| (name.to_string(), expected_body(name)))
+        .collect();
+
+    // Cold pass: populate the cache once per workload (serially, so the
+    // warm burst below is all hits).
+    let client = Client::new(addr.clone());
+    for (name, body) in &expected {
+        let reply = client
+            .post(
+                "/v1/analyze",
+                &rcp_json::json!({ "workload": name.clone() }),
+            )
+            .expect("cold analyze responds");
+        assert_eq!(reply.status, 200, "{name}: {}", reply.body);
+        assert_eq!(&reply.body, body, "{name}: cold response diverges");
+    }
+
+    // Concurrent warm burst: 8 threads, each mixing all workloads several
+    // times.  Every response must be bit-identical to the single-threaded
+    // reference, and the analysis front end must never run.
+    let mark = rcp_trace::snapshot();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let addr = addr.clone();
+            let expected = &expected;
+            scope.spawn(move || {
+                let client = Client::new(addr);
+                for _ in 0..5 {
+                    for (name, body) in expected {
+                        let reply = client
+                            .post(
+                                "/v1/analyze",
+                                &rcp_json::json!({ "workload": name.clone() }),
+                            )
+                            .expect("warm analyze responds");
+                        assert_eq!(reply.status, 200, "{name}: {}", reply.body);
+                        assert_eq!(&reply.body, body, "{name}: warm response diverges");
+                    }
+                }
+            });
+        }
+    });
+    let delta = rcp_trace::snapshot().delta_since(&mark);
+    assert_eq!(
+        delta.counter("depend.screen.pairs"),
+        0,
+        "a warm burst re-ran the dependence screen"
+    );
+    assert!(
+        delta.counter("serve.cache.hits") >= (8 * 5 * WORKLOADS.len()) as u64,
+        "the warm burst should be all cache hits"
+    );
+    assert_eq!(
+        delta.counter("serve.cache.misses"),
+        0,
+        "the warm burst must not miss"
+    );
+
+    server.shutdown();
+    server.join();
+}
