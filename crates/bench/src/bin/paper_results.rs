@@ -28,7 +28,7 @@ use rcp_bench::experiments::{
     analysis_pipeline, calibrated_model, corpus_table, ex1_partition, ex2_facts, ex3_facts,
     ex4_dataflow, fig1_dependences, fig2_chains, fig3_ex1, fig3_ex2, fig3_ex3, fig3_ex4,
     fuzz_experiment, guard_overhead, loop_corpus, measured_speedups, scaling_experiment,
-    server_experiment, theorem1_table, trace_overhead, ExperimentReport,
+    server_experiment, symbolic_experiment, theorem1_table, trace_overhead, ExperimentReport,
 };
 use rcp_bench::selection::select_experiments;
 use rcp_workloads::CholeskyParams;
@@ -135,6 +135,11 @@ fn main() {
         exp("guard", true, Box::new(move || guard_overhead(quick))),
         exp("trace", true, Box::new(move || trace_overhead(quick))),
         exp("server", true, Box::new(move || server_experiment(quick))),
+        exp(
+            "symbolic",
+            true,
+            Box::new(move || symbolic_experiment(quick)),
+        ),
         exp(
             "measured",
             true,

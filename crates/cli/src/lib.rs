@@ -1082,6 +1082,7 @@ END
         assert_eq!(r.data["strategy"].as_str(), Some("RecurrenceChains"));
         assert_eq!(r.data["n_screened_pairs"].as_u64(), Some(0));
         assert!(r.data["fallback_reason"].as_str().is_none());
+        assert_eq!(r.data["symbolic_instantiable"].as_bool(), Some(true));
     }
 
     #[test]
@@ -1089,6 +1090,7 @@ END
         let r = cmd_partition(EXAMPLE1, "example1.loop", &opts(&[("N1", 10), ("N2", 10)])).unwrap();
         assert!(!r.failed);
         assert_eq!(r.data["strategy"].as_str(), Some("RecurrenceChains"));
+        assert_eq!(r.data["plan"].as_str(), Some("symbolic"));
         assert_eq!(r.data["valid"].as_bool(), Some(true));
         assert_eq!(r.data["total_iterations"].as_u64(), Some(100));
         let p1 = r.data["p1"].as_u64().unwrap();
@@ -1114,6 +1116,7 @@ END
         let r = cmd_partition(MULTI, "multi.loop", &opts(&[("N", 6)])).unwrap();
         assert!(!r.failed, "{}", r.text);
         assert_eq!(r.data["strategy"].as_str(), Some("Dataflow"));
+        assert_eq!(r.data["plan"].as_str(), Some("concrete-fallback"));
         let reason = r.data["fallback_reason"].as_str().unwrap();
         assert!(
             reason.contains("2 coupled reference pairs"),

@@ -19,7 +19,7 @@ use crate::dataflow::{dataflow_partition, DataflowPartition};
 use crate::recurrence::Recurrence;
 use crate::three_set::{DenseThreeSet, ThreeSetPartition};
 use rcp_depend::{CoupledPairCheck, DependenceAnalysis};
-use rcp_presburger::{DenseRelation, DenseSet};
+use rcp_presburger::{DenseRelation, DenseSet, UnionSet};
 use std::fmt;
 
 /// The branch of Algorithm 1 chosen for a program.
@@ -68,6 +68,34 @@ pub enum PlanUnavailable {
         /// The array with the rank-deficient access.
         array: String,
     },
+    /// The dependence relation carries pieces from a reference pair other
+    /// than the coupled pair (e.g. a second array coupling the
+    /// statements), so the recurrence maps do not characterise the whole
+    /// relation and a symbolic instantiation could miss dependences.  The
+    /// then-branch may still apply per binding through the validated
+    /// concrete path.
+    ForeignDependenceSource {
+        /// The array of the first non-coupled pair that contributed
+        /// relation pieces.
+        array: String,
+    },
+    /// At least one symbolic partition set (`P1`, `P2`, `P3`, `W`, or `Φ`)
+    /// is flagged as a Fourier–Motzkin over-approximation: enumerating it
+    /// could yield extra points, so only the per-binding concrete path is
+    /// exact.
+    ApproximatePartitionSets,
+    /// The program's subscripts mention loop parameters, so no binding-free
+    /// symbolic analysis (and hence no symbolic plan) exists; analysis is
+    /// deferred until parameters are bound.
+    ParametricSubscripts,
+    /// Instantiating the symbolic plan at a concrete binding produced a
+    /// partition that fails validation (e.g. the WHILE chains do not cover
+    /// the intermediate set at this binding); the caller must fall back to
+    /// the per-binding concrete path.
+    InstantiationInvalid {
+        /// The first violated invariant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for PlanUnavailable {
@@ -104,19 +132,267 @@ impl fmt::Display for PlanUnavailable {
                 "access matrices of `{array}` are rank deficient, violating \
                  Lemma 1's full-rank precondition"
             ),
+            PlanUnavailable::ForeignDependenceSource { array } => write!(
+                f,
+                "dependences through `{array}` do not come from the coupled \
+                 pair, so the recurrence does not characterise the whole \
+                 relation (per-binding concrete partitioning still applies)"
+            ),
+            PlanUnavailable::ApproximatePartitionSets => write!(
+                f,
+                "a symbolic partition set is a Fourier-Motzkin \
+                 over-approximation, so only per-binding concrete \
+                 partitioning is exact"
+            ),
+            PlanUnavailable::ParametricSubscripts => write!(
+                f,
+                "subscripts mention loop parameters, so analysis (and the \
+                 symbolic plan) is deferred until parameters are bound"
+            ),
+            PlanUnavailable::InstantiationInvalid { detail } => write!(
+                f,
+                "instantiated plan failed validation at this binding: {detail}"
+            ),
         }
     }
 }
 
 impl std::error::Error for PlanUnavailable {}
 
-/// The compile-time (symbolic) plan of the then-branch.
+/// The compile-time (symbolic) plan of the then-branch: the primary
+/// parametric artifact of the pipeline.  Computed once per program, it
+/// materialises any parameter binding through [`SymbolicPlan::instantiate`]
+/// in O(pieces) — no relation re-binding, no pair re-enumeration, no
+/// Algorithm-1 re-run.
 #[derive(Clone, Debug)]
 pub struct SymbolicPlan {
     /// The symbolic three-set partition (`P1`, `P2`, `P3`, `W`).
     pub partition: ThreeSetPartition,
     /// The recurrence `T`, `u` driving the WHILE chains.
     pub recurrence: Recurrence,
+    /// The symbolic iteration space `Φ`, kept so instantiation can
+    /// enumerate the space and filter recurrence images without the
+    /// originating analysis.
+    phi: UnionSet,
+    /// Why [`SymbolicPlan::instantiate`] must refuse and the caller fall
+    /// back to the validated per-binding concrete path; `None` when the
+    /// plan is symbolically instantiable.
+    instantiability: Option<PlanUnavailable>,
+}
+
+impl SymbolicPlan {
+    /// `None` when [`Self::instantiate`] can materialise any binding
+    /// exactly; otherwise the precise reason instantiation must defer to
+    /// the per-binding concrete path.
+    pub fn instantiability(&self) -> Option<&PlanUnavailable> {
+        self.instantiability.as_ref()
+    }
+
+    /// True when [`Self::instantiate`] can materialise bindings.
+    pub fn is_instantiable(&self) -> bool {
+        self.instantiability.is_none()
+    }
+
+    /// Binds the plan at a concrete parameter binding in O(pieces): every
+    /// partition set and `Φ` get their parameters substituted piece by
+    /// piece — no relation re-binding, no pair re-enumeration, no
+    /// Algorithm-1 re-run, and crucially no point enumeration at all.  The
+    /// returned [`PlanInstance`] answers membership queries
+    /// ([`PlanInstance::phase_of`]) in O(pieces) and materialises the full
+    /// dense partition on demand ([`PlanInstance::materialise`]).
+    ///
+    /// # Errors
+    /// The stored [`Self::instantiability`] reason when the plan is gated
+    /// and the caller must take the per-binding concrete path.
+    pub fn instance(&self, values: &[i64]) -> Result<PlanInstance, PlanUnavailable> {
+        if let Some(reason) = &self.instantiability {
+            return Err(reason.clone());
+        }
+        Ok(PlanInstance {
+            partition: self.partition.bind_params(values),
+            phi: self.phi.bind_params(values),
+            recurrence: self.recurrence.clone(),
+        })
+    }
+
+    /// Materialises the plan at a concrete parameter binding: the
+    /// O(pieces) [`Self::instance`] bind followed by
+    /// [`PlanInstance::materialise`], which enumerates the partition sets
+    /// (output-sized work) and walks the WHILE chains directly along the
+    /// recurrence maps — the dependence relation is never re-bound and the
+    /// pair space never re-enumerated.
+    ///
+    /// The result is bit-identical to
+    /// [`concrete_partition_from_dense`] at the same binding whenever this
+    /// returns `Ok` (the equivalence suite in `tests/` proves it point for
+    /// point): under the single-coupled-pair provenance gate the dense
+    /// relation's successor structure *is* the recurrence's
+    /// `{apply, apply_inverse}` image filtered to `Φ` and forward lex
+    /// order, so the symbolic walk reproduces the legacy chains exactly.
+    ///
+    /// # Errors
+    /// The stored [`Self::instantiability`] reason when the plan is gated,
+    /// or [`PlanUnavailable::InstantiationInvalid`] when the instantiated
+    /// partition fails validation at this particular binding (the caller
+    /// falls back to the concrete path, which itself falls back to
+    /// dataflow stages — exactly what the legacy pipeline does).
+    pub fn instantiate(&self, values: &[i64]) -> Result<ConcretePartition, PlanUnavailable> {
+        self.instance(values)?.materialise()
+    }
+}
+
+/// Which of the paper's three partition sets an iteration falls in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionPhase {
+    /// `P1`: independent and initial iterations (first parallel phase).
+    Initial,
+    /// `P2`: intermediate iterations, executed along their WHILE chain.
+    Intermediate,
+    /// `P3`: final iterations (last parallel phase).
+    Final,
+}
+
+/// A symbolic plan bound at one parameter binding — the O(pieces)
+/// instantiation artifact.  Holds the bound (but not enumerated) partition
+/// sets, the bound iteration space, and the recurrence, so per-binding
+/// queries cost piece evaluations rather than point enumerations; the
+/// dense [`ConcretePartition`] is pay-as-you-go via [`Self::materialise`].
+#[derive(Clone, Debug)]
+pub struct PlanInstance {
+    /// The bound three-set partition (piece descriptions, not points).
+    pub partition: ThreeSetPartition,
+    /// The bound iteration space `Φ`.
+    phi: UnionSet,
+    /// The recurrence `T`, `u` (binding-independent).
+    recurrence: Recurrence,
+}
+
+impl PlanInstance {
+    /// Classifies one iteration into its partition phase in O(pieces):
+    /// piece-membership tests against the bound sets, no enumeration.
+    /// Returns `None` for points outside `Φ`.
+    pub fn phase_of(&self, x: &[i64]) -> Option<PartitionPhase> {
+        if self.partition.p1.contains(x, &[]) {
+            Some(PartitionPhase::Initial)
+        } else if self.partition.p2.contains(x, &[]) {
+            Some(PartitionPhase::Intermediate)
+        } else if self.partition.p3.contains(x, &[]) {
+            Some(PartitionPhase::Final)
+        } else {
+            None
+        }
+    }
+
+    /// Enumerates the bound partition sets and walks the WHILE chains
+    /// along the recurrence maps, producing the dense
+    /// [`ConcretePartition`] — output-sized work on top of the O(pieces)
+    /// bind.
+    ///
+    /// # Errors
+    /// [`PlanUnavailable::InstantiationInvalid`] when the chains fail
+    /// validation at this binding.
+    pub fn materialise(&self) -> Result<ConcretePartition, PlanUnavailable> {
+        let dense = self.partition.to_dense();
+
+        // The WHILE chain walk of `chains_in_intermediate`, with the dense
+        // relation's successor lookup replaced by the recurrence maps: the
+        // successors of `x` are `{apply(x), apply_inverse(x)}` — the
+        // iteration whose write `x` reads and the iteration that reads
+        // `x`'s write — filtered to integral images inside `Φ` that are
+        // lexicographically forward.  Same guard stage and failpoint site
+        // as the legacy walk, so budgets and chaos campaigns see one
+        // partitioning pipeline.
+        rcp_guard::tick(rcp_guard::Stage::ChainEnumeration, dense.w.len() as u64 + 1);
+        rcp_guard::fail_point("core::chains", rcp_guard::Stage::ChainEnumeration);
+        let successors = |x: &[i64]| -> Vec<rcp_intlin::IVec> {
+            let mut out: Vec<rcp_intlin::IVec> = Vec::with_capacity(2);
+            for cand in [self.recurrence.apply(x), self.recurrence.apply_inverse(x)]
+                .into_iter()
+                .flatten()
+            {
+                if cand.as_slice() > x && self.phi.contains(&cand, &[]) && !out.contains(&cand) {
+                    out.push(cand);
+                }
+            }
+            out
+        };
+        let mut chains = Vec::new();
+        for start in dense.w.iter() {
+            let mut chain = Vec::new();
+            let mut current = start.clone();
+            loop {
+                if !dense.p2.contains(&current) {
+                    break;
+                }
+                chain.push(current.clone());
+                let succs = successors(&current);
+                match succs.first() {
+                    Some(next) if succs.len() == 1 => current = next.clone(),
+                    _ => break,
+                }
+            }
+            if !chain.is_empty() {
+                chains.push(Chain { iterations: chain });
+            }
+        }
+
+        // Validation without the dense relation: the chain invariants the
+        // concrete path checks, with dependence edges read off the
+        // recurrence (exact under the provenance gate).  Failing either
+        // here means the legacy path would have rejected the chain
+        // candidate too.  Set disjointness, coverage of `Φ`, and `W ⊆ P2`
+        // are *not* re-checked densely: the exactness gate
+        // (`ApproximatePartitionSets`) guarantees the bound pieces are the
+        // true projections, and the symbolic construction (`P1 = Φ \ ran`,
+        // `P2 = ran ∩ dom`, `P3 = ran \ dom`, `W ⊆ P2`) makes those
+        // invariants hold by algebra, not by enumeration.
+        if let Some(detail) = self.validate_instance(&dense, &chains, &successors) {
+            return Err(PlanUnavailable::InstantiationInvalid { detail });
+        }
+        Ok(ConcretePartition::RecurrenceChains {
+            p1: dense.p1.clone(),
+            chains,
+            p3: dense.p3.clone(),
+            three_set: dense,
+        })
+    }
+
+    /// The materialise-time validation behind
+    /// [`SymbolicPlan::instantiate`]: the chains exactly covering `P2`,
+    /// and no recurrence edge crossing two chains.  Returns the first
+    /// violated invariant.
+    fn validate_instance(
+        &self,
+        dense: &DenseThreeSet,
+        chains: &[Chain],
+        successors: &dyn Fn(&[i64]) -> Vec<rcp_intlin::IVec>,
+    ) -> Option<String> {
+        if let Some(problem) = crate::chains::validate_chain_cover(chains, &dense.p2).pop() {
+            return Some(problem);
+        }
+        let mut owner: std::collections::HashMap<&rcp_intlin::IVec, usize> =
+            std::collections::HashMap::new();
+        for (k, c) in chains.iter().enumerate() {
+            for it in &c.iterations {
+                owner.insert(it, k);
+            }
+        }
+        for (k, c) in chains.iter().enumerate() {
+            for it in &c.iterations {
+                for succ in successors(it) {
+                    if let Some(&other) = owner.get(&succ) {
+                        if other != k {
+                            return Some(format!(
+                                "dependence {:?} -> {:?} crosses chains {k} and {other}",
+                                it, succ
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
 }
 
 /// A concrete (parameter-bound) partition of the iteration space, ready for
@@ -295,9 +571,32 @@ pub fn symbolic_plan(analysis: &DependenceAnalysis) -> Result<SymbolicPlan, Plan
     let recurrence = Recurrence::from_pair(&pair)
         .expect("plan_unavailability returned None, so the recurrence exists");
     let partition = ThreeSetPartition::compute(&analysis.phi, &analysis.relation);
+    // Instantiability gates: the symbolic walk in `instantiate` is only
+    // bit-identical to the dense pipeline when (a) every relation piece
+    // comes from the coupled pair — otherwise the recurrence maps miss
+    // dependences (e.g. a second array coupling the statements) — and
+    // (b) none of the symbolic sets is a Fourier–Motzkin
+    // over-approximation, since enumerating an over-approximate set can
+    // yield points the exact dense path never sees.
+    let instantiability = if let Some(foreign) = analysis.foreign_piece_source() {
+        Some(PlanUnavailable::ForeignDependenceSource {
+            array: foreign.array.clone(),
+        })
+    } else if analysis.phi.is_approximate()
+        || partition.p1.is_approximate()
+        || partition.p2.is_approximate()
+        || partition.p3.is_approximate()
+        || partition.w.is_approximate()
+    {
+        Some(PlanUnavailable::ApproximatePartitionSets)
+    } else {
+        None
+    };
     Ok(SymbolicPlan {
         partition,
         recurrence,
+        phi: analysis.phi.clone(),
+        instantiability,
     })
 }
 
@@ -573,6 +872,106 @@ mod tests {
             )
             .is_empty());
         assert_eq!(part.stats().total_iterations, 36);
+    }
+
+    #[test]
+    fn instantiate_equals_concrete_partition_on_the_examples() {
+        for (program, bindings) in [
+            (example1(), vec![vec![10i64, 10], vec![12, 8], vec![6, 14]]),
+            (example2(), vec![vec![8], vec![12], vec![20], vec![30]]),
+        ] {
+            let analysis = rcp_depend::DependenceAnalysis::loop_level(&program);
+            let plan = symbolic_plan(&analysis).unwrap();
+            assert!(
+                plan.is_instantiable(),
+                "{}: {:?}",
+                program.name,
+                plan.instantiability()
+            );
+            for values in &bindings {
+                let instantiated = plan.instantiate(values).unwrap();
+                let legacy = concrete_partition(&analysis, values);
+                assert_eq!(
+                    format!("{instantiated:?}"),
+                    format!("{legacy:?}"),
+                    "{} at {values:?}: instantiate diverges from the concrete path",
+                    program.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn instance_phase_queries_match_the_dense_partition() {
+        let analysis = rcp_depend::DependenceAnalysis::loop_level(&example1());
+        let plan = symbolic_plan(&analysis).unwrap();
+        let instance = plan.instance(&[10, 10]).unwrap();
+        let dense = match instance.materialise().unwrap() {
+            ConcretePartition::RecurrenceChains { three_set, .. } => three_set,
+            ConcretePartition::Dataflow { .. } => panic!("example 1 uses chains"),
+        };
+        for i in 0..=11i64 {
+            for j in 0..=11i64 {
+                let p = [i, j];
+                let expected = if dense.p1.contains(&p) {
+                    Some(PartitionPhase::Initial)
+                } else if dense.p2.contains(&p) {
+                    Some(PartitionPhase::Intermediate)
+                } else if dense.p3.contains(&p) {
+                    Some(PartitionPhase::Final)
+                } else {
+                    None
+                };
+                assert_eq!(
+                    instance.phase_of(&p),
+                    expected,
+                    "phase of {p:?} diverges from the enumerated partition"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_dependences_gate_instantiation() {
+        // Two statements coupled through a *second* array: the coupled
+        // pair is unique (only `a` is both read and written by one
+        // statement), but `b` carries dependences the recurrence knows
+        // nothing about — instantiate must refuse rather than miscompile.
+        let p = Program::new(
+            "foreign",
+            &["N"],
+            vec![loop_(
+                "I",
+                c(1),
+                v("N"),
+                vec![stmt(
+                    "S",
+                    vec![
+                        ArrayRef::write("a", vec![v("I") + c(1)]),
+                        ArrayRef::read("a", vec![v("I")]),
+                        ArrayRef::write("b", vec![v("I")]),
+                        ArrayRef::read("b", vec![v("I") - c(1)]),
+                    ],
+                )],
+            )],
+        );
+        let analysis = rcp_depend::DependenceAnalysis::loop_level(&p);
+        match symbolic_plan(&analysis) {
+            Ok(plan) => {
+                assert!(
+                    matches!(
+                        plan.instantiability(),
+                        Some(PlanUnavailable::ForeignDependenceSource { .. })
+                    ),
+                    "expected the foreign-pieces gate, got {:?}",
+                    plan.instantiability()
+                );
+                assert!(plan.instantiate(&[10]).is_err());
+            }
+            // Several coupled pairs also (correctly) block the plan.
+            Err(PlanUnavailable::MultipleCoupledPairs { .. }) => {}
+            Err(other) => panic!("unexpected plan error: {other}"),
+        }
     }
 
     #[test]

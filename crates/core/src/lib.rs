@@ -67,8 +67,8 @@ pub mod three_set;
 
 pub use algorithm1::{
     concrete_partition, concrete_partition_from_dense, plan_unavailability, symbolic_plan,
-    try_chain_partition, uses_recurrence_chains, ConcretePartition, PlanStats, PlanUnavailable,
-    Strategy, SymbolicPlan,
+    try_chain_partition, uses_recurrence_chains, ConcretePartition, PartitionPhase, PlanInstance,
+    PlanStats, PlanUnavailable, Strategy, SymbolicPlan,
 };
 pub use chains::{
     chains_in_intermediate, component_chains, longest_chain, monotonic_chains, Chain,

@@ -213,6 +213,12 @@ pub struct DependenceAnalysis {
     /// (GCD test, bounding-box disjointness, or an unsolvable dependence
     /// equation), for which no relation pieces were built.
     pub n_screened_pairs: usize,
+    /// How many convex pieces of `relation` each entry of `pairs`
+    /// contributed (screened pairs contribute 0).  This is the piece
+    /// *provenance*: `rcp_core::symbolic_plan` uses it to prove every
+    /// dependence comes from the single coupled pair before trusting the
+    /// recurrence to reproduce the relation's successor structure.
+    pub pair_pieces: Vec<usize>,
     /// Per-stage counts of the pair-space screening pass.
     pub screen: ScreenStats,
     /// How analysis points map back to the program (direct spaces, or
@@ -387,6 +393,35 @@ impl DependenceAnalysis {
             self.relation.bind_params(values),
         )
     }
+
+    /// The first reference pair that contributed relation pieces but is
+    /// *not* the same-statement write/read coupled pair — i.e. a
+    /// dependence source the recurrence `i = j·T + u` knows nothing
+    /// about.  `None` means every piece of `relation` is attributable to
+    /// the coupled pair, so the recurrence maps characterise the whole
+    /// relation (the precondition for symbolic instantiation of the
+    /// chain partition; see `rcp_core::symbolic_plan`).
+    pub fn foreign_piece_source(&self) -> Option<&RefPair> {
+        let stmts = self.program.statements();
+        self.pairs
+            .iter()
+            .zip(&self.pair_pieces)
+            .find_map(|(pair, &n_pieces)| {
+                if n_pieces == 0 {
+                    return None;
+                }
+                let r1 = &stmts[pair.src_stmt].stmt.refs[pair.src_ref];
+                let r2 = &stmts[pair.dst_stmt].stmt.refs[pair.dst_ref];
+                let is_coupled = pair.src_stmt == pair.dst_stmt
+                    && pair.src_ref != pair.dst_ref
+                    && (r1.is_write() != r2.is_write());
+                if is_coupled {
+                    None
+                } else {
+                    Some(pair)
+                }
+            })
+    }
 }
 
 pub(crate) fn reference_pairs(program: &Program) -> Vec<RefPair> {
@@ -549,17 +584,28 @@ pub(crate) fn per_statement_accesses(
 }
 
 /// Flattens per-pair piece lists in pair order (deterministic regardless of
-/// which thread built which pair) and counts screened pairs.
-pub(crate) fn assemble_pieces(per_pair: Vec<Option<Vec<ConvexSet>>>) -> (Vec<ConvexSet>, usize) {
+/// which thread built which pair), counts screened pairs, and records how
+/// many pieces each pair contributed (the provenance consumed by
+/// [`DependenceAnalysis::foreign_piece_source`]).
+pub(crate) fn assemble_pieces(
+    per_pair: Vec<Option<Vec<ConvexSet>>>,
+) -> (Vec<ConvexSet>, usize, Vec<usize>) {
     let mut pieces = Vec::new();
     let mut n_screened = 0;
+    let mut pair_pieces = Vec::with_capacity(per_pair.len());
     for entry in per_pair {
         match entry {
-            Some(p) => pieces.extend(p),
-            None => n_screened += 1,
+            Some(p) => {
+                pair_pieces.push(p.len());
+                pieces.extend(p);
+            }
+            None => {
+                pair_pieces.push(0);
+                n_screened += 1;
+            }
         }
     }
-    (pieces, n_screened)
+    (pieces, n_screened, pair_pieces)
 }
 
 /// The result of the screen-only pass behind the degradation ladder's
@@ -640,7 +686,7 @@ fn analyze_loop_level(
             &phi_convex,
         ))
     });
-    let (pieces, n_screened_pairs) = assemble_pieces(per_pair);
+    let (pieces, n_screened_pairs, pair_pieces) = assemble_pieces(per_pair);
     let relation = Relation::new(dim, dim, UnionSet::from_pieces(pair_space.clone(), pieces));
     DependenceAnalysis {
         program: program.clone(),
@@ -652,6 +698,7 @@ fn analyze_loop_level(
         relation,
         pairs,
         n_screened_pairs,
+        pair_pieces,
         screen: screen.stats(),
         view: LoopView::Direct,
     }
@@ -695,7 +742,7 @@ fn analyze_statement_level(
             &sets[pair.dst_stmt],
         ))
     });
-    let (pieces, n_screened_pairs) = assemble_pieces(per_pair);
+    let (pieces, n_screened_pairs, pair_pieces) = assemble_pieces(per_pair);
     let relation = Relation::new(dim, dim, UnionSet::from_pieces(pair_space.clone(), pieces));
     DependenceAnalysis {
         program: program.clone(),
@@ -707,6 +754,7 @@ fn analyze_statement_level(
         relation,
         pairs,
         n_screened_pairs,
+        pair_pieces,
         screen: screen.stats(),
         view: LoopView::Direct,
     }

@@ -279,7 +279,7 @@ pub(crate) fn analyze_aggregated(
         }
         Some(pieces)
     });
-    let (pieces, n_screened_pairs) = assemble_pieces(per_pair);
+    let (pieces, n_screened_pairs, pair_pieces) = assemble_pieces(per_pair);
     let relation = Relation::new(dim, dim, UnionSet::from_pieces(pair_space.clone(), pieces));
     DependenceAnalysis {
         program: program.clone(),
@@ -291,6 +291,7 @@ pub(crate) fn analyze_aggregated(
         relation,
         pairs,
         n_screened_pairs,
+        pair_pieces,
         screen: screen.stats(),
         view: LoopView::Groups(groups),
     }

@@ -28,6 +28,7 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use rcp_codegen::{point_to_item, Phase, Schedule};
+use rcp_core::{concrete_partition, symbolic_plan};
 use rcp_depend::DependenceAnalysis;
 use rcp_intlin::IVec;
 use rcp_loopir::Program;
@@ -40,6 +41,12 @@ use crate::minimize::minimize;
 
 /// The thread counts every sound schedule is executed at.
 pub const FUZZ_THREADS: [usize; 3] = [1, 2, 4];
+
+/// The pseudo-scheme name of the symbolic-instantiation oracle: per case,
+/// the partition materialised from the symbolic plan is diffed against the
+/// legacy per-binding concrete partition.  Tallied alongside the scheme
+/// verdicts so a divergence fails the campaign like any miscompile.
+pub const PLAN_ORACLE: &str = "plan-instantiate";
 
 /// The differential verdict for one scheme on one case.
 #[derive(Clone, Debug, PartialEq)]
@@ -220,7 +227,41 @@ pub fn run_case(program: &Program, params: &[(String, i64)]) -> Result<CaseResul
         };
         verdicts.push((scheme.to_string(), verdict));
     }
+    verdicts.push((PLAN_ORACLE.to_string(), plan_oracle_verdict(&stage)));
     Ok(CaseResult { verdicts })
+}
+
+/// Diffs the symbolic plan's instantiation against the legacy per-binding
+/// concrete partition for one staged case.  `runtime_values` matches the
+/// stage's analysis on every rung: the symbolic rungs analyse the original
+/// parametric program (values = the binding), the deferred rung analyses
+/// the parameter-bound program (values = empty).
+fn plan_oracle_verdict(stage: &rcp_session::Partitioned) -> Verdict {
+    let analysis = stage.analysis();
+    let values = stage.runtime_values();
+    match symbolic_plan(analysis) {
+        Err(reason) => Verdict::NotApplicable(format!("plan: {reason}")),
+        Ok(plan) => match plan.instantiate(values) {
+            Err(reason) => Verdict::NotApplicable(format!("instantiate: {reason}")),
+            Ok(instantiated) => {
+                let concrete = concrete_partition(analysis, values);
+                if format!("{instantiated:?}") == format!("{concrete:?}") {
+                    Verdict::Passed
+                } else {
+                    Verdict::Discrepancy(Discrepancy {
+                        scheme: PLAN_ORACLE.to_string(),
+                        threads: 0,
+                        detail: format!(
+                            "instantiated partition ({:?}) diverges from the per-binding \
+                             concrete partition ({:?})",
+                            instantiated.strategy(),
+                            concrete.strategy()
+                        ),
+                    })
+                }
+            }
+        },
+    }
 }
 
 /// Configuration of a fuzzing campaign.
@@ -311,13 +352,15 @@ impl Campaign {
 /// Runs a full campaign: generate `count` nests from `seed`, run each
 /// through the differential oracle, minimise any counterexample if asked.
 /// Deterministic in everything but `elapsed`.
-// Panic-hygiene allow: `stats` was seeded from `scheme_names()`, the same
-// registry every verdict's scheme name comes from.
+// Panic-hygiene allow: `stats` was seeded from `scheme_names()` plus
+// [`PLAN_ORACLE`], the same names every verdict row comes from.
 #[allow(clippy::expect_used)]
 pub fn run_campaign(config: &CampaignConfig) -> Campaign {
     let start = Instant::now();
     let mut stats: Vec<SchemeStats> = scheme_names()
         .iter()
+        .copied()
+        .chain(std::iter::once(PLAN_ORACLE))
         .map(|name| SchemeStats {
             scheme: name.to_string(),
             ..SchemeStats::default()

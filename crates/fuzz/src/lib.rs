@@ -33,7 +33,7 @@ pub use chaos::{
 pub use generator::{case_seed, generate, FuzzCase};
 pub use harness::{
     ordering_violations, run_campaign, run_case, Campaign, CampaignConfig, CaseResult,
-    CounterExample, Discrepancy, SchemeStats, Verdict, FUZZ_THREADS,
+    CounterExample, Discrepancy, SchemeStats, Verdict, FUZZ_THREADS, PLAN_ORACLE,
 };
 pub use minimize::minimize;
 pub use regressions::{parse_regression, regression_name, render_regression};

@@ -137,6 +137,20 @@ fn fallback_reason(stage: &Partitioned) -> Option<String> {
     stage.plan_unavailability().map(|r| r.to_string())
 }
 
+/// The `fallback_reason` a report emits: the strategy-level reason when
+/// Algorithm 1 fell back to dataflow, else — for programs on the
+/// recurrence-chain branch whose stage still took the legacy per-binding
+/// concrete rung — the typed reason the symbolic plan could not
+/// instantiate this binding directly.  `None` on the pure symbolic path.
+fn emitted_fallback_reason(
+    stage: &Partitioned,
+    strategy_reason: &Option<String>,
+) -> Option<String> {
+    strategy_reason
+        .clone()
+        .or_else(|| stage.concrete_reason().map(|r| r.to_string()))
+}
+
 /// The machine-readable rendering of a failed command: under `--json` the
 /// binary prints this single object, whose `error` field carries the typed
 /// [`RcpError`] Display (`tests/robustness.rs` pins the round-trip).  The
@@ -271,6 +285,18 @@ pub fn analyze_report(
         uniformity,
         strategy,
     );
+    text.push_str(&format!(
+        "\x20 symbolic plan          {}\n",
+        if stage.instantiated() {
+            "instantiable (any binding is an O(pieces) instantiation)".to_string()
+        } else {
+            match stage.concrete_reason() {
+                Some(r) => format!("unavailable ({r})"),
+                None => "unavailable".to_string(),
+            }
+        }
+    ));
+    let reason = emitted_fallback_reason(&stage, &reason);
     if let Some(reason) = &reason {
         text.push_str(&format!("  fallback reason        {reason}\n"));
     }
@@ -323,6 +349,10 @@ pub fn analyze_report(
         ),
         ("strategy".to_string(), Json::Str(strategy.to_string())),
         (
+            "symbolic_instantiable".to_string(),
+            Json::Bool(stage.instantiated()),
+        ),
+        (
             "degradation".to_string(),
             Json::Str(analyzed.degradation_level().as_str().to_string()),
         ),
@@ -344,6 +374,7 @@ fn partition_json(
     program: &Program,
     values: &[i64],
     part: &ConcretePartition,
+    plan: &'static str,
     reason: Option<&str>,
     valid: bool,
 ) -> Json {
@@ -355,6 +386,7 @@ fn partition_json(
             "strategy".to_string(),
             Json::Str(format!("{:?}", part.strategy())),
         ),
+        ("plan".to_string(), Json::Str(plan.to_string())),
         ("n_phases".to_string(), Json::Int(stats.n_phases as i64)),
         (
             "critical_path".to_string(),
@@ -403,14 +435,23 @@ pub fn partition_report(
     let stage = analyzed.partition_with(overrides)?;
     let program = analyzed.program();
     let part = stage.partition();
-    let problems = stage.validate();
+    // The symbolic path already validated itself at instantiation time
+    // (disjointness, coverage, chain cover, recurrence edges) and fell
+    // back to the concrete rung on any problem; re-deriving Φ/Rd here
+    // would forfeit the O(pieces) warm path it exists for.
+    let problems = if stage.instantiated() {
+        Vec::new()
+    } else {
+        stage.validate()
+    };
     let stats = part.stats();
     let reason = fallback_reason(&stage);
     let mut text = format!(
-        "program `{}`: {:?} partition, {} phase(s), critical path {}, \
+        "program `{}`: {:?} partition ({}), {} phase(s), critical path {}, \
          max width {}, {} iteration(s)\n",
         program.name,
         part.strategy(),
+        stage.plan_provenance(),
         stats.n_phases,
         stats.critical_path,
         stats.max_width,
@@ -438,11 +479,20 @@ pub fn partition_report(
     }
     if let Some(reason) = &reason {
         text.push_str(&format!("  recurrence chains unavailable: {reason}\n"));
+    } else if let Some(gate) = stage.concrete_reason() {
+        text.push_str(&format!("  symbolic instantiation unavailable: {gate}\n"));
     }
+    let reason = emitted_fallback_reason(&stage, &reason);
     if problems.is_empty() {
-        text.push_str(
-            "  validation: ok (every iteration scheduled once, all dependences respected)\n",
-        );
+        if stage.instantiated() {
+            text.push_str(
+                "  validation: ok (validated at instantiation against the symbolic plan)\n",
+            );
+        } else {
+            text.push_str(
+                "  validation: ok (every iteration scheduled once, all dependences respected)\n",
+            );
+        }
     } else {
         text.push_str(&format!("  validation: {} problem(s):\n", problems.len()));
         for p in problems.iter().take(5) {
@@ -453,6 +503,7 @@ pub fn partition_report(
         program,
         stage.values(),
         part,
+        stage.plan_provenance(),
         reason.as_deref(),
         problems.is_empty(),
     );

@@ -452,6 +452,18 @@ fn analyzed_via_cache(
     Ok(analyzed)
 }
 
+/// Counts a request whose partition stage was materialised by an
+/// O(pieces) [`rcp_core::SymbolicPlan`] instantiation — the
+/// `serve.plan.instantiate` counter in `/metrics`.  The stage is memoised
+/// per binding, so the lookup re-runs nothing.
+fn note_plan_instantiate(analyzed: &rcp_session::Analyzed, overrides: &[(String, i64)]) {
+    if let Ok(stage) = analyzed.partition_with(overrides) {
+        if stage.instantiated() {
+            rcp_trace::counter("serve.plan.instantiate").inc();
+        }
+    }
+}
+
 fn stage_response(ctx: &Context, command: &str, req: &Request, body: &Json) -> Response {
     let mut opts = match request_options(body, req, &ctx.config) {
         Ok(opts) => opts,
@@ -466,21 +478,65 @@ fn stage_response(ctx: &Context, command: &str, req: &Request, body: &Json) -> R
             opts.params.push((name.to_string(), *value));
         }
     }
-    let result = analyzed_via_cache(ctx, &spec.source, &spec.origin, &opts)
-        .and_then(|analyzed| match command {
+    let result = analyzed_via_cache(ctx, &spec.source, &spec.origin, &opts).and_then(|analyzed| {
+        let report = match command {
             "analyze" => api::analyze_report(&analyzed, &opts.params),
             "partition" => api::partition_report(&analyzed, &opts.params),
             "codegen" => api::codegen_report(&analyzed),
             "run" => api::run_report(&analyzed, &opts.params),
-            other => Err(RcpError::UnknownCommand {
-                name: other.to_string(),
-                known: vec!["analyze", "partition", "codegen", "run"],
-            }),
-        });
+            other => {
+                return Err(RcpError::UnknownCommand {
+                    name: other.to_string(),
+                    known: vec!["analyze", "partition", "codegen", "run"],
+                })
+            }
+        };
+        if report.is_ok() && matches!(command, "partition" | "run") {
+            note_plan_instantiate(&analyzed, &opts.params);
+        }
+        report
+    });
     match result {
         Ok(report) => Response::json(200, &report.data),
         Err(error) => rcp_error_response(&error),
     }
+}
+
+/// Dedups a batch's entries by analysis content address and builds each
+/// distinct `Analyzed` exactly once before the per-entry fan-out.  The
+/// cache builds outside its lock (so a worker panic cannot poison it),
+/// which means N concurrent misses on the same key would all run the
+/// analysis; N bindings of one program are the common batch shape, so
+/// pre-warming turns them into one build plus N−1 hits.  Entries that
+/// fail to parse are skipped here and report their error in the fan-out.
+fn prewarm_batch(ctx: &Context, req: &Request, entries: &[Json]) {
+    let mut seen = std::collections::HashSet::new();
+    let mut unique: Vec<(RequestSource, Options)> = Vec::new();
+    let mut keyed = 0usize;
+    for entry in entries {
+        let (Ok(opts), Ok(spec)) = (
+            request_options(entry, req, &ctx.config),
+            request_source(entry),
+        ) else {
+            continue;
+        };
+        let Ok(program) = rcp_lang::parse_program(&spec.source) else {
+            continue;
+        };
+        let mut config = opts.to_config();
+        config.params = Vec::new();
+        keyed += 1;
+        if seen.insert(cache::content_address(&rcp_lang::pretty(&program), &config)) {
+            unique.push((spec, opts));
+        }
+    }
+    if keyed > unique.len() {
+        rcp_trace::counter("serve.batch.deduped").add((keyed - unique.len()) as u64);
+    }
+    let threads = rcp_pool::available_threads().min(unique.len().max(1));
+    rcp_pool::par_map(threads, &unique, |(spec, opts)| {
+        let _ = analyzed_via_cache(ctx, &spec.source, &spec.origin, opts);
+    });
 }
 
 fn batch_response(ctx: &Context, req: &Request, body: &Json) -> Response {
@@ -500,6 +556,7 @@ fn batch_response(ctx: &Context, req: &Request, body: &Json) -> Response {
     let Some(entries) = body.get("entries").and_then(|e| e.as_array()) else {
         return error_body(400, "`entries` must be an array of request objects");
     };
+    prewarm_batch(ctx, req, entries);
     // Shard the sweep over rcp-pool: entries fan out across the scoped
     // pool and come back in order, each independently a payload or a
     // structured error — one bad entry never sinks the batch.

@@ -164,6 +164,7 @@ impl Session {
                 granularity,
                 symbolic,
                 degradation,
+                plan: OnceLock::new(),
                 stages: Mutex::new(HashMap::new()),
             }),
         })
@@ -273,6 +274,12 @@ struct AnalyzedInner {
     /// Set when the exact analysis was interrupted by budget exhaustion
     /// and the session stepped down the degradation ladder.
     degradation: Option<DegradationReport>,
+    /// The memoised symbolic plan — the primary partitioning artifact.
+    /// Computed once per session from the symbolic analysis; every
+    /// concrete binding is then an O(pieces) [`SymbolicPlan::instantiate`]
+    /// instead of a per-binding relation enumeration.  `Err` records the
+    /// typed reason the recurrence-chain plan does not exist.
+    plan: OnceLock<Result<Arc<SymbolicPlan>, PlanUnavailable>>,
     /// Memoised concrete stage payloads, keyed by parameter values.  The
     /// memo stores the cycle-free [`StageCore`] — not a [`Partitioned`],
     /// whose back-reference to this struct would form an `Arc` cycle and
@@ -390,17 +397,45 @@ impl Analyzed {
         })
     }
 
+    /// The memoised symbolic plan, or the typed reason none exists.  For
+    /// deferred-analysis programs (subscripts mention parameters) and
+    /// degraded sessions there is no parameter-independent analysis to
+    /// plan from, reported as [`PlanUnavailable::ParametricSubscripts`].
+    fn plan_artifact(&self) -> Result<Arc<SymbolicPlan>, PlanUnavailable> {
+        let analysis = match self.inner.symbolic.as_deref() {
+            Some(analysis) => analysis,
+            None => return Err(PlanUnavailable::ParametricSubscripts),
+        };
+        self.inner
+            .plan
+            .get_or_init(|| symbolic_plan(analysis).map(Arc::new))
+            .clone()
+    }
+
+    /// Why [`SymbolicPlan::instantiate`] cannot serve this program's
+    /// concrete bindings — `None` when every binding is an O(pieces)
+    /// instantiation of the memoised plan, `Some(reason)` when bindings
+    /// take the legacy per-binding concrete rung.
+    pub fn symbolic_instantiability(&self) -> Option<PlanUnavailable> {
+        match self.plan_artifact() {
+            Ok(plan) => plan.instantiability().cloned(),
+            Err(reason) => Some(reason),
+        }
+    }
+
     /// The compile-time recurrence-chain plan ([`Planned`] stage), or a
     /// typed error saying exactly why the then-branch does not apply.
+    /// For symbolic programs the plan is memoised on this stage — the same
+    /// artifact [`Self::partition_with`] instantiates per binding.
     pub fn plan(&self) -> Result<Planned, RcpError> {
         let _span = rcp_trace::span!("session.plan");
         let plan = match self.inner.symbolic.as_deref() {
-            Some(analysis) => symbolic_plan(analysis)?,
-            None => symbolic_plan(self.partition()?.analysis())?,
+            Some(_) => self.plan_artifact().map_err(RcpError::from)?,
+            None => Arc::new(symbolic_plan(self.partition()?.analysis())?),
         };
         Ok(Planned {
             analyzed: self.clone(),
-            plan: Arc::new(plan),
+            plan,
         })
     }
 
@@ -462,12 +497,47 @@ impl Analyzed {
         let _span = rcp_trace::span!("session.partition");
         let inner = &self.inner;
         let session = Session::with_config(inner.config.clone());
-        // The whole concrete stage — the deferred re-analysis and the φ/Rd
-        // enumeration (which re-enters the presburger feasibility seams) —
-        // runs under one guarded scope.  There is no ladder here: a
-        // concrete stage was explicitly requested, so exhaustion is a hard
-        // typed error rather than a weaker result.
+        // The whole concrete stage — the symbolic instantiation (fast
+        // path), or the deferred re-analysis and the φ/Rd enumeration
+        // (which re-enters the presburger feasibility seams) — runs under
+        // one guarded scope.  There is no ladder here: a concrete stage
+        // was explicitly requested, so exhaustion is a hard typed error
+        // rather than a weaker result.
         run_guarded(&inner.config.budget, || {
+            rcp_guard::fail_point("session::partition", rcp_guard::Stage::Partition);
+            // Fast path: an O(pieces) instantiation of the memoised
+            // symbolic plan — no relation re-binding, no pair
+            // re-enumeration, no Algorithm-1 re-run.  Φ and Rd stay
+            // unenumerated until something actually asks for them.
+            let concrete_reason = match inner.symbolic.clone() {
+                Some(analysis) => {
+                    match self
+                        .plan_artifact()
+                        .and_then(|plan| plan.instantiate(values))
+                    {
+                        Ok(partition) => {
+                            rcp_trace::counter("session.plan.instantiate").add(1);
+                            let cell = OnceLock::new();
+                            let _ = cell.set(partition);
+                            return Arc::new(StageCore {
+                                values: values.to_vec(),
+                                analysis,
+                                analysis_values: values.to_vec(),
+                                runtime_program: inner.program.clone(),
+                                runtime_values: values.to_vec(),
+                                phi: OnceLock::new(),
+                                rd: OnceLock::new(),
+                                partition: cell,
+                                concrete_reason: None,
+                            });
+                        }
+                        Err(reason) => Some(reason),
+                    }
+                }
+                None => Some(PlanUnavailable::ParametricSubscripts),
+            };
+            // Fallback rung: the legacy per-binding concrete path, with
+            // the typed reason recorded on the stage.
             let (analysis, analysis_values, runtime_program, runtime_values) =
                 match inner.symbolic.clone() {
                     Some(analysis) => (
@@ -483,16 +553,20 @@ impl Analyzed {
                     }
                 };
             let (phi_union, relation) = analysis.bind_params(&analysis_values);
-            let phi = DenseSet::from_union(&phi_union);
-            let rd = DenseRelation::from_relation(&relation);
+            let phi = OnceLock::new();
+            let _ = phi.set(DenseSet::from_union(&phi_union));
+            let rd = OnceLock::new();
+            let _ = rd.set(DenseRelation::from_relation(&relation));
             Arc::new(StageCore {
                 values: values.to_vec(),
                 analysis,
+                analysis_values,
                 runtime_program,
                 runtime_values,
                 phi,
                 rd,
                 partition: OnceLock::new(),
+                concrete_reason,
             })
         })
         .map_err(RcpError::from)
@@ -532,6 +606,19 @@ impl Planned {
     pub fn listing(&self) -> String {
         generate_listing(&self.plan, &self.analyzed.program().name)
     }
+
+    /// Why this plan cannot instantiate arbitrary bindings directly —
+    /// `None` when [`SymbolicPlan::instantiate`] serves every binding in
+    /// O(pieces).
+    pub fn instantiability(&self) -> Option<&PlanUnavailable> {
+        self.plan.instantiability()
+    }
+
+    /// `true` when concrete bindings are O(pieces) instantiations of this
+    /// plan rather than per-binding re-partitions.
+    pub fn is_instantiable(&self) -> bool {
+        self.plan.is_instantiable()
+    }
 }
 
 /// The heavy, shareable payload of one concrete stage.  Holds no
@@ -544,15 +631,48 @@ struct StageCore {
     /// The analysis behind this stage: the shared symbolic analysis, or a
     /// per-binding analysis of the parameter-bound program.
     analysis: Arc<DependenceAnalysis>,
+    /// Parameter values matching `analysis` (empty when the analysis was
+    /// run on the parameter-bound program) — what the lazy Φ/Rd
+    /// enumerations bind with.
+    analysis_values: Vec<i64>,
     /// The program the runtime executes (parameter-bound when the
     /// analysis was deferred, the original otherwise).
     runtime_program: Program,
     /// Parameter values matching `runtime_program` (empty when bound).
     runtime_values: Vec<i64>,
-    phi: DenseSet,
-    rd: DenseRelation,
-    /// The Algorithm-1 partition, computed on first use.
+    /// The enumerated iteration space, built on first use.  Pre-filled on
+    /// the legacy concrete path; stays empty on the symbolic
+    /// instantiation path until something asks for it.
+    phi: OnceLock<DenseSet>,
+    /// The enumerated dependence relation — the dominant per-binding cost
+    /// the symbolic path exists to avoid.  Pre-filled on the legacy
+    /// concrete path, lazily enumerated otherwise.
+    rd: OnceLock<DenseRelation>,
+    /// The Algorithm-1 partition.  Pre-filled by
+    /// [`SymbolicPlan::instantiate`] on the symbolic path, computed on
+    /// first use on the legacy path.
     partition: OnceLock<ConcretePartition>,
+    /// `None` when `partition` came from the symbolic plan; `Some(reason)`
+    /// records why this stage took the legacy concrete rung.
+    concrete_reason: Option<PlanUnavailable>,
+}
+
+impl StageCore {
+    fn phi(&self) -> &DenseSet {
+        self.phi.get_or_init(|| {
+            let _span = rcp_trace::span!("session.enumerate");
+            let (phi_union, _) = self.analysis.bind_params(&self.analysis_values);
+            DenseSet::from_union(&phi_union)
+        })
+    }
+
+    fn rd(&self) -> &DenseRelation {
+        self.rd.get_or_init(|| {
+            let _span = rcp_trace::span!("session.enumerate");
+            let (_, relation) = self.analysis.bind_params(&self.analysis_values);
+            DenseRelation::from_relation(&relation)
+        })
+    }
 }
 
 struct PartitionedInner {
@@ -571,11 +691,12 @@ pub struct Partitioned {
 
 impl fmt::Debug for Partitioned {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Deliberately avoids forcing the lazy Φ/Rd enumerations: printing
+        // a warm symbolic stage must stay O(1).
         f.debug_struct("Partitioned")
             .field("program", &self.inner.analyzed.program().name)
             .field("values", &self.inner.core.values)
-            .field("iterations", &self.inner.core.phi.len())
-            .field("dependences", &self.inner.core.rd.len())
+            .field("plan", &self.plan_provenance())
             .finish()
     }
 }
@@ -607,24 +728,50 @@ impl Partitioned {
         &self.inner.core.runtime_values
     }
 
-    /// The enumerated iteration space `Φ`.
+    /// The enumerated iteration space `Φ` (enumerated on first use for
+    /// stages materialised by [`SymbolicPlan::instantiate`]).
     pub fn phi(&self) -> &DenseSet {
-        &self.inner.core.phi
+        self.inner.core.phi()
     }
 
-    /// The enumerated dependence relation `Rd`.
+    /// The enumerated dependence relation `Rd` (enumerated on first use
+    /// for stages materialised by [`SymbolicPlan::instantiate`] — the
+    /// warm symbolic path never pays for it).
     pub fn rd(&self) -> &DenseRelation {
-        &self.inner.core.rd
+        self.inner.core.rd()
+    }
+
+    /// `true` when this stage's partition was materialised by an
+    /// O(pieces) [`SymbolicPlan::instantiate`] of the memoised plan,
+    /// `false` when it took the legacy per-binding concrete rung.
+    pub fn instantiated(&self) -> bool {
+        self.inner.core.concrete_reason.is_none()
+    }
+
+    /// Why this stage took the legacy concrete rung, `None` when it was
+    /// instantiated from the symbolic plan.
+    pub fn concrete_reason(&self) -> Option<&PlanUnavailable> {
+        self.inner.core.concrete_reason.as_ref()
+    }
+
+    /// The provenance label of this stage's partition, as reported by
+    /// `rcp partition --json`: `"symbolic"` or `"concrete-fallback"`.
+    pub fn plan_provenance(&self) -> &'static str {
+        if self.instantiated() {
+            "symbolic"
+        } else {
+            "concrete-fallback"
+        }
     }
 
     /// The dependence classification of this binding.
     pub fn uniformity(&self) -> Uniformity {
-        classify_uniformity(&self.inner.core.rd, &self.inner.core.phi)
+        classify_uniformity(self.rd(), self.phi())
     }
 
     /// The distinct dependence distance vectors of this binding.
     pub fn distances(&self) -> Vec<rcp_intlin::IVec> {
-        distance_set(&self.inner.core.rd)
+        distance_set(self.rd())
     }
 
     /// The Algorithm-1 partition (computed once, then shared).
@@ -641,12 +788,12 @@ impl Partitioned {
             rcp_guard::fail_point("session::partition", rcp_guard::Stage::Partition);
             rcp_guard::tick(
                 rcp_guard::Stage::Partition,
-                self.inner.core.phi.len() as u64,
+                self.inner.core.phi().len() as u64,
             );
             concrete_partition_from_dense(
                 &self.inner.core.analysis,
-                &self.inner.core.phi,
-                &self.inner.core.rd,
+                self.inner.core.phi(),
+                self.inner.core.rd(),
             )
         })
     }
@@ -666,7 +813,7 @@ impl Partitioned {
     /// exactly once, every dependence respected.  Empty when valid.
     pub fn validate(&self) -> Vec<String> {
         self.partition()
-            .validate(&self.inner.core.phi, &self.inner.core.rd)
+            .validate(self.inner.core.phi(), self.inner.core.rd())
     }
 
     /// Schedules this partition with the configured scheme (or the default

@@ -1,0 +1,73 @@
+//! The server's warm partition path is an O(pieces) instantiation: after
+//! one cold request has populated the analysis cache, further bindings of
+//! the same program must bump `serve.plan.instantiate` without ever
+//! re-entering the dependence screen (`depend.screen.pairs` stays flat).
+//!
+//! One test function on purpose: the metrics registry is process-global,
+//! so the delta assertion must not interleave with other requests.
+
+use rcp_serve::client::Client;
+use rcp_serve::{Server, ServerConfig};
+
+#[test]
+fn warm_bindings_instantiate_the_plan_without_reanalysis() {
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("loopback server starts");
+    let client = Client::new(server.addr().to_string());
+
+    // Cold request: parse + analyse + plan once, then instantiate N=8.
+    let cold = client
+        .post(
+            "/v1/partition",
+            &rcp_json::json!({ "workload": "example2", "params": rcp_json::json!({"N": 8}) }),
+        )
+        .expect("cold partition responds");
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    let body = rcp_json::Json::parse(&cold.body).expect("cold body is JSON");
+    assert_eq!(
+        body.get("plan").and_then(|p| p.as_str()),
+        Some("symbolic"),
+        "example2 must take the symbolic instantiation path"
+    );
+
+    // Two warm bindings: the cached Analyzed serves both straight from the
+    // memoised symbolic plan — no re-analysis, no pair re-screening.
+    let mark = rcp_trace::snapshot();
+    for n in [12i64, 17] {
+        let reply = client
+            .post(
+                "/v1/partition",
+                &rcp_json::json!({ "workload": "example2", "params": rcp_json::json!({"N": n}) }),
+            )
+            .expect("warm partition responds");
+        assert_eq!(reply.status, 200, "N={n}: {}", reply.body);
+        let body = rcp_json::Json::parse(&reply.body).expect("warm body is JSON");
+        assert_eq!(
+            body.get("plan").and_then(|p| p.as_str()),
+            Some("symbolic"),
+            "N={n}: warm binding fell off the symbolic path"
+        );
+    }
+    let delta = rcp_trace::snapshot().delta_since(&mark);
+    assert_eq!(
+        delta.counter("serve.plan.instantiate"),
+        2,
+        "each warm binding must be served by a plan instantiation"
+    );
+    assert_eq!(
+        delta.counter("depend.screen.pairs"),
+        0,
+        "a warm binding re-ran the dependence screen"
+    );
+    assert_eq!(
+        delta.counter("serve.cache.misses"),
+        0,
+        "warm bindings must hit the analysis cache"
+    );
+
+    server.shutdown();
+    server.join();
+}
